@@ -1,0 +1,105 @@
+//! Ablation benchmarks (DESIGN.md §5): the runtime side of the design
+//! choices — SRR verification cost at the destination, CREP's effect on
+//! discovery work, and credit bookkeeping overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use manet_secure::scenario::{build_secure, NetworkParams};
+use manet_secure::ProtocolConfig;
+use manet_sim::SimDuration;
+use std::hint::black_box;
+
+/// Destination-side SRR verification on/off over a 6-hop discovery: the
+/// paper's per-hop identity checking vs SRP-style trust-the-chain.
+fn bench_srr_verify(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_srr_verify");
+    g.sample_size(10);
+    for &verify in &[true, false] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(if verify { "on" } else { "off" }),
+            &verify,
+            |b, &verify| {
+                b.iter(|| {
+                    let mut params = NetworkParams {
+                        n_hosts: 7,
+                        seed: 4,
+                        ..NetworkParams::default()
+                    };
+                    params.proto = ProtocolConfig {
+                        verify_srr: verify,
+                        ..params.proto
+                    };
+                    let mut net = build_secure(&params);
+                    assert!(net.bootstrap());
+                    net.run_flows(&[(0, 6)], 5, SimDuration::from_millis(300));
+                    black_box(net.delivery_ratio())
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+/// CREP on/off: total work for two requesters reaching the same
+/// destination.
+fn bench_crep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_crep");
+    g.sample_size(10);
+    for &crep in &[true, false] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(if crep { "on" } else { "off" }),
+            &crep,
+            |b, &crep| {
+                b.iter(|| {
+                    let mut params = NetworkParams {
+                        n_hosts: 6,
+                        seed: 5,
+                        ..NetworkParams::default()
+                    };
+                    params.proto.crep_enabled = crep;
+                    let mut net = build_secure(&params);
+                    assert!(net.bootstrap());
+                    net.run_flows(&[(0, 5)], 2, SimDuration::from_millis(300));
+                    net.run_flows(&[(1, 5)], 2, SimDuration::from_millis(300));
+                    black_box(net.engine.metrics().counter("ctl.tx_bytes"))
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+/// Credit bookkeeping on/off in a clean network — the steady-state tax
+/// of Section 3.4 when nobody misbehaves.
+fn bench_credits_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_credit_overhead");
+    g.sample_size(10);
+    for &on in &[true, false] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(if on { "on" } else { "off" }),
+            &on,
+            |b, &on| {
+                b.iter(|| {
+                    let mut params = NetworkParams {
+                        n_hosts: 5,
+                        seed: 6,
+                        ..NetworkParams::default()
+                    };
+                    params.proto.credit.enabled = on;
+                    let mut net = build_secure(&params);
+                    assert!(net.bootstrap());
+                    net.run_flows(&[(0, 4)], 10, SimDuration::from_millis(250));
+                    black_box(net.delivery_ratio())
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_srr_verify,
+    bench_crep,
+    bench_credits_overhead
+);
+criterion_main!(benches);

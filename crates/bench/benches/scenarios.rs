@@ -1,0 +1,86 @@
+//! Whole-simulation benchmarks: wall-clock cost of the E1/E2/E5-shaped
+//! scenarios. These time the *reproduction harness itself* (simulator +
+//! crypto under load), so regressions in any layer show up here.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use manet_secure::scenario::{
+    build_plain, build_secure, NetworkParams, Placement, PlainParams,
+};
+use manet_sim::SimDuration;
+use std::hint::black_box;
+
+/// E5-shaped: full secure bootstrap of an n-host chain network.
+fn bench_bootstrap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bootstrap_secure");
+    g.sample_size(10);
+    for n in [4usize, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut net = build_secure(&NetworkParams {
+                    n_hosts: n,
+                    seed: 1,
+                    ..NetworkParams::default()
+                });
+                assert!(net.bootstrap());
+                black_box(net.engine.metrics().counter("ctl.tx_bytes"))
+            });
+        });
+    }
+    g.finish();
+}
+
+/// E2-shaped: bootstrap + discovery + 10-packet flow over a chain,
+/// secure vs plain (the security multiplier on harness wall time).
+fn bench_flow(c: &mut Criterion) {
+    let mut g = c.benchmark_group("five_hop_flow");
+    g.sample_size(10);
+    g.bench_function("secure", |b| {
+        b.iter(|| {
+            let mut net = build_secure(&NetworkParams {
+                n_hosts: 6,
+                seed: 2,
+                ..NetworkParams::default()
+            });
+            assert!(net.bootstrap());
+            net.run_flows(&[(0, 5)], 10, SimDuration::from_millis(300));
+            black_box(net.delivery_ratio())
+        });
+    });
+    g.bench_function("plain", |b| {
+        b.iter(|| {
+            let mut net = build_plain(&PlainParams {
+                n_hosts: 6,
+                seed: 2,
+                ..PlainParams::default()
+            });
+            net.run_flows(&[(0, 5)], 10, SimDuration::from_millis(300));
+            black_box(net.delivery_ratio())
+        });
+    });
+    g.finish();
+}
+
+/// E1-shaped: a grid network under a flooding join storm.
+fn bench_grid_bootstrap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bootstrap_grid");
+    g.sample_size(10);
+    g.bench_function("12_hosts", |b| {
+        b.iter(|| {
+            let mut net = build_secure(&NetworkParams {
+                n_hosts: 12,
+                placement: Placement::Grid {
+                    cols: 4,
+                    spacing: 170.0,
+                },
+                seed: 3,
+                ..NetworkParams::default()
+            });
+            assert!(net.bootstrap());
+            black_box(net.engine.metrics().counter("phy.rx_frames"))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_bootstrap, bench_flow, bench_grid_bootstrap);
+criterion_main!(benches);

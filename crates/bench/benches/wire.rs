@@ -1,0 +1,69 @@
+//! T1/F1-shaped microbenches: message codec round trips and CGA
+//! generation/verification — the per-packet fixed costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use manet_secure::HostIdentity;
+use manet_wire::{
+    cga, sigdata, IdentityProof, Message, Rreq, SecureRouteRecord, Seq, SrrEntry,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use std::hint::black_box;
+
+fn rreq_with_hops(hops: usize) -> Message {
+    let mut rng = ChaCha12Rng::seed_from_u64(7);
+    let id = HostIdentity::generate(512, &mut rng);
+    let seq = Seq(1);
+    let entries: Vec<SrrEntry> = (0..hops)
+        .map(|_| SrrEntry {
+            ip: id.ip(),
+            proof: IdentityProof {
+                pk: id.public().clone(),
+                rn: id.rn(),
+                sig: id.sign(&sigdata::srr_hop(&id.ip(), seq)),
+            },
+        })
+        .collect();
+    Message::Rreq(Rreq {
+        sip: id.ip(),
+        dip: id.ip(),
+        seq,
+        srr: SecureRouteRecord(entries),
+        src_proof: IdentityProof {
+            pk: id.public().clone(),
+            rn: id.rn(),
+            sig: id.sign(&sigdata::rreq_src(&id.ip(), seq)),
+        },
+    })
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec_rreq");
+    for hops in [0usize, 4, 8] {
+        let msg = rreq_with_hops(hops);
+        let bytes = msg.encode();
+        g.throughput(Throughput::Bytes(bytes.len() as u64));
+        g.bench_with_input(BenchmarkId::new("encode", hops), &msg, |b, msg| {
+            b.iter(|| black_box(msg).encode());
+        });
+        g.bench_with_input(BenchmarkId::new("decode", hops), &bytes, |b, bytes| {
+            b.iter(|| Message::decode(black_box(bytes)).expect("valid"));
+        });
+    }
+    g.finish();
+}
+
+fn bench_cga(c: &mut Criterion) {
+    let mut rng = ChaCha12Rng::seed_from_u64(8);
+    let id = HostIdentity::generate(512, &mut rng);
+    c.bench_function("cga_generate", |b| {
+        b.iter(|| cga::generate(black_box(id.public()), black_box(5)));
+    });
+    let addr = cga::generate(id.public(), 5);
+    c.bench_function("cga_verify", |b| {
+        b.iter(|| cga::verify(black_box(&addr), black_box(id.public()), black_box(5)));
+    });
+}
+
+criterion_group!(benches, bench_codec, bench_cga);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Regenerate every table and figure of the paper (plus the quantified
+//! evaluation and ablations; see DESIGN.md §4 for the index).
+//!
+//! ```sh
+//! cargo run --release -p manet-bench --bin tables            # everything, quick seeds
+//! cargo run --release -p manet-bench --bin tables -- --full  # everything, 10 seeds
+//! cargo run --release -p manet-bench --bin tables -- --exhibit e3
+//! ```
+
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = !args.iter().any(|a| a == "--full");
+    let selected: Vec<String> = args
+        .iter()
+        .position(|a| a == "--exhibit")
+        .and_then(|i| args.get(i + 1))
+        .map(|id| vec![id.clone()])
+        .unwrap_or_else(|| manet_bench::EXHIBITS.iter().map(|s| s.to_string()).collect());
+
+    if quick {
+        println!("(quick mode: 3 seeds per cell; pass --full for 10)\n");
+    }
+    for id in &selected {
+        let t0 = Instant::now();
+        match manet_bench::render(id, quick) {
+            Some(text) => {
+                println!("{text}");
+                println!("[{id} generated in {:.1}s]\n", t0.elapsed().as_secs_f64());
+            }
+            None => {
+                eprintln!("unknown exhibit '{id}'; available: {:?}", manet_bench::EXHIBITS);
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,811 @@
+//! Exhibits E1–E5 and the ablations — the quantified versions of the
+//! paper's claims (the paper itself reports no numbers; DESIGN.md §4
+//! records the expected *shapes*).
+
+use crate::table::Table;
+use manet_crypto::KeyPair;
+use manet_secure::plain::PlainConfig;
+use manet_secure::scenario::{
+    build_plain, build_secure, bypass_positions, NetworkParams, Placement, PlainParams,
+    BYPASS_ATTACKER,
+};
+use manet_secure::{attacks, Behavior, HostIdentity, ProtocolConfig, SecureNode};
+use manet_sim::runner;
+use manet_sim::{Engine, EngineConfig, Mobility, Pos, RadioConfig, SimDuration, SimTime};
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+fn seeds(quick: bool) -> Vec<u64> {
+    if quick {
+        (1..=3).collect()
+    } else {
+        (1..=10).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// E1 — secure DAD: duplicate detection across hop distances
+// ---------------------------------------------------------------------------
+
+/// One forced-duplicate run: the owner sits `hops` hops from the joiner
+/// on a relay chain. Returns (detected, detection latency in seconds).
+fn dad_duplicate_cell(hops: usize, seed: u64, loss: f64) -> (bool, f64) {
+    let cfg = ProtocolConfig::default();
+    let mut engine = Engine::new(EngineConfig {
+        seed,
+        radio: RadioConfig {
+            loss,
+            ..RadioConfig::default()
+        },
+        ..EngineConfig::default()
+    });
+    let dns = SecureNode::new_dns(cfg.clone(), Vec::new(), engine.rng());
+    let dns_pk = dns.public_key().clone();
+
+    // Shared identity for owner and joiner.
+    let key_seed = seed.wrapping_mul(0x9e37).wrapping_add(hops as u64);
+    let kp_a = KeyPair::generate(512, &mut ChaCha12Rng::seed_from_u64(key_seed));
+    let kp_b = KeyPair::generate(512, &mut ChaCha12Rng::seed_from_u64(key_seed));
+    let mut owner_ident = HostIdentity::from_keypair(kp_a, engine.rng());
+    let mut joiner_ident = HostIdentity::from_keypair(kp_b, engine.rng());
+    owner_ident.set_rn(1);
+    joiner_ident.set_rn(1);
+
+    // Chain: DNS, owner, relay₁ … relayₕ₋₁, joiner — owner `hops` hops
+    // from the joiner.
+    engine.add_node(Box::new(dns), Pos::new(0.0, 0.0), Mobility::Static);
+    let owner = SecureNode::with_identity(
+        cfg.clone(),
+        owner_ident,
+        dns_pk.clone(),
+        None,
+        Behavior::default(),
+    );
+    engine.add_node(Box::new(owner), Pos::new(180.0, 0.0), Mobility::Static);
+    for i in 1..hops {
+        let relay = SecureNode::new(cfg.clone(), dns_pk.clone(), None, engine.rng());
+        engine.add_node(
+            Box::new(relay),
+            Pos::new(180.0 * (i as f64 + 1.0), 0.0),
+            Mobility::Static,
+        );
+    }
+    let joiner = SecureNode::with_identity(cfg, joiner_ident, dns_pk, None, Behavior::default());
+    let join_at = SimTime(2_000_000);
+    let joiner_id = engine.add_node_at(
+        Box::new(joiner),
+        Pos::new(180.0 * (hops as f64 + 1.0), 0.0),
+        Mobility::Static,
+        join_at,
+    );
+    engine.run_until(SimTime(12_000_000));
+    let j = engine.protocol_as::<SecureNode>(joiner_id);
+    let detected = j.stats().collisions_detected > 0;
+    let latency = j
+        .stats()
+        .joined_at
+        .map(|t| t.since(join_at).as_secs_f64())
+        .unwrap_or(f64::NAN);
+    (detected, latency)
+}
+
+/// E1: duplicate detection probability and join latency vs hop distance
+/// and channel loss. The paper's extended-DAD claim is that detection
+/// works beyond one hop — link-local DAD by construction only covers
+/// hop distance 1.
+pub fn exhibit_e1(quick: bool) -> String {
+    let seeds = seeds(quick);
+    let hop_range: Vec<usize> = if quick { vec![1, 2, 4] } else { vec![1, 2, 3, 4, 6] };
+    let mut t = Table::new(
+        "E1 — secure DAD: duplicate detection vs distance (extended DAD over relays)",
+        &["hops to owner", "loss", "detection rate", "mean join latency (s)"],
+    );
+    for &hops in &hop_range {
+        for &loss in &[0.0, 0.10] {
+            let cells = runner::sweep(&[hops], &seeds, |&h, s| dad_duplicate_cell(h, s, loss));
+            let results = &cells[0].1;
+            let detected = results.iter().filter(|(d, _)| *d).count();
+            let mean_lat: f64 =
+                results.iter().map(|(_, l)| l).sum::<f64>() / results.len() as f64;
+            t.rowv(vec![
+                hops.to_string(),
+                format!("{loss:.2}"),
+                format!("{}/{}", detected, results.len()),
+                format!("{mean_lat:.2}"),
+            ]);
+        }
+    }
+    t.note("link-local (RFC 2461) DAD would detect only the 1-hop rows; the AREQ flood covers all");
+    t.note("a detected duplicate adds one extra DAD round (~1 window) to the join latency");
+    t.render()
+}
+
+// ---------------------------------------------------------------------------
+// E2 — route discovery: latency and control overhead vs hops, secure vs plain
+// ---------------------------------------------------------------------------
+
+struct E2Cell {
+    discovery_ms: f64,
+    ctl_bytes: u64,
+    delivery: f64,
+}
+
+fn e2_secure(hops: usize, seed: u64) -> E2Cell {
+    let mut net = build_secure(&NetworkParams {
+        n_hosts: hops + 1,
+        seed,
+        ..NetworkParams::default()
+    });
+    assert!(net.bootstrap());
+    let base = net.engine.metrics().counter("ctl.routing_bytes");
+    net.run_flows(&[(0, hops)], 10, SimDuration::from_millis(300));
+    let m = net.engine.metrics();
+    E2Cell {
+        discovery_ms: m.series("route.discovery_latency_s").mean() * 1e3,
+        ctl_bytes: m.counter("ctl.routing_bytes") - base,
+        delivery: net.delivery_ratio(),
+    }
+}
+
+fn e2_plain(hops: usize, seed: u64) -> E2Cell {
+    let mut net = build_plain(&PlainParams {
+        n_hosts: hops + 1,
+        seed,
+        proto: PlainConfig::default(),
+        ..PlainParams::default()
+    });
+    net.run_flows(&[(0, hops)], 10, SimDuration::from_millis(300));
+    let m = net.engine.metrics();
+    E2Cell {
+        discovery_ms: m.series("route.discovery_latency_s").mean() * 1e3,
+        ctl_bytes: m.counter("ctl.routing_bytes"),
+        delivery: net.delivery_ratio(),
+    }
+}
+
+/// E2: discovery latency and control bytes for a 10-packet flow over a
+/// chain, secure vs plain, by hop count.
+pub fn exhibit_e2(quick: bool) -> String {
+    let seeds = seeds(quick);
+    let hop_range: Vec<usize> = if quick { vec![2, 4, 6] } else { vec![1, 2, 3, 4, 5, 6, 7] };
+    let mut t = Table::new(
+        "E2 — route discovery vs hop count (10-packet flow on a chain)",
+        &[
+            "hops",
+            "secure disc (ms)",
+            "plain disc (ms)",
+            "secure routing bytes",
+            "plain routing bytes",
+            "overhead ×",
+            "secure delivery",
+            "plain delivery",
+        ],
+    );
+    for &hops in &hop_range {
+        let sec = runner::sweep(&[hops], &seeds, |&h, s| e2_secure(h, s));
+        let pla = runner::sweep(&[hops], &seeds, |&h, s| e2_plain(h, s));
+        let avg = |cells: &[E2Cell], f: fn(&E2Cell) -> f64| {
+            cells.iter().map(f).sum::<f64>() / cells.len() as f64
+        };
+        let s_cells = &sec[0].1;
+        let p_cells = &pla[0].1;
+        let s_bytes = avg(s_cells, |c| c.ctl_bytes as f64);
+        let p_bytes = avg(p_cells, |c| c.ctl_bytes as f64);
+        t.rowv(vec![
+            hops.to_string(),
+            format!("{:.1}", avg(s_cells, |c| c.discovery_ms)),
+            format!("{:.1}", avg(p_cells, |c| c.discovery_ms)),
+            format!("{s_bytes:.0}"),
+            format!("{p_bytes:.0}"),
+            format!("{:.1}", s_bytes / p_bytes),
+            format!("{:.2}", avg(s_cells, |c| c.delivery)),
+            format!("{:.2}", avg(p_cells, |c| c.delivery)),
+        ]);
+    }
+    t.note("routing bytes: all control traffic (floods + replies + errors), data/acks excluded;");
+    t.note("the secure side additionally excludes its bootstrap-phase traffic");
+    t.note("expected shape: both latencies grow linearly in hops; the secure byte overhead grows");
+    t.note("super-linearly (per-hop SRR proofs inside a flood) but delivery matches plain");
+    t.render()
+}
+
+// ---------------------------------------------------------------------------
+// E3 — the Section 4 attack matrix
+// ---------------------------------------------------------------------------
+
+struct AttackOutcome {
+    delivery: f64,
+    rejected: u64,
+    stolen: u64,
+}
+
+fn e3_secure(attack: Option<Behavior>, seed: u64) -> AttackOutcome {
+    let attackers = attack.map(|b| vec![(BYPASS_ATTACKER, b)]).unwrap_or_default();
+    let mut net = build_secure(&NetworkParams {
+        n_hosts: 5,
+        placement: Placement::Custom(bypass_positions()),
+        attackers,
+        seed,
+        ..NetworkParams::default()
+    });
+    assert!(net.bootstrap());
+    net.run_flows(&[(0, 2)], 20, SimDuration::from_millis(300));
+    let m = net.engine.metrics();
+    AttackOutcome {
+        delivery: net.delivery_ratio(),
+        rejected: m.counter("sec.rrep_rejected")
+            + m.counter("sec.rreq_rejected")
+            + m.counter("sec.arep_rejected")
+            + m.counter("sec.dns_reply_rejected"),
+        stolen: net.host(BYPASS_ATTACKER).stats().data_received,
+    }
+}
+
+fn e3_plain(attack: Option<Behavior>, seed: u64) -> AttackOutcome {
+    let positions: Vec<Pos> = bypass_positions()[1..].to_vec();
+    let attackers = attack.map(|b| vec![(BYPASS_ATTACKER, b)]).unwrap_or_default();
+    let mut net = build_plain(&PlainParams {
+        n_hosts: positions.len(),
+        placement: Placement::Custom(positions),
+        attackers,
+        seed,
+        ..PlainParams::default()
+    });
+    net.run_flows(&[(0, 2)], 20, SimDuration::from_millis(300));
+    AttackOutcome {
+        delivery: net.delivery_ratio(),
+        rejected: 0, // plain DSR verifies nothing
+        stolen: net.host(BYPASS_ATTACKER).stats().data_received,
+    }
+}
+
+/// E3: delivery under each Section 4 attack, plain vs secure, plus the
+/// secure stack's detection counters.
+pub fn exhibit_e3(quick: bool) -> String {
+    let seeds = seeds(quick);
+    // The victim address for impersonation must match the destination;
+    // addresses are seed-dependent, so impersonation uses a probe build.
+    let attacks_list: Vec<(&str, Option<Behavior>, Option<Behavior>)> = vec![
+        ("none (baseline)", None, None),
+        (
+            "black hole (forge+drop)",
+            Some(attacks::black_hole()),
+            Some(attacks::black_hole()),
+        ),
+        (
+            "quiet data dropper",
+            Some(attacks::data_dropper()),
+            Some(attacks::data_dropper()),
+        ),
+        (
+            "grey hole (p=0.5)",
+            Some(attacks::grey_hole(0.5)),
+            Some(attacks::grey_hole(0.5)),
+        ),
+        ("replayer", Some(attacks::replayer()), None),
+        ("RERR spammer", Some(attacks::rerr_forger()), None),
+    ];
+
+    let mut t = Table::new(
+        "E3 — Section 4 attack matrix (bypass topology, 20-packet flow S→D through A)",
+        &[
+            "attack at A",
+            "plain delivery",
+            "secure delivery",
+            "secure rejections",
+            "stolen (plain)",
+            "stolen (secure)",
+        ],
+    );
+    for (name, secure_b, plain_b) in attacks_list {
+        let sec: Vec<AttackOutcome> = seeds
+            .iter()
+            .map(|&s| e3_secure(secure_b.clone(), s))
+            .collect();
+        let pla: Vec<AttackOutcome> = plain_b
+            .map(|b| seeds.iter().map(|&s| e3_plain(Some(b.clone()), s)).collect())
+            .unwrap_or_else(|| seeds.iter().map(|&s| e3_plain(None, s)).collect());
+        let mean = |v: &[AttackOutcome], f: fn(&AttackOutcome) -> f64| {
+            v.iter().map(f).sum::<f64>() / v.len() as f64
+        };
+        t.rowv(vec![
+            name.into(),
+            format!("{:.2}", mean(&pla, |o| o.delivery)),
+            format!("{:.2}", mean(&sec, |o| o.delivery)),
+            format!("{:.0}", mean(&sec, |o| o.rejected as f64)),
+            format!("{:.0}", mean(&pla, |o| o.stolen as f64)),
+            format!("{:.0}", mean(&sec, |o| o.stolen as f64)),
+        ]);
+    }
+
+    // Impersonation needs the victim's address up front.
+    let mut imp_sec = Vec::new();
+    let mut imp_pla = Vec::new();
+    for &s in &seeds {
+        let probe = build_secure(&NetworkParams {
+            n_hosts: 5,
+            placement: Placement::Custom(bypass_positions()),
+            seed: s,
+            ..NetworkParams::default()
+        });
+        let victim = probe.host_ip(2);
+        drop(probe);
+        imp_sec.push(e3_secure(Some(attacks::impersonator(victim)), s));
+
+        let positions: Vec<Pos> = bypass_positions()[1..].to_vec();
+        let probe = build_plain(&PlainParams {
+            n_hosts: positions.len(),
+            placement: Placement::Custom(positions),
+            seed: s,
+            ..PlainParams::default()
+        });
+        let victim = probe.host_ip(2);
+        drop(probe);
+        imp_pla.push(e3_plain(Some(attacks::impersonator(victim)), s));
+    }
+    let mean = |v: &[AttackOutcome], f: fn(&AttackOutcome) -> f64| {
+        v.iter().map(f).sum::<f64>() / v.len() as f64
+    };
+    t.rowv(vec![
+        "impersonation of D".into(),
+        format!("{:.2}", mean(&imp_pla, |o| o.delivery)),
+        format!("{:.2}", mean(&imp_sec, |o| o.delivery)),
+        format!("{:.0}", mean(&imp_sec, |o| o.rejected as f64)),
+        format!("{:.0}", mean(&imp_pla, |o| o.stolen as f64)),
+        format!("{:.0}", mean(&imp_sec, |o| o.stolen as f64)),
+    ]);
+    t.note("'stolen' = data packets the attacker received as (claimed) destination");
+    t.note("plain 'delivery' can be nonzero under impersonation: the attacker ACKs what it steals");
+    t.note("expected shape: plain collapses or leaks under every attack; secure sustains & detects");
+    t.render()
+}
+
+// ---------------------------------------------------------------------------
+// E4 — credit management over time
+// ---------------------------------------------------------------------------
+
+/// E4: delivery per 5-packet bucket with a quiet dropper on the short
+/// path, credits on vs off, plus the attacker's credit trajectory.
+pub fn exhibit_e4(quick: bool) -> String {
+    let buckets = if quick { 6 } else { 10 };
+    let run = |credits_on: bool| -> (Vec<f64>, Vec<i64>, Vec<f64>) {
+        let mut params = NetworkParams {
+            n_hosts: 5,
+            placement: Placement::Custom(bypass_positions()),
+            attackers: vec![(BYPASS_ATTACKER, attacks::data_dropper())],
+            seed: 4,
+            ..NetworkParams::default()
+        };
+        params.proto.credit.enabled = credits_on;
+        let mut net = build_secure(&params);
+        assert!(net.bootstrap());
+        let mut deliveries = Vec::new();
+        let mut credits = Vec::new();
+        let mut latencies = Vec::new();
+        let atk_ip = net.host_ip(BYPASS_ATTACKER);
+        let mut prev_acked = 0;
+        let mut prev_samples = 0;
+        for _ in 0..buckets {
+            net.run_flows(&[(0, 2)], 5, SimDuration::from_millis(300));
+            let acked = net.host(0).stats().data_acked;
+            deliveries.push((acked - prev_acked) as f64 / 5.0);
+            prev_acked = acked;
+            credits.push(net.host(0).credits().credit(&atk_ip));
+            let series = net.engine.metrics().series("app.e2e_latency_s");
+            let new = &series.samples()[prev_samples..];
+            latencies.push(if new.is_empty() {
+                f64::NAN
+            } else {
+                new.iter().sum::<f64>() / new.len() as f64 * 1e3
+            });
+            prev_samples = series.len();
+        }
+        (deliveries, credits, latencies)
+    };
+    let (on_del, on_credit, on_lat) = run(true);
+    let (off_del, _, _) = run(false);
+
+    let mut t = Table::new(
+        "E4 — credit management: delivery over time with a data dropper on the short path",
+        &[
+            "packet bucket",
+            "delivery (credits ON)",
+            "delivery (credits OFF)",
+            "e2e latency ON (ms)",
+            "dropper credit @S",
+        ],
+    );
+    for i in 0..buckets {
+        t.rowv(vec![
+            format!("{}–{}", i * 5 + 1, (i + 1) * 5),
+            format!("{:.2}", on_del[i]),
+            format!("{:.2}", off_del[i]),
+            format!("{:.0}", on_lat[i]),
+            on_credit[i].to_string(),
+        ]);
+    }
+    t.note("expected shape: credits-ON recovers via the detour once the dropper's score sinks;");
+    t.note("the transient shows up as an early latency spike (retries), not lost packets;");
+    t.note("credits-OFF keeps selecting the short, dead path and never recovers");
+    t.render()
+}
+
+// ---------------------------------------------------------------------------
+// E5 — bootstrap cost vs network size
+// ---------------------------------------------------------------------------
+
+fn e5_cell(n: usize, seed: u64) -> (bool, u64, u64, usize) {
+    let mut net = build_secure(&NetworkParams {
+        n_hosts: n,
+        placement: Placement::Grid {
+            cols: 5,
+            spacing: 170.0,
+        },
+        seed,
+        ..NetworkParams::default()
+    });
+    let ok = net.bootstrap();
+    let m = net.engine.metrics();
+    let committed = net.dns_node().dns_state().map(|d| d.name_count()).unwrap_or(0);
+    (ok, m.counter("ctl.tx_msgs"), m.counter("ctl.tx_bytes"), committed)
+}
+
+/// E5: whole-network cold-boot cost — "network formation is light-weight".
+pub fn exhibit_e5(quick: bool) -> String {
+    let seeds = seeds(quick);
+    let sizes: Vec<usize> = if quick { vec![5, 10, 20] } else { vec![5, 10, 20, 40] };
+    let mut t = Table::new(
+        "E5 — bootstrap cost vs network size (grid, staggered joins)",
+        &[
+            "hosts",
+            "all ready",
+            "ctl msgs",
+            "ctl bytes",
+            "bytes / join",
+            "names committed",
+        ],
+    );
+    for &n in &sizes {
+        let cells = runner::sweep(&[n], &seeds, |&n, s| e5_cell(n, s));
+        let results = &cells[0].1;
+        let all_ok = results.iter().all(|(ok, ..)| *ok);
+        let msgs = results.iter().map(|(_, m, ..)| *m as f64).sum::<f64>() / results.len() as f64;
+        let bytes =
+            results.iter().map(|(_, _, b, _)| *b as f64).sum::<f64>() / results.len() as f64;
+        let committed =
+            results.iter().map(|(.., c)| *c as f64).sum::<f64>() / results.len() as f64;
+        t.rowv(vec![
+            n.to_string(),
+            all_ok.to_string(),
+            format!("{msgs:.0}"),
+            format!("{bytes:.0}"),
+            format!("{:.0}", bytes / n as f64),
+            format!("{committed:.1}"),
+        ]);
+    }
+    t.note("pre-configuration per node: the DNS public key only (the paper's claim (ii))");
+    t.note("expected shape: cost grows ~linearly — one network-wide AREQ flood per join");
+    t.render()
+}
+
+// ---------------------------------------------------------------------------
+// Ablations (DESIGN.md §5)
+// ---------------------------------------------------------------------------
+
+/// A1: per-hop SRR identity proofs — byte growth per hop and the
+/// destination-side verification cost, vs verification disabled.
+pub fn ablation_srr() -> String {
+    // Static byte accounting straight from the codec.
+    let ident = HostIdentity::generate(512, &mut ChaCha12Rng::seed_from_u64(9));
+    let mut t = Table::new(
+        "A1 — ablation: per-hop SRR proofs (RREQ size by hops traversed)",
+        &["hops", "secure RREQ bytes", "plain RREQ bytes", "bytes/hop added"],
+    );
+    for hops in [0usize, 1, 2, 4, 8] {
+        use manet_wire::*;
+        let seq = Seq(1);
+        let entries: Vec<SrrEntry> = (0..hops)
+            .map(|_| SrrEntry {
+                ip: ident.ip(),
+                proof: IdentityProof {
+                    pk: ident.public().clone(),
+                    rn: ident.rn(),
+                    sig: ident.sign(&sigdata::srr_hop(&ident.ip(), seq)),
+                },
+            })
+            .collect();
+        let secure = Message::Rreq(Rreq {
+            sip: ident.ip(),
+            dip: ident.ip(),
+            seq,
+            srr: SecureRouteRecord(entries),
+            src_proof: IdentityProof {
+                pk: ident.public().clone(),
+                rn: ident.rn(),
+                sig: ident.sign(&sigdata::rreq_src(&ident.ip(), seq)),
+            },
+        });
+        let plain = Message::PlainRreq(PlainRreq {
+            sip: ident.ip(),
+            dip: ident.ip(),
+            seq,
+            rr: RouteRecord(vec![ident.ip(); hops]),
+        });
+        let per_hop = if hops > 0 {
+            format!(
+                "{:.0}",
+                (secure.wire_size() as f64 - 215.0) / hops as f64
+            )
+        } else {
+            "—".into()
+        };
+        t.rowv(vec![
+            hops.to_string(),
+            secure.wire_size().to_string(),
+            plain.wire_size().to_string(),
+            per_hop,
+        ]);
+    }
+    t.note("each hop adds one identity proof: ~64-byte signature + ~70-byte key + 8-byte rn");
+    t.note("SRP-style source-only signing would keep the flood flat but lose per-hop identity —");
+    t.note("the paper's tracking of misbehaving hosts (Section 3.4) depends on the proofs");
+    t.render()
+}
+
+/// A2: CREP on/off — discovery latency for the second requester.
+pub fn ablation_crep(quick: bool) -> String {
+    let seeds = seeds(quick);
+    let run = |crep: bool, seed: u64| -> f64 {
+        let mut params = NetworkParams {
+            n_hosts: 6,
+            seed,
+            ..NetworkParams::default()
+        };
+        params.proto.crep_enabled = crep;
+        let mut net = build_secure(&params);
+        assert!(net.bootstrap());
+        net.run_flows(&[(0, 5)], 2, SimDuration::from_millis(300));
+        let before = net.engine.metrics().series("route.discovery_latency_s").len();
+        net.run_flows(&[(1, 5)], 2, SimDuration::from_millis(300));
+        let series = net.engine.metrics().series("route.discovery_latency_s");
+        // The second requester's discovery is the sample after `before`.
+        series.samples()[before..]
+            .iter()
+            .copied()
+            .next()
+            .unwrap_or(f64::NAN)
+            * 1e3
+    };
+    let mut t = Table::new(
+        "A2 — ablation: cached route replies (second requester's discovery latency)",
+        &["CREP", "mean discovery (ms)"],
+    );
+    for &on in &[true, false] {
+        let mean = runner::mean_over_seeds(&seeds, |s| run(on, s));
+        t.rowv(vec![
+            if on { "enabled" } else { "disabled" }.into(),
+            format!("{mean:.1}"),
+        ]);
+    }
+    t.note("with CREP the neighbor's cache answers in ~1 hop; without, the flood runs to D");
+    t.render()
+}
+
+/// A3: credit slash magnitude on the RERR-spam scenario — the slash is
+/// what turns an *identified* misbehaver (frequency threshold crossed)
+/// into an avoided one (credit below the floor).
+pub fn ablation_credit(quick: bool) -> String {
+    let seeds = seeds(quick);
+    let run = |slash: i64, seed: u64| -> (f64, bool) {
+        let mut params = NetworkParams {
+            n_hosts: 5,
+            placement: Placement::Custom(bypass_positions()),
+            attackers: vec![(BYPASS_ATTACKER, attacks::rerr_forger())],
+            seed,
+            ..NetworkParams::default()
+        };
+        params.proto.credit.slash = slash;
+        let mut net = build_secure(&params);
+        assert!(net.bootstrap());
+        net.run_flows(&[(0, 2)], 25, SimDuration::from_millis(300));
+        let atk_ip = net.host_ip(BYPASS_ATTACKER);
+        let identified = net.host(0).credits().hostile_hosts().contains(&atk_ip);
+        (net.delivery_ratio(), identified)
+    };
+    let mut t = Table::new(
+        "A3 — ablation: credit slash magnitude (RERR spammer on the short path)",
+        &["slash", "delivery", "spammer marked hostile"],
+    );
+    for &slash in &[2i64, 10, 100, 1000] {
+        let cells: Vec<(f64, bool)> = seeds.iter().map(|&s| run(slash, s)).collect();
+        let del = cells.iter().map(|(d, _)| d).sum::<f64>() / cells.len() as f64;
+        let marked = cells.iter().filter(|(_, m)| *m).count();
+        t.rowv(vec![
+            slash.to_string(),
+            format!("{del:.2}"),
+            format!("{}/{}", marked, cells.len()),
+        ]);
+    }
+    t.note("too-small slashes never push the spammer below the avoidance floor (-10):");
+    t.note("its reports stay believed forever; a large slash isolates it after the");
+    t.note("frequency threshold (3 reports) — Section 3.4's 'very large amount'");
+    t.render()
+}
+
+/// A5: route probing (Section 3.4's integrity test) on/off, against a
+/// naive and a probe-evading data dropper.
+pub fn ablation_probe(quick: bool) -> String {
+    let seeds = seeds(quick);
+    let run = |probe: bool, evade: bool, seed: u64| -> (f64, i64, bool, u64) {
+        let mut attacker = attacks::data_dropper();
+        attacker.evade_probes = evade;
+        let mut params = NetworkParams {
+            n_hosts: 5,
+            placement: Placement::Custom(bypass_positions()),
+            attackers: vec![(BYPASS_ATTACKER, attacker)],
+            seed,
+            ..NetworkParams::default()
+        };
+        params.proto.probe_enabled = probe;
+        let mut net = build_secure(&params);
+        assert!(net.bootstrap());
+        net.run_flows(&[(0, 2)], 15, SimDuration::from_millis(300));
+        let atk_ip = net.host_ip(BYPASS_ATTACKER);
+        let h0 = net.host(0);
+        let false_accusations = h0
+            .stats()
+            .probe_suspects
+            .iter()
+            .filter(|s| **s != atk_ip)
+            .count() as u64;
+        (
+            net.delivery_ratio(),
+            h0.credits().credit(&atk_ip),
+            h0.credits().hostile_hosts().contains(&atk_ip),
+            false_accusations,
+        )
+    };
+    let mut t = Table::new(
+        "A5 — ablation: route probing vs a dropper on the short path",
+        &[
+            "probing",
+            "dropper type",
+            "delivery",
+            "dropper credit @S",
+            "marked hostile",
+            "false accusations",
+        ],
+    );
+    for &(probe, evade, label) in &[
+        (false, false, "naive"),
+        (true, false, "naive"),
+        (true, true, "probe-evading"),
+    ] {
+        let cells: Vec<_> = seeds.iter().map(|&s| run(probe, evade, s)).collect();
+        let del = cells.iter().map(|c| c.0).sum::<f64>() / cells.len() as f64;
+        let credit = cells.iter().map(|c| c.1).sum::<i64>() / cells.len() as i64;
+        let hostile = cells.iter().filter(|c| c.2).count();
+        let false_acc: u64 = cells.iter().map(|c| c.3).sum();
+        t.rowv(vec![
+            if probe { "on" } else { "off" }.into(),
+            label.into(),
+            format!("{del:.2}"),
+            credit.to_string(),
+            format!("{}/{}", hostile, cells.len()),
+            false_acc.to_string(),
+        ]);
+    }
+    t.note("probing localizes the naive dropper on the first lost packet (slash → hostile);");
+    t.note("an evader answers every probe (inconclusive) and the credit fallback handles it;");
+    t.note("honest relays are never accused (false accusations = 0)");
+    t.render()
+}
+
+/// A4: RSA key size — signing/verification wall time and proof bytes.
+pub fn ablation_keysize() -> String {
+    let mut t = Table::new(
+        "A4 — ablation: RSA modulus size (host-side costs)",
+        &["bits", "keygen (ms)", "sign (µs)", "verify (µs)", "proof bytes"],
+    );
+    for &bits in &[512u32, 768, 1024] {
+        let mut rng = ChaCha12Rng::seed_from_u64(bits as u64);
+        let t0 = std::time::Instant::now();
+        let kp = KeyPair::generate(bits, &mut rng);
+        let keygen_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let msg = b"[IIP, seq]ISK";
+        let t1 = std::time::Instant::now();
+        let iters = 20;
+        let mut sig = kp.sign(msg);
+        for _ in 1..iters {
+            sig = kp.sign(msg);
+        }
+        let sign_us = t1.elapsed().as_secs_f64() * 1e6 / iters as f64;
+        let t2 = std::time::Instant::now();
+        for _ in 0..iters {
+            kp.public().verify(msg, &sig).expect("valid");
+        }
+        let verify_us = t2.elapsed().as_secs_f64() * 1e6 / iters as f64;
+        let proof_bytes = sig.to_bytes().len() + kp.public().to_bytes().len() + 8;
+        t.rowv(vec![
+            bits.to_string(),
+            format!("{keygen_ms:.1}"),
+            format!("{sign_us:.0}"),
+            format!("{verify_us:.0}"),
+            proof_bytes.to_string(),
+        ]);
+    }
+    t.note("protocol correctness is key-size independent; cost scales ~cubically in bits");
+    t.note("every RREQ relay pays one sign; every verifying destination pays hops+1 verifies");
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manet_secure::scenario::host_name;
+    use manet_sim::Field;
+    use manet_wire::DomainName;
+
+    #[test]
+    fn e1_detects_at_multiple_hops() {
+        let s = exhibit_e1(true);
+        assert!(s.contains("E1"));
+        // Every zero-loss row should show full detection.
+        for line in s.lines().filter(|l| l.contains("0.00")) {
+            assert!(line.contains("3/3"), "zero-loss detection must be 3/3: {line}");
+        }
+    }
+
+    #[test]
+    fn e3_baseline_row_is_healthy() {
+        let s = exhibit_e3(true);
+        let baseline = s.lines().find(|l| l.contains("none (baseline)")).unwrap();
+        // Both stacks deliver ≥ 0.9 in the clean case.
+        let nums: Vec<f64> = baseline
+            .split_whitespace()
+            .filter_map(|w| w.parse::<f64>().ok())
+            .collect();
+        assert!(nums.iter().take(2).all(|&x| x > 0.9), "{baseline}");
+    }
+
+    #[test]
+    fn e4_credits_on_beats_off_in_late_buckets() {
+        let s = exhibit_e4(true);
+        assert!(s.contains("E4"));
+        // The last bucket row: credits-on delivery ≥ credits-off.
+        let last = s
+            .lines()
+            .rfind(|l| l.contains("–"))
+            .expect("bucket rows");
+        let nums: Vec<f64> = last
+            .split_whitespace()
+            .filter_map(|w| w.parse::<f64>().ok())
+            .collect();
+        assert!(nums.len() >= 2, "{last}");
+        assert!(nums[0] >= nums[1], "credits-on ≥ credits-off in the end: {last}");
+    }
+
+    #[test]
+    fn a1_grows_linearly() {
+        let s = ablation_srr();
+        assert!(s.contains("A1"));
+        assert!(s.contains("8"));
+    }
+
+    #[test]
+    fn a4_reports_three_sizes() {
+        let s = ablation_keysize();
+        for bits in ["512", "768", "1024"] {
+            assert!(s.contains(bits));
+        }
+    }
+
+    #[test]
+    fn field_type_is_used() {
+        // Keep the import honest (scenario fields are Field-typed).
+        let f = Field::new(1.0, 1.0);
+        assert!(f.contains(&Pos::new(0.5, 0.5)));
+        let _ = DomainName::new("x.y");
+        let _ = host_name(0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Attacker models — Section 4 of the paper, made executable.
+//!
+//! Each constructor returns a [`Behavior`] whose switches make a node
+//! mount one of the attacks the paper analyses. Handing such a behavior
+//! to [`crate::SecureNode::with_behavior`] or
+//! [`crate::PlainDsrNode::with_behavior`] yields an attacker that speaks
+//! byte-identical wire formats: whatever stops it is cryptography, not
+//! incompatibility.
+//!
+//! | Paper's attack (§4) | Behavior | Secure-stack outcome |
+//! |---|---|---|
+//! | Black hole | [`black_hole`] | Forged RREPs fail CGA; drops show as ack timeouts → credits shift routes away |
+//! | Impersonation | [`impersonator`] | RREPs claiming the victim's address fail the `H(PK, rn)` check |
+//! | Replayed AREP/RREP | [`replayer`] | Stale challenge / sequence binding fails verification |
+//! | Forged RERR | [`rerr_forger`] | Signed self-reports pass but cross the frequency threshold → slashed |
+//! | DNS impersonation | [`dns_impersonator`] | Forged replies fail the known-DNS-key check |
+//! | Address squatting (DAD denial) | [`dad_squatter`] | AREPs without the matching private key are rejected; the joiner keeps its address |
+//! | Grey hole | [`grey_hole`] | Partial drops accumulate timeout penalties |
+
+use crate::config::Behavior;
+use manet_wire::Ipv6Addr;
+
+/// Black hole: attract routes by forging RREPs, then swallow all data.
+pub fn black_hole() -> Behavior {
+    Behavior {
+        data_drop_prob: 1.0,
+        forge_rrep: true,
+        ..Behavior::default()
+    }
+}
+
+/// A quieter black hole that does not forge routes — it participates
+/// honestly in the control plane (which a secure attacker *can* do, since
+/// it owns a valid identity) and silently drops data it relays. This is
+/// the variant the credit system exists for.
+pub fn data_dropper() -> Behavior {
+    Behavior {
+        data_drop_prob: 1.0,
+        ..Behavior::default()
+    }
+}
+
+/// Grey hole: drop a fraction of relayed data.
+pub fn grey_hole(drop_prob: f64) -> Behavior {
+    assert!((0.0..=1.0).contains(&drop_prob));
+    Behavior {
+        data_drop_prob: drop_prob,
+        ..Behavior::default()
+    }
+}
+
+/// Impersonation: answer route requests claiming to be `victim`.
+pub fn impersonator(victim: Ipv6Addr) -> Behavior {
+    Behavior {
+        forge_rrep: true,
+        impersonate: Some(victim),
+        data_drop_prob: 1.0,
+        ..Behavior::default()
+    }
+}
+
+/// Replay: capture AREP/RREP messages and replay them into later
+/// protocol runs.
+pub fn replayer() -> Behavior {
+    Behavior {
+        replay: true,
+        ..Behavior::default()
+    }
+}
+
+/// Forged/spammed RERR: report links broken after forwarding on them.
+pub fn rerr_forger() -> Behavior {
+    Behavior {
+        rerr_spam: true,
+        ..Behavior::default()
+    }
+}
+
+/// DNS impersonation: answer relayed DNS queries with forged replies.
+pub fn dns_impersonator() -> Behavior {
+    Behavior {
+        forge_dns: true,
+        ..Behavior::default()
+    }
+}
+
+/// Address squatting: claim every address announced in DAD, attempting
+/// to deny newcomers an address.
+pub fn dad_squatter() -> Behavior {
+    Behavior {
+        squat_dad: true,
+        ..Behavior::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_flip_expected_switches() {
+        assert!(black_hole().forge_rrep);
+        assert_eq!(black_hole().data_drop_prob, 1.0);
+        assert!(!data_dropper().forge_rrep);
+        assert_eq!(grey_hole(0.5).data_drop_prob, 0.5);
+        assert!(replayer().replay);
+        assert!(rerr_forger().rerr_spam);
+        assert!(dns_impersonator().forge_dns);
+        assert!(dad_squatter().squat_dad);
+    }
+
+    #[test]
+    fn impersonator_targets_victim() {
+        let v = Ipv6Addr::from_groups([0xfec0, 0, 0, 0, 0, 0, 0, 1]);
+        let b = impersonator(v);
+        assert_eq!(b.impersonate, Some(v));
+        assert!(!b.is_honest());
+    }
+
+    #[test]
+    #[should_panic]
+    fn grey_hole_rejects_bad_probability() {
+        grey_hole(1.5);
+    }
+}

@@ -1,0 +1,193 @@
+//! Credit management (Section 3.4).
+//!
+//! Every source keeps a credit per host that has relayed for it: +reward
+//! when a data packet is end-to-end acknowledged, a small penalty for
+//! every relay of a timed-out packet, and a large slash when a host is
+//! identified as misbehaving (e.g. its RERR report rate crosses the
+//! threshold). Route selection prefers the route whose *minimum* credit
+//! is highest — "S should try to choose a route in which all hosts
+//! exhibit high credits".
+
+use crate::config::CreditConfig;
+use manet_wire::Ipv6Addr;
+use std::collections::HashMap;
+
+/// Per-source credit table.
+#[derive(Debug)]
+pub struct CreditManager {
+    cfg: CreditConfig,
+    credits: HashMap<Ipv6Addr, i64>,
+    /// RERR reports seen per reporting host.
+    rerr_counts: HashMap<Ipv6Addr, u32>,
+}
+
+impl CreditManager {
+    pub fn new(cfg: CreditConfig) -> Self {
+        CreditManager {
+            cfg,
+            credits: HashMap::new(),
+            rerr_counts: HashMap::new(),
+        }
+    }
+
+    /// Credit of a host (the configured initial value if unseen).
+    pub fn credit(&self, host: &Ipv6Addr) -> i64 {
+        self.credits.get(host).copied().unwrap_or(self.cfg.initial)
+    }
+
+    /// Reward every relay of an acknowledged route ("the credit of each
+    /// host in the route is increased by one").
+    pub fn reward_route(&mut self, relays: &[Ipv6Addr]) {
+        for r in relays {
+            *self.credits.entry(*r).or_insert(self.cfg.initial) += self.cfg.reward;
+        }
+    }
+
+    /// Penalize every relay of a route whose end-to-end ack timed out.
+    /// Individually weak evidence; black holes accumulate it fast because
+    /// every route through them times out.
+    pub fn penalize_route(&mut self, relays: &[Ipv6Addr]) {
+        for r in relays {
+            *self.credits.entry(*r).or_insert(self.cfg.initial) -= self.cfg.timeout_penalty;
+        }
+    }
+
+    /// Hard slash for identified misbehaviour ("decreased by a very large
+    /// amount").
+    pub fn slash(&mut self, host: &Ipv6Addr) {
+        *self.credits.entry(*host).or_insert(self.cfg.initial) -= self.cfg.slash;
+    }
+
+    /// Record a RERR from `reporter` about the link to `next`. Returns
+    /// true (and slashes both ends) when the reporter crosses the
+    /// frequency threshold — "the RERR reporting node or the node next to
+    /// the reporting node might be a hostile node".
+    pub fn record_rerr(&mut self, reporter: &Ipv6Addr, next: &Ipv6Addr) -> bool {
+        let n = self.rerr_counts.entry(*reporter).or_insert(0);
+        *n += 1;
+        if *n >= self.cfg.rerr_threshold {
+            self.slash(reporter);
+            self.slash(next);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The route-selection score: the minimum credit across relays
+    /// (`i64::MAX` for a direct route with no relays).
+    pub fn route_score(&self, relays: &[Ipv6Addr]) -> i64 {
+        relays
+            .iter()
+            .map(|r| self.credit(r))
+            .min()
+            .unwrap_or(i64::MAX)
+    }
+
+    /// Should this route be avoided outright (any relay below the
+    /// avoidance floor)?
+    pub fn route_avoided(&self, relays: &[Ipv6Addr]) -> bool {
+        self.cfg.enabled && relays.iter().any(|r| self.credit(r) < self.cfg.avoid_below)
+    }
+
+    /// Is credit-based selection on?
+    pub fn enabled(&self) -> bool {
+        self.cfg.enabled
+    }
+
+    /// Hosts currently considered hostile (below the avoidance floor).
+    pub fn hostile_hosts(&self) -> Vec<Ipv6Addr> {
+        self.credits
+            .iter()
+            .filter(|(_, &c)| c < self.cfg.avoid_below)
+            .map(|(ip, _)| *ip)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(last: u16) -> Ipv6Addr {
+        Ipv6Addr::from_groups([0xfec0, 0, 0, 0, 0, 0, 0, last])
+    }
+
+    fn mgr() -> CreditManager {
+        CreditManager::new(CreditConfig::default())
+    }
+
+    #[test]
+    fn unseen_hosts_start_at_initial() {
+        let m = mgr();
+        assert_eq!(m.credit(&ip(1)), 0);
+    }
+
+    #[test]
+    fn rewards_accumulate_per_relay() {
+        let mut m = mgr();
+        m.reward_route(&[ip(1), ip(2)]);
+        m.reward_route(&[ip(1)]);
+        assert_eq!(m.credit(&ip(1)), 2);
+        assert_eq!(m.credit(&ip(2)), 1);
+        assert_eq!(m.credit(&ip(3)), 0);
+    }
+
+    #[test]
+    fn slash_dominates_rewards() {
+        let mut m = mgr();
+        for _ in 0..50 {
+            m.reward_route(&[ip(1)]);
+        }
+        m.slash(&ip(1));
+        assert!(m.credit(&ip(1)) < 0, "slash must wipe out 50 rewards");
+    }
+
+    #[test]
+    fn rerr_threshold_slashes_both_ends() {
+        let mut m = mgr();
+        assert!(!m.record_rerr(&ip(1), &ip(2)));
+        assert!(!m.record_rerr(&ip(1), &ip(2)));
+        assert!(m.record_rerr(&ip(1), &ip(2)), "third report crosses threshold");
+        assert!(m.credit(&ip(1)) <= -100);
+        assert!(m.credit(&ip(2)) <= -100);
+    }
+
+    #[test]
+    fn route_score_is_min_credit() {
+        let mut m = mgr();
+        m.reward_route(&[ip(1), ip(1), ip(1)]); // ip1 = 3
+        m.reward_route(&[ip(2)]); // ip2 = 1
+        assert_eq!(m.route_score(&[ip(1), ip(2)]), 1);
+        assert_eq!(m.route_score(&[]), i64::MAX, "direct route is best");
+    }
+
+    #[test]
+    fn avoidance_kicks_in_below_floor() {
+        let mut m = mgr();
+        assert!(!m.route_avoided(&[ip(1)]));
+        m.slash(&ip(1));
+        assert!(m.route_avoided(&[ip(1), ip(2)]));
+        assert!(!m.route_avoided(&[ip(2)]));
+        assert_eq!(m.hostile_hosts(), vec![ip(1)]);
+    }
+
+    #[test]
+    fn disabled_credits_never_avoid() {
+        let mut m = CreditManager::new(CreditConfig {
+            enabled: false,
+            ..CreditConfig::default()
+        });
+        m.slash(&ip(1));
+        assert!(!m.route_avoided(&[ip(1)]));
+    }
+
+    #[test]
+    fn timeout_penalty_is_gentle() {
+        let mut m = mgr();
+        m.penalize_route(&[ip(1)]);
+        let after_one = m.credit(&ip(1));
+        assert!(after_one < 0);
+        assert!(after_one > -CreditConfig::default().slash);
+    }
+}

@@ -1,0 +1,231 @@
+//! The per-frame envelope: our stand-in for the IPv6 header plus the
+//! (DSR-style) routing header.
+//!
+//! Every frame on the air is `Envelope { src_ip, source_route, msg }`:
+//!
+//! * `src_ip` — the transmitting interface's address (`::` while a host
+//!   is still in DAD, exactly like real IPv6 DAD probes). Receivers feed
+//!   it into their neighbor cache. It is *unauthenticated*, like a real
+//!   IP source field — nothing security-relevant trusts it.
+//! * `source_route` + `sr_index` — present on unicast multi-hop packets:
+//!   the full path including both endpoints plus a segments-left-style
+//!   cursor (the index of the hop the frame is currently addressed to),
+//!   the moral equivalent of the IPv6 routing header DSR uses. The
+//!   per-message `RR` fields from Table 1 stay untouched payload.
+
+use bytes::BufMut;
+use manet_wire::{CodecError, Ipv6Addr, Message, RouteRecord};
+
+/// A framed packet.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Envelope {
+    /// Transmitter's current address (`UNSPECIFIED` during DAD).
+    pub src_ip: Ipv6Addr,
+    /// Full forwarding path (source first, final destination last), if
+    /// this packet is source-routed unicast.
+    pub source_route: Option<RouteRecord>,
+    /// Index into `source_route` of the hop this frame is addressed to.
+    /// Meaningless when `source_route` is `None`.
+    pub sr_index: u16,
+    pub msg: Message,
+}
+
+impl Envelope {
+    /// A locally-originated broadcast (floods: AREQ, RREQ).
+    pub fn broadcast(src_ip: Ipv6Addr, msg: Message) -> Self {
+        Envelope {
+            src_ip,
+            source_route: None,
+            sr_index: 0,
+            msg,
+        }
+    }
+
+    /// A source-routed unicast along `path` (≥ 2 entries: source first,
+    /// destination last), freshly addressed to the second entry.
+    pub fn routed(src_ip: Ipv6Addr, path: RouteRecord, msg: Message) -> Self {
+        debug_assert!(path.len() >= 2, "source route needs both endpoints");
+        Envelope {
+            src_ip,
+            source_route: Some(path),
+            sr_index: 1,
+            msg,
+        }
+    }
+
+    /// The hop this frame is currently addressed to.
+    pub fn current_hop(&self) -> Option<Ipv6Addr> {
+        let sr = self.source_route.as_ref()?;
+        sr.0.get(self.sr_index as usize).copied()
+    }
+
+    /// The final destination of the source route.
+    pub fn final_dst(&self) -> Option<Ipv6Addr> {
+        self.source_route.as_ref()?.0.last().copied()
+    }
+
+    /// Is the currently addressed hop the final destination?
+    pub fn at_final_hop(&self) -> bool {
+        match &self.source_route {
+            Some(sr) => self.sr_index as usize == sr.len() - 1,
+            None => false,
+        }
+    }
+
+    /// Serialize.
+    pub fn encode(&self) -> Vec<u8> {
+        let msg_bytes = self.msg.encode();
+        let mut out = Vec::with_capacity(24 + msg_bytes.len());
+        out.put_slice(&self.src_ip.0);
+        match &self.source_route {
+            None => out.put_u8(0),
+            Some(rr) => {
+                out.put_u8(1);
+                out.put_u16(self.sr_index);
+                out.put_u16(rr.0.len() as u16);
+                for a in &rr.0 {
+                    out.put_slice(&a.0);
+                }
+            }
+        }
+        out.extend_from_slice(&msg_bytes);
+        out
+    }
+
+    /// Strict decode.
+    pub fn decode(buf: &[u8]) -> Result<Envelope, CodecError> {
+        if buf.len() < 17 {
+            return Err(CodecError::Truncated);
+        }
+        let src_ip = Ipv6Addr(buf[..16].try_into().expect("16 bytes"));
+        let mut rest = &buf[16..];
+        let has_route = rest[0];
+        rest = &rest[1..];
+        let (source_route, sr_index) = match has_route {
+            0 => (None, 0),
+            1 => {
+                if rest.len() < 4 {
+                    return Err(CodecError::Truncated);
+                }
+                let idx = u16::from_be_bytes([rest[0], rest[1]]);
+                let n = u16::from_be_bytes([rest[2], rest[3]]) as usize;
+                rest = &rest[4..];
+                if n > 256 {
+                    return Err(CodecError::LengthOverflow);
+                }
+                if (idx as usize) >= n {
+                    return Err(CodecError::LengthOverflow);
+                }
+                if rest.len() < n * 16 {
+                    return Err(CodecError::Truncated);
+                }
+                let mut path = Vec::with_capacity(n);
+                for i in 0..n {
+                    path.push(Ipv6Addr(
+                        rest[i * 16..(i + 1) * 16].try_into().expect("16 bytes"),
+                    ));
+                }
+                rest = &rest[n * 16..];
+                (Some(RouteRecord(path)), idx)
+            }
+            _ => return Err(CodecError::LengthOverflow),
+        };
+        let msg = Message::decode(rest)?;
+        Ok(Envelope {
+            src_ip,
+            source_route,
+            sr_index,
+            msg,
+        })
+    }
+
+    /// Total frame size in bytes.
+    pub fn wire_size(&self) -> usize {
+        self.encode().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manet_wire::{PlainRerr, Seq};
+
+    fn ip(last: u16) -> Ipv6Addr {
+        Ipv6Addr::from_groups([0xfec0, 0, 0, 0, 0, 0, 0, last])
+    }
+
+    fn msg() -> Message {
+        Message::PlainRreq(manet_wire::PlainRreq {
+            sip: ip(1),
+            dip: ip(2),
+            seq: Seq(3),
+            rr: RouteRecord(vec![ip(4)]),
+        })
+    }
+
+    #[test]
+    fn broadcast_roundtrip() {
+        let e = Envelope::broadcast(ip(1), msg());
+        assert_eq!(Envelope::decode(&e.encode()).unwrap(), e);
+        assert_eq!(e.current_hop(), None);
+        assert!(!e.at_final_hop());
+    }
+
+    #[test]
+    fn routed_roundtrip_and_cursor() {
+        let e = Envelope::routed(ip(1), RouteRecord(vec![ip(1), ip(2), ip(3)]), msg());
+        let back = Envelope::decode(&e.encode()).unwrap();
+        assert_eq!(back, e);
+        assert_eq!(back.current_hop(), Some(ip(2)));
+        assert_eq!(back.final_dst(), Some(ip(3)));
+        assert!(!back.at_final_hop());
+        let mut last = back.clone();
+        last.sr_index = 2;
+        assert!(last.at_final_hop());
+        assert_eq!(last.current_hop(), Some(ip(3)));
+    }
+
+    #[test]
+    fn unspecified_source_during_dad() {
+        let e = Envelope::broadcast(manet_wire::UNSPECIFIED, msg());
+        let back = Envelope::decode(&e.encode()).unwrap();
+        assert!(back.src_ip.is_unspecified());
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let e = Envelope::routed(ip(1), RouteRecord(vec![ip(1), ip(2)]), msg());
+        let bytes = e.encode();
+        for cut in 0..bytes.len() {
+            assert!(Envelope::decode(&bytes[..cut]).is_err(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn bad_route_flag_rejected() {
+        let e = Envelope::broadcast(ip(1), msg());
+        let mut bytes = e.encode();
+        bytes[16] = 7; // invalid has_route discriminant
+        assert!(Envelope::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn out_of_range_cursor_rejected() {
+        let e = Envelope::routed(ip(1), RouteRecord(vec![ip(1), ip(2)]), msg());
+        let mut bytes = e.encode();
+        // sr_index bytes sit right after the flag.
+        bytes[17] = 0;
+        bytes[18] = 9;
+        assert_eq!(Envelope::decode(&bytes), Err(CodecError::LengthOverflow));
+    }
+
+    #[test]
+    fn envelope_overhead_is_small_for_broadcast() {
+        let m = Message::PlainRerr(PlainRerr {
+            iip: ip(1),
+            i2ip: ip(2),
+        });
+        let e = Envelope::broadcast(ip(3), m.clone());
+        assert_eq!(e.wire_size(), 16 + 1 + m.wire_size());
+    }
+}

@@ -1,0 +1,209 @@
+//! Host identity: the key pair, the CGA modifier, and the resulting
+//! address, plus the verification helpers every receiver runs.
+
+use manet_crypto::{KeyPair, PublicKey, RsaError, Signature};
+use manet_wire::{cga, CgaError, IdentityProof, Ipv6Addr};
+use rand::Rng;
+
+/// A host's cryptographic identity and current CGA.
+pub struct HostIdentity {
+    keypair: KeyPair,
+    rn: u64,
+    ip: Ipv6Addr,
+}
+
+impl HostIdentity {
+    /// Generate a fresh identity: new key pair, random modifier, CGA.
+    pub fn generate<R: Rng>(key_bits: u32, rng: &mut R) -> Self {
+        let keypair = KeyPair::generate(key_bits, rng);
+        let rn = rng.gen();
+        let ip = cga::generate(keypair.public(), rn);
+        HostIdentity { keypair, rn, ip }
+    }
+
+    /// Build from an existing key pair (e.g. the DNS server whose public
+    /// key was distributed out of band).
+    pub fn from_keypair<R: Rng>(keypair: KeyPair, rng: &mut R) -> Self {
+        let rn = rng.gen();
+        let ip = cga::generate(keypair.public(), rn);
+        HostIdentity { keypair, rn, ip }
+    }
+
+    /// Current address.
+    pub fn ip(&self) -> Ipv6Addr {
+        self.ip
+    }
+
+    /// Current CGA modifier.
+    pub fn rn(&self) -> u64 {
+        self.rn
+    }
+
+    /// Public key.
+    pub fn public(&self) -> &PublicKey {
+        self.keypair.public()
+    }
+
+    /// Re-roll the modifier after a collision (Section 3.1: "generate a
+    /// new IP address (with a new rn) ... while PK is kept unchanged").
+    pub fn reroll<R: Rng>(&mut self, rng: &mut R) -> Ipv6Addr {
+        self.rn = rng.gen();
+        self.ip = cga::generate(self.keypair.public(), self.rn);
+        self.ip
+    }
+
+    /// Switch to a specific modifier (IP-change flow, Section 3.2).
+    pub fn set_rn(&mut self, rn: u64) -> Ipv6Addr {
+        self.rn = rn;
+        self.ip = cga::generate(self.keypair.public(), rn);
+        self.ip
+    }
+
+    /// Sign `payload` and attach our key material: the `([…]XSK, XPK,
+    /// Xrn)` triple that travels in every secure message.
+    pub fn prove(&self, payload: &[u8]) -> IdentityProof {
+        IdentityProof {
+            pk: self.keypair.public().clone(),
+            rn: self.rn,
+            sig: self.keypair.sign(payload),
+        }
+    }
+
+    /// Plain signature without the key/rn attachment (for messages
+    /// verified against an out-of-band key, like everything the DNS signs).
+    pub fn sign(&self, payload: &[u8]) -> Signature {
+        self.keypair.sign(payload)
+    }
+}
+
+impl std::fmt::Debug for HostIdentity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "HostIdentity({}, rn={:#x})", self.ip, self.rn)
+    }
+}
+
+/// Why a received identity proof was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProofError {
+    /// The claimed address is not the CGA of the attached key material.
+    Cga(CgaError),
+    /// The signature does not verify under the attached key.
+    Signature,
+}
+
+impl std::fmt::Display for ProofError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProofError::Cga(e) => write!(f, "CGA check failed: {e}"),
+            ProofError::Signature => write!(f, "signature check failed"),
+        }
+    }
+}
+
+impl std::error::Error for ProofError {}
+
+/// The two-step check from Sections 3.1/3.3: (1) the lower part of
+/// `claimed_ip` equals `H(PK, rn)` for the attached key material, and
+/// (2) the signature over `payload` verifies under that key.
+pub fn verify_proof(
+    claimed_ip: &Ipv6Addr,
+    payload: &[u8],
+    proof: &IdentityProof,
+) -> Result<(), ProofError> {
+    cga::verify(claimed_ip, &proof.pk, proof.rn).map_err(ProofError::Cga)?;
+    proof
+        .pk
+        .verify(payload, &proof.sig)
+        .map_err(|_: RsaError| ProofError::Signature)
+}
+
+/// Verify a signature against an out-of-band-known key (the DNS case:
+/// every host knows `NPK` a priori, so no CGA check applies).
+pub fn verify_known_key(
+    pk: &PublicKey,
+    payload: &[u8],
+    sig: &Signature,
+) -> Result<(), ProofError> {
+    pk.verify(payload, sig).map_err(|_| ProofError::Signature)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    fn rng(seed: u64) -> ChaCha12Rng {
+        ChaCha12Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn generated_identity_owns_its_address() {
+        let mut r = rng(1);
+        let id = HostIdentity::generate(512, &mut r);
+        assert!(id.ip().is_site_local());
+        let proof = id.prove(b"payload");
+        assert_eq!(verify_proof(&id.ip(), b"payload", &proof), Ok(()));
+    }
+
+    #[test]
+    fn proof_fails_for_wrong_payload() {
+        let mut r = rng(2);
+        let id = HostIdentity::generate(512, &mut r);
+        let proof = id.prove(b"payload");
+        assert_eq!(
+            verify_proof(&id.ip(), b"other", &proof),
+            Err(ProofError::Signature)
+        );
+    }
+
+    #[test]
+    fn proof_fails_for_wrong_address() {
+        let mut r = rng(3);
+        let id = HostIdentity::generate(512, &mut r);
+        let victim = HostIdentity::generate(512, &mut r);
+        // Attacker signs correctly with its own key but claims the
+        // victim's address: the CGA check catches it.
+        let proof = id.prove(b"payload");
+        assert!(matches!(
+            verify_proof(&victim.ip(), b"payload", &proof),
+            Err(ProofError::Cga(CgaError::InterfaceIdMismatch))
+        ));
+    }
+
+    #[test]
+    fn reroll_changes_address_not_key() {
+        let mut r = rng(4);
+        let mut id = HostIdentity::generate(512, &mut r);
+        let ip1 = id.ip();
+        let pk1 = id.public().clone();
+        let ip2 = id.reroll(&mut r);
+        assert_ne!(ip1, ip2);
+        assert_eq!(*id.public(), pk1);
+        let proof = id.prove(b"x");
+        assert_eq!(verify_proof(&ip2, b"x", &proof), Ok(()));
+        assert!(verify_proof(&ip1, b"x", &proof).is_err());
+    }
+
+    #[test]
+    fn set_rn_is_deterministic() {
+        let mut r = rng(5);
+        let mut id = HostIdentity::generate(512, &mut r);
+        let a = id.set_rn(42);
+        let b = id.set_rn(43);
+        assert_ne!(a, b);
+        assert_eq!(id.set_rn(42), a);
+    }
+
+    #[test]
+    fn known_key_verification() {
+        let mut r = rng(6);
+        let id = HostIdentity::generate(512, &mut r);
+        let sig = id.sign(b"dns says so");
+        assert_eq!(verify_known_key(id.public(), b"dns says so", &sig), Ok(()));
+        assert_eq!(
+            verify_known_key(id.public(), b"dns says no", &sig),
+            Err(ProofError::Signature)
+        );
+    }
+}

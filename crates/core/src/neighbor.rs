@@ -1,0 +1,120 @@
+//! Neighbor cache: IPv6 address → link-layer node, learned from the
+//! (unauthenticated) source field of received frames.
+//!
+//! This plays the role of IPv6 neighbor discovery's link-layer address
+//! resolution. Entries age out so a departed neighbor eventually stops
+//! being a forwarding candidate; a stale entry is not a safety problem —
+//! unicast to a gone node surfaces as a link failure, which is exactly
+//! the protocol's RERR trigger.
+
+use manet_sim::{NodeId, SimDuration, SimTime};
+use manet_wire::Ipv6Addr;
+use std::collections::HashMap;
+
+/// Default entry lifetime.
+pub const DEFAULT_TTL: SimDuration = SimDuration(30_000_000); // 30 s
+
+/// IPv6 → link neighbor mapping with last-heard timestamps.
+#[derive(Debug)]
+pub struct NeighborCache {
+    ttl: SimDuration,
+    entries: HashMap<Ipv6Addr, (NodeId, SimTime)>,
+}
+
+impl Default for NeighborCache {
+    fn default() -> Self {
+        Self::new(DEFAULT_TTL)
+    }
+}
+
+impl NeighborCache {
+    pub fn new(ttl: SimDuration) -> Self {
+        NeighborCache {
+            ttl,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// Record that `ip` was heard transmitting as link node `node` at `now`.
+    /// Unspecified sources (DAD probes) are ignored.
+    pub fn learn(&mut self, ip: Ipv6Addr, node: NodeId, now: SimTime) {
+        if ip.is_unspecified() {
+            return;
+        }
+        self.entries.insert(ip, (node, now));
+    }
+
+    /// Look up the link node for `ip` if the entry is still fresh.
+    pub fn lookup(&self, ip: &Ipv6Addr, now: SimTime) -> Option<NodeId> {
+        self.entries.get(ip).and_then(|&(node, heard)| {
+            if now.as_micros().saturating_sub(heard.as_micros()) <= self.ttl.as_micros() {
+                Some(node)
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Drop an entry (e.g. after a link failure to that neighbor).
+    pub fn forget(&mut self, ip: &Ipv6Addr) {
+        self.entries.remove(ip);
+    }
+
+    /// Number of (possibly stale) entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(last: u16) -> Ipv6Addr {
+        Ipv6Addr::from_groups([0xfec0, 0, 0, 0, 0, 0, 0, last])
+    }
+
+    #[test]
+    fn learn_and_lookup() {
+        let mut c = NeighborCache::default();
+        c.learn(ip(1), NodeId(3), SimTime(0));
+        assert_eq!(c.lookup(&ip(1), SimTime(1_000)), Some(NodeId(3)));
+        assert_eq!(c.lookup(&ip(2), SimTime(1_000)), None);
+    }
+
+    #[test]
+    fn entries_expire() {
+        let mut c = NeighborCache::new(SimDuration::from_secs(1));
+        c.learn(ip(1), NodeId(3), SimTime(0));
+        assert_eq!(c.lookup(&ip(1), SimTime(1_000_000)), Some(NodeId(3)));
+        assert_eq!(c.lookup(&ip(1), SimTime(1_000_001)), None);
+    }
+
+    #[test]
+    fn relearning_refreshes() {
+        let mut c = NeighborCache::new(SimDuration::from_secs(1));
+        c.learn(ip(1), NodeId(3), SimTime(0));
+        c.learn(ip(1), NodeId(4), SimTime(900_000));
+        // Refreshed and remapped.
+        assert_eq!(c.lookup(&ip(1), SimTime(1_800_000)), Some(NodeId(4)));
+    }
+
+    #[test]
+    fn unspecified_source_not_learned() {
+        let mut c = NeighborCache::default();
+        c.learn(manet_wire::UNSPECIFIED, NodeId(1), SimTime(0));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn forget_removes() {
+        let mut c = NeighborCache::default();
+        c.learn(ip(1), NodeId(3), SimTime(0));
+        c.forget(&ip(1));
+        assert_eq!(c.lookup(&ip(1), SimTime(0)), None);
+    }
+}

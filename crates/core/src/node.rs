@@ -1,0 +1,1908 @@
+//! The secure MANET node: CGA identity, secure DAD bootstrap, secure DSR
+//! routing with credits — the paper's Section 3 in one `Protocol`
+//! implementation.
+//!
+//! One struct covers every role. A node constructed with
+//! [`SecureNode::new_dns`] additionally runs the DNS server state
+//! (Section 3.2); a node constructed with a non-default
+//! [`crate::config::Behavior`] misbehaves in the configured ways
+//! (Section 4's attacker models). Keeping attackers inside the same
+//! implementation guarantees they speak byte-identical wire formats —
+//! their packets are rejected by *cryptography*, not by accidental
+//! incompatibility.
+
+use crate::config::{Behavior, ProtocolConfig};
+use crate::credit::CreditManager;
+use crate::dns::DnsState;
+use crate::envelope::Envelope;
+use crate::identity::{verify_known_key, verify_proof, HostIdentity};
+use crate::neighbor::NeighborCache;
+use crate::routecache::{CachedRoute, RouteCache};
+use crate::stats::NodeStats;
+use manet_crypto::PublicKey;
+use manet_sim::{Ctx, Dir, NodeId, Protocol, SimTime};
+use manet_wire::{
+    sigdata, Ack, Areq, Arep, Challenge, Crep, Data, DnsQuery, DnsReply, DomainName, Drep,
+    IpChangeChallenge, IpChangeProof, IpChangeRequest, IpChangeResult, Ipv6Addr,
+    Message, Rerr, RouteRecord, Rrep, Rreq, SecureRouteRecord, Seq, SrrEntry, DNS_WELL_KNOWN,
+    UNSPECIFIED,
+};
+use rand::Rng;
+use std::any::Any;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+// Timer tag layout: kind in the top byte, payload below.
+const TAG_KIND_MASK: u64 = 0xff << 56;
+const TAG_DAD: u64 = 1 << 56;
+const TAG_RREQ: u64 = 2 << 56;
+const TAG_ACK: u64 = 3 << 56;
+const TAG_DNS_PENDING: u64 = 4 << 56;
+const TAG_DAD_PROBE: u64 = 5 << 56;
+const TAG_ROUTE_PROBE: u64 = 6 << 56;
+
+/// Bootstrap state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum NodeState {
+    /// Waiting for `on_start`.
+    Boot,
+    /// Flooded an AREQ, waiting out the DAD window.
+    Dad { seq: Seq, ch: Challenge },
+    /// Address confirmed; fully operational.
+    Ready,
+}
+
+/// An outstanding route discovery.
+#[derive(Debug)]
+struct PendingRreq {
+    seq: Seq,
+    attempts: u32,
+    started: SimTime,
+}
+
+/// A data packet awaiting its end-to-end ACK.
+#[derive(Debug)]
+struct PendingAck {
+    dip: Ipv6Addr,
+    payload: Vec<u8>,
+    relays: Vec<Ipv6Addr>,
+    retries: u32,
+    first_sent: SimTime,
+}
+
+/// Work queued until a route to `dest` exists.
+#[derive(Debug)]
+enum Queued {
+    Data { seq: Seq, payload: Vec<u8> },
+    DnsQuery { qname: DomainName, ch: Challenge },
+    ArepWarning { arep: Arep },
+    IpChangeRequest { dn: DomainName },
+}
+
+/// An outstanding route-integrity probe (Section 3.4).
+#[derive(Debug)]
+struct PendingProbe {
+    dip: Ipv6Addr,
+    /// Hops expected to acknowledge: the relays, then the destination.
+    expected: Vec<Ipv6Addr>,
+    acked: HashSet<Ipv6Addr>,
+}
+
+/// State of an in-flight IP change (Section 3.2).
+#[derive(Debug)]
+struct PendingIpChange {
+    dn: DomainName,
+    old_rn: u64,
+    new_rn: u64,
+    old_ip: Ipv6Addr,
+    new_ip: Ipv6Addr,
+    /// Challenge received from the DNS (None until the challenge arrives).
+    ch: Option<Challenge>,
+}
+
+/// The secure node.
+pub struct SecureNode {
+    pub(crate) cfg: ProtocolConfig,
+    pub(crate) ident: HostIdentity,
+    pub(crate) dns_pk: PublicKey,
+    /// Domain name to register during bootstrap, if any.
+    pub(crate) desired_dn: Option<DomainName>,
+    pub(crate) behavior: Behavior,
+    pub(crate) dns: Option<DnsState>,
+
+    state: NodeState,
+    next_seq: u64,
+    pub(crate) neighbors: NeighborCache,
+    pub(crate) route_cache: RouteCache,
+    pub(crate) credits: CreditManager,
+    pub(crate) stats: NodeStats,
+
+    /// Flood dedup for AREQs. The challenge is part of the key: `seq` is
+    /// only unique *per initiator*, and the interesting DAD case is two
+    /// initiators claiming the same SIP — their floods must not collapse.
+    seen_areqs: HashSet<(Ipv6Addr, u64, u64)>,
+    /// `(seq, ch)` of every AREQ we ourselves flooded, so a late echo of
+    /// our own probe is never mistaken for a foreign claim on our address.
+    my_dad_probes: HashSet<(u64, u64)>,
+    seen_rreqs: HashSet<(Ipv6Addr, u64)>,
+    /// As destination: how many copies of each RREQ we already answered
+    /// (up to `cfg.rrep_multi` for route diversity).
+    answered_rreqs: HashMap<(Ipv6Addr, u64), u32>,
+    /// Recently satisfied discoveries, so late extra RREPs for the same
+    /// sequence can still be cached as alternate routes.
+    recent_rreqs: HashMap<Ipv6Addr, (Seq, SimTime)>,
+    pending_rreqs: HashMap<Ipv6Addr, PendingRreq>,
+    pending_acks: HashMap<u64, PendingAck>,
+    send_buffer: VecDeque<(Ipv6Addr, Queued)>,
+    /// Challenges of our outstanding DNS resolutions, by name.
+    pending_resolves: HashMap<DomainName, Challenge>,
+    pending_ip_change: Option<PendingIpChange>,
+    /// Route probes awaiting per-hop acks, by probe sequence number.
+    pending_probes: HashMap<u64, PendingProbe>,
+    /// Consecutive end-to-end ack timeouts per destination (probe trigger).
+    consecutive_timeouts: HashMap<Ipv6Addr, u32>,
+
+    /// Probe-retransmission timers of the current DAD attempt, cancelled
+    /// when the attempt restarts.
+    dad_probe_timers: Vec<manet_sim::TimerHandle>,
+
+    /// Replay attacker's capture buffers.
+    observed_areps: Vec<Arep>,
+    observed_rreps: Vec<Rrep>,
+}
+
+impl SecureNode {
+    /// An ordinary (honest) host. `dns_pk` is the one piece of
+    /// pre-configuration the paper allows: "a host only needs to know the
+    /// public key of the DNS server prior to entering the MANET".
+    pub fn new<R: Rng>(
+        cfg: ProtocolConfig,
+        dns_pk: PublicKey,
+        desired_dn: Option<DomainName>,
+        rng: &mut R,
+    ) -> Self {
+        Self::with_behavior(cfg, dns_pk, desired_dn, Behavior::default(), rng)
+    }
+
+    /// A host with attacker switches.
+    pub fn with_behavior<R: Rng>(
+        cfg: ProtocolConfig,
+        dns_pk: PublicKey,
+        desired_dn: Option<DomainName>,
+        behavior: Behavior,
+        rng: &mut R,
+    ) -> Self {
+        let ident = HostIdentity::generate(cfg.key_bits, rng);
+        Self::assemble(cfg, ident, dns_pk, desired_dn, behavior, None)
+    }
+
+    /// A host with a caller-supplied identity. This is how tests inject
+    /// address collisions (two hosts sharing a key pair and `rn` generate
+    /// the same CGA) and how a deployment would load a persisted key.
+    pub fn with_identity(
+        cfg: ProtocolConfig,
+        ident: HostIdentity,
+        dns_pk: PublicKey,
+        desired_dn: Option<DomainName>,
+        behavior: Behavior,
+    ) -> Self {
+        Self::assemble(cfg, ident, dns_pk, desired_dn, behavior, None)
+    }
+
+    /// The DNS server node. Its identity *is* the DNS key pair; its
+    /// public half must be handed to every other node. `pre_registered`
+    /// holds the permanent (name, address) entries established "before
+    /// the network is formed".
+    pub fn new_dns<R: Rng>(
+        cfg: ProtocolConfig,
+        pre_registered: Vec<(DomainName, Ipv6Addr)>,
+        rng: &mut R,
+    ) -> Self {
+        let keypair = manet_crypto::KeyPair::generate(cfg.key_bits, rng);
+        let ident = HostIdentity::from_keypair(keypair, rng);
+        let dns_pk = ident.public().clone();
+        Self::assemble(
+            cfg,
+            ident,
+            dns_pk,
+            None,
+            Behavior::default(),
+            Some(DnsState::new(pre_registered)),
+        )
+    }
+
+    fn assemble(
+        cfg: ProtocolConfig,
+        ident: HostIdentity,
+        dns_pk: PublicKey,
+        desired_dn: Option<DomainName>,
+        behavior: Behavior,
+        dns: Option<DnsState>,
+    ) -> Self {
+        let credits = CreditManager::new(cfg.credit.clone());
+        let route_cache = RouteCache::new(cfg.route_ttl);
+        SecureNode {
+            cfg,
+            ident,
+            dns_pk,
+            desired_dn,
+            behavior,
+            dns,
+            state: NodeState::Boot,
+            next_seq: 1,
+            neighbors: NeighborCache::default(),
+            route_cache,
+            credits,
+            stats: NodeStats::default(),
+            seen_areqs: HashSet::new(),
+            my_dad_probes: HashSet::new(),
+            seen_rreqs: HashSet::new(),
+            answered_rreqs: HashMap::new(),
+            recent_rreqs: HashMap::new(),
+            pending_rreqs: HashMap::new(),
+            pending_acks: HashMap::new(),
+            send_buffer: VecDeque::new(),
+            pending_resolves: HashMap::new(),
+            pending_ip_change: None,
+            pending_probes: HashMap::new(),
+            consecutive_timeouts: HashMap::new(),
+            dad_probe_timers: Vec::new(),
+            observed_areps: Vec::new(),
+            observed_rreps: Vec::new(),
+        }
+    }
+
+    // --- public accessors -------------------------------------------------
+
+    /// Current IPv6 address (candidate until [`Self::is_ready`]).
+    pub fn ip(&self) -> Ipv6Addr {
+        self.ident.ip()
+    }
+
+    /// The public key behind this node's CGA.
+    pub fn public_key(&self) -> &PublicKey {
+        self.ident.public()
+    }
+
+    /// Address confirmed and node operational?
+    pub fn is_ready(&self) -> bool {
+        self.state == NodeState::Ready
+    }
+
+    /// Is this node the DNS server?
+    pub fn is_dns(&self) -> bool {
+        self.dns.is_some()
+    }
+
+    /// Per-node statistics.
+    pub fn stats(&self) -> &NodeStats {
+        &self.stats
+    }
+
+    /// The credit table (Section 3.4), for inspection.
+    pub fn credits(&self) -> &CreditManager {
+        &self.credits
+    }
+
+    /// The DNS server state, if this node is the DNS.
+    pub fn dns_state(&self) -> Option<&DnsState> {
+        self.dns.as_ref()
+    }
+
+    /// Number of destinations with a cached route.
+    pub fn cached_destinations(&self) -> usize {
+        self.route_cache.len()
+    }
+
+    /// The relay list of the best cached route to `dip` at time `now`
+    /// (empty = direct), if any survives credit filtering.
+    pub fn cached_route(&self, dip: &Ipv6Addr, now: SimTime) -> Option<Vec<Ipv6Addr>> {
+        self.route_cache
+            .best(dip, &self.credits, now)
+            .map(|r| r.relays.clone())
+    }
+
+    /// Test-support: transmit an arbitrary routed message. Integration
+    /// tests use this to inject forged or malformed control traffic that
+    /// the honest API would never produce.
+    #[doc(hidden)]
+    pub fn inject_routed(&mut self, ctx: &mut Ctx, path: RouteRecord, msg: Message) -> bool {
+        self.send_routed(ctx, path, msg)
+    }
+
+    // --- application API (call via `Engine::with_protocol`) ---------------
+
+    /// Send `payload` to `dip`, discovering a route if needed.
+    pub fn send_data(&mut self, ctx: &mut Ctx, dip: Ipv6Addr, payload: Vec<u8>) {
+        self.stats.data_sent += 1;
+        ctx.count("app.data_sent", 1);
+        let seq = self.alloc_seq();
+        if self.state != NodeState::Ready {
+            self.enqueue(ctx, dip, Queued::Data { seq, payload });
+            return;
+        }
+        if !self.try_send_data(ctx, seq, dip, payload.clone(), 0) {
+            self.enqueue(ctx, dip, Queued::Data { seq, payload });
+            self.ensure_route(ctx, dip);
+        }
+    }
+
+    /// Securely resolve `qname` through the DNS (Section 3.2). The signed
+    /// answer lands in [`NodeStats::resolved`].
+    pub fn resolve(&mut self, ctx: &mut Ctx, qname: DomainName) {
+        let ch = Challenge(ctx.rng().gen());
+        self.pending_resolves.insert(qname.clone(), ch);
+        let dns_ip = DNS_WELL_KNOWN[0];
+        if self.state == NodeState::Ready {
+            if let Some(path) = self.path_to(ctx.now(), &dns_ip) {
+                let msg = Message::DnsQuery(DnsQuery {
+                    requester: self.ident.ip(),
+                    qname,
+                    ch,
+                    route: path.clone(),
+                });
+                self.send_routed(ctx, path, msg);
+                return;
+            }
+        }
+        self.enqueue(ctx, dns_ip, Queued::DnsQuery { qname, ch });
+        if self.state == NodeState::Ready {
+            self.ensure_route(ctx, dns_ip);
+        }
+    }
+
+    /// Start the Section 3.2 IP-change flow: move our DNS name to the
+    /// CGA generated by `new_rn` (same key pair).
+    pub fn request_ip_change(&mut self, ctx: &mut Ctx, new_rn: u64) {
+        let Some(dn) = self.desired_dn.clone() else {
+            return; // no registered name to move
+        };
+        let old_ip = self.ident.ip();
+        let new_ip = manet_wire::cga::generate(self.ident.public(), new_rn);
+        self.pending_ip_change = Some(PendingIpChange {
+            dn: dn.clone(),
+            old_rn: self.ident.rn(),
+            new_rn,
+            old_ip,
+            new_ip,
+            ch: None,
+        });
+        let dns_ip = DNS_WELL_KNOWN[0];
+        if self.state == NodeState::Ready {
+            if let Some(path) = self.path_to(ctx.now(), &dns_ip) {
+                let msg = Message::IpChangeRequest(IpChangeRequest {
+                    dn,
+                    old_ip,
+                    new_ip,
+                    route: path.clone(),
+                });
+                self.send_routed(ctx, path, msg);
+                return;
+            }
+            self.ensure_route(ctx, dns_ip);
+        }
+        self.enqueue(ctx, dns_ip, Queued::IpChangeRequest { dn });
+    }
+
+    // --- internals ---------------------------------------------------------
+
+    fn alloc_seq(&mut self) -> Seq {
+        let s = Seq(self.next_seq);
+        self.next_seq += 1;
+        s
+    }
+
+    fn is_my_addr(&self, ip: &Ipv6Addr) -> bool {
+        *ip == self.ident.ip() || (self.dns.is_some() && ip.is_dns_well_known())
+    }
+
+    /// An impersonator also listens on its claimed address — the point of
+    /// the CGA checks is that nothing is ever *sent* there, because its
+    /// forged replies are rejected upstream.
+    fn accepts_addr(&self, ip: &Ipv6Addr) -> bool {
+        self.is_my_addr(ip) || self.behavior.impersonate == Some(*ip)
+    }
+
+    fn enqueue(&mut self, ctx: &mut Ctx, dest: Ipv6Addr, q: Queued) {
+        if self.send_buffer.len() >= self.cfg.max_send_buffer {
+            // Oldest-first drop; count the casualty if it was data.
+            if let Some((_, Queued::Data { .. })) = self.send_buffer.pop_front() {
+                self.stats.data_failed += 1;
+                ctx.count("app.data_failed", 1);
+            }
+        }
+        self.send_buffer.push_back((dest, q));
+    }
+
+    /// Full forwarding path to `dip` from the route cache.
+    fn path_to(&self, now: SimTime, dip: &Ipv6Addr) -> Option<RouteRecord> {
+        let r = self.route_cache.best(dip, &self.credits, now)?;
+        Some(r.full_path(self.ident.ip(), *dip))
+    }
+
+    /// The paper's footnote: the last hop of an AREP (or DREP) toward a
+    /// mid-DAD host must be a link broadcast — the claimed address is not
+    /// yet legal, and during a genuine collision it is *ambiguous* (the
+    /// owner's transmissions map it to the owner in neighbor caches, so a
+    /// unicast would deliver the collision notice back to the owner).
+    fn final_hop_must_broadcast(msg: &Message, final_dst: &Ipv6Addr) -> bool {
+        match msg {
+            Message::Arep(a) => a.sip == *final_dst,
+            Message::Drep(d) => d.sip == *final_dst,
+            _ => false,
+        }
+    }
+
+    /// Transmit `msg` along `path` (this node must be `path[0]`). Returns
+    /// false when the first hop is unresolvable and no broadcast fallback
+    /// applies.
+    pub(crate) fn send_routed(&mut self, ctx: &mut Ctx, path: RouteRecord, msg: Message) -> bool {
+        debug_assert!(path.len() >= 2);
+        let next = path.0[1];
+        let at_final = path.len() == 2;
+        if at_final && Self::final_hop_must_broadcast(&msg, &next) {
+            let env = Envelope::routed(self.tx_src_ip(), path, msg);
+            self.tx(ctx, None, env);
+            return true;
+        }
+        let env = Envelope::routed(self.tx_src_ip(), path.clone(), msg);
+        let kind = env.msg.kind();
+        if let Some(node) = self.neighbors.lookup(&next, ctx.now()) {
+            self.tx(ctx, Some(node), env);
+            return true;
+        }
+        // Unknown next hop: legal only for a final hop to an address-less
+        // (mid-DAD) or silent host — fall back to link broadcast.
+        if at_final {
+            self.tx(ctx, None, env);
+            return true;
+        }
+        ctx.count("route.first_hop_unresolved", 1);
+        ctx.trace(Dir::Drop, "ROUTE", format!("{kind}: first hop {next} unresolved"));
+        false
+    }
+
+    /// Source address for outgoing frames (`::` while in DAD, like real
+    /// IPv6 DAD probes).
+    fn tx_src_ip(&self) -> Ipv6Addr {
+        match self.state {
+            NodeState::Ready => self.ident.ip(),
+            _ => UNSPECIFIED,
+        }
+    }
+
+    fn tx(&mut self, ctx: &mut Ctx, to: Option<NodeId>, env: Envelope) {
+        let kind = env.msg.kind();
+        let bytes = env.encode();
+        ctx.count("ctl.tx_msgs", 1);
+        ctx.count("ctl.tx_bytes", bytes.len() as u64);
+        if env.msg.is_table1_control() {
+            ctx.count("ctl.table1_bytes", bytes.len() as u64);
+        }
+        if !matches!(env.msg, Message::Data(_) | Message::Ack(_)) {
+            ctx.count("ctl.routing_bytes", bytes.len() as u64);
+        }
+        if ctx.tracing() {
+            let detail = match &env.source_route {
+                Some(p) => format!("→{} ({} hops)", p.0.last().expect("nonempty"), p.len() - 1),
+                None => "flood".to_owned(),
+            };
+            ctx.trace(Dir::Tx, kind, detail);
+        }
+        match to {
+            Some(node) => ctx.unicast(node, bytes),
+            None => ctx.broadcast(bytes),
+        }
+    }
+
+    fn begin_dad(&mut self, ctx: &mut Ctx) {
+        self.stats.dad_attempts += 1;
+        ctx.count("dad.attempts", 1);
+        // A restarted attempt invalidates the previous one's probe plan.
+        for h in self.dad_probe_timers.drain(..) {
+            ctx.cancel_timer(h);
+        }
+        let seq = self.alloc_seq();
+        let ch = Challenge(ctx.rng().gen());
+        self.state = NodeState::Dad { seq, ch };
+        self.send_dad_probe(ctx, seq, ch);
+        // Retransmit the probe across the window so a single lost
+        // broadcast cannot hide a duplicate.
+        let probes = self.cfg.dad_probes.max(1);
+        for i in 1..probes {
+            let delay = manet_sim::SimDuration::from_micros(
+                self.cfg.dad_timeout.as_micros() * i as u64 / probes as u64,
+            );
+            let h = ctx.set_timer(delay, TAG_DAD_PROBE);
+            self.dad_probe_timers.push(h);
+        }
+        ctx.set_timer(self.cfg.dad_timeout, TAG_DAD);
+    }
+
+    /// One AREQ flood of the current DAD attempt (fresh `seq`, so relays
+    /// do not dedup the retransmission; same `ch`, which identifies the
+    /// attempt to verifiers).
+    fn send_dad_probe(&mut self, ctx: &mut Ctx, seq: Seq, ch: Challenge) {
+        self.my_dad_probes.insert((seq.0, ch.0));
+        let areq = Areq {
+            sip: self.ident.ip(),
+            seq,
+            dn: self.desired_dn.clone(),
+            ch,
+            rr: RouteRecord::new(),
+        };
+        self.stats.areq_sent += 1;
+        let env = Envelope::broadcast(UNSPECIFIED, Message::Areq(areq));
+        self.tx(ctx, None, env);
+    }
+
+    fn on_dad_probe_timer(&mut self, ctx: &mut Ctx) {
+        if let NodeState::Dad { ch, .. } = self.state {
+            let seq = self.alloc_seq();
+            self.send_dad_probe(ctx, seq, ch);
+        }
+    }
+
+    fn dad_confirmed(&mut self, ctx: &mut Ctx) {
+        self.state = NodeState::Ready;
+        self.stats.joined_at = Some(ctx.now());
+        ctx.count("dad.confirmed", 1);
+        ctx.sample("dad.latency_s", ctx.now().as_secs_f64());
+        ctx.trace(Dir::Note, "DAD", format!("address {} confirmed", self.ident.ip()));
+        // Kick route discovery for everything queued while bootstrapping.
+        let dests: HashSet<Ipv6Addr> = self.send_buffer.iter().map(|(d, _)| *d).collect();
+        for d in dests {
+            self.ensure_route(ctx, d);
+        }
+    }
+
+    /// Start (or keep) a route discovery toward `dip`.
+    pub(crate) fn ensure_route(&mut self, ctx: &mut Ctx, dip: Ipv6Addr) {
+        if self.state != NodeState::Ready || self.pending_rreqs.contains_key(&dip) {
+            return;
+        }
+        let seq = self.alloc_seq();
+        self.pending_rreqs.insert(
+            dip,
+            PendingRreq {
+                seq,
+                attempts: 1,
+                started: ctx.now(),
+            },
+        );
+        self.broadcast_rreq(ctx, dip, seq);
+        ctx.set_timer(self.cfg.rreq_timeout, TAG_RREQ | seq.0);
+    }
+
+    fn broadcast_rreq(&mut self, ctx: &mut Ctx, dip: Ipv6Addr, seq: Seq) {
+        let sip = self.ident.ip();
+        let src_proof = self.ident.prove(&sigdata::rreq_src(&sip, seq));
+        let rreq = Rreq {
+            sip,
+            dip,
+            seq,
+            srr: SecureRouteRecord::new(),
+            src_proof,
+        };
+        self.stats.rreq_sent += 1;
+        ctx.count("route.rreq_originated", 1);
+        let env = Envelope::broadcast(sip, Message::Rreq(rreq));
+        self.tx(ctx, None, env);
+    }
+
+    fn try_send_data(
+        &mut self,
+        ctx: &mut Ctx,
+        seq: Seq,
+        dip: Ipv6Addr,
+        payload: Vec<u8>,
+        retries: u32,
+    ) -> bool {
+        let Some(path) = self.path_to(ctx.now(), &dip) else {
+            return false;
+        };
+        let relays = path.0[1..path.len() - 1].to_vec();
+        let msg = Message::Data(Data {
+            sip: self.ident.ip(),
+            dip,
+            seq,
+            route: path.clone(),
+            payload: payload.clone(),
+        });
+        if !self.send_routed(ctx, path, msg) {
+            // First hop gone: scrub the stale route and report failure so
+            // the caller can rediscover.
+            let me = self.ident.ip();
+            self.route_cache.remove_link(me, me, dip);
+            return false;
+        }
+        self.pending_acks.insert(
+            seq.0,
+            PendingAck {
+                dip,
+                payload,
+                relays,
+                retries,
+                first_sent: ctx.now(),
+            },
+        );
+        ctx.set_timer(self.cfg.ack_timeout, TAG_ACK | seq.0);
+        true
+    }
+
+    /// Flush queued work for `dest` after a route appeared.
+    fn flush_buffer(&mut self, ctx: &mut Ctx, dest: Ipv6Addr) {
+        let mut remaining = VecDeque::new();
+        let buffer = std::mem::take(&mut self.send_buffer);
+        for (d, q) in buffer {
+            if d != dest {
+                remaining.push_back((d, q));
+                continue;
+            }
+            match q {
+                Queued::Data { seq, payload } => {
+                    if !self.try_send_data(ctx, seq, d, payload.clone(), 0) {
+                        remaining.push_back((d, Queued::Data { seq, payload }));
+                    }
+                }
+                Queued::DnsQuery { qname, ch } => {
+                    if let Some(path) = self.path_to(ctx.now(), &d) {
+                        let msg = Message::DnsQuery(DnsQuery {
+                            requester: self.ident.ip(),
+                            qname,
+                            ch,
+                            route: path.clone(),
+                        });
+                        self.send_routed(ctx, path, msg);
+                    } else {
+                        remaining.push_back((d, Queued::DnsQuery { qname, ch }));
+                    }
+                }
+                Queued::ArepWarning { arep } => {
+                    if let Some(path) = self.path_to(ctx.now(), &d) {
+                        self.send_routed(ctx, path, Message::Arep(arep));
+                    } else {
+                        remaining.push_back((d, Queued::ArepWarning { arep }));
+                    }
+                }
+                Queued::IpChangeRequest { dn } => {
+                    if let (Some(pending), Some(path)) =
+                        (&self.pending_ip_change, self.path_to(ctx.now(), &d))
+                    {
+                        let msg = Message::IpChangeRequest(IpChangeRequest {
+                            dn,
+                            old_ip: pending.old_ip,
+                            new_ip: pending.new_ip,
+                            route: path.clone(),
+                        });
+                        self.send_routed(ctx, path, msg);
+                    }
+                }
+            }
+        }
+        self.send_buffer = remaining;
+    }
+
+    /// Fail everything queued for `dest` (route discovery exhausted).
+    fn fail_buffer(&mut self, ctx: &mut Ctx, dest: Ipv6Addr) {
+        let before = self.send_buffer.len();
+        self.send_buffer.retain(|(d, q)| {
+            if *d == dest {
+                if matches!(q, Queued::Data { .. }) {
+                    // counted below; retain() can't borrow self mutably
+                }
+                false
+            } else {
+                true
+            }
+        });
+        let dropped = (before - self.send_buffer.len()) as u64;
+        if dropped > 0 {
+            self.stats.data_failed += dropped;
+            ctx.count("app.data_failed", dropped);
+            ctx.count("route.discovery_failed", 1);
+        }
+    }
+
+    // --- flood handling -----------------------------------------------------
+
+    fn handle_areq(&mut self, ctx: &mut Ctx, areq: Areq) {
+        if self.my_dad_probes.contains(&(areq.seq.0, areq.ch.0)) {
+            return; // an echo of our own probe
+        }
+        if !self.seen_areqs.insert((areq.sip, areq.seq.0, areq.ch.0)) {
+            return;
+        }
+        if let NodeState::Dad { seq, .. } = self.state {
+            // Our own flood coming back — or another joining host; either
+            // way a mid-DAD node neither answers nor relays.
+            let _ = seq;
+            return;
+        }
+        if self.state != NodeState::Ready {
+            return;
+        }
+        ctx.trace(Dir::Rx, "AREQ", format!("for {} dn={:?}", areq.sip, areq.dn.as_ref().map(|d| d.as_str())));
+
+        // DNS server: name bookkeeping (conflict DREP / pending commit).
+        if self.dns.is_some() {
+            self.dns_on_areq(ctx, &areq);
+        }
+
+        let collision = areq.sip == self.ident.ip();
+        if collision || self.behavior.squat_dad {
+            if !collision {
+                self.stats.atk_forged_arep += 1;
+                ctx.count("atk.forged_arep", 1);
+            }
+            self.send_arep(ctx, &areq);
+            if collision {
+                self.warn_dns(ctx, &areq);
+            }
+            // "Every host should … properly rebroadcast the AREQ": the
+            // flood continues past the collision holder so the DNS hears
+            // the request and holds/cancels the registration.
+        }
+
+        // Replay attacker: answer with a previously captured AREP for
+        // this address if we have one (its challenge is stale).
+        if self.behavior.replay {
+            if let Some(old) = self
+                .observed_areps
+                .iter()
+                .find(|a| a.sip == areq.sip)
+                .cloned()
+            {
+                self.stats.atk_replayed += 1;
+                ctx.count("atk.replayed_arep", 1);
+                let mut path = vec![self.ident.ip()];
+                path.extend(areq.rr.reversed().0);
+                path.push(areq.sip);
+                self.send_routed(ctx, RouteRecord(path), Message::Arep(old));
+            }
+        }
+
+        // Relay: append our address to the route record and rebroadcast.
+        let mut fwd = areq;
+        fwd.rr.push(self.ident.ip());
+        let env = Envelope::broadcast(self.ident.ip(), Message::Areq(fwd));
+        self.tx(ctx, None, env);
+    }
+
+    /// Answer an AREQ whose address collides with ours (Section 3.1):
+    /// `AREP(SIP, RR, [SIP, ch]RSK, RPK, Rrn)` unicast along the reverse
+    /// route record.
+    fn send_arep(&mut self, ctx: &mut Ctx, areq: &Areq) {
+        let proof = self.ident.prove(&sigdata::arep(&areq.sip, areq.ch));
+        let arep = Arep {
+            sip: areq.sip,
+            rr: areq.rr.clone(),
+            proof,
+        };
+        self.stats.arep_sent += 1;
+        ctx.count("dad.arep_sent", 1);
+        let mut path = vec![self.ident.ip()];
+        path.extend(areq.rr.reversed().0);
+        path.push(areq.sip);
+        self.send_routed(ctx, RouteRecord(path), Message::Arep(arep));
+    }
+
+    /// Warn the DNS that `areq.sip` is a duplicate so it never commits a
+    /// name for it (Section 3.1). Routed over the normal secure-routing
+    /// machinery toward the well-known DNS address.
+    fn warn_dns(&mut self, ctx: &mut Ctx, areq: &Areq) {
+        if self.dns.is_some() {
+            // We *are* the DNS; cancel locally.
+            let sip = areq.sip;
+            self.dns_cancel_pending(ctx, &sip);
+            return;
+        }
+        let proof = self.ident.prove(&sigdata::arep(&areq.sip, areq.ch));
+        let warning = Arep {
+            sip: areq.sip,
+            rr: RouteRecord::new(),
+            proof,
+        };
+        let dns_ip = DNS_WELL_KNOWN[0];
+        if let Some(path) = self.path_to(ctx.now(), &dns_ip) {
+            self.send_routed(ctx, path, Message::Arep(warning));
+        } else {
+            self.enqueue(ctx, dns_ip, Queued::ArepWarning { arep: warning });
+            self.ensure_route(ctx, dns_ip);
+        }
+    }
+
+    fn handle_rreq(&mut self, ctx: &mut Ctx, rreq: Rreq) {
+        if self.state != NodeState::Ready {
+            return;
+        }
+        if rreq.sip == self.ident.ip() {
+            return; // our own flood echoed back
+        }
+        ctx.trace(
+            Dir::Rx,
+            "RREQ",
+            format!("{}→{} seq={} hops={}", rreq.sip, rreq.dip, rreq.seq.0, rreq.srr.len()),
+        );
+
+        if self.is_my_addr(&rreq.dip) {
+            // Answer several copies (arriving over distinct paths) so the
+            // source gets route diversity to select among.
+            let n = self
+                .answered_rreqs
+                .entry((rreq.sip, rreq.seq.0))
+                .or_insert(0);
+            if *n >= self.cfg.rrep_multi {
+                return;
+            }
+            *n += 1;
+            self.answer_rreq(ctx, rreq);
+            return;
+        }
+        if !self.seen_rreqs.insert((rreq.sip, rreq.seq.0)) {
+            return;
+        }
+
+        if self.behavior.forge_rrep {
+            self.forge_rrep(ctx, &rreq);
+            return; // attracts the route; no honest relaying
+        }
+
+        if self.behavior.replay {
+            if let Some(old) = self
+                .observed_rreps
+                .iter()
+                .find(|r| r.dip == rreq.dip)
+                .cloned()
+            {
+                // Splice the captured proof onto the new request: the
+                // destination signature covers (old sip, old seq, old rr)
+                // so the verifier must reject it.
+                self.stats.atk_replayed += 1;
+                ctx.count("atk.replayed_rrep", 1);
+                let forged = Rrep {
+                    sip: rreq.sip,
+                    dip: old.dip,
+                    seq: rreq.seq,
+                    rr: old.rr.clone(),
+                    proof: old.proof.clone(),
+                };
+                let mut path = vec![self.ident.ip()];
+                path.extend(rreq.srr.to_route_record().reversed().0);
+                path.push(rreq.sip);
+                self.send_routed(ctx, RouteRecord(path), Message::Rrep(forged));
+            }
+        }
+
+        // Cached-route reply (Section 3.3, CREP) — only from routes we
+        // discovered ourselves (we hold D's signed RREP for them).
+        if self.cfg.crep_enabled {
+            if let Some(cached) = self.route_cache.creppable(&rreq.dip, ctx.now()) {
+                let cached = cached.clone();
+                self.send_crep(ctx, &rreq, &cached);
+                return;
+            }
+        }
+
+        // Relay: sign and append our identity block to the SRR.
+        let mut fwd = rreq;
+        let entry_proof = self
+            .ident
+            .prove(&sigdata::srr_hop(&self.ident.ip(), fwd.seq));
+        fwd.srr.0.push(SrrEntry {
+            ip: self.ident.ip(),
+            proof: entry_proof,
+        });
+        ctx.count("route.rreq_relayed", 1);
+        let env = Envelope::broadcast(self.ident.ip(), Message::Rreq(fwd));
+        self.tx(ctx, None, env);
+    }
+
+    /// We are the destination (or the DNS behind the anycast address):
+    /// verify the whole request and answer with a signed RREP.
+    fn answer_rreq(&mut self, ctx: &mut Ctx, rreq: Rreq) {
+        // Check 1: source validity.
+        if verify_proof(
+            &rreq.sip,
+            &sigdata::rreq_src(&rreq.sip, rreq.seq),
+            &rreq.src_proof,
+        )
+        .is_err()
+        {
+            self.stats.rejected_rreq += 1;
+            ctx.count("sec.rreq_rejected", 1);
+            ctx.trace(Dir::Drop, "RREQ", format!("bad source proof from {}", rreq.sip));
+            return;
+        }
+        // Check 2: every intermediate hop's identity.
+        if self.cfg.verify_srr {
+            for e in &rreq.srr.0 {
+                if verify_proof(&e.ip, &sigdata::srr_hop(&e.ip, rreq.seq), &e.proof).is_err() {
+                    self.stats.rejected_rreq += 1;
+                    ctx.count("sec.rreq_rejected", 1);
+                    ctx.trace(Dir::Drop, "RREQ", format!("bad SRR entry for {}", e.ip));
+                    return;
+                }
+            }
+        }
+        let rr = rreq.srr.to_route_record();
+        let payload = sigdata::rrep(&rreq.sip, rreq.seq, &rr);
+        let proof = self.ident.prove(&payload);
+        let rrep = Rrep {
+            sip: rreq.sip,
+            dip: rreq.dip,
+            seq: rreq.seq,
+            rr: rr.clone(),
+            proof,
+        };
+        self.stats.rrep_sent += 1;
+        ctx.count("route.rrep_sent", 1);
+        let mut path = vec![rreq.dip];
+        path.extend(rr.reversed().0);
+        path.push(rreq.sip);
+        self.send_routed(ctx, RouteRecord(path), Message::Rrep(rrep));
+    }
+
+    /// Black-hole route attraction: forge an RREP claiming we are one hop
+    /// from the destination. The proof is signed with our own key (we do
+    /// not have the destination's), so a verifying source rejects it —
+    /// this is exactly the Section 4 argument made executable.
+    fn forge_rrep(&mut self, ctx: &mut Ctx, rreq: &Rreq) {
+        let mut rr = rreq.srr.to_route_record();
+        rr.push(self.ident.ip());
+        let payload = sigdata::rrep(&rreq.sip, rreq.seq, &rr);
+        let claimed = self.behavior.impersonate.unwrap_or(rreq.dip);
+        let proof = self.ident.prove(&payload); // our key ≠ H(...) of `claimed`
+        let rrep = Rrep {
+            sip: rreq.sip,
+            dip: claimed,
+            seq: rreq.seq,
+            rr: rr.clone(),
+            proof,
+        };
+        self.stats.atk_forged_rrep += 1;
+        ctx.count("atk.forged_rrep", 1);
+        let mut path = vec![self.ident.ip()];
+        path.extend(rreq.srr.to_route_record().reversed().0);
+        path.push(rreq.sip);
+        self.send_routed(ctx, RouteRecord(path), Message::Rrep(rrep));
+    }
+
+    fn send_crep(&mut self, ctx: &mut Ctx, rreq: &Rreq, cached: &CachedRoute) {
+        let (orig_seq, d_proof) = cached.d_proof.clone().expect("creppable has proof");
+        let rr_s2_to_s = rreq.srr.to_route_record();
+        let s_proof = self
+            .ident
+            .prove(&sigdata::crep_cache_holder(&rreq.sip, rreq.seq, &rr_s2_to_s));
+        let crep = Crep {
+            s2ip: rreq.sip,
+            sip: self.ident.ip(),
+            dip: rreq.dip,
+            seq2: rreq.seq,
+            rr_s2_to_s: rr_s2_to_s.clone(),
+            s_proof,
+            orig_seq,
+            rr_s_to_d: RouteRecord(cached.relays.clone()),
+            d_proof,
+        };
+        self.stats.crep_sent += 1;
+        ctx.count("route.crep_sent", 1);
+        let mut path = vec![self.ident.ip()];
+        path.extend(rr_s2_to_s.reversed().0);
+        path.push(rreq.sip);
+        self.send_routed(ctx, RouteRecord(path), Message::Crep(crep));
+    }
+
+    // --- routed delivery ----------------------------------------------------
+
+    fn deliver_local(&mut self, ctx: &mut Ctx, env: Envelope) {
+        let path = env.source_route.clone().unwrap_or_default();
+        match env.msg {
+            Message::Arep(arep) => self.handle_arep(ctx, arep),
+            Message::Drep(drep) => self.handle_drep(ctx, drep),
+            Message::Rrep(rrep) => self.handle_rrep(ctx, rrep),
+            Message::Crep(crep) => self.handle_crep(ctx, crep),
+            Message::Rerr(rerr) => self.handle_rerr(ctx, rerr),
+            Message::Data(data) => self.handle_data(ctx, data),
+            Message::Ack(ack) => self.handle_ack(ctx, ack),
+            Message::Probe(probe) => {
+                // We are the probed destination: acknowledge.
+                let back: Vec<Ipv6Addr> = probe.route.reversed().0;
+                self.send_probe_ack(ctx, &probe, back);
+            }
+            Message::ProbeAck(ack) => self.handle_probe_ack(ctx, ack),
+            Message::DnsQuery(q) => {
+                if self.dns.is_some() {
+                    self.dns_on_query(ctx, q, &path);
+                }
+            }
+            Message::DnsReply(r) => self.handle_dns_reply(ctx, r),
+            Message::IpChangeRequest(r) => {
+                if self.dns.is_some() {
+                    self.dns_on_ip_change_request(ctx, r, &path);
+                }
+            }
+            Message::IpChangeChallenge(c) => self.handle_ip_change_challenge(ctx, c, &path),
+            Message::IpChangeProof(p) => {
+                if self.dns.is_some() {
+                    self.dns_on_ip_change_proof(ctx, p, &path);
+                }
+            }
+            Message::IpChangeResult(r) => self.handle_ip_change_result(ctx, r),
+            // Floods never arrive source-routed; plain-DSR messages are
+            // not spoken by secure nodes.
+            _ => ctx.count("rx.unexpected_routed", 1),
+        }
+    }
+
+    fn handle_arep(&mut self, ctx: &mut Ctx, arep: Arep) {
+        // DNS warning path (Section 3.1's "unicast an AREP to DNS").
+        if self.dns.is_some() && !matches!(self.state, NodeState::Dad { .. }) {
+            self.dns_on_warning_arep(ctx, &arep);
+            return;
+        }
+        let NodeState::Dad { ch, .. } = self.state else {
+            return;
+        };
+        if arep.sip != self.ident.ip() {
+            return; // not about our candidate
+        }
+        // The two checks of Section 3.1: CGA ownership of SIP by (RPK,
+        // Rrn), and the challenge response under RSK.
+        match verify_proof(&arep.sip, &sigdata::arep(&arep.sip, ch), &arep.proof) {
+            Ok(()) => {
+                self.stats.collisions_detected += 1;
+                ctx.count("dad.collisions", 1);
+                ctx.trace(Dir::Note, "DAD", "valid AREP: address collision, rerolling rn");
+                self.restart_dad(ctx);
+            }
+            Err(_) => {
+                self.stats.rejected_arep += 1;
+                ctx.count("sec.arep_rejected", 1);
+                ctx.trace(Dir::Drop, "AREP", "invalid proof (squat/replay attempt?)");
+            }
+        }
+    }
+
+    fn restart_dad(&mut self, ctx: &mut Ctx) {
+        if self.stats.dad_attempts >= self.cfg.dad_max_attempts {
+            ctx.count("dad.gave_up", 1);
+            self.state = NodeState::Boot;
+            return;
+        }
+        self.ident.reroll(ctx.rng());
+        self.begin_dad(ctx);
+    }
+
+    fn handle_drep(&mut self, ctx: &mut Ctx, drep: Drep) {
+        let NodeState::Dad { ch, .. } = self.state else {
+            return;
+        };
+        if drep.sip != self.ident.ip() {
+            return;
+        }
+        let Some(dn) = self.desired_dn.clone() else {
+            return; // we registered no name; a DREP for us is bogus
+        };
+        match verify_known_key(&self.dns_pk, &sigdata::drep(&dn, ch), &drep.sig) {
+            Ok(()) => {
+                self.stats.name_conflicts += 1;
+                ctx.count("dad.name_conflicts", 1);
+                // First-come-first-serve lost: pick a decorated fallback
+                // name and retry the DAD round (Section 3.1).
+                let fallback = format!("{}-{}", dn.as_str(), self.stats.dad_attempts + 1);
+                self.desired_dn = DomainName::new(&fallback).ok();
+                ctx.trace(Dir::Note, "DAD", format!("name conflict; retrying as {fallback}"));
+                self.restart_dad(ctx);
+            }
+            Err(_) => {
+                self.stats.rejected_drep += 1;
+                ctx.count("sec.drep_rejected", 1);
+            }
+        }
+    }
+
+    fn handle_rrep(&mut self, ctx: &mut Ctx, rrep: Rrep) {
+        if rrep.sip != self.ident.ip() {
+            return;
+        }
+        // Match against the outstanding request, or a recently satisfied
+        // one (extra RREPs for the same sequence add alternate routes).
+        const RECENT_WINDOW_US: u64 = 10_000_000;
+        let (expected_seq, pending_started) = match self.pending_rreqs.get(&rrep.dip) {
+            Some(p) => (p.seq, Some(p.started)),
+            None => match self.recent_rreqs.get(&rrep.dip) {
+                Some(&(seq, at))
+                    if ctx.now().as_micros().saturating_sub(at.as_micros())
+                        <= RECENT_WINDOW_US =>
+                {
+                    (seq, None)
+                }
+                _ => return, // nothing outstanding (stale or replayed)
+            },
+        };
+        if expected_seq != rrep.seq {
+            self.stats.rejected_rrep += 1;
+            ctx.count("sec.rrep_rejected", 1);
+            ctx.trace(Dir::Drop, "RREP", "sequence mismatch (replay?)");
+            return;
+        }
+        // Verify the destination's proof over [SIP, seq, RR]. Routes to
+        // the DNS anycast address verify against the well-known DNS key
+        // (an anycast address is not a CGA); everything else runs the
+        // full CGA + signature check.
+        let payload = sigdata::rrep(&rrep.sip, rrep.seq, &rrep.rr);
+        let ok = if rrep.dip.is_dns_well_known() {
+            verify_known_key(&self.dns_pk, &payload, &rrep.proof.sig).is_ok()
+        } else {
+            verify_proof(&rrep.dip, &payload, &rrep.proof).is_ok()
+        };
+        if !ok {
+            self.stats.rejected_rrep += 1;
+            ctx.count("sec.rrep_rejected", 1);
+            ctx.trace(Dir::Drop, "RREP", format!("invalid proof for {}", rrep.dip));
+            return;
+        }
+        if let Some(started) = pending_started {
+            self.pending_rreqs.remove(&rrep.dip);
+            self.recent_rreqs.insert(rrep.dip, (rrep.seq, ctx.now()));
+            ctx.sample(
+                "route.discovery_latency_s",
+                ctx.now().since(started).as_secs_f64(),
+            );
+            ctx.count("route.discovered", 1);
+        } else {
+            ctx.count("route.alternate_cached", 1);
+        }
+        ctx.trace(
+            Dir::Note,
+            "ROUTE",
+            format!("to {} via {} relays", rrep.dip, rrep.rr.len()),
+        );
+        self.route_cache.insert(
+            rrep.dip,
+            CachedRoute {
+                relays: rrep.rr.0.clone(),
+                d_proof: Some((rrep.seq, rrep.proof.clone())),
+                learned_at: ctx.now(),
+            },
+        );
+        if self.behavior.replay {
+            self.observed_rreps.push(rrep.clone());
+            self.observed_rreps.truncate(32);
+        }
+        self.flush_buffer(ctx, rrep.dip);
+    }
+
+    fn handle_crep(&mut self, ctx: &mut Ctx, crep: Crep) {
+        if crep.s2ip != self.ident.ip() {
+            return;
+        }
+        let Some(pending) = self.pending_rreqs.get(&crep.dip) else {
+            return;
+        };
+        if pending.seq != crep.seq2 {
+            self.stats.rejected_crep += 1;
+            ctx.count("sec.crep_rejected", 1);
+            return;
+        }
+        // Verify the cache holder's identity over [S'IP, seq', RR_{S'→S}].
+        let holder_payload =
+            sigdata::crep_cache_holder(&crep.s2ip, crep.seq2, &crep.rr_s2_to_s);
+        if verify_proof(&crep.sip, &holder_payload, &crep.s_proof).is_err() {
+            self.stats.rejected_crep += 1;
+            ctx.count("sec.crep_rejected", 1);
+            ctx.trace(Dir::Drop, "CREP", "invalid cache-holder proof");
+            return;
+        }
+        // Verify the destination's original proof over [SIP, seq, RR_{S→D}].
+        let d_payload = sigdata::rrep(&crep.sip, crep.orig_seq, &crep.rr_s_to_d);
+        let d_ok = if crep.dip.is_dns_well_known() {
+            verify_known_key(&self.dns_pk, &d_payload, &crep.d_proof.sig).is_ok()
+        } else {
+            verify_proof(&crep.dip, &d_payload, &crep.d_proof).is_ok()
+        };
+        if !d_ok {
+            self.stats.rejected_crep += 1;
+            ctx.count("sec.crep_rejected", 1);
+            ctx.trace(Dir::Drop, "CREP", "invalid destination proof");
+            return;
+        }
+        // Composite route: S' → (relays to S) → S → (S's relays to D) → D.
+        let mut relays = crep.rr_s2_to_s.0.clone();
+        relays.push(crep.sip);
+        relays.extend(crep.rr_s_to_d.0.iter().copied());
+        // The composite can double back through us (we may sit on S's
+        // cached path to D). The proofs cover the original components, so
+        // verification is done; for *forwarding* we shortcut at our last
+        // occurrence. DSR's standard cached-reply loop trimming.
+        if let Some(pos) = relays.iter().rposition(|r| *r == self.ident.ip()) {
+            relays.drain(..=pos);
+        }
+        let started = pending.started;
+        self.pending_rreqs.remove(&crep.dip);
+        ctx.sample(
+            "route.discovery_latency_s",
+            ctx.now().since(started).as_secs_f64(),
+        );
+        ctx.count("route.discovered_via_crep", 1);
+        self.route_cache.insert(
+            crep.dip,
+            CachedRoute {
+                relays,
+                d_proof: None, // composite: not servable as a further CREP
+                learned_at: ctx.now(),
+            },
+        );
+        self.flush_buffer(ctx, crep.dip);
+    }
+
+    fn handle_rerr(&mut self, ctx: &mut Ctx, rerr: Rerr) {
+        if verify_proof(&rerr.iip, &sigdata::rerr(&rerr.iip, &rerr.i2ip), &rerr.proof).is_err() {
+            self.stats.rejected_rerr += 1;
+            ctx.count("sec.rerr_rejected", 1);
+            ctx.trace(Dir::Drop, "RERR", format!("invalid proof from {}", rerr.iip));
+            return;
+        }
+        ctx.count("route.rerr_received", 1);
+        let me = self.ident.ip();
+        self.route_cache.remove_link(me, rerr.iip, rerr.i2ip);
+        // Track the reporter; frequent reporters (and their next hops)
+        // mark a hostile area (Section 3.4).
+        if self.credits.record_rerr(&rerr.iip, &rerr.i2ip) {
+            ctx.count("credit.hostile_marked", 1);
+            ctx.trace(
+                Dir::Note,
+                "CREDIT",
+                format!("hostile area around {} / {}", rerr.iip, rerr.i2ip),
+            );
+        }
+    }
+
+    fn handle_data(&mut self, ctx: &mut Ctx, data: Data) {
+        self.stats.data_received += 1;
+        ctx.count("app.data_received", 1);
+        ctx.sample("app.data_bytes", data.payload.len() as f64);
+        // End-to-end acknowledgement drives the credit system.
+        let ack = Ack {
+            sip: data.sip,
+            dip: data.dip,
+            seq: data.seq,
+            route: data.route.clone(),
+        };
+        let path = data.route.reversed();
+        if path.len() >= 2 {
+            self.send_routed(ctx, path, Message::Ack(ack));
+        }
+    }
+
+    fn handle_ack(&mut self, ctx: &mut Ctx, ack: Ack) {
+        let Some(pending) = self.pending_acks.remove(&ack.seq.0) else {
+            return;
+        };
+        self.consecutive_timeouts.remove(&pending.dip);
+        self.stats.data_acked += 1;
+        ctx.count("app.data_acked", 1);
+        ctx.sample(
+            "app.e2e_latency_s",
+            ctx.now().since(pending.first_sent).as_secs_f64(),
+        );
+        // "Whenever a data packet is correctly acknowledged by D, the
+        // credit of each host in the route is increased by one."
+        self.credits.reward_route(&pending.relays);
+    }
+
+    fn handle_dns_reply(&mut self, ctx: &mut Ctx, reply: DnsReply) {
+        let Some(ch) = self.pending_resolves.get(&reply.qname).copied() else {
+            return;
+        };
+        let payload = sigdata::dns_reply(&reply.qname, reply.answer.as_ref(), ch);
+        if verify_known_key(&self.dns_pk, &payload, &reply.sig).is_err() {
+            self.stats.rejected_dns_reply += 1;
+            ctx.count("sec.dns_reply_rejected", 1);
+            ctx.trace(Dir::Drop, "DNSR", "invalid DNS signature (impersonation?)");
+            return;
+        }
+        self.pending_resolves.remove(&reply.qname);
+        ctx.count("dns.resolved", 1);
+        self.stats.resolved.insert(reply.qname, reply.answer);
+    }
+
+    fn handle_ip_change_challenge(
+        &mut self,
+        ctx: &mut Ctx,
+        chal: IpChangeChallenge,
+        path: &RouteRecord,
+    ) {
+        let Some(pending) = self.pending_ip_change.as_mut() else {
+            return;
+        };
+        if pending.dn != chal.dn {
+            return;
+        }
+        pending.ch = Some(chal.ch);
+        // Answer with the paper's reply contents: XIP, X'IP, both rn
+        // values, XPK and [XIP, X'IP, ch]XSK.
+        let sig = self
+            .ident
+            .sign(&sigdata::ip_change(&pending.old_ip, &pending.new_ip, chal.ch));
+        let msg = Message::IpChangeProof(IpChangeProof {
+            dn: chal.dn,
+            old_ip: pending.old_ip,
+            new_ip: pending.new_ip,
+            old_rn: pending.old_rn,
+            new_rn: pending.new_rn,
+            pk: self.ident.public().clone(),
+            sig,
+            route: path.reversed(),
+        });
+        let reply_path = path.reversed();
+        if reply_path.len() >= 2 {
+            self.send_routed(ctx, reply_path, msg);
+        }
+    }
+
+    fn handle_ip_change_result(&mut self, ctx: &mut Ctx, res: IpChangeResult) {
+        let Some(pending) = self.pending_ip_change.take() else {
+            return;
+        };
+        let Some(ch) = pending.ch else {
+            return;
+        };
+        let payload = sigdata::ip_change_result(&res.dn, res.accepted, ch);
+        if verify_known_key(&self.dns_pk, &payload, &res.sig).is_err() {
+            ctx.count("sec.ip_change_result_rejected", 1);
+            return;
+        }
+        self.stats.ip_change_accepted = Some(res.accepted);
+        if res.accepted {
+            self.ident.set_rn(pending.new_rn);
+            ctx.count("dns.ip_changed", 1);
+            ctx.trace(Dir::Note, "IPCHG", format!("now {}", self.ident.ip()));
+            // Old routes reference the old address; peers will re-resolve.
+            self.route_cache.remove_dest(&pending.old_ip);
+        }
+    }
+
+    // --- forwarding ----------------------------------------------------------
+
+    fn forward(&mut self, ctx: &mut Ctx, mut env: Envelope) {
+        let path = env.source_route.clone().expect("routed");
+        let idx = env.sr_index as usize;
+
+        if let Message::Data(_) = env.msg {
+            // Black/grey hole: accept and discard (Section 4's black hole).
+            if self.behavior.data_drop_prob > 0.0
+                && ctx.rng().gen::<f64>() < self.behavior.data_drop_prob
+            {
+                self.stats.atk_data_dropped += 1;
+                ctx.count("atk.data_dropped", 1);
+                ctx.trace(Dir::Drop, "DATA", "black hole: swallowing packet");
+                return;
+            }
+        }
+
+        if let Message::Probe(probe) = &env.msg {
+            // A naive dropper swallows probes like everything else and is
+            // localized; an evader acknowledges and forwards.
+            if self.behavior.data_drop_prob > 0.0 && !self.behavior.evade_probes
+                && ctx.rng().gen::<f64>() < self.behavior.data_drop_prob {
+                    self.stats.atk_data_dropped += 1;
+                    ctx.count("atk.probe_dropped", 1);
+                    return;
+                }
+            let probe = probe.clone();
+            let back: Vec<Ipv6Addr> = path.0[..=idx].iter().rev().copied().collect();
+            self.send_probe_ack(ctx, &probe, back);
+            // …and fall through to normal forwarding below.
+        }
+
+        // DNS impersonation: a malicious relay answers the query itself
+        // with a forged signature (and suppresses the real one).
+        if self.behavior.forge_dns {
+            if let Message::DnsQuery(q) = &env.msg {
+                let forged_sig = self
+                    .ident
+                    .sign(&sigdata::dns_reply(&q.qname, Some(&self.ident.ip()), q.ch));
+                let reply = Message::DnsReply(DnsReply {
+                    requester: q.requester,
+                    qname: q.qname.clone(),
+                    answer: Some(self.ident.ip()),
+                    sig: forged_sig,
+                    route: RouteRecord::new(),
+                });
+                self.stats.atk_forged_dns += 1;
+                ctx.count("atk.forged_dns", 1);
+                let back: Vec<Ipv6Addr> =
+                    path.0[..=idx].iter().rev().copied().collect();
+                if back.len() >= 2 {
+                    self.send_routed(ctx, RouteRecord(back), reply);
+                }
+                return; // swallow the query
+            }
+        }
+
+        let next = path.0[idx + 1];
+        env.sr_index += 1;
+        env.src_ip = self.ident.ip();
+        let is_data = matches!(env.msg, Message::Data(_));
+        ctx.count("route.forwarded", 1);
+        let final_next = idx + 1 == path.len() - 1;
+        if final_next && Self::final_hop_must_broadcast(&env.msg, &next) {
+            // Footnote broadcast: see final_hop_must_broadcast.
+            ctx.count("route.broadcast_fallback", 1);
+            self.tx(ctx, None, env);
+            return;
+        }
+        if let Some(node) = self.neighbors.lookup(&next, ctx.now()) {
+            self.tx(ctx, Some(node), env);
+            // RERR spam: after dutifully forwarding, falsely report the
+            // link broken to poison the source's cache (Section 4's
+            // forged-RERR case — the report is *signed honestly* by us,
+            // so it passes verification; the defense is frequency
+            // tracking + credits).
+            if self.behavior.rerr_spam && is_data {
+                self.stats.atk_spam_rerr += 1;
+                ctx.count("atk.rerr_spam", 1);
+                self.originate_rerr(ctx, &path, idx, next);
+            }
+        } else if idx + 1 == path.len() - 1 {
+            // Last hop to a host we cannot resolve (mid-DAD joiner or
+            // silent neighbor): link-layer broadcast, per the paper's
+            // footnote on the final AREP hop.
+            ctx.count("route.broadcast_fallback", 1);
+            self.tx(ctx, None, env);
+        } else {
+            // Broken link with no cached neighbor: report it.
+            self.neighbors.forget(&next);
+            let me = self.ident.ip();
+            self.route_cache.remove_link(me, me, next);
+            if is_data {
+                self.originate_rerr(ctx, &path, idx, next);
+            }
+        }
+    }
+
+    // --- route probing (Section 3.4 extension) -------------------------------
+
+    /// Probe the route last used toward `dip`: every hop that forwards
+    /// the probe returns a signed per-hop ack; the first silent hop is
+    /// the suspect.
+    fn launch_probe(&mut self, ctx: &mut Ctx, dip: Ipv6Addr, relays: &[Ipv6Addr]) {
+        if self.pending_probes.values().any(|p| p.dip == dip) {
+            return; // one probe at a time per destination
+        }
+        let seq = self.alloc_seq();
+        let mut path = Vec::with_capacity(relays.len() + 2);
+        path.push(self.ident.ip());
+        path.extend_from_slice(relays);
+        path.push(dip);
+        let route = RouteRecord(path);
+        if route.len() < 2 {
+            return;
+        }
+        let mut expected = relays.to_vec();
+        expected.push(dip);
+        self.pending_probes.insert(
+            seq.0,
+            PendingProbe {
+                dip,
+                expected,
+                acked: HashSet::new(),
+            },
+        );
+        self.stats.probes_sent += 1;
+        ctx.count("probe.sent", 1);
+        ctx.trace(Dir::Note, "PROBE", format!("probing route to {dip}"));
+        let msg = Message::Probe(manet_wire::Probe {
+            sip: self.ident.ip(),
+            dip,
+            seq,
+            route: route.clone(),
+        });
+        self.send_routed(ctx, route, msg);
+        ctx.set_timer(self.cfg.probe_timeout, TAG_ROUTE_PROBE | seq.0);
+    }
+
+    /// Sign and return a per-hop probe acknowledgement toward the source.
+    fn send_probe_ack(&mut self, ctx: &mut Ctx, probe: &manet_wire::Probe, back: Vec<Ipv6Addr>) {
+        let hop = self.ident.ip();
+        let proof = self
+            .ident
+            .prove(&sigdata::probe_ack(&probe.sip, probe.seq, &hop));
+        let ack = Message::ProbeAck(manet_wire::ProbeAck {
+            sip: probe.sip,
+            probe_seq: probe.seq,
+            hop,
+            proof,
+        });
+        self.stats.probe_acks_sent += 1;
+        ctx.count("probe.acks_sent", 1);
+        if back.len() >= 2 {
+            self.send_routed(ctx, RouteRecord(back), ack);
+        }
+    }
+
+    fn handle_probe_ack(&mut self, ctx: &mut Ctx, ack: manet_wire::ProbeAck) {
+        let Some(pending) = self.pending_probes.get_mut(&ack.probe_seq.0) else {
+            return; // expired or unsolicited
+        };
+        if !pending.expected.contains(&ack.hop) {
+            ctx.count("probe.ack_offroute", 1);
+            return;
+        }
+        // Same identity checks as everything else: the CGA must belong
+        // to the claimed hop and the signature must cover this probe.
+        if verify_proof(
+            &ack.hop,
+            &sigdata::probe_ack(&ack.sip, ack.probe_seq, &ack.hop),
+            &ack.proof,
+        )
+        .is_err()
+        {
+            ctx.count("sec.probe_ack_rejected", 1);
+            return;
+        }
+        pending.acked.insert(ack.hop);
+    }
+
+    /// The collection window closed: judge the probed route.
+    fn on_route_probe_timer(&mut self, ctx: &mut Ctx, seq: u64) {
+        let Some(pending) = self.pending_probes.remove(&seq) else {
+            return;
+        };
+        let first_silent = pending
+            .expected
+            .iter()
+            .position(|h| !pending.acked.contains(h));
+        match first_silent {
+            None => {
+                // Everyone answered: an evading dropper or a transient
+                // fault. Credits remain the fallback.
+                self.stats.probes_inconclusive += 1;
+                ctx.count("probe.inconclusive", 1);
+                ctx.trace(Dir::Note, "PROBE", "all hops acked — inconclusive");
+            }
+            Some(i) => {
+                let suspect = pending.expected[i];
+                // The suspect either swallowed the probe or swallowed the
+                // acks of everyone behind it — in both cases the paper's
+                // "very large amount" slash applies. Its predecessor gets
+                // only the weak timeout-grade penalty (it might be the
+                // ack-dropper's victim, not an accomplice).
+                self.credits.slash(&suspect);
+                if i > 0 {
+                    self.credits.penalize_route(&pending.expected[i - 1..i]);
+                }
+                self.stats.probe_suspects.push(suspect);
+                ctx.count("probe.localized", 1);
+                ctx.trace(Dir::Note, "PROBE", format!("suspect localized: {suspect}"));
+            }
+        }
+    }
+
+    /// Emit `RERR(IIP, I'IP, [IIP, I'IP]ISK, IPK, Irn)` back to the
+    /// source of a broken source-routed packet (Section 3.4).
+    fn originate_rerr(&mut self, ctx: &mut Ctx, path: &RouteRecord, my_idx: usize, next: Ipv6Addr) {
+        let iip = self.ident.ip();
+        let proof = self.ident.prove(&sigdata::rerr(&iip, &next));
+        let rerr = Rerr {
+            iip,
+            i2ip: next,
+            proof,
+        };
+        self.stats.rerr_sent += 1;
+        ctx.count("route.rerr_sent", 1);
+        let back: Vec<Ipv6Addr> = path.0[..=my_idx].iter().rev().copied().collect();
+        if back.len() >= 2 {
+            self.send_routed(ctx, RouteRecord(back), Message::Rerr(rerr));
+        }
+    }
+
+    /// The replay attacker records everything verifiable it overhears.
+    fn observe_for_replay(&mut self, env: &Envelope) {
+        match &env.msg {
+            Message::Arep(a) => {
+                self.observed_areps.push(a.clone());
+                self.observed_areps.truncate(32);
+            }
+            Message::Rrep(r) => {
+                self.observed_rreps.push(r.clone());
+                self.observed_rreps.truncate(32);
+            }
+            _ => {}
+        }
+    }
+
+    // --- timers ---------------------------------------------------------------
+
+    fn on_dad_timer(&mut self, ctx: &mut Ctx) {
+        if matches!(self.state, NodeState::Dad { .. }) {
+            // Silence means uniqueness (Section 3.1).
+            self.dad_confirmed(ctx);
+        }
+    }
+
+    fn on_rreq_timer(&mut self, ctx: &mut Ctx, seq: u64) {
+        let Some((&dip, _)) = self
+            .pending_rreqs
+            .iter()
+            .find(|(_, p)| p.seq.0 == seq)
+        else {
+            return; // answered in time
+        };
+        let pending = self.pending_rreqs.get_mut(&dip).expect("just found");
+        if pending.attempts >= self.cfg.rreq_retries {
+            self.pending_rreqs.remove(&dip);
+            ctx.count("route.discovery_gave_up", 1);
+            self.fail_buffer(ctx, dip);
+            return;
+        }
+        pending.attempts += 1;
+        // Fresh sequence number per retry: replayed answers to the old
+        // one stay rejectable.
+        let new_seq = Seq(self.next_seq);
+        self.next_seq += 1;
+        self.pending_rreqs.get_mut(&dip).expect("present").seq = new_seq;
+        ctx.count("route.rreq_retries", 1);
+        self.broadcast_rreq(ctx, dip, new_seq);
+        ctx.set_timer(self.cfg.rreq_timeout, TAG_RREQ | new_seq.0);
+    }
+
+    fn on_ack_timer(&mut self, ctx: &mut Ctx, seq: u64) {
+        let Some(pending) = self.pending_acks.remove(&seq) else {
+            return; // acked in time
+        };
+        // Weak evidence against every relay: a black hole accrues it from
+        // every flow it swallows (Section 3.4).
+        self.credits.penalize_route(&pending.relays);
+        ctx.count("app.ack_timeouts", 1);
+        // Persistent loss toward one destination triggers a route probe
+        // ("test the integrality of each host") when enabled.
+        let misses = self
+            .consecutive_timeouts
+            .entry(pending.dip)
+            .and_modify(|c| *c += 1)
+            .or_insert(1);
+        if self.cfg.probe_enabled && *misses >= self.cfg.probe_after {
+            self.launch_probe(ctx, pending.dip, &pending.relays);
+        }
+        if pending.retries < self.cfg.data_retries {
+            // Retry — possibly over a different route now that credits
+            // shifted. If the same route is still chosen, that is what the
+            // credit experiment measures.
+            if self.try_send_data(
+                ctx,
+                Seq(seq),
+                pending.dip,
+                pending.payload.clone(),
+                pending.retries + 1,
+            ) {
+                return;
+            }
+            // No usable route: rediscover and queue.
+            let dip = pending.dip;
+            self.enqueue(
+                ctx,
+                dip,
+                Queued::Data {
+                    seq: Seq(seq),
+                    payload: pending.payload,
+                },
+            );
+            self.ensure_route(ctx, dip);
+            return;
+        }
+        self.stats.data_failed += 1;
+        ctx.count("app.data_failed", 1);
+    }
+}
+
+impl Protocol for SecureNode {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        if self.dns.is_some() {
+            // The DNS server is pre-deployed infrastructure: it owns its
+            // address and name table before the MANET forms (Section 3).
+            self.state = NodeState::Ready;
+            self.stats.joined_at = Some(ctx.now());
+            ctx.count("dad.confirmed", 1);
+            return;
+        }
+        self.begin_dad(ctx);
+    }
+
+    fn on_frame(&mut self, ctx: &mut Ctx, src: NodeId, bytes: &[u8]) {
+        let Ok(env) = Envelope::decode(bytes) else {
+            ctx.count("rx.malformed", 1);
+            return;
+        };
+        self.neighbors.learn(env.src_ip, src, ctx.now());
+        if self.behavior.replay {
+            self.observe_for_replay(&env);
+        }
+        match env.source_route {
+            Some(_) => {
+                let Some(cur) = env.current_hop() else {
+                    return;
+                };
+                if !self.accepts_addr(&cur) {
+                    return; // overheard fallback broadcast — not ours
+                }
+                if env.at_final_hop() {
+                    if ctx.tracing() {
+                        ctx.trace(Dir::Rx, env.msg.kind(), format!("from {}", env.src_ip));
+                    }
+                    self.deliver_local(ctx, env);
+                } else {
+                    self.forward(ctx, env);
+                }
+            }
+            None => match env.msg {
+                Message::Areq(areq) => self.handle_areq(ctx, areq),
+                Message::Rreq(rreq) => self.handle_rreq(ctx, rreq),
+                // Broadcast-fallback deliveries carry a source route and
+                // are handled above; other flooded kinds are not part of
+                // the protocol.
+                _ => ctx.count("rx.unexpected_flood", 1),
+            },
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx, tag: u64) {
+        match tag & TAG_KIND_MASK {
+            TAG_DAD => self.on_dad_timer(ctx),
+            TAG_RREQ => self.on_rreq_timer(ctx, tag & !TAG_KIND_MASK),
+            TAG_ACK => self.on_ack_timer(ctx, tag & !TAG_KIND_MASK),
+            TAG_DNS_PENDING => self.dns_on_pending_timer(ctx, tag & !TAG_KIND_MASK),
+            TAG_DAD_PROBE => self.on_dad_probe_timer(ctx),
+            TAG_ROUTE_PROBE => self.on_route_probe_timer(ctx, tag & !TAG_KIND_MASK),
+            _ => {}
+        }
+    }
+
+    fn on_link_failure(&mut self, ctx: &mut Ctx, _to: NodeId, bytes: &[u8]) {
+        let Ok(env) = Envelope::decode(bytes) else {
+            return;
+        };
+        let Some(path) = env.source_route.clone() else {
+            return;
+        };
+        let Some(next) = env.current_hop() else {
+            return;
+        };
+        self.neighbors.forget(&next);
+        let me = self.ident.ip();
+        // The failed transmitter was us; the broken link is me → next in
+        // route-cache terms only if we were the path head, otherwise it
+        // is (our address) → next anyway since we were forwarding.
+        self.route_cache.remove_link(me, me, next);
+        if matches!(env.msg, Message::Data(_)) {
+            let my_idx = (env.sr_index as usize).saturating_sub(1);
+            if path.0.first() == Some(&me) {
+                // We are the source: no RERR to send; the ACK timeout
+                // will retry over another route.
+                ctx.count("route.source_link_failures", 1);
+            } else {
+                self.originate_rerr(ctx, &path, my_idx, next);
+            }
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    fn mk_node(seed: u64) -> SecureNode {
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let dns_kp = manet_crypto::KeyPair::generate(512, &mut rng);
+        SecureNode::new(
+            ProtocolConfig::default(),
+            dns_kp.public().clone(),
+            Some(DomainName::new("node").unwrap()),
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn fresh_node_is_not_ready() {
+        let n = mk_node(1);
+        assert!(!n.is_ready());
+        assert!(!n.is_dns());
+        assert!(n.ip().is_site_local());
+        assert_eq!(n.stats().dad_attempts, 0);
+    }
+
+    #[test]
+    fn dns_node_knows_its_own_key() {
+        let mut rng = ChaCha12Rng::seed_from_u64(2);
+        let dns = SecureNode::new_dns(ProtocolConfig::default(), Vec::new(), &mut rng);
+        assert!(dns.is_dns());
+        assert_eq!(dns.dns_pk, *dns.ident.public());
+    }
+
+    #[test]
+    fn timer_tags_partition() {
+        assert_eq!(TAG_DAD & TAG_KIND_MASK, TAG_DAD);
+        assert_eq!((TAG_RREQ | 12345) & TAG_KIND_MASK, TAG_RREQ);
+        assert_eq!((TAG_ACK | 12345) & !TAG_KIND_MASK, 12345);
+        assert_ne!(TAG_RREQ, TAG_ACK);
+        assert_ne!(TAG_ACK, TAG_DNS_PENDING);
+    }
+
+    #[test]
+    fn seq_allocation_is_monotonic() {
+        let mut n = mk_node(3);
+        let a = n.alloc_seq();
+        let b = n.alloc_seq();
+        assert!(b.0 > a.0);
+    }
+
+    #[test]
+    fn final_hop_broadcast_rule_covers_dad_replies_only() {
+        let mut rng = ChaCha12Rng::seed_from_u64(9);
+        let id = crate::identity::HostIdentity::generate(512, &mut rng);
+        let sip = id.ip();
+        let other = crate::identity::HostIdentity::generate(512, &mut rng).ip();
+        let proof = manet_wire::IdentityProof {
+            pk: id.public().clone(),
+            rn: id.rn(),
+            sig: id.sign(b"x"),
+        };
+        let arep = Message::Arep(Arep {
+            sip,
+            rr: RouteRecord::new(),
+            proof: proof.clone(),
+        });
+        // AREP toward the disputed (mid-DAD, link-layer-ambiguous)
+        // address: always broadcast.
+        assert!(SecureNode::final_hop_must_broadcast(&arep, &sip));
+        // AREP toward anyone else (the DNS warning copy): normal unicast.
+        assert!(!SecureNode::final_hop_must_broadcast(&arep, &other));
+        // Other message kinds never force a broadcast.
+        let rerr = Message::Rerr(Rerr {
+            iip: sip,
+            i2ip: other,
+            proof,
+        });
+        assert!(!SecureNode::final_hop_must_broadcast(&rerr, &sip));
+    }
+
+    #[test]
+    fn probe_state_defaults_off() {
+        let n = mk_node(8);
+        assert!(!n.cfg.probe_enabled);
+        assert!(n.pending_probes.is_empty());
+        assert_eq!(n.stats().probes_sent, 0);
+    }
+
+    #[test]
+    fn tx_src_is_unspecified_until_ready() {
+        let n = mk_node(10);
+        assert_eq!(n.tx_src_ip(), UNSPECIFIED, "Boot state sends as ::");
+        let mut rng = ChaCha12Rng::seed_from_u64(11);
+        let dns = SecureNode::new_dns(ProtocolConfig::default(), Vec::new(), &mut rng);
+        // The DNS starts Ready only after on_start; in Boot it is :: too.
+        assert_eq!(dns.tx_src_ip(), UNSPECIFIED);
+    }
+
+    #[test]
+    fn is_my_addr_covers_anycast_only_for_dns() {
+        let n = mk_node(4);
+        assert!(n.is_my_addr(&n.ip()));
+        assert!(!n.is_my_addr(&DNS_WELL_KNOWN[0]));
+        let mut rng = ChaCha12Rng::seed_from_u64(5);
+        let dns = SecureNode::new_dns(ProtocolConfig::default(), Vec::new(), &mut rng);
+        assert!(dns.is_my_addr(&DNS_WELL_KNOWN[0]));
+        assert!(dns.is_my_addr(&dns.ip()));
+    }
+}

@@ -1,0 +1,591 @@
+//! Plain DSR baseline — the comparison point for every security
+//! experiment.
+//!
+//! Identical forwarding machinery (envelope source routes, route cache,
+//! send buffer, RERR on link failure) but: no CGA, no signatures, no
+//! verification anywhere, no credits. A `PlainDsrNode` believes any
+//! RREP, any RERR, and any claimed address — which is exactly why the
+//! Section 4 attacks succeed against it and fail against
+//! [`crate::SecureNode`].
+
+use crate::config::Behavior;
+use crate::credit::CreditManager;
+use crate::envelope::Envelope;
+use crate::neighbor::NeighborCache;
+use crate::routecache::{CachedRoute, RouteCache};
+use crate::stats::NodeStats;
+use manet_sim::{Ctx, Dir, NodeId, Protocol, SimDuration, SimTime};
+use manet_wire::{
+    Ack, Data, Ipv6Addr, Message, PlainRerr, PlainRrep, PlainRreq, RouteRecord, Seq,
+};
+use rand::Rng;
+use std::any::Any;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+const TAG_KIND_MASK: u64 = 0xff << 56;
+const TAG_RREQ: u64 = 2 << 56;
+const TAG_ACK: u64 = 3 << 56;
+
+/// Baseline configuration (subset of the secure one).
+#[derive(Clone, Debug)]
+pub struct PlainConfig {
+    pub rreq_timeout: SimDuration,
+    pub rreq_retries: u32,
+    pub ack_timeout: SimDuration,
+    pub data_retries: u32,
+    pub max_send_buffer: usize,
+    /// Answer RREQs from cache (standard DSR route-cache replies).
+    pub cached_replies: bool,
+}
+
+impl Default for PlainConfig {
+    fn default() -> Self {
+        PlainConfig {
+            rreq_timeout: SimDuration::from_millis(500),
+            rreq_retries: 3,
+            ack_timeout: SimDuration::from_millis(800),
+            data_retries: 2,
+            max_send_buffer: 64,
+            cached_replies: true,
+        }
+    }
+}
+
+struct PendingRreq {
+    seq: Seq,
+    attempts: u32,
+    started: SimTime,
+}
+
+struct PendingAck {
+    dip: Ipv6Addr,
+    payload: Vec<u8>,
+    retries: u32,
+    #[allow(dead_code)]
+    first_sent: SimTime,
+}
+
+/// The baseline node.
+pub struct PlainDsrNode {
+    cfg: PlainConfig,
+    ip: Ipv6Addr,
+    behavior: Behavior,
+    neighbors: NeighborCache,
+    route_cache: RouteCache,
+    /// Credits object kept disabled — route selection is shortest-first.
+    credits: CreditManager,
+    stats: NodeStats,
+    next_seq: u64,
+    seen_rreqs: HashSet<(Ipv6Addr, u64)>,
+    pending_rreqs: HashMap<Ipv6Addr, PendingRreq>,
+    pending_acks: HashMap<u64, PendingAck>,
+    send_buffer: VecDeque<(Ipv6Addr, Seq, Vec<u8>)>,
+}
+
+impl PlainDsrNode {
+    /// A baseline node with the given (externally assigned, assumed
+    /// unique) address.
+    pub fn new(cfg: PlainConfig, ip: Ipv6Addr) -> Self {
+        Self::with_behavior(cfg, ip, Behavior::default())
+    }
+
+    /// A baseline node with attacker switches.
+    pub fn with_behavior(cfg: PlainConfig, ip: Ipv6Addr, behavior: Behavior) -> Self {
+        PlainDsrNode {
+            cfg,
+            ip,
+            behavior,
+            neighbors: NeighborCache::default(),
+            route_cache: RouteCache::default(),
+            credits: CreditManager::new(crate::config::CreditConfig {
+                enabled: false,
+                ..crate::config::CreditConfig::default()
+            }),
+            stats: NodeStats::default(),
+            next_seq: 1,
+            seen_rreqs: HashSet::new(),
+            pending_rreqs: HashMap::new(),
+            pending_acks: HashMap::new(),
+            send_buffer: VecDeque::new(),
+        }
+    }
+
+    /// Generate an address of the same shape the secure stack uses (a
+    /// site-local with a random interface ID) — but with no key behind it.
+    pub fn random_ip<R: Rng>(rng: &mut R) -> Ipv6Addr {
+        let mut b = [0u8; 16];
+        b[0] = 0xfe;
+        b[1] = 0xc0;
+        let iid: u64 = rng.gen();
+        b[8..16].copy_from_slice(&iid.to_be_bytes());
+        Ipv6Addr(b)
+    }
+
+    pub fn ip(&self) -> Ipv6Addr {
+        self.ip
+    }
+
+    pub fn stats(&self) -> &NodeStats {
+        &self.stats
+    }
+
+    pub fn cached_destinations(&self) -> usize {
+        self.route_cache.len()
+    }
+
+    fn alloc_seq(&mut self) -> Seq {
+        let s = Seq(self.next_seq);
+        self.next_seq += 1;
+        s
+    }
+
+    /// Application entry: send `payload` to `dip`.
+    pub fn send_data(&mut self, ctx: &mut Ctx, dip: Ipv6Addr, payload: Vec<u8>) {
+        self.stats.data_sent += 1;
+        ctx.count("app.data_sent", 1);
+        let seq = self.alloc_seq();
+        if !self.try_send_data(ctx, seq, dip, payload.clone(), 0) {
+            if self.send_buffer.len() >= self.cfg.max_send_buffer {
+                self.send_buffer.pop_front();
+                self.stats.data_failed += 1;
+                ctx.count("app.data_failed", 1);
+            }
+            self.send_buffer.push_back((dip, seq, payload));
+            self.ensure_route(ctx, dip);
+        }
+    }
+
+    fn path_to(&self, now: SimTime, dip: &Ipv6Addr) -> Option<RouteRecord> {
+        let r = self.route_cache.best(dip, &self.credits, now)?;
+        Some(r.full_path(self.ip, *dip))
+    }
+
+    fn try_send_data(
+        &mut self,
+        ctx: &mut Ctx,
+        seq: Seq,
+        dip: Ipv6Addr,
+        payload: Vec<u8>,
+        retries: u32,
+    ) -> bool {
+        let Some(path) = self.path_to(ctx.now(), &dip) else {
+            return false;
+        };
+        let msg = Message::Data(Data {
+            sip: self.ip,
+            dip,
+            seq,
+            route: path.clone(),
+            payload: payload.clone(),
+        });
+        if !self.send_routed(ctx, path, msg) {
+            self.route_cache.remove_dest(&dip);
+            return false;
+        }
+        self.pending_acks.insert(
+            seq.0,
+            PendingAck {
+                dip,
+                payload,
+                retries,
+                first_sent: ctx.now(),
+            },
+        );
+        ctx.set_timer(self.cfg.ack_timeout, TAG_ACK | seq.0);
+        true
+    }
+
+    fn send_routed(&mut self, ctx: &mut Ctx, path: RouteRecord, msg: Message) -> bool {
+        debug_assert!(path.len() >= 2);
+        let next = path.0[1];
+        let env = Envelope::routed(self.ip, path.clone(), msg);
+        if let Some(node) = self.neighbors.lookup(&next, ctx.now()) {
+            self.tx(ctx, Some(node), env);
+            true
+        } else if path.len() == 2 {
+            self.tx(ctx, None, env);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn tx(&mut self, ctx: &mut Ctx, to: Option<NodeId>, env: Envelope) {
+        let bytes = env.encode();
+        ctx.count("ctl.tx_msgs", 1);
+        ctx.count("ctl.tx_bytes", bytes.len() as u64);
+        if !matches!(env.msg, Message::Data(_) | Message::Ack(_)) {
+            ctx.count("ctl.routing_bytes", bytes.len() as u64);
+        }
+        if ctx.tracing() {
+            ctx.trace(Dir::Tx, env.msg.kind(), "");
+        }
+        match to {
+            Some(node) => ctx.unicast(node, bytes),
+            None => ctx.broadcast(bytes),
+        }
+    }
+
+    fn ensure_route(&mut self, ctx: &mut Ctx, dip: Ipv6Addr) {
+        if self.pending_rreqs.contains_key(&dip) {
+            return;
+        }
+        let seq = self.alloc_seq();
+        self.pending_rreqs.insert(
+            dip,
+            PendingRreq {
+                seq,
+                attempts: 1,
+                started: ctx.now(),
+            },
+        );
+        self.broadcast_rreq(ctx, dip, seq);
+        ctx.set_timer(self.cfg.rreq_timeout, TAG_RREQ | seq.0);
+    }
+
+    fn broadcast_rreq(&mut self, ctx: &mut Ctx, dip: Ipv6Addr, seq: Seq) {
+        self.stats.rreq_sent += 1;
+        ctx.count("route.rreq_originated", 1);
+        let rreq = PlainRreq {
+            sip: self.ip,
+            dip,
+            seq,
+            rr: RouteRecord::new(),
+        };
+        let env = Envelope::broadcast(self.ip, Message::PlainRreq(rreq));
+        self.tx(ctx, None, env);
+    }
+
+    fn handle_rreq(&mut self, ctx: &mut Ctx, rreq: PlainRreq) {
+        if rreq.sip == self.ip {
+            return;
+        }
+        if !self.seen_rreqs.insert((rreq.sip, rreq.seq.0)) {
+            return;
+        }
+        // No verification anywhere: an attacker impersonating the target
+        // address simply answers (the paper's impersonation attack).
+        let target = rreq.dip == self.ip || self.behavior.impersonate == Some(rreq.dip);
+        if target {
+            if self.behavior.impersonate == Some(rreq.dip) && rreq.dip != self.ip {
+                self.stats.atk_forged_rrep += 1;
+                ctx.count("atk.impersonated_rrep", 1);
+            }
+            let rrep = PlainRrep {
+                sip: rreq.sip,
+                dip: rreq.dip,
+                seq: rreq.seq,
+                rr: rreq.rr.clone(),
+            };
+            self.stats.rrep_sent += 1;
+            let mut path = vec![rreq.dip];
+            path.extend(rreq.rr.reversed().0);
+            path.push(rreq.sip);
+            self.send_routed(ctx, RouteRecord(path), Message::PlainRrep(rrep));
+            return;
+        }
+        if self.behavior.forge_rrep {
+            // Classic black hole: claim a one-hop route to the target.
+            let mut rr = rreq.rr.clone();
+            rr.push(self.ip);
+            let rrep = PlainRrep {
+                sip: rreq.sip,
+                dip: rreq.dip,
+                seq: rreq.seq,
+                rr,
+            };
+            self.stats.atk_forged_rrep += 1;
+            ctx.count("atk.forged_rrep", 1);
+            let mut path = vec![self.ip];
+            path.extend(rreq.rr.reversed().0);
+            path.push(rreq.sip);
+            self.send_routed(ctx, RouteRecord(path), Message::PlainRrep(rrep));
+            return;
+        }
+        if self.cfg.cached_replies {
+            if let Some(cached) = self.route_cache.best(&rreq.dip, &self.credits, ctx.now()) {
+                // Standard DSR cached reply: splice our cached tail onto
+                // the request's recorded path. Unverifiable by design.
+                let mut rr = rreq.rr.clone();
+                rr.push(self.ip);
+                rr.0.extend(cached.relays.iter().copied());
+                let rrep = PlainRrep {
+                    sip: rreq.sip,
+                    dip: rreq.dip,
+                    seq: rreq.seq,
+                    rr,
+                };
+                self.stats.crep_sent += 1;
+                ctx.count("route.cached_reply", 1);
+                let mut path = vec![self.ip];
+                path.extend(rreq.rr.reversed().0);
+                path.push(rreq.sip);
+                self.send_routed(ctx, RouteRecord(path), Message::PlainRrep(rrep));
+                return;
+            }
+        }
+        let mut fwd = rreq;
+        fwd.rr.push(self.ip);
+        let env = Envelope::broadcast(self.ip, Message::PlainRreq(fwd));
+        self.tx(ctx, None, env);
+    }
+
+    fn handle_rrep(&mut self, ctx: &mut Ctx, rrep: PlainRrep) {
+        if rrep.sip != self.ip {
+            return;
+        }
+        let Some(pending) = self.pending_rreqs.get(&rrep.dip) else {
+            return;
+        };
+        if pending.seq != rrep.seq {
+            return;
+        }
+        let started = pending.started;
+        self.pending_rreqs.remove(&rrep.dip);
+        ctx.count("route.discovered", 1);
+        ctx.sample(
+            "route.discovery_latency_s",
+            ctx.now().since(started).as_secs_f64(),
+        );
+        self.route_cache.insert(
+            rrep.dip,
+            CachedRoute {
+                relays: rrep.rr.0.clone(),
+                d_proof: None,
+                learned_at: ctx.now(),
+            },
+        );
+        self.flush_buffer(ctx, rrep.dip);
+    }
+
+    fn flush_buffer(&mut self, ctx: &mut Ctx, dest: Ipv6Addr) {
+        let buffer = std::mem::take(&mut self.send_buffer);
+        for (d, seq, payload) in buffer {
+            if d == dest {
+                if !self.try_send_data(ctx, seq, d, payload.clone(), 0) {
+                    self.send_buffer.push_back((d, seq, payload));
+                }
+            } else {
+                self.send_buffer.push_back((d, seq, payload));
+            }
+        }
+    }
+
+    fn handle_rerr(&mut self, ctx: &mut Ctx, rerr: PlainRerr) {
+        // Believed unconditionally — no identity to verify (the paper's
+        // forged-RERR attack surface).
+        ctx.count("route.rerr_received", 1);
+        self.route_cache.remove_link(self.ip, rerr.iip, rerr.i2ip);
+    }
+
+    fn handle_data(&mut self, ctx: &mut Ctx, data: Data) {
+        self.stats.data_received += 1;
+        ctx.count("app.data_received", 1);
+        let ack = Ack {
+            sip: data.sip,
+            dip: data.dip,
+            seq: data.seq,
+            route: data.route.clone(),
+        };
+        let path = data.route.reversed();
+        if path.len() >= 2 {
+            self.send_routed(ctx, path, Message::Ack(ack));
+        }
+    }
+
+    fn handle_ack(&mut self, ctx: &mut Ctx, ack: Ack) {
+        if self.pending_acks.remove(&ack.seq.0).is_some() {
+            self.stats.data_acked += 1;
+            ctx.count("app.data_acked", 1);
+        }
+    }
+
+    fn forward(&mut self, ctx: &mut Ctx, mut env: Envelope) {
+        let path = env.source_route.clone().expect("routed");
+        let idx = env.sr_index as usize;
+        if let Message::Data(_) = env.msg {
+            if self.behavior.data_drop_prob > 0.0
+                && ctx.rng().gen::<f64>() < self.behavior.data_drop_prob
+            {
+                self.stats.atk_data_dropped += 1;
+                ctx.count("atk.data_dropped", 1);
+                return;
+            }
+        }
+        let next = path.0[idx + 1];
+        env.sr_index += 1;
+        env.src_ip = self.ip;
+        let is_data = matches!(env.msg, Message::Data(_));
+        ctx.count("route.forwarded", 1);
+        if let Some(node) = self.neighbors.lookup(&next, ctx.now()) {
+            self.tx(ctx, Some(node), env);
+        } else if idx + 1 == path.len() - 1 {
+            self.tx(ctx, None, env);
+        } else {
+            self.neighbors.forget(&next);
+            if is_data {
+                self.originate_rerr(ctx, &path, idx, next);
+            }
+        }
+    }
+
+    fn originate_rerr(&mut self, ctx: &mut Ctx, path: &RouteRecord, my_idx: usize, next: Ipv6Addr) {
+        let rerr = PlainRerr {
+            iip: self.ip,
+            i2ip: next,
+        };
+        self.stats.rerr_sent += 1;
+        ctx.count("route.rerr_sent", 1);
+        let back: Vec<Ipv6Addr> = path.0[..=my_idx].iter().rev().copied().collect();
+        if back.len() >= 2 {
+            self.send_routed(ctx, RouteRecord(back), Message::PlainRerr(rerr));
+        }
+    }
+
+    fn on_rreq_timer(&mut self, ctx: &mut Ctx, seq: u64) {
+        let Some((&dip, _)) = self.pending_rreqs.iter().find(|(_, p)| p.seq.0 == seq) else {
+            return;
+        };
+        let pending = self.pending_rreqs.get_mut(&dip).expect("found");
+        if pending.attempts >= self.cfg.rreq_retries {
+            self.pending_rreqs.remove(&dip);
+            let before = self.send_buffer.len();
+            self.send_buffer.retain(|(d, _, _)| *d != dip);
+            let dropped = (before - self.send_buffer.len()) as u64;
+            self.stats.data_failed += dropped;
+            ctx.count("app.data_failed", dropped);
+            return;
+        }
+        pending.attempts += 1;
+        let new_seq = Seq(self.next_seq);
+        self.next_seq += 1;
+        self.pending_rreqs.get_mut(&dip).expect("present").seq = new_seq;
+        self.broadcast_rreq(ctx, dip, new_seq);
+        ctx.set_timer(self.cfg.rreq_timeout, TAG_RREQ | new_seq.0);
+    }
+
+    fn on_ack_timer(&mut self, ctx: &mut Ctx, seq: u64) {
+        let Some(pending) = self.pending_acks.remove(&seq) else {
+            return;
+        };
+        ctx.count("app.ack_timeouts", 1);
+        if pending.retries < self.cfg.data_retries {
+            if self.try_send_data(
+                ctx,
+                Seq(seq),
+                pending.dip,
+                pending.payload.clone(),
+                pending.retries + 1,
+            ) {
+                return;
+            }
+            let dip = pending.dip;
+            self.send_buffer.push_back((dip, Seq(seq), pending.payload));
+            self.ensure_route(ctx, dip);
+            return;
+        }
+        self.stats.data_failed += 1;
+        ctx.count("app.data_failed", 1);
+    }
+}
+
+impl Protocol for PlainDsrNode {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        // No DAD, no keys: plain DSR assumes pre-assigned unique addresses.
+        self.stats.joined_at = Some(ctx.now());
+    }
+
+    fn on_frame(&mut self, ctx: &mut Ctx, src: NodeId, bytes: &[u8]) {
+        let Ok(env) = Envelope::decode(bytes) else {
+            ctx.count("rx.malformed", 1);
+            return;
+        };
+        self.neighbors.learn(env.src_ip, src, ctx.now());
+        match env.source_route {
+            Some(_) => {
+                let Some(cur) = env.current_hop() else {
+                    return;
+                };
+                // An impersonator also answers to its claimed address —
+                // in plain DSR nothing stops it.
+                if cur != self.ip && self.behavior.impersonate != Some(cur) {
+                    return;
+                }
+                if env.at_final_hop() {
+                    match env.msg {
+                        Message::PlainRrep(r) => self.handle_rrep(ctx, r),
+                        Message::PlainRerr(r) => self.handle_rerr(ctx, r),
+                        Message::Data(d) => self.handle_data(ctx, d),
+                        Message::Ack(a) => self.handle_ack(ctx, a),
+                        _ => ctx.count("rx.unexpected_routed", 1),
+                    }
+                } else {
+                    self.forward(ctx, env);
+                }
+            }
+            None => match env.msg {
+                Message::PlainRreq(r) => self.handle_rreq(ctx, r),
+                _ => ctx.count("rx.unexpected_flood", 1),
+            },
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx, tag: u64) {
+        match tag & TAG_KIND_MASK {
+            TAG_RREQ => self.on_rreq_timer(ctx, tag & !TAG_KIND_MASK),
+            TAG_ACK => self.on_ack_timer(ctx, tag & !TAG_KIND_MASK),
+            _ => {}
+        }
+    }
+
+    fn on_link_failure(&mut self, ctx: &mut Ctx, _to: NodeId, bytes: &[u8]) {
+        let Ok(env) = Envelope::decode(bytes) else {
+            return;
+        };
+        let Some(path) = env.source_route.clone() else {
+            return;
+        };
+        let Some(next) = env.current_hop() else {
+            return;
+        };
+        self.neighbors.forget(&next);
+        self.route_cache.remove_link(self.ip, self.ip, next);
+        if matches!(env.msg, Message::Data(_)) && path.0.first() != Some(&self.ip) {
+            let my_idx = (env.sr_index as usize).saturating_sub(1);
+            self.originate_rerr(ctx, &path, my_idx, next);
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    #[test]
+    fn random_ip_is_site_local_shaped() {
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        let a = PlainDsrNode::random_ip(&mut rng);
+        let b = PlainDsrNode::random_ip(&mut rng);
+        assert!(a.is_site_local());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn node_reports_its_address() {
+        let mut rng = ChaCha12Rng::seed_from_u64(2);
+        let ip = PlainDsrNode::random_ip(&mut rng);
+        let n = PlainDsrNode::new(PlainConfig::default(), ip);
+        assert_eq!(n.ip(), ip);
+        assert_eq!(n.stats().data_sent, 0);
+    }
+}

@@ -1,0 +1,261 @@
+//! DSR route cache with credit-aware selection.
+//!
+//! A cached route stores the *relay* list only (the endpoints are
+//! implicit: this node and the destination). Routes this node discovered
+//! itself also keep the destination's RREP proof so they can be served
+//! to other nodes as CREPs (Section 3.3); routes learned from a CREP
+//! cannot (we hold no destination signature binding them to a request of
+//! ours to hand out).
+
+use crate::credit::CreditManager;
+use manet_sim::{SimDuration, SimTime};
+use manet_wire::{IdentityProof, Ipv6Addr, RouteRecord, Seq};
+use std::collections::HashMap;
+
+/// Default route lifetime.
+pub const DEFAULT_ROUTE_TTL: SimDuration = SimDuration(60_000_000); // 60 s
+
+/// One cached route to some destination.
+#[derive(Clone, Debug)]
+pub struct CachedRoute {
+    /// Intermediate hops, source side first (may be empty: direct).
+    pub relays: Vec<Ipv6Addr>,
+    /// `(seq, D's RREP proof)` if we discovered this route ourselves —
+    /// the material a CREP hands to the next requester.
+    pub d_proof: Option<(Seq, IdentityProof)>,
+    pub learned_at: SimTime,
+}
+
+impl CachedRoute {
+    /// Full forwarding path `[src, relays…, dst]`.
+    pub fn full_path(&self, src: Ipv6Addr, dst: Ipv6Addr) -> RouteRecord {
+        let mut v = Vec::with_capacity(self.relays.len() + 2);
+        v.push(src);
+        v.extend_from_slice(&self.relays);
+        v.push(dst);
+        RouteRecord(v)
+    }
+}
+
+/// Per-node route cache.
+#[derive(Debug)]
+pub struct RouteCache {
+    ttl: SimDuration,
+    routes: HashMap<Ipv6Addr, Vec<CachedRoute>>,
+}
+
+impl Default for RouteCache {
+    fn default() -> Self {
+        Self::new(DEFAULT_ROUTE_TTL)
+    }
+}
+
+impl RouteCache {
+    pub fn new(ttl: SimDuration) -> Self {
+        RouteCache {
+            ttl,
+            routes: HashMap::new(),
+        }
+    }
+
+    /// Insert a route to `dst`, replacing an identical relay list.
+    pub fn insert(&mut self, dst: Ipv6Addr, route: CachedRoute) {
+        let list = self.routes.entry(dst).or_default();
+        list.retain(|r| r.relays != route.relays);
+        list.push(route);
+    }
+
+    fn fresh(&self, r: &CachedRoute, now: SimTime) -> bool {
+        now.as_micros().saturating_sub(r.learned_at.as_micros()) <= self.ttl.as_micros()
+    }
+
+    /// Best fresh route to `dst`: avoided routes (credit floor) are
+    /// filtered out when credits are enabled, then routes are ranked by
+    /// highest minimum-credit score, shortest first on ties.
+    pub fn best(
+        &self,
+        dst: &Ipv6Addr,
+        credits: &CreditManager,
+        now: SimTime,
+    ) -> Option<&CachedRoute> {
+        let list = self.routes.get(dst)?;
+        list.iter()
+            .filter(|r| self.fresh(r, now))
+            .filter(|r| !credits.route_avoided(&r.relays))
+            .max_by(|a, b| {
+                let (sa, sb) = if credits.enabled() {
+                    (credits.route_score(&a.relays), credits.route_score(&b.relays))
+                } else {
+                    (0, 0)
+                };
+                sa.cmp(&sb)
+                    .then(b.relays.len().cmp(&a.relays.len())) // shorter wins
+            })
+    }
+
+    /// A fresh self-discovered route to `dst` usable for a CREP answer.
+    pub fn creppable(&self, dst: &Ipv6Addr, now: SimTime) -> Option<&CachedRoute> {
+        self.routes.get(dst)?.iter().find(|r| {
+            self.fresh(r, now) && r.d_proof.is_some()
+        })
+    }
+
+    /// Remove every route (to any destination) that uses the directed
+    /// link `from → to`, where `me` is this node's address (the implicit
+    /// path head). Returns how many routes were dropped.
+    pub fn remove_link(&mut self, me: Ipv6Addr, from: Ipv6Addr, to: Ipv6Addr) -> usize {
+        let mut dropped = 0;
+        for (dst, list) in self.routes.iter_mut() {
+            list.retain(|r| {
+                let path = r.full_path(me, *dst);
+                let uses = path.0.windows(2).any(|w| w[0] == from && w[1] == to);
+                if uses {
+                    dropped += 1;
+                }
+                !uses
+            });
+        }
+        self.routes.retain(|_, v| !v.is_empty());
+        dropped
+    }
+
+    /// Drop all routes to `dst`.
+    pub fn remove_dest(&mut self, dst: &Ipv6Addr) {
+        self.routes.remove(dst);
+    }
+
+    /// Number of destinations with at least one cached route.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CreditConfig;
+
+    fn ip(last: u16) -> Ipv6Addr {
+        Ipv6Addr::from_groups([0xfec0, 0, 0, 0, 0, 0, 0, last])
+    }
+
+    fn route(relays: Vec<Ipv6Addr>, at: u64) -> CachedRoute {
+        CachedRoute {
+            relays,
+            d_proof: None,
+            learned_at: SimTime(at),
+        }
+    }
+
+    #[test]
+    fn insert_and_best() {
+        let mut c = RouteCache::default();
+        let credits = CreditManager::new(CreditConfig::default());
+        c.insert(ip(9), route(vec![ip(1), ip(2)], 0));
+        let best = c.best(&ip(9), &credits, SimTime(0)).unwrap();
+        assert_eq!(best.relays, vec![ip(1), ip(2)]);
+        assert_eq!(
+            best.full_path(ip(100), ip(9)).0,
+            vec![ip(100), ip(1), ip(2), ip(9)]
+        );
+    }
+
+    #[test]
+    fn shorter_route_wins_on_equal_credit() {
+        let mut c = RouteCache::default();
+        let credits = CreditManager::new(CreditConfig::default());
+        c.insert(ip(9), route(vec![ip(1), ip(2)], 0));
+        c.insert(ip(9), route(vec![ip(3)], 0));
+        assert_eq!(
+            c.best(&ip(9), &credits, SimTime(0)).unwrap().relays,
+            vec![ip(3)]
+        );
+    }
+
+    #[test]
+    fn higher_min_credit_beats_shorter() {
+        let mut c = RouteCache::default();
+        let mut credits = CreditManager::new(CreditConfig::default());
+        credits.reward_route(&[ip(1), ip(2)]);
+        credits.reward_route(&[ip(1), ip(2)]);
+        c.insert(ip(9), route(vec![ip(1), ip(2)], 0)); // min credit 2
+        c.insert(ip(9), route(vec![ip(3)], 0)); // min credit 0
+        assert_eq!(
+            c.best(&ip(9), &credits, SimTime(0)).unwrap().relays,
+            vec![ip(1), ip(2)]
+        );
+    }
+
+    #[test]
+    fn avoided_routes_filtered() {
+        let mut c = RouteCache::default();
+        let mut credits = CreditManager::new(CreditConfig::default());
+        credits.slash(&ip(1));
+        c.insert(ip(9), route(vec![ip(1)], 0));
+        c.insert(ip(9), route(vec![ip(2), ip(3)], 0));
+        assert_eq!(
+            c.best(&ip(9), &credits, SimTime(0)).unwrap().relays,
+            vec![ip(2), ip(3)]
+        );
+        // When every route is avoided, none is returned (forces rediscovery).
+        credits.slash(&ip(2));
+        assert!(c.best(&ip(9), &credits, SimTime(0)).is_none());
+    }
+
+    #[test]
+    fn expired_routes_filtered() {
+        let mut c = RouteCache::new(SimDuration::from_secs(1));
+        let credits = CreditManager::new(CreditConfig::default());
+        c.insert(ip(9), route(vec![ip(1)], 0));
+        assert!(c.best(&ip(9), &credits, SimTime(999_999)).is_some());
+        assert!(c.best(&ip(9), &credits, SimTime(1_000_001)).is_none());
+    }
+
+    #[test]
+    fn remove_link_drops_only_affected_routes() {
+        let mut c = RouteCache::default();
+        let credits = CreditManager::new(CreditConfig::default());
+        c.insert(ip(9), route(vec![ip(1), ip(2)], 0)); // uses 1→2
+        c.insert(ip(9), route(vec![ip(3)], 0));
+        c.insert(ip(8), route(vec![ip(1), ip(2), ip(4)], 0)); // uses 1→2
+        let dropped = c.remove_link(ip(100), ip(1), ip(2));
+        assert_eq!(dropped, 2);
+        assert_eq!(
+            c.best(&ip(9), &credits, SimTime(0)).unwrap().relays,
+            vec![ip(3)]
+        );
+        assert!(c.best(&ip(8), &credits, SimTime(0)).is_none());
+    }
+
+    #[test]
+    fn remove_link_covers_first_and_last_hop() {
+        let mut c = RouteCache::default();
+        c.insert(ip(9), route(vec![ip(1)], 0));
+        // Link me→1 (first hop).
+        assert_eq!(c.remove_link(ip(100), ip(100), ip(1)), 1);
+        c.insert(ip(9), route(vec![ip(1)], 0));
+        // Link 1→9 (last hop).
+        assert_eq!(c.remove_link(ip(100), ip(1), ip(9)), 1);
+    }
+
+    #[test]
+    fn duplicate_relay_lists_replace() {
+        let mut c = RouteCache::default();
+        let credits = CreditManager::new(CreditConfig::default());
+        c.insert(ip(9), route(vec![ip(1)], 0));
+        c.insert(ip(9), route(vec![ip(1)], 5_000_000));
+        let best = c.best(&ip(9), &credits, SimTime(5_000_000)).unwrap();
+        assert_eq!(best.learned_at, SimTime(5_000_000));
+    }
+
+    #[test]
+    fn creppable_requires_d_proof() {
+        let mut c = RouteCache::default();
+        c.insert(ip(9), route(vec![ip(1)], 0));
+        assert!(c.creppable(&ip(9), SimTime(0)).is_none());
+    }
+}

@@ -1,0 +1,493 @@
+//! Whole-network scenario construction and measurement.
+//!
+//! Everything downstream — integration tests, examples, the bench
+//! harness — builds networks through this module so topology, staggered
+//! bootstrap, attacker placement, and metric extraction live in one
+//! place.
+//!
+//! A note on cold boots: extended DAD relies on already-joined hosts to
+//! relay AREQ floods, so simultaneous joins only probe one hop (the same
+//! is true of the draft the paper builds on). Scenarios therefore stagger
+//! joins by [`NetworkParams::join_stagger`], which also gives the DNS a
+//! serialized stream of registrations.
+
+use crate::config::{Behavior, ProtocolConfig};
+use crate::node::SecureNode;
+use crate::plain::{PlainConfig, PlainDsrNode};
+use manet_sim::{
+    placement, Engine, EngineConfig, Field, Mobility, NodeId, Pos, RadioConfig, SimDuration,
+    SimTime,
+};
+use manet_wire::{DomainName, Ipv6Addr};
+
+/// Node placement shapes.
+#[derive(Clone, Debug)]
+pub enum Placement {
+    /// A line with the given spacing; with default radio range (250 m)
+    /// use 150–240 m for a strict multi-hop chain.
+    Chain { spacing: f64 },
+    /// A grid with `cols` columns.
+    Grid { cols: usize, spacing: f64 },
+    /// Uniformly random on the engine's field.
+    Uniform,
+    /// Explicit positions; index 0 is the DNS, the rest are hosts in
+    /// order. Must supply `n_hosts + 1` entries.
+    Custom(Vec<Pos>),
+}
+
+/// The canonical "bypass" topology for credit experiments: the shortest
+/// S→D path runs through one relay (host index [`BYPASS_ATTACKER`]),
+/// and a two-relay detour exists around it. Use with `n_hosts = 5`;
+/// host 0 is S, host 2 is D.
+pub fn bypass_positions() -> Vec<Pos> {
+    vec![
+        Pos::new(0.0, 200.0),   // DNS, near S
+        Pos::new(0.0, 0.0),     // h0 = S
+        Pos::new(200.0, 0.0),   // h1 = the on-path relay (attacker slot)
+        Pos::new(400.0, 0.0),   // h2 = D
+        Pos::new(100.0, 170.0), // h3 = detour relay 1
+        Pos::new(300.0, 170.0), // h4 = detour relay 2
+    ]
+}
+
+/// The host index sitting on the shortest path of [`bypass_positions`].
+pub const BYPASS_ATTACKER: usize = 1;
+
+/// Everything that defines a secure-network scenario.
+#[derive(Clone, Debug)]
+pub struct NetworkParams {
+    /// Number of hosts, excluding the DNS server node.
+    pub n_hosts: usize,
+    pub placement: Placement,
+    pub mobility: Mobility,
+    pub field: Field,
+    pub radio: RadioConfig,
+    pub proto: ProtocolConfig,
+    pub seed: u64,
+    pub trace: bool,
+    /// Delay between consecutive host joins (see module docs).
+    pub join_stagger: SimDuration,
+    /// `(host index, behavior)` pairs for attacker nodes.
+    pub attackers: Vec<(usize, Behavior)>,
+    /// Register a domain name (`h<i>.manet`) for every host during DAD.
+    pub register_names: bool,
+    /// Host indices whose names are pre-registered at the DNS before
+    /// network formation (the paper's permanent servers).
+    pub pre_register: Vec<usize>,
+    /// Per-host overrides of the registered name (defaults to `h<i>.manet`).
+    pub name_overrides: Vec<(usize, String)>,
+}
+
+impl Default for NetworkParams {
+    fn default() -> Self {
+        NetworkParams {
+            n_hosts: 8,
+            placement: Placement::Chain { spacing: 180.0 },
+            mobility: Mobility::Static,
+            field: Field::new(2000.0, 2000.0),
+            radio: RadioConfig {
+                loss: 0.0,
+                ..RadioConfig::default()
+            },
+            proto: ProtocolConfig::default(),
+            seed: 1,
+            trace: false,
+            // Must exceed ProtocolConfig::dad_timeout: the previous
+            // joiner has to be Ready (relaying) before the next AREQ
+            // floods.
+            join_stagger: SimDuration::from_millis(1_100),
+            attackers: Vec::new(),
+            register_names: true,
+            pre_register: Vec::new(),
+            name_overrides: Vec::new(),
+        }
+    }
+}
+
+/// A built secure network: engine + node handles.
+pub struct SecureNetwork {
+    pub engine: Engine,
+    /// The DNS server node (always placed first).
+    pub dns: NodeId,
+    /// Host nodes in construction order.
+    pub hosts: Vec<NodeId>,
+    /// When the last host joins (bootstrap completes some time after).
+    pub last_join: SimTime,
+}
+
+/// The host's registered name for index `i`.
+pub fn host_name(i: usize) -> DomainName {
+    DomainName::new(&format!("h{i}.manet")).expect("static name is valid")
+}
+
+/// Build a secure network per `params`. Node 0 of the engine is the DNS;
+/// hosts join staggered starting at `join_stagger`.
+pub fn build_secure(params: &NetworkParams) -> SecureNetwork {
+    let n_total = params.n_hosts + 1;
+    let positions = positions_for(&params.placement, n_total, &params.field, params.seed);
+
+    let engine_cfg = EngineConfig {
+        field: params.field,
+        radio: params.radio.clone(),
+        seed: params.seed,
+        trace: params.trace,
+        ..EngineConfig::default()
+    };
+    let mut engine = Engine::new(engine_cfg);
+
+    // Build every host identity first so pre-registration can know their
+    // addresses; the DNS node is constructed from the same RNG stream.
+    let mut dns_node = SecureNode::new_dns(params.proto.clone(), Vec::new(), engine.rng());
+    let dns_pk = dns_node.public_key().clone();
+
+    let mut host_nodes = Vec::with_capacity(params.n_hosts);
+    for i in 0..params.n_hosts {
+        let behavior = params
+            .attackers
+            .iter()
+            .find(|(idx, _)| *idx == i)
+            .map(|(_, b)| b.clone())
+            .unwrap_or_default();
+        let dn = params.register_names.then(|| {
+            params
+                .name_overrides
+                .iter()
+                .find(|(idx, _)| *idx == i)
+                .map(|(_, name)| DomainName::new(name).expect("valid override name"))
+                .unwrap_or_else(|| host_name(i))
+        });
+        let node = SecureNode::with_behavior(
+            params.proto.clone(),
+            dns_pk.clone(),
+            dn,
+            behavior,
+            engine.rng(),
+        );
+        host_nodes.push(node);
+    }
+    for &i in &params.pre_register {
+        dns_node.dns_preregister(host_name(i), host_nodes[i].ip());
+    }
+
+    let dns = engine.add_node(Box::new(dns_node), positions[0], Mobility::Static);
+    let mut hosts = Vec::with_capacity(params.n_hosts);
+    let mut last_join = SimTime::ZERO;
+    for (i, node) in host_nodes.into_iter().enumerate() {
+        let join_at = SimTime(params.join_stagger.as_micros() * (i as u64 + 1));
+        last_join = join_at;
+        let id = engine.add_node_at(
+            Box::new(node),
+            positions[i + 1],
+            params.mobility.clone(),
+            join_at,
+        );
+        hosts.push(id);
+    }
+    SecureNetwork {
+        engine,
+        dns,
+        hosts,
+        last_join,
+    }
+}
+
+fn positions_for(placement: &Placement, n: usize, field: &Field, seed: u64) -> Vec<Pos> {
+    use rand::SeedableRng;
+    match placement {
+        Placement::Chain { spacing } => placement::chain(n, *spacing, field.height / 2.0),
+        Placement::Grid { cols, spacing } => placement::grid(n, *cols, *spacing),
+        Placement::Uniform => {
+            let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15);
+            placement::uniform(n, field, &mut rng)
+        }
+        Placement::Custom(positions) => {
+            assert_eq!(positions.len(), n, "custom placement size mismatch");
+            positions.clone()
+        }
+    }
+}
+
+impl SecureNetwork {
+    /// Run long enough for every host to finish DAD (and the DNS to
+    /// commit their names). Returns whether all hosts are ready.
+    pub fn bootstrap(&mut self) -> bool {
+        let margin = SimDuration::from_secs(3);
+        let until = self.last_join + margin;
+        self.engine.run_until(until);
+        self.all_ready()
+    }
+
+    /// Are all hosts out of DAD?
+    pub fn all_ready(&self) -> bool {
+        self.hosts
+            .iter()
+            .all(|&h| self.engine.protocol_as::<SecureNode>(h).is_ready())
+    }
+
+    /// A host's current address.
+    pub fn host_ip(&self, i: usize) -> Ipv6Addr {
+        self.engine.protocol_as::<SecureNode>(self.hosts[i]).ip()
+    }
+
+    /// Borrow a host's protocol.
+    pub fn host(&self, i: usize) -> &SecureNode {
+        self.engine.protocol_as::<SecureNode>(self.hosts[i])
+    }
+
+    /// Borrow the DNS node's protocol.
+    pub fn dns_node(&self) -> &SecureNode {
+        self.engine.protocol_as::<SecureNode>(self.dns)
+    }
+
+    /// Have host `from` send `payload` to host `to` right now.
+    pub fn send(&mut self, from: usize, to: usize, payload: Vec<u8>) {
+        let dst = self.host_ip(to);
+        let id = self.hosts[from];
+        self.engine.with_protocol::<SecureNode, _>(id, |n, ctx| {
+            n.send_data(ctx, dst, payload);
+        });
+    }
+
+    /// Run `packets` rounds of one packet per flow, spaced by `interval`,
+    /// then drain for acks.
+    pub fn run_flows(
+        &mut self,
+        flows: &[(usize, usize)],
+        packets: usize,
+        interval: SimDuration,
+    ) {
+        for _ in 0..packets {
+            for &(from, to) in flows {
+                self.send(from, to, vec![0xda; 64]);
+            }
+            let next = self.engine.now() + interval;
+            self.engine.run_until(next);
+        }
+        let drain = self.engine.now() + SimDuration::from_secs(5);
+        self.engine.run_until(drain);
+    }
+
+    /// Fraction of sent data packets that were end-to-end acknowledged,
+    /// across all honest hosts.
+    pub fn delivery_ratio(&self) -> f64 {
+        let (mut sent, mut acked) = (0u64, 0u64);
+        for &h in &self.hosts {
+            let n = self.engine.protocol_as::<SecureNode>(h);
+            sent += n.stats().data_sent;
+            acked += n.stats().data_acked;
+        }
+        if sent == 0 {
+            return f64::NAN;
+        }
+        acked as f64 / sent as f64
+    }
+}
+
+impl SecureNode {
+    /// Pre-register a (name, address) pair at this DNS node — only
+    /// meaningful before the network starts (Section 3's permanent
+    /// entries).
+    pub fn dns_preregister(&mut self, dn: DomainName, ip: Ipv6Addr) {
+        if let Some(dns) = &mut self.dns {
+            dns.preregister(dn, ip);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plain-DSR baseline network
+// ---------------------------------------------------------------------------
+
+/// Parameters for a plain-DSR network (no DNS node, no DAD).
+#[derive(Clone, Debug)]
+pub struct PlainParams {
+    pub n_hosts: usize,
+    pub placement: Placement,
+    pub mobility: Mobility,
+    pub field: Field,
+    pub radio: RadioConfig,
+    pub proto: PlainConfig,
+    pub seed: u64,
+    pub trace: bool,
+    pub attackers: Vec<(usize, Behavior)>,
+}
+
+impl Default for PlainParams {
+    fn default() -> Self {
+        PlainParams {
+            n_hosts: 8,
+            placement: Placement::Chain { spacing: 180.0 },
+            mobility: Mobility::Static,
+            field: Field::new(2000.0, 2000.0),
+            radio: RadioConfig {
+                loss: 0.0,
+                ..RadioConfig::default()
+            },
+            proto: PlainConfig::default(),
+            seed: 1,
+            trace: false,
+            attackers: Vec::new(),
+        }
+    }
+}
+
+/// A built plain-DSR network.
+pub struct PlainNetwork {
+    pub engine: Engine,
+    pub hosts: Vec<NodeId>,
+    ips: Vec<Ipv6Addr>,
+}
+
+/// Build the baseline network. Addresses are assigned up front (plain
+/// DSR has no autoconfiguration story — that asymmetry *is* the paper's
+/// bootstrap contribution).
+pub fn build_plain(params: &PlainParams) -> PlainNetwork {
+    let positions = positions_for(&params.placement, params.n_hosts, &params.field, params.seed);
+    let engine_cfg = EngineConfig {
+        field: params.field,
+        radio: params.radio.clone(),
+        seed: params.seed,
+        trace: params.trace,
+        ..EngineConfig::default()
+    };
+    let mut engine = Engine::new(engine_cfg);
+    let ips: Vec<Ipv6Addr> = (0..params.n_hosts)
+        .map(|_| PlainDsrNode::random_ip(engine.rng()))
+        .collect();
+    let mut hosts = Vec::with_capacity(params.n_hosts);
+    for i in 0..params.n_hosts {
+        let behavior = params
+            .attackers
+            .iter()
+            .find(|(idx, _)| *idx == i)
+            .map(|(_, b)| b.clone())
+            .unwrap_or_default();
+        let node = PlainDsrNode::with_behavior(params.proto.clone(), ips[i], behavior);
+        let id = engine.add_node(Box::new(node), positions[i], params.mobility.clone());
+        hosts.push(id);
+    }
+    PlainNetwork { engine, hosts, ips }
+}
+
+impl PlainNetwork {
+    pub fn host_ip(&self, i: usize) -> Ipv6Addr {
+        self.ips[i]
+    }
+
+    pub fn host(&self, i: usize) -> &PlainDsrNode {
+        self.engine.protocol_as::<PlainDsrNode>(self.hosts[i])
+    }
+
+    pub fn send(&mut self, from: usize, to: usize, payload: Vec<u8>) {
+        let dst = self.ips[to];
+        let id = self.hosts[from];
+        self.engine.with_protocol::<PlainDsrNode, _>(id, |n, ctx| {
+            n.send_data(ctx, dst, payload);
+        });
+    }
+
+    pub fn run_flows(
+        &mut self,
+        flows: &[(usize, usize)],
+        packets: usize,
+        interval: SimDuration,
+    ) {
+        // Give the static network a beat so neighbor caches can form from
+        // the first floods.
+        for _ in 0..packets {
+            for &(from, to) in flows {
+                self.send(from, to, vec![0xda; 64]);
+            }
+            let next = self.engine.now() + interval;
+            self.engine.run_until(next);
+        }
+        let drain = self.engine.now() + SimDuration::from_secs(5);
+        self.engine.run_until(drain);
+    }
+
+    pub fn delivery_ratio(&self) -> f64 {
+        let (mut sent, mut acked) = (0u64, 0u64);
+        for &h in &self.hosts {
+            let n = self.engine.protocol_as::<PlainDsrNode>(h);
+            sent += n.stats().data_sent;
+            acked += n.stats().data_acked;
+        }
+        if sent == 0 {
+            return f64::NAN;
+        }
+        acked as f64 / sent as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_params(n: usize, seed: u64) -> NetworkParams {
+        NetworkParams {
+            n_hosts: n,
+            seed,
+            ..NetworkParams::default()
+        }
+    }
+
+    #[test]
+    fn secure_chain_bootstraps_all_hosts() {
+        let mut net = build_secure(&small_params(4, 7));
+        assert!(net.bootstrap(), "every host must finish DAD");
+        for i in 0..4 {
+            let n = net.host(i);
+            assert!(n.is_ready());
+            assert_eq!(n.stats().dad_attempts, 1, "no collisions expected");
+            assert!(n.ip().is_site_local());
+        }
+        // All addresses distinct.
+        let mut ips: Vec<_> = (0..4).map(|i| net.host_ip(i)).collect();
+        ips.sort();
+        ips.dedup();
+        assert_eq!(ips.len(), 4);
+    }
+
+    #[test]
+    fn dns_commits_host_names_during_bootstrap() {
+        let mut net = build_secure(&small_params(3, 8));
+        assert!(net.bootstrap());
+        let dns = net.dns_node().dns_state().expect("dns role");
+        for i in 0..3 {
+            assert_eq!(
+                dns.lookup(&host_name(i)),
+                Some(net.host_ip(i)),
+                "h{i} must be committed"
+            );
+        }
+    }
+
+    #[test]
+    fn data_flows_end_to_end_over_multiple_hops() {
+        let mut net = build_secure(&small_params(5, 9));
+        assert!(net.bootstrap());
+        net.run_flows(&[(0, 4)], 10, SimDuration::from_millis(300));
+        let ratio = net.delivery_ratio();
+        assert!(ratio > 0.9, "delivery ratio {ratio} too low");
+        // The receiving host actually saw the packets.
+        assert!(net.host(4).stats().data_received >= 9);
+    }
+
+    #[test]
+    fn plain_network_delivers_without_security() {
+        let mut net = build_plain(&PlainParams {
+            n_hosts: 5,
+            seed: 10,
+            ..PlainParams::default()
+        });
+        net.run_flows(&[(0, 4)], 10, SimDuration::from_millis(300));
+        let ratio = net.delivery_ratio();
+        assert!(ratio > 0.9, "plain delivery ratio {ratio} too low");
+    }
+
+    #[test]
+    fn host_names_are_valid_and_distinct() {
+        assert_ne!(host_name(0), host_name(1));
+        assert_eq!(host_name(3).as_str(), "h3.manet");
+    }
+}

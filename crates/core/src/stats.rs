@@ -1,0 +1,101 @@
+//! Per-node statistics, readable by harnesses after a run via
+//! [`manet_sim::Engine::protocol_as`].
+
+use manet_sim::SimTime;
+use manet_wire::{DomainName, Ipv6Addr};
+use std::collections::HashMap;
+
+/// Everything a node counts about its own behaviour.
+#[derive(Debug, Default, Clone)]
+pub struct NodeStats {
+    // --- bootstrap ---
+    /// DAD rounds run (1 = first address stuck).
+    pub dad_attempts: u32,
+    /// When the address was confirmed and the node became operational.
+    pub joined_at: Option<SimTime>,
+    /// Genuine address collisions detected (valid AREP received).
+    pub collisions_detected: u32,
+    /// Name conflicts reported by the DNS (valid DREP received).
+    pub name_conflicts: u32,
+
+    // --- application data ---
+    pub data_sent: u64,
+    pub data_acked: u64,
+    pub data_failed: u64,
+    /// Data packets received as final destination.
+    pub data_received: u64,
+
+    // --- control traffic originated ---
+    pub areq_sent: u64,
+    pub arep_sent: u64,
+    pub drep_sent: u64,
+    pub rreq_sent: u64,
+    pub rrep_sent: u64,
+    pub crep_sent: u64,
+    pub rerr_sent: u64,
+
+    // --- security verdicts (messages rejected by verification) ---
+    pub rejected_arep: u64,
+    pub rejected_drep: u64,
+    pub rejected_rreq: u64,
+    pub rejected_rrep: u64,
+    pub rejected_crep: u64,
+    pub rejected_rerr: u64,
+    pub rejected_dns_reply: u64,
+
+    // --- attacker-side counters (zero on honest nodes) ---
+    pub atk_data_dropped: u64,
+    pub atk_forged_rrep: u64,
+    pub atk_forged_arep: u64,
+    pub atk_replayed: u64,
+    pub atk_forged_dns: u64,
+    pub atk_spam_rerr: u64,
+
+    // --- route probing (Section 3.4 extension) ---
+    /// Probes launched after persistent ack timeouts.
+    pub probes_sent: u64,
+    /// Per-hop probe acknowledgements we produced as a relay.
+    pub probe_acks_sent: u64,
+    /// Hops this node localized as packet-swallowing suspects.
+    pub probe_suspects: Vec<Ipv6Addr>,
+    /// Probes whose hops all acknowledged (no suspect — an evader or a
+    /// transient fault).
+    pub probes_inconclusive: u64,
+
+    // --- DNS client ---
+    /// Answers received for [`crate::node::SecureNode::resolve`] calls,
+    /// keyed by name (`None` = authenticated NXDOMAIN).
+    pub resolved: HashMap<DomainName, Option<Ipv6Addr>>,
+    /// Outcome of the last IP-change attempt.
+    pub ip_change_accepted: Option<bool>,
+}
+
+impl NodeStats {
+    /// Sum of all rejected-message counters — the node's evidence of
+    /// attack traffic.
+    pub fn total_rejected(&self) -> u64 {
+        self.rejected_arep
+            + self.rejected_drep
+            + self.rejected_rreq
+            + self.rejected_rrep
+            + self.rejected_crep
+            + self.rejected_rerr
+            + self.rejected_dns_reply
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_rejected_sums_all_kinds() {
+        let s = NodeStats {
+            rejected_arep: 1,
+            rejected_rrep: 2,
+            rejected_dns_reply: 4,
+            ..NodeStats::default()
+        };
+        assert_eq!(s.total_rejected(), 7);
+    }
+}

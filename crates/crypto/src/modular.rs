@@ -1,0 +1,344 @@
+//! Modular arithmetic: Montgomery-form exponentiation and modular inverse.
+//!
+//! RSA spends essentially all of its time in `modpow`, so that path uses a
+//! Montgomery REDC context with a fixed 4-bit window. The remaining
+//! operations (inverse, plain reduction) are cold and use the generic
+//! [`Ubig`] division.
+
+use crate::limb::{self, LIMB_BITS};
+use crate::uint::Ubig;
+
+/// Precomputed state for repeated arithmetic modulo an odd modulus `n`.
+pub struct MontgomeryCtx {
+    /// The (odd) modulus.
+    n: Ubig,
+    /// Limb count of `n`.
+    k: usize,
+    /// `-n^{-1} mod 2^64`, the REDC constant.
+    n_prime: u64,
+    /// `R^2 mod n` where `R = 2^(64k)`; converts into Montgomery form.
+    r2: Ubig,
+}
+
+impl MontgomeryCtx {
+    /// Build a context for odd modulus `n > 1`.
+    ///
+    /// # Panics
+    /// Panics if `n` is even or `< 2` — Montgomery reduction requires
+    /// `gcd(n, 2^64) = 1`.
+    pub fn new(n: &Ubig) -> Self {
+        assert!(!n.is_even(), "Montgomery modulus must be odd");
+        assert!(*n > Ubig::one(), "modulus must exceed 1");
+        let k = n.limbs().len();
+        let n_prime = inv_limb_neg(n.limbs()[0]);
+        // R^2 mod n via shifting: R2 = 2^(128k) mod n.
+        let r2 = (Ubig::one() << (2 * k as u32 * LIMB_BITS)).div_rem(n).1;
+        MontgomeryCtx {
+            n: n.clone(),
+            k,
+            n_prime,
+            r2,
+        }
+    }
+
+    /// The modulus this context reduces by.
+    pub fn modulus(&self) -> &Ubig {
+        &self.n
+    }
+
+    /// REDC: given `t < n*R`, compute `t * R^{-1} mod n`.
+    ///
+    /// `t` is consumed as a limb vector of length `2k` (padded).
+    fn redc(&self, mut t: Vec<u64>) -> Ubig {
+        t.resize(2 * self.k + 1, 0);
+        let n_limbs = self.n.limbs();
+        for i in 0..self.k {
+            let m = t[i].wrapping_mul(self.n_prime);
+            // t += m * n << (64*i); the low limb of the addition zeroes t[i].
+            let carry = limb::add_mul_limb(&mut t[i..], n_limbs, m);
+            debug_assert_eq!(carry, 0);
+            debug_assert_eq!(t[i], 0);
+        }
+        let mut out = Ubig::from_limbs(t[self.k..].to_vec());
+        if out >= self.n {
+            out -= &self.n;
+        }
+        out
+    }
+
+    /// Convert into Montgomery form: `a*R mod n`.
+    fn to_mont(&self, a: &Ubig) -> Ubig {
+        self.mont_mul(a, &self.r2)
+    }
+
+    /// Montgomery product: `a*b*R^{-1} mod n` for Montgomery-form inputs.
+    fn mont_mul(&self, a: &Ubig, b: &Ubig) -> Ubig {
+        let prod = a * b;
+        self.redc(prod.limbs().to_vec())
+    }
+
+    /// Montgomery squaring — the hot operation of modpow (the square-and-
+    /// multiply ladder squares every exponent bit but multiplies only on
+    /// set window digits). Uses the dedicated squaring path.
+    fn mont_sqr(&self, a: &Ubig) -> Ubig {
+        self.redc(a.square().limbs().to_vec())
+    }
+
+    /// `base^exp mod n` using a fixed 4-bit window.
+    pub fn modpow(&self, base: &Ubig, exp: &Ubig) -> Ubig {
+        if exp.is_zero() {
+            return Ubig::one().div_rem(&self.n).1;
+        }
+        let base = base.div_rem(&self.n).1;
+        let base_m = self.to_mont(&base);
+        // one in Montgomery form = R mod n
+        let one_m = self.redc({
+            let mut t = self.r2.limbs().to_vec();
+            t.resize(2 * self.k, 0);
+            t
+        });
+
+        // Precompute base^0..base^15 in Montgomery form.
+        let mut table = Vec::with_capacity(16);
+        table.push(one_m.clone());
+        table.push(base_m.clone());
+        for i in 2..16 {
+            let prev: &Ubig = &table[i - 1];
+            table.push(self.mont_mul(prev, &base_m));
+        }
+
+        let bits = exp.bit_len();
+        let windows = bits.div_ceil(4);
+        let mut acc = one_m;
+        let mut started = false;
+        for w in (0..windows).rev() {
+            if started {
+                for _ in 0..4 {
+                    acc = self.mont_sqr(&acc);
+                }
+            }
+            let mut digit = 0usize;
+            for b in 0..4 {
+                let idx = w * 4 + (3 - b);
+                digit <<= 1;
+                if idx < bits && exp.bit(idx) {
+                    digit |= 1;
+                }
+            }
+            if digit != 0 {
+                acc = self.mont_mul(&acc, &table[digit]);
+                started = true;
+            } else if started {
+                // keep acc
+            }
+            if !started && digit == 0 {
+                continue;
+            }
+            started = true;
+        }
+        // Leave Montgomery form: multiply by 1.
+        self.redc({
+            let mut t = acc.limbs().to_vec();
+            t.resize(2 * self.k, 0);
+            t
+        })
+    }
+}
+
+/// `-n0^{-1} mod 2^64` via Newton–Hensel iteration (n0 odd).
+fn inv_limb_neg(n0: u64) -> u64 {
+    debug_assert!(n0 & 1 == 1);
+    // x := n0^{-1} mod 2^64; five iterations double precision each time.
+    let mut x = n0; // correct mod 2^3 already for odd n0? mod 8: n0*n0 ≡ 1, so x=n0 works mod 8.
+    for _ in 0..5 {
+        x = x.wrapping_mul(2u64.wrapping_sub(n0.wrapping_mul(x)));
+    }
+    debug_assert_eq!(n0.wrapping_mul(x), 1);
+    x.wrapping_neg()
+}
+
+/// `base^exp mod n` for any `n > 1` (falls back to division-based
+/// square-and-multiply when `n` is even).
+pub fn modpow(base: &Ubig, exp: &Ubig, n: &Ubig) -> Ubig {
+    assert!(*n > Ubig::one(), "modulus must exceed 1");
+    if !n.is_even() {
+        return MontgomeryCtx::new(n).modpow(base, exp);
+    }
+    // Cold path for even moduli (not used by RSA, kept for completeness).
+    let mut result = Ubig::one();
+    let mut b = base.div_rem(n).1;
+    for i in 0..exp.bit_len() {
+        if exp.bit(i) {
+            result = (&result * &b).div_rem(n).1;
+        }
+        b = (&b * &b).div_rem(n).1;
+    }
+    result
+}
+
+/// Modular inverse `a^{-1} mod n`, if `gcd(a, n) = 1`.
+///
+/// Extended Euclid over non-negative values with sign tracking.
+pub fn invmod(a: &Ubig, n: &Ubig) -> Option<Ubig> {
+    if n.is_zero() || a.is_zero() {
+        return None;
+    }
+    // Invariants: r0 = s0*a mod n (up to sign), gcd chain on (r0, r1).
+    let mut r0 = n.clone();
+    let mut r1 = a.div_rem(n).1;
+    if r1.is_zero() {
+        return None;
+    }
+    // Coefficients of `a`: track magnitude + sign separately.
+    let mut s0 = Ubig::zero();
+    let mut s0_neg = false;
+    let mut s1 = Ubig::one();
+    let mut s1_neg = false;
+
+    while !r1.is_zero() {
+        let (q, r2) = r0.div_rem(&r1);
+        // s2 = s0 - q*s1 (signed)
+        let qs1 = &q * &s1;
+        let (s2, s2_neg) = signed_sub((s0, s0_neg), (qs1, s1_neg));
+        r0 = core::mem::replace(&mut r1, r2);
+        s0 = core::mem::replace(&mut s1, s2);
+        s0_neg = core::mem::replace(&mut s1_neg, s2_neg);
+    }
+    if !r0.is_one() {
+        return None; // not coprime
+    }
+    let mut inv = s0.div_rem(n).1;
+    if s0_neg && !inv.is_zero() {
+        inv = n - &inv;
+    }
+    Some(inv)
+}
+
+/// `(a, a_neg) - (b, b_neg)` on sign-magnitude pairs.
+fn signed_sub(a: (Ubig, bool), b: (Ubig, bool)) -> (Ubig, bool) {
+    let (a, a_neg) = a;
+    let (b, b_neg) = b;
+    match (a_neg, b_neg) {
+        (false, true) => (a + b, false),
+        (true, false) => (a + b, true),
+        (an, _) => {
+            // same sign: magnitude subtraction, sign flips if |b| > |a|
+            if a >= b {
+                (&a - &b, an && a != b)
+            } else {
+                (&b - &a, !an)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(v: u64) -> Ubig {
+        Ubig::from(v)
+    }
+
+    #[test]
+    fn inv_limb_neg_is_negative_inverse() {
+        for n0 in [1u64, 3, 5, 0xdead_beef_0bad_f00d | 1, u64::MAX] {
+            let x = inv_limb_neg(n0);
+            assert_eq!(n0.wrapping_mul(x.wrapping_neg()), 1, "n0={n0}");
+        }
+    }
+
+    #[test]
+    fn modpow_small_known_values() {
+        assert_eq!(modpow(&u(2), &u(10), &u(1000)), u(24));
+        assert_eq!(modpow(&u(3), &u(0), &u(7)), u(1));
+        assert_eq!(modpow(&u(0), &u(5), &u(7)), u(0));
+        assert_eq!(modpow(&u(5), &u(117), &u(19)), {
+            // 5^117 mod 19 by Fermat: 5^18 ≡ 1, 117 = 6*18+9, 5^9 mod 19
+            let mut x = 1u64;
+            for _ in 0..9 {
+                x = x * 5 % 19;
+            }
+            u(x)
+        });
+    }
+
+    #[test]
+    fn modpow_fermat_little_theorem() {
+        // p prime, a < p  =>  a^(p-1) ≡ 1 (mod p)
+        let p = Ubig::from_hex("ffffffffffffffc5").unwrap(); // largest 64-bit prime
+        for a in [2u64, 3, 0x1234_5678, 0xdead_beef] {
+            let e = &p - &Ubig::one();
+            assert_eq!(modpow(&u(a), &e, &p), Ubig::one(), "a={a}");
+        }
+    }
+
+    #[test]
+    fn modpow_matches_naive_for_multi_limb() {
+        let n = Ubig::from_hex("c34f8e21b9d473a1550f9c2de38641c7").unwrap(); // odd 128-bit
+        let b = Ubig::from_hex("123456789abcdef00fedcba987654321").unwrap();
+        let e = u(65537);
+        // naive square-and-multiply with division
+        let mut naive = Ubig::one();
+        let mut base = b.div_rem(&n).1;
+        for i in 0..e.bit_len() {
+            if e.bit(i) {
+                naive = (&naive * &base).div_rem(&n).1;
+            }
+            base = (&base * &base).div_rem(&n).1;
+        }
+        assert_eq!(modpow(&b, &e, &n), naive);
+    }
+
+    #[test]
+    fn modpow_even_modulus_fallback() {
+        assert_eq!(modpow(&u(7), &u(13), &u(100)), u(7u64.pow(13) % 100));
+    }
+
+    #[test]
+    fn montgomery_ctx_rejects_even_modulus() {
+        let r = std::panic::catch_unwind(|| MontgomeryCtx::new(&u(10)));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn invmod_basics() {
+        assert_eq!(invmod(&u(3), &u(7)), Some(u(5))); // 3*5=15≡1 mod 7
+        assert_eq!(invmod(&u(2), &u(4)), None); // not coprime
+        assert_eq!(invmod(&u(1), &u(97)), Some(u(1)));
+        assert_eq!(invmod(&u(96), &u(97)), Some(u(96))); // (-1)^-1 = -1
+    }
+
+    #[test]
+    fn invmod_large_verifies_by_multiplication() {
+        let n = Ubig::from_hex("e4057cdd8e6e3c6f21a9b3c95d1fe801").unwrap(); // odd
+        let a = Ubig::from_hex("deadbeef0badf00d").unwrap();
+        let inv = invmod(&a, &n).expect("coprime");
+        assert_eq!((&a * &inv).div_rem(&n).1, Ubig::one());
+    }
+
+    #[test]
+    fn invmod_of_zero_and_zero_modulus() {
+        assert_eq!(invmod(&Ubig::zero(), &u(7)), None);
+        assert_eq!(invmod(&u(7), &Ubig::zero()), None);
+        assert_eq!(invmod(&u(7), &u(7)), None);
+    }
+
+    #[test]
+    fn signed_sub_cases() {
+        // 5 - 3 = 2
+        assert_eq!(signed_sub((u(5), false), (u(3), false)), (u(2), false));
+        // 3 - 5 = -2
+        assert_eq!(signed_sub((u(3), false), (u(5), false)), (u(2), true));
+        // -3 - 5 = -8
+        assert_eq!(signed_sub((u(3), true), (u(5), false)), (u(8), true));
+        // 3 - (-5) = 8
+        assert_eq!(signed_sub((u(3), false), (u(5), true)), (u(8), false));
+        // -5 - (-3) = -2
+        assert_eq!(signed_sub((u(5), true), (u(3), true)), (u(2), true));
+        // -3 - (-5) = 2
+        assert_eq!(signed_sub((u(3), true), (u(5), true)), (u(2), false));
+        // 5 - 5 = 0 (never negative zero)
+        assert_eq!(signed_sub((u(5), false), (u(5), false)), (u(0), false));
+    }
+}

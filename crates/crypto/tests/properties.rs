@@ -1,0 +1,191 @@
+//! Property-based tests for the arithmetic core.
+//!
+//! These pin the ring axioms and division invariants that the RSA layer
+//! silently depends on; a single wrong carry in the limb code shows up
+//! here long before it corrupts a signature.
+
+use manet_crypto::modular::{invmod, modpow};
+use manet_crypto::prime::{is_prime, random_below};
+use manet_crypto::uint::Ubig;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+/// Strategy: a Ubig up to ~4 limbs from raw bytes.
+fn ubig() -> impl Strategy<Value = Ubig> {
+    proptest::collection::vec(any::<u8>(), 0..32).prop_map(|b| Ubig::from_be_bytes(&b))
+}
+
+/// Strategy: a non-zero Ubig.
+fn ubig_nonzero() -> impl Strategy<Value = Ubig> {
+    ubig().prop_filter("nonzero", |v| !v.is_zero())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn add_commutes(a in ubig(), b in ubig()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+    }
+
+    #[test]
+    fn add_associates(a in ubig(), b in ubig(), c in ubig()) {
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+    }
+
+    #[test]
+    fn mul_commutes(a in ubig(), b in ubig()) {
+        prop_assert_eq!(&a * &b, &b * &a);
+    }
+
+    #[test]
+    fn mul_associates(a in ubig(), b in ubig(), c in ubig()) {
+        prop_assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
+    }
+
+    #[test]
+    fn mul_distributes(a in ubig(), b in ubig(), c in ubig()) {
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    #[test]
+    fn add_then_sub_is_identity(a in ubig(), b in ubig()) {
+        prop_assert_eq!(&(&a + &b) - &b, a);
+    }
+
+    #[test]
+    fn square_matches_self_multiplication(a in ubig()) {
+        prop_assert_eq!(a.square(), &a * &a);
+    }
+
+    #[test]
+    fn div_rem_invariant(a in ubig(), b in ubig_nonzero()) {
+        let (q, r) = a.div_rem(&b);
+        prop_assert!(r < b);
+        prop_assert_eq!(&(&q * &b) + &r, a);
+    }
+
+    #[test]
+    fn bytes_roundtrip(a in ubig()) {
+        prop_assert_eq!(Ubig::from_be_bytes(&a.to_be_bytes()), a.clone());
+        let padded = a.to_be_bytes_padded(40);
+        prop_assert_eq!(padded.len(), 40);
+        prop_assert_eq!(Ubig::from_be_bytes(&padded), a);
+    }
+
+    #[test]
+    fn hex_roundtrip(a in ubig()) {
+        prop_assert_eq!(Ubig::from_hex(&a.to_hex()).unwrap(), a);
+    }
+
+    #[test]
+    fn shift_roundtrip(a in ubig(), sh in 0u32..200) {
+        prop_assert_eq!((a.clone() << sh) >> sh, a);
+    }
+
+    #[test]
+    fn shift_is_mul_by_power_of_two(a in ubig(), sh in 0u32..100) {
+        let pow = Ubig::one() << sh;
+        prop_assert_eq!(a.clone() << sh, &a * &pow);
+    }
+
+    #[test]
+    fn gcd_divides_both(a in ubig_nonzero(), b in ubig_nonzero()) {
+        let g = a.gcd(&b);
+        prop_assert!(!g.is_zero());
+        prop_assert!(a.div_rem(&g).1.is_zero());
+        prop_assert!(b.div_rem(&g).1.is_zero());
+    }
+
+    #[test]
+    fn modpow_matches_naive(base in ubig(), exp in 0u64..64, modulus in ubig_nonzero()) {
+        prop_assume!(modulus > Ubig::one());
+        let e = Ubig::from(exp);
+        let fast = modpow(&base, &e, &modulus);
+        let mut naive = Ubig::one().div_rem(&modulus).1;
+        for _ in 0..exp {
+            naive = (&naive * &base).div_rem(&modulus).1;
+        }
+        prop_assert_eq!(fast, naive);
+    }
+
+    #[test]
+    fn modpow_product_rule(base in ubig(), e1 in 0u64..32, e2 in 0u64..32, modulus in ubig_nonzero()) {
+        // base^(e1+e2) == base^e1 * base^e2 (mod m)
+        prop_assume!(modulus > Ubig::one());
+        let lhs = modpow(&base, &Ubig::from(e1 + e2), &modulus);
+        let a = modpow(&base, &Ubig::from(e1), &modulus);
+        let b = modpow(&base, &Ubig::from(e2), &modulus);
+        prop_assert_eq!(lhs, (&a * &b).div_rem(&modulus).1);
+    }
+
+    #[test]
+    fn invmod_verifies_when_present(a in ubig_nonzero(), m in ubig_nonzero()) {
+        prop_assume!(m > Ubig::one());
+        if let Some(inv) = invmod(&a, &m) {
+            prop_assert_eq!((&a * &inv).div_rem(&m).1, Ubig::one());
+            prop_assert!(inv < m);
+        } else {
+            // No inverse means gcd(a, m) != 1.
+            prop_assert!(!a.gcd(&m).is_one());
+        }
+    }
+
+    #[test]
+    fn ordering_consistent_with_subtraction(a in ubig(), b in ubig()) {
+        if a >= b {
+            let d = &a - &b;
+            prop_assert_eq!(&d + &b, a);
+        } else {
+            let d = &b - &a;
+            prop_assert!(!d.is_zero());
+        }
+    }
+}
+
+proptest! {
+    // Heavier cases get fewer iterations.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_below_uniform_support(seed in any::<u64>()) {
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let bound = Ubig::from(17u64);
+        let v = random_below(&bound, &mut rng);
+        prop_assert!(v < bound);
+    }
+
+    #[test]
+    fn fermat_holds_for_generated_primes(seed in any::<u64>()) {
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let p = manet_crypto::prime::gen_prime(96, &mut rng);
+        prop_assert!(is_prime(&p, &mut rng));
+        let a = Ubig::from(0x1234_5678u64);
+        let e = &p - &Ubig::one();
+        prop_assert_eq!(modpow(&a, &e, &p), Ubig::one());
+    }
+
+    #[test]
+    fn sign_verify_tamper_rejected(msg in proptest::collection::vec(any::<u8>(), 0..128), flip in 0usize..64) {
+        let mut rng = ChaCha12Rng::seed_from_u64(0xabcdef);
+        let kp = manet_crypto::KeyPair::generate(512, &mut rng);
+        let sig = kp.sign(&msg);
+        prop_assert!(kp.public().verify(&msg, &sig).is_ok());
+        let mut bytes = sig.to_bytes();
+        if !bytes.is_empty() {
+            let idx = flip % bytes.len();
+            bytes[idx] ^= 1;
+            let bad = manet_crypto::Signature::from_bytes(&bytes);
+            prop_assert!(kp.public().verify(&msg, &bad).is_err());
+        }
+    }
+
+    #[test]
+    fn sha256_incremental_any_split(data in proptest::collection::vec(any::<u8>(), 0..512), split_frac in 0.0f64..1.0) {
+        let split = (data.len() as f64 * split_frac) as usize;
+        let mut h = manet_crypto::Sha256::new();
+        h.update(&data[..split]).update(&data[split..]);
+        prop_assert_eq!(h.finalize(), manet_crypto::sha256(&data));
+    }
+}

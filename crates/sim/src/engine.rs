@@ -1,0 +1,951 @@
+//! The discrete-event engine.
+//!
+//! Single-threaded and fully deterministic: one seeded RNG, a binary-heap
+//! event queue ordered by `(time, insertion sequence)`, and node protocols
+//! that interact with the world only through [`Ctx`]. Parallelism happens
+//! one level up — the experiment runner executes independent simulation
+//! cells on a rayon pool (see [`crate::runner`]).
+//!
+//! ## Link-layer semantics
+//!
+//! * **Broadcast** frames reach every alive node within radio range, each
+//!   reception independently subject to the configured loss probability.
+//! * **Unicast** frames model a MAC with ARQ (802.11-style): delivery is
+//!   reliable while the peer is alive and in range; if it is not, the
+//!   sender gets an [`Protocol::on_link_failure`] callback — this is the
+//!   trigger for the protocol's RERR path.
+
+use crate::geom::{Field, Pos};
+use crate::metrics::Metrics;
+use crate::mobility::{Mobility, MobilityState};
+use crate::radio::RadioConfig;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{Dir, TraceEvent, Tracer};
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+use std::sync::Arc;
+
+/// Identifies a node (index into the engine's node table). This is the
+/// *link-layer* identity; IP addresses live entirely in the protocol layer.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct NodeId(pub usize);
+
+/// Where a frame is headed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LinkDst {
+    Broadcast,
+    Unicast(NodeId),
+}
+
+/// Handle for cancelling a pending timer.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TimerHandle(u64);
+
+/// A node's behaviour. Implementations hold all protocol state; the
+/// engine only knows about frames and timers.
+pub trait Protocol {
+    /// Called once when the node joins the network.
+    fn on_start(&mut self, ctx: &mut Ctx);
+
+    /// A frame arrived from link-layer neighbor `src`.
+    fn on_frame(&mut self, ctx: &mut Ctx, src: NodeId, bytes: &[u8]);
+
+    /// A timer set through [`Ctx::set_timer`] fired.
+    fn on_timer(&mut self, ctx: &mut Ctx, tag: u64);
+
+    /// A unicast frame could not be delivered (peer dead or out of range).
+    /// Models the MAC-layer ACK timeout that DSR uses to detect broken
+    /// links. Default: ignore.
+    fn on_link_failure(&mut self, _ctx: &mut Ctx, _to: NodeId, _bytes: &[u8]) {}
+
+    /// Downcasting support so harnesses can inspect protocol state after
+    /// a run.
+    fn as_any(&self) -> &dyn Any;
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// Commands a protocol issues during a callback; applied by the engine
+/// when the callback returns.
+#[derive(Default)]
+struct CtxOut {
+    sends: Vec<(LinkDst, Vec<u8>)>,
+    timers: Vec<(SimDuration, u64, u64)>, // (delay, handle, tag)
+    cancels: Vec<u64>,
+}
+
+/// The protocol's window onto the world during a callback.
+pub struct Ctx<'a> {
+    /// The node being called.
+    pub node: NodeId,
+    now: SimTime,
+    out: &'a mut CtxOut,
+    rng: &'a mut ChaCha12Rng,
+    metrics: &'a mut Metrics,
+    tracer: &'a mut Tracer,
+    next_handle: &'a mut u64,
+}
+
+impl Ctx<'_> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Queue a broadcast frame.
+    pub fn broadcast(&mut self, bytes: Vec<u8>) {
+        self.out.sends.push((LinkDst::Broadcast, bytes));
+    }
+
+    /// Queue a unicast frame to link-layer neighbor `to`.
+    pub fn unicast(&mut self, to: NodeId, bytes: Vec<u8>) {
+        self.out.sends.push((LinkDst::Unicast(to), bytes));
+    }
+
+    /// Arm a timer that fires after `delay` with the given tag.
+    pub fn set_timer(&mut self, delay: SimDuration, tag: u64) -> TimerHandle {
+        let handle = *self.next_handle;
+        *self.next_handle += 1;
+        self.out.timers.push((delay, handle, tag));
+        TimerHandle(handle)
+    }
+
+    /// Cancel a previously armed timer (no-op if already fired).
+    pub fn cancel_timer(&mut self, h: TimerHandle) {
+        self.out.cancels.push(h.0);
+    }
+
+    /// Deterministic randomness.
+    pub fn rng(&mut self) -> &mut ChaCha12Rng {
+        self.rng
+    }
+
+    /// Bump a counter.
+    pub fn count(&mut self, name: &'static str, by: u64) {
+        self.metrics.count(name, by);
+    }
+
+    /// Record a sample.
+    pub fn sample(&mut self, name: &'static str, v: f64) {
+        self.metrics.sample(name, v);
+    }
+
+    /// Record a trace event (no-op unless tracing is enabled).
+    pub fn trace(&mut self, dir: Dir, kind: &'static str, detail: impl Into<String>) {
+        if self.tracer.enabled() {
+            self.tracer.record(TraceEvent {
+                time: self.now,
+                node: self.node,
+                dir,
+                kind,
+                detail: detail.into(),
+            });
+        }
+    }
+
+    /// Is tracing on? Lets protocols skip building expensive detail strings.
+    pub fn tracing(&self) -> bool {
+        self.tracer.enabled()
+    }
+}
+
+enum Event {
+    Start(NodeId),
+    Deliver {
+        to: NodeId,
+        src: NodeId,
+        bytes: Arc<Vec<u8>>,
+    },
+    Timer {
+        node: NodeId,
+        handle: u64,
+        tag: u64,
+    },
+    LinkFailure {
+        node: NodeId,
+        to: NodeId,
+        bytes: Arc<Vec<u8>>,
+    },
+    MobilityTick,
+    Kill(NodeId),
+}
+
+struct QueueItem {
+    time: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for QueueItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for QueueItem {}
+impl PartialOrd for QueueItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueueItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+struct NodeSlot {
+    proto: Option<Box<dyn Protocol>>,
+    pos: Pos,
+    mobility: MobilityState,
+    alive: bool,
+    started: bool,
+    join_at: SimTime,
+}
+
+/// Engine configuration.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    pub field: Field,
+    pub radio: RadioConfig,
+    /// Mobility integration step.
+    pub mobility_tick: SimDuration,
+    /// Master seed; everything stochastic derives from it.
+    pub seed: u64,
+    /// Record a full event trace?
+    pub trace: bool,
+    /// Hard cap on processed events (runaway guard).
+    pub max_events: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            field: Field::new(1000.0, 1000.0),
+            radio: RadioConfig::default(),
+            mobility_tick: SimDuration::from_millis(200),
+            seed: 1,
+            trace: false,
+            max_events: 50_000_000,
+        }
+    }
+}
+
+/// The discrete-event simulator.
+pub struct Engine {
+    cfg: EngineConfig,
+    queue: BinaryHeap<Reverse<QueueItem>>,
+    nodes: Vec<NodeSlot>,
+    now: SimTime,
+    seq: u64,
+    rng: ChaCha12Rng,
+    metrics: Metrics,
+    tracer: Tracer,
+    cancelled: HashSet<u64>,
+    next_handle: u64,
+    events_processed: u64,
+    mobility_scheduled: bool,
+}
+
+impl Engine {
+    pub fn new(cfg: EngineConfig) -> Self {
+        let rng = ChaCha12Rng::seed_from_u64(cfg.seed);
+        let tracer = Tracer::new(cfg.trace);
+        Engine {
+            cfg,
+            queue: BinaryHeap::new(),
+            nodes: Vec::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            rng,
+            metrics: Metrics::new(),
+            tracer,
+            cancelled: HashSet::new(),
+            next_handle: 0,
+            events_processed: 0,
+            mobility_scheduled: false,
+        }
+    }
+
+    /// Add a node joining at t=0.
+    pub fn add_node(
+        &mut self,
+        proto: Box<dyn Protocol>,
+        pos: Pos,
+        mobility: Mobility,
+    ) -> NodeId {
+        self.add_node_at(proto, pos, mobility, SimTime::ZERO)
+    }
+
+    /// Add a node that joins (runs `on_start`) at `join_at`. Staggered
+    /// joins drive the bootstrap experiments (E1, E5).
+    pub fn add_node_at(
+        &mut self,
+        proto: Box<dyn Protocol>,
+        pos: Pos,
+        mobility: Mobility,
+        join_at: SimTime,
+    ) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(NodeSlot {
+            proto: Some(proto),
+            pos,
+            mobility: MobilityState::new(mobility),
+            alive: true,
+            started: false,
+            join_at,
+        });
+        self.push(join_at, Event::Start(id));
+        id
+    }
+
+    /// Schedule a node's death (failure injection).
+    pub fn kill_at(&mut self, node: NodeId, at: SimTime) {
+        self.push(at, Event::Kill(node));
+    }
+
+    /// Current position of a node.
+    pub fn position(&self, node: NodeId) -> Pos {
+        self.nodes[node.0].pos
+    }
+
+    /// Teleport a node (scripted topology changes in tests).
+    pub fn set_position(&mut self, node: NodeId, pos: Pos) {
+        self.nodes[node.0].pos = self.cfg.field.clamp(pos);
+    }
+
+    /// Is the node alive?
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.nodes[node.0].alive
+    }
+
+    /// Link-layer neighbors of `node` right now (alive and in range).
+    pub fn neighbors(&self, node: NodeId) -> Vec<NodeId> {
+        let me = &self.nodes[node.0];
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(i, n)| {
+                *i != node.0
+                    && n.alive
+                    && n.join_at <= self.now
+                    && self.cfg.radio.in_range(me.pos.dist(&n.pos))
+            })
+            .map(|(i, _)| NodeId(i))
+            .collect()
+    }
+
+    /// Number of nodes (alive or not).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// All nodes reachable from `from` over current radio links (BFS on
+    /// the unit-disk graph of alive, joined nodes), including `from`.
+    pub fn connected_component(&self, from: NodeId) -> Vec<NodeId> {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut queue = std::collections::VecDeque::new();
+        if self.nodes[from.0].alive {
+            seen[from.0] = true;
+            queue.push_back(from);
+        }
+        let mut out = Vec::new();
+        while let Some(n) = queue.pop_front() {
+            out.push(n);
+            for next in self.neighbors(n) {
+                if !seen[next.0] {
+                    seen[next.0] = true;
+                    queue.push_back(next);
+                }
+            }
+        }
+        out
+    }
+
+    /// Is the set of alive, joined nodes one connected radio graph?
+    /// Useful as a scenario sanity check — a partitioned topology makes
+    /// most delivery assertions meaningless.
+    pub fn is_connected(&self) -> bool {
+        let alive: Vec<NodeId> = (0..self.nodes.len())
+            .map(NodeId)
+            .filter(|&n| {
+                let s = &self.nodes[n.0];
+                s.alive && s.join_at <= self.now
+            })
+            .collect();
+        match alive.first() {
+            None => true,
+            Some(&first) => self.connected_component(first).len() == alive.len(),
+        }
+    }
+
+    /// Borrow a protocol for post-run inspection.
+    ///
+    /// # Panics
+    /// Panics if called re-entrantly (from inside a protocol callback).
+    pub fn protocol(&self, node: NodeId) -> &dyn Protocol {
+        self.nodes[node.0]
+            .proto
+            .as_deref()
+            .expect("protocol checked out (re-entrant access)")
+    }
+
+    /// Mutably borrow a protocol (e.g. to inject an application request).
+    pub fn protocol_mut(&mut self, node: NodeId) -> &mut dyn Protocol {
+        self.nodes[node.0]
+            .proto
+            .as_deref_mut()
+            .expect("protocol checked out (re-entrant access)")
+    }
+
+    /// Typed view of a node's protocol.
+    pub fn protocol_as<T: 'static>(&self, node: NodeId) -> &T {
+        self.protocol(node)
+            .as_any()
+            .downcast_ref::<T>()
+            .expect("protocol type mismatch")
+    }
+
+    /// Run a protocol callback "from outside" (applications injecting
+    /// work between run() calls — e.g. "node 3: start a flow to D").
+    pub fn with_protocol<T: 'static, R>(
+        &mut self,
+        node: NodeId,
+        f: impl FnOnce(&mut T, &mut Ctx) -> R,
+    ) -> R {
+        let mut proto = self.nodes[node.0]
+            .proto
+            .take()
+            .expect("protocol checked out");
+        let mut out = CtxOut::default();
+        let mut ctx = Ctx {
+            node,
+            now: self.now,
+            out: &mut out,
+            rng: &mut self.rng,
+            metrics: &mut self.metrics,
+            tracer: &mut self.tracer,
+            next_handle: &mut self.next_handle,
+        };
+        let r = f(
+            proto
+                .as_any_mut()
+                .downcast_mut::<T>()
+                .expect("protocol type mismatch"),
+            &mut ctx,
+        );
+        self.nodes[node.0].proto = Some(proto);
+        self.apply_out(node, out);
+        r
+    }
+
+    /// Metrics collected so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The event trace (empty unless `cfg.trace`).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Deterministic RNG (for harness-level draws that must stay inside
+    /// the simulation's random universe).
+    pub fn rng(&mut self) -> &mut ChaCha12Rng {
+        &mut self.rng
+    }
+
+    fn push(&mut self, time: SimTime, event: Event) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(QueueItem { time, seq, event }));
+    }
+
+    /// Process events until `until` (inclusive) or the queue drains.
+    pub fn run_until(&mut self, until: SimTime) {
+        self.ensure_mobility_tick(until);
+        loop {
+            match self.queue.peek() {
+                Some(Reverse(head)) if head.time <= until => {}
+                _ => break,
+            }
+            let Reverse(item) = self.queue.pop().expect("peeked");
+            self.events_processed += 1;
+            assert!(
+                self.events_processed <= self.cfg.max_events,
+                "event cap exceeded — runaway simulation"
+            );
+            debug_assert!(item.time >= self.now, "event from the past");
+            self.now = item.time;
+            self.dispatch(item.event, until);
+        }
+        if self.now < until {
+            self.now = until;
+        }
+    }
+
+    fn ensure_mobility_tick(&mut self, until: SimTime) {
+        let any_mobile = self
+            .nodes
+            .iter()
+            .any(|n| !matches!(n.mobility.model, Mobility::Static));
+        if any_mobile && !self.mobility_scheduled && self.now + self.cfg.mobility_tick <= until {
+            let t = self.now + self.cfg.mobility_tick;
+            self.push(t, Event::MobilityTick);
+            self.mobility_scheduled = true;
+        }
+    }
+
+    fn dispatch(&mut self, event: Event, until: SimTime) {
+        match event {
+            Event::Start(id) => {
+                if !self.nodes[id.0].alive || self.nodes[id.0].started {
+                    return;
+                }
+                self.nodes[id.0].started = true;
+                self.call_protocol(id, |p, ctx| p.on_start(ctx));
+            }
+            Event::Deliver { to, src, bytes } => {
+                let slot = &self.nodes[to.0];
+                if !slot.alive || !slot.started {
+                    self.metrics.count("phy.rx_dropped_dead", 1);
+                    return;
+                }
+                self.metrics.count("phy.rx_frames", 1);
+                self.metrics.count("phy.rx_bytes", bytes.len() as u64);
+                self.call_protocol(to, |p, ctx| p.on_frame(ctx, src, &bytes));
+            }
+            Event::Timer { node, handle, tag } => {
+                if self.cancelled.remove(&handle) {
+                    return;
+                }
+                let slot = &self.nodes[node.0];
+                if !slot.alive || !slot.started {
+                    return;
+                }
+                self.call_protocol(node, |p, ctx| p.on_timer(ctx, tag));
+            }
+            Event::LinkFailure { node, to, bytes } => {
+                let slot = &self.nodes[node.0];
+                if !slot.alive || !slot.started {
+                    return;
+                }
+                self.metrics.count("phy.link_failures", 1);
+                self.call_protocol(node, |p, ctx| p.on_link_failure(ctx, to, &bytes));
+            }
+            Event::MobilityTick => {
+                let dt = self.cfg.mobility_tick.as_secs_f64();
+                let field = self.cfg.field;
+                for slot in &mut self.nodes {
+                    if slot.alive && slot.started {
+                        slot.mobility.step(&mut slot.pos, &field, dt, &mut self.rng);
+                    }
+                }
+                self.mobility_scheduled = false;
+                self.ensure_mobility_tick(until);
+            }
+            Event::Kill(id) => {
+                self.nodes[id.0].alive = false;
+                self.metrics.count("sim.nodes_killed", 1);
+            }
+        }
+    }
+
+    fn call_protocol(&mut self, id: NodeId, f: impl FnOnce(&mut dyn Protocol, &mut Ctx)) {
+        let mut proto = self.nodes[id.0]
+            .proto
+            .take()
+            .expect("re-entrant protocol call");
+        let mut out = CtxOut::default();
+        {
+            let mut ctx = Ctx {
+                node: id,
+                now: self.now,
+                out: &mut out,
+                rng: &mut self.rng,
+                metrics: &mut self.metrics,
+                tracer: &mut self.tracer,
+                next_handle: &mut self.next_handle,
+            };
+            f(proto.as_mut(), &mut ctx);
+        }
+        self.nodes[id.0].proto = Some(proto);
+        self.apply_out(id, out);
+    }
+
+    fn apply_out(&mut self, id: NodeId, out: CtxOut) {
+        for h in out.cancels {
+            self.cancelled.insert(h);
+        }
+        for (delay, handle, tag) in out.timers {
+            let t = self.now + delay;
+            self.push(
+                t,
+                Event::Timer {
+                    node: id,
+                    handle,
+                    tag,
+                },
+            );
+        }
+        for (dst, bytes) in out.sends {
+            self.transmit(id, dst, bytes);
+        }
+    }
+
+    fn transmit(&mut self, src: NodeId, dst: LinkDst, bytes: Vec<u8>) {
+        if !self.nodes[src.0].alive {
+            return;
+        }
+        self.metrics.count("phy.tx_frames", 1);
+        self.metrics.count("phy.tx_bytes", bytes.len() as u64);
+        let bytes = Arc::new(bytes);
+        let src_pos = self.nodes[src.0].pos;
+        match dst {
+            LinkDst::Broadcast => {
+                self.metrics.count("phy.tx_broadcasts", 1);
+                for i in 0..self.nodes.len() {
+                    if i == src.0 {
+                        continue;
+                    }
+                    let n = &self.nodes[i];
+                    // `join_at <= now` rather than `started`: peers whose
+                    // Start event is queued for this same instant are
+                    // physically present; they will have started by the
+                    // time the delivery (≥ base_delay later) arrives.
+                    if !n.alive || n.join_at > self.now {
+                        continue;
+                    }
+                    let d = src_pos.dist(&n.pos);
+                    if d > self.cfg.radio.max_range() {
+                        continue;
+                    }
+                    if !self.cfg.radio.sample_broadcast_reception(d, &mut self.rng) {
+                        self.metrics.count("phy.rx_dropped_loss", 1);
+                        continue;
+                    }
+                    let delay = self.cfg.radio.sample_delay(bytes.len(), &mut self.rng);
+                    let t = self.now + delay;
+                    self.push(
+                        t,
+                        Event::Deliver {
+                            to: NodeId(i),
+                            src,
+                            bytes: Arc::clone(&bytes),
+                        },
+                    );
+                }
+            }
+            LinkDst::Unicast(to) => {
+                self.metrics.count("phy.tx_unicasts", 1);
+                let reachable = {
+                    let n = &self.nodes[to.0];
+                    n.alive
+                        && n.join_at <= self.now
+                        && self.cfg.radio.in_range(src_pos.dist(&n.pos))
+                };
+                if reachable {
+                    // MAC ARQ abstraction: no random loss on unicast.
+                    let delay = self.cfg.radio.sample_delay(bytes.len(), &mut self.rng);
+                    let t = self.now + delay;
+                    self.push(
+                        t,
+                        Event::Deliver {
+                            to,
+                            src,
+                            bytes: Arc::clone(&bytes),
+                        },
+                    );
+                } else {
+                    self.metrics.count("phy.tx_unicast_unreachable", 1);
+                    // ACK-timeout feedback after ~MAC retry budget.
+                    let delay = self.cfg.radio.sample_delay(bytes.len(), &mut self.rng);
+                    let t = self.now + delay + self.cfg.radio.base_delay + self.cfg.radio.base_delay;
+                    self.push(
+                        t,
+                        Event::LinkFailure {
+                            node: src,
+                            to,
+                            bytes: Arc::clone(&bytes),
+                        },
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal protocol: counts frames, echoes once, tracks timers.
+    struct Echo {
+        frames: Vec<(NodeId, Vec<u8>)>,
+        timers: Vec<u64>,
+        link_failures: Vec<NodeId>,
+        start_broadcast: Option<Vec<u8>>,
+        unicast_on_start: Option<(NodeId, Vec<u8>)>,
+    }
+
+    impl Echo {
+        fn new() -> Self {
+            Echo {
+                frames: Vec::new(),
+                timers: Vec::new(),
+                link_failures: Vec::new(),
+                start_broadcast: None,
+                unicast_on_start: None,
+            }
+        }
+    }
+
+    impl Protocol for Echo {
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            if let Some(b) = self.start_broadcast.take() {
+                ctx.broadcast(b);
+            }
+            if let Some((to, b)) = self.unicast_on_start.take() {
+                ctx.unicast(to, b);
+            }
+        }
+        fn on_frame(&mut self, _ctx: &mut Ctx, src: NodeId, bytes: &[u8]) {
+            self.frames.push((src, bytes.to_vec()));
+        }
+        fn on_timer(&mut self, _ctx: &mut Ctx, tag: u64) {
+            self.timers.push(tag);
+        }
+        fn on_link_failure(&mut self, _ctx: &mut Ctx, to: NodeId, _bytes: &[u8]) {
+            self.link_failures.push(to);
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn engine() -> Engine {
+        Engine::new(EngineConfig {
+            radio: RadioConfig {
+                range: 150.0,
+                loss: 0.0,
+                ..RadioConfig::default()
+            },
+            ..EngineConfig::default()
+        })
+    }
+
+    #[test]
+    fn broadcast_reaches_only_in_range_nodes() {
+        let mut e = engine();
+        let mut sender = Echo::new();
+        sender.start_broadcast = Some(vec![1, 2, 3]);
+        let _a = e.add_node(Box::new(sender), Pos::new(0.0, 0.0), Mobility::Static);
+        let b = e.add_node(Box::new(Echo::new()), Pos::new(100.0, 0.0), Mobility::Static);
+        let c = e.add_node(Box::new(Echo::new()), Pos::new(400.0, 0.0), Mobility::Static);
+        e.run_until(SimTime(1_000_000));
+        assert_eq!(e.protocol_as::<Echo>(b).frames.len(), 1);
+        assert_eq!(e.protocol_as::<Echo>(b).frames[0].1, vec![1, 2, 3]);
+        assert!(e.protocol_as::<Echo>(c).frames.is_empty());
+    }
+
+    #[test]
+    fn unicast_delivers_and_fails_over_range() {
+        let mut e = engine();
+        let mut s1 = Echo::new();
+        s1.unicast_on_start = Some((NodeId(1), vec![9]));
+        let a = e.add_node(Box::new(s1), Pos::new(0.0, 0.0), Mobility::Static);
+        let b = e.add_node(Box::new(Echo::new()), Pos::new(50.0, 0.0), Mobility::Static);
+        // Far node: unicast must produce a link failure at the sender.
+        let mut s2 = Echo::new();
+        s2.unicast_on_start = Some((NodeId(3), vec![7]));
+        let c = e.add_node(Box::new(s2), Pos::new(500.0, 0.0), Mobility::Static);
+        let d = e.add_node(Box::new(Echo::new()), Pos::new(900.0, 0.0), Mobility::Static);
+        e.run_until(SimTime(1_000_000));
+        assert_eq!(e.protocol_as::<Echo>(b).frames.len(), 1);
+        assert_eq!(e.protocol_as::<Echo>(a).link_failures.len(), 0);
+        assert!(e.protocol_as::<Echo>(d).frames.is_empty());
+        assert_eq!(e.protocol_as::<Echo>(c).link_failures, vec![d]);
+        assert_eq!(e.metrics().counter("phy.tx_unicast_unreachable"), 1);
+    }
+
+    #[test]
+    fn timers_fire_in_order_and_cancel_works() {
+        let mut e = engine();
+        let a = e.add_node(Box::new(Echo::new()), Pos::new(0.0, 0.0), Mobility::Static);
+        e.run_until(SimTime(0)); // process Start
+        let cancel_me = e.with_protocol::<Echo, _>(a, |_p, ctx| {
+            ctx.set_timer(SimDuration::from_millis(10), 1);
+            let h = ctx.set_timer(SimDuration::from_millis(20), 2);
+            ctx.set_timer(SimDuration::from_millis(30), 3);
+            h
+        });
+        e.with_protocol::<Echo, _>(a, |_p, ctx| ctx.cancel_timer(cancel_me));
+        e.run_until(SimTime(1_000_000));
+        assert_eq!(e.protocol_as::<Echo>(a).timers, vec![1, 3]);
+    }
+
+    #[test]
+    fn dead_nodes_neither_send_nor_receive() {
+        let mut e = engine();
+        let mut s = Echo::new();
+        s.start_broadcast = Some(vec![1]);
+        let _a = e.add_node(Box::new(s), Pos::new(0.0, 0.0), Mobility::Static);
+        let b = e.add_node(Box::new(Echo::new()), Pos::new(50.0, 0.0), Mobility::Static);
+        e.kill_at(b, SimTime(0));
+        // Kill is scheduled with seq after Start events but before the
+        // broadcast delivery arrives (delivery has ≥1ms latency).
+        e.run_until(SimTime(1_000_000));
+        assert!(e.protocol_as::<Echo>(b).frames.is_empty());
+        assert!(!e.is_alive(b));
+    }
+
+    #[test]
+    fn staggered_join_delays_start() {
+        let mut e = engine();
+        let mut s = Echo::new();
+        s.start_broadcast = Some(vec![5]);
+        // b joins at t=2s; a broadcasts at t=1s; b must not hear it.
+        let a = e.add_node_at(
+            Box::new(Echo::new()),
+            Pos::new(0.0, 0.0),
+            Mobility::Static,
+            SimTime(1_000_000),
+        );
+        let b = e.add_node_at(
+            Box::new(Echo::new()),
+            Pos::new(50.0, 0.0),
+            Mobility::Static,
+            SimTime(2_000_000),
+        );
+        e.run_until(SimTime(500_000));
+        assert!(e.neighbors(a).is_empty(), "nobody started yet");
+        e.run_until(SimTime(1_500_000));
+        e.with_protocol::<Echo, _>(a, |_p, ctx| ctx.broadcast(vec![5]));
+        e.run_until(SimTime(1_600_000));
+        assert!(
+            e.protocol_as::<Echo>(b).frames.is_empty(),
+            "not yet started"
+        );
+        e.run_until(SimTime(3_000_000));
+        e.with_protocol::<Echo, _>(a, |_p, ctx| ctx.broadcast(vec![6]));
+        e.run_until(SimTime(4_000_000));
+        assert_eq!(e.protocol_as::<Echo>(b).frames.len(), 1);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_metrics() {
+        let run = |seed: u64| {
+            let mut e = Engine::new(EngineConfig {
+                seed,
+                radio: RadioConfig {
+                    loss: 0.3,
+                    ..RadioConfig::default()
+                },
+                ..EngineConfig::default()
+            });
+            for i in 0..10 {
+                let mut s = Echo::new();
+                s.start_broadcast = Some(vec![i as u8; 100]);
+                e.add_node(
+                    Box::new(s),
+                    Pos::new(i as f64 * 40.0, 0.0),
+                    Mobility::RandomWaypoint {
+                        min_speed: 1.0,
+                        max_speed: 5.0,
+                        pause_s: 1.0,
+                    },
+                );
+            }
+            e.run_until(SimTime(10_000_000));
+            (
+                e.metrics().counter("phy.rx_frames"),
+                e.metrics().counter("phy.rx_dropped_loss"),
+                (0..10)
+                    .map(|i| e.position(NodeId(i)).x.to_bits())
+                    .collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(run(7), run(7), "same seed must reproduce exactly");
+        assert_ne!(run(7).1, run(8).1, "different seeds should diverge");
+    }
+
+    #[test]
+    fn metrics_track_tx_rx() {
+        let mut e = engine();
+        let mut s = Echo::new();
+        s.start_broadcast = Some(vec![0; 50]);
+        e.add_node(Box::new(s), Pos::new(0.0, 0.0), Mobility::Static);
+        e.add_node(Box::new(Echo::new()), Pos::new(10.0, 0.0), Mobility::Static);
+        e.add_node(Box::new(Echo::new()), Pos::new(20.0, 0.0), Mobility::Static);
+        e.run_until(SimTime(1_000_000));
+        assert_eq!(e.metrics().counter("phy.tx_frames"), 1);
+        assert_eq!(e.metrics().counter("phy.tx_bytes"), 50);
+        assert_eq!(e.metrics().counter("phy.rx_frames"), 2);
+        assert_eq!(e.metrics().counter("phy.rx_bytes"), 100);
+    }
+
+    #[test]
+    fn neighbors_reflect_positions() {
+        let mut e = engine();
+        let a = e.add_node(Box::new(Echo::new()), Pos::new(0.0, 0.0), Mobility::Static);
+        let b = e.add_node(Box::new(Echo::new()), Pos::new(100.0, 0.0), Mobility::Static);
+        let c = e.add_node(Box::new(Echo::new()), Pos::new(1000.0, 0.0), Mobility::Static);
+        e.run_until(SimTime(1));
+        assert_eq!(e.neighbors(a), vec![b]);
+        e.set_position(c, Pos::new(50.0, 0.0));
+        let mut n = e.neighbors(a);
+        n.sort();
+        assert_eq!(n, vec![b, c]);
+    }
+
+    #[test]
+    fn connectivity_analysis() {
+        let mut e = engine(); // range 150
+        let a = e.add_node(Box::new(Echo::new()), Pos::new(0.0, 0.0), Mobility::Static);
+        let b = e.add_node(Box::new(Echo::new()), Pos::new(100.0, 0.0), Mobility::Static);
+        let c = e.add_node(Box::new(Echo::new()), Pos::new(200.0, 0.0), Mobility::Static);
+        let d = e.add_node(Box::new(Echo::new()), Pos::new(900.0, 0.0), Mobility::Static);
+        e.run_until(SimTime(1));
+        // a-b-c form a chain; d is isolated.
+        let mut comp = e.connected_component(a);
+        comp.sort();
+        assert_eq!(comp, vec![a, b, c]);
+        assert!(!e.is_connected());
+        assert_eq!(e.connected_component(d), vec![d]);
+        // Killing the bridge splits a from c.
+        e.kill_at(b, SimTime(2));
+        e.run_until(SimTime(3));
+        assert_eq!(e.connected_component(a), vec![a]);
+        // Moving d next to a reconnects that pair (still 160 m from c,
+        // out of the 150 m range).
+        e.set_position(d, Pos::new(40.0, 0.0));
+        let mut comp = e.connected_component(a);
+        comp.sort();
+        assert_eq!(comp, vec![a, d]);
+    }
+
+    #[test]
+    fn empty_and_single_node_graphs_are_connected() {
+        let mut e = engine();
+        assert!(e.is_connected(), "vacuously connected");
+        e.add_node(Box::new(Echo::new()), Pos::new(0.0, 0.0), Mobility::Static);
+        e.run_until(SimTime(1));
+        assert!(e.is_connected());
+    }
+
+    #[test]
+    fn run_until_advances_time_even_when_idle() {
+        let mut e = engine();
+        e.run_until(SimTime(5_000_000));
+        assert_eq!(e.now(), SimTime(5_000_000));
+    }
+}

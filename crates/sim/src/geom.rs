@@ -1,0 +1,112 @@
+//! 2-D geometry for node placement and mobility.
+
+/// A position in metres on the simulation field.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct Pos {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Pos {
+    pub fn new(x: f64, y: f64) -> Self {
+        Pos { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn dist(&self, other: &Pos) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Step `max_step` metres toward `target`, stopping exactly there if
+    /// closer. Returns the new position and whether the target was reached.
+    pub fn step_toward(&self, target: &Pos, max_step: f64) -> (Pos, bool) {
+        let d = self.dist(target);
+        if d <= max_step || d == 0.0 {
+            return (*target, true);
+        }
+        let frac = max_step / d;
+        (
+            Pos {
+                x: self.x + (target.x - self.x) * frac,
+                y: self.y + (target.y - self.y) * frac,
+            },
+            false,
+        )
+    }
+}
+
+/// The rectangular field `[0, width] × [0, height]`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Field {
+    pub width: f64,
+    pub height: f64,
+}
+
+impl Field {
+    pub fn new(width: f64, height: f64) -> Self {
+        assert!(width > 0.0 && height > 0.0, "degenerate field");
+        Field { width, height }
+    }
+
+    /// Clamp a position into the field.
+    pub fn clamp(&self, p: Pos) -> Pos {
+        Pos {
+            x: p.x.clamp(0.0, self.width),
+            y: p.y.clamp(0.0, self.height),
+        }
+    }
+
+    /// Does the field contain `p`?
+    pub fn contains(&self, p: &Pos) -> bool {
+        (0.0..=self.width).contains(&p.x) && (0.0..=self.height).contains(&p.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance() {
+        assert_eq!(Pos::new(0.0, 0.0).dist(&Pos::new(3.0, 4.0)), 5.0);
+        assert_eq!(Pos::new(1.0, 1.0).dist(&Pos::new(1.0, 1.0)), 0.0);
+    }
+
+    #[test]
+    fn step_toward_reaches_target() {
+        let from = Pos::new(0.0, 0.0);
+        let to = Pos::new(10.0, 0.0);
+        let (p, done) = from.step_toward(&to, 4.0);
+        assert!(!done);
+        assert!((p.x - 4.0).abs() < 1e-12);
+        let (p2, done2) = p.step_toward(&to, 100.0);
+        assert!(done2);
+        assert_eq!(p2, to);
+    }
+
+    #[test]
+    fn step_toward_zero_distance_is_done() {
+        let p = Pos::new(5.0, 5.0);
+        let (q, done) = p.step_toward(&p, 1.0);
+        assert!(done);
+        assert_eq!(q, p);
+    }
+
+    #[test]
+    fn field_clamp_and_contains() {
+        let f = Field::new(100.0, 50.0);
+        assert!(f.contains(&Pos::new(0.0, 0.0)));
+        assert!(f.contains(&Pos::new(100.0, 50.0)));
+        assert!(!f.contains(&Pos::new(100.1, 0.0)));
+        let c = f.clamp(Pos::new(-5.0, 60.0));
+        assert_eq!(c, Pos::new(0.0, 50.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn zero_field_panics() {
+        Field::new(0.0, 10.0);
+    }
+}

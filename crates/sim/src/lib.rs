@@ -1,0 +1,33 @@
+//! # manet-sim
+//!
+//! A from-scratch discrete-event MANET simulator (DESIGN.md §2): the
+//! substrate the paper's authors would have had in ns-2-era tooling.
+//!
+//! * [`engine`] — deterministic event loop, frames, timers, node
+//!   lifecycle, link-failure feedback;
+//! * [`radio`] — unit-disk channel with loss, latency and bandwidth;
+//! * [`mobility`] — random waypoint + deterministic placements;
+//! * [`metrics`] / [`trace`] — measurement and protocol-trace capture;
+//! * [`runner`] — rayon-parallel experiment sweeps over (param, seed)
+//!   grids.
+//!
+//! The engine is intentionally protocol-agnostic: everything MANET-secure
+//! lives in the `manet-secure` crate behind the [`engine::Protocol`]
+//! trait.
+
+pub mod engine;
+pub mod geom;
+pub mod metrics;
+pub mod mobility;
+pub mod radio;
+pub mod runner;
+pub mod time;
+pub mod trace;
+
+pub use engine::{Ctx, Engine, EngineConfig, LinkDst, NodeId, Protocol, TimerHandle};
+pub use geom::{Field, Pos};
+pub use metrics::{Metrics, Series};
+pub use mobility::{placement, Mobility};
+pub use radio::RadioConfig;
+pub use time::{SimDuration, SimTime};
+pub use trace::{Dir, TraceEvent, Tracer};

@@ -1,0 +1,190 @@
+//! Measurement collection.
+//!
+//! Counters and sample series keyed by static names. Protocols record
+//! into this through [`crate::engine::Ctx`]; experiment harnesses read it
+//! out after the run. Everything is plain data so results can cross
+//! thread boundaries in the parallel runner.
+
+use std::collections::BTreeMap;
+
+/// A series of f64 samples with summary accessors.
+#[derive(Clone, Debug, Default)]
+pub struct Series {
+    samples: Vec<f64>,
+}
+
+impl Series {
+    pub fn record(&mut self, v: f64) {
+        self.samples.push(v);
+    }
+
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    pub fn sum(&self) -> f64 {
+        self.samples.iter().sum()
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return f64::NAN;
+        }
+        self.sum() / self.samples.len() as f64
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        if self.samples.is_empty() {
+            return f64::NAN;
+        }
+        let m = self.mean();
+        (self.samples.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / self.samples.len() as f64)
+            .sqrt()
+    }
+
+    /// Percentile in `[0, 100]` by nearest-rank on a sorted copy.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.samples.is_empty() {
+            return f64::NAN;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+        let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+        sorted[rank.min(sorted.len() - 1)]
+    }
+
+    pub fn min(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    pub fn max(&self) -> f64 {
+        self.samples
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+/// All measurements of one simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    counters: BTreeMap<&'static str, u64>,
+    series: BTreeMap<&'static str, Series>,
+}
+
+impl Metrics {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `by` to counter `name`.
+    pub fn count(&mut self, name: &'static str, by: u64) {
+        *self.counters.entry(name).or_insert(0) += by;
+    }
+
+    /// Read a counter (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Record a sample into series `name`.
+    pub fn sample(&mut self, name: &'static str, v: f64) {
+        self.series.entry(name).or_default().record(v);
+    }
+
+    /// Read a series (empty if never touched).
+    pub fn series(&self, name: &str) -> Series {
+        self.series.get(name).cloned().unwrap_or_default()
+    }
+
+    /// All counter names, sorted.
+    pub fn counter_names(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.counters.keys().copied()
+    }
+
+    /// All series names, sorted.
+    pub fn series_names(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.series.keys().copied()
+    }
+
+    /// Merge another run's metrics into this one (for aggregation across
+    /// seeds).
+    pub fn merge(&mut self, other: &Metrics) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k).or_insert(0) += v;
+        }
+        for (k, s) in &other.series {
+            let dst = self.series.entry(k).or_default();
+            dst.samples.extend_from_slice(&s.samples);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::new();
+        m.count("tx", 1);
+        m.count("tx", 2);
+        assert_eq!(m.counter("tx"), 3);
+        assert_eq!(m.counter("never"), 0);
+    }
+
+    #[test]
+    fn series_stats() {
+        let mut s = Series::default();
+        for v in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            s.record(v);
+        }
+        assert_eq!(s.mean(), 3.0);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 5.0);
+        assert_eq!(s.percentile(0.0), 1.0);
+        assert_eq!(s.percentile(50.0), 3.0);
+        assert_eq!(s.percentile(100.0), 5.0);
+        assert!((s.std_dev() - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_series_yields_nan_not_panic() {
+        let s = Series::default();
+        assert!(s.mean().is_nan());
+        assert!(s.percentile(50.0).is_nan());
+        assert!(s.std_dev().is_nan());
+    }
+
+    #[test]
+    fn merge_combines_runs() {
+        let mut a = Metrics::new();
+        a.count("x", 1);
+        a.sample("lat", 1.0);
+        let mut b = Metrics::new();
+        b.count("x", 2);
+        b.count("y", 5);
+        b.sample("lat", 3.0);
+        a.merge(&b);
+        assert_eq!(a.counter("x"), 3);
+        assert_eq!(a.counter("y"), 5);
+        assert_eq!(a.series("lat").len(), 2);
+        assert_eq!(a.series("lat").mean(), 2.0);
+    }
+
+    #[test]
+    fn percentile_single_sample() {
+        let mut s = Series::default();
+        s.record(7.0);
+        assert_eq!(s.percentile(99.0), 7.0);
+    }
+}

@@ -1,0 +1,283 @@
+//! Node placement and mobility models.
+//!
+//! The protocol's route-maintenance path (RERR, credit slashing, route
+//! re-discovery) only activates under link churn, so the random-waypoint
+//! model is the workhorse of experiments E2–E4. Placement generators give
+//! the deterministic topologies used by the unit tests and the Figure 2/3
+//! trace exhibits.
+
+use crate::geom::{Field, Pos};
+use rand::Rng;
+
+/// How a node moves.
+#[derive(Clone, Debug)]
+pub enum Mobility {
+    /// Never moves.
+    Static,
+    /// Random waypoint: pick a uniform target, walk at a uniform speed in
+    /// `[min_speed, max_speed]` m/s, pause `pause_s` seconds, repeat.
+    RandomWaypoint {
+        min_speed: f64,
+        max_speed: f64,
+        pause_s: f64,
+    },
+    /// Scripted waypoints: walk to each point in order at `speed` m/s,
+    /// then stop at the last one. Deterministic — the tool for staging
+    /// partitions and reconnections in tests ("walk out of range at
+    /// t≈30 s, come back at t≈60 s").
+    Scripted { points: Vec<Pos>, speed: f64 },
+}
+
+/// Per-node mobility state advanced by the engine's mobility tick.
+#[derive(Clone, Debug)]
+pub struct MobilityState {
+    pub model: Mobility,
+    target: Pos,
+    speed: f64,
+    /// Seconds of pause remaining before the next leg.
+    pause_left: f64,
+    /// Next index into a scripted waypoint list.
+    script_idx: usize,
+}
+
+impl MobilityState {
+    pub fn new(model: Mobility) -> Self {
+        MobilityState {
+            model,
+            target: Pos::default(),
+            speed: 0.0,
+            pause_left: 0.0,
+            script_idx: 0,
+        }
+    }
+
+    /// Advance `dt` seconds, mutating `pos`.
+    pub fn step<R: Rng>(&mut self, pos: &mut Pos, field: &Field, dt: f64, rng: &mut R) {
+        match self.model {
+            Mobility::Static => {}
+            Mobility::RandomWaypoint {
+                min_speed,
+                max_speed,
+                pause_s,
+            } => {
+                if self.pause_left > 0.0 {
+                    self.pause_left -= dt;
+                    return;
+                }
+                if self.speed == 0.0 {
+                    // First leg (or re-init): pick a target and speed.
+                    self.target = Pos::new(
+                        rng.gen_range(0.0..=field.width),
+                        rng.gen_range(0.0..=field.height),
+                    );
+                    self.speed = if max_speed > min_speed {
+                        rng.gen_range(min_speed..=max_speed)
+                    } else {
+                        max_speed
+                    };
+                }
+                let (new_pos, arrived) = pos.step_toward(&self.target, self.speed * dt);
+                *pos = field.clamp(new_pos);
+                if arrived {
+                    self.pause_left = pause_s;
+                    self.speed = 0.0; // triggers a new leg after the pause
+                }
+            }
+            Mobility::Scripted { ref points, speed } => {
+                let Some(&target) = points.get(self.script_idx) else {
+                    return; // script exhausted: parked
+                };
+                let (new_pos, arrived) = pos.step_toward(&target, speed * dt);
+                *pos = field.clamp(new_pos);
+                if arrived {
+                    self.script_idx += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Deterministic placements for tests and trace exhibits.
+pub mod placement {
+    use super::*;
+
+    /// `n` nodes evenly spaced on a horizontal line, `spacing` metres
+    /// apart, starting at (0, y). With radio range `r` and
+    /// `spacing < r ≤ 2·spacing`, node `i` only hears `i±1`: the
+    /// canonical multi-hop chain.
+    pub fn chain(n: usize, spacing: f64, y: f64) -> Vec<Pos> {
+        (0..n).map(|i| Pos::new(i as f64 * spacing, y)).collect()
+    }
+
+    /// `n` nodes on a `cols`-wide grid with the given spacing.
+    pub fn grid(n: usize, cols: usize, spacing: f64) -> Vec<Pos> {
+        assert!(cols > 0, "grid needs at least one column");
+        (0..n)
+            .map(|i| Pos::new((i % cols) as f64 * spacing, (i / cols) as f64 * spacing))
+            .collect()
+    }
+
+    /// `n` nodes uniformly at random on the field.
+    pub fn uniform<R: Rng>(n: usize, field: &Field, rng: &mut R) -> Vec<Pos> {
+        (0..n)
+            .map(|_| {
+                Pos::new(
+                    rng.gen_range(0.0..=field.width),
+                    rng.gen_range(0.0..=field.height),
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    #[test]
+    fn static_nodes_do_not_move() {
+        let mut st = MobilityState::new(Mobility::Static);
+        let field = Field::new(100.0, 100.0);
+        let mut pos = Pos::new(10.0, 20.0);
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        for _ in 0..100 {
+            st.step(&mut pos, &field, 1.0, &mut rng);
+        }
+        assert_eq!(pos, Pos::new(10.0, 20.0));
+    }
+
+    #[test]
+    fn waypoint_nodes_stay_in_field_and_move() {
+        let mut st = MobilityState::new(Mobility::RandomWaypoint {
+            min_speed: 1.0,
+            max_speed: 5.0,
+            pause_s: 0.5,
+        });
+        let field = Field::new(50.0, 50.0);
+        let mut pos = Pos::new(25.0, 25.0);
+        let start = pos;
+        let mut rng = ChaCha12Rng::seed_from_u64(2);
+        let mut moved = false;
+        for _ in 0..1000 {
+            st.step(&mut pos, &field, 0.1, &mut rng);
+            assert!(field.contains(&pos), "escaped field: {pos:?}");
+            if pos.dist(&start) > 1.0 {
+                moved = true;
+            }
+        }
+        assert!(moved, "random waypoint never moved");
+    }
+
+    #[test]
+    fn waypoint_respects_speed_limit() {
+        let mut st = MobilityState::new(Mobility::RandomWaypoint {
+            min_speed: 2.0,
+            max_speed: 2.0,
+            pause_s: 0.0,
+        });
+        let field = Field::new(1000.0, 1000.0);
+        let mut pos = Pos::new(500.0, 500.0);
+        let mut rng = ChaCha12Rng::seed_from_u64(3);
+        for _ in 0..500 {
+            let before = pos;
+            st.step(&mut pos, &field, 0.5, &mut rng);
+            // ≤ speed * dt, with slack for the arrival-snap step.
+            assert!(pos.dist(&before) <= 2.0 * 0.5 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn pause_halts_movement() {
+        let mut st = MobilityState::new(Mobility::RandomWaypoint {
+            min_speed: 10.0,
+            max_speed: 10.0,
+            pause_s: 5.0,
+        });
+        let field = Field::new(10.0, 10.0);
+        let mut pos = Pos::new(5.0, 5.0);
+        let mut rng = ChaCha12Rng::seed_from_u64(4);
+        // Walk until some arrival triggers a pause.
+        for _ in 0..200 {
+            st.step(&mut pos, &field, 0.1, &mut rng);
+            if st.pause_left > 0.0 {
+                break;
+            }
+        }
+        assert!(st.pause_left > 0.0, "never arrived");
+        let frozen = pos;
+        st.step(&mut pos, &field, 1.0, &mut rng);
+        assert_eq!(pos, frozen, "moved during pause");
+    }
+
+    #[test]
+    fn scripted_walks_waypoints_in_order_then_parks() {
+        let mut st = MobilityState::new(Mobility::Scripted {
+            points: vec![Pos::new(10.0, 0.0), Pos::new(10.0, 10.0)],
+            speed: 1.0,
+        });
+        let field = Field::new(100.0, 100.0);
+        let mut pos = Pos::new(0.0, 0.0);
+        let mut rng = ChaCha12Rng::seed_from_u64(6);
+        // 10 s to the first point, 10 more to the second.
+        for _ in 0..11 {
+            st.step(&mut pos, &field, 1.0, &mut rng);
+        }
+        assert!(pos.dist(&Pos::new(10.0, 0.0)) < 1.5, "past waypoint 1: {pos:?}");
+        for _ in 0..12 {
+            st.step(&mut pos, &field, 1.0, &mut rng);
+        }
+        assert_eq!(pos, Pos::new(10.0, 10.0), "parked at the last waypoint");
+        // Further steps do nothing.
+        st.step(&mut pos, &field, 5.0, &mut rng);
+        assert_eq!(pos, Pos::new(10.0, 10.0));
+    }
+
+    #[test]
+    fn scripted_is_deterministic() {
+        let walk = || {
+            let mut st = MobilityState::new(Mobility::Scripted {
+                points: vec![Pos::new(50.0, 50.0)],
+                speed: 3.0,
+            });
+            let field = Field::new(100.0, 100.0);
+            let mut pos = Pos::new(0.0, 0.0);
+            let mut rng = ChaCha12Rng::seed_from_u64(7);
+            for _ in 0..7 {
+                st.step(&mut pos, &field, 1.0, &mut rng);
+            }
+            (pos.x.to_bits(), pos.y.to_bits())
+        };
+        assert_eq!(walk(), walk());
+    }
+
+    #[test]
+    fn chain_placement_spacing() {
+        let ps = placement::chain(5, 10.0, 3.0);
+        assert_eq!(ps.len(), 5);
+        assert_eq!(ps[0], Pos::new(0.0, 3.0));
+        assert_eq!(ps[4], Pos::new(40.0, 3.0));
+        for w in ps.windows(2) {
+            assert!((w[0].dist(&w[1]) - 10.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn grid_placement_shape() {
+        let ps = placement::grid(6, 3, 5.0);
+        assert_eq!(ps[0], Pos::new(0.0, 0.0));
+        assert_eq!(ps[2], Pos::new(10.0, 0.0));
+        assert_eq!(ps[3], Pos::new(0.0, 5.0));
+        assert_eq!(ps[5], Pos::new(10.0, 5.0));
+    }
+
+    #[test]
+    fn uniform_placement_in_bounds() {
+        let field = Field::new(30.0, 40.0);
+        let mut rng = ChaCha12Rng::seed_from_u64(5);
+        for p in placement::uniform(100, &field, &mut rng) {
+            assert!(field.contains(&p));
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! IPv6 addressing for the MANET.
+//!
+//! We carry our own 128-bit address type rather than `std::net::Ipv6Addr`
+//! so the CGA layer can talk about the exact bit fields of Figure 1
+//! (site-local prefix / zero field / subnet ID / 64-bit interface ID) and
+//! so the wire codec controls the byte layout.
+
+use core::fmt;
+
+/// A 128-bit IPv6 address.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ipv6Addr(pub [u8; 16]);
+
+/// The unspecified address `::`, used as the source of DAD probes
+/// (a joining host does not own an address yet).
+pub const UNSPECIFIED: Ipv6Addr = Ipv6Addr([0; 16]);
+
+/// Well-known site-local DNS server anycast addresses reserved by
+/// draft-ietf-ipv6-dns-discovery (Section 2.4 of the paper):
+/// `fec0:0:0:ffff::1`, `::2`, `::3`.
+pub const DNS_WELL_KNOWN: [Ipv6Addr; 3] = [
+    dns_well_known(1),
+    dns_well_known(2),
+    dns_well_known(3),
+];
+
+const fn dns_well_known(i: u8) -> Ipv6Addr {
+    let mut b = [0u8; 16];
+    b[0] = 0xfe;
+    b[1] = 0xc0;
+    b[6] = 0xff;
+    b[7] = 0xff;
+    b[15] = i;
+    Ipv6Addr(b)
+}
+
+impl Ipv6Addr {
+    /// Build from eight 16-bit groups (the textual grouping).
+    pub fn from_groups(groups: [u16; 8]) -> Self {
+        let mut b = [0u8; 16];
+        for (i, g) in groups.iter().enumerate() {
+            b[2 * i..2 * i + 2].copy_from_slice(&g.to_be_bytes());
+        }
+        Ipv6Addr(b)
+    }
+
+    /// The eight 16-bit groups.
+    pub fn groups(&self) -> [u16; 8] {
+        let mut g = [0u16; 8];
+        for (i, item) in g.iter_mut().enumerate() {
+            *item = u16::from_be_bytes([self.0[2 * i], self.0[2 * i + 1]]);
+        }
+        g
+    }
+
+    /// True for the unspecified address `::`.
+    pub fn is_unspecified(&self) -> bool {
+        self.0 == [0; 16]
+    }
+
+    /// True iff the address carries the 10-bit site-local prefix
+    /// `1111 1110 11` (`fec0::/10`).
+    pub fn is_site_local(&self) -> bool {
+        self.0[0] == 0xfe && (self.0[1] & 0xc0) == 0xc0
+    }
+
+    /// The low 64 bits: the interface identifier (Figure 1's `H(PK, rn)`).
+    pub fn interface_id(&self) -> u64 {
+        u64::from_be_bytes(self.0[8..16].try_into().expect("8 bytes"))
+    }
+
+    /// The 16-bit subnet ID field (bits 48..64).
+    pub fn subnet_id(&self) -> u16 {
+        u16::from_be_bytes([self.0[6], self.0[7]])
+    }
+
+    /// Bits 10..48 — the paper's 38-bit all-zero field.
+    ///
+    /// Returns the field as the low 38 bits of a u64.
+    pub fn zero_field(&self) -> u64 {
+        // Bits 10..48 of the address: bytes 1..6 minus the top 2 bits of byte 1.
+        let mut v: u64 = (self.0[1] & 0x3f) as u64;
+        for &b in &self.0[2..6] {
+            v = (v << 8) | b as u64;
+        }
+        v
+    }
+
+    /// One of the three well-known DNS anycast addresses?
+    pub fn is_dns_well_known(&self) -> bool {
+        DNS_WELL_KNOWN.contains(self)
+    }
+}
+
+impl fmt::Debug for Ipv6Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Ipv6Addr {
+    /// RFC 5952-style rendering: lowercase hex groups, longest zero run
+    /// (length ≥ 2) compressed to `::`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let groups = self.groups();
+        // Find the longest run of zero groups.
+        let (mut best_start, mut best_len) = (0usize, 0usize);
+        let (mut cur_start, mut cur_len) = (0usize, 0usize);
+        for (i, &g) in groups.iter().enumerate() {
+            if g == 0 {
+                if cur_len == 0 {
+                    cur_start = i;
+                }
+                cur_len += 1;
+                if cur_len > best_len {
+                    best_start = cur_start;
+                    best_len = cur_len;
+                }
+            } else {
+                cur_len = 0;
+            }
+        }
+        if best_len < 2 {
+            // No compression.
+            for (i, g) in groups.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ":")?;
+                }
+                write!(f, "{g:x}")?;
+            }
+            return Ok(());
+        }
+        for (i, g) in groups.iter().enumerate().take(best_start) {
+            if i > 0 {
+                write!(f, ":")?;
+            }
+            write!(f, "{g:x}")?;
+        }
+        write!(f, "::")?;
+        for (i, g) in groups.iter().enumerate().skip(best_start + best_len) {
+            if i > best_start + best_len {
+                write!(f, ":")?;
+            }
+            write!(f, "{g:x}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unspecified_renders_as_double_colon() {
+        assert_eq!(UNSPECIFIED.to_string(), "::");
+        assert!(UNSPECIFIED.is_unspecified());
+    }
+
+    #[test]
+    fn dns_well_known_addresses_match_draft() {
+        assert_eq!(DNS_WELL_KNOWN[0].to_string(), "fec0:0:0:ffff::1");
+        assert_eq!(DNS_WELL_KNOWN[1].to_string(), "fec0:0:0:ffff::2");
+        assert_eq!(DNS_WELL_KNOWN[2].to_string(), "fec0:0:0:ffff::3");
+        for a in DNS_WELL_KNOWN {
+            assert!(a.is_site_local());
+            assert!(a.is_dns_well_known());
+        }
+    }
+
+    #[test]
+    fn site_local_prefix_detection() {
+        let mut b = [0u8; 16];
+        b[0] = 0xfe;
+        b[1] = 0xc0;
+        assert!(Ipv6Addr(b).is_site_local());
+        b[1] = 0xff; // feff::/16 still within fec0::/10
+        assert!(Ipv6Addr(b).is_site_local());
+        b[1] = 0x80; // fe80 = link-local, not site-local
+        assert!(!Ipv6Addr(b).is_site_local());
+        assert!(!UNSPECIFIED.is_site_local());
+    }
+
+    #[test]
+    fn groups_roundtrip() {
+        let g = [0xfec0, 0, 0, 0xffff, 0x1234, 0x5678, 0x9abc, 0xdef0];
+        assert_eq!(Ipv6Addr::from_groups(g).groups(), g);
+    }
+
+    #[test]
+    fn interface_id_is_low_64_bits() {
+        let a = Ipv6Addr::from_groups([0xfec0, 0, 0, 0, 0xdead, 0xbeef, 0x0bad, 0xf00d]);
+        assert_eq!(a.interface_id(), 0xdead_beef_0bad_f00d);
+    }
+
+    #[test]
+    fn subnet_and_zero_fields() {
+        let a = Ipv6Addr::from_groups([0xfec0, 0, 0, 0x002a, 0, 0, 0, 1]);
+        assert_eq!(a.subnet_id(), 0x2a);
+        assert_eq!(a.zero_field(), 0);
+        // Put bits into the 38-bit field: byte1 contributes its low 6 bits,
+        // bytes 2..6 the remaining 32.
+        let b = Ipv6Addr::from_groups([0xfec1, 0xffff, 0xffff, 0, 0, 0, 0, 0]);
+        assert_eq!(b.zero_field(), 0x01_ffff_ffff);
+    }
+
+    #[test]
+    fn zero_field_width_is_38_bits() {
+        let mut all = [0xffu8; 16];
+        all[0] = 0xfe;
+        let v = Ipv6Addr(all).zero_field();
+        assert_eq!(v, (1u64 << 38) - 1);
+    }
+
+    #[test]
+    fn display_compresses_longest_zero_run() {
+        let a = Ipv6Addr::from_groups([0xfec0, 0, 0, 0, 0, 0, 0, 1]);
+        assert_eq!(a.to_string(), "fec0::1");
+        let b = Ipv6Addr::from_groups([1, 0, 0, 2, 0, 0, 0, 3]);
+        assert_eq!(b.to_string(), "1:0:0:2::3");
+        let c = Ipv6Addr::from_groups([1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(c.to_string(), "1:2:3:4:5:6:7:8");
+        let d = Ipv6Addr::from_groups([0, 1, 0, 0, 0, 0, 1, 0]);
+        assert_eq!(d.to_string(), "0:1::1:0");
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_on_bytes() {
+        let lo = Ipv6Addr::from_groups([0, 0, 0, 0, 0, 0, 0, 1]);
+        let hi = Ipv6Addr::from_groups([0, 0, 0, 0, 0, 0, 1, 0]);
+        assert!(lo < hi);
+    }
+}

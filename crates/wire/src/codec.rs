@@ -1,0 +1,815 @@
+//! Binary codec for every [`Message`].
+//!
+//! One tag byte, then fixed fields, then length-prefixed variable fields
+//! (u16 lengths for keys/signatures/routes, u32 for data payloads). The
+//! decoder is strict: truncation, unknown tags, malformed keys/names, and
+//! trailing bytes are all errors — every decode site doubles as a fuzzing
+//! surface for the failure-injection tests.
+
+use crate::addr::Ipv6Addr;
+use crate::msg::*;
+use bytes::BufMut;
+use manet_crypto::{PublicKey, Signature};
+use std::fmt;
+
+/// Codec failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended before the message did.
+    Truncated,
+    /// Unknown message tag.
+    BadTag(u8),
+    /// Embedded public key failed validation.
+    BadKey,
+    /// Embedded domain name failed validation.
+    BadDomainName,
+    /// Bytes left over after a complete message.
+    TrailingBytes,
+    /// A length prefix exceeds sane bounds.
+    LengthOverflow,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "message truncated"),
+            CodecError::BadTag(t) => write!(f, "unknown message tag {t:#04x}"),
+            CodecError::BadKey => write!(f, "malformed public key"),
+            CodecError::BadDomainName => write!(f, "malformed domain name"),
+            CodecError::TrailingBytes => write!(f, "trailing bytes after message"),
+            CodecError::LengthOverflow => write!(f, "length prefix out of bounds"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+mod tag {
+    pub const AREQ: u8 = 0x01;
+    pub const AREP: u8 = 0x02;
+    pub const DREP: u8 = 0x03;
+    pub const RREQ: u8 = 0x04;
+    pub const RREP: u8 = 0x05;
+    pub const CREP: u8 = 0x06;
+    pub const RERR: u8 = 0x07;
+    pub const DATA: u8 = 0x10;
+    pub const ACK: u8 = 0x11;
+    pub const PROBE: u8 = 0x12;
+    pub const PROBE_ACK: u8 = 0x13;
+    pub const DNSQ: u8 = 0x20;
+    pub const DNSR: u8 = 0x21;
+    pub const IPC_REQ: u8 = 0x30;
+    pub const IPC_CH: u8 = 0x31;
+    pub const IPC_PRF: u8 = 0x32;
+    pub const IPC_RES: u8 = 0x33;
+    pub const P_RREQ: u8 = 0x40;
+    pub const P_RREP: u8 = 0x41;
+    pub const P_RERR: u8 = 0x42;
+}
+
+/// Maximum hops in a route record the decoder will accept.
+const MAX_ROUTE_LEN: usize = 256;
+/// Maximum data payload the decoder will accept.
+const MAX_PAYLOAD: usize = 64 * 1024;
+
+// --- checked reader ---------------------------------------------------------
+
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.buf.len() < n {
+            return Err(CodecError::Truncated);
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, CodecError> {
+        let b = self.take(2)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        let b = self.take(8)?;
+        Ok(u64::from_be_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn addr(&mut self) -> Result<Ipv6Addr, CodecError> {
+        let b = self.take(16)?;
+        Ok(Ipv6Addr(b.try_into().expect("16 bytes")))
+    }
+
+    fn seq(&mut self) -> Result<Seq, CodecError> {
+        Ok(Seq(self.u64()?))
+    }
+
+    fn challenge(&mut self) -> Result<Challenge, CodecError> {
+        Ok(Challenge(self.u64()?))
+    }
+
+    fn blob16(&mut self) -> Result<&'a [u8], CodecError> {
+        let len = self.u16()? as usize;
+        self.take(len)
+    }
+
+    fn sig(&mut self) -> Result<Signature, CodecError> {
+        Ok(Signature::from_bytes(self.blob16()?))
+    }
+
+    fn pk(&mut self) -> Result<PublicKey, CodecError> {
+        PublicKey::from_bytes(self.blob16()?).map_err(|_| CodecError::BadKey)
+    }
+
+    fn proof(&mut self) -> Result<IdentityProof, CodecError> {
+        let pk = self.pk()?;
+        let rn = self.u64()?;
+        let sig = self.sig()?;
+        Ok(IdentityProof { pk, rn, sig })
+    }
+
+    fn rr(&mut self) -> Result<RouteRecord, CodecError> {
+        let n = self.u16()? as usize;
+        if n > MAX_ROUTE_LEN {
+            return Err(CodecError::LengthOverflow);
+        }
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(self.addr()?);
+        }
+        Ok(RouteRecord(v))
+    }
+
+    fn srr(&mut self) -> Result<SecureRouteRecord, CodecError> {
+        let n = self.u16()? as usize;
+        if n > MAX_ROUTE_LEN {
+            return Err(CodecError::LengthOverflow);
+        }
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            let ip = self.addr()?;
+            let proof = self.proof()?;
+            v.push(SrrEntry { ip, proof });
+        }
+        Ok(SecureRouteRecord(v))
+    }
+
+    fn dn(&mut self) -> Result<DomainName, CodecError> {
+        let raw = self.blob16()?;
+        let s = core::str::from_utf8(raw).map_err(|_| CodecError::BadDomainName)?;
+        DomainName::new(s).map_err(|_| CodecError::BadDomainName)
+    }
+
+    fn dn_opt(&mut self) -> Result<Option<DomainName>, CodecError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.dn()?)),
+            _ => Err(CodecError::BadDomainName),
+        }
+    }
+
+    fn addr_opt(&mut self) -> Result<Option<Ipv6Addr>, CodecError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.addr()?)),
+            _ => Err(CodecError::LengthOverflow),
+        }
+    }
+
+    fn payload(&mut self) -> Result<Vec<u8>, CodecError> {
+        let len = self.u32()? as usize;
+        if len > MAX_PAYLOAD {
+            return Err(CodecError::LengthOverflow);
+        }
+        Ok(self.take(len)?.to_vec())
+    }
+
+    fn finish(self) -> Result<(), CodecError> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(CodecError::TrailingBytes)
+        }
+    }
+}
+
+// --- writers ----------------------------------------------------------------
+
+fn put_blob16(out: &mut Vec<u8>, blob: &[u8]) {
+    debug_assert!(blob.len() <= u16::MAX as usize);
+    out.put_u16(blob.len() as u16);
+    out.put_slice(blob);
+}
+
+fn put_sig(out: &mut Vec<u8>, sig: &Signature) {
+    put_blob16(out, &sig.to_bytes());
+}
+
+fn put_pk(out: &mut Vec<u8>, pk: &PublicKey) {
+    put_blob16(out, &pk.to_bytes());
+}
+
+fn put_proof(out: &mut Vec<u8>, p: &IdentityProof) {
+    put_pk(out, &p.pk);
+    out.put_u64(p.rn);
+    put_sig(out, &p.sig);
+}
+
+fn put_rr(out: &mut Vec<u8>, rr: &RouteRecord) {
+    out.put_u16(rr.0.len() as u16);
+    for a in &rr.0 {
+        out.put_slice(&a.0);
+    }
+}
+
+fn put_srr(out: &mut Vec<u8>, srr: &SecureRouteRecord) {
+    out.put_u16(srr.0.len() as u16);
+    for e in &srr.0 {
+        out.put_slice(&e.ip.0);
+        put_proof(out, &e.proof);
+    }
+}
+
+fn put_dn(out: &mut Vec<u8>, dn: &DomainName) {
+    put_blob16(out, dn.as_str().as_bytes());
+}
+
+fn put_dn_opt(out: &mut Vec<u8>, dn: &Option<DomainName>) {
+    match dn {
+        None => out.put_u8(0),
+        Some(d) => {
+            out.put_u8(1);
+            put_dn(out, d);
+        }
+    }
+}
+
+fn put_addr_opt(out: &mut Vec<u8>, a: &Option<Ipv6Addr>) {
+    match a {
+        None => out.put_u8(0),
+        Some(a) => {
+            out.put_u8(1);
+            out.put_slice(&a.0);
+        }
+    }
+}
+
+impl Message {
+    /// Serialize to bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        match self {
+            Message::Areq(m) => {
+                out.put_u8(tag::AREQ);
+                out.put_slice(&m.sip.0);
+                out.put_u64(m.seq.0);
+                put_dn_opt(&mut out, &m.dn);
+                out.put_u64(m.ch.0);
+                put_rr(&mut out, &m.rr);
+            }
+            Message::Arep(m) => {
+                out.put_u8(tag::AREP);
+                out.put_slice(&m.sip.0);
+                put_rr(&mut out, &m.rr);
+                put_proof(&mut out, &m.proof);
+            }
+            Message::Drep(m) => {
+                out.put_u8(tag::DREP);
+                out.put_slice(&m.sip.0);
+                put_rr(&mut out, &m.rr);
+                put_sig(&mut out, &m.sig);
+            }
+            Message::Rreq(m) => {
+                out.put_u8(tag::RREQ);
+                out.put_slice(&m.sip.0);
+                out.put_slice(&m.dip.0);
+                out.put_u64(m.seq.0);
+                put_srr(&mut out, &m.srr);
+                put_proof(&mut out, &m.src_proof);
+            }
+            Message::Rrep(m) => {
+                out.put_u8(tag::RREP);
+                out.put_slice(&m.sip.0);
+                out.put_slice(&m.dip.0);
+                out.put_u64(m.seq.0);
+                put_rr(&mut out, &m.rr);
+                put_proof(&mut out, &m.proof);
+            }
+            Message::Crep(m) => {
+                out.put_u8(tag::CREP);
+                out.put_slice(&m.s2ip.0);
+                out.put_slice(&m.sip.0);
+                out.put_slice(&m.dip.0);
+                out.put_u64(m.seq2.0);
+                put_rr(&mut out, &m.rr_s2_to_s);
+                put_proof(&mut out, &m.s_proof);
+                out.put_u64(m.orig_seq.0);
+                put_rr(&mut out, &m.rr_s_to_d);
+                put_proof(&mut out, &m.d_proof);
+            }
+            Message::Rerr(m) => {
+                out.put_u8(tag::RERR);
+                out.put_slice(&m.iip.0);
+                out.put_slice(&m.i2ip.0);
+                put_proof(&mut out, &m.proof);
+            }
+            Message::Data(m) => {
+                out.put_u8(tag::DATA);
+                out.put_slice(&m.sip.0);
+                out.put_slice(&m.dip.0);
+                out.put_u64(m.seq.0);
+                put_rr(&mut out, &m.route);
+                out.put_u32(m.payload.len() as u32);
+                out.put_slice(&m.payload);
+            }
+            Message::Ack(m) => {
+                out.put_u8(tag::ACK);
+                out.put_slice(&m.sip.0);
+                out.put_slice(&m.dip.0);
+                out.put_u64(m.seq.0);
+                put_rr(&mut out, &m.route);
+            }
+            Message::Probe(m) => {
+                out.put_u8(tag::PROBE);
+                out.put_slice(&m.sip.0);
+                out.put_slice(&m.dip.0);
+                out.put_u64(m.seq.0);
+                put_rr(&mut out, &m.route);
+            }
+            Message::ProbeAck(m) => {
+                out.put_u8(tag::PROBE_ACK);
+                out.put_slice(&m.sip.0);
+                out.put_u64(m.probe_seq.0);
+                out.put_slice(&m.hop.0);
+                put_proof(&mut out, &m.proof);
+            }
+            Message::DnsQuery(m) => {
+                out.put_u8(tag::DNSQ);
+                out.put_slice(&m.requester.0);
+                put_dn(&mut out, &m.qname);
+                out.put_u64(m.ch.0);
+                put_rr(&mut out, &m.route);
+            }
+            Message::DnsReply(m) => {
+                out.put_u8(tag::DNSR);
+                out.put_slice(&m.requester.0);
+                put_dn(&mut out, &m.qname);
+                put_addr_opt(&mut out, &m.answer);
+                put_sig(&mut out, &m.sig);
+                put_rr(&mut out, &m.route);
+            }
+            Message::IpChangeRequest(m) => {
+                out.put_u8(tag::IPC_REQ);
+                put_dn(&mut out, &m.dn);
+                out.put_slice(&m.old_ip.0);
+                out.put_slice(&m.new_ip.0);
+                put_rr(&mut out, &m.route);
+            }
+            Message::IpChangeChallenge(m) => {
+                out.put_u8(tag::IPC_CH);
+                put_dn(&mut out, &m.dn);
+                out.put_u64(m.ch.0);
+                put_rr(&mut out, &m.route);
+            }
+            Message::IpChangeProof(m) => {
+                out.put_u8(tag::IPC_PRF);
+                put_dn(&mut out, &m.dn);
+                out.put_slice(&m.old_ip.0);
+                out.put_slice(&m.new_ip.0);
+                out.put_u64(m.old_rn);
+                out.put_u64(m.new_rn);
+                put_pk(&mut out, &m.pk);
+                put_sig(&mut out, &m.sig);
+                put_rr(&mut out, &m.route);
+            }
+            Message::IpChangeResult(m) => {
+                out.put_u8(tag::IPC_RES);
+                put_dn(&mut out, &m.dn);
+                out.put_u8(m.accepted as u8);
+                put_sig(&mut out, &m.sig);
+                put_rr(&mut out, &m.route);
+            }
+            Message::PlainRreq(m) => {
+                out.put_u8(tag::P_RREQ);
+                out.put_slice(&m.sip.0);
+                out.put_slice(&m.dip.0);
+                out.put_u64(m.seq.0);
+                put_rr(&mut out, &m.rr);
+            }
+            Message::PlainRrep(m) => {
+                out.put_u8(tag::P_RREP);
+                out.put_slice(&m.sip.0);
+                out.put_slice(&m.dip.0);
+                out.put_u64(m.seq.0);
+                put_rr(&mut out, &m.rr);
+            }
+            Message::PlainRerr(m) => {
+                out.put_u8(tag::P_RERR);
+                out.put_slice(&m.iip.0);
+                out.put_slice(&m.i2ip.0);
+            }
+        }
+        out
+    }
+
+    /// Size of the encoded message in bytes; the unit of the control
+    /// overhead experiments (T1, E2).
+    pub fn wire_size(&self) -> usize {
+        self.encode().len()
+    }
+
+    /// Strict decode: consumes the whole buffer or fails.
+    pub fn decode(buf: &[u8]) -> Result<Message, CodecError> {
+        let mut r = Reader::new(buf);
+        let t = r.u8()?;
+        let msg = match t {
+            tag::AREQ => Message::Areq(Areq {
+                sip: r.addr()?,
+                seq: r.seq()?,
+                dn: r.dn_opt()?,
+                ch: r.challenge()?,
+                rr: r.rr()?,
+            }),
+            tag::AREP => Message::Arep(Arep {
+                sip: r.addr()?,
+                rr: r.rr()?,
+                proof: r.proof()?,
+            }),
+            tag::DREP => Message::Drep(Drep {
+                sip: r.addr()?,
+                rr: r.rr()?,
+                sig: r.sig()?,
+            }),
+            tag::RREQ => Message::Rreq(Rreq {
+                sip: r.addr()?,
+                dip: r.addr()?,
+                seq: r.seq()?,
+                srr: r.srr()?,
+                src_proof: r.proof()?,
+            }),
+            tag::RREP => Message::Rrep(Rrep {
+                sip: r.addr()?,
+                dip: r.addr()?,
+                seq: r.seq()?,
+                rr: r.rr()?,
+                proof: r.proof()?,
+            }),
+            tag::CREP => Message::Crep(Crep {
+                s2ip: r.addr()?,
+                sip: r.addr()?,
+                dip: r.addr()?,
+                seq2: r.seq()?,
+                rr_s2_to_s: r.rr()?,
+                s_proof: r.proof()?,
+                orig_seq: r.seq()?,
+                rr_s_to_d: r.rr()?,
+                d_proof: r.proof()?,
+            }),
+            tag::RERR => Message::Rerr(Rerr {
+                iip: r.addr()?,
+                i2ip: r.addr()?,
+                proof: r.proof()?,
+            }),
+            tag::DATA => Message::Data(Data {
+                sip: r.addr()?,
+                dip: r.addr()?,
+                seq: r.seq()?,
+                route: r.rr()?,
+                payload: r.payload()?,
+            }),
+            tag::ACK => Message::Ack(Ack {
+                sip: r.addr()?,
+                dip: r.addr()?,
+                seq: r.seq()?,
+                route: r.rr()?,
+            }),
+            tag::PROBE => Message::Probe(Probe {
+                sip: r.addr()?,
+                dip: r.addr()?,
+                seq: r.seq()?,
+                route: r.rr()?,
+            }),
+            tag::PROBE_ACK => Message::ProbeAck(ProbeAck {
+                sip: r.addr()?,
+                probe_seq: r.seq()?,
+                hop: r.addr()?,
+                proof: r.proof()?,
+            }),
+            tag::DNSQ => Message::DnsQuery(DnsQuery {
+                requester: r.addr()?,
+                qname: r.dn()?,
+                ch: r.challenge()?,
+                route: r.rr()?,
+            }),
+            tag::DNSR => Message::DnsReply(DnsReply {
+                requester: r.addr()?,
+                qname: r.dn()?,
+                answer: r.addr_opt()?,
+                sig: r.sig()?,
+                route: r.rr()?,
+            }),
+            tag::IPC_REQ => Message::IpChangeRequest(IpChangeRequest {
+                dn: r.dn()?,
+                old_ip: r.addr()?,
+                new_ip: r.addr()?,
+                route: r.rr()?,
+            }),
+            tag::IPC_CH => Message::IpChangeChallenge(IpChangeChallenge {
+                dn: r.dn()?,
+                ch: r.challenge()?,
+                route: r.rr()?,
+            }),
+            tag::IPC_PRF => Message::IpChangeProof(IpChangeProof {
+                dn: r.dn()?,
+                old_ip: r.addr()?,
+                new_ip: r.addr()?,
+                old_rn: r.u64()?,
+                new_rn: r.u64()?,
+                pk: r.pk()?,
+                sig: r.sig()?,
+                route: r.rr()?,
+            }),
+            tag::IPC_RES => Message::IpChangeResult(IpChangeResult {
+                dn: r.dn()?,
+                accepted: r.u8()? != 0,
+                sig: r.sig()?,
+                route: r.rr()?,
+            }),
+            tag::P_RREQ => Message::PlainRreq(PlainRreq {
+                sip: r.addr()?,
+                dip: r.addr()?,
+                seq: r.seq()?,
+                rr: r.rr()?,
+            }),
+            tag::P_RREP => Message::PlainRrep(PlainRrep {
+                sip: r.addr()?,
+                dip: r.addr()?,
+                seq: r.seq()?,
+                rr: r.rr()?,
+            }),
+            tag::P_RERR => Message::PlainRerr(PlainRerr {
+                iip: r.addr()?,
+                i2ip: r.addr()?,
+            }),
+            other => return Err(CodecError::BadTag(other)),
+        };
+        r.finish()?;
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    fn ip(last: u16) -> Ipv6Addr {
+        Ipv6Addr::from_groups([0xfec0, 0, 0, 0, 0, 0, 0, last])
+    }
+
+    fn proof() -> IdentityProof {
+        let mut rng = ChaCha12Rng::seed_from_u64(11);
+        let kp = manet_crypto::KeyPair::generate(512, &mut rng);
+        IdentityProof {
+            pk: kp.public().clone(),
+            rn: 42,
+            sig: kp.sign(b"test"),
+        }
+    }
+
+    fn sample_messages() -> Vec<Message> {
+        let p = proof();
+        let dn = DomainName::new("node1.manet").unwrap();
+        let rr = RouteRecord(vec![ip(1), ip(2), ip(3)]);
+        let srr = SecureRouteRecord(vec![
+            SrrEntry { ip: ip(2), proof: p.clone() },
+            SrrEntry { ip: ip(3), proof: p.clone() },
+        ]);
+        vec![
+            Message::Areq(Areq {
+                sip: ip(1),
+                seq: Seq(9),
+                dn: Some(dn.clone()),
+                ch: Challenge(0xdead),
+                rr: rr.clone(),
+            }),
+            Message::Areq(Areq {
+                sip: ip(1),
+                seq: Seq(9),
+                dn: None,
+                ch: Challenge(1),
+                rr: RouteRecord::new(),
+            }),
+            Message::Arep(Arep { sip: ip(1), rr: rr.clone(), proof: p.clone() }),
+            Message::Drep(Drep { sip: ip(1), rr: rr.clone(), sig: p.sig.clone() }),
+            Message::Rreq(Rreq {
+                sip: ip(1),
+                dip: ip(9),
+                seq: Seq(5),
+                srr,
+                src_proof: p.clone(),
+            }),
+            Message::Rrep(Rrep {
+                sip: ip(1),
+                dip: ip(9),
+                seq: Seq(5),
+                rr: rr.clone(),
+                proof: p.clone(),
+            }),
+            Message::Crep(Crep {
+                s2ip: ip(7),
+                sip: ip(1),
+                dip: ip(9),
+                seq2: Seq(8),
+                rr_s2_to_s: rr.clone(),
+                s_proof: p.clone(),
+                orig_seq: Seq(5),
+                rr_s_to_d: rr.reversed(),
+                d_proof: p.clone(),
+            }),
+            Message::Rerr(Rerr { iip: ip(2), i2ip: ip(3), proof: p.clone() }),
+            Message::Data(Data {
+                sip: ip(1),
+                dip: ip(9),
+                seq: Seq(100),
+                route: rr.clone(),
+                payload: vec![0xab; 512],
+            }),
+            Message::Ack(Ack { sip: ip(1), dip: ip(9), seq: Seq(100), route: rr.clone() }),
+            Message::Probe(Probe {
+                sip: ip(1),
+                dip: ip(9),
+                seq: Seq(101),
+                route: rr.clone(),
+            }),
+            Message::ProbeAck(ProbeAck {
+                sip: ip(1),
+                probe_seq: Seq(101),
+                hop: ip(2),
+                proof: p.clone(),
+            }),
+            Message::DnsQuery(DnsQuery {
+                requester: ip(1),
+                qname: dn.clone(),
+                ch: Challenge(77),
+                route: rr.clone(),
+            }),
+            Message::DnsReply(DnsReply {
+                requester: ip(1),
+                qname: dn.clone(),
+                answer: Some(ip(9)),
+                sig: p.sig.clone(),
+                route: rr.clone(),
+            }),
+            Message::DnsReply(DnsReply {
+                requester: ip(1),
+                qname: dn.clone(),
+                answer: None,
+                sig: p.sig.clone(),
+                route: RouteRecord::new(),
+            }),
+            Message::IpChangeRequest(IpChangeRequest {
+                dn: dn.clone(),
+                old_ip: ip(1),
+                new_ip: ip(2),
+                route: rr.clone(),
+            }),
+            Message::IpChangeChallenge(IpChangeChallenge {
+                dn: dn.clone(),
+                ch: Challenge(3),
+                route: rr.clone(),
+            }),
+            Message::IpChangeProof(IpChangeProof {
+                dn: dn.clone(),
+                old_ip: ip(1),
+                new_ip: ip(2),
+                old_rn: 4,
+                new_rn: 5,
+                pk: p.pk.clone(),
+                sig: p.sig.clone(),
+                route: rr.clone(),
+            }),
+            Message::IpChangeResult(IpChangeResult {
+                dn: dn.clone(),
+                accepted: true,
+                sig: p.sig.clone(),
+                route: rr.clone(),
+            }),
+            Message::PlainRreq(PlainRreq { sip: ip(1), dip: ip(9), seq: Seq(5), rr: rr.clone() }),
+            Message::PlainRrep(PlainRrep { sip: ip(1), dip: ip(9), seq: Seq(5), rr: rr.clone() }),
+            Message::PlainRerr(PlainRerr { iip: ip(2), i2ip: ip(3) }),
+        ]
+    }
+
+    #[test]
+    fn all_messages_roundtrip() {
+        for msg in sample_messages() {
+            let bytes = msg.encode();
+            let back = Message::decode(&bytes)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", msg.kind()));
+            assert_eq!(back, msg, "{} roundtrip", msg.kind());
+            assert_eq!(msg.wire_size(), bytes.len());
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_boundary_is_an_error() {
+        for msg in sample_messages() {
+            let bytes = msg.encode();
+            for cut in 0..bytes.len() {
+                assert!(
+                    Message::decode(&bytes[..cut]).is_err(),
+                    "{} decoded from {cut}/{} bytes",
+                    msg.kind(),
+                    bytes.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        for msg in sample_messages() {
+            let mut bytes = msg.encode();
+            bytes.push(0);
+            assert_eq!(Message::decode(&bytes), Err(CodecError::TrailingBytes));
+        }
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        assert_eq!(Message::decode(&[0xff]), Err(CodecError::BadTag(0xff)));
+        assert_eq!(Message::decode(&[0x00]), Err(CodecError::BadTag(0x00)));
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert_eq!(Message::decode(&[]), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn oversized_route_rejected() {
+        // Hand-build a plain RREQ claiming 300 route entries.
+        let mut bytes = vec![tag::P_RREQ];
+        bytes.extend_from_slice(&[0u8; 16]); // sip
+        bytes.extend_from_slice(&[0u8; 16]); // dip
+        bytes.extend_from_slice(&0u64.to_be_bytes());
+        bytes.extend_from_slice(&300u16.to_be_bytes());
+        bytes.extend_from_slice(&vec![0u8; 300 * 16]);
+        assert_eq!(Message::decode(&bytes), Err(CodecError::LengthOverflow));
+    }
+
+    #[test]
+    fn bad_domain_name_on_wire_rejected() {
+        let dn = DomainName::new("ok.name").unwrap();
+        let msg = Message::DnsQuery(DnsQuery {
+            requester: ip(1),
+            qname: dn,
+            ch: Challenge(0),
+            route: RouteRecord::new(),
+        });
+        let mut bytes = msg.encode();
+        // Corrupt the first character of the name ('o' -> '!').
+        let pos = bytes.iter().position(|&b| b == b'o').unwrap();
+        bytes[pos] = b'!';
+        assert_eq!(Message::decode(&bytes), Err(CodecError::BadDomainName));
+    }
+
+    #[test]
+    fn secure_messages_cost_more_than_plain() {
+        // The T1 exhibit's core fact: security adds signature + key bytes.
+        let p = proof();
+        let rr = RouteRecord(vec![ip(1), ip(2), ip(3)]);
+        let secure = Message::Rrep(Rrep {
+            sip: ip(1),
+            dip: ip(9),
+            seq: Seq(5),
+            rr: rr.clone(),
+            proof: p,
+        });
+        let plain = Message::PlainRrep(PlainRrep {
+            sip: ip(1),
+            dip: ip(9),
+            seq: Seq(5),
+            rr,
+        });
+        assert!(secure.wire_size() > plain.wire_size() + 64);
+    }
+}

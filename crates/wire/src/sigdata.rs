@@ -1,0 +1,198 @@
+//! Canonical byte strings for every signed payload in the protocol.
+//!
+//! Signer and verifier must hash exactly the same bytes, so all
+//! `[ … ]XSK` payloads from Table 1 are built here and nowhere else. Each
+//! payload starts with a domain-separation tag: a signature produced for
+//! an AREP can never verify as, say, an RERR even if the fields collide.
+
+use crate::addr::Ipv6Addr;
+use crate::msg::{Challenge, DomainName, RouteRecord, Seq};
+
+fn tagged(tag: &[u8], cap: usize) -> Vec<u8> {
+    let mut v = Vec::with_capacity(tag.len() + cap);
+    v.extend_from_slice(tag);
+    v
+}
+
+/// `[SIP, ch]RSK` — the collision holder's AREP response (Section 3.1).
+pub fn arep(sip: &Ipv6Addr, ch: Challenge) -> Vec<u8> {
+    let mut v = tagged(b"MANET-AREP-v1", 24);
+    v.extend_from_slice(&sip.0);
+    v.extend_from_slice(&ch.0.to_be_bytes());
+    v
+}
+
+/// `[DN, ch]NSK` — the DNS server's DREP on a duplicate name (Section 3.1).
+pub fn drep(dn: &DomainName, ch: Challenge) -> Vec<u8> {
+    let name = dn.as_str().as_bytes();
+    let mut v = tagged(b"MANET-DREP-v1", name.len() + 10);
+    v.extend_from_slice(&(name.len() as u16).to_be_bytes());
+    v.extend_from_slice(name);
+    v.extend_from_slice(&ch.0.to_be_bytes());
+    v
+}
+
+/// `[SIP, seq]SSK` — the source's identity proof in an RREQ (Section 3.3).
+pub fn rreq_src(sip: &Ipv6Addr, seq: Seq) -> Vec<u8> {
+    let mut v = tagged(b"MANET-RREQ-SRC-v1", 24);
+    v.extend_from_slice(&sip.0);
+    v.extend_from_slice(&seq.0.to_be_bytes());
+    v
+}
+
+/// `[IIP, seq]ISK` — an intermediate hop's SRR entry (Section 3.3).
+///
+/// Binding `seq` stops an adversary from replaying a hop's entry into a
+/// different discovery.
+pub fn srr_hop(iip: &Ipv6Addr, seq: Seq) -> Vec<u8> {
+    let mut v = tagged(b"MANET-SRR-HOP-v1", 24);
+    v.extend_from_slice(&iip.0);
+    v.extend_from_slice(&seq.0.to_be_bytes());
+    v
+}
+
+/// `[SIP, seq, RR]DSK` — the destination's RREP proof (Section 3.3).
+pub fn rrep(sip: &Ipv6Addr, seq: Seq, rr: &RouteRecord) -> Vec<u8> {
+    let rr_bytes = rr.sign_bytes();
+    let mut v = tagged(b"MANET-RREP-v1", 24 + rr_bytes.len());
+    v.extend_from_slice(&sip.0);
+    v.extend_from_slice(&seq.0.to_be_bytes());
+    v.extend_from_slice(&rr_bytes);
+    v
+}
+
+/// `[S'IP, seq', RR_{S'→S}]SSK` — the cache holder's half of a CREP.
+pub fn crep_cache_holder(s2ip: &Ipv6Addr, seq2: Seq, rr_s2_to_s: &RouteRecord) -> Vec<u8> {
+    let rr_bytes = rr_s2_to_s.sign_bytes();
+    let mut v = tagged(b"MANET-CREP-v1", 24 + rr_bytes.len());
+    v.extend_from_slice(&s2ip.0);
+    v.extend_from_slice(&seq2.0.to_be_bytes());
+    v.extend_from_slice(&rr_bytes);
+    v
+}
+
+/// `[IIP, I'IP]ISK` — the reporter's RERR proof (Section 3.4).
+pub fn rerr(iip: &Ipv6Addr, i2ip: &Ipv6Addr) -> Vec<u8> {
+    let mut v = tagged(b"MANET-RERR-v1", 32);
+    v.extend_from_slice(&iip.0);
+    v.extend_from_slice(&i2ip.0);
+    v
+}
+
+/// `[SIP, seq, IIP]ISK` — a hop's probe acknowledgement (Section 3.4's
+/// route-integrity test). Binding `seq` makes old acks unreplayable into
+/// new probes; binding `IIP` stops one hop from impersonating another's
+/// liveness.
+pub fn probe_ack(sip: &Ipv6Addr, probe_seq: Seq, hop: &Ipv6Addr) -> Vec<u8> {
+    let mut v = tagged(b"MANET-PROBE-ACK-v1", 40);
+    v.extend_from_slice(&sip.0);
+    v.extend_from_slice(&probe_seq.0.to_be_bytes());
+    v.extend_from_slice(&hop.0);
+    v
+}
+
+/// `[qname, answer, ch]NSK` — signed DNS resolution reply (Section 3.2).
+pub fn dns_reply(qname: &DomainName, answer: Option<&Ipv6Addr>, ch: Challenge) -> Vec<u8> {
+    let name = qname.as_str().as_bytes();
+    let mut v = tagged(b"MANET-DNSR-v1", name.len() + 27);
+    v.extend_from_slice(&(name.len() as u16).to_be_bytes());
+    v.extend_from_slice(name);
+    match answer {
+        Some(a) => {
+            v.push(1);
+            v.extend_from_slice(&a.0);
+        }
+        None => v.push(0),
+    }
+    v.extend_from_slice(&ch.0.to_be_bytes());
+    v
+}
+
+/// `[XIP, X'IP, ch]XSK` — the host's IP-change proof (Section 3.2).
+pub fn ip_change(old_ip: &Ipv6Addr, new_ip: &Ipv6Addr, ch: Challenge) -> Vec<u8> {
+    let mut v = tagged(b"MANET-IPCHG-v1", 40);
+    v.extend_from_slice(&old_ip.0);
+    v.extend_from_slice(&new_ip.0);
+    v.extend_from_slice(&ch.0.to_be_bytes());
+    v
+}
+
+/// `[dn, accepted, ch]NSK` — the DNS's signed IP-change outcome.
+pub fn ip_change_result(dn: &DomainName, accepted: bool, ch: Challenge) -> Vec<u8> {
+    let name = dn.as_str().as_bytes();
+    let mut v = tagged(b"MANET-IPCHG-RES-v1", name.len() + 11);
+    v.extend_from_slice(&(name.len() as u16).to_be_bytes());
+    v.extend_from_slice(name);
+    v.push(accepted as u8);
+    v.extend_from_slice(&ch.0.to_be_bytes());
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::UNSPECIFIED;
+
+    fn ip(last: u16) -> Ipv6Addr {
+        Ipv6Addr::from_groups([0xfec0, 0, 0, 0, 0, 0, 0, last])
+    }
+
+    #[test]
+    fn domain_separation_between_payload_kinds() {
+        // Same raw fields, different message kinds, must differ.
+        let a = arep(&ip(1), Challenge(7));
+        let r = rreq_src(&ip(1), Seq(7));
+        let h = srr_hop(&ip(1), Seq(7));
+        assert_ne!(a, r);
+        assert_ne!(r, h);
+        assert_ne!(a, h);
+    }
+
+    #[test]
+    fn payloads_depend_on_every_field() {
+        assert_ne!(arep(&ip(1), Challenge(1)), arep(&ip(1), Challenge(2)));
+        assert_ne!(arep(&ip(1), Challenge(1)), arep(&ip(2), Challenge(1)));
+        let rr1 = RouteRecord(vec![ip(1)]);
+        let rr2 = RouteRecord(vec![ip(2)]);
+        assert_ne!(rrep(&ip(1), Seq(1), &rr1), rrep(&ip(1), Seq(1), &rr2));
+        assert_ne!(rrep(&ip(1), Seq(1), &rr1), rrep(&ip(1), Seq(2), &rr1));
+        assert_ne!(rerr(&ip(1), &ip(2)), rerr(&ip(2), &ip(1)));
+    }
+
+    #[test]
+    fn dns_reply_distinguishes_nxdomain() {
+        let dn = DomainName::new("srv.manet").unwrap();
+        let some = dns_reply(&dn, Some(&ip(9)), Challenge(3));
+        let none = dns_reply(&dn, None, Challenge(3));
+        assert_ne!(some, none);
+    }
+
+    #[test]
+    fn dns_name_length_prefix_prevents_ambiguity() {
+        // ("ab", ch with leading byte 'c') must not equal ("abc", …): the
+        // length prefix separates them.
+        let d1 = DomainName::new("ab").unwrap();
+        let d2 = DomainName::new("abc").unwrap();
+        assert_ne!(
+            drep(&d1, Challenge(u64::from_be_bytes(*b"c\0\0\0\0\0\0\0"))),
+            drep(&d2, Challenge(0)),
+        );
+    }
+
+    #[test]
+    fn ip_change_binds_both_addresses_and_challenge() {
+        let base = ip_change(&ip(1), &ip(2), Challenge(5));
+        assert_ne!(base, ip_change(&ip(2), &ip(1), Challenge(5)));
+        assert_ne!(base, ip_change(&ip(1), &ip(2), Challenge(6)));
+        assert_ne!(base, ip_change(&UNSPECIFIED, &ip(2), Challenge(5)));
+    }
+
+    #[test]
+    fn crep_and_rrep_payloads_are_distinct() {
+        let rr = RouteRecord(vec![ip(1), ip(2)]);
+        assert_ne!(
+            crep_cache_holder(&ip(1), Seq(3), &rr),
+            rrep(&ip(1), Seq(3), &rr)
+        );
+    }
+}

@@ -1,0 +1,188 @@
+//! Property-based tests for the wire codec: arbitrary well-formed
+//! messages round-trip; arbitrary byte soup never panics the decoder.
+
+use manet_wire::*;
+use proptest::prelude::*;
+
+fn arb_addr() -> impl Strategy<Value = Ipv6Addr> {
+    any::<[u8; 16]>().prop_map(Ipv6Addr)
+}
+
+fn arb_rr() -> impl Strategy<Value = RouteRecord> {
+    proptest::collection::vec(arb_addr(), 0..8).prop_map(RouteRecord)
+}
+
+fn arb_dn() -> impl Strategy<Value = DomainName> {
+    "[a-z0-9]{1,12}(\\.[a-z0-9]{1,12}){0,2}"
+        .prop_map(|s| DomainName::new(&s).expect("generated names are valid"))
+}
+
+fn arb_seq() -> impl Strategy<Value = Seq> {
+    any::<u64>().prop_map(Seq)
+}
+
+fn arb_ch() -> impl Strategy<Value = Challenge> {
+    any::<u64>().prop_map(Challenge)
+}
+
+// A structurally valid (but cryptographically meaningless) public key:
+// parseable keys must pass PublicKey::from_parts validation, so we build
+// them from a fixed corpus generated once.
+fn arb_pk() -> impl Strategy<Value = manet_crypto::PublicKey> {
+    use rand::SeedableRng;
+    prop_oneof![Just(0u64), Just(1), Just(2)].prop_map(|i| {
+        let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(1000 + i);
+        manet_crypto::KeyPair::generate(512, &mut rng)
+            .public()
+            .clone()
+    })
+}
+
+fn arb_sig() -> impl Strategy<Value = manet_crypto::Signature> {
+    proptest::collection::vec(any::<u8>(), 1..64)
+        .prop_map(|b| manet_crypto::Signature::from_bytes(&b))
+}
+
+fn arb_proof() -> impl Strategy<Value = IdentityProof> {
+    (arb_pk(), any::<u64>(), arb_sig()).prop_map(|(pk, rn, sig)| IdentityProof { pk, rn, sig })
+}
+
+fn arb_srr() -> impl Strategy<Value = SecureRouteRecord> {
+    proptest::collection::vec(
+        (arb_addr(), arb_proof()).prop_map(|(ip, proof)| SrrEntry { ip, proof }),
+        0..5,
+    )
+    .prop_map(SecureRouteRecord)
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        (arb_addr(), arb_seq(), proptest::option::of(arb_dn()), arb_ch(), arb_rr())
+            .prop_map(|(sip, seq, dn, ch, rr)| Message::Areq(Areq { sip, seq, dn, ch, rr })),
+        (arb_addr(), arb_rr(), arb_proof())
+            .prop_map(|(sip, rr, proof)| Message::Arep(Arep { sip, rr, proof })),
+        (arb_addr(), arb_rr(), arb_sig())
+            .prop_map(|(sip, rr, sig)| Message::Drep(Drep { sip, rr, sig })),
+        (arb_addr(), arb_addr(), arb_seq(), arb_srr(), arb_proof()).prop_map(
+            |(sip, dip, seq, srr, src_proof)| Message::Rreq(Rreq {
+                sip,
+                dip,
+                seq,
+                srr,
+                src_proof
+            })
+        ),
+        (arb_addr(), arb_addr(), arb_seq(), arb_rr(), arb_proof()).prop_map(
+            |(sip, dip, seq, rr, proof)| Message::Rrep(Rrep {
+                sip,
+                dip,
+                seq,
+                rr,
+                proof
+            })
+        ),
+        (arb_addr(), arb_addr(), arb_proof())
+            .prop_map(|(iip, i2ip, proof)| Message::Rerr(Rerr { iip, i2ip, proof })),
+        (
+            arb_addr(),
+            arb_addr(),
+            arb_seq(),
+            arb_rr(),
+            proptest::collection::vec(any::<u8>(), 0..256)
+        )
+            .prop_map(|(sip, dip, seq, route, payload)| Message::Data(Data {
+                sip,
+                dip,
+                seq,
+                route,
+                payload
+            })),
+        (arb_addr(), arb_addr(), arb_seq(), arb_rr()).prop_map(|(sip, dip, seq, route)| {
+            Message::Ack(Ack {
+                sip,
+                dip,
+                seq,
+                route,
+            })
+        }),
+        (arb_addr(), arb_dn(), arb_ch(), arb_rr()).prop_map(|(requester, qname, ch, route)| {
+            Message::DnsQuery(DnsQuery {
+                requester,
+                qname,
+                ch,
+                route,
+            })
+        }),
+        (
+            arb_addr(),
+            arb_dn(),
+            proptest::option::of(arb_addr()),
+            arb_sig(),
+            arb_rr()
+        )
+            .prop_map(|(requester, qname, answer, sig, route)| {
+                Message::DnsReply(DnsReply {
+                    requester,
+                    qname,
+                    answer,
+                    sig,
+                    route,
+                })
+            }),
+        (arb_addr(), arb_addr(), arb_seq(), arb_rr()).prop_map(|(sip, dip, seq, rr)| {
+            Message::PlainRreq(PlainRreq { sip, dip, seq, rr })
+        }),
+        (arb_addr(), arb_addr()).prop_map(|(iip, i2ip)| Message::PlainRerr(PlainRerr {
+            iip,
+            i2ip
+        })),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn any_message_roundtrips(msg in arb_message()) {
+        let bytes = msg.encode();
+        let back = Message::decode(&bytes).expect("own encoding decodes");
+        prop_assert_eq!(back, msg.clone());
+        prop_assert_eq!(bytes.len(), msg.wire_size());
+    }
+
+    #[test]
+    fn any_truncation_errors_cleanly(msg in arb_message(), frac in 0.0f64..1.0) {
+        let bytes = msg.encode();
+        let cut = (bytes.len() as f64 * frac) as usize;
+        if cut < bytes.len() {
+            prop_assert!(Message::decode(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn random_bytes_never_panic_decoder(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Message::decode(&bytes); // must not panic; result is irrelevant
+    }
+
+    #[test]
+    fn single_byte_flips_never_panic(msg in arb_message(), pos_frac in 0.0f64..1.0, bit in 0u8..8) {
+        let mut bytes = msg.encode();
+        if !bytes.is_empty() {
+            let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+            bytes[pos] ^= 1 << bit;
+            let _ = Message::decode(&bytes); // decode may fail or yield a different message
+        }
+    }
+
+    #[test]
+    fn rr_reverse_is_involutive(rr in arb_rr()) {
+        prop_assert_eq!(rr.reversed().reversed(), rr);
+    }
+
+    #[test]
+    fn sign_bytes_injective_on_length(rr in arb_rr(), extra in arb_addr()) {
+        let mut longer = rr.clone();
+        longer.push(extra);
+        prop_assert_ne!(rr.sign_bytes(), longer.sign_bytes());
+    }
+}

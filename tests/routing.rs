@@ -1,0 +1,357 @@
+//! Integration tests for secure route discovery and maintenance
+//! (Sections 3.3–3.4): multi-hop discovery, cached CREP replies, RERR on
+//! link breakage, route re-discovery under mobility.
+
+use manet_secure::scenario::{build_secure, NetworkParams, Placement};
+use manet_secure::SecureNode;
+use manet_sim::{Field, Mobility, SimDuration, SimTime};
+
+fn chain(n: usize, seed: u64) -> NetworkParams {
+    NetworkParams {
+        n_hosts: n,
+        seed,
+        ..NetworkParams::default()
+    }
+}
+
+/// Discovered route lengths match the chain geometry exactly.
+#[test]
+fn discovered_routes_have_expected_length() {
+    let mut net = build_secure(&chain(6, 20));
+    assert!(net.bootstrap());
+    net.run_flows(&[(0, 5)], 3, SimDuration::from_millis(400));
+    let now = net.engine.now();
+    let h5 = net.host_ip(5);
+    let relays = net
+        .host(0)
+        .cached_route(&h5, now)
+        .expect("route cached after flow");
+    // Chain h0..h5: the relays are exactly h1..h4 in order.
+    let expect: Vec<_> = (1..5).map(|i| net.host_ip(i)).collect();
+    assert_eq!(relays, expect);
+    assert!(net.delivery_ratio() > 0.9);
+}
+
+/// Every intermediate hop signs the SRR; the destination verifies all of
+/// them, so the engine-wide relay counter matches the chain length.
+#[test]
+fn rreq_relays_sign_and_destination_accepts() {
+    let mut net = build_secure(&chain(5, 21));
+    assert!(net.bootstrap());
+    net.run_flows(&[(0, 4)], 2, SimDuration::from_millis(400));
+    let m = net.engine.metrics();
+    assert!(m.counter("route.discovered") >= 1);
+    assert_eq!(m.counter("sec.rreq_rejected"), 0, "honest SRRs all verify");
+    assert!(
+        m.counter("route.rreq_relayed") >= 3,
+        "h1..h3 relayed with signatures"
+    );
+    assert_eq!(net.host(4).stats().rejected_rreq, 0);
+}
+
+/// A node holding a self-discovered route answers a later requester with
+/// a CREP instead of letting the flood run to the destination (Figure 3).
+#[test]
+fn cached_route_served_as_crep() {
+    let mut net = build_secure(&chain(6, 22));
+    assert!(net.bootstrap());
+    // h0 discovers a route to h5 first.
+    net.run_flows(&[(0, 5)], 2, SimDuration::from_millis(400));
+    let before = net.engine.metrics().counter("route.crep_sent");
+    // h1's request can now be answered from h0's cache (h0 is adjacent).
+    net.run_flows(&[(1, 5)], 2, SimDuration::from_millis(400));
+    let m = net.engine.metrics();
+    assert!(
+        m.counter("route.crep_sent") > before,
+        "some node served a cached route"
+    );
+    assert!(net.delivery_ratio() > 0.9);
+    assert_eq!(m.counter("sec.crep_rejected"), 0);
+}
+
+/// Killing a relay mid-flow produces a verified RERR at the source and
+/// removes the dead route from its cache.
+#[test]
+fn node_death_triggers_rerr_and_cache_eviction() {
+    let mut net = build_secure(&chain(5, 23));
+    assert!(net.bootstrap());
+    net.run_flows(&[(0, 4)], 3, SimDuration::from_millis(300));
+    assert!(net.delivery_ratio() > 0.9, "healthy before the kill");
+
+    // Kill h2 (the middle relay), then keep sending.
+    let h2 = net.hosts[2];
+    let kill_at = net.engine.now() + SimDuration::from_millis(50);
+    net.engine.kill_at(h2, kill_at);
+    net.run_flows(&[(0, 4)], 5, SimDuration::from_millis(300));
+
+    let m = net.engine.metrics();
+    assert!(m.counter("route.rerr_sent") >= 1, "h1 reported the break");
+    assert_eq!(m.counter("sec.rerr_rejected"), 0, "the report verified");
+    let h0 = net.host(0);
+    assert!(h0.stats().data_failed > 0, "chain is partitioned now");
+    let h4 = net.host_ip(4);
+    assert!(
+        h0.cached_route(&h4, net.engine.now()).is_none(),
+        "broken route evicted"
+    );
+}
+
+/// With the destination answering several RREQ copies, the source
+/// accumulates alternate routes (the raw material for credit-based
+/// avoidance).
+#[test]
+fn route_diversity_from_multiple_rreps() {
+    let mut net = build_secure(&NetworkParams {
+        n_hosts: 11,
+        placement: Placement::Grid {
+            cols: 4,
+            spacing: 180.0,
+        },
+        seed: 24,
+        ..NetworkParams::default()
+    });
+    assert!(net.bootstrap());
+    net.run_flows(&[(0, 10)], 3, SimDuration::from_millis(400));
+    let m = net.engine.metrics();
+    // rrep_multi = 3 by default: at least one extra RREP should have been
+    // produced and cached beyond the first.
+    assert!(
+        m.counter("route.alternate_cached") >= 1,
+        "alternate routes cached: {}",
+        m.counter("route.alternate_cached")
+    );
+    assert!(net.delivery_ratio() > 0.9);
+}
+
+/// Under random-waypoint mobility the protocol keeps rediscovering and
+/// keeps delivering (route maintenance end to end).
+#[test]
+fn mobility_rediscovery_sustains_delivery() {
+    let mut net = build_secure(&NetworkParams {
+        n_hosts: 10,
+        placement: Placement::Uniform,
+        field: Field::new(700.0, 700.0),
+        mobility: Mobility::RandomWaypoint {
+            min_speed: 5.0,
+            max_speed: 15.0,
+            pause_s: 0.5,
+        },
+        seed: 25,
+        ..NetworkParams::default()
+    });
+    assert!(net.bootstrap());
+    net.run_flows(&[(0, 9), (3, 6)], 40, SimDuration::from_millis(400));
+    let ratio = net.delivery_ratio();
+    assert!(
+        ratio > 0.5,
+        "mobile delivery ratio {ratio} too low — rediscovery broken?"
+    );
+}
+
+/// Deterministic rediscovery: kill the relay on the active path in a
+/// grid with an alternate path — the source re-discovers and delivery
+/// continues.
+#[test]
+fn rediscovery_after_relay_death_with_alternate_path() {
+    let mut net = build_secure(&NetworkParams {
+        n_hosts: 8,
+        placement: Placement::Grid {
+            cols: 3,
+            spacing: 180.0,
+        },
+        seed: 26,
+        ..NetworkParams::default()
+    });
+    assert!(net.bootstrap());
+    net.run_flows(&[(0, 7)], 3, SimDuration::from_millis(300));
+    assert!(net.delivery_ratio() > 0.9);
+
+    // Find the relays actually in use and kill the first one.
+    let dst = net.host_ip(7);
+    let relays = net
+        .host(0)
+        .cached_route(&dst, net.engine.now())
+        .expect("route in use");
+    assert!(!relays.is_empty(), "grid route is multi-hop");
+    let victim_idx = (0..8)
+        .find(|&i| net.host_ip(i) == relays[0])
+        .expect("relay is a host");
+    let kill_at = net.engine.now() + SimDuration::from_millis(50);
+    net.engine.kill_at(net.hosts[victim_idx], kill_at);
+
+    let acked_before = net.host(0).stats().data_acked;
+    net.run_flows(&[(0, 7)], 8, SimDuration::from_millis(400));
+    let h0 = net.host(0);
+    assert!(
+        h0.stats().data_acked > acked_before + 4,
+        "delivery resumed over an alternate path ({} → {})",
+        acked_before,
+        h0.stats().data_acked
+    );
+}
+
+/// Data queued before any route exists is flushed once discovery
+/// completes (send-buffer behaviour).
+#[test]
+fn send_buffer_flushes_after_discovery() {
+    let mut net = build_secure(&chain(4, 26));
+    assert!(net.bootstrap());
+    // Three sends back-to-back with no route yet: one RREQ, all queued.
+    let dst = net.host_ip(3);
+    let src = net.hosts[0];
+    net.engine
+        .with_protocol::<SecureNode, _>(src, |n, ctx| {
+            n.send_data(ctx, dst, vec![1; 32]);
+            n.send_data(ctx, dst, vec![2; 32]);
+            n.send_data(ctx, dst, vec![3; 32]);
+        });
+    let until = net.engine.now() + SimDuration::from_secs(6);
+    net.engine.run_until(until);
+    let h0 = net.host(0);
+    assert_eq!(h0.stats().data_sent, 3);
+    assert_eq!(h0.stats().data_acked, 3, "all flushed and acknowledged");
+    assert_eq!(h0.stats().rreq_sent, 1, "a single discovery served all three");
+}
+
+/// Discovery to an unreachable destination gives up after the configured
+/// retries and fails the buffered data.
+#[test]
+fn unreachable_destination_fails_cleanly() {
+    let mut net = build_secure(&chain(3, 27));
+    assert!(net.bootstrap());
+    // An address nobody owns.
+    let ghost = manet_wire::Ipv6Addr::from_groups([0xfec0, 0, 0, 0, 1, 2, 3, 4]);
+    let src = net.hosts[0];
+    net.engine.with_protocol::<SecureNode, _>(src, |n, ctx| {
+        n.send_data(ctx, ghost, vec![0; 16]);
+    });
+    let until = net.engine.now() + SimDuration::from_secs(10);
+    net.engine.run_until(until);
+    let h0 = net.host(0);
+    assert_eq!(h0.stats().data_failed, 1);
+    assert_eq!(h0.stats().data_acked, 0);
+    let m = net.engine.metrics();
+    assert_eq!(m.counter("route.discovery_gave_up"), 1);
+    assert_eq!(
+        m.counter("route.rreq_retries"),
+        (h0.stats().rreq_sent - 1),
+        "retries counted consistently"
+    );
+}
+
+/// The same scenario and seed reproduce identical results (whole-stack
+/// determinism: crypto, DAD, routing, mobility).
+#[test]
+fn whole_stack_is_deterministic() {
+    let run = |seed: u64| {
+        let mut net = build_secure(&chain(5, seed));
+        net.bootstrap();
+        net.run_flows(&[(0, 4)], 5, SimDuration::from_millis(300));
+        (
+            net.delivery_ratio(),
+            net.engine.metrics().counter("ctl.tx_bytes"),
+            (0..5).map(|i| net.host_ip(i)).collect::<Vec<_>>(),
+        )
+    };
+    assert_eq!(run(99).1, run(99).1);
+    assert_eq!(run(99).2, run(99).2);
+    assert_eq!(run(99).0, run(99).0);
+    assert_ne!(run(99).2, run(100).2, "different seeds, different keys");
+}
+
+/// Partition and heal, deterministically: the middle relay of a chain
+/// walks out of range (routes break, delivery stops) and walks back
+/// (rediscovery, delivery resumes). Exercises the full RERR → cache
+/// eviction → re-discovery loop under *scripted* mobility.
+#[test]
+fn partition_and_heal() {
+    use manet_secure::scenario::Placement;
+    use manet_sim::Pos;
+
+    // Chain: DNS, h0, h1, h2 at 180 m spacing; h1 is the only bridge
+    // between h0 and h2.
+    let positions = vec![
+        Pos::new(0.0, 0.0),   // DNS
+        Pos::new(180.0, 0.0), // h0
+        Pos::new(360.0, 0.0), // h1 — will wander
+        Pos::new(540.0, 0.0), // h2
+    ];
+    let mut net = build_secure(&NetworkParams {
+        n_hosts: 3,
+        placement: Placement::Custom(positions),
+        seed: 29,
+        ..NetworkParams::default()
+    });
+    assert!(net.bootstrap());
+    net.run_flows(&[(0, 2)], 3, SimDuration::from_millis(300));
+    assert!(net.delivery_ratio() > 0.9, "healthy before the walk");
+    let acked_healthy = net.host(0).stats().data_acked;
+
+    // Script h1's walk: far off-axis (breaking both links), then home.
+    // Walking is slow; run the engine while it happens.
+    let h1 = net.hosts[1];
+    let away = Pos::new(360.0, 800.0);
+    let home = Pos::new(360.0, 0.0);
+    net.engine.set_position(h1, away); // teleport = instant partition
+    let t = net.engine.now() + SimDuration::from_secs(1);
+    net.engine.run_until(t);
+    assert!(!net.engine.is_connected(), "h1's absence splits the chain");
+
+    net.run_flows(&[(0, 2)], 4, SimDuration::from_millis(300));
+    let acked_partitioned = net.host(0).stats().data_acked;
+    assert!(
+        acked_partitioned - acked_healthy <= 1,
+        "partition must stop (almost) all delivery"
+    );
+    assert!(net.host(0).stats().data_failed > 0);
+
+    // Heal and resume.
+    net.engine.set_position(h1, home);
+    let t = net.engine.now() + SimDuration::from_secs(1);
+    net.engine.run_until(t);
+    assert!(net.engine.is_connected());
+    net.run_flows(&[(0, 2)], 5, SimDuration::from_millis(300));
+    let acked_healed = net.host(0).stats().data_acked;
+    assert!(
+        acked_healed >= acked_partitioned + 4,
+        "delivery resumed after healing ({acked_partitioned} → {acked_healed})"
+    );
+}
+
+/// Marginal links (gray-zone radio): floods leak across the gray band
+/// probabilistically, but unicast forwarding stays on reliable links, so
+/// the protocol still delivers and never mis-verifies.
+#[test]
+fn gray_zone_radio_degrades_gracefully() {
+    let mut params = chain(5, 30);
+    params.radio = manet_sim::RadioConfig {
+        range: 250.0,
+        loss: 0.02,
+        gray_zone: Some(400.0), // chain spacing 180: 2-hop neighbors sit at 360, inside the band
+        ..manet_sim::RadioConfig::default()
+    };
+    let mut net = build_secure(&params);
+    assert!(net.bootstrap(), "bootstrap survives marginal links");
+    net.run_flows(&[(0, 4)], 12, SimDuration::from_millis(300));
+    let ratio = net.delivery_ratio();
+    assert!(ratio > 0.8, "delivery {ratio} with gray-zone floods");
+    let m = net.engine.metrics();
+    // Some broadcasts genuinely died in the gray band…
+    assert!(m.counter("phy.rx_dropped_loss") > 0);
+    // …but nothing ever failed verification (noise ≠ forgery).
+    assert_eq!(m.counter("sec.rreq_rejected"), 0);
+    assert_eq!(m.counter("sec.rrep_rejected"), 0);
+}
+
+/// run_until with nothing to do still advances the clock (regression
+/// guard for harness loops that interleave sends with time).
+#[test]
+fn idle_time_advances() {
+    let mut net = build_secure(&chain(2, 28));
+    assert!(net.bootstrap());
+    let t0 = net.engine.now();
+    let target = t0 + SimDuration::from_secs(30);
+    net.engine.run_until(target);
+    assert_eq!(net.engine.now(), target);
+    assert!(net.engine.now() > SimTime::ZERO);
+}
