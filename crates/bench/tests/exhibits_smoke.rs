@@ -1,0 +1,35 @@
+//! Smoke coverage for the exhibit harness: every ID in
+//! [`manet_bench::EXHIBITS`] must render in quick mode. Without this,
+//! `cargo test` never executes the harness and a broken exhibit only
+//! surfaces when someone runs the `tables` binary by hand.
+
+use manet_bench::{render, EXHIBITS};
+
+#[test]
+fn every_exhibit_renders_nonempty_in_quick_mode() {
+    for id in EXHIBITS {
+        let out = render(id, true).unwrap_or_else(|| panic!("exhibit {id} unknown to render()"));
+        assert!(
+            out.trim().len() > 40,
+            "exhibit {id} rendered suspiciously little output: {out:?}"
+        );
+        assert!(
+            !out.contains("NaN"),
+            "exhibit {id} rendered NaN cells:\n{out}"
+        );
+    }
+}
+
+#[test]
+fn unknown_exhibit_id_is_none() {
+    assert!(render("nope", true).is_none());
+    assert!(render("", true).is_none());
+}
+
+#[test]
+fn exhibit_ids_are_unique() {
+    let mut ids: Vec<&str> = EXHIBITS.to_vec();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), EXHIBITS.len(), "duplicate exhibit id");
+}

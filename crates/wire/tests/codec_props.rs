@@ -30,10 +30,19 @@ fn arb_ch() -> impl Strategy<Value = Challenge> {
 // them from a fixed corpus generated once.
 fn arb_pk() -> impl Strategy<Value = manet_crypto::PublicKey> {
     use rand::SeedableRng;
-    prop_oneof![Just(0u64), Just(1), Just(2)].prop_map(|i| {
-        let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(1000 + i);
-        manet_crypto::KeyPair::generate(512, &mut rng)
-            .public()
+    use std::sync::OnceLock;
+    static CORPUS: OnceLock<Vec<manet_crypto::PublicKey>> = OnceLock::new();
+    prop_oneof![Just(0usize), Just(1), Just(2)].prop_map(|i| {
+        CORPUS.get_or_init(|| {
+            (0..3u64)
+                .map(|j| {
+                    let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(1000 + j);
+                    manet_crypto::KeyPair::generate(512, &mut rng)
+                        .public()
+                        .clone()
+                })
+                .collect()
+        })[i]
             .clone()
     })
 }
@@ -55,8 +64,91 @@ fn arb_srr() -> impl Strategy<Value = SecureRouteRecord> {
     .prop_map(SecureRouteRecord)
 }
 
+fn arb_payload() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 0..256)
+}
+
+/// Covers every one of the 20 `Message` variants, so the roundtrip
+/// property below is a complete codec contract: adding a variant
+/// without extending this strategy fails `all_variants_reachable`.
 fn arb_message() -> impl Strategy<Value = Message> {
     prop_oneof![
+        (
+            (arb_addr(), arb_addr(), arb_addr(), arb_seq(), arb_rr()),
+            (arb_proof(), arb_seq(), arb_rr(), arb_proof())
+        )
+            .prop_map(
+                |((s2ip, sip, dip, seq2, rr_s2_to_s), (s_proof, orig_seq, rr_s_to_d, d_proof))| {
+                    Message::Crep(Crep {
+                        s2ip,
+                        sip,
+                        dip,
+                        seq2,
+                        rr_s2_to_s,
+                        s_proof,
+                        orig_seq,
+                        rr_s_to_d,
+                        d_proof,
+                    })
+                }
+            ),
+        (arb_addr(), arb_addr(), arb_seq(), arb_rr()).prop_map(|(sip, dip, seq, route)| {
+            Message::Probe(Probe {
+                sip,
+                dip,
+                seq,
+                route,
+            })
+        }),
+        (arb_addr(), arb_seq(), arb_addr(), arb_proof()).prop_map(
+            |(sip, probe_seq, hop, proof)| {
+                Message::ProbeAck(ProbeAck {
+                    sip,
+                    probe_seq,
+                    hop,
+                    proof,
+                })
+            }
+        ),
+        (arb_dn(), arb_addr(), arb_addr(), arb_rr()).prop_map(|(dn, old_ip, new_ip, route)| {
+            Message::IpChangeRequest(IpChangeRequest {
+                dn,
+                old_ip,
+                new_ip,
+                route,
+            })
+        }),
+        (arb_dn(), arb_ch(), arb_rr()).prop_map(|(dn, ch, route)| {
+            Message::IpChangeChallenge(IpChangeChallenge { dn, ch, route })
+        }),
+        (
+            (arb_dn(), arb_addr(), arb_addr(), any::<u64>(), any::<u64>()),
+            (arb_pk(), arb_sig(), arb_rr())
+        )
+            .prop_map(
+                |((dn, old_ip, new_ip, old_rn, new_rn), (pk, sig, route))| {
+                    Message::IpChangeProof(IpChangeProof {
+                        dn,
+                        old_ip,
+                        new_ip,
+                        old_rn,
+                        new_rn,
+                        pk,
+                        sig,
+                        route,
+                    })
+                }
+            ),
+        (arb_dn(), any::<bool>(), arb_sig(), arb_rr()).prop_map(|(dn, accepted, sig, route)| {
+            Message::IpChangeResult(IpChangeResult {
+                dn,
+                accepted,
+                sig,
+                route,
+            })
+        }),
+        (arb_addr(), arb_addr(), arb_seq(), arb_rr())
+            .prop_map(|(sip, dip, seq, rr)| Message::PlainRrep(PlainRrep { sip, dip, seq, rr })),
         (arb_addr(), arb_seq(), proptest::option::of(arb_dn()), arb_ch(), arb_rr())
             .prop_map(|(sip, seq, dn, ch, rr)| Message::Areq(Areq { sip, seq, dn, ch, rr })),
         (arb_addr(), arb_rr(), arb_proof())
@@ -83,13 +175,7 @@ fn arb_message() -> impl Strategy<Value = Message> {
         ),
         (arb_addr(), arb_addr(), arb_proof())
             .prop_map(|(iip, i2ip, proof)| Message::Rerr(Rerr { iip, i2ip, proof })),
-        (
-            arb_addr(),
-            arb_addr(),
-            arb_seq(),
-            arb_rr(),
-            proptest::collection::vec(any::<u8>(), 0..256)
-        )
+        (arb_addr(), arb_addr(), arb_seq(), arb_rr(), arb_payload())
             .prop_map(|(sip, dip, seq, route, payload)| Message::Data(Data {
                 sip,
                 dip,
@@ -168,7 +254,9 @@ proptest! {
     fn single_byte_flips_never_panic(msg in arb_message(), pos_frac in 0.0f64..1.0, bit in 0u8..8) {
         let mut bytes = msg.encode();
         if !bytes.is_empty() {
-            let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+            // pos_frac < 1.0, so this covers every index including the
+            // final byte (len-1), unlike scaling by len-1.
+            let pos = (bytes.len() as f64 * pos_frac) as usize;
             bytes[pos] ^= 1 << bit;
             let _ = Message::decode(&bytes); // decode may fail or yield a different message
         }
@@ -184,5 +272,47 @@ proptest! {
         let mut longer = rr.clone();
         longer.push(extra);
         prop_assert_ne!(rr.sign_bytes(), longer.sign_bytes());
+    }
+}
+
+proptest! {
+    // Exhaustive-prefix truncation is O(len · decode) per case, so it
+    // gets a smaller case budget than the spot-check version above.
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn every_strict_prefix_fails_to_decode(msg in arb_message()) {
+        let bytes = msg.encode();
+        for cut in 0..bytes.len() {
+            prop_assert!(
+                Message::decode(&bytes[..cut]).is_err(),
+                "decoding succeeded on a {}-byte prefix of a {}-byte {}",
+                cut, bytes.len(), msg.kind()
+            );
+        }
+    }
+}
+
+proptest! {
+    // One case of 512 samples: with 20 uniform arms the chance of any
+    // variant being absent is ~20·(19/20)^512 ≈ 1e-10, and the case RNG
+    // is deterministic, so this either always passes or always fails.
+    #![proptest_config(ProptestConfig::with_cases(1))]
+
+    /// The strategy must be able to produce all 20 variants — otherwise
+    /// the roundtrip "over every variant" claim silently narrows when
+    /// someone adds a message kind.
+    #[test]
+    fn all_variants_reachable(msgs in proptest::collection::vec(arb_message(), 512)) {
+        use std::collections::BTreeSet;
+        let seen: BTreeSet<&str> = msgs.iter().map(|m| m.kind()).collect();
+        let expected: BTreeSet<&str> = [
+            "AREQ", "AREP", "DREP", "RREQ", "RREP", "CREP", "RERR", "DATA", "ACK", "PROBE",
+            "PRACK", "DNSQ", "DNSR", "IPCREQ", "IPCCH", "IPCPRF", "IPCRES", "P-RREQ", "P-RREP",
+            "P-RERR",
+        ]
+        .into_iter()
+        .collect();
+        prop_assert_eq!(seen, expected);
     }
 }

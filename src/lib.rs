@@ -1,0 +1,11 @@
+//! Umbrella crate for the secure-MANET reproduction workspace.
+//!
+//! The real code lives in the member crates; this root package exists so
+//! the repository-level `tests/` (integration suites) and `examples/`
+//! (runnable scenarios) can depend on every layer at once.
+
+pub use manet_bench as bench;
+pub use manet_crypto as crypto;
+pub use manet_secure as secure;
+pub use manet_sim as sim;
+pub use manet_wire as wire;

@@ -1,0 +1,50 @@
+//! The simulator's reproducibility contract: a scenario is a pure
+//! function of its parameters and seed. Any hidden nondeterminism —
+//! HashMap iteration order leaking into event order, thread interleaving
+//! in a sweep, an unseeded RNG — breaks every experiment in the paper
+//! reproduction, so it gets its own regression gate.
+
+use manet_secure::scenario::{build_secure, NetworkParams};
+use manet_sim::SimDuration;
+
+/// One full run: bootstrap, two crossing flows, then the observables.
+fn run(seed: u64) -> (f64, usize, u64, u64) {
+    let mut net = build_secure(&NetworkParams {
+        n_hosts: 5,
+        seed,
+        trace: true,
+        ..NetworkParams::default()
+    });
+    assert!(net.bootstrap(), "seed {seed}: bootstrap failed");
+    net.run_flows(&[(0, 4), (1, 3)], 4, SimDuration::from_millis(300));
+    let m = net.engine.metrics();
+    (
+        net.delivery_ratio(),
+        net.engine.tracer().events().len(),
+        m.counter("ctl.tx_bytes"),
+        m.counter("data.tx"),
+    )
+}
+
+#[test]
+fn same_seed_same_universe() {
+    let a = run(42);
+    let b = run(42);
+    assert_eq!(a, b, "same NetworkParams + seed must reproduce exactly");
+    // Guard against the trivial-pass failure mode (nothing simulated).
+    assert!(a.0 > 0.0, "no traffic delivered: {a:?}");
+    assert!(a.1 > 0, "no trace events recorded: {a:?}");
+}
+
+#[test]
+fn different_seeds_diverge() {
+    // Not a strict requirement of determinism, but if two seeds give a
+    // byte-identical universe the seed isn't actually feeding the RNG.
+    let a = run(1);
+    let b = run(2);
+    assert_ne!(
+        (a.1, a.2),
+        (b.1, b.2),
+        "seeds 1 and 2 produced identical trace/byte counts — seed unused?"
+    );
+}

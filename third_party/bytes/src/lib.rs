@@ -1,0 +1,67 @@
+//! Workspace-local stand-in for the `bytes` crate: just the [`BufMut`]
+//! writer interface the wire codec appends through, implemented for
+//! `Vec<u8>`. Multi-byte integers are written big-endian, matching the
+//! real crate's `put_u16`/`put_u32`/`put_u64`.
+
+pub trait BufMut {
+    fn put_u8(&mut self, v: u8);
+    fn put_u16(&mut self, v: u16);
+    fn put_u32(&mut self, v: u32);
+    fn put_u64(&mut self, v: u64);
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+    fn put_u16(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_u32(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_u64(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+impl<T: BufMut + ?Sized> BufMut for &mut T {
+    fn put_u8(&mut self, v: u8) {
+        (**self).put_u8(v)
+    }
+    fn put_u16(&mut self, v: u16) {
+        (**self).put_u16(v)
+    }
+    fn put_u32(&mut self, v: u32) {
+        (**self).put_u32(v)
+    }
+    fn put_u64(&mut self, v: u64) {
+        (**self).put_u64(v)
+    }
+    fn put_slice(&mut self, src: &[u8]) {
+        (**self).put_slice(src)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn big_endian_layout() {
+        let mut v: Vec<u8> = Vec::new();
+        v.put_u8(0x01);
+        v.put_u16(0x0203);
+        v.put_u32(0x0405_0607);
+        v.put_u64(0x0809_0a0b_0c0d_0e0f);
+        v.put_slice(&[0xff]);
+        assert_eq!(
+            v,
+            [1, 2, 3, 4, 5, 6, 7, 8, 9, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f, 0xff]
+        );
+    }
+}

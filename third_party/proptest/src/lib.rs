@@ -1,0 +1,241 @@
+//! Workspace-local stand-in for `proptest`, implementing the subset this
+//! repository's property tests use: `Strategy` with `prop_map`/
+//! `prop_filter`, `any::<T>()`, ranges and tuples as strategies,
+//! `collection::vec`, `option::of`, `Just`, `prop_oneof!`, a
+//! regex-subset string strategy, and the `proptest!`/`prop_assert*`/
+//! `prop_assume!` macros.
+//!
+//! Differences from the real crate: no shrinking (a failing case prints
+//! its RNG seed and case number instead — cases are deterministic per
+//! test name, so failures reproduce exactly), and filters/assumes give
+//! up after a bounded number of rejections rather than tracking a
+//! global rejection quota.
+
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod string;
+
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        ProptestConfig,
+    };
+}
+
+pub use strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+
+/// Per-run configuration: only the case count is honoured.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// A `prop_assert*` failed: the property is violated.
+    Fail(String),
+    /// A `prop_assume!` rejected the inputs: skip, not a failure.
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// The deterministic per-case generator: SplitMix64 seeded from the
+/// fully-qualified test name and case index, so every case reproduces
+/// from its printed `(test, case)` pair alone.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    pub fn for_case(test_name: &str, case: u64) -> Self {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        Self::new(h.wrapping_add(case.wrapping_mul(0x2545_F491_4F6C_DD1D)))
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    pub fn next_u32(&mut self) -> u32 {
+        self.next_u64() as u32
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        (((self.next_u64() as u128) * (bound as u128)) >> 64) as u64
+    }
+}
+
+/// Run the body of one `proptest!`-generated test function.
+///
+/// Not part of the public proptest API; called from the expansion of
+/// [`proptest!`].
+pub fn run_property_test<F>(test_name: &str, config: &ProptestConfig, mut body: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    // Generous reject allowance, matching upstream's spirit: heavy use
+    // of prop_assume should skip cases, not starve the run.
+    let max_rejects = config.cases.saturating_mul(8).max(1024);
+    let mut rejects = 0u32;
+    let mut executed = 0u32;
+    let mut case = 0u64;
+    while executed < config.cases {
+        let mut rng = TestRng::for_case(test_name, case);
+        match body(&mut rng) {
+            Ok(()) => executed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejects += 1;
+                if rejects > max_rejects {
+                    panic!(
+                        "{test_name}: too many prop_assume rejections \
+                         ({rejects} rejects for {executed}/{} cases)",
+                        config.cases
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("{test_name}: property failed at case {case}: {msg}");
+            }
+        }
+        case += 1;
+    }
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let full_name = concat!(module_path!(), "::", stringify!($name));
+            $crate::run_property_test(full_name, &config, |rng| {
+                $(
+                    #[allow(unused_mut)]
+                    let mut $arg = $crate::Strategy::generate(&{ $strat }, rng)
+                        .ok_or_else(|| $crate::TestCaseError::reject("strategy filter"))?;
+                )+
+                $body
+                #[allow(unreachable_code)]
+                ::std::result::Result::Ok(())
+            });
+        }
+    )*};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}

@@ -1,0 +1,24 @@
+//! `option::of`: sometimes-`None` wrapper strategy.
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<Option<S::Value>> {
+        // Match upstream's default: None about a quarter of the time.
+        if rng.below(4) == 0 {
+            Some(None)
+        } else {
+            self.inner.generate(rng).map(Some)
+        }
+    }
+}

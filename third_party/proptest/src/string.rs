@@ -1,0 +1,243 @@
+//! String strategies from regex-subset patterns.
+//!
+//! A `&str` is a `Strategy<Value = String>` whose pattern supports the
+//! subset this workspace's tests use: literals, `\`-escapes, `.`,
+//! character classes `[a-z0-9_]` (ranges and singles, no negation),
+//! groups `( … | … )`, and the quantifiers `?`, `*`, `+`, `{n}`,
+//! `{m,n}`. Unbounded repeats are capped at `min + 8`.
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+
+const UNBOUNDED_EXTRA: u32 = 8;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Lit(char),
+    /// Any printable ASCII character (the `.` metachar).
+    Dot,
+    /// Inclusive character ranges; singles are `(c, c)`.
+    Class(Vec<(char, char)>),
+    Group(Vec<Seq>),
+}
+
+type Seq = Vec<(Atom, u32, u32)>;
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> Option<String> {
+        let alts = parse_alternation(&mut self.chars().peekable(), false)
+            .unwrap_or_else(|e| panic!("bad pattern {self:?}: {e}"));
+        let mut out = String::new();
+        gen_alts(&alts, rng, &mut out);
+        Some(out)
+    }
+}
+
+type Chars<'a> = std::iter::Peekable<std::str::Chars<'a>>;
+
+fn parse_alternation(it: &mut Chars, in_group: bool) -> Result<Vec<Seq>, String> {
+    let mut alts = vec![Vec::new()];
+    loop {
+        match it.peek().copied() {
+            None => {
+                if in_group {
+                    return Err("unterminated group".into());
+                }
+                return Ok(alts);
+            }
+            Some(')') if in_group => {
+                it.next();
+                return Ok(alts);
+            }
+            Some(')') => return Err("unbalanced ')'".into()),
+            Some('|') => {
+                it.next();
+                alts.push(Vec::new());
+            }
+            Some(_) => {
+                let atom = parse_atom(it)?;
+                let (min, max) = parse_quantifier(it)?;
+                alts.last_mut().expect("non-empty").push((atom, min, max));
+            }
+        }
+    }
+}
+
+fn parse_atom(it: &mut Chars) -> Result<Atom, String> {
+    match it.next().expect("caller peeked") {
+        '(' => Ok(Atom::Group(parse_alternation(it, true)?)),
+        '[' => parse_class(it),
+        '.' => Ok(Atom::Dot),
+        '\\' => match it.next() {
+            Some(c) => Ok(Atom::Lit(c)),
+            None => Err("dangling escape".into()),
+        },
+        c @ ('*' | '+' | '?' | '{') => Err(format!("dangling quantifier '{c}'")),
+        c => Ok(Atom::Lit(c)),
+    }
+}
+
+fn parse_class(it: &mut Chars) -> Result<Atom, String> {
+    let mut ranges = Vec::new();
+    loop {
+        let c = match it.next() {
+            None => return Err("unterminated class".into()),
+            Some(']') => {
+                if ranges.is_empty() {
+                    return Err("empty class".into());
+                }
+                return Ok(Atom::Class(ranges));
+            }
+            Some('\\') => it.next().ok_or("dangling escape in class")?,
+            Some(c) => c,
+        };
+        if it.peek() == Some(&'-') {
+            it.next();
+            match it.peek() {
+                Some(']') | None => {
+                    // Trailing '-' is a literal.
+                    ranges.push((c, c));
+                    ranges.push(('-', '-'));
+                }
+                Some(_) => {
+                    let hi = it.next().expect("peeked");
+                    if hi < c {
+                        return Err(format!("inverted range {c}-{hi}"));
+                    }
+                    ranges.push((c, hi));
+                }
+            }
+        } else {
+            ranges.push((c, c));
+        }
+    }
+}
+
+fn parse_quantifier(it: &mut Chars) -> Result<(u32, u32), String> {
+    match it.peek().copied() {
+        Some('?') => {
+            it.next();
+            Ok((0, 1))
+        }
+        Some('*') => {
+            it.next();
+            Ok((0, UNBOUNDED_EXTRA))
+        }
+        Some('+') => {
+            it.next();
+            Ok((1, 1 + UNBOUNDED_EXTRA))
+        }
+        Some('{') => {
+            it.next();
+            let mut spec = String::new();
+            loop {
+                match it.next() {
+                    Some('}') => break,
+                    Some(c) => spec.push(c),
+                    None => return Err("unterminated {n,m}".into()),
+                }
+            }
+            let parse_n =
+                |s: &str| s.trim().parse::<u32>().map_err(|_| format!("bad repeat {spec:?}"));
+            match spec.split_once(',') {
+                None => {
+                    let n = parse_n(&spec)?;
+                    Ok((n, n))
+                }
+                Some((lo, "")) => {
+                    let lo = parse_n(lo)?;
+                    Ok((lo, lo + UNBOUNDED_EXTRA))
+                }
+                Some((lo, hi)) => {
+                    let (lo, hi) = (parse_n(lo)?, parse_n(hi)?);
+                    if hi < lo {
+                        return Err(format!("inverted repeat {spec:?}"));
+                    }
+                    Ok((lo, hi))
+                }
+            }
+        }
+        _ => Ok((1, 1)),
+    }
+}
+
+fn gen_alts(alts: &[Seq], rng: &mut TestRng, out: &mut String) {
+    let seq = &alts[rng.below(alts.len() as u64) as usize];
+    for (atom, min, max) in seq {
+        let n = min + rng.below((max - min + 1) as u64) as u32;
+        for _ in 0..n {
+            gen_atom(atom, rng, out);
+        }
+    }
+}
+
+fn gen_atom(atom: &Atom, rng: &mut TestRng, out: &mut String) {
+    match atom {
+        Atom::Lit(c) => out.push(*c),
+        Atom::Dot => out.push((0x20 + rng.below(0x5f) as u8) as char),
+        Atom::Class(ranges) => {
+            let total: u64 = ranges.iter().map(|(lo, hi)| span(*lo, *hi)).sum();
+            let mut pick = rng.below(total);
+            for (lo, hi) in ranges {
+                let s = span(*lo, *hi);
+                if pick < s {
+                    out.push(char::from_u32(*lo as u32 + pick as u32).expect("valid range"));
+                    return;
+                }
+                pick -= s;
+            }
+            unreachable!("pick within total");
+        }
+        Atom::Group(alts) => gen_alts(alts, rng, out),
+    }
+}
+
+fn span(lo: char, hi: char) -> u64 {
+    (hi as u64) - (lo as u64) + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::strategy::Strategy;
+    use crate::TestRng;
+
+    fn sample(pattern: &str, seed: u64) -> String {
+        pattern
+            .generate(&mut TestRng::new(seed))
+            .expect("string strategies never filter")
+    }
+
+    #[test]
+    fn domain_name_pattern_generates_valid_names() {
+        let pat = "[a-z0-9]{1,12}(\\.[a-z0-9]{1,12}){0,2}";
+        for seed in 0..200 {
+            let s = sample(pat, seed);
+            assert!(!s.is_empty());
+            for label in s.split('.') {
+                assert!(!label.is_empty() && label.len() <= 12, "{s:?}");
+                assert!(
+                    label.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()),
+                    "{s:?}"
+                );
+            }
+            assert!(s.split('.').count() <= 3, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn exact_repeats_and_alternation() {
+        for seed in 0..50 {
+            let s = sample("(ab|cd){2}x?", seed);
+            assert!(s.starts_with("ab") || s.starts_with("cd"), "{s:?}");
+            let trimmed = s.trim_end_matches('x');
+            assert_eq!(trimmed.len(), 4, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn literal_passthrough() {
+        assert_eq!(sample("hello", 1), "hello");
+        assert_eq!(sample("a\\.b", 9), "a.b");
+    }
+}

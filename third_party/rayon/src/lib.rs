@@ -1,0 +1,132 @@
+//! Workspace-local stand-in for `rayon`: the `par_iter().map(..)` +
+//! `collect()`/`sum()` shape the sweep runner uses, executed on scoped
+//! OS threads (one chunk per core). Not work-stealing — a simulation
+//! grid's cells are coarse and uniform enough that static chunking is
+//! within a few percent of the real thing.
+
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+/// Entry point: borrow a collection as a parallel iterator.
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Sync + 'a;
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { slice: self }
+    }
+}
+
+pub struct ParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            slice: self.slice,
+            f,
+        }
+    }
+}
+
+pub struct ParMap<'a, T, F> {
+    slice: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParMap<'a, T, F> {
+    pub fn collect<C, R>(self) -> C
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+        C: FromIterator<R>,
+    {
+        run_chunked(self.slice, &self.f).into_iter().collect()
+    }
+
+    pub fn sum<S, R>(self) -> S
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+        S: std::iter::Sum<R>,
+    {
+        run_chunked(self.slice, &self.f).into_iter().sum()
+    }
+}
+
+/// Apply `f` to every element on scoped threads, preserving input order.
+fn run_chunked<'a, T: Sync, R: Send, F: Fn(&'a T) -> R + Sync>(slice: &'a [T], f: &F) -> Vec<R> {
+    let n = slice.len();
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    if threads <= 1 {
+        return slice.iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut parts: Vec<Vec<R>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = slice
+            .chunks(chunk)
+            .map(|c| scope.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            parts.push(h.join().expect("rayon-stub worker panicked"));
+        }
+    });
+    parts.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sum_matches_sequential() {
+        let xs: Vec<u64> = (1..=100).collect();
+        let s: u64 = xs.par_iter().map(|&x| x).sum();
+        assert_eq!(s, 5050);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let xs: Vec<u32> = vec![];
+        let out: Vec<u32> = xs.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn nested_par_iter_works() {
+        let outer: Vec<u64> = (0..8).collect();
+        let inner: Vec<u64> = (0..8).collect();
+        let grid: Vec<Vec<u64>> = outer
+            .par_iter()
+            .map(|&o| inner.par_iter().map(|&i| o * 10 + i).collect())
+            .collect();
+        assert_eq!(grid[3][4], 34);
+    }
+}
