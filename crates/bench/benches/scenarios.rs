@@ -4,9 +4,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use manet_secure::scenario::{
-    build_plain, build_secure, NetworkParams, Placement, PlainParams,
+    build_plain, build_scale, build_secure, scale_flows, NetworkParams, Placement, PlainParams,
+    ScaleParams,
 };
-use manet_sim::SimDuration;
+use manet_sim::{ChannelMode, SimDuration};
 use std::hint::black_box;
 
 /// E5-shaped: full secure bootstrap of an n-host chain network.
@@ -82,5 +83,34 @@ fn bench_grid_bootstrap(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_bootstrap, bench_flow, bench_grid_bootstrap);
+/// S1-shaped (scaled down): flooding route discovery over a uniform
+/// 400-node field, spatial-index channel vs linear receiver scan. The
+/// gap here is the whole point of the grid layer; it widens with n.
+fn bench_scale_channel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scale_channel");
+    g.sample_size(10);
+    for channel in [ChannelMode::Grid, ChannelMode::Linear] {
+        g.bench_function(format!("{channel:?}_400").to_lowercase(), |b| {
+            b.iter(|| {
+                let mut net = build_scale(&ScaleParams {
+                    channel,
+                    ..ScaleParams::small(400, 4)
+                });
+                net.engine.run_until(manet_sim::SimTime(1_000_000));
+                let flows = scale_flows(&mut net, 4);
+                net.run_flows(&flows, 2, SimDuration::from_millis(400));
+                black_box(net.engine.metrics().counter("phy.rx_frames"))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bootstrap,
+    bench_flow,
+    bench_grid_bootstrap,
+    bench_scale_channel
+);
 criterion_main!(benches);

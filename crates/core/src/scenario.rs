@@ -15,8 +15,8 @@ use crate::config::{Behavior, ProtocolConfig};
 use crate::node::SecureNode;
 use crate::plain::{PlainConfig, PlainDsrNode};
 use manet_sim::{
-    placement, Engine, EngineConfig, Field, Mobility, NodeId, Pos, RadioConfig, SimDuration,
-    SimTime,
+    placement, ChannelMode, Engine, EngineConfig, Field, Mobility, NodeId, Pos, RadioConfig,
+    SimDuration, SimTime,
 };
 use manet_wire::{DomainName, Ipv6Addr};
 
@@ -76,6 +76,9 @@ pub struct NetworkParams {
     pub pre_register: Vec<usize>,
     /// Per-host overrides of the registered name (defaults to `h<i>.manet`).
     pub name_overrides: Vec<(usize, String)>,
+    /// Receiver lookup strategy; `Grid` unless a differential test or
+    /// baseline measurement wants the linear scan.
+    pub channel: ChannelMode,
 }
 
 impl Default for NetworkParams {
@@ -100,6 +103,7 @@ impl Default for NetworkParams {
             register_names: true,
             pre_register: Vec::new(),
             name_overrides: Vec::new(),
+            channel: ChannelMode::Grid,
         }
     }
 }
@@ -131,6 +135,7 @@ pub fn build_secure(params: &NetworkParams) -> SecureNetwork {
         radio: params.radio.clone(),
         seed: params.seed,
         trace: params.trace,
+        channel: params.channel,
         ..EngineConfig::default()
     };
     let mut engine = Engine::new(engine_cfg);
@@ -310,6 +315,7 @@ pub struct PlainParams {
     pub seed: u64,
     pub trace: bool,
     pub attackers: Vec<(usize, Behavior)>,
+    pub channel: ChannelMode,
 }
 
 impl Default for PlainParams {
@@ -327,6 +333,7 @@ impl Default for PlainParams {
             seed: 1,
             trace: false,
             attackers: Vec::new(),
+            channel: ChannelMode::Grid,
         }
     }
 }
@@ -348,6 +355,7 @@ pub fn build_plain(params: &PlainParams) -> PlainNetwork {
         radio: params.radio.clone(),
         seed: params.seed,
         trace: params.trace,
+        channel: params.channel,
         ..EngineConfig::default()
     };
     let mut engine = Engine::new(engine_cfg);
@@ -417,6 +425,162 @@ impl PlainNetwork {
         }
         acked as f64 / sent as f64
     }
+
+    /// Mean link-layer degree over alive hosts — the density check for
+    /// randomly placed scale scenarios. Allocation-free per host via
+    /// [`Engine::neighbors_into`].
+    pub fn mean_degree(&self) -> f64 {
+        let mut nbrs = Vec::new();
+        let (mut total, mut alive) = (0usize, 0usize);
+        for &h in &self.hosts {
+            if !self.engine.is_alive(h) {
+                continue;
+            }
+            self.engine.neighbors_into(h, &mut nbrs);
+            total += nbrs.len();
+            alive += 1;
+        }
+        if alive == 0 {
+            return f64::NAN;
+        }
+        total as f64 / alive as f64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scale scenario family
+// ---------------------------------------------------------------------------
+
+/// The `scale` family: thousands of plain-DSR nodes uniformly placed on
+/// a field sized for a target radio density, with background mobility
+/// and node-failure churn. This is the workload the spatial-index
+/// channel exists for — at these sizes the linear receiver scan makes
+/// flooding O(n²) per discovery and dominates wall time.
+///
+/// Plain DSR (no RSA, no DAD) keeps per-node cost flat so the channel
+/// layer — not key generation — is what's being measured.
+#[derive(Clone, Debug)]
+pub struct ScaleParams {
+    pub n_hosts: usize,
+    pub field: Field,
+    pub radio: RadioConfig,
+    pub mobility: Mobility,
+    pub proto: PlainConfig,
+    pub seed: u64,
+    pub channel: ChannelMode,
+    /// Nodes killed at deterministic random times in `churn_window`.
+    pub churn_kills: usize,
+    /// `(start, end)` of the kill window.
+    pub churn_window: (SimTime, SimTime),
+}
+
+impl ScaleParams {
+    /// Field edge that gives `n` uniformly placed nodes an expected
+    /// radio degree of `target`: solve `n·πr²/A = target` for a square.
+    pub fn field_for_density(n: usize, range: f64, target: f64) -> Field {
+        let area = n as f64 * std::f64::consts::PI * range * range / target;
+        let edge = area.sqrt();
+        Field::new(edge, edge)
+    }
+
+    /// The S1 exhibit shape: 2,000 nodes at expected degree ~15, slow
+    /// random-waypoint mobility, 2% of the population failing mid-run.
+    pub fn s1(seed: u64) -> Self {
+        let radio = RadioConfig {
+            loss: 0.0,
+            ..RadioConfig::default()
+        };
+        let n = 2000;
+        ScaleParams {
+            n_hosts: n,
+            field: Self::field_for_density(n, radio.range, 15.0),
+            radio,
+            mobility: Mobility::RandomWaypoint {
+                min_speed: 1.0,
+                max_speed: 4.0,
+                pause_s: 2.0,
+            },
+            proto: PlainConfig::default(),
+            seed,
+            channel: ChannelMode::Grid,
+            churn_kills: 40,
+            churn_window: (SimTime(4_000_000), SimTime(10_000_000)),
+        }
+    }
+
+    /// A scaled-down variant for tests and micro-benches.
+    pub fn small(n_hosts: usize, seed: u64) -> Self {
+        let mut p = Self::s1(seed);
+        p.field = Self::field_for_density(n_hosts, p.radio.range, 15.0);
+        p.n_hosts = n_hosts;
+        p.churn_kills = n_hosts / 50;
+        p
+    }
+}
+
+/// Build a scale network: uniform placement, simultaneous joins (plain
+/// DSR needs no staggered DAD), churn kills pre-scheduled from the
+/// engine's own RNG so the whole run stays a pure function of the seed.
+pub fn build_scale(params: &ScaleParams) -> PlainNetwork {
+    use rand::Rng;
+    let mut net = build_plain(&PlainParams {
+        n_hosts: params.n_hosts,
+        placement: Placement::Uniform,
+        mobility: params.mobility.clone(),
+        field: params.field,
+        radio: params.radio.clone(),
+        proto: params.proto.clone(),
+        seed: params.seed,
+        trace: false,
+        attackers: Vec::new(),
+        channel: params.channel,
+    });
+    let (start, end) = params.churn_window;
+    // Distinct victims: a duplicate pick would double-count in
+    // `sim.nodes_killed` and overstate the real churn level.
+    let mut victims = std::collections::HashSet::new();
+    while victims.len() < params.churn_kills.min(params.n_hosts) {
+        victims.insert(net.engine.rng().gen_range(0..params.n_hosts));
+    }
+    let mut victims: Vec<usize> = victims.into_iter().collect();
+    victims.sort_unstable(); // HashSet order must not leak into the schedule
+    for v in victims {
+        let at = SimTime(net.engine.rng().gen_range(start.0..=end.0));
+        net.engine.kill_at(net.hosts[v], at);
+    }
+    net
+}
+
+/// Deterministically pick `n_flows` source→destination pairs from the
+/// largest radio component reachable from a few probe hosts, so scale
+/// runs measure routing rather than unreachable-by-construction pairs.
+/// Draws from the engine RNG (stays inside the seeded universe).
+pub fn scale_flows(net: &mut PlainNetwork, n_flows: usize) -> Vec<(usize, usize)> {
+    use rand::Rng;
+    let probes: Vec<usize> = [0usize, 1, 2, 3]
+        .iter()
+        .map(|&i| i * net.hosts.len() / 4)
+        .collect();
+    let component = probes
+        .into_iter()
+        .map(|i| net.engine.connected_component(net.hosts[i]))
+        .max_by_key(|c| c.len())
+        .unwrap_or_default();
+    // Map engine ids back to host indices (hosts are added in order, so
+    // NodeId(i) is host i in a plain network).
+    let pool: Vec<usize> = component.into_iter().map(|id| id.0).collect();
+    if pool.len() < 2 {
+        return Vec::new();
+    }
+    let mut flows = Vec::with_capacity(n_flows);
+    while flows.len() < n_flows {
+        let a = pool[net.engine.rng().gen_range(0..pool.len())];
+        let b = pool[net.engine.rng().gen_range(0..pool.len())];
+        if a != b {
+            flows.push((a, b));
+        }
+    }
+    flows
 }
 
 #[cfg(test)]

@@ -1,0 +1,137 @@
+//! The protocol-facing surface of the engine: node identity, frame
+//! destinations, the [`Protocol`] trait, and the [`Ctx`] window through
+//! which a protocol callback interacts with the world.
+//!
+//! Everything a protocol can do during a callback is buffered in a
+//! [`CtxOut`] and applied by the engine when the callback returns, so
+//! protocol code can never observe (or corrupt) engine internals
+//! mid-event.
+
+use crate::metrics::Metrics;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{Dir, TraceEvent, Tracer};
+use rand_chacha::ChaCha12Rng;
+use std::any::Any;
+
+/// Identifies a node (index into the engine's node table). This is the
+/// *link-layer* identity; IP addresses live entirely in the protocol layer.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct NodeId(pub usize);
+
+/// Where a frame is headed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LinkDst {
+    Broadcast,
+    Unicast(NodeId),
+}
+
+/// Handle for cancelling a pending timer.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TimerHandle(pub(crate) u64);
+
+/// A node's behaviour. Implementations hold all protocol state; the
+/// engine only knows about frames and timers.
+pub trait Protocol {
+    /// Called once when the node joins the network.
+    fn on_start(&mut self, ctx: &mut Ctx);
+
+    /// A frame arrived from link-layer neighbor `src`.
+    fn on_frame(&mut self, ctx: &mut Ctx, src: NodeId, bytes: &[u8]);
+
+    /// A timer set through [`Ctx::set_timer`] fired.
+    fn on_timer(&mut self, ctx: &mut Ctx, tag: u64);
+
+    /// A unicast frame could not be delivered (peer dead or out of range).
+    /// Models the MAC-layer ACK timeout that DSR uses to detect broken
+    /// links. Default: ignore.
+    fn on_link_failure(&mut self, _ctx: &mut Ctx, _to: NodeId, _bytes: &[u8]) {}
+
+    /// Downcasting support so harnesses can inspect protocol state after
+    /// a run.
+    fn as_any(&self) -> &dyn Any;
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// Commands a protocol issues during a callback; applied by the engine
+/// when the callback returns.
+#[derive(Default)]
+pub(crate) struct CtxOut {
+    pub(crate) sends: Vec<(LinkDst, Vec<u8>)>,
+    pub(crate) timers: Vec<(SimDuration, u64, u64)>, // (delay, handle, tag)
+    pub(crate) cancels: Vec<u64>,
+}
+
+/// The protocol's window onto the world during a callback.
+pub struct Ctx<'a> {
+    /// The node being called.
+    pub node: NodeId,
+    pub(crate) now: SimTime,
+    pub(crate) out: &'a mut CtxOut,
+    pub(crate) rng: &'a mut ChaCha12Rng,
+    pub(crate) metrics: &'a mut Metrics,
+    pub(crate) tracer: &'a mut Tracer,
+    pub(crate) next_handle: &'a mut u64,
+}
+
+impl Ctx<'_> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Queue a broadcast frame.
+    pub fn broadcast(&mut self, bytes: Vec<u8>) {
+        self.out.sends.push((LinkDst::Broadcast, bytes));
+    }
+
+    /// Queue a unicast frame to link-layer neighbor `to`.
+    pub fn unicast(&mut self, to: NodeId, bytes: Vec<u8>) {
+        self.out.sends.push((LinkDst::Unicast(to), bytes));
+    }
+
+    /// Arm a timer that fires after `delay` with the given tag.
+    pub fn set_timer(&mut self, delay: SimDuration, tag: u64) -> TimerHandle {
+        let handle = *self.next_handle;
+        *self.next_handle += 1;
+        self.out.timers.push((delay, handle, tag));
+        TimerHandle(handle)
+    }
+
+    /// Cancel a previously armed timer (no-op if already fired).
+    pub fn cancel_timer(&mut self, h: TimerHandle) {
+        self.out.cancels.push(h.0);
+    }
+
+    /// Deterministic randomness.
+    pub fn rng(&mut self) -> &mut ChaCha12Rng {
+        self.rng
+    }
+
+    /// Bump a counter.
+    pub fn count(&mut self, name: &'static str, by: u64) {
+        self.metrics.count(name, by);
+    }
+
+    /// Record a sample.
+    pub fn sample(&mut self, name: &'static str, v: f64) {
+        self.metrics.sample(name, v);
+    }
+
+    /// Record a trace event (no-op unless tracing is enabled).
+    pub fn trace(&mut self, dir: Dir, kind: &'static str, detail: impl Into<String>) {
+        if self.tracer.enabled() {
+            self.tracer.record(TraceEvent {
+                time: self.now,
+                node: self.node,
+                dir,
+                kind,
+                detail: detail.into(),
+            });
+        }
+    }
+
+    /// Is tracing on? Lets protocols skip building expensive detail strings.
+    pub fn tracing(&self) -> bool {
+        self.tracer.enabled()
+    }
+}

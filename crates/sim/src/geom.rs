@@ -14,9 +14,14 @@ impl Pos {
 
     /// Euclidean distance to `other`.
     pub fn dist(&self, other: &Pos) -> f64 {
+        self.dist_sq(other).sqrt()
+    }
+
+    /// Squared distance — for comparisons that don't need the `sqrt`.
+    pub fn dist_sq(&self, other: &Pos) -> f64 {
         let dx = self.x - other.x;
         let dy = self.y - other.y;
-        (dx * dx + dy * dy).sqrt()
+        dx * dx + dy * dy
     }
 
     /// Step `max_step` metres toward `target`, stopping exactly there if

@@ -3,8 +3,10 @@
 //! A from-scratch discrete-event MANET simulator (DESIGN.md §2): the
 //! substrate the paper's authors would have had in ns-2-era tooling.
 //!
-//! * [`engine`] — deterministic event loop, frames, timers, node
-//!   lifecycle, link-failure feedback;
+//! * [`engine`] — deterministic event loop and node lifecycle, composed
+//!   from [`ctx`] (the protocol window), `queue` (event heap + timer
+//!   table), `grid` (uniform spatial index), and [`link`]
+//!   (transmit/deliver channel logic, neighborhood queries);
 //! * [`radio`] — unit-disk channel with loss, latency and bandwidth;
 //! * [`mobility`] — random waypoint + deterministic placements;
 //! * [`metrics`] / [`trace`] — measurement and protocol-trace capture;
@@ -15,16 +17,21 @@
 //! lives in the `manet-secure` crate behind the [`engine::Protocol`]
 //! trait.
 
+pub mod ctx;
 pub mod engine;
 pub mod geom;
+mod grid;
+pub mod link;
 pub mod metrics;
 pub mod mobility;
+mod queue;
 pub mod radio;
 pub mod runner;
 pub mod time;
 pub mod trace;
 
 pub use engine::{Ctx, Engine, EngineConfig, LinkDst, NodeId, Protocol, TimerHandle};
+pub use link::ChannelMode;
 pub use geom::{Field, Pos};
 pub use metrics::{Metrics, Series};
 pub use mobility::{placement, Mobility};

@@ -1,0 +1,200 @@
+//! The link layer: how frames find their receivers.
+//!
+//! Broadcast delivery, [`Engine::neighbors`], and
+//! [`Engine::connected_component`] all reduce to one primitive — "which
+//! nodes could possibly hear a transmission from this position?" — and
+//! this module answers it two ways, selected by
+//! [`ChannelMode`](crate::link::ChannelMode) in the engine config:
+//!
+//! * **Grid** (default): query the 3×3 cell neighborhood of the uniform
+//!   spatial index ([`crate::grid`]), O(density) per transmission;
+//! * **Linear**: scan the whole node table, O(n) per transmission — the
+//!   original implementation, kept alive as the differential-testing
+//!   oracle and the baseline for the scale exhibits.
+//!
+//! Both paths visit candidates in ascending [`NodeId`] order and apply
+//! identical liveness/range filters before any RNG draw, so same-seed
+//! runs are bit-identical across modes (`tests/determinism.rs` and
+//! `tests/grid_channel.rs` gate this).
+
+use crate::ctx::{LinkDst, NodeId};
+use crate::engine::Engine;
+use crate::geom::Pos;
+use crate::queue::Event;
+use std::sync::Arc;
+
+/// How broadcast delivery and neighborhood queries enumerate candidate
+/// receivers. See the module docs; `Grid` is the default and `Linear`
+/// exists for differential tests and baseline measurements.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ChannelMode {
+    #[default]
+    Grid,
+    Linear,
+}
+
+impl Engine {
+    /// Fill `out` with candidate receivers around `pos`, ascending by
+    /// NodeId: the grid's 3×3 neighborhood, or every node in linear mode.
+    fn candidates_into(&self, pos: &Pos, out: &mut Vec<NodeId>) {
+        match &self.grid {
+            Some(grid) => grid.candidates_into(pos, out),
+            None => {
+                out.clear();
+                out.extend((0..self.nodes.len()).map(NodeId));
+            }
+        }
+    }
+
+    /// Link-layer neighbors of `node` right now (alive and in range),
+    /// ascending by NodeId, written into a caller-owned buffer (prior
+    /// contents are replaced) — the allocation-free variant for hot
+    /// call-sites.
+    pub fn neighbors_into(&self, node: NodeId, out: &mut Vec<NodeId>) {
+        let me_pos = self.nodes[node.0].pos;
+        self.candidates_into(&me_pos, out);
+        out.retain(|&other| {
+            let n = &self.nodes[other.0];
+            other != node
+                && n.alive
+                && n.join_at <= self.now
+                && self.cfg.radio.in_range(me_pos.dist(&n.pos))
+        });
+    }
+
+    /// Link-layer neighbors of `node` right now (alive and in range),
+    /// ascending by NodeId.
+    pub fn neighbors(&self, node: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.neighbors_into(node, &mut out);
+        out
+    }
+
+    /// All nodes reachable from `from` over current radio links (BFS on
+    /// the unit-disk graph of alive, joined nodes), including `from`.
+    pub fn connected_component(&self, from: NodeId) -> Vec<NodeId> {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut queue = std::collections::VecDeque::new();
+        if self.nodes[from.0].alive {
+            seen[from.0] = true;
+            queue.push_back(from);
+        }
+        let mut out = Vec::new();
+        let mut nbrs = Vec::new();
+        while let Some(n) = queue.pop_front() {
+            out.push(n);
+            self.neighbors_into(n, &mut nbrs);
+            for &next in &nbrs {
+                if !seen[next.0] {
+                    seen[next.0] = true;
+                    queue.push_back(next);
+                }
+            }
+        }
+        out
+    }
+
+    /// Is the set of alive, joined nodes one connected radio graph?
+    /// Useful as a scenario sanity check — a partitioned topology makes
+    /// most delivery assertions meaningless.
+    pub fn is_connected(&self) -> bool {
+        let alive: Vec<NodeId> = (0..self.nodes.len())
+            .map(NodeId)
+            .filter(|&n| {
+                let s = &self.nodes[n.0];
+                s.alive && s.join_at <= self.now
+            })
+            .collect();
+        match alive.first() {
+            None => true,
+            Some(&first) => self.connected_component(first).len() == alive.len(),
+        }
+    }
+
+    pub(crate) fn transmit(&mut self, src: NodeId, dst: LinkDst, bytes: Vec<u8>) {
+        if !self.nodes[src.0].alive {
+            return;
+        }
+        self.metrics.count("phy.tx_frames", 1);
+        self.metrics.count("phy.tx_bytes", bytes.len() as u64);
+        let bytes = Arc::new(bytes);
+        let src_pos = self.nodes[src.0].pos;
+        match dst {
+            LinkDst::Broadcast => {
+                self.metrics.count("phy.tx_broadcasts", 1);
+                // Scratch buffer reuse: broadcast is the hottest path in
+                // flooding workloads, one allocation per call adds up.
+                let mut cand = std::mem::take(&mut self.bcast_scratch);
+                self.candidates_into(&src_pos, &mut cand);
+                for &to in &cand {
+                    if to == src {
+                        continue;
+                    }
+                    let n = &self.nodes[to.0];
+                    // `join_at <= now` rather than `started`: peers whose
+                    // Start event is queued for this same instant are
+                    // physically present; they will have started by the
+                    // time the delivery (≥ base_delay later) arrives.
+                    if !n.alive || n.join_at > self.now {
+                        continue;
+                    }
+                    let d = src_pos.dist(&n.pos);
+                    if d > self.cfg.radio.max_range() {
+                        continue;
+                    }
+                    if !self.cfg.radio.sample_broadcast_reception(d, &mut self.rng) {
+                        self.metrics.count("phy.rx_dropped_loss", 1);
+                        continue;
+                    }
+                    let delay = self.cfg.radio.sample_delay(bytes.len(), &mut self.rng);
+                    let t = self.now + delay;
+                    self.queue.push(
+                        t,
+                        Event::Deliver {
+                            to,
+                            src,
+                            bytes: Arc::clone(&bytes),
+                        },
+                    );
+                }
+                self.bcast_scratch = cand;
+            }
+            LinkDst::Unicast(to) => {
+                self.metrics.count("phy.tx_unicasts", 1);
+                let reachable = {
+                    let n = &self.nodes[to.0];
+                    n.alive
+                        && n.join_at <= self.now
+                        && self.cfg.radio.in_range(src_pos.dist(&n.pos))
+                };
+                if reachable {
+                    // MAC ARQ abstraction: no random loss on unicast.
+                    let delay = self.cfg.radio.sample_delay(bytes.len(), &mut self.rng);
+                    let t = self.now + delay;
+                    self.queue.push(
+                        t,
+                        Event::Deliver {
+                            to,
+                            src,
+                            bytes: Arc::clone(&bytes),
+                        },
+                    );
+                } else {
+                    self.metrics.count("phy.tx_unicast_unreachable", 1);
+                    // ACK-timeout feedback after ~MAC retry budget.
+                    let delay = self.cfg.radio.sample_delay(bytes.len(), &mut self.rng);
+                    let t =
+                        self.now + delay + self.cfg.radio.base_delay + self.cfg.radio.base_delay;
+                    self.queue.push(
+                        t,
+                        Event::LinkFailure {
+                            node: src,
+                            to,
+                            bytes: Arc::clone(&bytes),
+                        },
+                    );
+                }
+            }
+        }
+    }
+}

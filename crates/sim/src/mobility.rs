@@ -28,6 +28,14 @@ pub enum Mobility {
     Scripted { points: Vec<Pos>, speed: f64 },
 }
 
+impl Mobility {
+    /// Can this model ever move a node? Lets the engine skip scheduling
+    /// mobility ticks (and spatial-index updates) for all-static runs.
+    pub fn is_static(&self) -> bool {
+        matches!(self, Mobility::Static)
+    }
+}
+
 /// Per-node mobility state advanced by the engine's mobility tick.
 #[derive(Clone, Debug)]
 pub struct MobilityState {

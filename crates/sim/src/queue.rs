@@ -1,0 +1,225 @@
+//! The engine's event heap and timer bookkeeping.
+//!
+//! [`EventQueue`] is a binary heap ordered by `(time, insertion
+//! sequence)`, so simultaneous events dispatch in the order they were
+//! scheduled — the backbone of the determinism contract.
+//!
+//! [`TimerTable`] tracks which timer handles are armed and which armed
+//! handles have been cancelled. Both sets are bounded: a handle leaves
+//! `pending` when its event pops, and `cancelled` only ever holds
+//! handles that are still in flight — cancelling an already-fired timer
+//! is dropped on the floor instead of lingering forever, so long runs
+//! with heavy timer churn don't leak memory.
+
+use crate::ctx::NodeId;
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+use std::sync::Arc;
+
+/// Everything the engine can dispatch.
+pub(crate) enum Event {
+    Start(NodeId),
+    Deliver {
+        to: NodeId,
+        src: NodeId,
+        bytes: Arc<Vec<u8>>,
+    },
+    Timer {
+        node: NodeId,
+        handle: u64,
+        tag: u64,
+    },
+    LinkFailure {
+        node: NodeId,
+        to: NodeId,
+        bytes: Arc<Vec<u8>>,
+    },
+    MobilityTick,
+    Kill(NodeId),
+}
+
+struct QueueItem {
+    time: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for QueueItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for QueueItem {}
+impl PartialOrd for QueueItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueueItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Min-heap of pending events with a monotonically increasing tiebreak
+/// sequence.
+pub(crate) struct EventQueue {
+    heap: BinaryHeap<Reverse<QueueItem>>,
+    seq: u64,
+}
+
+impl EventQueue {
+    pub(crate) fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    pub(crate) fn push(&mut self, time: SimTime, event: Event) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(QueueItem { time, seq, event }));
+    }
+
+    /// Pop the next event if it is due at or before `until`.
+    pub(crate) fn pop_due(&mut self, until: SimTime) -> Option<(SimTime, Event)> {
+        match self.heap.peek() {
+            Some(Reverse(head)) if head.time <= until => {}
+            _ => return None,
+        }
+        let Reverse(item) = self.heap.pop().expect("peeked");
+        Some((item.time, item.event))
+    }
+}
+
+/// Armed-timer and cancellation bookkeeping (see module docs for the
+/// boundedness invariant).
+pub(crate) struct TimerTable {
+    /// Source of fresh [`crate::TimerHandle`] values.
+    pub(crate) next_handle: u64,
+    /// Handles armed and not yet popped from the event queue.
+    pending: HashSet<u64>,
+    /// Armed handles whose owners cancelled them before they fired.
+    cancelled: HashSet<u64>,
+}
+
+impl TimerTable {
+    pub(crate) fn new() -> Self {
+        TimerTable {
+            next_handle: 0,
+            pending: HashSet::new(),
+            cancelled: HashSet::new(),
+        }
+    }
+
+    /// A timer event for `handle` was pushed onto the queue.
+    pub(crate) fn arm(&mut self, handle: u64) {
+        self.pending.insert(handle);
+    }
+
+    /// Cancel `handle`. Cancels of already-fired (or never-armed) handles
+    /// are dropped immediately instead of being remembered.
+    pub(crate) fn cancel(&mut self, handle: u64) {
+        if self.pending.remove(&handle) {
+            self.cancelled.insert(handle);
+        }
+    }
+
+    /// The timer event for `handle` just popped: should it be delivered?
+    /// Either way, all bookkeeping for the handle is released.
+    pub(crate) fn should_fire(&mut self, handle: u64) -> bool {
+        if self.cancelled.remove(&handle) {
+            return false;
+        }
+        self.pending.remove(&handle)
+    }
+
+    /// Live cancellation entries (bounded-growth regression hook).
+    #[cfg(test)]
+    pub(crate) fn cancelled_len(&self) -> usize {
+        self.cancelled.len()
+    }
+
+    /// Armed-and-unfired entries (bounded-growth regression hook).
+    #[cfg(test)]
+    pub(crate) fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_orders_by_time_then_insertion() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(5), Event::Start(NodeId(0)));
+        q.push(SimTime(1), Event::Start(NodeId(1)));
+        q.push(SimTime(1), Event::Start(NodeId(2)));
+        let order: Vec<NodeId> = std::iter::from_fn(|| q.pop_due(SimTime(u64::MAX)))
+            .map(|(_, e)| match e {
+                Event::Start(n) => n,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![NodeId(1), NodeId(2), NodeId(0)]);
+    }
+
+    #[test]
+    fn pop_due_respects_horizon() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(10), Event::MobilityTick);
+        assert!(q.pop_due(SimTime(9)).is_none());
+        assert!(q.pop_due(SimTime(10)).is_some());
+        assert!(q.pop_due(SimTime(u64::MAX)).is_none());
+    }
+
+    #[test]
+    fn cancel_before_fire_suppresses_and_releases() {
+        let mut t = TimerTable::new();
+        t.arm(1);
+        t.cancel(1);
+        assert!(!t.should_fire(1));
+        assert_eq!(t.cancelled_len(), 0, "entry released on pop");
+        assert_eq!(t.pending_len(), 0);
+    }
+
+    #[test]
+    fn cancel_after_fire_does_not_leak() {
+        let mut t = TimerTable::new();
+        t.arm(7);
+        assert!(t.should_fire(7));
+        // The protocol cancels a timer that already fired — common when a
+        // reply and its timeout race. Must not accumulate state.
+        t.cancel(7);
+        t.cancel(7);
+        assert_eq!(t.cancelled_len(), 0);
+        assert_eq!(t.pending_len(), 0);
+    }
+
+    #[test]
+    fn duplicate_cancels_are_idempotent() {
+        let mut t = TimerTable::new();
+        t.arm(3);
+        t.cancel(3);
+        t.cancel(3);
+        assert_eq!(t.cancelled_len(), 1);
+        assert!(!t.should_fire(3));
+        assert_eq!(t.cancelled_len(), 0);
+    }
+
+    #[test]
+    fn unrelated_timers_are_untouched() {
+        let mut t = TimerTable::new();
+        t.arm(1);
+        t.arm(2);
+        t.cancel(1);
+        assert!(!t.should_fire(1));
+        assert!(t.should_fire(2));
+        assert_eq!(t.pending_len(), 0);
+        assert_eq!(t.cancelled_len(), 0);
+    }
+}

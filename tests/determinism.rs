@@ -5,14 +5,15 @@
 //! reproduction, so it gets its own regression gate.
 
 use manet_secure::scenario::{build_secure, NetworkParams};
-use manet_sim::SimDuration;
+use manet_sim::{ChannelMode, Field, Mobility, SimDuration};
 
 /// One full run: bootstrap, two crossing flows, then the observables.
-fn run(seed: u64) -> (f64, usize, u64, u64) {
+fn run_with(seed: u64, channel: ChannelMode) -> (f64, usize, u64, u64) {
     let mut net = build_secure(&NetworkParams {
         n_hosts: 5,
         seed,
         trace: true,
+        channel,
         ..NetworkParams::default()
     });
     assert!(net.bootstrap(), "seed {seed}: bootstrap failed");
@@ -26,6 +27,10 @@ fn run(seed: u64) -> (f64, usize, u64, u64) {
     )
 }
 
+fn run(seed: u64) -> (f64, usize, u64, u64) {
+    run_with(seed, ChannelMode::Grid)
+}
+
 #[test]
 fn same_seed_same_universe() {
     let a = run(42);
@@ -34,6 +39,58 @@ fn same_seed_same_universe() {
     // Guard against the trivial-pass failure mode (nothing simulated).
     assert!(a.0 > 0.0, "no traffic delivered: {a:?}");
     assert!(a.1 > 0, "no trace events recorded: {a:?}");
+}
+
+/// The spatial-index channel is an *index*, not a model change: under
+/// the same seed the grid and the linear scan must produce the same
+/// universe — identical metrics AND an identical trace-event stream,
+/// compared line by line. This is the scenario-level differential gate
+/// for the NodeId-order determinism invariant (the engine-level and
+/// property-based gates live in manet-sim and tests/grid_channel.rs).
+#[test]
+fn grid_and_linear_channels_are_one_universe() {
+    let full_run = |channel: ChannelMode| {
+        let mut net = build_secure(&NetworkParams {
+            n_hosts: 6,
+            seed: 21,
+            trace: true,
+            // Mobile + gray zone: exercises incremental grid maintenance
+            // and max_range cell sizing, not just static placement.
+            placement: manet_secure::scenario::Placement::Uniform,
+            field: Field::new(600.0, 600.0),
+            mobility: Mobility::RandomWaypoint {
+                min_speed: 1.0,
+                max_speed: 4.0,
+                pause_s: 2.0,
+            },
+            radio: manet_sim::RadioConfig {
+                loss: 0.05,
+                gray_zone: Some(300.0),
+                ..manet_sim::RadioConfig::default()
+            },
+            channel,
+            ..NetworkParams::default()
+        });
+        net.bootstrap();
+        net.run_flows(&[(0, 5), (2, 3)], 4, SimDuration::from_millis(300));
+        (
+            net.delivery_ratio(),
+            net.engine.metrics().counter("phy.rx_frames"),
+            net.engine.metrics().counter("phy.rx_dropped_loss"),
+            net.engine.metrics().counter("ctl.tx_bytes"),
+            net.engine.events_processed(),
+            net.engine.tracer().render(),
+        )
+    };
+    let g = full_run(ChannelMode::Grid);
+    let l = full_run(ChannelMode::Linear);
+    assert_eq!(g.5, l.5, "trace streams diverged between channel modes");
+    assert_eq!(
+        (g.0, g.1, g.2, g.3, g.4),
+        (l.0, l.1, l.2, l.3, l.4),
+        "metrics diverged between channel modes"
+    );
+    assert!(g.1 > 0, "nothing simulated — vacuous differential");
 }
 
 #[test]

@@ -1,0 +1,218 @@
+//! Differential properties of the spatial-index channel: for arbitrary
+//! node placements — including nodes exactly on cell boundaries and
+//! radios with gray zones — the grid and the linear scan must agree on
+//! every observable: neighbor sets, connected components, and (with the
+//! same seed, hence the same RNG draw order) exactly who receives every
+//! broadcast.
+
+use manet_sim::{
+    ChannelMode, Ctx, Engine, EngineConfig, Field, Mobility, NodeId, Pos, Protocol, RadioConfig,
+    SimTime,
+};
+use proptest::prelude::*;
+use std::any::Any;
+
+/// Records received frames; does nothing else.
+struct Sink {
+    frames: Vec<(NodeId, Vec<u8>)>,
+}
+
+impl Sink {
+    fn new() -> Self {
+        Sink { frames: Vec::new() }
+    }
+}
+
+impl Protocol for Sink {
+    fn on_start(&mut self, _ctx: &mut Ctx) {}
+    fn on_frame(&mut self, _ctx: &mut Ctx, src: NodeId, bytes: &[u8]) {
+        self.frames.push((src, bytes.to_vec()));
+    }
+    fn on_timer(&mut self, _ctx: &mut Ctx, _tag: u64) {}
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+const FIELD: f64 = 1000.0;
+
+/// One generated placement: position fractions plus "snap this node onto
+/// an exact cell-boundary multiple" flags — the boundary cases where an
+/// off-by-one in cell coverage would hide.
+type RawNode = (f64, f64, bool, bool);
+
+fn build(
+    channel: ChannelMode,
+    raw: &[RawNode],
+    radio: &RadioConfig,
+    seed: u64,
+) -> (Engine, Vec<NodeId>) {
+    let cell = radio.max_range();
+    let mut e = Engine::new(EngineConfig {
+        field: Field::new(FIELD, FIELD),
+        radio: radio.clone(),
+        seed,
+        channel,
+        ..EngineConfig::default()
+    });
+    let ids: Vec<NodeId> = raw
+        .iter()
+        .map(|&(fx, fy, snap_x, snap_y)| {
+            let snap = |f: f64, do_snap: bool| {
+                let v = f * FIELD;
+                if do_snap {
+                    // Exactly k cell widths — lands on a bucket boundary.
+                    ((v / cell).round() * cell).min(FIELD)
+                } else {
+                    v
+                }
+            };
+            e.add_node(
+                Box::new(Sink::new()),
+                Pos::new(snap(fx, snap_x), snap(fy, snap_y)),
+                Mobility::Static,
+            )
+        })
+        .collect();
+    e.run_until(SimTime(1)); // process all Start events
+    (e, ids)
+}
+
+/// Per-node received-frame log, for end-state comparison.
+fn rx_log(e: &Engine, ids: &[NodeId]) -> Vec<Vec<(NodeId, Vec<u8>)>> {
+    ids.iter()
+        .map(|&id| e.protocol_as::<Sink>(id).frames.clone())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Neighbor sets and connected components agree for every node, for
+    /// crisp disks and gray-zone radios alike.
+    #[test]
+    fn grid_and_linear_agree_on_topology(
+        raw in proptest::collection::vec(
+            (0.0f64..1.0, 0.0f64..1.0, any::<bool>(), any::<bool>()), 2..32),
+        range in 60.0f64..400.0,
+        gray_frac in 1.0f64..2.0,
+        with_gray in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        let radio = RadioConfig {
+            range,
+            loss: 0.0,
+            gray_zone: with_gray.then_some(range * gray_frac),
+            ..RadioConfig::default()
+        };
+        let (grid, ids) = build(ChannelMode::Grid, &raw, &radio, seed);
+        let (lin, lin_ids) = build(ChannelMode::Linear, &raw, &radio, seed);
+        prop_assert_eq!(&ids, &lin_ids);
+        let mut buf = Vec::new();
+        for &id in &ids {
+            grid.neighbors_into(id, &mut buf);
+            prop_assert_eq!(&buf, &lin.neighbors(id));
+            prop_assert_eq!(
+                grid.connected_component(id),
+                lin.connected_component(id)
+            );
+        }
+        prop_assert_eq!(grid.is_connected(), lin.is_connected());
+    }
+
+    /// Same seed ⇒ every broadcast (lossy, gray-zone, jittered) lands on
+    /// exactly the same receivers at exactly the same times in both
+    /// channel modes — the RNG-stream equivalence the NodeId-order
+    /// invariant exists for.
+    #[test]
+    fn same_seed_broadcasts_are_bit_identical(
+        raw in proptest::collection::vec(
+            (0.0f64..1.0, 0.0f64..1.0, any::<bool>(), any::<bool>()), 2..24),
+        range in 60.0f64..400.0,
+        gray_frac in 1.0f64..2.0,
+        with_gray in any::<bool>(),
+        loss in 0.0f64..0.5,
+        seed in 0u64..1000,
+    ) {
+        let radio = RadioConfig {
+            range,
+            loss,
+            gray_zone: with_gray.then_some(range * gray_frac),
+            ..RadioConfig::default()
+        };
+        let (mut grid, ids) = build(ChannelMode::Grid, &raw, &radio, seed);
+        let (mut lin, _) = build(ChannelMode::Linear, &raw, &radio, seed);
+        // Every node broadcasts once; engines stay RNG-synchronized
+        // only if each broadcast consumed draws identically.
+        for (round, &id) in ids.iter().enumerate() {
+            let payload = vec![round as u8; 16];
+            grid.with_protocol::<Sink, _>(id, {
+                let p = payload.clone();
+                move |_s, ctx| ctx.broadcast(p)
+            });
+            lin.with_protocol::<Sink, _>(id, move |_s, ctx| ctx.broadcast(payload));
+            let until = grid.now() + manet_sim::SimDuration::from_millis(50);
+            grid.run_until(until);
+            lin.run_until(until);
+        }
+        prop_assert_eq!(rx_log(&grid, &ids), rx_log(&lin, &ids));
+        for name in ["phy.rx_frames", "phy.rx_dropped_loss", "phy.tx_broadcasts"] {
+            prop_assert_eq!(
+                grid.metrics().counter(name),
+                lin.metrics().counter(name)
+            );
+        }
+    }
+}
+
+/// Deterministic regression: a ring of nodes placed *exactly* on cell
+/// boundaries at *exactly* range distance — the sharpest corner of the
+/// covering argument (floor on the boundary, inclusive range check).
+#[test]
+fn exact_boundary_ring_matches_linear() {
+    let radio = RadioConfig {
+        range: 250.0,
+        loss: 0.0,
+        ..RadioConfig::default()
+    };
+    // Center on the (500, 500) cell corner; eight nodes at multiples of
+    // 250 m straight and diagonal, plus one at exactly range on the axis.
+    let make = |channel| {
+        let mut e = Engine::new(EngineConfig {
+            field: Field::new(FIELD, FIELD),
+            radio: radio.clone(),
+            channel,
+            ..EngineConfig::default()
+        });
+        let pts = [
+            (500.0, 500.0),
+            (750.0, 500.0), // exactly range to the right, on a boundary
+            (250.0, 500.0),
+            (500.0, 750.0),
+            (500.0, 250.0),
+            (750.0, 750.0), // diagonal: dist 353.6, out of range
+            (250.0, 250.0),
+            (500.0, 1000.0), // field edge
+            (0.0, 0.0),
+        ];
+        let ids: Vec<NodeId> = pts
+            .iter()
+            .map(|&(x, y)| e.add_node(Box::new(Sink::new()), Pos::new(x, y), Mobility::Static))
+            .collect();
+        e.run_until(SimTime(1));
+        (e, ids)
+    };
+    let (grid, ids) = make(ChannelMode::Grid);
+    let (lin, _) = make(ChannelMode::Linear);
+    for &id in &ids {
+        assert_eq!(grid.neighbors(id), lin.neighbors(id), "{id:?}");
+    }
+    // The center hears the four at exactly `range` (inclusive check).
+    assert_eq!(
+        grid.neighbors(ids[0]),
+        vec![ids[1], ids[2], ids[3], ids[4]]
+    );
+}

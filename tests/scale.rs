@@ -3,9 +3,11 @@
 //! deterministic topologies cannot expose (flood storms, dedup-table
 //! growth, buffer exhaustion, cross-flow interference).
 
-use manet_secure::scenario::{build_secure, NetworkParams, Placement};
+use manet_secure::scenario::{
+    build_scale, build_secure, scale_flows, NetworkParams, Placement, ScaleParams,
+};
 use manet_secure::{attacks, SecureNode};
-use manet_sim::{Field, Mobility, SimDuration};
+use manet_sim::{ChannelMode, Field, Mobility, SimDuration, SimTime};
 
 /// A 24-host grid bootstraps completely and carries eight simultaneous
 /// flows with high delivery.
@@ -116,6 +118,50 @@ fn late_joiners_under_traffic() {
     net.engine.run_until(until);
     let late = net.engine.protocol_as::<SecureNode>(new_ids[0]);
     assert!(late.stats().data_received > 0, "late joiner reachable");
+}
+
+/// The `scale` scenario family end-to-end at test size: uniform
+/// placement at the target density, churn kills fire, flows picked from
+/// the largest component actually deliver, and the whole thing is a
+/// pure function of the seed.
+#[test]
+fn scale_family_smoke() {
+    let run = |channel| {
+        let mut net = build_scale(&ScaleParams {
+            channel,
+            churn_kills: 4,
+            ..ScaleParams::small(150, 5)
+        });
+        net.engine.run_until(SimTime(1_000_000));
+        let deg = net.mean_degree();
+        assert!(
+            (8.0..25.0).contains(&deg),
+            "density off target: mean degree {deg}"
+        );
+        let flows = scale_flows(&mut net, 5);
+        assert_eq!(flows.len(), 5);
+        net.run_flows(&flows, 3, SimDuration::from_millis(400));
+        // Run past the end of the churn window so every kill fires.
+        net.engine.run_until(SimTime(11_000_000));
+        assert_eq!(
+            net.engine.metrics().counter("sim.nodes_killed"),
+            4,
+            "churn kills must all fire inside the run window"
+        );
+        let ratio = net.delivery_ratio();
+        assert!(
+            ratio > 0.5,
+            "scale delivery ratio {ratio} too low for an in-component flow set"
+        );
+        (
+            ratio,
+            net.engine.metrics().counter("phy.rx_frames"),
+            net.engine.events_processed(),
+        )
+    };
+    let grid = run(ChannelMode::Grid);
+    // Differential: the linear oracle sees the identical universe.
+    assert_eq!(grid, run(ChannelMode::Linear));
 }
 
 /// Long-duration mobile run: an hour of simulated time with periodic
