@@ -1,0 +1,311 @@
+//! V1 — the verify-pipeline exhibit: a secure-node flood workload run
+//! twice, with the signature-verdict cache on and off.
+//!
+//! The workload concentrates RREQ floods: a dense uniform network
+//! (expected degree ~8) where several sources discover routes to shared
+//! hub destinations under a flood-stress config (`rrep_multi = 6`, so a
+//! destination answers up to six copies of each flood), with a
+//! signed-RERR spammer in the population. Every repeated
+//! `(key, payload, signature)` triple — the shared SRR prefix across
+//! flood copies, the re-presented source proof, the spammer's identical
+//! RERR payload — is exactly what `manet_crypto::VerifyCache` memoizes.
+//!
+//! The two runs double as the pipeline's differential gate: verification
+//! verdicts are pure, so the cached and uncached universes must agree on
+//! every observable (events, bytes, delivery) and on the total
+//! verification demand. The exhibit panics if they do not, or if the
+//! cache hit rate on this workload drops to half or below.
+//!
+//! Results land in `BENCH_crypto.json` (next to `BENCH_scale.json`),
+//! including a re-timed quick S1 grid run so the scale trajectory shows
+//! the node-stack refactor did not tax the hot path.
+
+use crate::table::Table;
+use manet_secure::scenario::{build_secure, NetworkParams, Placement};
+use manet_secure::{attacks, ProtocolConfig};
+use manet_sim::{Field, SimDuration};
+use std::time::Instant;
+
+/// Observables of one V1 run.
+struct V1Run {
+    wall_boot_s: f64,
+    wall_flows_s: f64,
+    executed: u64,
+    cached: u64,
+    failed: u64,
+    delivery: f64,
+    events: u64,
+    tx_bytes: u64,
+}
+
+impl V1Run {
+    fn demand(&self) -> u64 {
+        self.executed + self.cached
+    }
+}
+
+/// The flood workload: `n` hosts at expected radio degree ~8, sources
+/// fanning in on two hub destinations plus background pair flows.
+fn run_v1(cache: bool, quick: bool, seed: u64) -> V1Run {
+    let n = if quick { 24 } else { 36 };
+    let (packets, rounds_ms) = if quick { (6, 300) } else { (10, 300) };
+    let area = n as f64 * std::f64::consts::PI * 250.0 * 250.0 / 8.0;
+    let edge = area.sqrt();
+    let hub_a = n / 2;
+    let hub_b = n - 2;
+    let mut flows: Vec<(usize, usize)> = (0..6).map(|s| (s, hub_a)).collect();
+    flows.extend((7..11).map(|s| (s, hub_b)));
+    flows.push((11, 12));
+    flows.push((13, 14));
+
+    let t0 = Instant::now();
+    let mut net = build_secure(&NetworkParams {
+        n_hosts: n,
+        placement: Placement::Uniform,
+        field: Field::new(edge, edge),
+        proto: ProtocolConfig {
+            rrep_multi: 6,
+            verify_cache: cache,
+            ..ProtocolConfig::default()
+        },
+        seed,
+        attackers: vec![(6, attacks::rerr_forger())],
+        ..NetworkParams::default()
+    });
+    net.bootstrap();
+    let wall_boot_s = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    net.run_flows(&flows, packets, SimDuration::from_millis(rounds_ms));
+    let wall_flows_s = t1.elapsed().as_secs_f64();
+
+    let (executed, cached, failed) = net.crypto_totals();
+    V1Run {
+        wall_boot_s,
+        wall_flows_s,
+        executed,
+        cached,
+        failed,
+        delivery: net.delivery_ratio(),
+        events: net.engine.events_processed(),
+        tx_bytes: net.engine.metrics().counter("ctl.tx_bytes"),
+    }
+}
+
+/// V1: secure flood workload, verify cache on vs off.
+pub fn exhibit_v1(quick: bool) -> String {
+    let seed = 1;
+    let on = run_v1(true, quick, seed);
+    let off = run_v1(false, quick, seed);
+
+    // Differential gate: memoizing a pure function must not move a
+    // single event, byte, or verdict.
+    assert_eq!(
+        (on.events, on.tx_bytes, on.failed),
+        (off.events, off.tx_bytes, off.failed),
+        "cached and uncached universes diverged — verify cache is not pure"
+    );
+    assert_eq!(
+        on.demand(),
+        off.demand(),
+        "verification demand changed with the cache — pipeline accounting broken"
+    );
+    let hit_rate = on.cached as f64 / on.demand().max(1) as f64;
+    assert!(
+        hit_rate > 0.5,
+        "verify-cache hit rate {hit_rate:.3} fell to 1/2 or below on the flood workload"
+    );
+
+    // Re-time the S1 hot path: the refactor moved the whole node stack,
+    // so pin its cost next to the crypto numbers. Compare only against a
+    // recorded run of the same workload size — a full-mode BENCH_scale
+    // number against a quick re-run would fake a speedup.
+    let prev_s1 = read_prev_s1_grid_wall(quick);
+    let s1_wall_s = crate::scale_exhibits::s1_grid_wall(quick);
+
+    let mut t = Table::new(
+        format!(
+            "V1 — verify pipeline: secure flood workload ({} mode), cache on vs off",
+            if quick { "quick" } else { "full" }
+        ),
+        &[
+            "verify cache",
+            "RSA executed",
+            "served cached",
+            "hit rate",
+            "flows wall (s)",
+            "exec/s",
+            "delivery",
+        ],
+    );
+    for (name, r) in [("on", &on), ("off", &off)] {
+        let rate = r.cached as f64 / r.demand().max(1) as f64;
+        t.rowv(vec![
+            name.to_string(),
+            r.executed.to_string(),
+            r.cached.to_string(),
+            format!("{rate:.3}"),
+            format!("{:.3}", r.wall_flows_s),
+            format!("{:.0}", r.executed as f64 / r.wall_flows_s.max(1e-9)),
+            format!("{:.3}", r.delivery),
+        ]);
+    }
+    t.note(format!(
+        "identical universes with cache on/off (differential gate); demand {} checks, {} rejected",
+        on.demand(),
+        on.failed
+    ));
+    t.note(format!(
+        "S1 grid ({}) re-timed at {s1_wall_s:.3}s{}",
+        if quick { "quick" } else { "full" },
+        match prev_s1 {
+            Some(prev) => format!(" vs {prev:.3}s recorded in BENCH_scale.json (Δ {:+.3}s)", s1_wall_s - prev),
+            None => " (no same-mode BENCH_scale.json record to compare against)".to_string(),
+        }
+    ));
+
+    if let Err(e) = write_crypto_json(quick, &on, &off, hit_rate, s1_wall_s, prev_s1) {
+        t.note(format!("BENCH_crypto.json not written: {e}"));
+    } else {
+        t.note(format!("wrote {}", crypto_json_path()));
+    }
+    t.render()
+}
+
+fn crypto_json_path() -> String {
+    std::env::var("BENCH_CRYPTO_JSON").unwrap_or_else(|_| "BENCH_crypto.json".to_string())
+}
+
+/// Pull `"grid": {"wall_s": X` out of an existing BENCH_scale.json, if
+/// one is lying around (same naive formatting we write it with; no JSON
+/// dependency in the workspace). The recorded run must have the same
+/// `quick` mode as ours — quick and full S1 are different workloads and
+/// their walls must not be compared.
+fn read_prev_s1_grid_wall(quick: bool) -> Option<f64> {
+    let path = std::env::var("BENCH_SCALE_JSON").unwrap_or_else(|_| "BENCH_scale.json".to_string());
+    read_prev_s1_grid_wall_from(&path, quick)
+}
+
+fn read_prev_s1_grid_wall_from(path: &str, quick: bool) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let recorded_quick = text
+        .split("\"quick\":")
+        .nth(1)?
+        .split([',', '}'])
+        .next()?
+        .trim()
+        .parse::<bool>()
+        .ok()?;
+    if recorded_quick != quick {
+        return None;
+    }
+    let grid = text.split("\"grid\":").nth(1)?;
+    let wall = grid.split("\"wall_s\":").nth(1)?;
+    wall.split([',', '}'])
+        .next()?
+        .trim()
+        .parse()
+        .ok()
+}
+
+fn write_crypto_json(
+    quick: bool,
+    on: &V1Run,
+    off: &V1Run,
+    hit_rate: f64,
+    s1_wall_s: f64,
+    prev_s1: Option<f64>,
+) -> std::io::Result<()> {
+    let run_json = |r: &V1Run| {
+        format!(
+            concat!(
+                "{{\"executed\": {}, \"cached\": {}, \"failed\": {}, ",
+                "\"wall_boot_s\": {:.3}, \"wall_flows_s\": {:.3}, ",
+                "\"executed_per_sec\": {:.0}, \"demand_per_sec\": {:.0}}}"
+            ),
+            r.executed,
+            r.cached,
+            r.failed,
+            r.wall_boot_s,
+            r.wall_flows_s,
+            r.executed as f64 / r.wall_flows_s.max(1e-9),
+            r.demand() as f64 / r.wall_flows_s.max(1e-9),
+        )
+    };
+    let (prev, delta) = match prev_s1 {
+        Some(p) => (format!("{p:.3}"), format!("{:+.3}", s1_wall_s - p)),
+        None => ("null".to_string(), "null".to_string()),
+    };
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"exhibit\": \"v1\",\n",
+            "  \"quick\": {},\n",
+            "  \"verify_demand\": {},\n",
+            "  \"cache_hit_rate\": {:.4},\n",
+            "  \"cached\": {},\n",
+            "  \"cache_on\": {},\n",
+            "  \"cache_off\": {},\n",
+            "  \"s1_grid_wall_s\": {:.3},\n",
+            "  \"s1_grid_wall_prev_s\": {},\n",
+            "  \"s1_grid_wall_delta_s\": {}\n",
+            "}}\n"
+        ),
+        quick,
+        on.demand(),
+        hit_rate,
+        on.cached,
+        run_json(on),
+        run_json(off),
+        s1_wall_s,
+        prev,
+        delta,
+    );
+    std::fs::write(crypto_json_path(), json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The full V1 is exercised by the exhibit smoke test; here the
+    /// workload-shape invariants.
+    #[test]
+    fn quick_flood_workload_hits_cache_hard() {
+        let run = run_v1(true, true, 1);
+        assert!(run.demand() > 50, "workload too small: {}", run.demand());
+        assert!(
+            run.cached * 2 > run.demand(),
+            "hit rate {}/{} at or below 1/2",
+            run.cached,
+            run.demand()
+        );
+        assert!(run.delivery > 0.8, "flood workload must still deliver");
+    }
+
+    #[test]
+    fn uncached_run_reports_zero_cached() {
+        let run = run_v1(false, true, 1);
+        assert_eq!(run.cached, 0);
+        assert!(run.executed > 50);
+    }
+
+    #[test]
+    fn prev_s1_parser_reads_our_own_format() {
+        let dir = std::env::temp_dir().join("v1_parser_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_scale.json");
+        std::fs::write(
+            &path,
+            "{\n  \"quick\": true,\n  \"grid\": {\"wall_s\": 0.638, \"events\": 1},\n  \"linear\": {\"wall_s\": 0.886}\n}\n",
+        )
+        .unwrap();
+        let path = path.to_str().unwrap();
+        assert_eq!(read_prev_s1_grid_wall_from(path, true), Some(0.638));
+        assert_eq!(
+            read_prev_s1_grid_wall_from(path, false),
+            None,
+            "a quick-mode record must not anchor a full-mode comparison"
+        );
+        assert_eq!(read_prev_s1_grid_wall_from("/nonexistent/nope.json", true), None);
+    }
+}

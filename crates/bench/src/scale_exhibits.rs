@@ -28,6 +28,12 @@ struct ScaleRun {
     rx_frames: u64,
     tx_bytes: u64,
     killed: u64,
+    /// Crypto-pipeline totals (engine-wide `sec.verify_*` counters).
+    /// Zero for the plain-DSR S1 population — recorded so the perf
+    /// trajectory picks the numbers up the moment a secure contingent
+    /// joins the scale family.
+    verify_rsa: u64,
+    verify_cached: u64,
 }
 
 fn run_s1(channel: ChannelMode, quick: bool, seed: u64) -> ScaleRun {
@@ -55,7 +61,16 @@ fn run_s1(channel: ChannelMode, quick: bool, seed: u64) -> ScaleRun {
         rx_frames: m.counter("phy.rx_frames"),
         tx_bytes: m.counter("ctl.tx_bytes"),
         killed: m.counter("sim.nodes_killed"),
+        verify_rsa: m.counter("sec.verify_rsa"),
+        verify_cached: m.counter("sec.verify_cached"),
     }
+}
+
+/// Wall seconds of one quick-or-full S1 run under the grid channel —
+/// the V1 exhibit re-times it to show the node-stack refactor left the
+/// scale workload's cost unchanged.
+pub(crate) fn s1_grid_wall(quick: bool) -> f64 {
+    run_s1(ChannelMode::Grid, quick, 1).wall_s
 }
 
 /// S1: 2,000-node scale run, grid vs linear channel.
@@ -143,6 +158,14 @@ fn write_scale_json(
             n as f64 * r.sim_s / r.wall_s,
         )
     };
+    // Crypto counters of the grid run: total verification demand and the
+    // cache hit rate (null until the scale family runs secure nodes).
+    let demand = grid.verify_rsa + grid.verify_cached;
+    let hit_rate = if demand > 0 {
+        format!("{:.4}", grid.verify_cached as f64 / demand as f64)
+    } else {
+        "null".to_string()
+    };
     let json = format!(
         concat!(
             "{{\n",
@@ -154,7 +177,8 @@ fn write_scale_json(
             "  \"mean_degree\": {:.2},\n",
             "  \"grid\": {},\n",
             "  \"linear\": {},\n",
-            "  \"linear_over_grid_wall_ratio\": {:.3}\n",
+            "  \"linear_over_grid_wall_ratio\": {:.3},\n",
+            "  \"crypto\": {{\"total_verifications\": {}, \"cached\": {}, \"cache_hit_rate\": {}}}\n",
             "}}\n"
         ),
         quick,
@@ -165,6 +189,9 @@ fn write_scale_json(
         channel_json(grid),
         channel_json(linear),
         ratio,
+        demand,
+        grid.verify_cached,
+        hit_rate,
     );
     std::fs::write(scale_json_path(), json)
 }

@@ -120,6 +120,19 @@ pub struct ProtocolConfig {
     pub crep_enabled: bool,
     /// Route cache entry lifetime.
     pub route_ttl: SimDuration,
+    /// Maximum cached routes per destination; inserting past the cap
+    /// evicts the oldest-learned (soonest-to-expire) route.
+    pub route_cache_per_dest: usize,
+    /// Maximum destinations in the route cache; a new destination past
+    /// the cap evicts the stalest one (oldest newest-route).
+    pub route_cache_dests: usize,
+    /// Memoize signature-verification verdicts (see
+    /// `node::verify`). Pure-function caching: verdicts are identical
+    /// with or without it, only the CPU cost changes. Disable to measure
+    /// the uncached baseline (the V1 exhibit does).
+    pub verify_cache: bool,
+    /// Verdicts retained by the verify cache (LRU bound).
+    pub verify_cache_capacity: usize,
     /// The destination answers up to this many copies of the same RREQ
     /// (arriving over different paths), giving the source route diversity
     /// — the raw material the credit system selects from.
@@ -160,6 +173,10 @@ impl Default for ProtocolConfig {
             data_retries: 2,
             crep_enabled: true,
             route_ttl: SimDuration::from_secs(60),
+            route_cache_per_dest: 8,
+            route_cache_dests: 256,
+            verify_cache: true,
+            verify_cache_capacity: 1024,
             rrep_multi: 3,
             verify_srr: true,
             credit: CreditConfig::default(),

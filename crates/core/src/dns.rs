@@ -6,9 +6,8 @@
 //! with signed replies, and runs the challenge/response IP-change flow.
 //! [`DnsState`] is the data; the protocol handlers live in the
 //! `impl SecureNode` block below so they can reuse the node's routing
-//! machinery.
+//! machinery and its security pipeline (`node::verify`).
 
-use crate::identity::{verify_known_key, verify_proof};
 use crate::node::SecureNode;
 use manet_sim::{Ctx, Dir, SimTime};
 use manet_wire::{
@@ -210,7 +209,10 @@ impl SecureNode {
             return; // nothing pending for that address
         };
         // Same two checks as the host side runs, against the stored ch.
-        if verify_proof(&arep.sip, &sigdata::arep(&arep.sip, reg.ch), &arep.proof).is_err() {
+        if self
+            .check_proof(ctx, &arep.sip, &sigdata::arep(&arep.sip, reg.ch), &arep.proof)
+            .is_err()
+        {
             self.stats.rejected_arep += 1;
             ctx.count("sec.dns_warning_rejected", 1);
             ctx.trace(Dir::Drop, "AREP", "invalid duplicate warning at DNS");
@@ -317,12 +319,14 @@ impl SecureNode {
             && session.new_ip == proof.new_ip
             && cga::verify(&proof.old_ip, &proof.pk, proof.old_rn).is_ok()
             && cga::verify(&proof.new_ip, &proof.pk, proof.new_rn).is_ok()
-            && verify_known_key(
-                &proof.pk,
-                &sigdata::ip_change(&proof.old_ip, &proof.new_ip, session.ch),
-                &proof.sig,
-            )
-            .is_ok();
+            && self
+                .check_known_key(
+                    ctx,
+                    &proof.pk,
+                    &sigdata::ip_change(&proof.old_ip, &proof.new_ip, session.ch),
+                    &proof.sig,
+                )
+                .is_ok();
         {
             let dns = self.dns.as_mut().expect("dns role");
             dns.ip_changes.remove(&proof.dn);

@@ -1,7 +1,7 @@
 //! Host identity: the key pair, the CGA modifier, and the resulting
 //! address, plus the verification helpers every receiver runs.
 
-use manet_crypto::{KeyPair, PublicKey, RsaError, Signature};
+use manet_crypto::{KeyPair, Provenance, PublicKey, RsaError, Signature, VerifyCache};
 use manet_wire::{cga, CgaError, IdentityProof, Ipv6Addr};
 use rand::Rng;
 
@@ -110,11 +110,7 @@ pub fn verify_proof(
     payload: &[u8],
     proof: &IdentityProof,
 ) -> Result<(), ProofError> {
-    cga::verify(claimed_ip, &proof.pk, proof.rn).map_err(ProofError::Cga)?;
-    proof
-        .pk
-        .verify(payload, &proof.sig)
-        .map_err(|_: RsaError| ProofError::Signature)
+    verify_proof_with(claimed_ip, payload, proof, None).0
 }
 
 /// Verify a signature against an out-of-band-known key (the DNS case:
@@ -124,7 +120,45 @@ pub fn verify_known_key(
     payload: &[u8],
     sig: &Signature,
 ) -> Result<(), ProofError> {
-    pk.verify(payload, sig).map_err(|_| ProofError::Signature)
+    verify_known_key_with(pk, payload, sig, None).0
+}
+
+/// [`verify_proof`] with an optional verdict memo. The CGA half is a
+/// single SHA-256 and is always recomputed; only the RSA half is
+/// memoized. The returned [`Provenance`] says whether the RSA work
+/// actually ran — a CGA rejection reports `Computed` (nothing was
+/// cached, nothing was spent on RSA).
+pub fn verify_proof_with(
+    claimed_ip: &Ipv6Addr,
+    payload: &[u8],
+    proof: &IdentityProof,
+    cache: Option<&mut VerifyCache>,
+) -> (Result<(), ProofError>, Provenance) {
+    if let Err(e) = cga::verify(claimed_ip, &proof.pk, proof.rn) {
+        return (Err(ProofError::Cga(e)), Provenance::Computed);
+    }
+    verify_known_key_with(&proof.pk, payload, &proof.sig, cache)
+}
+
+/// [`verify_known_key`] with an optional verdict memo.
+pub fn verify_known_key_with(
+    pk: &PublicKey,
+    payload: &[u8],
+    sig: &Signature,
+    cache: Option<&mut VerifyCache>,
+) -> (Result<(), ProofError>, Provenance) {
+    match cache {
+        Some(c) => {
+            let (valid, prov) = c.verify(pk, payload, sig);
+            let res = if valid { Ok(()) } else { Err(ProofError::Signature) };
+            (res, prov)
+        }
+        None => (
+            pk.verify(payload, sig)
+                .map_err(|_: RsaError| ProofError::Signature),
+            Provenance::Computed,
+        ),
+    }
 }
 
 #[cfg(test)]

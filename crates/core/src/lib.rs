@@ -40,7 +40,10 @@ pub mod stats;
 
 pub use config::{Behavior, CreditConfig, ProtocolConfig};
 pub use envelope::Envelope;
-pub use identity::{verify_known_key, verify_proof, HostIdentity, ProofError};
+pub use identity::{
+    verify_known_key, verify_known_key_with, verify_proof, verify_proof_with, HostIdentity,
+    ProofError,
+};
 pub use node::SecureNode;
 pub use plain::PlainDsrNode;
 pub use stats::NodeStats;

@@ -1,0 +1,261 @@
+//! Secure duplicate address detection (Section 3.1): the AREQ flood, the
+//! AREP/DREP replies, and the DAD state machine that turns a candidate
+//! CGA into a confirmed address.
+
+use super::{NodeState, Queued, SecureNode, TAG_DAD, TAG_DAD_PROBE};
+use crate::envelope::Envelope;
+use manet_sim::{Ctx, Dir};
+use manet_wire::{
+    sigdata, Areq, Arep, Challenge, DomainName, Drep, Message, RouteRecord, Seq, DNS_WELL_KNOWN,
+    UNSPECIFIED,
+};
+use rand::Rng;
+use std::collections::HashSet;
+use manet_wire::Ipv6Addr;
+
+impl SecureNode {
+    pub(super) fn begin_dad(&mut self, ctx: &mut Ctx) {
+        self.stats.dad_attempts += 1;
+        ctx.count("dad.attempts", 1);
+        // A restarted attempt invalidates the previous one's probe plan.
+        for h in self.dad_probe_timers.drain(..) {
+            ctx.cancel_timer(h);
+        }
+        let seq = self.alloc_seq();
+        let ch = Challenge(ctx.rng().gen());
+        self.state = NodeState::Dad { seq, ch };
+        self.send_dad_probe(ctx, seq, ch);
+        // Retransmit the probe across the window so a single lost
+        // broadcast cannot hide a duplicate.
+        let probes = self.cfg.dad_probes.max(1);
+        for i in 1..probes {
+            let delay = manet_sim::SimDuration::from_micros(
+                self.cfg.dad_timeout.as_micros() * i as u64 / probes as u64,
+            );
+            let h = ctx.set_timer(delay, TAG_DAD_PROBE);
+            self.dad_probe_timers.push(h);
+        }
+        ctx.set_timer(self.cfg.dad_timeout, TAG_DAD);
+    }
+
+    /// One AREQ flood of the current DAD attempt (fresh `seq`, so relays
+    /// do not dedup the retransmission; same `ch`, which identifies the
+    /// attempt to verifiers).
+    fn send_dad_probe(&mut self, ctx: &mut Ctx, seq: Seq, ch: Challenge) {
+        self.my_dad_probes.insert((seq.0, ch.0));
+        let areq = Areq {
+            sip: self.ident.ip(),
+            seq,
+            dn: self.desired_dn.clone(),
+            ch,
+            rr: RouteRecord::new(),
+        };
+        self.stats.areq_sent += 1;
+        let env = Envelope::broadcast(UNSPECIFIED, Message::Areq(areq));
+        self.tx(ctx, None, env);
+    }
+
+    pub(super) fn on_dad_probe_timer(&mut self, ctx: &mut Ctx) {
+        if let NodeState::Dad { ch, .. } = self.state {
+            let seq = self.alloc_seq();
+            self.send_dad_probe(ctx, seq, ch);
+        }
+    }
+
+    pub(super) fn on_dad_timer(&mut self, ctx: &mut Ctx) {
+        if matches!(self.state, NodeState::Dad { .. }) {
+            // Silence means uniqueness (Section 3.1).
+            self.dad_confirmed(ctx);
+        }
+    }
+
+    fn dad_confirmed(&mut self, ctx: &mut Ctx) {
+        self.state = NodeState::Ready;
+        self.stats.joined_at = Some(ctx.now());
+        ctx.count("dad.confirmed", 1);
+        ctx.sample("dad.latency_s", ctx.now().as_secs_f64());
+        ctx.trace(Dir::Note, "DAD", format!("address {} confirmed", self.ident.ip()));
+        // Kick route discovery for everything queued while bootstrapping.
+        let dests: HashSet<Ipv6Addr> = self.send_buffer.iter().map(|(d, _)| *d).collect();
+        for d in dests {
+            self.ensure_route(ctx, d);
+        }
+    }
+
+    fn restart_dad(&mut self, ctx: &mut Ctx) {
+        if self.stats.dad_attempts >= self.cfg.dad_max_attempts {
+            ctx.count("dad.gave_up", 1);
+            self.state = NodeState::Boot;
+            return;
+        }
+        self.ident.reroll(ctx.rng());
+        self.begin_dad(ctx);
+    }
+
+    // --- flood handling ----------------------------------------------------
+
+    pub(super) fn handle_areq(&mut self, ctx: &mut Ctx, areq: Areq) {
+        if self.my_dad_probes.contains(&(areq.seq.0, areq.ch.0)) {
+            return; // an echo of our own probe
+        }
+        if !self.seen_areqs.insert((areq.sip, areq.seq.0, areq.ch.0)) {
+            return;
+        }
+        if let NodeState::Dad { seq, .. } = self.state {
+            // Our own flood coming back — or another joining host; either
+            // way a mid-DAD node neither answers nor relays.
+            let _ = seq;
+            return;
+        }
+        if self.state != NodeState::Ready {
+            return;
+        }
+        ctx.trace(Dir::Rx, "AREQ", format!("for {} dn={:?}", areq.sip, areq.dn.as_ref().map(|d| d.as_str())));
+
+        // DNS server: name bookkeeping (conflict DREP / pending commit).
+        if self.dns.is_some() {
+            self.dns_on_areq(ctx, &areq);
+        }
+
+        let collision = areq.sip == self.ident.ip();
+        if collision || self.behavior.squat_dad {
+            if !collision {
+                self.stats.atk_forged_arep += 1;
+                ctx.count("atk.forged_arep", 1);
+            }
+            self.send_arep(ctx, &areq);
+            if collision {
+                self.warn_dns(ctx, &areq);
+            }
+            // "Every host should … properly rebroadcast the AREQ": the
+            // flood continues past the collision holder so the DNS hears
+            // the request and holds/cancels the registration.
+        }
+
+        // Replay attacker: answer with a previously captured AREP for
+        // this address if we have one (its challenge is stale).
+        if self.behavior.replay {
+            if let Some(old) = self
+                .observed_areps
+                .iter()
+                .find(|a| a.sip == areq.sip)
+                .cloned()
+            {
+                self.stats.atk_replayed += 1;
+                ctx.count("atk.replayed_arep", 1);
+                let mut path = vec![self.ident.ip()];
+                path.extend(areq.rr.reversed().0);
+                path.push(areq.sip);
+                self.send_routed(ctx, RouteRecord(path), Message::Arep(old));
+            }
+        }
+
+        // Relay: append our address to the route record and rebroadcast.
+        let mut fwd = areq;
+        fwd.rr.push(self.ident.ip());
+        let env = Envelope::broadcast(self.ident.ip(), Message::Areq(fwd));
+        self.tx(ctx, None, env);
+    }
+
+    /// Answer an AREQ whose address collides with ours (Section 3.1):
+    /// `AREP(SIP, RR, [SIP, ch]RSK, RPK, Rrn)` unicast along the reverse
+    /// route record.
+    fn send_arep(&mut self, ctx: &mut Ctx, areq: &Areq) {
+        let proof = self.ident.prove(&sigdata::arep(&areq.sip, areq.ch));
+        let arep = Arep {
+            sip: areq.sip,
+            rr: areq.rr.clone(),
+            proof,
+        };
+        self.stats.arep_sent += 1;
+        ctx.count("dad.arep_sent", 1);
+        let mut path = vec![self.ident.ip()];
+        path.extend(areq.rr.reversed().0);
+        path.push(areq.sip);
+        self.send_routed(ctx, RouteRecord(path), Message::Arep(arep));
+    }
+
+    /// Warn the DNS that `areq.sip` is a duplicate so it never commits a
+    /// name for it (Section 3.1). Routed over the normal secure-routing
+    /// machinery toward the well-known DNS address.
+    fn warn_dns(&mut self, ctx: &mut Ctx, areq: &Areq) {
+        if self.dns.is_some() {
+            // We *are* the DNS; cancel locally.
+            let sip = areq.sip;
+            self.dns_cancel_pending(ctx, &sip);
+            return;
+        }
+        let proof = self.ident.prove(&sigdata::arep(&areq.sip, areq.ch));
+        let warning = Arep {
+            sip: areq.sip,
+            rr: RouteRecord::new(),
+            proof,
+        };
+        let dns_ip = DNS_WELL_KNOWN[0];
+        if let Some(path) = self.path_to(ctx.now(), &dns_ip) {
+            self.send_routed(ctx, path, Message::Arep(warning));
+        } else {
+            self.enqueue(ctx, dns_ip, Queued::ArepWarning { arep: warning });
+            self.ensure_route(ctx, dns_ip);
+        }
+    }
+
+    // --- replies -----------------------------------------------------------
+
+    pub(super) fn handle_arep(&mut self, ctx: &mut Ctx, arep: Arep) {
+        // DNS warning path (Section 3.1's "unicast an AREP to DNS").
+        if self.dns.is_some() && !matches!(self.state, NodeState::Dad { .. }) {
+            self.dns_on_warning_arep(ctx, &arep);
+            return;
+        }
+        let NodeState::Dad { ch, .. } = self.state else {
+            return;
+        };
+        if arep.sip != self.ident.ip() {
+            return; // not about our candidate
+        }
+        // The two checks of Section 3.1: CGA ownership of SIP by (RPK,
+        // Rrn), and the challenge response under RSK.
+        match self.check_proof(ctx, &arep.sip, &sigdata::arep(&arep.sip, ch), &arep.proof) {
+            Ok(()) => {
+                self.stats.collisions_detected += 1;
+                ctx.count("dad.collisions", 1);
+                ctx.trace(Dir::Note, "DAD", "valid AREP: address collision, rerolling rn");
+                self.restart_dad(ctx);
+            }
+            Err(_) => {
+                self.stats.rejected_arep += 1;
+                ctx.count("sec.arep_rejected", 1);
+                ctx.trace(Dir::Drop, "AREP", "invalid proof (squat/replay attempt?)");
+            }
+        }
+    }
+
+    pub(super) fn handle_drep(&mut self, ctx: &mut Ctx, drep: Drep) {
+        let NodeState::Dad { ch, .. } = self.state else {
+            return;
+        };
+        if drep.sip != self.ident.ip() {
+            return;
+        }
+        let Some(dn) = self.desired_dn.clone() else {
+            return; // we registered no name; a DREP for us is bogus
+        };
+        match self.check_dns_sig(ctx, &sigdata::drep(&dn, ch), &drep.sig) {
+            Ok(()) => {
+                self.stats.name_conflicts += 1;
+                ctx.count("dad.name_conflicts", 1);
+                // First-come-first-serve lost: pick a decorated fallback
+                // name and retry the DAD round (Section 3.1).
+                let fallback = format!("{}-{}", dn.as_str(), self.stats.dad_attempts + 1);
+                self.desired_dn = DomainName::new(&fallback).ok();
+                ctx.trace(Dir::Note, "DAD", format!("name conflict; retrying as {fallback}"));
+                self.restart_dad(ctx);
+            }
+            Err(_) => {
+                self.stats.rejected_drep += 1;
+                ctx.count("sec.drep_rejected", 1);
+            }
+        }
+    }
+}

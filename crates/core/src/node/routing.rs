@@ -1,0 +1,578 @@
+//! Secure DSR route discovery and maintenance (Sections 3.3–3.4):
+//! RREQ floods with per-hop identity proofs, signed RREP/CREP replies,
+//! signed RERRs, and the route-integrity probe extension.
+
+use super::{PendingProbe, PendingRreq, SecureNode, TAG_ROUTE_PROBE, TAG_RREQ};
+use crate::envelope::Envelope;
+use crate::routecache::CachedRoute;
+use manet_sim::{Ctx, Dir};
+use manet_wire::{
+    sigdata, Crep, Ipv6Addr, Message, Rerr, RouteRecord, Rrep, Rreq, Seq, SrrEntry,
+};
+use std::collections::HashSet;
+
+impl SecureNode {
+    /// Start (or keep) a route discovery toward `dip`.
+    pub(crate) fn ensure_route(&mut self, ctx: &mut Ctx, dip: Ipv6Addr) {
+        if !self.is_ready() || self.pending_rreqs.contains_key(&dip) {
+            return;
+        }
+        let seq = self.alloc_seq();
+        self.pending_rreqs.insert(
+            dip,
+            PendingRreq {
+                seq,
+                attempts: 1,
+                started: ctx.now(),
+            },
+        );
+        self.broadcast_rreq(ctx, dip, seq);
+        ctx.set_timer(self.cfg.rreq_timeout, TAG_RREQ | seq.0);
+    }
+
+    fn broadcast_rreq(&mut self, ctx: &mut Ctx, dip: Ipv6Addr, seq: Seq) {
+        let sip = self.ident.ip();
+        let src_proof = self.ident.prove(&sigdata::rreq_src(&sip, seq));
+        let rreq = Rreq {
+            sip,
+            dip,
+            seq,
+            srr: manet_wire::SecureRouteRecord::new(),
+            src_proof,
+        };
+        self.stats.rreq_sent += 1;
+        ctx.count("route.rreq_originated", 1);
+        let env = Envelope::broadcast(sip, Message::Rreq(rreq));
+        self.tx(ctx, None, env);
+    }
+
+    pub(super) fn handle_rreq(&mut self, ctx: &mut Ctx, rreq: Rreq) {
+        if !self.is_ready() {
+            return;
+        }
+        if rreq.sip == self.ident.ip() {
+            return; // our own flood echoed back
+        }
+        ctx.trace(
+            Dir::Rx,
+            "RREQ",
+            format!("{}→{} seq={} hops={}", rreq.sip, rreq.dip, rreq.seq.0, rreq.srr.len()),
+        );
+
+        if self.is_my_addr(&rreq.dip) {
+            // Answer several copies (arriving over distinct paths) so the
+            // source gets route diversity to select among.
+            let n = self
+                .answered_rreqs
+                .entry((rreq.sip, rreq.seq.0))
+                .or_insert(0);
+            if *n >= self.cfg.rrep_multi {
+                return;
+            }
+            *n += 1;
+            self.answer_rreq(ctx, rreq);
+            return;
+        }
+        if !self.seen_rreqs.insert((rreq.sip, rreq.seq.0)) {
+            return;
+        }
+
+        if self.behavior.forge_rrep {
+            self.forge_rrep(ctx, &rreq);
+            return; // attracts the route; no honest relaying
+        }
+
+        if self.behavior.replay {
+            if let Some(old) = self
+                .observed_rreps
+                .iter()
+                .find(|r| r.dip == rreq.dip)
+                .cloned()
+            {
+                // Splice the captured proof onto the new request: the
+                // destination signature covers (old sip, old seq, old rr)
+                // so the verifier must reject it.
+                self.stats.atk_replayed += 1;
+                ctx.count("atk.replayed_rrep", 1);
+                let forged = Rrep {
+                    sip: rreq.sip,
+                    dip: old.dip,
+                    seq: rreq.seq,
+                    rr: old.rr.clone(),
+                    proof: old.proof.clone(),
+                };
+                let mut path = vec![self.ident.ip()];
+                path.extend(rreq.srr.to_route_record().reversed().0);
+                path.push(rreq.sip);
+                self.send_routed(ctx, RouteRecord(path), Message::Rrep(forged));
+            }
+        }
+
+        // Cached-route reply (Section 3.3, CREP) — only from routes we
+        // discovered ourselves (we hold D's signed RREP for them).
+        if self.cfg.crep_enabled {
+            if let Some(cached) = self.route_cache.creppable(&rreq.dip, ctx.now()) {
+                let cached = cached.clone();
+                self.send_crep(ctx, &rreq, &cached);
+                return;
+            }
+        }
+
+        // Relay: sign and append our identity block to the SRR.
+        let mut fwd = rreq;
+        let entry_proof = self
+            .ident
+            .prove(&sigdata::srr_hop(&self.ident.ip(), fwd.seq));
+        fwd.srr.0.push(SrrEntry {
+            ip: self.ident.ip(),
+            proof: entry_proof,
+        });
+        ctx.count("route.rreq_relayed", 1);
+        let env = Envelope::broadcast(self.ident.ip(), Message::Rreq(fwd));
+        self.tx(ctx, None, env);
+    }
+
+    /// We are the destination (or the DNS behind the anycast address):
+    /// verify the whole request and answer with a signed RREP.
+    fn answer_rreq(&mut self, ctx: &mut Ctx, rreq: Rreq) {
+        // Check 1: source validity.
+        if self
+            .check_proof(
+                ctx,
+                &rreq.sip,
+                &sigdata::rreq_src(&rreq.sip, rreq.seq),
+                &rreq.src_proof,
+            )
+            .is_err()
+        {
+            self.stats.rejected_rreq += 1;
+            ctx.count("sec.rreq_rejected", 1);
+            ctx.trace(Dir::Drop, "RREQ", format!("bad source proof from {}", rreq.sip));
+            return;
+        }
+        // Check 2: every intermediate hop's identity.
+        if self.cfg.verify_srr {
+            for e in &rreq.srr.0 {
+                if self
+                    .check_proof(ctx, &e.ip, &sigdata::srr_hop(&e.ip, rreq.seq), &e.proof)
+                    .is_err()
+                {
+                    self.stats.rejected_rreq += 1;
+                    ctx.count("sec.rreq_rejected", 1);
+                    ctx.trace(Dir::Drop, "RREQ", format!("bad SRR entry for {}", e.ip));
+                    return;
+                }
+            }
+        }
+        let rr = rreq.srr.to_route_record();
+        let payload = sigdata::rrep(&rreq.sip, rreq.seq, &rr);
+        let proof = self.ident.prove(&payload);
+        let rrep = Rrep {
+            sip: rreq.sip,
+            dip: rreq.dip,
+            seq: rreq.seq,
+            rr: rr.clone(),
+            proof,
+        };
+        self.stats.rrep_sent += 1;
+        ctx.count("route.rrep_sent", 1);
+        let mut path = vec![rreq.dip];
+        path.extend(rr.reversed().0);
+        path.push(rreq.sip);
+        self.send_routed(ctx, RouteRecord(path), Message::Rrep(rrep));
+    }
+
+    /// Black-hole route attraction: forge an RREP claiming we are one hop
+    /// from the destination. The proof is signed with our own key (we do
+    /// not have the destination's), so a verifying source rejects it —
+    /// this is exactly the Section 4 argument made executable.
+    fn forge_rrep(&mut self, ctx: &mut Ctx, rreq: &Rreq) {
+        let mut rr = rreq.srr.to_route_record();
+        rr.push(self.ident.ip());
+        let payload = sigdata::rrep(&rreq.sip, rreq.seq, &rr);
+        let claimed = self.behavior.impersonate.unwrap_or(rreq.dip);
+        let proof = self.ident.prove(&payload); // our key ≠ H(...) of `claimed`
+        let rrep = Rrep {
+            sip: rreq.sip,
+            dip: claimed,
+            seq: rreq.seq,
+            rr: rr.clone(),
+            proof,
+        };
+        self.stats.atk_forged_rrep += 1;
+        ctx.count("atk.forged_rrep", 1);
+        let mut path = vec![self.ident.ip()];
+        path.extend(rreq.srr.to_route_record().reversed().0);
+        path.push(rreq.sip);
+        self.send_routed(ctx, RouteRecord(path), Message::Rrep(rrep));
+    }
+
+    fn send_crep(&mut self, ctx: &mut Ctx, rreq: &Rreq, cached: &CachedRoute) {
+        let (orig_seq, d_proof) = cached.d_proof.clone().expect("creppable has proof");
+        let rr_s2_to_s = rreq.srr.to_route_record();
+        let s_proof = self
+            .ident
+            .prove(&sigdata::crep_cache_holder(&rreq.sip, rreq.seq, &rr_s2_to_s));
+        let crep = Crep {
+            s2ip: rreq.sip,
+            sip: self.ident.ip(),
+            dip: rreq.dip,
+            seq2: rreq.seq,
+            rr_s2_to_s: rr_s2_to_s.clone(),
+            s_proof,
+            orig_seq,
+            rr_s_to_d: RouteRecord(cached.relays.clone()),
+            d_proof,
+        };
+        self.stats.crep_sent += 1;
+        ctx.count("route.crep_sent", 1);
+        let mut path = vec![self.ident.ip()];
+        path.extend(rr_s2_to_s.reversed().0);
+        path.push(rreq.sip);
+        self.send_routed(ctx, RouteRecord(path), Message::Crep(crep));
+    }
+
+    // --- replies ------------------------------------------------------------
+
+    pub(super) fn handle_rrep(&mut self, ctx: &mut Ctx, rrep: Rrep) {
+        if rrep.sip != self.ident.ip() {
+            return;
+        }
+        // Match against the outstanding request, or a recently satisfied
+        // one (extra RREPs for the same sequence add alternate routes).
+        const RECENT_WINDOW_US: u64 = 10_000_000;
+        let (expected_seq, pending_started) = match self.pending_rreqs.get(&rrep.dip) {
+            Some(p) => (p.seq, Some(p.started)),
+            None => match self.recent_rreqs.get(&rrep.dip) {
+                Some(&(seq, at))
+                    if ctx.now().as_micros().saturating_sub(at.as_micros())
+                        <= RECENT_WINDOW_US =>
+                {
+                    (seq, None)
+                }
+                _ => return, // nothing outstanding (stale or replayed)
+            },
+        };
+        if expected_seq != rrep.seq {
+            self.stats.rejected_rrep += 1;
+            ctx.count("sec.rrep_rejected", 1);
+            ctx.trace(Dir::Drop, "RREP", "sequence mismatch (replay?)");
+            return;
+        }
+        // Verify the destination's proof over [SIP, seq, RR]. Routes to
+        // the DNS anycast address verify against the well-known DNS key
+        // (an anycast address is not a CGA); everything else runs the
+        // full CGA + signature check.
+        let payload = sigdata::rrep(&rrep.sip, rrep.seq, &rrep.rr);
+        let ok = if rrep.dip.is_dns_well_known() {
+            self.check_dns_sig(ctx, &payload, &rrep.proof.sig).is_ok()
+        } else {
+            self.check_proof(ctx, &rrep.dip, &payload, &rrep.proof).is_ok()
+        };
+        if !ok {
+            self.stats.rejected_rrep += 1;
+            ctx.count("sec.rrep_rejected", 1);
+            ctx.trace(Dir::Drop, "RREP", format!("invalid proof for {}", rrep.dip));
+            return;
+        }
+        if let Some(started) = pending_started {
+            self.pending_rreqs.remove(&rrep.dip);
+            self.recent_rreqs.insert(rrep.dip, (rrep.seq, ctx.now()));
+            ctx.sample(
+                "route.discovery_latency_s",
+                ctx.now().since(started).as_secs_f64(),
+            );
+            ctx.count("route.discovered", 1);
+        } else {
+            ctx.count("route.alternate_cached", 1);
+        }
+        ctx.trace(
+            Dir::Note,
+            "ROUTE",
+            format!("to {} via {} relays", rrep.dip, rrep.rr.len()),
+        );
+        self.route_cache.insert(
+            rrep.dip,
+            CachedRoute {
+                relays: rrep.rr.0.clone(),
+                d_proof: Some((rrep.seq, rrep.proof.clone())),
+                learned_at: ctx.now(),
+            },
+        );
+        if self.behavior.replay {
+            self.observed_rreps.push(rrep.clone());
+            self.observed_rreps.truncate(32);
+        }
+        self.flush_buffer(ctx, rrep.dip);
+    }
+
+    pub(super) fn handle_crep(&mut self, ctx: &mut Ctx, crep: Crep) {
+        if crep.s2ip != self.ident.ip() {
+            return;
+        }
+        let (pending_seq, started) = match self.pending_rreqs.get(&crep.dip) {
+            Some(p) => (p.seq, p.started),
+            None => return,
+        };
+        if pending_seq != crep.seq2 {
+            self.stats.rejected_crep += 1;
+            ctx.count("sec.crep_rejected", 1);
+            return;
+        }
+        // Verify the cache holder's identity over [S'IP, seq', RR_{S'→S}].
+        let holder_payload =
+            sigdata::crep_cache_holder(&crep.s2ip, crep.seq2, &crep.rr_s2_to_s);
+        if self
+            .check_proof(ctx, &crep.sip, &holder_payload, &crep.s_proof)
+            .is_err()
+        {
+            self.stats.rejected_crep += 1;
+            ctx.count("sec.crep_rejected", 1);
+            ctx.trace(Dir::Drop, "CREP", "invalid cache-holder proof");
+            return;
+        }
+        // Verify the destination's original proof over [SIP, seq, RR_{S→D}].
+        let d_payload = sigdata::rrep(&crep.sip, crep.orig_seq, &crep.rr_s_to_d);
+        let d_ok = if crep.dip.is_dns_well_known() {
+            self.check_dns_sig(ctx, &d_payload, &crep.d_proof.sig).is_ok()
+        } else {
+            self.check_proof(ctx, &crep.dip, &d_payload, &crep.d_proof).is_ok()
+        };
+        if !d_ok {
+            self.stats.rejected_crep += 1;
+            ctx.count("sec.crep_rejected", 1);
+            ctx.trace(Dir::Drop, "CREP", "invalid destination proof");
+            return;
+        }
+        // Composite route: S' → (relays to S) → S → (S's relays to D) → D.
+        let mut relays = crep.rr_s2_to_s.0.clone();
+        relays.push(crep.sip);
+        relays.extend(crep.rr_s_to_d.0.iter().copied());
+        // The composite can double back through us (we may sit on S's
+        // cached path to D). The proofs cover the original components, so
+        // verification is done; for *forwarding* we shortcut at our last
+        // occurrence. DSR's standard cached-reply loop trimming.
+        if let Some(pos) = relays.iter().rposition(|r| *r == self.ident.ip()) {
+            relays.drain(..=pos);
+        }
+        self.pending_rreqs.remove(&crep.dip);
+        ctx.sample(
+            "route.discovery_latency_s",
+            ctx.now().since(started).as_secs_f64(),
+        );
+        ctx.count("route.discovered_via_crep", 1);
+        self.route_cache.insert(
+            crep.dip,
+            CachedRoute {
+                relays,
+                d_proof: None, // composite: not servable as a further CREP
+                learned_at: ctx.now(),
+            },
+        );
+        self.flush_buffer(ctx, crep.dip);
+    }
+
+    pub(super) fn handle_rerr(&mut self, ctx: &mut Ctx, rerr: Rerr) {
+        if self
+            .check_proof(ctx, &rerr.iip, &sigdata::rerr(&rerr.iip, &rerr.i2ip), &rerr.proof)
+            .is_err()
+        {
+            self.stats.rejected_rerr += 1;
+            ctx.count("sec.rerr_rejected", 1);
+            ctx.trace(Dir::Drop, "RERR", format!("invalid proof from {}", rerr.iip));
+            return;
+        }
+        ctx.count("route.rerr_received", 1);
+        let me = self.ident.ip();
+        self.route_cache.remove_link(me, rerr.iip, rerr.i2ip);
+        // Track the reporter; frequent reporters (and their next hops)
+        // mark a hostile area (Section 3.4).
+        if self.credits.record_rerr(&rerr.iip, &rerr.i2ip) {
+            ctx.count("credit.hostile_marked", 1);
+            ctx.trace(
+                Dir::Note,
+                "CREDIT",
+                format!("hostile area around {} / {}", rerr.iip, rerr.i2ip),
+            );
+        }
+    }
+
+    /// Emit `RERR(IIP, I'IP, [IIP, I'IP]ISK, IPK, Irn)` back to the
+    /// source of a broken source-routed packet (Section 3.4).
+    pub(super) fn originate_rerr(
+        &mut self,
+        ctx: &mut Ctx,
+        path: &RouteRecord,
+        my_idx: usize,
+        next: Ipv6Addr,
+    ) {
+        let iip = self.ident.ip();
+        let proof = self.ident.prove(&sigdata::rerr(&iip, &next));
+        let rerr = Rerr {
+            iip,
+            i2ip: next,
+            proof,
+        };
+        self.stats.rerr_sent += 1;
+        ctx.count("route.rerr_sent", 1);
+        let back: Vec<Ipv6Addr> = path.0[..=my_idx].iter().rev().copied().collect();
+        if back.len() >= 2 {
+            self.send_routed(ctx, RouteRecord(back), Message::Rerr(rerr));
+        }
+    }
+
+    // --- route probing (Section 3.4 extension) -------------------------------
+
+    /// Probe the route last used toward `dip`: every hop that forwards
+    /// the probe returns a signed per-hop ack; the first silent hop is
+    /// the suspect.
+    pub(super) fn launch_probe(&mut self, ctx: &mut Ctx, dip: Ipv6Addr, relays: &[Ipv6Addr]) {
+        if self.pending_probes.values().any(|p| p.dip == dip) {
+            return; // one probe at a time per destination
+        }
+        let seq = self.alloc_seq();
+        let mut path = Vec::with_capacity(relays.len() + 2);
+        path.push(self.ident.ip());
+        path.extend_from_slice(relays);
+        path.push(dip);
+        let route = RouteRecord(path);
+        if route.len() < 2 {
+            return;
+        }
+        let mut expected = relays.to_vec();
+        expected.push(dip);
+        self.pending_probes.insert(
+            seq.0,
+            PendingProbe {
+                dip,
+                expected,
+                acked: HashSet::new(),
+            },
+        );
+        self.stats.probes_sent += 1;
+        ctx.count("probe.sent", 1);
+        ctx.trace(Dir::Note, "PROBE", format!("probing route to {dip}"));
+        let msg = Message::Probe(manet_wire::Probe {
+            sip: self.ident.ip(),
+            dip,
+            seq,
+            route: route.clone(),
+        });
+        self.send_routed(ctx, route, msg);
+        ctx.set_timer(self.cfg.probe_timeout, TAG_ROUTE_PROBE | seq.0);
+    }
+
+    /// Sign and return a per-hop probe acknowledgement toward the source.
+    pub(super) fn send_probe_ack(
+        &mut self,
+        ctx: &mut Ctx,
+        probe: &manet_wire::Probe,
+        back: Vec<Ipv6Addr>,
+    ) {
+        let hop = self.ident.ip();
+        let proof = self
+            .ident
+            .prove(&sigdata::probe_ack(&probe.sip, probe.seq, &hop));
+        let ack = Message::ProbeAck(manet_wire::ProbeAck {
+            sip: probe.sip,
+            probe_seq: probe.seq,
+            hop,
+            proof,
+        });
+        self.stats.probe_acks_sent += 1;
+        ctx.count("probe.acks_sent", 1);
+        if back.len() >= 2 {
+            self.send_routed(ctx, RouteRecord(back), ack);
+        }
+    }
+
+    pub(super) fn handle_probe_ack(&mut self, ctx: &mut Ctx, ack: manet_wire::ProbeAck) {
+        let Some(pending) = self.pending_probes.get(&ack.probe_seq.0) else {
+            return; // expired or unsolicited
+        };
+        if !pending.expected.contains(&ack.hop) {
+            ctx.count("probe.ack_offroute", 1);
+            return;
+        }
+        // Same identity checks as everything else: the CGA must belong
+        // to the claimed hop and the signature must cover this probe.
+        if self
+            .check_proof(
+                ctx,
+                &ack.hop,
+                &sigdata::probe_ack(&ack.sip, ack.probe_seq, &ack.hop),
+                &ack.proof,
+            )
+            .is_err()
+        {
+            ctx.count("sec.probe_ack_rejected", 1);
+            return;
+        }
+        if let Some(pending) = self.pending_probes.get_mut(&ack.probe_seq.0) {
+            pending.acked.insert(ack.hop);
+        }
+    }
+
+    /// The collection window closed: judge the probed route.
+    pub(super) fn on_route_probe_timer(&mut self, ctx: &mut Ctx, seq: u64) {
+        let Some(pending) = self.pending_probes.remove(&seq) else {
+            return;
+        };
+        let first_silent = pending
+            .expected
+            .iter()
+            .position(|h| !pending.acked.contains(h));
+        match first_silent {
+            None => {
+                // Everyone answered: an evading dropper or a transient
+                // fault. Credits remain the fallback.
+                self.stats.probes_inconclusive += 1;
+                ctx.count("probe.inconclusive", 1);
+                ctx.trace(Dir::Note, "PROBE", "all hops acked — inconclusive");
+            }
+            Some(i) => {
+                let suspect = pending.expected[i];
+                // The suspect either swallowed the probe or swallowed the
+                // acks of everyone behind it — in both cases the paper's
+                // "very large amount" slash applies. Its predecessor gets
+                // only the weak timeout-grade penalty (it might be the
+                // ack-dropper's victim, not an accomplice).
+                self.credits.slash(&suspect);
+                if i > 0 {
+                    self.credits.penalize_route(&pending.expected[i - 1..i]);
+                }
+                self.stats.probe_suspects.push(suspect);
+                ctx.count("probe.localized", 1);
+                ctx.trace(Dir::Note, "PROBE", format!("suspect localized: {suspect}"));
+            }
+        }
+    }
+
+    // --- timers --------------------------------------------------------------
+
+    pub(super) fn on_rreq_timer(&mut self, ctx: &mut Ctx, seq: u64) {
+        let Some((&dip, _)) = self
+            .pending_rreqs
+            .iter()
+            .find(|(_, p)| p.seq.0 == seq)
+        else {
+            return; // answered in time
+        };
+        let pending = self.pending_rreqs.get_mut(&dip).expect("just found");
+        if pending.attempts >= self.cfg.rreq_retries {
+            self.pending_rreqs.remove(&dip);
+            ctx.count("route.discovery_gave_up", 1);
+            self.fail_buffer(ctx, dip);
+            return;
+        }
+        pending.attempts += 1;
+        // Fresh sequence number per retry: replayed answers to the old
+        // one stay rejectable.
+        let new_seq = Seq(self.next_seq);
+        self.next_seq += 1;
+        self.pending_rreqs.get_mut(&dip).expect("present").seq = new_seq;
+        ctx.count("route.rreq_retries", 1);
+        self.broadcast_rreq(ctx, dip, new_seq);
+        ctx.set_timer(self.cfg.rreq_timeout, TAG_RREQ | new_seq.0);
+    }
+}

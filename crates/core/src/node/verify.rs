@@ -1,0 +1,112 @@
+//! The security pipeline: the single choke point through which every
+//! inbound message's cryptographic material passes.
+//!
+//! Handlers never call the raw verification primitives; they call
+//! [`SecureNode::check_proof`] / [`SecureNode::check_known_key`] /
+//! [`SecureNode::check_dns_sig`], which
+//!
+//! 1. run the two-step CGA + signature check (or the known-key check)
+//!    via [`crate::identity`],
+//! 2. consult the node's [`manet_crypto::VerifyCache`] so an identical
+//!    `(key, payload, signature)` triple is verified once per node, not
+//!    once per delivery — an RREQ flood arriving over three paths
+//!    re-proves the shared SRR prefix for free, and a signed-RERR
+//!    spammer pays RSA once and hash-lookups thereafter,
+//! 3. account every verdict in [`NodeStats`]
+//!    (`crypto_verify_attempted` / `_cached` / `_failed`) and the engine
+//!    metrics (`sec.verify_rsa` / `sec.verify_cached` /
+//!    `sec.verify_failed`).
+//!
+//! Memoization is observationally invisible: the verdict is a pure
+//! function of the triple, the cache key digests the *whole* triple
+//! (so a forged signature over a cached-valid payload can never alias
+//! the valid entry), and no RNG draw or timer is involved — same-seed
+//! traces are bit-identical with the cache on, off, or thrashing.
+
+use super::SecureNode;
+use crate::identity::{verify_known_key_with, verify_proof_with, ProofError};
+use crate::stats::NodeStats;
+use manet_crypto::{Provenance, PublicKey, Signature};
+use manet_sim::Ctx;
+use manet_wire::{IdentityProof, Ipv6Addr};
+
+/// Account one pipeline verdict in the node stats and engine metrics.
+fn record(
+    stats: &mut NodeStats,
+    ctx: &mut Ctx,
+    outcome: (Result<(), ProofError>, Provenance),
+) -> Result<(), ProofError> {
+    let (result, provenance) = outcome;
+    if matches!(result, Err(ProofError::Cga(_))) {
+        // The CGA check short-circuited before any RSA ran (one SHA-256
+        // of work, nothing cacheable): a failed verdict, not an executed
+        // verification — `crypto_verify_attempted` stays an exact count
+        // of RSA operations.
+        stats.crypto_verify_failed += 1;
+        ctx.count("sec.verify_failed", 1);
+        return result;
+    }
+    match provenance {
+        Provenance::Cached => {
+            stats.crypto_verify_cached += 1;
+            ctx.count("sec.verify_cached", 1);
+        }
+        Provenance::Computed => {
+            stats.crypto_verify_attempted += 1;
+            ctx.count("sec.verify_rsa", 1);
+        }
+    }
+    if result.is_err() {
+        stats.crypto_verify_failed += 1;
+        ctx.count("sec.verify_failed", 1);
+    }
+    result
+}
+
+impl SecureNode {
+    /// Verify an identity proof for `claimed`: CGA ownership plus the
+    /// signature over `payload`, memoized and counted.
+    pub(crate) fn check_proof(
+        &mut self,
+        ctx: &mut Ctx,
+        claimed: &Ipv6Addr,
+        payload: &[u8],
+        proof: &IdentityProof,
+    ) -> Result<(), ProofError> {
+        let outcome = verify_proof_with(claimed, payload, proof, self.verify_cache.as_mut());
+        record(&mut self.stats, ctx, outcome)
+    }
+
+    /// Verify a signature under a key carried by the message itself
+    /// (e.g. the IP-change proof's `XPK`), memoized and counted.
+    pub(crate) fn check_known_key(
+        &mut self,
+        ctx: &mut Ctx,
+        pk: &PublicKey,
+        payload: &[u8],
+        sig: &Signature,
+    ) -> Result<(), ProofError> {
+        let outcome = verify_known_key_with(pk, payload, sig, self.verify_cache.as_mut());
+        record(&mut self.stats, ctx, outcome)
+    }
+
+    /// Verify a signature under the pre-configured DNS public key —
+    /// everything the DNS signs (DREP, DNS replies, IP-change results,
+    /// routes to the anycast address).
+    pub(crate) fn check_dns_sig(
+        &mut self,
+        ctx: &mut Ctx,
+        payload: &[u8],
+        sig: &Signature,
+    ) -> Result<(), ProofError> {
+        // Split borrow: the key lives on self alongside the cache.
+        let SecureNode {
+            dns_pk,
+            verify_cache,
+            stats,
+            ..
+        } = self;
+        let outcome = verify_known_key_with(dns_pk, payload, sig, verify_cache.as_mut());
+        record(stats, ctx, outcome)
+    }
+}

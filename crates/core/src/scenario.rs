@@ -272,6 +272,20 @@ impl SecureNetwork {
         self.engine.run_until(drain);
     }
 
+    /// Network-wide crypto-pipeline totals `(executed, cached, failed)`
+    /// summed over every host and the DNS: RSA verifications actually
+    /// run, verdicts served from the verify cache, and rejected checks.
+    pub fn crypto_totals(&self) -> (u64, u64, u64) {
+        let mut totals = (0u64, 0u64, 0u64);
+        for &id in self.hosts.iter().chain(std::iter::once(&self.dns)) {
+            let s = self.engine.protocol_as::<SecureNode>(id).stats();
+            totals.0 += s.crypto_verify_attempted;
+            totals.1 += s.crypto_verify_cached;
+            totals.2 += s.crypto_verify_failed;
+        }
+        totals
+    }
+
     /// Fraction of sent data packets that were end-to-end acknowledged,
     /// across all honest hosts.
     pub fn delivery_ratio(&self) -> f64 {

@@ -51,6 +51,16 @@ pub struct NodeStats {
     pub atk_forged_dns: u64,
     pub atk_spam_rerr: u64,
 
+    // --- crypto pipeline (node::verify) ---
+    /// RSA verifications actually executed (cache misses + uncached
+    /// runs; CGA short-circuits are excluded — no RSA ran for those).
+    pub crypto_verify_attempted: u64,
+    /// Verification verdicts served from the verify cache.
+    pub crypto_verify_cached: u64,
+    /// Pipeline checks that rejected their input: bad CGA (counted only
+    /// here) or bad signature (also counted under attempted/cached).
+    pub crypto_verify_failed: u64,
+
     // --- route probing (Section 3.4 extension) ---
     /// Probes launched after persistent ack timeouts.
     pub probes_sent: u64,
@@ -71,6 +81,13 @@ pub struct NodeStats {
 }
 
 impl NodeStats {
+    /// Fraction of verification verdicts served from the cache, if any
+    /// verdict was produced at all.
+    pub fn crypto_cache_hit_rate(&self) -> Option<f64> {
+        let total = self.crypto_verify_attempted + self.crypto_verify_cached;
+        (total > 0).then(|| self.crypto_verify_cached as f64 / total as f64)
+    }
+
     /// Sum of all rejected-message counters — the node's evidence of
     /// attack traffic.
     pub fn total_rejected(&self) -> u64 {

@@ -9,7 +9,9 @@
 //! * [`prime`] — Miller–Rabin testing and random prime generation;
 //! * [`rsa`] — RSA signatures with message recovery, the paper's
 //!   `[msg]XSK` primitive;
-//! * [`mod@sha256`] — FIPS 180-4 SHA-256, the paper's hash `H`.
+//! * [`mod@sha256`] — FIPS 180-4 SHA-256, the paper's hash `H`;
+//! * [`verifycache`] — a bounded LRU memoizing signature-verification
+//!   verdicts (pure-function caching, safe under seeded determinism).
 //!
 //! No external crypto crates are used anywhere in the workspace; this
 //! crate is the sole provider (see DESIGN.md §2).
@@ -20,10 +22,12 @@ pub mod prime;
 pub mod rsa;
 pub mod sha256;
 pub mod uint;
+pub mod verifycache;
 
 pub use rsa::{KeyPair, PublicKey, RsaError, Signature};
 pub use sha256::{hmac_sha256, sha256, Sha256};
 pub use uint::Ubig;
+pub use verifycache::{Provenance, VerifyCache, VerifyKey};
 
 /// The paper's `H(PK, rn)`: hash the public key bytes and the random
 /// modifier, truncate to the low 64 bits for the IPv6 interface identifier.

@@ -189,3 +189,91 @@ proptest! {
         prop_assert_eq!(h.finalize(), manet_crypto::sha256(&data));
     }
 }
+
+/// The verify cache must be observationally invisible: for any input —
+/// valid, corrupted-signature, or wrong-key — the cached pipeline returns
+/// exactly the verdict direct verification returns, on first sight and on
+/// every repeat, across evictions. A "poisoned" entry (a cached verdict
+/// served for material that would verify differently) is impossible
+/// because the key digests the full `(pk, payload, sig)` triple.
+mod verify_cache_agreement {
+    use manet_crypto::{KeyPair, Signature, VerifyCache};
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+    use std::sync::OnceLock;
+
+    /// Key generation is the expensive part; share two fixed pairs
+    /// across all proptest cases.
+    fn keys() -> &'static (KeyPair, KeyPair) {
+        static KEYS: OnceLock<(KeyPair, KeyPair)> = OnceLock::new();
+        KEYS.get_or_init(|| {
+            let mut rng = ChaCha12Rng::seed_from_u64(0x5eed);
+            (
+                KeyPair::generate(512, &mut rng),
+                KeyPair::generate(512, &mut rng),
+            )
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn cached_and_uncached_verdicts_agree(
+            msg in proptest::collection::vec(any::<u8>(), 0..96),
+            flip in 0usize..64,
+            // 0 = valid, 1 = corrupted signature, 2 = wrong key
+            case in 0u8..3,
+            capacity in 1usize..16,
+        ) {
+            let (kp, other) = keys();
+            let sig = kp.sign(&msg);
+            let (pk, sig) = match case {
+                0 => (kp.public(), sig),
+                1 => {
+                    let mut bytes = sig.to_bytes();
+                    let idx = flip % bytes.len();
+                    bytes[idx] ^= 1;
+                    (kp.public(), Signature::from_bytes(&bytes))
+                }
+                _ => (other.public(), sig),
+            };
+            let direct = pk.verify(&msg, &sig).is_ok();
+            let mut cache = VerifyCache::new(capacity);
+            let (first, _) = cache.verify(pk, &msg, &sig);
+            let (repeat, _) = cache.verify(pk, &msg, &sig);
+            // First sight and cached repeat must both match direct verify.
+            prop_assert_eq!(first, direct);
+            prop_assert_eq!(repeat, direct);
+        }
+
+        #[test]
+        fn interleaved_triples_never_cross_contaminate(
+            msgs in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..48), 2..6),
+            order in proptest::collection::vec(0usize..12, 4..24),
+        ) {
+            let (kp, other) = keys();
+            // A tiny cache forces constant eviction while valid, forged,
+            // and wrong-key verdicts for the same payloads interleave.
+            let mut cache = VerifyCache::new(2);
+            let signed: Vec<_> = msgs.iter().map(|m| kp.sign(m)).collect();
+            for &pick in &order {
+                let (i, variant) = (pick % msgs.len(), pick % 3);
+                let (pk, sig) = match variant {
+                    0 => (kp.public(), signed[i].clone()),
+                    1 => {
+                        let mut b = signed[i].to_bytes();
+                        b[0] ^= 1;
+                        (kp.public(), Signature::from_bytes(&b))
+                    }
+                    _ => (other.public(), signed[i].clone()),
+                };
+                let direct = pk.verify(&msgs[i], &sig).is_ok();
+                let (cached, _) = cache.verify(pk, &msgs[i], &sig);
+                prop_assert_eq!(cached, direct);
+                prop_assert_eq!(direct, variant == 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Property tests for the signing-preimage constructors in
+//! [`manet_wire::sigdata`].
+//!
+//! Every signed payload in the protocol is built by exactly one
+//! constructor, and the security argument leans on two injectivity
+//! properties:
+//!
+//! 1. **Cross-kind domain separation** — a signature produced for one
+//!    message kind must never verify as another, so no two constructors
+//!    may emit the same preimage, whatever their fields are.
+//! 2. **Within-kind field binding** — two invocations of the same
+//!    constructor agree iff every bound field agrees, so a proof cannot
+//!    be replayed with any field swapped.
+
+use manet_wire::msg::{Challenge, DomainName, RouteRecord, Seq};
+use manet_wire::{sigdata, Ipv6Addr};
+use proptest::prelude::*;
+
+fn addr() -> impl Strategy<Value = Ipv6Addr> {
+    any::<[u8; 16]>().prop_map(Ipv6Addr)
+}
+
+fn challenge() -> impl Strategy<Value = Challenge> {
+    any::<u64>().prop_map(Challenge)
+}
+
+fn seq() -> impl Strategy<Value = Seq> {
+    any::<u64>().prop_map(Seq)
+}
+
+fn route() -> impl Strategy<Value = RouteRecord> {
+    proptest::collection::vec(addr(), 0..5).prop_map(RouteRecord)
+}
+
+fn name() -> impl Strategy<Value = DomainName> {
+    // Valid label characters only; "-" is excluded so edge rules
+    // (no leading/trailing dash) cannot invalidate the draw.
+    proptest::collection::vec(0u8..36, 1..24).prop_map(|chars| {
+        let s: String = chars
+            .into_iter()
+            .map(|c| {
+                if c < 26 {
+                    (b'a' + c) as char
+                } else {
+                    (b'0' + c - 26) as char
+                }
+            })
+            .collect();
+        DomainName::new(&s).expect("constructed from valid characters")
+    })
+}
+
+/// Every sigdata constructor applied to one independent draw of fields,
+/// labeled by kind.
+fn all_preimages(
+    a: &Ipv6Addr,
+    b: &Ipv6Addr,
+    ch: Challenge,
+    sq: Seq,
+    rr: &RouteRecord,
+    dn: &DomainName,
+    flag: bool,
+) -> Vec<(&'static str, Vec<u8>)> {
+    vec![
+        ("arep", sigdata::arep(a, ch)),
+        ("drep", sigdata::drep(dn, ch)),
+        ("rreq_src", sigdata::rreq_src(a, sq)),
+        ("srr_hop", sigdata::srr_hop(a, sq)),
+        ("rrep", sigdata::rrep(a, sq, rr)),
+        ("crep_cache_holder", sigdata::crep_cache_holder(a, sq, rr)),
+        ("rerr", sigdata::rerr(a, b)),
+        ("probe_ack", sigdata::probe_ack(a, sq, b)),
+        ("dns_reply_some", sigdata::dns_reply(dn, Some(b), ch)),
+        ("dns_reply_none", sigdata::dns_reply(dn, None, ch)),
+        ("ip_change", sigdata::ip_change(a, b, ch)),
+        ("ip_change_result", sigdata::ip_change_result(dn, flag, ch)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Cross-kind: even with every shared field identical across kinds
+    /// (the adversary's best case), no two constructors collide.
+    #[test]
+    fn no_two_kinds_share_a_preimage(
+        a in addr(),
+        b in addr(),
+        ch in challenge(),
+        sq in seq(),
+        rr in route(),
+        dn in name(),
+        flag in any::<bool>(),
+    ) {
+        let all = all_preimages(&a, &b, ch, sq, &rr, &dn, flag);
+        for (i, (ki, pi)) in all.iter().enumerate() {
+            for (kj, pj) in all.iter().skip(i + 1) {
+                prop_assert!(pi != pj, "kinds {ki} and {kj} collided");
+            }
+        }
+    }
+
+    /// Within-kind: preimages agree exactly when the bound fields agree.
+    #[test]
+    fn same_kind_binds_every_field(
+        a1 in addr(), a2 in addr(),
+        b1 in addr(), b2 in addr(),
+        ch1 in challenge(), ch2 in challenge(),
+        sq1 in seq(), sq2 in seq(),
+        rr1 in route(), rr2 in route(),
+        dn1 in name(), dn2 in name(),
+    ) {
+        // arep binds (sip, ch)
+        prop_assert_eq!(
+            sigdata::arep(&a1, ch1) == sigdata::arep(&a2, ch2),
+            (a1, ch1) == (a2, ch2)
+        );
+        // rreq_src / srr_hop bind (ip, seq)
+        prop_assert_eq!(
+            sigdata::rreq_src(&a1, sq1) == sigdata::rreq_src(&a2, sq2),
+            (a1, sq1) == (a2, sq2)
+        );
+        // rrep binds (sip, seq, rr)
+        prop_assert_eq!(
+            sigdata::rrep(&a1, sq1, &rr1) == sigdata::rrep(&a2, sq2, &rr2),
+            (a1, sq1, &rr1) == (a2, sq2, &rr2)
+        );
+        // rerr binds the ordered link (iip, i2ip)
+        prop_assert_eq!(
+            sigdata::rerr(&a1, &b1) == sigdata::rerr(&a2, &b2),
+            (a1, b1) == (a2, b2)
+        );
+        // probe_ack binds (sip, seq, hop)
+        prop_assert_eq!(
+            sigdata::probe_ack(&a1, sq1, &b1) == sigdata::probe_ack(&a2, sq2, &b2),
+            (a1, sq1, b1) == (a2, sq2, b2)
+        );
+        // dns_reply binds (qname, answer, ch)
+        prop_assert_eq!(
+            sigdata::dns_reply(&dn1, Some(&b1), ch1) == sigdata::dns_reply(&dn2, Some(&b2), ch2),
+            (&dn1, b1, ch1) == (&dn2, b2, ch2)
+        );
+        // drep binds (dn, ch)
+        prop_assert_eq!(
+            sigdata::drep(&dn1, ch1) == sigdata::drep(&dn2, ch2),
+            (&dn1, ch1) == (&dn2, ch2)
+        );
+        // ip_change binds the ordered (old, new, ch)
+        prop_assert_eq!(
+            sigdata::ip_change(&a1, &b1, ch1) == sigdata::ip_change(&a2, &b2, ch2),
+            (a1, b1, ch1) == (a2, b2, ch2)
+        );
+    }
+
+    /// The route-record length prefix keeps `rrep` unambiguous: a route
+    /// of n hops can never alias a route of m ≠ n hops whatever the
+    /// address bytes are (the classic concat-ambiguity attack).
+    #[test]
+    fn rrep_routes_of_different_length_never_alias(
+        a in addr(),
+        sq in seq(),
+        rr1 in route(),
+        rr2 in route(),
+    ) {
+        if rr1.len() != rr2.len() {
+            prop_assert_ne!(sigdata::rrep(&a, sq, &rr1), sigdata::rrep(&a, sq, &rr2));
+        }
+    }
+}

@@ -294,3 +294,115 @@ fn garbage_frames_are_ignored() {
     let _ = EngineConfig::default();
     let _: Option<Engine> = None;
 }
+
+/// The verify cache must not open a forgery hole: with memoization on
+/// (the default), forged RREPs are still produced and still rejected,
+/// and delivery still holds — while honest repeated proofs do hit the
+/// cache. A "poisoning" attack — getting an attacker's material served
+/// from a cached-valid verdict — is structurally impossible because the
+/// cache key digests the whole (key, payload, signature) triple, but
+/// this regression pins the end-to-end consequence: cached runs reject
+/// exactly what uncached runs reject.
+#[test]
+fn forged_proofs_rejected_identically_with_and_without_verify_cache() {
+    let run = |cache: bool| {
+        let mut params = grid_secure(31, vec![(5, attacks::black_hole())]);
+        params.proto.verify_cache = cache;
+        let mut net = build_secure(&params);
+        assert!(net.bootstrap());
+        net.run_flows(&[(0, 10)], 15, SimDuration::from_millis(300));
+        let m = net.engine.metrics();
+        (
+            net.delivery_ratio(),
+            m.counter("sec.rrep_rejected"),
+            m.counter("sec.verify_failed"),
+            net.engine.events_processed(),
+            net.crypto_totals(),
+        )
+    };
+    let cached = run(true);
+    let uncached = run(false);
+
+    // Same universe, same verdicts: every observable agrees except the
+    // execution split between real RSA runs and cache hits.
+    assert_eq!(cached.0, uncached.0, "delivery diverged");
+    assert_eq!(cached.1, uncached.1, "rejected-RREP counts diverged");
+    assert_eq!(cached.2, uncached.2, "failed-verdict counts diverged");
+    assert_eq!(cached.3, uncached.3, "event streams diverged");
+    let (exec_c, hit_c, fail_c) = cached.4;
+    let (exec_u, hit_u, fail_u) = uncached.4;
+    assert_eq!(exec_c + hit_c, exec_u, "verification demand diverged");
+    assert_eq!(hit_u, 0, "cache disabled yet verdicts served from it");
+    assert_eq!(fail_c, fail_u, "pipeline failure counts diverged");
+
+    // The attack actually exercised both sides: forgeries were rejected
+    // (failed verdicts observed) and the cache actually memoized.
+    assert!(cached.1 > 0, "no forged RREP was rejected — vacuous test");
+    assert!(fail_c > 0, "no failing verification reached the pipeline");
+    assert!(hit_c > 0, "cache never hit — vacuous differential");
+    assert!(cached.0 > 0.8, "secure delivery should hold under attack");
+}
+
+/// Sharper poisoning attempt at the unit of the cache itself: the same
+/// signing payload first verifies validly (and is cached), then an
+/// attacker presents the same payload under its own key/signature. The
+/// forged presentation must be rejected — a cached `valid` verdict for
+/// the honest triple must never be served for the forged one.
+#[test]
+fn cached_valid_verdict_never_serves_a_forgery() {
+    use manet_crypto::VerifyCache;
+    use manet_secure::{verify_proof, HostIdentity};
+    use manet_wire::{sigdata, Challenge, IdentityProof};
+    use rand::SeedableRng;
+
+    let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(99);
+    let honest = HostIdentity::generate(512, &mut rng);
+    let attacker = HostIdentity::generate(512, &mut rng);
+    let payload = sigdata::arep(&honest.ip(), Challenge(7));
+
+    let mut cache = VerifyCache::new(64);
+    let good = honest.prove(&payload);
+    // Honest proof verifies and is memoized.
+    let (r1, _) = manet_secure::identity::verify_proof_with(
+        &honest.ip(),
+        &payload,
+        &good,
+        Some(&mut cache),
+    );
+    assert!(r1.is_ok());
+
+    // Attacker signs the same payload with its own key but claims the
+    // honest address: CGA check kills it, cache never consulted for RSA.
+    let forged_cga = IdentityProof {
+        pk: attacker.public().clone(),
+        rn: attacker.rn(),
+        sig: attacker.sign(&payload),
+    };
+    let (r2, _) = manet_secure::identity::verify_proof_with(
+        &honest.ip(),
+        &payload,
+        &forged_cga,
+        Some(&mut cache),
+    );
+    assert!(r2.is_err(), "wrong-key proof must fail CGA despite cached payload");
+
+    // Attacker splices the honest key material with its own signature:
+    // passes CGA, but the signature digest differs, so the cached-valid
+    // entry cannot be aliased.
+    let spliced = IdentityProof {
+        pk: good.pk.clone(),
+        rn: good.rn,
+        sig: attacker.sign(&payload),
+    };
+    let (r3, _) = manet_secure::identity::verify_proof_with(
+        &honest.ip(),
+        &payload,
+        &spliced,
+        Some(&mut cache),
+    );
+    assert!(r3.is_err(), "spliced signature must be rejected, not cache-hit");
+
+    // And the cached path still agrees with the pure path everywhere.
+    assert_eq!(verify_proof(&honest.ip(), &payload, &good), Ok(()));
+    assert!(verify_proof(&honest.ip(), &payload, &spliced).is_err());
+}

@@ -1,0 +1,86 @@
+//! Golden-trace gate for the node-stack refactor: the layered protocol
+//! stack and the verify cache move code and memoize a pure function —
+//! they must not reorder a single RNG draw, timer, or transmission. The
+//! fixture under `tests/golden/` was rendered from the pre-refactor
+//! monolithic `node.rs`; any divergence in the byte-exact trace stream
+//! is a determinism regression, not a formatting nit.
+//!
+//! Regenerate (only for an *intentional* protocol change) with:
+//! `UPDATE_GOLDEN=1 cargo test --test trace_golden`
+
+use manet_secure::scenario::{build_secure, NetworkParams};
+use manet_secure::{attacks, Behavior};
+use manet_sim::SimDuration;
+
+/// One deterministic universe rendered to text: the full trace stream
+/// plus the headline observables (so a silent metric drift is caught
+/// even if it never changes a trace line).
+fn render_universe(seed: u64, attackers: Vec<(usize, Behavior)>) -> String {
+    let mut net = build_secure(&NetworkParams {
+        n_hosts: 5,
+        seed,
+        trace: true,
+        attackers,
+        ..NetworkParams::default()
+    });
+    net.bootstrap();
+    net.run_flows(&[(0, 4), (1, 3)], 4, SimDuration::from_millis(300));
+    let m = net.engine.metrics();
+    format!(
+        "seed={} events={} ctl.tx_bytes={} app.data_sent={} delivery={:.6}\n{}",
+        seed,
+        net.engine.events_processed(),
+        m.counter("ctl.tx_bytes"),
+        m.counter("app.data_sent"),
+        net.delivery_ratio(),
+        net.engine.tracer().render(),
+    )
+}
+
+fn check_golden(name: &str, rendered: &str) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, rendered).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden fixture {}: {e}", path.display()));
+    if expected != rendered {
+        // Report the first diverging line; dumping both full streams
+        // would drown the signal.
+        let mismatch = expected
+            .lines()
+            .zip(rendered.lines())
+            .enumerate()
+            .find(|(_, (a, b))| a != b);
+        match mismatch {
+            Some((i, (a, b))) => panic!(
+                "{name}: trace diverges from pre-refactor golden at line {}:\n  golden: {a}\n  actual: {b}",
+                i + 1
+            ),
+            None => panic!(
+                "{name}: trace length changed: golden {} lines, actual {} lines",
+                expected.lines().count(),
+                rendered.lines().count()
+            ),
+        }
+    }
+}
+
+#[test]
+fn honest_universe_matches_pre_refactor_trace() {
+    check_golden("trace_honest_seed42.txt", &render_universe(42, Vec::new()));
+}
+
+#[test]
+fn attacked_universe_matches_pre_refactor_trace() {
+    // A black-hole route forger on the chain: exercises the verification
+    // reject paths (forged RREPs) whose verdicts the cache must preserve.
+    check_golden(
+        "trace_forge_seed7.txt",
+        &render_universe(7, vec![(2, attacks::black_hole())]),
+    );
+}
