@@ -3,8 +3,7 @@
 //! discovery work, and credit bookkeeping overhead.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use manet_secure::scenario::{build_secure, NetworkParams};
-use manet_secure::ProtocolConfig;
+use manet_secure::scenario::ScenarioBuilder;
 use manet_sim::SimDuration;
 use std::hint::black_box;
 
@@ -19,19 +18,16 @@ fn bench_srr_verify(c: &mut Criterion) {
             &verify,
             |b, &verify| {
                 b.iter(|| {
-                    let mut params = NetworkParams {
-                        n_hosts: 7,
-                        seed: 4,
-                        ..NetworkParams::default()
-                    };
-                    params.proto = ProtocolConfig {
-                        verify_srr: verify,
-                        ..params.proto
-                    };
-                    let mut net = build_secure(&params);
+                    let mut net = ScenarioBuilder::new()
+                        .hosts(7)
+                        .seed(4)
+                        .secure()
+                        .tune(|p| p.verify_srr = verify)
+                        .build();
                     assert!(net.bootstrap());
-                    net.run_flows(&[(0, 6)], 5, SimDuration::from_millis(300));
-                    black_box(net.delivery_ratio())
+                    let report =
+                        net.run_flows(&[(0, 6)], 5, SimDuration::from_millis(300));
+                    black_box(report.delivery_ratio)
                 });
             },
         );
@@ -50,17 +46,17 @@ fn bench_crep(c: &mut Criterion) {
             &crep,
             |b, &crep| {
                 b.iter(|| {
-                    let mut params = NetworkParams {
-                        n_hosts: 6,
-                        seed: 5,
-                        ..NetworkParams::default()
-                    };
-                    params.proto.crep_enabled = crep;
-                    let mut net = build_secure(&params);
+                    let mut net = ScenarioBuilder::new()
+                        .hosts(6)
+                        .seed(5)
+                        .secure()
+                        .tune(|p| p.crep_enabled = crep)
+                        .build();
                     assert!(net.bootstrap());
                     net.run_flows(&[(0, 5)], 2, SimDuration::from_millis(300));
-                    net.run_flows(&[(1, 5)], 2, SimDuration::from_millis(300));
-                    black_box(net.engine.metrics().counter("ctl.tx_bytes"))
+                    let report =
+                        net.run_flows(&[(1, 5)], 2, SimDuration::from_millis(300));
+                    black_box(report.tx_bytes)
                 });
             },
         );
@@ -79,16 +75,16 @@ fn bench_credits_overhead(c: &mut Criterion) {
             &on,
             |b, &on| {
                 b.iter(|| {
-                    let mut params = NetworkParams {
-                        n_hosts: 5,
-                        seed: 6,
-                        ..NetworkParams::default()
-                    };
-                    params.proto.credit.enabled = on;
-                    let mut net = build_secure(&params);
+                    let mut net = ScenarioBuilder::new()
+                        .hosts(5)
+                        .seed(6)
+                        .secure()
+                        .tune(|p| p.credit.enabled = on)
+                        .build();
                     assert!(net.bootstrap());
-                    net.run_flows(&[(0, 4)], 10, SimDuration::from_millis(250));
-                    black_box(net.delivery_ratio())
+                    let report =
+                        net.run_flows(&[(0, 4)], 10, SimDuration::from_millis(250));
+                    black_box(report.delivery_ratio)
                 });
             },
         );

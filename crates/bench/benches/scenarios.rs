@@ -3,11 +3,8 @@
 //! crypto under load), so regressions in any layer show up here.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use manet_secure::scenario::{
-    build_plain, build_scale, build_secure, scale_flows, NetworkParams, Placement, PlainParams,
-    ScaleParams,
-};
-use manet_sim::{ChannelMode, SimDuration};
+use manet_secure::scenario::{scale_family, Placement, ScenarioBuilder, Workload};
+use manet_sim::{ChannelMode, SimDuration, SimTime};
 use std::hint::black_box;
 
 /// E5-shaped: full secure bootstrap of an n-host chain network.
@@ -17,11 +14,7 @@ fn bench_bootstrap(c: &mut Criterion) {
     for n in [4usize, 8] {
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             b.iter(|| {
-                let mut net = build_secure(&NetworkParams {
-                    n_hosts: n,
-                    seed: 1,
-                    ..NetworkParams::default()
-                });
+                let mut net = ScenarioBuilder::new().hosts(n).seed(1).secure().build();
                 assert!(net.bootstrap());
                 black_box(net.engine.metrics().counter("ctl.tx_bytes"))
             });
@@ -35,27 +28,18 @@ fn bench_bootstrap(c: &mut Criterion) {
 fn bench_flow(c: &mut Criterion) {
     let mut g = c.benchmark_group("five_hop_flow");
     g.sample_size(10);
+    let w = Workload::flows(vec![(0, 5)], 10, SimDuration::from_millis(300));
     g.bench_function("secure", |b| {
         b.iter(|| {
-            let mut net = build_secure(&NetworkParams {
-                n_hosts: 6,
-                seed: 2,
-                ..NetworkParams::default()
-            });
+            let mut net = ScenarioBuilder::new().hosts(6).seed(2).secure().build();
             assert!(net.bootstrap());
-            net.run_flows(&[(0, 5)], 10, SimDuration::from_millis(300));
-            black_box(net.delivery_ratio())
+            black_box(net.run(&w).delivery_ratio)
         });
     });
     g.bench_function("plain", |b| {
         b.iter(|| {
-            let mut net = build_plain(&PlainParams {
-                n_hosts: 6,
-                seed: 2,
-                ..PlainParams::default()
-            });
-            net.run_flows(&[(0, 5)], 10, SimDuration::from_millis(300));
-            black_box(net.delivery_ratio())
+            let mut net = ScenarioBuilder::new().hosts(6).seed(2).plain().build();
+            black_box(net.run(&w).delivery_ratio)
         });
     });
     g.finish();
@@ -67,15 +51,15 @@ fn bench_grid_bootstrap(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("12_hosts", |b| {
         b.iter(|| {
-            let mut net = build_secure(&NetworkParams {
-                n_hosts: 12,
-                placement: Placement::Grid {
+            let mut net = ScenarioBuilder::new()
+                .hosts(12)
+                .placement(Placement::Grid {
                     cols: 4,
                     spacing: 170.0,
-                },
-                seed: 3,
-                ..NetworkParams::default()
-            });
+                })
+                .seed(3)
+                .secure()
+                .build();
             assert!(net.bootstrap());
             black_box(net.engine.metrics().counter("phy.rx_frames"))
         });
@@ -92,14 +76,12 @@ fn bench_scale_channel(c: &mut Criterion) {
     for channel in [ChannelMode::Grid, ChannelMode::Linear] {
         g.bench_function(format!("{channel:?}_400").to_lowercase(), |b| {
             b.iter(|| {
-                let mut net = build_scale(&ScaleParams {
-                    channel,
-                    ..ScaleParams::small(400, 4)
-                });
-                net.engine.run_until(manet_sim::SimTime(1_000_000));
-                let flows = scale_flows(&mut net, 4);
-                net.run_flows(&flows, 2, SimDuration::from_millis(400));
-                black_box(net.engine.metrics().counter("phy.rx_frames"))
+                let mut net = scale_family(400, 4).channel(channel).plain().build();
+                net.engine.run_until(SimTime(1_000_000));
+                let flows = net.scale_flows(4);
+                let report =
+                    net.run(&Workload::flows(flows, 2, SimDuration::from_millis(400)));
+                black_box(report.rx_frames)
             });
         });
     }

@@ -21,26 +21,22 @@
 //! the node-stack refactor did not tax the hot path.
 
 use crate::table::Table;
-use manet_secure::scenario::{build_secure, NetworkParams, Placement};
+use manet_secure::scenario::{Placement, RunReport, ScenarioBuilder, Workload};
 use manet_secure::{attacks, ProtocolConfig};
-use manet_sim::{Field, SimDuration};
+use manet_sim::SimDuration;
 use std::time::Instant;
 
-/// Observables of one V1 run.
+/// Observables of one V1 run: the boot wall plus the flows-phase
+/// [`RunReport`] (whose `wall_s` covers the traffic only, so exec/s
+/// rates are not diluted by RSA key generation).
 struct V1Run {
     wall_boot_s: f64,
-    wall_flows_s: f64,
-    executed: u64,
-    cached: u64,
-    failed: u64,
-    delivery: f64,
-    events: u64,
-    tx_bytes: u64,
+    report: RunReport,
 }
 
 impl V1Run {
     fn demand(&self) -> u64 {
-        self.executed + self.cached
+        self.report.crypto.demand()
     }
 }
 
@@ -49,8 +45,6 @@ impl V1Run {
 fn run_v1(cache: bool, quick: bool, seed: u64) -> V1Run {
     let n = if quick { 24 } else { 36 };
     let (packets, rounds_ms) = if quick { (6, 300) } else { (10, 300) };
-    let area = n as f64 * std::f64::consts::PI * 250.0 * 250.0 / 8.0;
-    let edge = area.sqrt();
     let hub_a = n / 2;
     let hub_b = n - 2;
     let mut flows: Vec<(usize, usize)> = (0..6).map(|s| (s, hub_a)).collect();
@@ -59,35 +53,24 @@ fn run_v1(cache: bool, quick: bool, seed: u64) -> V1Run {
     flows.push((13, 14));
 
     let t0 = Instant::now();
-    let mut net = build_secure(&NetworkParams {
-        n_hosts: n,
-        placement: Placement::Uniform,
-        field: Field::new(edge, edge),
-        proto: ProtocolConfig {
+    let mut net = ScenarioBuilder::new()
+        .hosts(n)
+        .placement(Placement::Uniform)
+        .density(8.0)
+        .seed(seed)
+        .adversary(6, attacks::rerr_forger())
+        .secure_with(ProtocolConfig {
             rrep_multi: 6,
             verify_cache: cache,
             ..ProtocolConfig::default()
-        },
-        seed,
-        attackers: vec![(6, attacks::rerr_forger())],
-        ..NetworkParams::default()
-    });
+        })
+        .build();
     net.bootstrap();
     let wall_boot_s = t0.elapsed().as_secs_f64();
-    let t1 = Instant::now();
-    net.run_flows(&flows, packets, SimDuration::from_millis(rounds_ms));
-    let wall_flows_s = t1.elapsed().as_secs_f64();
-
-    let (executed, cached, failed) = net.crypto_totals();
+    let report = net.run(&Workload::flows(flows, packets, SimDuration::from_millis(rounds_ms)));
     V1Run {
         wall_boot_s,
-        wall_flows_s,
-        executed,
-        cached,
-        failed,
-        delivery: net.delivery_ratio(),
-        events: net.engine.events_processed(),
-        tx_bytes: net.engine.metrics().counter("ctl.tx_bytes"),
+        report,
     }
 }
 
@@ -100,8 +83,8 @@ pub fn exhibit_v1(quick: bool) -> String {
     // Differential gate: memoizing a pure function must not move a
     // single event, byte, or verdict.
     assert_eq!(
-        (on.events, on.tx_bytes, on.failed),
-        (off.events, off.tx_bytes, off.failed),
+        (on.report.events, on.report.tx_bytes, on.report.crypto.failed),
+        (off.report.events, off.report.tx_bytes, off.report.crypto.failed),
         "cached and uncached universes diverged — verify cache is not pure"
     );
     assert_eq!(
@@ -109,7 +92,7 @@ pub fn exhibit_v1(quick: bool) -> String {
         off.demand(),
         "verification demand changed with the cache — pipeline accounting broken"
     );
-    let hit_rate = on.cached as f64 / on.demand().max(1) as f64;
+    let hit_rate = on.report.crypto.cached as f64 / on.demand().max(1) as f64;
     assert!(
         hit_rate > 0.5,
         "verify-cache hit rate {hit_rate:.3} fell to 1/2 or below on the flood workload"
@@ -138,21 +121,22 @@ pub fn exhibit_v1(quick: bool) -> String {
         ],
     );
     for (name, r) in [("on", &on), ("off", &off)] {
-        let rate = r.cached as f64 / r.demand().max(1) as f64;
+        let crypto = r.report.crypto;
+        let rate = crypto.cached as f64 / r.demand().max(1) as f64;
         t.rowv(vec![
             name.to_string(),
-            r.executed.to_string(),
-            r.cached.to_string(),
+            crypto.executed.to_string(),
+            crypto.cached.to_string(),
             format!("{rate:.3}"),
-            format!("{:.3}", r.wall_flows_s),
-            format!("{:.0}", r.executed as f64 / r.wall_flows_s.max(1e-9)),
-            format!("{:.3}", r.delivery),
+            format!("{:.3}", r.report.wall_s),
+            format!("{:.0}", crypto.executed as f64 / r.report.wall_s.max(1e-9)),
+            format!("{:.3}", r.report.delivery_or_nan()),
         ]);
     }
     t.note(format!(
         "identical universes with cache on/off (differential gate); demand {} checks, {} rejected",
         on.demand(),
-        on.failed
+        on.report.crypto.failed
     ));
     t.note(format!(
         "S1 grid ({}) re-timed at {s1_wall_s:.3}s{}",
@@ -215,20 +199,19 @@ fn write_crypto_json(
     s1_wall_s: f64,
     prev_s1: Option<f64>,
 ) -> std::io::Result<()> {
+    // Each side serializes its flows-phase RunReport verbatim, plus the
+    // V1-specific extras (boot wall, per-second crypto rates).
     let run_json = |r: &V1Run| {
         format!(
             concat!(
-                "{{\"executed\": {}, \"cached\": {}, \"failed\": {}, ",
-                "\"wall_boot_s\": {:.3}, \"wall_flows_s\": {:.3}, ",
-                "\"executed_per_sec\": {:.0}, \"demand_per_sec\": {:.0}}}"
+                "{{\"wall_boot_s\": {:.3}, ",
+                "\"executed_per_sec\": {:.0}, \"demand_per_sec\": {:.0}, ",
+                "\"report\": {}}}"
             ),
-            r.executed,
-            r.cached,
-            r.failed,
             r.wall_boot_s,
-            r.wall_flows_s,
-            r.executed as f64 / r.wall_flows_s.max(1e-9),
-            r.demand() as f64 / r.wall_flows_s.max(1e-9),
+            r.report.crypto.executed as f64 / r.report.wall_s.max(1e-9),
+            r.demand() as f64 / r.report.wall_s.max(1e-9),
+            r.report.to_json(),
         )
     };
     let (prev, delta) = match prev_s1 {
@@ -253,7 +236,7 @@ fn write_crypto_json(
         quick,
         on.demand(),
         hit_rate,
-        on.cached,
+        on.report.crypto.cached,
         run_json(on),
         run_json(off),
         s1_wall_s,
@@ -274,19 +257,22 @@ mod tests {
         let run = run_v1(true, true, 1);
         assert!(run.demand() > 50, "workload too small: {}", run.demand());
         assert!(
-            run.cached * 2 > run.demand(),
+            run.report.crypto.cached * 2 > run.demand(),
             "hit rate {}/{} at or below 1/2",
-            run.cached,
+            run.report.crypto.cached,
             run.demand()
         );
-        assert!(run.delivery > 0.8, "flood workload must still deliver");
+        assert!(
+            run.report.delivery_or_nan() > 0.8,
+            "flood workload must still deliver"
+        );
     }
 
     #[test]
     fn uncached_run_reports_zero_cached() {
         let run = run_v1(false, true, 1);
-        assert_eq!(run.cached, 0);
-        assert!(run.executed > 50);
+        assert_eq!(run.report.crypto.cached, 0);
+        assert!(run.report.crypto.executed > 50);
     }
 
     #[test]

@@ -4,16 +4,23 @@
 
 use crate::table::Table;
 use manet_crypto::KeyPair;
-use manet_secure::plain::PlainConfig;
-use manet_secure::scenario::{
-    build_plain, build_secure, bypass_positions, NetworkParams, Placement, PlainParams,
-    BYPASS_ATTACKER,
-};
+use manet_secure::scenario::{Placement, ScenarioBuilder, SecureBuilder, BYPASS_ATTACKER};
 use manet_secure::{attacks, Behavior, HostIdentity, ProtocolConfig, SecureNode};
 use manet_sim::runner;
 use manet_sim::{Engine, EngineConfig, Mobility, Pos, RadioConfig, SimDuration, SimTime};
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
+
+/// The E3/E4/A3/A5 shape: five hosts on the bypass topology with one
+/// attacker slot on the short path.
+fn bypass_secure(seed: u64, attackers: Vec<(usize, Behavior)>) -> SecureBuilder {
+    ScenarioBuilder::new()
+        .hosts(5)
+        .placement(Placement::Bypass)
+        .adversaries(attackers)
+        .seed(seed)
+        .secure()
+}
 
 fn seeds(quick: bool) -> Vec<u64> {
     if quick {
@@ -131,35 +138,26 @@ struct E2Cell {
 }
 
 fn e2_secure(hops: usize, seed: u64) -> E2Cell {
-    let mut net = build_secure(&NetworkParams {
-        n_hosts: hops + 1,
-        seed,
-        ..NetworkParams::default()
-    });
+    let mut net = ScenarioBuilder::new().hosts(hops + 1).seed(seed).secure().build();
     assert!(net.bootstrap());
     let base = net.engine.metrics().counter("ctl.routing_bytes");
-    net.run_flows(&[(0, hops)], 10, SimDuration::from_millis(300));
+    let report = net.run_flows(&[(0, hops)], 10, SimDuration::from_millis(300));
     let m = net.engine.metrics();
     E2Cell {
         discovery_ms: m.series("route.discovery_latency_s").mean() * 1e3,
         ctl_bytes: m.counter("ctl.routing_bytes") - base,
-        delivery: net.delivery_ratio(),
+        delivery: report.delivery_or_nan(),
     }
 }
 
 fn e2_plain(hops: usize, seed: u64) -> E2Cell {
-    let mut net = build_plain(&PlainParams {
-        n_hosts: hops + 1,
-        seed,
-        proto: PlainConfig::default(),
-        ..PlainParams::default()
-    });
-    net.run_flows(&[(0, hops)], 10, SimDuration::from_millis(300));
+    let mut net = ScenarioBuilder::new().hosts(hops + 1).seed(seed).plain().build();
+    let report = net.run_flows(&[(0, hops)], 10, SimDuration::from_millis(300));
     let m = net.engine.metrics();
     E2Cell {
         discovery_ms: m.series("route.discovery_latency_s").mean() * 1e3,
         ctl_bytes: m.counter("ctl.routing_bytes"),
-        delivery: net.delivery_ratio(),
+        delivery: report.delivery_or_nan(),
     }
 }
 
@@ -221,18 +219,12 @@ struct AttackOutcome {
 
 fn e3_secure(attack: Option<Behavior>, seed: u64) -> AttackOutcome {
     let attackers = attack.map(|b| vec![(BYPASS_ATTACKER, b)]).unwrap_or_default();
-    let mut net = build_secure(&NetworkParams {
-        n_hosts: 5,
-        placement: Placement::Custom(bypass_positions()),
-        attackers,
-        seed,
-        ..NetworkParams::default()
-    });
+    let mut net = bypass_secure(seed, attackers).build();
     assert!(net.bootstrap());
-    net.run_flows(&[(0, 2)], 20, SimDuration::from_millis(300));
+    let report = net.run_flows(&[(0, 2)], 20, SimDuration::from_millis(300));
     let m = net.engine.metrics();
     AttackOutcome {
-        delivery: net.delivery_ratio(),
+        delivery: report.delivery_or_nan(),
         rejected: m.counter("sec.rrep_rejected")
             + m.counter("sec.rreq_rejected")
             + m.counter("sec.arep_rejected")
@@ -242,18 +234,17 @@ fn e3_secure(attack: Option<Behavior>, seed: u64) -> AttackOutcome {
 }
 
 fn e3_plain(attack: Option<Behavior>, seed: u64) -> AttackOutcome {
-    let positions: Vec<Pos> = bypass_positions()[1..].to_vec();
     let attackers = attack.map(|b| vec![(BYPASS_ATTACKER, b)]).unwrap_or_default();
-    let mut net = build_plain(&PlainParams {
-        n_hosts: positions.len(),
-        placement: Placement::Custom(positions),
-        attackers,
-        seed,
-        ..PlainParams::default()
-    });
-    net.run_flows(&[(0, 2)], 20, SimDuration::from_millis(300));
+    let mut net = ScenarioBuilder::new()
+        .hosts(5)
+        .placement(Placement::Bypass)
+        .adversaries(attackers)
+        .seed(seed)
+        .plain()
+        .build();
+    let report = net.run_flows(&[(0, 2)], 20, SimDuration::from_millis(300));
     AttackOutcome {
-        delivery: net.delivery_ratio(),
+        delivery: report.delivery_or_nan(),
         rejected: 0, // plain DSR verifies nothing
         stolen: net.host(BYPASS_ATTACKER).stats().data_received,
     }
@@ -322,23 +313,17 @@ pub fn exhibit_e3(quick: bool) -> String {
     let mut imp_sec = Vec::new();
     let mut imp_pla = Vec::new();
     for &s in &seeds {
-        let probe = build_secure(&NetworkParams {
-            n_hosts: 5,
-            placement: Placement::Custom(bypass_positions()),
-            seed: s,
-            ..NetworkParams::default()
-        });
+        let probe = bypass_secure(s, Vec::new()).build();
         let victim = probe.host_ip(2);
         drop(probe);
         imp_sec.push(e3_secure(Some(attacks::impersonator(victim)), s));
 
-        let positions: Vec<Pos> = bypass_positions()[1..].to_vec();
-        let probe = build_plain(&PlainParams {
-            n_hosts: positions.len(),
-            placement: Placement::Custom(positions),
-            seed: s,
-            ..PlainParams::default()
-        });
+        let probe = ScenarioBuilder::new()
+            .hosts(5)
+            .placement(Placement::Bypass)
+            .seed(s)
+            .plain()
+            .build();
         let victim = probe.host_ip(2);
         drop(probe);
         imp_pla.push(e3_plain(Some(attacks::impersonator(victim)), s));
@@ -369,15 +354,9 @@ pub fn exhibit_e3(quick: bool) -> String {
 pub fn exhibit_e4(quick: bool) -> String {
     let buckets = if quick { 6 } else { 10 };
     let run = |credits_on: bool| -> (Vec<f64>, Vec<i64>, Vec<f64>) {
-        let mut params = NetworkParams {
-            n_hosts: 5,
-            placement: Placement::Custom(bypass_positions()),
-            attackers: vec![(BYPASS_ATTACKER, attacks::data_dropper())],
-            seed: 4,
-            ..NetworkParams::default()
-        };
-        params.proto.credit.enabled = credits_on;
-        let mut net = build_secure(&params);
+        let mut net = bypass_secure(4, vec![(BYPASS_ATTACKER, attacks::data_dropper())])
+            .tune(|p| p.credit.enabled = credits_on)
+            .build();
         assert!(net.bootstrap());
         let mut deliveries = Vec::new();
         let mut credits = Vec::new();
@@ -435,15 +414,15 @@ pub fn exhibit_e4(quick: bool) -> String {
 // ---------------------------------------------------------------------------
 
 fn e5_cell(n: usize, seed: u64) -> (bool, u64, u64, usize) {
-    let mut net = build_secure(&NetworkParams {
-        n_hosts: n,
-        placement: Placement::Grid {
+    let mut net = ScenarioBuilder::new()
+        .hosts(n)
+        .placement(Placement::Grid {
             cols: 5,
             spacing: 170.0,
-        },
-        seed,
-        ..NetworkParams::default()
-    });
+        })
+        .seed(seed)
+        .secure()
+        .build();
     let ok = net.bootstrap();
     let m = net.engine.metrics();
     let committed = net.dns_node().dns_state().map(|d| d.name_count()).unwrap_or(0);
@@ -556,13 +535,12 @@ pub fn ablation_srr() -> String {
 pub fn ablation_crep(quick: bool) -> String {
     let seeds = seeds(quick);
     let run = |crep: bool, seed: u64| -> f64 {
-        let mut params = NetworkParams {
-            n_hosts: 6,
-            seed,
-            ..NetworkParams::default()
-        };
-        params.proto.crep_enabled = crep;
-        let mut net = build_secure(&params);
+        let mut net = ScenarioBuilder::new()
+            .hosts(6)
+            .seed(seed)
+            .secure()
+            .tune(|p| p.crep_enabled = crep)
+            .build();
         assert!(net.bootstrap());
         net.run_flows(&[(0, 5)], 2, SimDuration::from_millis(300));
         let before = net.engine.metrics().series("route.discovery_latency_s").len();
@@ -581,7 +559,8 @@ pub fn ablation_crep(quick: bool) -> String {
         &["CREP", "mean discovery (ms)"],
     );
     for &on in &[true, false] {
-        let mean = runner::mean_over_seeds(&seeds, |s| run(on, s));
+        let mean = runner::mean_over_seeds(&seeds, |s| run(on, s))
+            .expect("at least one seed per cell");
         t.rowv(vec![
             if on { "enabled" } else { "disabled" }.into(),
             format!("{mean:.1}"),
@@ -597,20 +576,14 @@ pub fn ablation_crep(quick: bool) -> String {
 pub fn ablation_credit(quick: bool) -> String {
     let seeds = seeds(quick);
     let run = |slash: i64, seed: u64| -> (f64, bool) {
-        let mut params = NetworkParams {
-            n_hosts: 5,
-            placement: Placement::Custom(bypass_positions()),
-            attackers: vec![(BYPASS_ATTACKER, attacks::rerr_forger())],
-            seed,
-            ..NetworkParams::default()
-        };
-        params.proto.credit.slash = slash;
-        let mut net = build_secure(&params);
+        let mut net = bypass_secure(seed, vec![(BYPASS_ATTACKER, attacks::rerr_forger())])
+            .tune(|p| p.credit.slash = slash)
+            .build();
         assert!(net.bootstrap());
-        net.run_flows(&[(0, 2)], 25, SimDuration::from_millis(300));
+        let report = net.run_flows(&[(0, 2)], 25, SimDuration::from_millis(300));
         let atk_ip = net.host_ip(BYPASS_ATTACKER);
         let identified = net.host(0).credits().hostile_hosts().contains(&atk_ip);
-        (net.delivery_ratio(), identified)
+        (report.delivery_or_nan(), identified)
     };
     let mut t = Table::new(
         "A3 — ablation: credit slash magnitude (RERR spammer on the short path)",
@@ -639,17 +612,11 @@ pub fn ablation_probe(quick: bool) -> String {
     let run = |probe: bool, evade: bool, seed: u64| -> (f64, i64, bool, u64) {
         let mut attacker = attacks::data_dropper();
         attacker.evade_probes = evade;
-        let mut params = NetworkParams {
-            n_hosts: 5,
-            placement: Placement::Custom(bypass_positions()),
-            attackers: vec![(BYPASS_ATTACKER, attacker)],
-            seed,
-            ..NetworkParams::default()
-        };
-        params.proto.probe_enabled = probe;
-        let mut net = build_secure(&params);
+        let mut net = bypass_secure(seed, vec![(BYPASS_ATTACKER, attacker)])
+            .tune(|p| p.probe_enabled = probe)
+            .build();
         assert!(net.bootstrap());
-        net.run_flows(&[(0, 2)], 15, SimDuration::from_millis(300));
+        let report = net.run_flows(&[(0, 2)], 15, SimDuration::from_millis(300));
         let atk_ip = net.host_ip(BYPASS_ATTACKER);
         let h0 = net.host(0);
         let false_accusations = h0
@@ -659,7 +626,7 @@ pub fn ablation_probe(quick: bool) -> String {
             .filter(|s| **s != atk_ip)
             .count() as u64;
         (
-            net.delivery_ratio(),
+            report.delivery_or_nan(),
             h0.credits().credit(&atk_ip),
             h0.credits().hostile_hosts().contains(&atk_ip),
             false_accusations,

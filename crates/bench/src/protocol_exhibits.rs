@@ -3,7 +3,7 @@
 
 use crate::table::Table;
 use manet_crypto::KeyPair;
-use manet_secure::scenario::{build_secure, NetworkParams};
+use manet_secure::scenario::{ScenarioBuilder, Workload};
 use manet_secure::{HostIdentity, ProtocolConfig, SecureNode};
 use manet_sim::{Engine, EngineConfig, Mobility, Pos, RadioConfig, SimDuration, SimTime};
 use manet_wire::{
@@ -338,15 +338,15 @@ pub fn exhibit_f2() -> String {
 
 /// Figure 3: RREQ/RREP and the cached CREP as a trace.
 pub fn exhibit_f3() -> String {
-    let mut net = build_secure(&NetworkParams {
-        n_hosts: 5,
-        seed: 61,
-        trace: true,
-        ..NetworkParams::default()
-    });
+    let mut net = ScenarioBuilder::new()
+        .hosts(5)
+        .seed(61)
+        .trace(true)
+        .secure()
+        .build();
     assert!(net.bootstrap());
-    net.run_flows(&[(0, 4)], 1, SimDuration::from_millis(400));
-    net.run_flows(&[(1, 4)], 1, SimDuration::from_millis(400));
+    net.run(&Workload::flows(vec![(0, 4)], 1, SimDuration::from_millis(400)));
+    net.run(&Workload::flows(vec![(1, 4)], 1, SimDuration::from_millis(400)));
 
     let mut out = String::new();
     out.push_str("== F3 — Figure 3: secure route discovery, route reply, cached route reply ==\n");

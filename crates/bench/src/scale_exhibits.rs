@@ -5,69 +5,47 @@
 //! This scenario was impractical before the spatial-index channel: with
 //! the linear receiver scan every flood is O(n²). The exhibit reports
 //! the wall-clock ratio and writes a machine-readable
-//! `BENCH_scale.json` (nodes/sec, events/sec per channel) so the perf
-//! trajectory is recorded run over run; CI uploads it as an artifact.
+//! `BENCH_scale.json` (one serialized [`RunReport`] per channel) so the
+//! perf trajectory is recorded run over run; CI uploads it as an
+//! artifact.
 //!
 //! It doubles as a coarse differential gate: the two runs must agree on
-//! every simulation observable (the determinism invariant — candidates
-//! visited in ascending NodeId order — makes them bit-identical), and
-//! the exhibit panics if they do not.
+//! every machine-independent report field (the determinism invariant —
+//! candidates visited in ascending NodeId order — makes them
+//! bit-identical), and the exhibit panics if they do not.
 
 use crate::table::Table;
-use manet_secure::scenario::{build_scale, scale_flows, PlainNetwork, ScaleParams};
-use manet_sim::{ChannelMode, SimDuration};
+use manet_secure::scenario::{scale_family, RunReport, Workload};
+use manet_sim::{ChannelMode, SimDuration, SimTime};
 use std::time::Instant;
 
-/// Observables of one S1 run plus its wall-clock cost.
-struct ScaleRun {
-    wall_s: f64,
-    sim_s: f64,
-    events: u64,
-    delivery: f64,
-    mean_degree: f64,
-    rx_frames: u64,
-    tx_bytes: u64,
-    killed: u64,
-    /// Crypto-pipeline totals (engine-wide `sec.verify_*` counters).
-    /// Zero for the plain-DSR S1 population — recorded so the perf
-    /// trajectory picks the numbers up the moment a secure contingent
-    /// joins the scale family.
-    verify_rsa: u64,
-    verify_cached: u64,
-}
+/// The S1 population size. The shape itself (uniform placement at
+/// expected degree ~15, slow random waypoint, 2% churn) is the shared
+/// [`scale_family`] preset, so the exhibit, the Criterion bench, and
+/// the smoke tests all measure one scenario. Plain DSR (no RSA, no DAD)
+/// keeps per-node cost flat so the channel layer — not key generation —
+/// is what's being measured.
+const S1_HOSTS: usize = 2000;
 
-fn run_s1(channel: ChannelMode, quick: bool, seed: u64) -> ScaleRun {
-    let params = ScaleParams {
-        channel,
-        ..ScaleParams::s1(seed)
-    };
+/// One S1 run. The returned report's `wall_s` covers the whole cell —
+/// construction, formation beat, flow picking, and traffic — since the
+/// build cost is part of what the channel layer buys back.
+fn run_s1(channel: ChannelMode, quick: bool, seed: u64) -> RunReport {
     let (n_flows, packets) = if quick { (10, 3) } else { (16, 8) };
 
     let t0 = Instant::now();
-    let mut net: PlainNetwork = build_scale(&params);
+    let mut net = scale_family(S1_HOSTS, seed).channel(channel).plain().build();
     // Formation beat: mobility starts ticking, churn kills are queued.
-    net.engine.run_until(manet_sim::SimTime(2_000_000));
-    let flows = scale_flows(&mut net, n_flows);
-    net.run_flows(&flows, packets, SimDuration::from_millis(400));
-    let wall_s = t0.elapsed().as_secs_f64();
-
-    let m = net.engine.metrics();
-    ScaleRun {
-        wall_s,
-        sim_s: net.engine.now().as_secs_f64(),
-        events: net.engine.events_processed(),
-        delivery: net.delivery_ratio(),
-        mean_degree: net.mean_degree(),
-        rx_frames: m.counter("phy.rx_frames"),
-        tx_bytes: m.counter("ctl.tx_bytes"),
-        killed: m.counter("sim.nodes_killed"),
-        verify_rsa: m.counter("sec.verify_rsa"),
-        verify_cached: m.counter("sec.verify_cached"),
-    }
+    net.engine.run_until(SimTime(2_000_000));
+    let flows = net.scale_flows(n_flows);
+    let mut report = net.run(&Workload::flows(flows, packets, SimDuration::from_millis(400)));
+    report.wall_s = t0.elapsed().as_secs_f64();
+    report.events_per_sec = report.events as f64 / report.wall_s;
+    report
 }
 
 /// Wall seconds of one quick-or-full S1 run under the grid channel —
-/// the V1 exhibit re-times it to show the node-stack refactor left the
+/// the V1 exhibit re-times it to show protocol-layer refactors leave the
 /// scale workload's cost unchanged.
 pub(crate) fn s1_grid_wall(quick: bool) -> f64 {
     run_s1(ChannelMode::Grid, quick, 1).wall_s
@@ -76,19 +54,15 @@ pub(crate) fn s1_grid_wall(quick: bool) -> f64 {
 /// S1: 2,000-node scale run, grid vs linear channel.
 pub fn exhibit_s1(quick: bool) -> String {
     let seed = 1;
-    let n = ScaleParams::s1(seed).n_hosts;
+    let n = S1_HOSTS;
     let grid = run_s1(ChannelMode::Grid, quick, seed);
     let linear = run_s1(ChannelMode::Linear, quick, seed);
 
-    // Differential gate: same seed ⇒ identical simulation universe.
+    // Differential gate: same seed ⇒ identical simulation universe, down
+    // to every machine-independent field of the report.
     assert_eq!(
-        (grid.events, grid.rx_frames, grid.tx_bytes, grid.killed),
-        (
-            linear.events,
-            linear.rx_frames,
-            linear.tx_bytes,
-            linear.killed
-        ),
+        grid.fingerprint(),
+        linear.fingerprint(),
         "grid and linear channels diverged — determinism invariant broken"
     );
 
@@ -113,10 +87,10 @@ pub fn exhibit_s1(quick: bool) -> String {
             name.to_string(),
             format!("{:.2}", r.wall_s),
             r.events.to_string(),
-            format!("{:.0}", r.events as f64 / r.wall_s),
+            format!("{:.0}", r.events_per_sec),
             format!("{:.0}", n as f64 * r.sim_s / r.wall_s),
-            format!("{:.3}", r.delivery),
-            format!("{:.1}", r.mean_degree),
+            format!("{:.3}", r.delivery_or_nan()),
+            format!("{:.1}", r.mean_degree.unwrap_or(f64::NAN)),
         ]);
     }
     t.note(format!(
@@ -124,7 +98,7 @@ pub fn exhibit_s1(quick: bool) -> String {
     ));
     t.note(format!(
         "{} of {} nodes killed mid-run; flows chosen inside the largest radio component",
-        grid.killed, n
+        grid.nodes_killed, n
     ));
 
     if let Err(e) = write_scale_json(n, quick, &grid, &linear, ratio) {
@@ -142,27 +116,15 @@ fn scale_json_path() -> String {
 fn write_scale_json(
     n: usize,
     quick: bool,
-    grid: &ScaleRun,
-    linear: &ScaleRun,
+    grid: &RunReport,
+    linear: &RunReport,
     ratio: f64,
 ) -> std::io::Result<()> {
-    let channel_json = |r: &ScaleRun| {
-        format!(
-            concat!(
-                "{{\"wall_s\": {:.3}, \"events\": {}, \"events_per_sec\": {:.0}, ",
-                "\"node_sim_secs_per_sec\": {:.0}}}"
-            ),
-            r.wall_s,
-            r.events,
-            r.events as f64 / r.wall_s,
-            n as f64 * r.sim_s / r.wall_s,
-        )
-    };
     // Crypto counters of the grid run: total verification demand and the
     // cache hit rate (null until the scale family runs secure nodes).
-    let demand = grid.verify_rsa + grid.verify_cached;
+    let demand = grid.crypto.demand();
     let hit_rate = if demand > 0 {
-        format!("{:.4}", grid.verify_cached as f64 / demand as f64)
+        format!("{:.4}", grid.crypto.cached as f64 / demand as f64)
     } else {
         "null".to_string()
     };
@@ -184,13 +146,13 @@ fn write_scale_json(
         quick,
         n,
         grid.sim_s,
-        grid.delivery,
-        grid.mean_degree,
-        channel_json(grid),
-        channel_json(linear),
+        grid.delivery_or_nan(),
+        grid.mean_degree.unwrap_or(f64::NAN),
+        grid.to_json(),
+        linear.to_json(),
         ratio,
         demand,
-        grid.verify_cached,
+        grid.crypto.cached,
         hit_rate,
     );
     std::fs::write(scale_json_path(), json)
@@ -199,17 +161,18 @@ fn write_scale_json(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use manet_secure::scenario::field_for_density;
+    use manet_sim::RadioConfig;
 
     /// The full S1 is exercised by the exhibit smoke test; here just the
     /// shape helpers.
     #[test]
-    fn s1_params_hit_target_density() {
-        let p = ScaleParams::s1(1);
-        assert_eq!(p.n_hosts, 2000);
+    fn s1_density_sizing_hits_target_degree() {
+        let radio = RadioConfig::default();
+        let field = field_for_density(S1_HOSTS, radio.range, 15.0);
         // A = n·πr²/deg ⇒ expected degree back out of the chosen field.
-        let deg =
-            p.n_hosts as f64 * std::f64::consts::PI * p.radio.range * p.radio.range
-                / (p.field.width * p.field.height);
+        let deg = S1_HOSTS as f64 * std::f64::consts::PI * radio.range * radio.range
+            / (field.width * field.height);
         assert!((deg - 15.0).abs() < 0.5, "expected degree ~15, got {deg}");
     }
 }

@@ -12,17 +12,17 @@
 //! for a single protocol instance.
 //!
 //! ```
-//! use manet_secure::scenario::{build_secure, NetworkParams};
+//! use manet_secure::scenario::ScenarioBuilder;
 //! use manet_sim::SimDuration;
 //!
 //! // Four hosts + a DNS server on a multi-hop chain. Hosts carry no
 //! // pre-assigned addresses — only the DNS public key.
-//! let mut net = build_secure(&NetworkParams { n_hosts: 4, seed: 1, ..Default::default() });
+//! let mut net = ScenarioBuilder::new().hosts(4).seed(1).secure().build();
 //! assert!(net.bootstrap()); // staggered joins, secure DAD, name registration
 //!
 //! // Discover a route (signed RREQ/RREP) and send acknowledged data.
-//! net.run_flows(&[(0, 3)], 5, SimDuration::from_millis(300));
-//! assert!(net.delivery_ratio() > 0.9);
+//! let report = net.run_flows(&[(0, 3)], 5, SimDuration::from_millis(300));
+//! assert!(report.delivery_ratio.unwrap() > 0.9);
 //! ```
 
 pub mod attacks;
@@ -46,4 +46,5 @@ pub use identity::{
 };
 pub use node::SecureNode;
 pub use plain::PlainDsrNode;
+pub use scenario::{Network, NodeApi, RunReport, ScenarioBuilder, Workload};
 pub use stats::NodeStats;

@@ -1,0 +1,237 @@
+//! Deprecated parameter-struct constructors, kept as thin shims over
+//! [`ScenarioBuilder`](super::ScenarioBuilder).
+//!
+//! These exist so the golden-trace fixtures and the builder-parity suite
+//! can pin that the API redesign did not move a single RNG draw: a shim
+//! call translates field-for-field into a builder chain and must produce
+//! a byte-identical same-seed universe. New code should use the builder
+//! directly.
+
+#![allow(deprecated)]
+
+use super::builder::{field_for_density, ScenarioBuilder};
+use super::network::Network;
+use super::placement::Placement;
+use crate::config::{Behavior, ProtocolConfig};
+use crate::node::SecureNode;
+use crate::plain::{PlainConfig, PlainDsrNode};
+use manet_sim::{ChannelMode, Field, Mobility, RadioConfig, SimDuration, SimTime};
+
+/// A built secure network (legacy name).
+#[deprecated(note = "use `Network<SecureNode>` via `ScenarioBuilder`")]
+pub type SecureNetwork = Network<SecureNode>;
+
+/// A built plain-DSR network (legacy name).
+#[deprecated(note = "use `Network<PlainDsrNode>` via `ScenarioBuilder`")]
+pub type PlainNetwork = Network<PlainDsrNode>;
+
+/// Everything that defines a secure-network scenario (legacy spec).
+#[deprecated(note = "use `ScenarioBuilder::new()…​.secure_with(proto)`")]
+#[derive(Clone, Debug)]
+pub struct NetworkParams {
+    /// Number of hosts, excluding the DNS server node.
+    pub n_hosts: usize,
+    pub placement: Placement,
+    pub mobility: Mobility,
+    pub field: Field,
+    pub radio: RadioConfig,
+    pub proto: ProtocolConfig,
+    pub seed: u64,
+    pub trace: bool,
+    /// Delay between consecutive host joins.
+    pub join_stagger: SimDuration,
+    /// `(host index, behavior)` pairs for attacker nodes.
+    pub attackers: Vec<(usize, Behavior)>,
+    /// Register a domain name (`h<i>.manet`) for every host during DAD.
+    pub register_names: bool,
+    /// Host indices pre-registered at the DNS before network formation.
+    pub pre_register: Vec<usize>,
+    /// Per-host overrides of the registered name.
+    pub name_overrides: Vec<(usize, String)>,
+    pub channel: ChannelMode,
+}
+
+impl Default for NetworkParams {
+    fn default() -> Self {
+        NetworkParams {
+            n_hosts: 8,
+            placement: Placement::Chain { spacing: 180.0 },
+            mobility: Mobility::Static,
+            field: Field::new(2000.0, 2000.0),
+            radio: RadioConfig {
+                loss: 0.0,
+                ..RadioConfig::default()
+            },
+            proto: ProtocolConfig::default(),
+            seed: 1,
+            trace: false,
+            join_stagger: SimDuration::from_millis(1_100),
+            attackers: Vec::new(),
+            register_names: true,
+            pre_register: Vec::new(),
+            name_overrides: Vec::new(),
+            channel: ChannelMode::Grid,
+        }
+    }
+}
+
+/// Build a secure network per `params` (legacy shim).
+#[deprecated(note = "use `ScenarioBuilder::new()…​.secure_with(proto).build()`")]
+pub fn build_secure(params: &NetworkParams) -> Network<SecureNode> {
+    let mut b = ScenarioBuilder::new()
+        .hosts(params.n_hosts)
+        .placement(params.placement.clone())
+        .mobility(params.mobility.clone())
+        .field(params.field)
+        .radio(params.radio.clone())
+        .seed(params.seed)
+        .trace(params.trace)
+        .adversaries(params.attackers.clone())
+        .channel(params.channel)
+        .secure_with(params.proto.clone())
+        .join_stagger(params.join_stagger)
+        .register_names(params.register_names)
+        .pre_register(params.pre_register.clone());
+    for (i, name) in &params.name_overrides {
+        b = b.name_override(*i, name);
+    }
+    b.build()
+}
+
+/// Parameters for a plain-DSR network (legacy spec).
+#[deprecated(note = "use `ScenarioBuilder::new()…​.plain_with(proto)`")]
+#[derive(Clone, Debug)]
+pub struct PlainParams {
+    pub n_hosts: usize,
+    pub placement: Placement,
+    pub mobility: Mobility,
+    pub field: Field,
+    pub radio: RadioConfig,
+    pub proto: PlainConfig,
+    pub seed: u64,
+    pub trace: bool,
+    pub attackers: Vec<(usize, Behavior)>,
+    pub channel: ChannelMode,
+}
+
+impl Default for PlainParams {
+    fn default() -> Self {
+        PlainParams {
+            n_hosts: 8,
+            placement: Placement::Chain { spacing: 180.0 },
+            mobility: Mobility::Static,
+            field: Field::new(2000.0, 2000.0),
+            radio: RadioConfig {
+                loss: 0.0,
+                ..RadioConfig::default()
+            },
+            proto: PlainConfig::default(),
+            seed: 1,
+            trace: false,
+            attackers: Vec::new(),
+            channel: ChannelMode::Grid,
+        }
+    }
+}
+
+/// Build the baseline network (legacy shim).
+#[deprecated(note = "use `ScenarioBuilder::new()…​.plain_with(proto).build()`")]
+pub fn build_plain(params: &PlainParams) -> Network<PlainDsrNode> {
+    ScenarioBuilder::new()
+        .hosts(params.n_hosts)
+        .placement(params.placement.clone())
+        .mobility(params.mobility.clone())
+        .field(params.field)
+        .radio(params.radio.clone())
+        .seed(params.seed)
+        .trace(params.trace)
+        .adversaries(params.attackers.clone())
+        .channel(params.channel)
+        .plain_with(params.proto.clone())
+        .build()
+}
+
+/// The legacy `scale` family spec: thousands of plain-DSR nodes
+/// uniformly placed on a field sized for a target radio density, with
+/// background mobility and node-failure churn.
+#[deprecated(note = "use `ScenarioBuilder` with `.density(…)` and `.churn(…)`")]
+#[derive(Clone, Debug)]
+pub struct ScaleParams {
+    pub n_hosts: usize,
+    pub field: Field,
+    pub radio: RadioConfig,
+    pub mobility: Mobility,
+    pub proto: PlainConfig,
+    pub seed: u64,
+    pub channel: ChannelMode,
+    /// Nodes killed at deterministic random times in `churn_window`.
+    pub churn_kills: usize,
+    /// `(start, end)` of the kill window.
+    pub churn_window: (SimTime, SimTime),
+}
+
+impl ScaleParams {
+    /// Field edge for a target density (see
+    /// [`field_for_density`](super::field_for_density)).
+    pub fn field_for_density(n: usize, range: f64, target: f64) -> Field {
+        field_for_density(n, range, target)
+    }
+
+    /// The S1 exhibit shape: 2,000 nodes at expected degree ~15, slow
+    /// random-waypoint mobility, 2% of the population failing mid-run.
+    pub fn s1(seed: u64) -> Self {
+        let radio = RadioConfig {
+            loss: 0.0,
+            ..RadioConfig::default()
+        };
+        let n = 2000;
+        ScaleParams {
+            n_hosts: n,
+            field: Self::field_for_density(n, radio.range, 15.0),
+            radio,
+            mobility: Mobility::RandomWaypoint {
+                min_speed: 1.0,
+                max_speed: 4.0,
+                pause_s: 2.0,
+            },
+            proto: PlainConfig::default(),
+            seed,
+            channel: ChannelMode::Grid,
+            churn_kills: 40,
+            churn_window: (SimTime(4_000_000), SimTime(10_000_000)),
+        }
+    }
+
+    /// A scaled-down variant for tests and micro-benches.
+    pub fn small(n_hosts: usize, seed: u64) -> Self {
+        let mut p = Self::s1(seed);
+        p.field = Self::field_for_density(n_hosts, p.radio.range, 15.0);
+        p.n_hosts = n_hosts;
+        p.churn_kills = n_hosts / 50;
+        p
+    }
+}
+
+/// Build a scale network (legacy shim): uniform placement, simultaneous
+/// joins, churn kills pre-scheduled from the engine's own RNG.
+#[deprecated(note = "use `ScenarioBuilder` with `.placement(Placement::Uniform)` and `.churn(…)`")]
+pub fn build_scale(params: &ScaleParams) -> Network<PlainDsrNode> {
+    ScenarioBuilder::new()
+        .hosts(params.n_hosts)
+        .placement(Placement::Uniform)
+        .mobility(params.mobility.clone())
+        .field(params.field)
+        .radio(params.radio.clone())
+        .seed(params.seed)
+        .channel(params.channel)
+        .churn(params.churn_kills, params.churn_window)
+        .plain_with(params.proto.clone())
+        .build()
+}
+
+/// Legacy free-function form of
+/// [`Network::scale_flows`](super::Network::scale_flows).
+#[deprecated(note = "use `Network::scale_flows`")]
+pub fn scale_flows(net: &mut Network<PlainDsrNode>, n_flows: usize) -> Vec<(usize, usize)> {
+    net.scale_flows(n_flows)
+}

@@ -1,0 +1,128 @@
+//! Node placement shapes and position resolution.
+
+use manet_sim::{placement, Field, Pos};
+
+/// Node placement shapes. Resolved to concrete positions at build time;
+/// index 0 is the DNS for secure networks, hosts follow in order.
+#[derive(Clone, Debug)]
+pub enum Placement {
+    /// A line with the given spacing; with default radio range (250 m)
+    /// use 150–240 m for a strict multi-hop chain.
+    Chain { spacing: f64 },
+    /// A grid with `cols` columns.
+    Grid { cols: usize, spacing: f64 },
+    /// Uniformly random on the scenario's field (seed-deterministic).
+    Uniform,
+    /// The canonical "bypass" topology for credit experiments: the
+    /// shortest S→D path runs through one relay (host index
+    /// [`BYPASS_ATTACKER`]) and a two-relay detour exists around it.
+    /// Requires exactly 5 hosts; host 0 is S, host 2 is D. The DNS slot
+    /// (secure stack only) sits near S.
+    Bypass,
+    /// Explicit positions; for a secure network index 0 is the DNS and
+    /// the rest are hosts in order (supply `n_hosts + 1` entries), for a
+    /// plain network all entries are hosts.
+    Custom(Vec<Pos>),
+}
+
+/// The host index sitting on the shortest path of [`Placement::Bypass`].
+pub const BYPASS_ATTACKER: usize = 1;
+
+/// The bypass geometry, DNS slot first. Plain networks (no DNS) take the
+/// tail.
+fn bypass_layout() -> Vec<Pos> {
+    vec![
+        Pos::new(0.0, 200.0),   // DNS, near S
+        Pos::new(0.0, 0.0),     // h0 = S
+        Pos::new(200.0, 0.0),   // h1 = the on-path relay (attacker slot)
+        Pos::new(400.0, 0.0),   // h2 = D
+        Pos::new(100.0, 170.0), // h3 = detour relay 1
+        Pos::new(300.0, 170.0), // h4 = detour relay 2
+    ]
+}
+
+/// Resolve a placement to `n` concrete positions (including the DNS slot
+/// for secure networks). `has_dns` says whether position 0 is a DNS
+/// slot, so fixed-size shapes can reject a wrong host count instead of
+/// silently shifting geometry.
+pub(crate) fn positions_for(
+    placement: &Placement,
+    n: usize,
+    has_dns: bool,
+    field: &Field,
+    seed: u64,
+) -> Vec<Pos> {
+    use rand::SeedableRng;
+    match placement {
+        Placement::Chain { spacing } => placement::chain(n, *spacing, field.height / 2.0),
+        Placement::Grid { cols, spacing } => placement::grid(n, *cols, *spacing),
+        Placement::Uniform => {
+            let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15);
+            placement::uniform(n, field, &mut rng)
+        }
+        Placement::Bypass => {
+            let all = bypass_layout();
+            let expected = if has_dns { all.len() } else { all.len() - 1 };
+            assert_eq!(
+                n, expected,
+                "bypass topology is fixed at 5 hosts{}; asked for {n} positions",
+                if has_dns { " + DNS" } else { "" }
+            );
+            all[all.len() - n..].to_vec()
+        }
+        Placement::Custom(positions) => {
+            assert_eq!(positions.len(), n, "custom placement size mismatch");
+            positions.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bypass_resolves_with_and_without_dns_slot() {
+        let field = Field::new(2000.0, 2000.0);
+        let secure = positions_for(&Placement::Bypass, 6, true, &field, 1);
+        let plain = positions_for(&Placement::Bypass, 5, false, &field, 1);
+        assert_eq!(secure.len(), 6);
+        assert_eq!(plain.len(), 5);
+        // The plain layout is the secure layout minus the DNS slot, so
+        // host indices (and BYPASS_ATTACKER) coincide across stacks.
+        assert_eq!(&secure[1..], &plain[..]);
+        assert_eq!(plain[BYPASS_ATTACKER], Pos::new(200.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "bypass topology")]
+    fn bypass_rejects_wrong_size() {
+        let field = Field::new(2000.0, 2000.0);
+        positions_for(&Placement::Bypass, 3, false, &field, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "bypass topology")]
+    fn bypass_rejects_a_plain_count_on_the_secure_stack() {
+        // 5 positions is the *plain* bypass size; a secure build asking
+        // for 5 (i.e. 4 hosts + DNS) must panic, not shift the DNS into
+        // the S slot.
+        let field = Field::new(2000.0, 2000.0);
+        positions_for(&Placement::Bypass, 5, true, &field, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "bypass topology")]
+    fn bypass_rejects_a_secure_count_on_the_plain_stack() {
+        let field = Field::new(2000.0, 2000.0);
+        positions_for(&Placement::Bypass, 6, false, &field, 1);
+    }
+
+    #[test]
+    fn custom_placement_checks_size() {
+        let field = Field::new(100.0, 100.0);
+        let got =
+            positions_for(&Placement::Custom(vec![Pos::new(1.0, 2.0)]), 1, false, &field, 0);
+        assert_eq!(got, vec![Pos::new(1.0, 2.0)]);
+    }
+}

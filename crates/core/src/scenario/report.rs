@@ -1,0 +1,199 @@
+//! The one result type every experiment consumes.
+//!
+//! A [`RunReport`] is what [`Network::run`](super::Network::run) returns
+//! and what the `BENCH_*.json` writers serialize: delivery, per-node
+//! stat totals, crypto-pipeline totals, event throughput, and wall
+//! time. All simulation-derived fields are pure functions of the
+//! scenario spec and seed; only `wall_s` / `events_per_sec` depend on
+//! the machine — [`RunReport::fingerprint`] masks those two for
+//! determinism assertions.
+
+/// Per-node protocol counters summed over all hosts (the DNS node, which
+/// originates no application traffic, is excluded).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatTotals {
+    pub data_sent: u64,
+    pub data_acked: u64,
+    pub data_received: u64,
+    pub data_failed: u64,
+    pub rreq_sent: u64,
+    pub rrep_sent: u64,
+    pub crep_sent: u64,
+    pub rerr_sent: u64,
+    /// Verification rejections of every kind (see
+    /// [`NodeStats::total_rejected`](crate::stats::NodeStats::total_rejected)).
+    pub rejected: u64,
+    pub collisions_detected: u64,
+}
+
+/// Crypto-pipeline totals summed over every host **and** the DNS node:
+/// RSA verifications actually executed, verdicts served from the verify
+/// cache, and rejected checks.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CryptoTotals {
+    pub executed: u64,
+    pub cached: u64,
+    pub failed: u64,
+}
+
+impl CryptoTotals {
+    /// Total verification demand (executed + served from cache).
+    pub fn demand(&self) -> u64 {
+        self.executed + self.cached
+    }
+}
+
+/// Everything one scenario run produced.
+///
+/// `delivery_ratio` and `mean_degree` are `None` when their denominator
+/// is empty (no data packets sent / no alive hosts) — the silent-NaN
+/// escape hatch lives only in [`RunReport::delivery_or_nan`], for
+/// writers that need a raw float.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunReport {
+    /// Fraction of sent data packets end-to-end acknowledged, across all
+    /// hosts; `None` if nothing was sent.
+    pub delivery_ratio: Option<f64>,
+    /// Mean link-layer degree over alive hosts; `None` if none are alive.
+    pub mean_degree: Option<f64>,
+    pub totals: StatTotals,
+    pub crypto: CryptoTotals,
+    /// Engine events processed since the network was built.
+    pub events: u64,
+    /// Simulated seconds elapsed.
+    pub sim_s: f64,
+    /// Wall-clock seconds of the `run` call that produced this report.
+    pub wall_s: f64,
+    /// Events per wall-clock second. The driver
+    /// ([`Network::run`](super::Network::run)) computes this from the
+    /// events processed *during that run*, so an earlier bootstrap or
+    /// workload does not inflate the rate; a bare
+    /// [`Network::report`](super::Network::report) divides the whole
+    /// history by the caller's wall window.
+    pub events_per_sec: f64,
+    pub tx_bytes: u64,
+    pub rx_frames: u64,
+    pub nodes_killed: u64,
+}
+
+impl RunReport {
+    /// The machine-independent view: every field that must be a pure
+    /// function of (spec, seed), with the wall-clock-derived fields
+    /// zeroed. Two runs of the same scenario must compare equal here.
+    pub fn fingerprint(&self) -> RunReport {
+        RunReport {
+            wall_s: 0.0,
+            events_per_sec: 0.0,
+            ..self.clone()
+        }
+    }
+
+    /// `delivery_ratio` with the empty case collapsed to NaN — only for
+    /// numeric sinks (tables, JSON) that must emit *something*.
+    pub fn delivery_or_nan(&self) -> f64 {
+        self.delivery_ratio.unwrap_or(f64::NAN)
+    }
+
+    /// Hand-rolled JSON (the workspace is offline — no serde): the one
+    /// serialization the `BENCH_*.json` writers embed.
+    pub fn to_json(&self) -> String {
+        let opt = |v: Option<f64>| match v {
+            Some(x) => format!("{x:.4}"),
+            None => "null".to_string(),
+        };
+        format!(
+            concat!(
+                "{{\"wall_s\": {:.3}, \"events\": {}, \"events_per_sec\": {:.0}, ",
+                "\"sim_s\": {:.1}, \"delivery_ratio\": {}, \"mean_degree\": {}, ",
+                "\"tx_bytes\": {}, \"rx_frames\": {}, \"nodes_killed\": {}, ",
+                "\"totals\": {{\"data_sent\": {}, \"data_acked\": {}, \"data_failed\": {}, ",
+                "\"rejected\": {}}}, ",
+                "\"crypto\": {{\"executed\": {}, \"cached\": {}, \"failed\": {}}}}}"
+            ),
+            self.wall_s,
+            self.events,
+            self.events_per_sec,
+            self.sim_s,
+            opt(self.delivery_ratio),
+            opt(self.mean_degree),
+            self.tx_bytes,
+            self.rx_frames,
+            self.nodes_killed,
+            self.totals.data_sent,
+            self.totals.data_acked,
+            self.totals.data_failed,
+            self.totals.rejected,
+            self.crypto.executed,
+            self.crypto.cached,
+            self.crypto.failed,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunReport {
+        RunReport {
+            delivery_ratio: Some(0.9375),
+            mean_degree: None,
+            totals: StatTotals {
+                data_sent: 16,
+                data_acked: 15,
+                ..StatTotals::default()
+            },
+            crypto: CryptoTotals {
+                executed: 10,
+                cached: 30,
+                failed: 1,
+            },
+            events: 1234,
+            sim_s: 20.5,
+            wall_s: 0.123,
+            events_per_sec: 10032.5,
+            tx_bytes: 9000,
+            rx_frames: 400,
+            nodes_killed: 0,
+        }
+    }
+
+    #[test]
+    fn fingerprint_masks_only_wall_derived_fields() {
+        let a = sample();
+        let mut b = sample();
+        b.wall_s = 99.0;
+        b.events_per_sec = 1.0;
+        assert_ne!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // A genuine divergence still shows through.
+        b.events += 1;
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn empty_denominators_are_explicit_not_nan() {
+        let r = sample();
+        assert_eq!(r.mean_degree, None);
+        assert!(r.delivery_or_nan() > 0.9);
+        let mut none = sample();
+        none.delivery_ratio = None;
+        assert!(none.delivery_or_nan().is_nan());
+    }
+
+    #[test]
+    fn json_spells_out_null_for_missing_ratios() {
+        let mut r = sample();
+        r.delivery_ratio = None;
+        let j = r.to_json();
+        assert!(j.contains("\"delivery_ratio\": null"), "{j}");
+        assert!(j.contains("\"mean_degree\": null"), "{j}");
+        assert!(j.contains("\"wall_s\": 0.123"), "{j}");
+        assert!(j.contains("\"crypto\": {\"executed\": 10"), "{j}");
+    }
+
+    #[test]
+    fn demand_sums_executed_and_cached() {
+        assert_eq!(sample().crypto.demand(), 40);
+    }
+}

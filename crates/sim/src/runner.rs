@@ -42,16 +42,18 @@ where
     out
 }
 
-/// Mean of a per-seed scalar extracted by `f`.
-pub fn mean_over_seeds<F>(seeds: &[u64], f: F) -> f64
+/// Mean of a per-seed scalar extracted by `f`, or `None` for an empty
+/// seed list — the empty denominator is explicit rather than a silent
+/// NaN leaking into a table.
+pub fn mean_over_seeds<F>(seeds: &[u64], f: F) -> Option<f64>
 where
     F: Fn(u64) -> f64 + Sync,
 {
     if seeds.is_empty() {
-        return f64::NAN;
+        return None;
     }
     let sum: f64 = seeds.par_iter().map(|&s| f(s)).sum();
-    sum / seeds.len() as f64
+    Some(sum / seeds.len() as f64)
 }
 
 #[cfg(test)]
@@ -86,8 +88,12 @@ mod tests {
 
     #[test]
     fn mean_over_seeds_averages() {
-        assert_eq!(mean_over_seeds(&[1, 2, 3], |s| s as f64), 2.0);
-        assert!(mean_over_seeds(&[], |_| 0.0).is_nan());
+        assert_eq!(mean_over_seeds(&[1, 2, 3], |s| s as f64), Some(2.0));
+    }
+
+    #[test]
+    fn mean_over_seeds_is_explicit_about_the_empty_grid() {
+        assert_eq!(mean_over_seeds(&[], |_| 0.0), None, "no seeds — no mean");
     }
 
     #[test]

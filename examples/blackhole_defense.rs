@@ -9,51 +9,50 @@
 //! cargo run --example blackhole_defense
 //! ```
 
-use manet_secure::scenario::{
-    build_plain, build_secure, bypass_positions, NetworkParams, Placement, PlainParams,
-    BYPASS_ATTACKER,
-};
+use manet_secure::scenario::{Placement, ScenarioBuilder, Workload, BYPASS_ATTACKER};
 use manet_secure::{attacks, Behavior};
-use manet_sim::{Pos, SimDuration};
+use manet_sim::SimDuration;
+
+fn workload() -> Workload {
+    Workload::flows(vec![(0, 2)], 30, SimDuration::from_millis(300))
+}
 
 fn plain_run(behavior: Option<Behavior>) -> (f64, u64) {
-    // Same bypass geometry, minus the DNS slot (plain DSR has none).
-    let positions: Vec<Pos> = bypass_positions()[1..].to_vec();
-    // Dropping the DNS slot shifts every node down one: S=0, A=1, D=2 —
-    // the attacker index happens to coincide with the secure layout's.
+    // Same bypass geometry; Placement::Bypass drops the DNS slot for the
+    // plain stack, so host indices (S=0, A=1, D=2) coincide with the
+    // secure layout's.
     let attackers = behavior
         .map(|b| vec![(BYPASS_ATTACKER, b)])
         .unwrap_or_default();
-    let mut net = build_plain(&PlainParams {
-        n_hosts: positions.len(),
-        placement: Placement::Custom(positions),
-        attackers,
-        seed: 1,
-        ..PlainParams::default()
-    });
-    net.run_flows(&[(0, 2)], 30, SimDuration::from_millis(300));
+    let mut net = ScenarioBuilder::new()
+        .hosts(5)
+        .placement(Placement::Bypass)
+        .adversaries(attackers)
+        .seed(1)
+        .plain()
+        .build();
+    let report = net.run(&workload());
     let dropped = net.host(BYPASS_ATTACKER).stats().atk_data_dropped;
-    (net.delivery_ratio(), dropped)
+    (report.delivery_or_nan(), dropped)
 }
 
 fn secure_run(behavior: Option<Behavior>, credits: bool) -> (f64, u64, u64) {
     let attackers = behavior
         .map(|b| vec![(BYPASS_ATTACKER, b)])
         .unwrap_or_default();
-    let mut params = NetworkParams {
-        n_hosts: 5,
-        placement: Placement::Custom(bypass_positions()),
-        attackers,
-        seed: 1,
-        ..NetworkParams::default()
-    };
-    params.proto.credit.enabled = credits;
-    let mut net = build_secure(&params);
+    let mut net = ScenarioBuilder::new()
+        .hosts(5)
+        .placement(Placement::Bypass)
+        .adversaries(attackers)
+        .seed(1)
+        .secure()
+        .tune(|p| p.credit.enabled = credits)
+        .build();
     assert!(net.bootstrap());
-    net.run_flows(&[(0, 2)], 30, SimDuration::from_millis(300));
+    let report = net.run(&workload());
     let rejected = net.engine.metrics().counter("sec.rrep_rejected");
     let dropped = net.host(BYPASS_ATTACKER).stats().atk_data_dropped;
-    (net.delivery_ratio(), rejected, dropped)
+    (report.delivery_or_nan(), rejected, dropped)
 }
 
 fn main() {

@@ -3,16 +3,16 @@
 //! The paper's claim (iii): "relying on a DNS server, it allows
 //! bootstrapping a MANET with little pre-configuration overhead, so
 //! network formation is light-weight". This example forms networks of
-//! growing size and reports join latency and the control-message cost of
-//! formation, including what happens when an address-squatting attacker
-//! tries to deny the bootstrap.
+//! growing size with the formation-only workload and reports join
+//! latency and the control-message cost, including what happens when an
+//! address-squatting attacker tries to deny the bootstrap.
 //!
 //! ```sh
 //! cargo run --release --example bootstrap_storm
 //! ```
 
-use manet_secure::scenario::{build_secure, NetworkParams, Placement};
 use manet_secure::attacks;
+use manet_secure::scenario::{Placement, ScenarioBuilder, Workload};
 use manet_sim::Field;
 
 fn form(n: usize, squatter: bool) -> (bool, f64, u64, u64, u64) {
@@ -21,15 +21,18 @@ fn form(n: usize, squatter: bool) -> (bool, f64, u64, u64, u64) {
     } else {
         Vec::new()
     };
-    let mut net = build_secure(&NetworkParams {
-        n_hosts: n,
-        placement: Placement::Uniform,
-        field: Field::new(700.0, 700.0),
-        attackers,
-        seed: 7 + n as u64,
-        ..NetworkParams::default()
-    });
-    let ok = net.bootstrap();
+    let mut net = ScenarioBuilder::new()
+        .hosts(n)
+        .placement(Placement::Uniform)
+        .field(Field::new(700.0, 700.0))
+        .adversaries(attackers)
+        .seed(7 + n as u64)
+        .secure()
+        .build();
+    // The bootstrap-storm workload: no traffic, just the staggered join
+    // storm driven to completion by the shared driver.
+    let report = net.run(&Workload::bootstrap_storm());
+    let ok = net.all_ready();
     // Mean time from a host's join instant to its DAD confirmation.
     let mut latencies = Vec::new();
     for (i, _) in (0..n).enumerate() {
@@ -45,7 +48,7 @@ fn form(n: usize, squatter: bool) -> (bool, f64, u64, u64, u64) {
         ok,
         mean_latency,
         m.counter("ctl.tx_msgs"),
-        m.counter("ctl.tx_bytes"),
+        report.tx_bytes,
         committed,
     )
 }

@@ -10,28 +10,28 @@
 //! cargo run --example disaster_rescue
 //! ```
 
-use manet_secure::scenario::{build_secure, NetworkParams, Placement};
+use manet_secure::scenario::{host_name, Placement, ScenarioBuilder, Workload};
 use manet_secure::SecureNode;
 use manet_sim::{Field, Mobility, SimDuration};
 use manet_wire::DomainName;
 
 fn main() {
     let n_rescuers = 14;
-    let mut net = build_secure(&NetworkParams {
-        n_hosts: n_rescuers,
-        placement: Placement::Uniform,
-        field: Field::new(800.0, 800.0),
-        mobility: Mobility::RandomWaypoint {
+    let mut net = ScenarioBuilder::new()
+        .hosts(n_rescuers)
+        .placement(Placement::Uniform)
+        .field(Field::new(800.0, 800.0))
+        .mobility(Mobility::RandomWaypoint {
             min_speed: 1.0,
             max_speed: 4.0, // walking / jogging rescuers
             pause_s: 2.0,
-        },
+        })
+        .seed(911)
+        .secure()
         // Rescuer 0 is the coordinator with a pre-registered name — the
         // paper's "permanent domain name" case: impersonation impossible.
-        pre_register: vec![0],
-        seed: 911,
-        ..NetworkParams::default()
-    });
+        .pre_register(vec![0])
+        .build();
 
     println!("deploying {} rescuers + command-post DNS…", n_rescuers);
     let ok = net.bootstrap();
@@ -39,7 +39,7 @@ fn main() {
     println!("  {ready}/{n_rescuers} devices autoconfigured (complete: {ok})");
 
     // Everyone locates the coordinator through the DNS.
-    let coord_name = manet_secure::scenario::host_name(0);
+    let coord_name = host_name(0);
     for i in 1..n_rescuers {
         let id = net.hosts[i];
         let name = coord_name.clone();
@@ -56,19 +56,18 @@ fn main() {
         .count();
     println!("  {located}/{} rescuers located the coordinator by name", n_rescuers - 1);
 
-    // Status reports: every rescuer streams to the coordinator while two
-    // pairs coordinate directly, all under mobility.
+    // Status reports: a converge-cast workload — every rescuer streams
+    // to the coordinator — plus two direct pair flows, under mobility.
     println!("running 30 s of status traffic under mobility…");
-    let mut flows: Vec<(usize, usize)> = (1..n_rescuers).map(|i| (i, 0)).collect();
-    flows.push((3, 7));
-    flows.push((5, 11));
-    net.run_flows(&flows, 12, SimDuration::from_millis(400));
+    let mut w = Workload::converge_cast(1..n_rescuers, 0, 12, SimDuration::from_millis(400));
+    w.flows.push((3, 7));
+    w.flows.push((5, 11));
+    let report = net.run(&w);
 
-    let coordinator = net.host(0);
     println!(
         "  coordinator received {} reports; network delivery ratio {:.2}",
-        coordinator.stats().data_received,
-        net.delivery_ratio(),
+        net.host(0).stats().data_received,
+        report.delivery_or_nan(),
     );
     let m = net.engine.metrics();
     println!(

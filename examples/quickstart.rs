@@ -1,11 +1,11 @@
-//! Quickstart: build a small secure MANET, bootstrap it, send data, and
-//! look at what happened.
+//! Quickstart: build a small secure MANET with the scenario builder,
+//! bootstrap it, run a declarative workload, and read the report.
 //!
 //! ```sh
 //! cargo run --example quickstart
 //! ```
 
-use manet_secure::scenario::{build_secure, host_name, NetworkParams};
+use manet_secure::scenario::{host_name, ScenarioBuilder, Workload};
 use manet_secure::SecureNode;
 use manet_sim::SimDuration;
 
@@ -13,11 +13,11 @@ fn main() {
     // Six hosts plus a DNS server on a multi-hop chain. Everything else
     // (key generation, CGA addresses, secure DAD, name registration) is
     // driven by the protocol itself.
-    let mut net = build_secure(&NetworkParams {
-        n_hosts: 6,
-        seed: 2003, // the paper's year; any seed reproduces exactly
-        ..NetworkParams::default()
-    });
+    let mut net = ScenarioBuilder::new()
+        .hosts(6)
+        .seed(2003) // the paper's year; any seed reproduces exactly
+        .secure()
+        .build();
 
     println!("bootstrapping: staggered joins, secure DAD, name registration…");
     assert!(net.bootstrap(), "all hosts should finish DAD");
@@ -44,32 +44,39 @@ fn main() {
     let answer = net.host(5).stats().resolved.get(&host_name(0)).cloned();
     println!("h5 resolved {} → {:?}", host_name(0), answer.flatten());
 
-    // Send data end to end: route discovery (RREQ with per-hop identity
-    // proofs, signed RREP), then source-routed delivery with e2e acks.
+    // A declarative workload: 20 packets h0 → h5 over 5 hops, 250 ms
+    // apart. One driver executes it; one report describes what happened.
     println!("running a 20-packet flow h0 → h5 over 5 hops…");
-    net.run_flows(&[(0, 5)], 20, SimDuration::from_millis(250));
+    let report = net.run(&Workload::flows(
+        vec![(0, 5)],
+        20,
+        SimDuration::from_millis(250),
+    ));
 
-    let h0 = net.host(0);
     println!(
         "  sent {} / acked {}  (delivery ratio {:.2})",
-        h0.stats().data_sent,
-        h0.stats().data_acked,
-        net.delivery_ratio()
+        report.totals.data_sent,
+        report.totals.data_acked,
+        report.delivery_or_nan(),
     );
     let dst = net.host_ip(5);
-    if let Some(relays) = h0.cached_route(&dst, net.engine.now()) {
+    if let Some(relays) = net.host(0).cached_route(&dst, net.engine.now()) {
         println!("  route relays: {relays:?}");
     }
     let m = net.engine.metrics();
     println!(
         "  control traffic: {} messages, {} bytes ({} bytes Table-1 control)",
         m.counter("ctl.tx_msgs"),
-        m.counter("ctl.tx_bytes"),
+        report.tx_bytes,
         m.counter("ctl.table1_bytes"),
     );
     println!(
         "  discovery latency: mean {:.1} ms over {} discoveries",
         m.series("route.discovery_latency_s").mean() * 1e3,
         m.series("route.discovery_latency_s").len(),
+    );
+    println!(
+        "  crypto pipeline: {} RSA verifications run, {} served from cache",
+        report.crypto.executed, report.crypto.cached,
     );
 }

@@ -4,38 +4,34 @@
 //! into assertions; the `tables` binary (exhibit E3) prints the same
 //! scenarios as a table.
 
-use manet_secure::plain::PlainConfig;
-use manet_secure::scenario::{
-    build_plain, build_secure, NetworkParams, Placement, PlainParams,
-};
 use manet_secure::attacks;
+use manet_secure::scenario::{
+    Placement, PlainBuilder, ScenarioBuilder, SecureBuilder, BYPASS_ATTACKER,
+};
 use manet_sim::SimDuration;
 
-fn grid_secure(seed: u64, attackers: Vec<(usize, manet_secure::Behavior)>) -> NetworkParams {
-    NetworkParams {
-        n_hosts: 11,
-        placement: Placement::Grid {
+fn grid_secure(seed: u64, attackers: Vec<(usize, manet_secure::Behavior)>) -> SecureBuilder {
+    ScenarioBuilder::new()
+        .hosts(11)
+        .placement(Placement::Grid {
             cols: 4,
             spacing: 180.0,
-        },
-        seed,
-        attackers,
-        ..NetworkParams::default()
-    }
+        })
+        .seed(seed)
+        .adversaries(attackers)
+        .secure()
 }
 
-fn grid_plain(seed: u64, attackers: Vec<(usize, manet_secure::Behavior)>) -> PlainParams {
-    PlainParams {
-        n_hosts: 12,
-        placement: Placement::Grid {
+fn grid_plain(seed: u64, attackers: Vec<(usize, manet_secure::Behavior)>) -> PlainBuilder {
+    ScenarioBuilder::new()
+        .hosts(12)
+        .placement(Placement::Grid {
             cols: 4,
             spacing: 180.0,
-        },
-        seed,
-        attackers,
-        proto: PlainConfig::default(),
-        ..PlainParams::default()
-    }
+        })
+        .seed(seed)
+        .adversaries(attackers)
+        .plain()
 }
 
 /// Black hole (route attraction + data swallowing).
@@ -47,15 +43,15 @@ fn grid_plain(seed: u64, attackers: Vec<(usize, manet_secure::Behavior)>) -> Pla
 #[test]
 fn black_hole_collapses_plain_but_not_secure() {
     // Plain: attacker at host 5 (on the natural diagonal path 0→11).
-    let mut plain = build_plain(&grid_plain(31, vec![(5, attacks::black_hole())]));
-    plain.run_flows(&[(0, 11)], 15, SimDuration::from_millis(300));
-    let plain_ratio = plain.delivery_ratio();
+    let mut plain = grid_plain(31, vec![(5, attacks::black_hole())]).build();
+    let plain_report = plain.run_flows(&[(0, 11)], 15, SimDuration::from_millis(300));
+    let plain_ratio = plain_report.delivery_ratio.expect("packets sent");
 
     // Secure: same grid shape, attacker at host 5 of 11 (+ DNS).
-    let mut secure = build_secure(&grid_secure(31, vec![(5, attacks::black_hole())]));
+    let mut secure = grid_secure(31, vec![(5, attacks::black_hole())]).build();
     assert!(secure.bootstrap());
-    secure.run_flows(&[(0, 10)], 15, SimDuration::from_millis(300));
-    let secure_ratio = secure.delivery_ratio();
+    let secure_report = secure.run_flows(&[(0, 10)], 15, SimDuration::from_millis(300));
+    let secure_ratio = secure_report.delivery_ratio.expect("packets sent");
 
     assert!(
         plain_ratio < 0.4,
@@ -84,11 +80,10 @@ fn black_hole_collapses_plain_but_not_secure() {
 #[test]
 fn impersonation_steals_traffic_only_in_plain() {
     // Plain: attacker (host 2, near the source) impersonates host 11.
-    let params = grid_plain(32, vec![]);
-    let plain = build_plain(&params);
+    let plain = grid_plain(32, vec![]).build();
     let victim_ip = plain.host_ip(11);
     drop(plain);
-    let mut plain = build_plain(&grid_plain(32, vec![(2, attacks::impersonator(victim_ip))]));
+    let mut plain = grid_plain(32, vec![(2, attacks::impersonator(victim_ip))]).build();
     assert_eq!(plain.host_ip(11), victim_ip, "same seed, same addresses");
     plain.run_flows(&[(0, 11)], 12, SimDuration::from_millis(300));
     let stolen = plain.host(2).stats().data_received;
@@ -99,13 +94,13 @@ fn impersonation_steals_traffic_only_in_plain() {
 
     // Secure: need the victim's address first; same trick with one
     // throwaway build (addresses are seed-deterministic).
-    let probe = build_secure(&grid_secure(33, vec![]));
+    let probe = grid_secure(33, vec![]).build();
     let victim_ip = probe.host_ip(10);
     drop(probe);
-    let mut secure = build_secure(&grid_secure(33, vec![(2, attacks::impersonator(victim_ip))]));
+    let mut secure = grid_secure(33, vec![(2, attacks::impersonator(victim_ip))]).build();
     assert_eq!(secure.host_ip(10), victim_ip);
     assert!(secure.bootstrap());
-    secure.run_flows(&[(0, 10)], 12, SimDuration::from_millis(300));
+    let report = secure.run_flows(&[(0, 10)], 12, SimDuration::from_millis(300));
     let atk = secure.host(2);
     assert_eq!(
         atk.stats().data_received,
@@ -116,7 +111,7 @@ fn impersonation_steals_traffic_only_in_plain() {
         secure.host(10).stats().data_received > 0,
         "the real victim keeps receiving"
     );
-    assert!(secure.delivery_ratio() > 0.8);
+    assert!(report.delivery_ratio.expect("packets sent") > 0.8);
 }
 
 /// Replayed RREP: a relay captures a valid reply and replays it into a
@@ -124,18 +119,17 @@ fn impersonation_steals_traffic_only_in_plain() {
 /// destination's signature) makes the stale reply rejectable.
 #[test]
 fn replayed_rrep_rejected_by_sequence_binding() {
-    let mut net = build_secure(&NetworkParams {
-        n_hosts: 5,
-        seed: 34,
-        attackers: vec![(2, attacks::replayer())],
-        proto: manet_secure::ProtocolConfig {
+    let mut net = ScenarioBuilder::new()
+        .hosts(5)
+        .seed(34)
+        .adversary(2, attacks::replayer())
+        .secure()
+        .tune(|p| {
             // Short route lifetime forces a second discovery, giving the
             // replayer its window.
-            route_ttl: SimDuration::from_secs(2),
-            ..Default::default()
-        },
-        ..NetworkParams::default()
-    });
+            p.route_ttl = SimDuration::from_secs(2);
+        })
+        .build();
     assert!(net.bootstrap());
     // First discovery + flow; the replayer (a relay) records the RREP.
     net.run_flows(&[(0, 4)], 2, SimDuration::from_millis(300));
@@ -143,7 +137,7 @@ fn replayed_rrep_rejected_by_sequence_binding() {
     // with the captured (stale) reply before the genuine one returns.
     let idle = net.engine.now() + SimDuration::from_secs(3);
     net.engine.run_until(idle);
-    net.run_flows(&[(0, 4)], 3, SimDuration::from_millis(300));
+    let report = net.run_flows(&[(0, 4)], 3, SimDuration::from_millis(300));
 
     let atk = net.host(2);
     assert!(atk.stats().atk_replayed > 0, "replayer actually replayed");
@@ -152,7 +146,10 @@ fn replayed_rrep_rejected_by_sequence_binding() {
         h0.stats().rejected_rrep > 0,
         "stale replies rejected at the source"
     );
-    assert!(net.delivery_ratio() > 0.8, "genuine replies still served");
+    assert!(
+        report.delivery_ratio.expect("packets sent") > 0.8,
+        "genuine replies still served"
+    );
 }
 
 /// Forged-RERR spam: the reports are *honestly signed* (the attacker is
@@ -160,12 +157,12 @@ fn replayed_rrep_rejected_by_sequence_binding() {
 /// frequency threshold, which marks the reporter as hostile.
 #[test]
 fn rerr_spammer_identified_by_frequency_tracking() {
-    let mut net = build_secure(&NetworkParams {
-        n_hosts: 5,
-        seed: 35,
-        attackers: vec![(2, attacks::rerr_forger())],
-        ..NetworkParams::default()
-    });
+    let mut net = ScenarioBuilder::new()
+        .hosts(5)
+        .seed(35)
+        .adversary(2, attacks::rerr_forger())
+        .secure()
+        .build();
     assert!(net.bootstrap());
     net.run_flows(&[(0, 4)], 10, SimDuration::from_millis(300));
 
@@ -187,21 +184,19 @@ fn rerr_spammer_identified_by_frequency_tracking() {
 /// path.
 #[test]
 fn credits_route_around_data_dropper() {
-    use manet_secure::scenario::{bypass_positions, BYPASS_ATTACKER};
     let run = |credits_on: bool| {
-        let mut params = NetworkParams {
-            n_hosts: 5,
-            placement: Placement::Custom(bypass_positions()),
-            seed: 36,
-            attackers: vec![(BYPASS_ATTACKER, attacks::data_dropper())],
-            ..NetworkParams::default()
-        };
-        params.proto.credit.enabled = credits_on;
-        let mut net = build_secure(&params);
+        let mut net = ScenarioBuilder::new()
+            .hosts(5)
+            .placement(Placement::Bypass)
+            .seed(36)
+            .adversary(BYPASS_ATTACKER, attacks::data_dropper())
+            .secure()
+            .tune(|p| p.credit.enabled = credits_on)
+            .build();
         assert!(net.bootstrap());
-        net.run_flows(&[(0, 2)], 30, SimDuration::from_millis(350));
+        let report = net.run_flows(&[(0, 2)], 30, SimDuration::from_millis(350));
         (
-            net.delivery_ratio(),
+            report.delivery_ratio.expect("packets sent"),
             net.host(BYPASS_ATTACKER).stats().atk_data_dropped,
             net.host(0)
                 .credits()
@@ -231,14 +226,14 @@ fn credits_route_around_data_dropper() {
 /// so the attack numbers above are attributable to the attacker.
 #[test]
 fn honest_grid_baseline_delivers() {
-    let mut secure = build_secure(&grid_secure(38, vec![]));
+    let mut secure = grid_secure(38, vec![]).build();
     assert!(secure.bootstrap());
-    secure.run_flows(&[(0, 10)], 15, SimDuration::from_millis(300));
-    assert!(secure.delivery_ratio() > 0.9);
+    let report = secure.run_flows(&[(0, 10)], 15, SimDuration::from_millis(300));
+    assert!(report.delivery_ratio.expect("packets sent") > 0.9);
 
-    let mut plain = build_plain(&grid_plain(38, vec![]));
-    plain.run_flows(&[(0, 11)], 15, SimDuration::from_millis(300));
-    assert!(plain.delivery_ratio() > 0.9);
+    let mut plain = grid_plain(38, vec![]).build();
+    let report = plain.run_flows(&[(0, 11)], 15, SimDuration::from_millis(300));
+    assert!(report.delivery_ratio.expect("packets sent") > 0.9);
 }
 
 /// Malformed frames (fuzz-shaped garbage) are dropped without panicking
@@ -248,11 +243,7 @@ fn garbage_frames_are_ignored() {
     use manet_sim::{Engine, EngineConfig, Mobility, Pos};
     use rand::RngCore;
 
-    let mut net = build_secure(&NetworkParams {
-        n_hosts: 2,
-        seed: 39,
-        ..NetworkParams::default()
-    });
+    let mut net = ScenarioBuilder::new().hosts(2).seed(39).secure().build();
     assert!(net.bootstrap());
 
     // A raw node that spews random bytes at everyone.
@@ -287,8 +278,8 @@ fn garbage_frames_are_ignored() {
     assert!(net.engine.metrics().counter("rx.malformed") > 0);
 
     // And the network still works afterwards.
-    net.run_flows(&[(0, 1)], 3, SimDuration::from_millis(300));
-    assert!(net.delivery_ratio() > 0.9);
+    let report = net.run_flows(&[(0, 1)], 3, SimDuration::from_millis(300));
+    assert!(report.delivery_ratio.expect("packets sent") > 0.9);
 
     // Keep the unused-import lint honest.
     let _ = EngineConfig::default();
@@ -306,18 +297,18 @@ fn garbage_frames_are_ignored() {
 #[test]
 fn forged_proofs_rejected_identically_with_and_without_verify_cache() {
     let run = |cache: bool| {
-        let mut params = grid_secure(31, vec![(5, attacks::black_hole())]);
-        params.proto.verify_cache = cache;
-        let mut net = build_secure(&params);
+        let mut net = grid_secure(31, vec![(5, attacks::black_hole())])
+            .tune(|p| p.verify_cache = cache)
+            .build();
         assert!(net.bootstrap());
-        net.run_flows(&[(0, 10)], 15, SimDuration::from_millis(300));
+        let report = net.run_flows(&[(0, 10)], 15, SimDuration::from_millis(300));
         let m = net.engine.metrics();
         (
-            net.delivery_ratio(),
+            report.delivery_ratio,
             m.counter("sec.rrep_rejected"),
             m.counter("sec.verify_failed"),
             net.engine.events_processed(),
-            net.crypto_totals(),
+            report.crypto,
         )
     };
     let cached = run(true);
@@ -329,18 +320,20 @@ fn forged_proofs_rejected_identically_with_and_without_verify_cache() {
     assert_eq!(cached.1, uncached.1, "rejected-RREP counts diverged");
     assert_eq!(cached.2, uncached.2, "failed-verdict counts diverged");
     assert_eq!(cached.3, uncached.3, "event streams diverged");
-    let (exec_c, hit_c, fail_c) = cached.4;
-    let (exec_u, hit_u, fail_u) = uncached.4;
-    assert_eq!(exec_c + hit_c, exec_u, "verification demand diverged");
-    assert_eq!(hit_u, 0, "cache disabled yet verdicts served from it");
-    assert_eq!(fail_c, fail_u, "pipeline failure counts diverged");
+    let (c, u) = (cached.4, uncached.4);
+    assert_eq!(c.executed + c.cached, u.executed, "verification demand diverged");
+    assert_eq!(u.cached, 0, "cache disabled yet verdicts served from it");
+    assert_eq!(c.failed, u.failed, "pipeline failure counts diverged");
 
     // The attack actually exercised both sides: forgeries were rejected
     // (failed verdicts observed) and the cache actually memoized.
     assert!(cached.1 > 0, "no forged RREP was rejected — vacuous test");
-    assert!(fail_c > 0, "no failing verification reached the pipeline");
-    assert!(hit_c > 0, "cache never hit — vacuous differential");
-    assert!(cached.0 > 0.8, "secure delivery should hold under attack");
+    assert!(c.failed > 0, "no failing verification reached the pipeline");
+    assert!(c.cached > 0, "cache never hit — vacuous differential");
+    assert!(
+        cached.0.expect("packets sent") > 0.8,
+        "secure delivery should hold under attack"
+    );
 }
 
 /// Sharper poisoning attempt at the unit of the cache itself: the same

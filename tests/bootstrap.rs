@@ -3,7 +3,7 @@
 //! the DAD-squatting attack.
 
 use manet_crypto::KeyPair;
-use manet_secure::scenario::{build_secure, host_name, NetworkParams};
+use manet_secure::scenario::{host_name, Placement, ScenarioBuilder};
 use manet_secure::{attacks, HostIdentity, ProtocolConfig, SecureNode};
 use manet_sim::{Engine, EngineConfig, Mobility, Pos, RadioConfig, SimTime};
 use manet_wire::DomainName;
@@ -86,12 +86,12 @@ fn genuine_collision_detected_and_rerolled() {
 /// ownership of an IP address".
 #[test]
 fn dad_squatter_cannot_deny_addresses() {
-    let mut net = build_secure(&NetworkParams {
-        n_hosts: 5,
-        attackers: vec![(0, attacks::dad_squatter())],
-        seed: 11,
-        ..NetworkParams::default()
-    });
+    let mut net = ScenarioBuilder::new()
+        .hosts(5)
+        .adversary(0, attacks::dad_squatter())
+        .seed(11)
+        .secure()
+        .build();
     assert!(net.bootstrap());
     let squatter = net.host(0);
     assert!(squatter.stats().atk_forged_arep > 0, "squatter was active");
@@ -115,13 +115,13 @@ fn dad_squatter_cannot_deny_addresses() {
 /// claimant of a name receives a DNS-signed DREP and falls back.
 #[test]
 fn name_conflict_resolved_first_come_first_serve() {
-    let mut net = build_secure(&NetworkParams {
-        n_hosts: 3,
+    let mut net = ScenarioBuilder::new()
+        .hosts(3)
+        .seed(12)
+        .secure()
         // Host 2 wants host 0's (earlier) name.
-        name_overrides: vec![(2, "h0.manet".to_owned())],
-        seed: 12,
-        ..NetworkParams::default()
-    });
+        .name_override(2, "h0.manet")
+        .build();
     assert!(net.bootstrap());
     let loser = net.host(2);
     assert_eq!(loser.stats().name_conflicts, 1, "DREP received and verified");
@@ -141,13 +141,13 @@ fn name_conflict_resolved_first_come_first_serve() {
 /// addresses (E1's success criterion).
 #[test]
 fn uniform_network_bootstraps_with_unique_addresses() {
-    let mut net = build_secure(&NetworkParams {
-        n_hosts: 12,
-        placement: manet_secure::scenario::Placement::Uniform,
-        field: manet_sim::Field::new(600.0, 600.0),
-        seed: 13,
-        ..NetworkParams::default()
-    });
+    let mut net = ScenarioBuilder::new()
+        .hosts(12)
+        .placement(Placement::Uniform)
+        .field(manet_sim::Field::new(600.0, 600.0))
+        .seed(13)
+        .secure()
+        .build();
     assert!(net.bootstrap(), "all 12 hosts ready");
     let mut ips: Vec<_> = (0..12).map(|i| net.host_ip(i)).collect();
     ips.sort();
@@ -166,13 +166,9 @@ fn uniform_network_bootstraps_with_unique_addresses() {
 /// attempt.
 #[test]
 fn clean_join_costs_one_attempt() {
-    let params = NetworkParams {
-        n_hosts: 4,
-        seed: 14,
-        ..NetworkParams::default()
-    };
-    let probes = params.proto.dad_probes as u64;
-    let mut net = build_secure(&params);
+    let scenario = ScenarioBuilder::new().hosts(4).seed(14).secure();
+    let probes = scenario.proto().dad_probes as u64;
+    let mut net = scenario.build();
     assert!(net.bootstrap());
     for i in 0..4 {
         assert_eq!(net.host(i).stats().areq_sent, probes);

@@ -4,23 +4,23 @@
 //! in a sweep, an unseeded RNG — breaks every experiment in the paper
 //! reproduction, so it gets its own regression gate.
 
-use manet_secure::scenario::{build_secure, NetworkParams};
+use manet_secure::scenario::{Placement, ScenarioBuilder};
 use manet_sim::{ChannelMode, Field, Mobility, SimDuration};
 
 /// One full run: bootstrap, two crossing flows, then the observables.
 fn run_with(seed: u64, channel: ChannelMode) -> (f64, usize, u64, u64) {
-    let mut net = build_secure(&NetworkParams {
-        n_hosts: 5,
-        seed,
-        trace: true,
-        channel,
-        ..NetworkParams::default()
-    });
+    let mut net = ScenarioBuilder::new()
+        .hosts(5)
+        .seed(seed)
+        .trace(true)
+        .channel(channel)
+        .secure()
+        .build();
     assert!(net.bootstrap(), "seed {seed}: bootstrap failed");
-    net.run_flows(&[(0, 4), (1, 3)], 4, SimDuration::from_millis(300));
+    let report = net.run_flows(&[(0, 4), (1, 3)], 4, SimDuration::from_millis(300));
     let m = net.engine.metrics();
     (
-        net.delivery_ratio(),
+        report.delivery_or_nan(),
         net.engine.tracer().events().len(),
         m.counter("ctl.tx_bytes"),
         m.counter("data.tx"),
@@ -50,31 +50,31 @@ fn same_seed_same_universe() {
 #[test]
 fn grid_and_linear_channels_are_one_universe() {
     let full_run = |channel: ChannelMode| {
-        let mut net = build_secure(&NetworkParams {
-            n_hosts: 6,
-            seed: 21,
-            trace: true,
+        let mut net = ScenarioBuilder::new()
+            .hosts(6)
+            .seed(21)
+            .trace(true)
             // Mobile + gray zone: exercises incremental grid maintenance
             // and max_range cell sizing, not just static placement.
-            placement: manet_secure::scenario::Placement::Uniform,
-            field: Field::new(600.0, 600.0),
-            mobility: Mobility::RandomWaypoint {
+            .placement(Placement::Uniform)
+            .field(Field::new(600.0, 600.0))
+            .mobility(Mobility::RandomWaypoint {
                 min_speed: 1.0,
                 max_speed: 4.0,
                 pause_s: 2.0,
-            },
-            radio: manet_sim::RadioConfig {
+            })
+            .radio(manet_sim::RadioConfig {
                 loss: 0.05,
                 gray_zone: Some(300.0),
                 ..manet_sim::RadioConfig::default()
-            },
-            channel,
-            ..NetworkParams::default()
-        });
+            })
+            .channel(channel)
+            .secure()
+            .build();
         net.bootstrap();
-        net.run_flows(&[(0, 5), (2, 3)], 4, SimDuration::from_millis(300));
+        let report = net.run_flows(&[(0, 5), (2, 3)], 4, SimDuration::from_millis(300));
         (
-            net.delivery_ratio(),
+            report.delivery_or_nan(),
             net.engine.metrics().counter("phy.rx_frames"),
             net.engine.metrics().counter("phy.rx_dropped_loss"),
             net.engine.metrics().counter("ctl.tx_bytes"),

@@ -2,24 +2,20 @@
 //! authenticated resolution, pre-registered servers, the challenge/
 //! response IP-change flow, and their attack surfaces.
 
-use manet_secure::scenario::{build_secure, host_name, NetworkParams};
+use manet_secure::scenario::{host_name, Network, ScenarioBuilder};
 use manet_secure::{attacks, SecureNode};
 use manet_sim::SimDuration;
 use manet_wire::{sigdata, Challenge, DomainName, IpChangeProof, Message, RouteRecord};
 
-fn chain(n: usize, seed: u64) -> NetworkParams {
-    NetworkParams {
-        n_hosts: n,
-        seed,
-        ..NetworkParams::default()
-    }
+fn chain(n: usize, seed: u64) -> Network<SecureNode> {
+    ScenarioBuilder::new().hosts(n).seed(seed).secure().build()
 }
 
 /// A host resolves another host's auto-registered name through the DNS
 /// and gets a signed, challenge-bound answer.
 #[test]
 fn resolve_registered_name() {
-    let mut net = build_secure(&chain(4, 50));
+    let mut net = chain(4, 50);
     assert!(net.bootstrap());
     let target = host_name(0);
     let resolver = net.hosts[3];
@@ -41,7 +37,7 @@ fn resolve_registered_name() {
 /// signature covers the absence too, so it cannot be forged either.
 #[test]
 fn nxdomain_is_signed() {
-    let mut net = build_secure(&chain(3, 51));
+    let mut net = chain(3, 51);
     assert!(net.bootstrap());
     let ghost = DomainName::new("nobody.manet").unwrap();
     let resolver = net.hosts[2];
@@ -58,14 +54,14 @@ fn nxdomain_is_signed() {
 /// survive an online claim on the same name: the claimant gets a DREP.
 #[test]
 fn preregistered_server_name_is_immovable() {
-    let mut net = build_secure(&NetworkParams {
-        n_hosts: 3,
-        seed: 52,
-        pre_register: vec![0],
+    let mut net = ScenarioBuilder::new()
+        .hosts(3)
+        .seed(52)
+        .secure()
+        .pre_register(vec![0])
         // Host 2 tries to register host 0's (pre-registered) name online.
-        name_overrides: vec![(2, "h0.manet".to_owned())],
-        ..NetworkParams::default()
-    });
+        .name_override(2, "h0.manet")
+        .build();
     assert!(net.bootstrap());
     let dns = net.dns_node().dns_state().expect("dns");
     assert_eq!(dns.lookup(&host_name(0)), Some(net.host_ip(0)));
@@ -77,7 +73,7 @@ fn preregistered_server_name_is_immovable() {
 /// signed result; the mapping moves and the host switches addresses.
 #[test]
 fn ip_change_happy_path() {
-    let mut net = build_secure(&chain(3, 53));
+    let mut net = chain(3, 53);
     assert!(net.bootstrap());
     let old_ip = net.host_ip(1);
     let mover = net.hosts[1];
@@ -101,7 +97,7 @@ fn ip_change_happy_path() {
 /// DNS rejects it and the mapping stays.
 #[test]
 fn ip_change_with_wrong_key_rejected() {
-    let mut net = build_secure(&chain(4, 54));
+    let mut net = chain(4, 54);
     assert!(net.bootstrap());
     let victim_name = host_name(0);
     let victim_ip = net.host_ip(0);
@@ -147,7 +143,7 @@ fn ip_change_with_wrong_key_rejected() {
 /// the CGA ownership checks at the DNS.
 #[test]
 fn forged_ip_change_proof_rejected() {
-    let mut net = build_secure(&chain(3, 55));
+    let mut net = chain(3, 55);
     assert!(net.bootstrap());
     let victim_ip = net.host_ip(0);
     let attacker = net.hosts[1];
@@ -195,12 +191,12 @@ fn forged_ip_change_proof_rejected() {
 /// out of scope.)
 #[test]
 fn forged_dns_reply_rejected() {
-    let mut net = build_secure(&NetworkParams {
-        n_hosts: 4,
-        seed: 56,
-        attackers: vec![(1, attacks::dns_impersonator())],
-        ..NetworkParams::default()
-    });
+    let mut net = ScenarioBuilder::new()
+        .hosts(4)
+        .seed(56)
+        .adversary(1, attacks::dns_impersonator())
+        .secure()
+        .build();
     assert!(net.bootstrap());
     // h3 is far from the DNS; the route passes the attacker at h1.
     let resolver = net.hosts[3];
@@ -235,7 +231,7 @@ fn forged_dns_reply_rejected() {
 /// the signature is end-to-end, relays cannot tamper.
 #[test]
 fn multi_hop_resolution_is_end_to_end_authentic() {
-    let mut net = build_secure(&chain(6, 57));
+    let mut net = chain(6, 57);
     assert!(net.bootstrap());
     let resolver = net.hosts[5]; // five hops from the DNS
     net.engine.with_protocol::<SecureNode, _>(resolver, |n, ctx| {

@@ -12,7 +12,7 @@
 //! binary prints the same exhibits (F2, F3).
 
 use manet_crypto::KeyPair;
-use manet_secure::scenario::{build_secure, NetworkParams};
+use manet_secure::scenario::ScenarioBuilder;
 use manet_secure::{HostIdentity, ProtocolConfig, SecureNode};
 use manet_sim::{Dir, Engine, EngineConfig, Mobility, Pos, RadioConfig, SimDuration, SimTime};
 use manet_wire::DomainName;
@@ -141,19 +141,19 @@ fn figure2_dns_side() {
 /// every verification passing.
 #[test]
 fn figure3_route_discovery_trace() {
-    let mut net = build_secure(&NetworkParams {
-        n_hosts: 5,
-        seed: 61,
-        trace: true,
-        ..NetworkParams::default()
-    });
+    let mut net = ScenarioBuilder::new()
+        .hosts(5)
+        .seed(61)
+        .trace(true)
+        .secure()
+        .build();
     assert!(net.bootstrap());
 
     // S = h0 discovers D = h4 (Figure 3's left half).
     net.run_flows(&[(0, 4)], 1, SimDuration::from_millis(400));
     // S' = h1 asks for the same destination; S answers from cache
     // (Figure 3's right half).
-    net.run_flows(&[(1, 4)], 1, SimDuration::from_millis(400));
+    let report = net.run_flows(&[(1, 4)], 1, SimDuration::from_millis(400));
 
     let tracer = net.engine.tracer();
     println!("--- Figure 3 trace ---\n{}", tracer.render());
@@ -183,7 +183,7 @@ fn figure3_route_discovery_trace() {
     assert_eq!(m.counter("sec.rreq_rejected"), 0);
     assert_eq!(m.counter("sec.rrep_rejected"), 0);
     assert_eq!(m.counter("sec.crep_rejected"), 0);
-    assert!(net.delivery_ratio() > 0.9);
+    assert!(report.delivery_ratio.expect("packets sent") > 0.9);
 }
 
 /// Figure 1 is validated structurally in `manet-wire` unit tests; this
@@ -191,11 +191,7 @@ fn figure3_route_discovery_trace() {
 /// network has the Figure 1 layout and is owned by its node's key.
 #[test]
 fn figure1_addresses_in_live_network() {
-    let mut net = build_secure(&NetworkParams {
-        n_hosts: 4,
-        seed: 62,
-        ..NetworkParams::default()
-    });
+    let mut net = ScenarioBuilder::new().hosts(4).seed(62).secure().build();
     assert!(net.bootstrap());
     for i in 0..4 {
         let n = net.host(i);

@@ -4,29 +4,25 @@
 //! droppers degrade the defense to the credit mechanism; honest relays
 //! are never slashed by a probe verdict.
 
-use manet_secure::scenario::{
-    build_secure, bypass_positions, NetworkParams, Placement, BYPASS_ATTACKER,
-};
+use manet_secure::scenario::{Placement, ScenarioBuilder, SecureBuilder, BYPASS_ATTACKER};
 use manet_secure::{attacks, Behavior};
 use manet_sim::SimDuration;
 
-fn probing_params(attacker: Behavior, seed: u64) -> NetworkParams {
-    let mut params = NetworkParams {
-        n_hosts: 5,
-        placement: Placement::Custom(bypass_positions()),
-        attackers: vec![(BYPASS_ATTACKER, attacker)],
-        seed,
-        ..NetworkParams::default()
-    };
-    params.proto.probe_enabled = true;
-    params
+fn probing_scenario(attacker: Behavior, seed: u64) -> SecureBuilder {
+    ScenarioBuilder::new()
+        .hosts(5)
+        .placement(Placement::Bypass)
+        .adversary(BYPASS_ATTACKER, attacker)
+        .seed(seed)
+        .secure()
+        .tune(|p| p.probe_enabled = true)
 }
 
 /// A naive data dropper swallows probes too and is localized exactly:
 /// the suspect list contains the attacker and nobody else.
 #[test]
 fn naive_dropper_localized_exactly() {
-    let mut net = build_secure(&probing_params(attacks::data_dropper(), 70));
+    let mut net = probing_scenario(attacks::data_dropper(), 70).build();
     assert!(net.bootstrap());
     net.run_flows(&[(0, 2)], 20, SimDuration::from_millis(300));
 
@@ -51,7 +47,7 @@ fn naive_dropper_localized_exactly() {
             "honest relay h{i} must not be probe-slashed"
         );
     }
-    assert!(net.delivery_ratio() > 0.7, "traffic shifted to the detour");
+    assert!(net.delivery_ratio().expect("packets sent") > 0.7, "traffic shifted to the detour");
 }
 
 /// An evading dropper (forwards + acks probes, drops data) defeats
@@ -61,7 +57,7 @@ fn naive_dropper_localized_exactly() {
 fn evading_dropper_is_inconclusive_but_credits_still_work() {
     let mut evader = attacks::data_dropper();
     evader.evade_probes = true;
-    let mut net = build_secure(&probing_params(evader, 71));
+    let mut net = probing_scenario(evader, 71).build();
     assert!(net.bootstrap());
     net.run_flows(&[(0, 2)], 25, SimDuration::from_millis(300));
 
@@ -78,19 +74,19 @@ fn evading_dropper_is_inconclusive_but_credits_still_work() {
     // The attacker acknowledged probes as a relay.
     assert!(net.host(BYPASS_ATTACKER).stats().probe_acks_sent >= 1);
     // Credits still shift traffic off the dead path.
-    assert!(net.delivery_ratio() > 0.7);
+    assert!(net.delivery_ratio().expect("packets sent") > 0.7);
 }
 
 /// A healthy network never probes: the trigger requires consecutive
 /// ack timeouts.
 #[test]
 fn healthy_route_never_probed() {
-    let mut net = build_secure(&probing_params(Behavior::default(), 72));
+    let mut net = probing_scenario(Behavior::default(), 72).build();
     assert!(net.bootstrap());
     net.run_flows(&[(0, 2)], 15, SimDuration::from_millis(300));
     assert_eq!(net.host(0).stats().probes_sent, 0);
     assert_eq!(net.engine.metrics().counter("probe.sent"), 0);
-    assert!(net.delivery_ratio() > 0.95);
+    assert!(net.delivery_ratio().expect("packets sent") > 0.95);
 }
 
 /// Probe acks carry full identity proofs: a forged ack (vouching for a
@@ -101,7 +97,7 @@ fn forged_probe_ack_rejected() {
     use manet_secure::SecureNode;
     use manet_wire::{sigdata, Message, ProbeAck, RouteRecord, Seq};
 
-    let mut net = build_secure(&probing_params(attacks::data_dropper(), 73));
+    let mut net = probing_scenario(attacks::data_dropper(), 73).build();
     assert!(net.bootstrap());
     // Drive until a probe is in flight, then have a *different* node
     // inject an ack claiming the attacker's hop identity.
@@ -144,9 +140,9 @@ fn forged_probe_ack_rejected() {
 #[test]
 fn probing_accelerates_isolation() {
     let run = |probe: bool| {
-        let mut params = probing_params(attacks::data_dropper(), 74);
-        params.proto.probe_enabled = probe;
-        let mut net = build_secure(&params);
+        let mut net = probing_scenario(attacks::data_dropper(), 74)
+            .tune(|p| p.probe_enabled = probe)
+            .build();
         assert!(net.bootstrap());
         // A short burst — not enough for timeout penalties alone (2 per
         // timeout, floor at -10) to isolate, but enough for one probe.

@@ -2,22 +2,18 @@
 //! (Sections 3.3–3.4): multi-hop discovery, cached CREP replies, RERR on
 //! link breakage, route re-discovery under mobility.
 
-use manet_secure::scenario::{build_secure, NetworkParams, Placement};
+use manet_secure::scenario::{Network, Placement, ScenarioBuilder};
 use manet_secure::SecureNode;
 use manet_sim::{Field, Mobility, SimDuration, SimTime};
 
-fn chain(n: usize, seed: u64) -> NetworkParams {
-    NetworkParams {
-        n_hosts: n,
-        seed,
-        ..NetworkParams::default()
-    }
+fn chain(n: usize, seed: u64) -> Network<SecureNode> {
+    ScenarioBuilder::new().hosts(n).seed(seed).secure().build()
 }
 
 /// Discovered route lengths match the chain geometry exactly.
 #[test]
 fn discovered_routes_have_expected_length() {
-    let mut net = build_secure(&chain(6, 20));
+    let mut net = chain(6, 20);
     assert!(net.bootstrap());
     net.run_flows(&[(0, 5)], 3, SimDuration::from_millis(400));
     let now = net.engine.now();
@@ -29,14 +25,14 @@ fn discovered_routes_have_expected_length() {
     // Chain h0..h5: the relays are exactly h1..h4 in order.
     let expect: Vec<_> = (1..5).map(|i| net.host_ip(i)).collect();
     assert_eq!(relays, expect);
-    assert!(net.delivery_ratio() > 0.9);
+    assert!(net.delivery_ratio().expect("packets sent") > 0.9);
 }
 
 /// Every intermediate hop signs the SRR; the destination verifies all of
 /// them, so the engine-wide relay counter matches the chain length.
 #[test]
 fn rreq_relays_sign_and_destination_accepts() {
-    let mut net = build_secure(&chain(5, 21));
+    let mut net = chain(5, 21);
     assert!(net.bootstrap());
     net.run_flows(&[(0, 4)], 2, SimDuration::from_millis(400));
     let m = net.engine.metrics();
@@ -53,7 +49,7 @@ fn rreq_relays_sign_and_destination_accepts() {
 /// a CREP instead of letting the flood run to the destination (Figure 3).
 #[test]
 fn cached_route_served_as_crep() {
-    let mut net = build_secure(&chain(6, 22));
+    let mut net = chain(6, 22);
     assert!(net.bootstrap());
     // h0 discovers a route to h5 first.
     net.run_flows(&[(0, 5)], 2, SimDuration::from_millis(400));
@@ -65,7 +61,7 @@ fn cached_route_served_as_crep() {
         m.counter("route.crep_sent") > before,
         "some node served a cached route"
     );
-    assert!(net.delivery_ratio() > 0.9);
+    assert!(net.delivery_ratio().expect("packets sent") > 0.9);
     assert_eq!(m.counter("sec.crep_rejected"), 0);
 }
 
@@ -73,10 +69,10 @@ fn cached_route_served_as_crep() {
 /// removes the dead route from its cache.
 #[test]
 fn node_death_triggers_rerr_and_cache_eviction() {
-    let mut net = build_secure(&chain(5, 23));
+    let mut net = chain(5, 23);
     assert!(net.bootstrap());
     net.run_flows(&[(0, 4)], 3, SimDuration::from_millis(300));
-    assert!(net.delivery_ratio() > 0.9, "healthy before the kill");
+    assert!(net.delivery_ratio().expect("packets sent") > 0.9, "healthy before the kill");
 
     // Kill h2 (the middle relay), then keep sending.
     let h2 = net.hosts[2];
@@ -101,15 +97,15 @@ fn node_death_triggers_rerr_and_cache_eviction() {
 /// avoidance).
 #[test]
 fn route_diversity_from_multiple_rreps() {
-    let mut net = build_secure(&NetworkParams {
-        n_hosts: 11,
-        placement: Placement::Grid {
+    let mut net = ScenarioBuilder::new()
+        .hosts(11)
+        .placement(Placement::Grid {
             cols: 4,
             spacing: 180.0,
-        },
-        seed: 24,
-        ..NetworkParams::default()
-    });
+        })
+        .seed(24)
+        .secure()
+        .build();
     assert!(net.bootstrap());
     net.run_flows(&[(0, 10)], 3, SimDuration::from_millis(400));
     let m = net.engine.metrics();
@@ -120,28 +116,28 @@ fn route_diversity_from_multiple_rreps() {
         "alternate routes cached: {}",
         m.counter("route.alternate_cached")
     );
-    assert!(net.delivery_ratio() > 0.9);
+    assert!(net.delivery_ratio().expect("packets sent") > 0.9);
 }
 
 /// Under random-waypoint mobility the protocol keeps rediscovering and
 /// keeps delivering (route maintenance end to end).
 #[test]
 fn mobility_rediscovery_sustains_delivery() {
-    let mut net = build_secure(&NetworkParams {
-        n_hosts: 10,
-        placement: Placement::Uniform,
-        field: Field::new(700.0, 700.0),
-        mobility: Mobility::RandomWaypoint {
+    let mut net = ScenarioBuilder::new()
+        .hosts(10)
+        .placement(Placement::Uniform)
+        .field(Field::new(700.0, 700.0))
+        .mobility(Mobility::RandomWaypoint {
             min_speed: 5.0,
             max_speed: 15.0,
             pause_s: 0.5,
-        },
-        seed: 25,
-        ..NetworkParams::default()
-    });
+        })
+        .seed(25)
+        .secure()
+        .build();
     assert!(net.bootstrap());
-    net.run_flows(&[(0, 9), (3, 6)], 40, SimDuration::from_millis(400));
-    let ratio = net.delivery_ratio();
+    let report = net.run_flows(&[(0, 9), (3, 6)], 40, SimDuration::from_millis(400));
+    let ratio = report.delivery_ratio.expect("packets sent");
     assert!(
         ratio > 0.5,
         "mobile delivery ratio {ratio} too low — rediscovery broken?"
@@ -153,18 +149,18 @@ fn mobility_rediscovery_sustains_delivery() {
 /// continues.
 #[test]
 fn rediscovery_after_relay_death_with_alternate_path() {
-    let mut net = build_secure(&NetworkParams {
-        n_hosts: 8,
-        placement: Placement::Grid {
+    let mut net = ScenarioBuilder::new()
+        .hosts(8)
+        .placement(Placement::Grid {
             cols: 3,
             spacing: 180.0,
-        },
-        seed: 26,
-        ..NetworkParams::default()
-    });
+        })
+        .seed(26)
+        .secure()
+        .build();
     assert!(net.bootstrap());
     net.run_flows(&[(0, 7)], 3, SimDuration::from_millis(300));
-    assert!(net.delivery_ratio() > 0.9);
+    assert!(net.delivery_ratio().expect("packets sent") > 0.9);
 
     // Find the relays actually in use and kill the first one.
     let dst = net.host_ip(7);
@@ -194,7 +190,7 @@ fn rediscovery_after_relay_death_with_alternate_path() {
 /// completes (send-buffer behaviour).
 #[test]
 fn send_buffer_flushes_after_discovery() {
-    let mut net = build_secure(&chain(4, 26));
+    let mut net = chain(4, 26);
     assert!(net.bootstrap());
     // Three sends back-to-back with no route yet: one RREQ, all queued.
     let dst = net.host_ip(3);
@@ -217,7 +213,7 @@ fn send_buffer_flushes_after_discovery() {
 /// retries and fails the buffered data.
 #[test]
 fn unreachable_destination_fails_cleanly() {
-    let mut net = build_secure(&chain(3, 27));
+    let mut net = chain(3, 27);
     assert!(net.bootstrap());
     // An address nobody owns.
     let ghost = manet_wire::Ipv6Addr::from_groups([0xfec0, 0, 0, 0, 1, 2, 3, 4]);
@@ -244,7 +240,7 @@ fn unreachable_destination_fails_cleanly() {
 #[test]
 fn whole_stack_is_deterministic() {
     let run = |seed: u64| {
-        let mut net = build_secure(&chain(5, seed));
+        let mut net = chain(5, seed);
         net.bootstrap();
         net.run_flows(&[(0, 4)], 5, SimDuration::from_millis(300));
         (
@@ -265,7 +261,6 @@ fn whole_stack_is_deterministic() {
 /// eviction → re-discovery loop under *scripted* mobility.
 #[test]
 fn partition_and_heal() {
-    use manet_secure::scenario::Placement;
     use manet_sim::Pos;
 
     // Chain: DNS, h0, h1, h2 at 180 m spacing; h1 is the only bridge
@@ -276,15 +271,18 @@ fn partition_and_heal() {
         Pos::new(360.0, 0.0), // h1 — will wander
         Pos::new(540.0, 0.0), // h2
     ];
-    let mut net = build_secure(&NetworkParams {
-        n_hosts: 3,
-        placement: Placement::Custom(positions),
-        seed: 29,
-        ..NetworkParams::default()
-    });
+    let mut net = ScenarioBuilder::new()
+        .hosts(3)
+        .placement(Placement::Custom(positions))
+        .seed(29)
+        .secure()
+        .build();
     assert!(net.bootstrap());
-    net.run_flows(&[(0, 2)], 3, SimDuration::from_millis(300));
-    assert!(net.delivery_ratio() > 0.9, "healthy before the walk");
+    let report = net.run_flows(&[(0, 2)], 3, SimDuration::from_millis(300));
+    assert!(
+        report.delivery_ratio.expect("packets sent") > 0.9,
+        "healthy before the walk"
+    );
     let acked_healthy = net.host(0).stats().data_acked;
 
     // Script h1's walk: far off-axis (breaking both links), then home.
@@ -323,17 +321,20 @@ fn partition_and_heal() {
 /// the protocol still delivers and never mis-verifies.
 #[test]
 fn gray_zone_radio_degrades_gracefully() {
-    let mut params = chain(5, 30);
-    params.radio = manet_sim::RadioConfig {
-        range: 250.0,
-        loss: 0.02,
-        gray_zone: Some(400.0), // chain spacing 180: 2-hop neighbors sit at 360, inside the band
-        ..manet_sim::RadioConfig::default()
-    };
-    let mut net = build_secure(&params);
+    let mut net = ScenarioBuilder::new()
+        .hosts(5)
+        .seed(30)
+        .radio(manet_sim::RadioConfig {
+            range: 250.0,
+            loss: 0.02,
+            gray_zone: Some(400.0), // chain spacing 180: 2-hop neighbors sit at 360, inside the band
+            ..manet_sim::RadioConfig::default()
+        })
+        .secure()
+        .build();
     assert!(net.bootstrap(), "bootstrap survives marginal links");
-    net.run_flows(&[(0, 4)], 12, SimDuration::from_millis(300));
-    let ratio = net.delivery_ratio();
+    let report = net.run_flows(&[(0, 4)], 12, SimDuration::from_millis(300));
+    let ratio = report.delivery_ratio.expect("packets sent");
     assert!(ratio > 0.8, "delivery {ratio} with gray-zone floods");
     let m = net.engine.metrics();
     // Some broadcasts genuinely died in the gray band…
@@ -347,7 +348,7 @@ fn gray_zone_radio_degrades_gracefully() {
 /// guard for harness loops that interleave sends with time).
 #[test]
 fn idle_time_advances() {
-    let mut net = build_secure(&chain(2, 28));
+    let mut net = chain(2, 28);
     assert!(net.bootstrap());
     let t0 = net.engine.now();
     let target = t0 + SimDuration::from_secs(30);

@@ -3,9 +3,7 @@
 //! deterministic topologies cannot expose (flood storms, dedup-table
 //! growth, buffer exhaustion, cross-flow interference).
 
-use manet_secure::scenario::{
-    build_scale, build_secure, scale_flows, NetworkParams, Placement, ScaleParams,
-};
+use manet_secure::scenario::{scale_family, Placement, ScenarioBuilder, Workload};
 use manet_secure::{attacks, SecureNode};
 use manet_sim::{ChannelMode, Field, Mobility, SimDuration, SimTime};
 
@@ -13,15 +11,15 @@ use manet_sim::{ChannelMode, Field, Mobility, SimDuration, SimTime};
 /// flows with high delivery.
 #[test]
 fn large_grid_bootstrap_and_traffic() {
-    let mut net = build_secure(&NetworkParams {
-        n_hosts: 24,
-        placement: Placement::Grid {
+    let mut net = ScenarioBuilder::new()
+        .hosts(24)
+        .placement(Placement::Grid {
             cols: 5,
             spacing: 170.0,
-        },
-        seed: 80,
-        ..NetworkParams::default()
-    });
+        })
+        .seed(80)
+        .secure()
+        .build();
     assert!(net.bootstrap(), "all 24 hosts ready");
     assert!(net.engine.is_connected(), "grid must be one component");
 
@@ -29,8 +27,8 @@ fn large_grid_bootstrap_and_traffic() {
     assert_eq!(dns.name_count(), 24, "every name committed");
 
     let flows = [(0, 23), (23, 0), (3, 20), (7, 16), (12, 1), (5, 22), (9, 14), (18, 2)];
-    net.run_flows(&flows, 8, SimDuration::from_millis(400));
-    let ratio = net.delivery_ratio();
+    let report = net.run_flows(&flows, 8, SimDuration::from_millis(400));
+    let ratio = report.delivery_ratio.expect("packets sent");
     assert!(ratio > 0.9, "delivery {ratio} under 8-flow load");
     // Every destination actually received data.
     for &(_, dst) in &flows {
@@ -42,25 +40,25 @@ fn large_grid_bootstrap_and_traffic() {
 /// honest majority keeps communicating.
 #[test]
 fn mixed_attacker_population() {
-    let mut net = build_secure(&NetworkParams {
-        n_hosts: 15,
-        placement: Placement::Grid {
+    let mut net = ScenarioBuilder::new()
+        .hosts(15)
+        .placement(Placement::Grid {
             cols: 4,
             spacing: 170.0,
-        },
-        seed: 81,
-        attackers: vec![
+        })
+        .seed(81)
+        .adversaries(vec![
             (5, attacks::black_hole()),
             (9, attacks::grey_hole(0.6)),
             (11, attacks::rerr_forger()),
             (13, attacks::replayer()),
-        ],
-        ..NetworkParams::default()
-    });
+        ])
+        .secure()
+        .build();
     assert!(net.bootstrap(), "attackers do not block bootstrap");
     let flows = [(0, 14), (2, 12), (6, 10)];
-    net.run_flows(&flows, 12, SimDuration::from_millis(350));
-    let ratio = net.delivery_ratio();
+    let report = net.run_flows(&flows, 12, SimDuration::from_millis(350));
+    let ratio = report.delivery_ratio.expect("packets sent");
     assert!(
         ratio > 0.6,
         "honest traffic survives a 4/15 hostile population (got {ratio})"
@@ -71,11 +69,7 @@ fn mixed_attacker_population() {
 /// bootstrap against a busy network and become reachable.
 #[test]
 fn late_joiners_under_traffic() {
-    let mut net = build_secure(&NetworkParams {
-        n_hosts: 6,
-        seed: 82,
-        ..NetworkParams::default()
-    });
+    let mut net = ScenarioBuilder::new().hosts(6).seed(82).secure().build();
     assert!(net.bootstrap());
     // Keep a flow running in the background.
     net.run_flows(&[(0, 3)], 5, SimDuration::from_millis(300));
@@ -127,20 +121,22 @@ fn late_joiners_under_traffic() {
 #[test]
 fn scale_family_smoke() {
     let run = |channel| {
-        let mut net = build_scale(&ScaleParams {
-            channel,
-            churn_kills: 4,
-            ..ScaleParams::small(150, 5)
-        });
+        let mut net = scale_family(150, 5)
+            // One extra kill over the preset's n/50 so the count stays a
+            // distinctive assertion target.
+            .churn(4, (SimTime(4_000_000), SimTime(10_000_000)))
+            .channel(channel)
+            .plain()
+            .build();
         net.engine.run_until(SimTime(1_000_000));
-        let deg = net.mean_degree();
+        let deg = net.mean_degree().expect("alive hosts");
         assert!(
             (8.0..25.0).contains(&deg),
             "density off target: mean degree {deg}"
         );
-        let flows = scale_flows(&mut net, 5);
+        let flows = net.scale_flows(5);
         assert_eq!(flows.len(), 5);
-        net.run_flows(&flows, 3, SimDuration::from_millis(400));
+        net.run(&Workload::flows(flows, 3, SimDuration::from_millis(400)));
         // Run past the end of the churn window so every kill fires.
         net.engine.run_until(SimTime(11_000_000));
         assert_eq!(
@@ -148,7 +144,7 @@ fn scale_family_smoke() {
             4,
             "churn kills must all fire inside the run window"
         );
-        let ratio = net.delivery_ratio();
+        let ratio = net.delivery_ratio().expect("packets sent");
         assert!(
             ratio > 0.5,
             "scale delivery ratio {ratio} too low for an in-component flow set"
@@ -169,18 +165,18 @@ fn scale_family_smoke() {
 /// only bite over time, and exercises route expiry + rediscovery.
 #[test]
 fn long_running_mobile_network() {
-    let mut net = build_secure(&NetworkParams {
-        n_hosts: 8,
-        placement: Placement::Uniform,
-        field: Field::new(500.0, 500.0),
-        mobility: Mobility::RandomWaypoint {
+    let mut net = ScenarioBuilder::new()
+        .hosts(8)
+        .placement(Placement::Uniform)
+        .field(Field::new(500.0, 500.0))
+        .mobility(Mobility::RandomWaypoint {
             min_speed: 1.0,
             max_speed: 5.0,
             pause_s: 5.0,
-        },
-        seed: 83,
-        ..NetworkParams::default()
-    });
+        })
+        .seed(83)
+        .secure()
+        .build();
     assert!(net.bootstrap());
     // 20 rounds of sparse traffic across ~40 minutes of sim time: routes
     // expire (60 s TTL) between rounds, forcing rediscovery every time.
@@ -190,7 +186,7 @@ fn long_running_mobile_network() {
         let idle = net.engine.now() + SimDuration::from_secs(110);
         net.engine.run_until(idle);
     }
-    let ratio = net.delivery_ratio();
+    let ratio = net.delivery_ratio().expect("packets sent");
     assert!(ratio > 0.6, "long-run delivery {ratio}");
     let m = net.engine.metrics();
     assert!(

@@ -1,14 +1,15 @@
-//! Golden-trace gate for the node-stack refactor: the layered protocol
-//! stack and the verify cache move code and memoize a pure function —
-//! they must not reorder a single RNG draw, timer, or transmission. The
-//! fixture under `tests/golden/` was rendered from the pre-refactor
-//! monolithic `node.rs`; any divergence in the byte-exact trace stream
-//! is a determinism regression, not a formatting nit.
+//! Golden-trace gate, now double duty: the fixtures under
+//! `tests/golden/` were rendered from the pre-refactor monolithic
+//! `node.rs`, and the universes are now built through the redesigned
+//! `ScenarioBuilder` — so a pass proves the layered node stack, the
+//! verify cache, *and* the scenario-API redesign all left the byte-exact
+//! trace stream untouched. Any divergence is a determinism regression,
+//! not a formatting nit.
 //!
 //! Regenerate (only for an *intentional* protocol change) with:
 //! `UPDATE_GOLDEN=1 cargo test --test trace_golden`
 
-use manet_secure::scenario::{build_secure, NetworkParams};
+use manet_secure::scenario::{ScenarioBuilder, Workload};
 use manet_secure::{attacks, Behavior};
 use manet_sim::SimDuration;
 
@@ -16,15 +17,19 @@ use manet_sim::SimDuration;
 /// plus the headline observables (so a silent metric drift is caught
 /// even if it never changes a trace line).
 fn render_universe(seed: u64, attackers: Vec<(usize, Behavior)>) -> String {
-    let mut net = build_secure(&NetworkParams {
-        n_hosts: 5,
-        seed,
-        trace: true,
-        attackers,
-        ..NetworkParams::default()
-    });
+    let mut net = ScenarioBuilder::new()
+        .hosts(5)
+        .seed(seed)
+        .trace(true)
+        .adversaries(attackers)
+        .secure()
+        .build();
     net.bootstrap();
-    net.run_flows(&[(0, 4), (1, 3)], 4, SimDuration::from_millis(300));
+    let report = net.run(&Workload::flows(
+        vec![(0, 4), (1, 3)],
+        4,
+        SimDuration::from_millis(300),
+    ));
     let m = net.engine.metrics();
     format!(
         "seed={} events={} ctl.tx_bytes={} app.data_sent={} delivery={:.6}\n{}",
@@ -32,7 +37,7 @@ fn render_universe(seed: u64, attackers: Vec<(usize, Behavior)>) -> String {
         net.engine.events_processed(),
         m.counter("ctl.tx_bytes"),
         m.counter("app.data_sent"),
-        net.delivery_ratio(),
+        report.delivery_or_nan(),
         net.engine.tracer().render(),
     )
 }
