@@ -25,8 +25,7 @@ fn bench_srr_verify(c: &mut Criterion) {
                         .tune(|p| p.verify_srr = verify)
                         .build();
                     assert!(net.bootstrap());
-                    let report =
-                        net.run_flows(&[(0, 6)], 5, SimDuration::from_millis(300));
+                    let report = net.run_flows(&[(0, 6)], 5, SimDuration::from_millis(300));
                     black_box(report.delivery_ratio)
                 });
             },
@@ -54,8 +53,7 @@ fn bench_crep(c: &mut Criterion) {
                         .build();
                     assert!(net.bootstrap());
                     net.run_flows(&[(0, 5)], 2, SimDuration::from_millis(300));
-                    let report =
-                        net.run_flows(&[(1, 5)], 2, SimDuration::from_millis(300));
+                    let report = net.run_flows(&[(1, 5)], 2, SimDuration::from_millis(300));
                     black_box(report.tx_bytes)
                 });
             },
@@ -82,8 +80,7 @@ fn bench_credits_overhead(c: &mut Criterion) {
                         .tune(|p| p.credit.enabled = on)
                         .build();
                     assert!(net.bootstrap());
-                    let report =
-                        net.run_flows(&[(0, 4)], 10, SimDuration::from_millis(250));
+                    let report = net.run_flows(&[(0, 4)], 10, SimDuration::from_millis(250));
                     black_box(report.delivery_ratio)
                 });
             },

@@ -61,5 +61,11 @@ fn bench_cga_hash(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_keygen, bench_sign_verify, bench_sha256, bench_cga_hash);
+criterion_group!(
+    benches,
+    bench_keygen,
+    bench_sign_verify,
+    bench_sha256,
+    bench_cga_hash
+);
 criterion_main!(benches);

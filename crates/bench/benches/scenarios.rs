@@ -79,8 +79,28 @@ fn bench_scale_channel(c: &mut Criterion) {
                 let mut net = scale_family(400, 4).channel(channel).plain().build();
                 net.engine.run_until(SimTime(1_000_000));
                 let flows = net.scale_flows(4);
-                let report =
-                    net.run(&Workload::flows(flows, 2, SimDuration::from_millis(400)));
+                let report = net.run(&Workload::flows(flows, 2, SimDuration::from_millis(400)));
+                black_box(report.rx_frames)
+            });
+        });
+    }
+    g.finish();
+}
+
+/// S1-shaped (scaled down): the same flooding workload under the timer
+/// wheel vs the binary-heap oracle. The wheel's O(1) schedule/advance
+/// is the event core's headline; this pins the gap per commit.
+fn bench_scale_queue(c: &mut Criterion) {
+    use manet_sim::QueueImpl;
+    let mut g = c.benchmark_group("scale_queue");
+    g.sample_size(10);
+    for queue in [QueueImpl::Wheel, QueueImpl::Heap] {
+        g.bench_function(format!("{queue:?}_400").to_lowercase(), |b| {
+            b.iter(|| {
+                let mut net = scale_family(400, 4).queue(queue).plain().build();
+                net.engine.run_until(SimTime(1_000_000));
+                let flows = net.scale_flows(4);
+                let report = net.run(&Workload::flows(flows, 2, SimDuration::from_millis(400)));
                 black_box(report.rx_frames)
             });
         });
@@ -93,6 +113,7 @@ criterion_group!(
     bench_bootstrap,
     bench_flow,
     bench_grid_bootstrap,
-    bench_scale_channel
+    bench_scale_channel,
+    bench_scale_queue
 );
 criterion_main!(benches);

@@ -3,9 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use manet_secure::HostIdentity;
-use manet_wire::{
-    cga, sigdata, IdentityProof, Message, Rreq, SecureRouteRecord, Seq, SrrEntry,
-};
+use manet_wire::{cga, sigdata, IdentityProof, Message, Rreq, SecureRouteRecord, Seq, SrrEntry};
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
 use std::hint::black_box;

@@ -20,6 +20,7 @@
 //! including a re-timed quick S1 grid run so the scale trajectory shows
 //! the node-stack refactor did not tax the hot path.
 
+use crate::jsonscan::{extract_object, read_bool, read_number};
 use crate::table::Table;
 use manet_secure::scenario::{Placement, RunReport, ScenarioBuilder, Workload};
 use manet_secure::{attacks, ProtocolConfig};
@@ -67,7 +68,11 @@ fn run_v1(cache: bool, quick: bool, seed: u64) -> V1Run {
         .build();
     net.bootstrap();
     let wall_boot_s = t0.elapsed().as_secs_f64();
-    let report = net.run(&Workload::flows(flows, packets, SimDuration::from_millis(rounds_ms)));
+    let report = net.run(&Workload::flows(
+        flows,
+        packets,
+        SimDuration::from_millis(rounds_ms),
+    ));
     V1Run {
         wall_boot_s,
         report,
@@ -83,8 +88,16 @@ pub fn exhibit_v1(quick: bool) -> String {
     // Differential gate: memoizing a pure function must not move a
     // single event, byte, or verdict.
     assert_eq!(
-        (on.report.events, on.report.tx_bytes, on.report.crypto.failed),
-        (off.report.events, off.report.tx_bytes, off.report.crypto.failed),
+        (
+            on.report.events,
+            on.report.tx_bytes,
+            on.report.crypto.failed
+        ),
+        (
+            off.report.events,
+            off.report.tx_bytes,
+            off.report.crypto.failed
+        ),
         "cached and uncached universes diverged — verify cache is not pure"
     );
     assert_eq!(
@@ -142,7 +155,10 @@ pub fn exhibit_v1(quick: bool) -> String {
         "S1 grid ({}) re-timed at {s1_wall_s:.3}s{}",
         if quick { "quick" } else { "full" },
         match prev_s1 {
-            Some(prev) => format!(" vs {prev:.3}s recorded in BENCH_scale.json (Δ {:+.3}s)", s1_wall_s - prev),
+            Some(prev) => format!(
+                " vs {prev:.3}s recorded in BENCH_scale.json (Δ {:+.3}s)",
+                s1_wall_s - prev
+            ),
             None => " (no same-mode BENCH_scale.json record to compare against)".to_string(),
         }
     ));
@@ -171,24 +187,12 @@ fn read_prev_s1_grid_wall(quick: bool) -> Option<f64> {
 
 fn read_prev_s1_grid_wall_from(path: &str, quick: bool) -> Option<f64> {
     let text = std::fs::read_to_string(path).ok()?;
-    let recorded_quick = text
-        .split("\"quick\":")
-        .nth(1)?
-        .split([',', '}'])
-        .next()?
-        .trim()
-        .parse::<bool>()
-        .ok()?;
-    if recorded_quick != quick {
+    if read_bool(&text, "quick")? != quick {
         return None;
     }
-    let grid = text.split("\"grid\":").nth(1)?;
-    let wall = grid.split("\"wall_s\":").nth(1)?;
-    wall.split([',', '}'])
-        .next()?
-        .trim()
-        .parse()
-        .ok()
+    // The file's first "grid" object is S1's (the section writer keeps
+    // s1 ahead of s2).
+    read_number(&extract_object(&text, "grid")?, "wall_s")
 }
 
 fn write_crypto_json(
@@ -292,6 +296,9 @@ mod tests {
             None,
             "a quick-mode record must not anchor a full-mode comparison"
         );
-        assert_eq!(read_prev_s1_grid_wall_from("/nonexistent/nope.json", true), None);
+        assert_eq!(
+            read_prev_s1_grid_wall_from("/nonexistent/nope.json", true),
+            None
+        );
     }
 }

@@ -102,18 +102,26 @@ fn dad_duplicate_cell(hops: usize, seed: u64, loss: f64) -> (bool, f64) {
 /// hop distance 1.
 pub fn exhibit_e1(quick: bool) -> String {
     let seeds = seeds(quick);
-    let hop_range: Vec<usize> = if quick { vec![1, 2, 4] } else { vec![1, 2, 3, 4, 6] };
+    let hop_range: Vec<usize> = if quick {
+        vec![1, 2, 4]
+    } else {
+        vec![1, 2, 3, 4, 6]
+    };
     let mut t = Table::new(
         "E1 — secure DAD: duplicate detection vs distance (extended DAD over relays)",
-        &["hops to owner", "loss", "detection rate", "mean join latency (s)"],
+        &[
+            "hops to owner",
+            "loss",
+            "detection rate",
+            "mean join latency (s)",
+        ],
     );
     for &hops in &hop_range {
         for &loss in &[0.0, 0.10] {
             let cells = runner::sweep(&[hops], &seeds, |&h, s| dad_duplicate_cell(h, s, loss));
             let results = &cells[0].1;
             let detected = results.iter().filter(|(d, _)| *d).count();
-            let mean_lat: f64 =
-                results.iter().map(|(_, l)| l).sum::<f64>() / results.len() as f64;
+            let mean_lat: f64 = results.iter().map(|(_, l)| l).sum::<f64>() / results.len() as f64;
             t.rowv(vec![
                 hops.to_string(),
                 format!("{loss:.2}"),
@@ -138,7 +146,11 @@ struct E2Cell {
 }
 
 fn e2_secure(hops: usize, seed: u64) -> E2Cell {
-    let mut net = ScenarioBuilder::new().hosts(hops + 1).seed(seed).secure().build();
+    let mut net = ScenarioBuilder::new()
+        .hosts(hops + 1)
+        .seed(seed)
+        .secure()
+        .build();
     assert!(net.bootstrap());
     let base = net.engine.metrics().counter("ctl.routing_bytes");
     let report = net.run_flows(&[(0, hops)], 10, SimDuration::from_millis(300));
@@ -151,7 +163,11 @@ fn e2_secure(hops: usize, seed: u64) -> E2Cell {
 }
 
 fn e2_plain(hops: usize, seed: u64) -> E2Cell {
-    let mut net = ScenarioBuilder::new().hosts(hops + 1).seed(seed).plain().build();
+    let mut net = ScenarioBuilder::new()
+        .hosts(hops + 1)
+        .seed(seed)
+        .plain()
+        .build();
     let report = net.run_flows(&[(0, hops)], 10, SimDuration::from_millis(300));
     let m = net.engine.metrics();
     E2Cell {
@@ -165,7 +181,11 @@ fn e2_plain(hops: usize, seed: u64) -> E2Cell {
 /// chain, secure vs plain, by hop count.
 pub fn exhibit_e2(quick: bool) -> String {
     let seeds = seeds(quick);
-    let hop_range: Vec<usize> = if quick { vec![2, 4, 6] } else { vec![1, 2, 3, 4, 5, 6, 7] };
+    let hop_range: Vec<usize> = if quick {
+        vec![2, 4, 6]
+    } else {
+        vec![1, 2, 3, 4, 5, 6, 7]
+    };
     let mut t = Table::new(
         "E2 — route discovery vs hop count (10-packet flow on a chain)",
         &[
@@ -218,7 +238,9 @@ struct AttackOutcome {
 }
 
 fn e3_secure(attack: Option<Behavior>, seed: u64) -> AttackOutcome {
-    let attackers = attack.map(|b| vec![(BYPASS_ATTACKER, b)]).unwrap_or_default();
+    let attackers = attack
+        .map(|b| vec![(BYPASS_ATTACKER, b)])
+        .unwrap_or_default();
     let mut net = bypass_secure(seed, attackers).build();
     assert!(net.bootstrap());
     let report = net.run_flows(&[(0, 2)], 20, SimDuration::from_millis(300));
@@ -234,7 +256,9 @@ fn e3_secure(attack: Option<Behavior>, seed: u64) -> AttackOutcome {
 }
 
 fn e3_plain(attack: Option<Behavior>, seed: u64) -> AttackOutcome {
-    let attackers = attack.map(|b| vec![(BYPASS_ATTACKER, b)]).unwrap_or_default();
+    let attackers = attack
+        .map(|b| vec![(BYPASS_ATTACKER, b)])
+        .unwrap_or_default();
     let mut net = ScenarioBuilder::new()
         .hosts(5)
         .placement(Placement::Bypass)
@@ -294,7 +318,12 @@ pub fn exhibit_e3(quick: bool) -> String {
             .map(|&s| e3_secure(secure_b.clone(), s))
             .collect();
         let pla: Vec<AttackOutcome> = plain_b
-            .map(|b| seeds.iter().map(|&s| e3_plain(Some(b.clone()), s)).collect())
+            .map(|b| {
+                seeds
+                    .iter()
+                    .map(|&s| e3_plain(Some(b.clone()), s))
+                    .collect()
+            })
             .unwrap_or_else(|| seeds.iter().map(|&s| e3_plain(None, s)).collect());
         let mean = |v: &[AttackOutcome], f: fn(&AttackOutcome) -> f64| {
             v.iter().map(f).sum::<f64>() / v.len() as f64
@@ -341,7 +370,9 @@ pub fn exhibit_e3(quick: bool) -> String {
     ]);
     t.note("'stolen' = data packets the attacker received as (claimed) destination");
     t.note("plain 'delivery' can be nonzero under impersonation: the attacker ACKs what it steals");
-    t.note("expected shape: plain collapses or leaks under every attack; secure sustains & detects");
+    t.note(
+        "expected shape: plain collapses or leaks under every attack; secure sustains & detects",
+    );
     t.render()
 }
 
@@ -425,14 +456,27 @@ fn e5_cell(n: usize, seed: u64) -> (bool, u64, u64, usize) {
         .build();
     let ok = net.bootstrap();
     let m = net.engine.metrics();
-    let committed = net.dns_node().dns_state().map(|d| d.name_count()).unwrap_or(0);
-    (ok, m.counter("ctl.tx_msgs"), m.counter("ctl.tx_bytes"), committed)
+    let committed = net
+        .dns_node()
+        .dns_state()
+        .map(|d| d.name_count())
+        .unwrap_or(0);
+    (
+        ok,
+        m.counter("ctl.tx_msgs"),
+        m.counter("ctl.tx_bytes"),
+        committed,
+    )
 }
 
 /// E5: whole-network cold-boot cost — "network formation is light-weight".
 pub fn exhibit_e5(quick: bool) -> String {
     let seeds = seeds(quick);
-    let sizes: Vec<usize> = if quick { vec![5, 10, 20] } else { vec![5, 10, 20, 40] };
+    let sizes: Vec<usize> = if quick {
+        vec![5, 10, 20]
+    } else {
+        vec![5, 10, 20, 40]
+    };
     let mut t = Table::new(
         "E5 — bootstrap cost vs network size (grid, staggered joins)",
         &[
@@ -451,8 +495,7 @@ pub fn exhibit_e5(quick: bool) -> String {
         let msgs = results.iter().map(|(_, m, ..)| *m as f64).sum::<f64>() / results.len() as f64;
         let bytes =
             results.iter().map(|(_, _, b, _)| *b as f64).sum::<f64>() / results.len() as f64;
-        let committed =
-            results.iter().map(|(.., c)| *c as f64).sum::<f64>() / results.len() as f64;
+        let committed = results.iter().map(|(.., c)| *c as f64).sum::<f64>() / results.len() as f64;
         t.rowv(vec![
             n.to_string(),
             all_ok.to_string(),
@@ -478,7 +521,12 @@ pub fn ablation_srr() -> String {
     let ident = HostIdentity::generate(512, &mut ChaCha12Rng::seed_from_u64(9));
     let mut t = Table::new(
         "A1 — ablation: per-hop SRR proofs (RREQ size by hops traversed)",
-        &["hops", "secure RREQ bytes", "plain RREQ bytes", "bytes/hop added"],
+        &[
+            "hops",
+            "secure RREQ bytes",
+            "plain RREQ bytes",
+            "bytes/hop added",
+        ],
     );
     for hops in [0usize, 1, 2, 4, 8] {
         use manet_wire::*;
@@ -511,10 +559,7 @@ pub fn ablation_srr() -> String {
             rr: RouteRecord(vec![ident.ip(); hops]),
         });
         let per_hop = if hops > 0 {
-            format!(
-                "{:.0}",
-                (secure.wire_size() as f64 - 215.0) / hops as f64
-            )
+            format!("{:.0}", (secure.wire_size() as f64 - 215.0) / hops as f64)
         } else {
             "—".into()
         };
@@ -543,7 +588,11 @@ pub fn ablation_crep(quick: bool) -> String {
             .build();
         assert!(net.bootstrap());
         net.run_flows(&[(0, 5)], 2, SimDuration::from_millis(300));
-        let before = net.engine.metrics().series("route.discovery_latency_s").len();
+        let before = net
+            .engine
+            .metrics()
+            .series("route.discovery_latency_s")
+            .len();
         net.run_flows(&[(1, 5)], 2, SimDuration::from_millis(300));
         let series = net.engine.metrics().series("route.discovery_latency_s");
         // The second requester's discovery is the sample after `before`.
@@ -559,8 +608,8 @@ pub fn ablation_crep(quick: bool) -> String {
         &["CREP", "mean discovery (ms)"],
     );
     for &on in &[true, false] {
-        let mean = runner::mean_over_seeds(&seeds, |s| run(on, s))
-            .expect("at least one seed per cell");
+        let mean =
+            runner::mean_over_seeds(&seeds, |s| run(on, s)).expect("at least one seed per cell");
         t.rowv(vec![
             if on { "enabled" } else { "disabled" }.into(),
             format!("{mean:.1}"),
@@ -672,7 +721,13 @@ pub fn ablation_probe(quick: bool) -> String {
 pub fn ablation_keysize() -> String {
     let mut t = Table::new(
         "A4 — ablation: RSA modulus size (host-side costs)",
-        &["bits", "keygen (ms)", "sign (µs)", "verify (µs)", "proof bytes"],
+        &[
+            "bits",
+            "keygen (ms)",
+            "sign (µs)",
+            "verify (µs)",
+            "proof bytes",
+        ],
     );
     for &bits in &[512u32, 768, 1024] {
         let mut rng = ChaCha12Rng::seed_from_u64(bits as u64);
@@ -719,7 +774,10 @@ mod tests {
         assert!(s.contains("E1"));
         // Every zero-loss row should show full detection.
         for line in s.lines().filter(|l| l.contains("0.00")) {
-            assert!(line.contains("3/3"), "zero-loss detection must be 3/3: {line}");
+            assert!(
+                line.contains("3/3"),
+                "zero-loss detection must be 3/3: {line}"
+            );
         }
     }
 
@@ -740,16 +798,16 @@ mod tests {
         let s = exhibit_e4(true);
         assert!(s.contains("E4"));
         // The last bucket row: credits-on delivery ≥ credits-off.
-        let last = s
-            .lines()
-            .rfind(|l| l.contains("–"))
-            .expect("bucket rows");
+        let last = s.lines().rfind(|l| l.contains("–")).expect("bucket rows");
         let nums: Vec<f64> = last
             .split_whitespace()
             .filter_map(|w| w.parse::<f64>().ok())
             .collect();
         assert!(nums.len() >= 2, "{last}");
-        assert!(nums[0] >= nums[1], "credits-on ≥ credits-off in the end: {last}");
+        assert!(
+            nums[0] >= nums[1],
+            "credits-on ≥ credits-off in the end: {last}"
+        );
     }
 
     #[test]

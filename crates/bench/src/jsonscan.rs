@@ -1,0 +1,75 @@
+//! Minimal scanners for the bench crate's own hand-rolled JSON.
+//!
+//! The workspace is offline (no serde), and every `BENCH_*.json` /
+//! baseline file is emitted by this crate's own naive writers: flat
+//! keys, numeric/bool/plain-string values, no braces inside strings.
+//! Everything that reads those files back — the V1 exhibit's previous-S1
+//! lookup, the S1/S2 section merge, the perf-gate baseline — goes
+//! through these three helpers so the (deliberately naive) parsing
+//! rules live in exactly one place.
+
+/// The JSON number following `"key":`, wherever it first appears.
+pub(crate) fn read_number(text: &str, key: &str) -> Option<f64> {
+    scalar_after(text, key)?.parse().ok()
+}
+
+/// The JSON bool following `"key":`, wherever it first appears.
+pub(crate) fn read_bool(text: &str, key: &str) -> Option<bool> {
+    scalar_after(text, key)?.parse().ok()
+}
+
+fn scalar_after<'t>(text: &'t str, key: &str) -> Option<&'t str> {
+    let rest = text.split(&format!("\"{key}\":")).nth(1)?;
+    Some(rest.split([',', '}', '\n']).next()?.trim())
+}
+
+/// The balanced-brace object following the first `"key":`. Sound for
+/// our own serialization because no emitted string value contains a
+/// brace.
+pub(crate) fn extract_object(text: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":");
+    let at = text.find(&pat)? + pat.len();
+    let rest = &text[at..];
+    let open = rest.find('{')?;
+    let mut depth = 0usize;
+    for (i, c) in rest[open..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(rest[open..open + i + 1].to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "{\n  \"quick\": true,\n  \"s1\": {\"a\": {\"b\": 1}, \"wall_s\": 0.638},\n  \"s2\": {\"d\": 3}\n}\n";
+
+    #[test]
+    fn numbers_and_bools_parse() {
+        assert_eq!(read_number(SAMPLE, "wall_s"), Some(0.638));
+        assert_eq!(read_number(SAMPLE, "d"), Some(3.0));
+        assert_eq!(read_bool(SAMPLE, "quick"), Some(true));
+        assert_eq!(read_number(SAMPLE, "nope"), None);
+        assert_eq!(read_bool(SAMPLE, "wall_s"), None);
+    }
+
+    #[test]
+    fn objects_extract_with_balanced_braces() {
+        assert_eq!(
+            extract_object(SAMPLE, "s1").as_deref(),
+            Some("{\"a\": {\"b\": 1}, \"wall_s\": 0.638}")
+        );
+        assert_eq!(extract_object(SAMPLE, "s2").as_deref(), Some("{\"d\": 3}"));
+        assert_eq!(extract_object(SAMPLE, "s3"), None);
+        assert_eq!(extract_object("{\"s1\": {", "s1"), None, "unterminated");
+    }
+}

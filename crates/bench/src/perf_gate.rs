@@ -1,0 +1,159 @@
+//! The CI perf-regression gate: `tables -- --check-perf`.
+//!
+//! Re-runs the quick-mode S1 (2k, grid) and S2 (10k, plain) cells and
+//! compares their **engine** events/sec — lifetime events over wall
+//! time spent inside `Engine::run_until`, so scenario construction,
+//! flow picking, and key generation don't pollute the signal — against
+//! the committed baseline in `bench/baselines/BENCH_scale.baseline.json`.
+//! A fresh rate more than `tolerance` below baseline fails the check
+//! (exit 1 from the binary); wall-clock noise that doesn't change the
+//! event count only moves this metric through genuine hot-path time.
+//!
+//! S1's quick cell is short, so its rate is taken best-of-two; S2 runs
+//! several wall-seconds and is stable as a single sample.
+//!
+//! Knobs (environment):
+//! * `PERF_BASELINE_JSON` — baseline path override (tests use this);
+//! * `PERF_TOLERANCE` — allowed fractional regression, default `0.25`.
+//!   CI runners with different silicon than the baseline machine can
+//!   widen it instead of rebaselining on every hardware change.
+//!
+//! `tables -- --write-baseline` regenerates the baseline file from
+//! fresh runs on the current machine.
+
+use crate::jsonscan::read_number;
+use crate::scale_exhibits::{run_s2_plain, s1_quick_report};
+use crate::table::Table;
+
+pub const DEFAULT_BASELINE_PATH: &str = "bench/baselines/BENCH_scale.baseline.json";
+const DEFAULT_TOLERANCE: f64 = 0.25;
+
+pub fn baseline_path() -> String {
+    std::env::var("PERF_BASELINE_JSON").unwrap_or_else(|_| DEFAULT_BASELINE_PATH.to_string())
+}
+
+fn tolerance() -> f64 {
+    std::env::var("PERF_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_TOLERANCE)
+}
+
+/// A fresh pair of quick-mode engine rates (S1 best-of-two, S2 single).
+fn fresh_rates() -> (f64, f64) {
+    let s1 = s1_quick_report()
+        .events_per_sec_engine
+        .max(s1_quick_report().events_per_sec_engine);
+    let s2 = run_s2_plain(true, 1).events_per_sec_engine;
+    (s1, s2)
+}
+
+/// Run the check. Returns the rendered report and whether it passed.
+pub fn check(path: &str) -> (String, bool) {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return (
+            format!(
+                "perf gate: no baseline at {path} — run `tables -- --write-baseline` and commit it"
+            ),
+            false,
+        );
+    };
+    let (Some(base_s1), Some(base_s2)) = (
+        read_number(&text, "s1_events_per_sec_engine"),
+        read_number(&text, "s2_events_per_sec_engine"),
+    ) else {
+        return (format!("perf gate: baseline at {path} is malformed"), false);
+    };
+    let tol = tolerance();
+    let (fresh_s1, fresh_s2) = fresh_rates();
+
+    let mut pass = true;
+    let mut t = Table::new(
+        format!(
+            "perf gate — engine events/sec vs baseline (tolerance −{:.0}%)",
+            tol * 100.0
+        ),
+        &["cell", "baseline", "fresh", "ratio", "verdict"],
+    );
+    for (cell, base, fresh) in [
+        ("S1 (2k grid)", base_s1, fresh_s1),
+        ("S2 (10k plain)", base_s2, fresh_s2),
+    ] {
+        let ratio = fresh / base;
+        let ok = ratio >= 1.0 - tol;
+        pass &= ok;
+        t.rowv(vec![
+            cell.to_string(),
+            format!("{base:.0}"),
+            format!("{fresh:.0}"),
+            format!("{ratio:.2}×"),
+            if ok {
+                "ok".to_string()
+            } else {
+                format!("REGRESSION (>{:.0}% below baseline)", tol * 100.0)
+            },
+        ]);
+    }
+    if fresh_s1 > base_s1 * (1.0 + tol) && fresh_s2 > base_s2 * (1.0 + tol) {
+        t.note("both cells beat baseline by more than the tolerance — consider `--write-baseline` to ratchet");
+    }
+    t.note(format!("baseline: {path}"));
+    (t.render(), pass)
+}
+
+/// Regenerate the baseline file from fresh runs on this machine.
+pub fn write_baseline(path: &str) -> std::io::Result<String> {
+    let (s1, s2) = fresh_rates();
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let body = format!(
+        concat!(
+            "{{\n",
+            "  \"comment\": \"engine events/sec baselines for `tables -- --check-perf` (quick-mode S1 grid and S2 plain cells; regenerate with `tables -- --write-baseline` when the hot path legitimately changes or CI hardware does)\",\n",
+            "  \"quick\": true,\n",
+            "  \"s1_events_per_sec_engine\": {:.0},\n",
+            "  \"s2_events_per_sec_engine\": {:.0}\n",
+            "}}\n"
+        ),
+        s1, s2
+    );
+    std::fs::write(path, &body)?;
+    Ok(format!("wrote {path}: s1 {s1:.0} ev/s, s2 {s2:.0} ev/s"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_numbers_parse_from_our_own_format() {
+        let text = "{\n  \"comment\": \"x\",\n  \"quick\": true,\n  \"s1_events_per_sec_engine\": 2500000,\n  \"s2_events_per_sec_engine\": 1400000\n}\n";
+        assert_eq!(
+            read_number(text, "s1_events_per_sec_engine"),
+            Some(2_500_000.0)
+        );
+        assert_eq!(
+            read_number(text, "s2_events_per_sec_engine"),
+            Some(1_400_000.0)
+        );
+    }
+
+    #[test]
+    fn missing_baseline_fails_with_instructions() {
+        let (msg, pass) = check("/nonexistent/baseline.json");
+        assert!(!pass);
+        assert!(msg.contains("--write-baseline"), "{msg}");
+    }
+
+    #[test]
+    fn malformed_baseline_fails() {
+        let dir = std::env::temp_dir().join("perf_gate_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        std::fs::write(&path, "{\"quick\": true}").unwrap();
+        let (msg, pass) = check(path.to_str().unwrap());
+        assert!(!pass);
+        assert!(msg.contains("malformed"), "{msg}");
+    }
+}

@@ -7,7 +7,7 @@ use manet_secure::scenario::{ScenarioBuilder, Workload};
 use manet_secure::{HostIdentity, ProtocolConfig, SecureNode};
 use manet_sim::{Engine, EngineConfig, Mobility, Pos, RadioConfig, SimDuration, SimTime};
 use manet_wire::{
-    sigdata, Areq, Arep, Challenge, Crep, DomainName, Drep, IdentityProof, Message, PlainRerr,
+    sigdata, Arep, Areq, Challenge, Crep, DomainName, Drep, IdentityProof, Message, PlainRerr,
     PlainRrep, PlainRreq, Rerr, RouteRecord, Rrep, Rreq, SecureRouteRecord, Seq, SrrEntry,
 };
 use rand::SeedableRng;
@@ -118,12 +118,36 @@ pub fn exhibit_t1() -> String {
 
     let mut t = Table::new(
         "T1 — Table 1: control messages (wire sizes, 512-bit keys, 3-relay routes)",
-        &["Type", "Function", "Parameters (paper)", "bytes", "plain-DSR bytes"],
+        &[
+            "Type",
+            "Function",
+            "Parameters (paper)",
+            "bytes",
+            "plain-DSR bytes",
+        ],
     );
     let rows: Vec<(&str, &str, &str, &Message, Option<&Message>)> = vec![
-        ("AREQ", "Address REQuest", "(SIP, seq, DN, ch, RR)", &areq, None),
-        ("AREP", "Address REPly", "(SIP, RR, [SIP, ch]RSK, RPK, Rrn)", &arep, None),
-        ("DREP", "DNS server REPly", "(SIP, RR, [DN, ch]NSK)", &drep, None),
+        (
+            "AREQ",
+            "Address REQuest",
+            "(SIP, seq, DN, ch, RR)",
+            &areq,
+            None,
+        ),
+        (
+            "AREP",
+            "Address REPly",
+            "(SIP, RR, [SIP, ch]RSK, RPK, Rrn)",
+            &arep,
+            None,
+        ),
+        (
+            "DREP",
+            "DNS server REPly",
+            "(SIP, RR, [DN, ch]NSK)",
+            &drep,
+            None,
+        ),
         (
             "RREQ",
             "Route REQuest",
@@ -159,7 +183,9 @@ pub fn exhibit_t1() -> String {
             f.into(),
             params.into(),
             msg.wire_size().to_string(),
-            plain.map(|m| m.wire_size().to_string()).unwrap_or_else(|| "—".into()),
+            plain
+                .map(|m| m.wire_size().to_string())
+                .unwrap_or_else(|| "—".into()),
         ]);
     }
     t.note("security cost per message ≈ one 64-byte signature + ~70-byte key + 8-byte rn per identity proof");
@@ -171,7 +197,10 @@ pub fn exhibit_t1() -> String {
 pub fn exhibit_t2() -> String {
     let x = sample_identity(7);
     let sig = x.sign(b"example message");
-    let mut t = Table::new("T2 — Table 2: symbols and notations", &["Symbol", "Description", "live example / size"]);
+    let mut t = Table::new(
+        "T2 — Table 2: symbols and notations",
+        &["Symbol", "Description", "live example / size"],
+    );
     t.rowv(vec![
         "XIP".into(),
         "IP address of node X".into(),
@@ -345,8 +374,16 @@ pub fn exhibit_f3() -> String {
         .secure()
         .build();
     assert!(net.bootstrap());
-    net.run(&Workload::flows(vec![(0, 4)], 1, SimDuration::from_millis(400)));
-    net.run(&Workload::flows(vec![(1, 4)], 1, SimDuration::from_millis(400)));
+    net.run(&Workload::flows(
+        vec![(0, 4)],
+        1,
+        SimDuration::from_millis(400),
+    ));
+    net.run(&Workload::flows(
+        vec![(1, 4)],
+        1,
+        SimDuration::from_millis(400),
+    ));
 
     let mut out = String::new();
     out.push_str("== F3 — Figure 3: secure route discovery, route reply, cached route reply ==\n");
@@ -390,7 +427,9 @@ mod tests {
     #[test]
     fn t2_lists_all_symbols() {
         let s = exhibit_t2();
-        for sym in ["XIP", "XSK", "XPK", "Xrn", "DN", "ch", "seq", "RR", "SRR", "[msg]XSK"] {
+        for sym in [
+            "XIP", "XSK", "XPK", "Xrn", "DN", "ch", "seq", "RR", "SRR", "[msg]XSK",
+        ] {
             assert!(s.contains(sym), "missing {sym}");
         }
     }

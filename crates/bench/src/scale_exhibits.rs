@@ -1,22 +1,32 @@
-//! S1 — the scale exhibit: a 2,000-node plain-DSR network (bootstrap
-//! route discovery + traffic under mobility and node-failure churn) run
-//! under both channel implementations.
+//! S1 and S2 — the scale exhibits.
 //!
-//! This scenario was impractical before the spatial-index channel: with
-//! the linear receiver scan every flood is O(n²). The exhibit reports
-//! the wall-clock ratio and writes a machine-readable
-//! `BENCH_scale.json` (one serialized [`RunReport`] per channel) so the
-//! perf trajectory is recorded run over run; CI uploads it as an
-//! artifact.
+//! **S1**: a 2,000-node plain-DSR network (bootstrap route discovery +
+//! traffic under mobility and node-failure churn) run under both
+//! channel implementations. Impractical before the spatial-index
+//! channel (the linear receiver scan makes every flood O(n²)); the
+//! exhibit reports the wall-clock ratio and doubles as a coarse
+//! channel-differential gate (the two runs must agree on every
+//! machine-independent report field, or it panics).
 //!
-//! It doubles as a coarse differential gate: the two runs must agree on
-//! every machine-independent report field (the determinism invariant —
-//! candidates visited in ascending NodeId order — makes them
-//! bit-identical), and the exhibit panics if they do not.
+//! **S2**: the timer-wheel-era headline — 10,000 plain-DSR nodes
+//! driven through formation, churn, and cross-field flows, plus a
+//! secure variant (full CGA/DAD bootstrap storm; 1,000 hosts in full
+//! mode, 250 in quick) run under **both queue implementations** as the
+//! scale-level wheel-vs-heap differential gate, mirroring how S1 gates
+//! grid-vs-linear.
+//!
+//! Both write into one machine-readable `BENCH_scale.json` (an `"s1"`
+//! and an `"s2"` section, each exhibit preserving the other's last
+//! same-mode record), so the perf trajectory is recorded run over run;
+//! CI uploads it as an artifact and `tables -- --check-perf` compares
+//! the engine events/sec numbers against the committed baseline in
+//! `bench/baselines/`.
 
+use crate::jsonscan::{extract_object, read_bool};
 use crate::table::Table;
-use manet_secure::scenario::{scale_family, RunReport, Workload};
-use manet_sim::{ChannelMode, SimDuration, SimTime};
+use manet_secure::scenario::{scale_family, Placement, RunReport, ScenarioBuilder, Workload};
+use manet_secure::ProtocolConfig;
+use manet_sim::{ChannelMode, QueueImpl, SimDuration, SimTime};
 use std::time::Instant;
 
 /// The S1 population size. The shape itself (uniform placement at
@@ -27,6 +37,20 @@ use std::time::Instant;
 /// is what's being measured.
 const S1_HOSTS: usize = 2000;
 
+/// The S2 population size (same `scale_family` shape, 5× S1).
+const S2_HOSTS: usize = 10_000;
+
+/// Hosts in S2's secure variant: a full CGA/DAD bootstrap storm, which
+/// scales as O(n² · degree) flood receptions — 1,000 hosts in full
+/// mode, scaled down in quick mode like every other exhibit.
+fn s2_secure_hosts(quick: bool) -> usize {
+    if quick {
+        250
+    } else {
+        1000
+    }
+}
+
 /// One S1 run. The returned report's `wall_s` covers the whole cell —
 /// construction, formation beat, flow picking, and traffic — since the
 /// build cost is part of what the channel layer buys back.
@@ -34,14 +58,69 @@ fn run_s1(channel: ChannelMode, quick: bool, seed: u64) -> RunReport {
     let (n_flows, packets) = if quick { (10, 3) } else { (16, 8) };
 
     let t0 = Instant::now();
-    let mut net = scale_family(S1_HOSTS, seed).channel(channel).plain().build();
+    let mut net = scale_family(S1_HOSTS, seed)
+        .channel(channel)
+        .plain()
+        .build();
     // Formation beat: mobility starts ticking, churn kills are queued.
     net.engine.run_until(SimTime(2_000_000));
     let flows = net.scale_flows(n_flows);
-    let mut report = net.run(&Workload::flows(flows, packets, SimDuration::from_millis(400)));
+    let mut report = net.run(&Workload::flows(
+        flows,
+        packets,
+        SimDuration::from_millis(400),
+    ));
     report.wall_s = t0.elapsed().as_secs_f64();
     report.events_per_sec = report.events as f64 / report.wall_s;
     report
+}
+
+/// The S2 plain cell: the S1 shape at 10,000 hosts.
+pub(crate) fn run_s2_plain(quick: bool, seed: u64) -> RunReport {
+    let (n_flows, packets) = if quick { (16, 3) } else { (24, 6) };
+
+    let t0 = Instant::now();
+    let mut net = scale_family(S2_HOSTS, seed)
+        .channel(ChannelMode::Grid)
+        .plain()
+        .build();
+    net.engine.run_until(SimTime(2_000_000));
+    let flows = net.scale_flows(n_flows);
+    let mut report = net.run(&Workload::flows(
+        flows,
+        packets,
+        SimDuration::from_millis(400),
+    ));
+    report.wall_s = t0.elapsed().as_secs_f64();
+    report.events_per_sec = report.events as f64 / report.wall_s;
+    report
+}
+
+/// The S2 secure variant: `n` hosts, uniform at expected degree ~12,
+/// joining in a 20 ms-staggered storm — full CGA generation, DAD
+/// floods, and DNS name commits — then a short converge check. 384-bit
+/// keys keep key *generation* (not the hot path under test) from
+/// dominating the wall.
+fn run_s2_secure(queue: QueueImpl, quick: bool, seed: u64) -> (RunReport, bool) {
+    let n = s2_secure_hosts(quick);
+    let t0 = Instant::now();
+    let mut net = ScenarioBuilder::new()
+        .hosts(n)
+        .placement(Placement::Uniform)
+        .density(12.0)
+        .seed(seed)
+        .queue(queue)
+        .secure_with(ProtocolConfig {
+            key_bits: 384,
+            ..ProtocolConfig::default()
+        })
+        .join_stagger(SimDuration::from_millis(20))
+        .build();
+    let mut report = net.run(&Workload::bootstrap_storm());
+    let all_ready = net.all_ready();
+    report.wall_s = t0.elapsed().as_secs_f64();
+    report.events_per_sec = report.events as f64 / report.wall_s;
+    (report, all_ready)
 }
 
 /// Wall seconds of one quick-or-full S1 run under the grid channel —
@@ -49,6 +128,11 @@ fn run_s1(channel: ChannelMode, quick: bool, seed: u64) -> RunReport {
 /// scale workload's cost unchanged.
 pub(crate) fn s1_grid_wall(quick: bool) -> f64 {
     run_s1(ChannelMode::Grid, quick, 1).wall_s
+}
+
+/// One fresh quick S1 grid report, for the perf-regression gate.
+pub(crate) fn s1_quick_report() -> RunReport {
+    run_s1(ChannelMode::Grid, true, 1)
 }
 
 /// S1: 2,000-node scale run, grid vs linear channel.
@@ -77,7 +161,7 @@ pub fn exhibit_s1(quick: bool) -> String {
             "wall (s)",
             "events",
             "events/s",
-            "node-sim-s/s",
+            "ev/s engine",
             "delivery",
             "mean degree",
         ],
@@ -88,7 +172,7 @@ pub fn exhibit_s1(quick: bool) -> String {
             format!("{:.2}", r.wall_s),
             r.events.to_string(),
             format!("{:.0}", r.events_per_sec),
-            format!("{:.0}", n as f64 * r.sim_s / r.wall_s),
+            format!("{:.0}", r.events_per_sec_engine),
             format!("{:.3}", r.delivery_or_nan()),
             format!("{:.1}", r.mean_degree.unwrap_or(f64::NAN)),
         ]);
@@ -101,11 +185,88 @@ pub fn exhibit_s1(quick: bool) -> String {
         grid.nodes_killed, n
     ));
 
-    if let Err(e) = write_scale_json(n, quick, &grid, &linear, ratio) {
-        t.note(format!("BENCH_scale.json not written: {e}"));
-    } else {
-        t.note(format!("wrote {}", scale_json_path()));
+    let section = s1_section_json(n, &grid, &linear, ratio);
+    match write_scale_section(&scale_json_path(), "s1", &section, quick) {
+        Err(e) => t.note(format!("BENCH_scale.json not written: {e}")),
+        Ok(()) => t.note(format!("wrote {} (s1 section)", scale_json_path())),
+    };
+    t.render()
+}
+
+/// S2: 10,000-node plain run plus the secure bootstrap storm under
+/// both queue implementations (the scale-level wheel-vs-heap gate).
+pub fn exhibit_s2(quick: bool) -> String {
+    let seed = 1;
+    let plain = run_s2_plain(quick, seed);
+
+    let (sec_wheel, ready_wheel) = run_s2_secure(QueueImpl::Wheel, quick, seed);
+    let (sec_heap, ready_heap) = run_s2_secure(QueueImpl::Heap, quick, seed);
+
+    // Differential gate: the timer wheel is a scheduling structure, not
+    // a model change — the secure storm (timer-heavy DAD, staggered
+    // joins, signature checks) must be one universe under both queues.
+    assert_eq!(
+        sec_wheel.fingerprint(),
+        sec_heap.fingerprint(),
+        "wheel and heap queues diverged — event-order invariant broken"
+    );
+    assert!(
+        ready_wheel && ready_heap,
+        "secure storm left hosts unjoined — scenario shape broken"
+    );
+
+    let n_sec = s2_secure_hosts(quick);
+    let ratio = sec_heap.wall_s / sec_wheel.wall_s;
+    let mut t = Table::new(
+        format!(
+            "S2 — scale: {S2_HOSTS} plain-DSR nodes + secure {n_sec}-host DAD storm ({} mode)",
+            if quick { "quick" } else { "full" }
+        ),
+        &[
+            "cell",
+            "queue",
+            "wall (s)",
+            "events",
+            "events/s",
+            "ev/s engine",
+            "delivery",
+        ],
+    );
+    let delivery_cell = |r: &RunReport| match r.delivery_ratio {
+        Some(d) => format!("{d:.3}"),
+        None => "—".to_string(), // the storm sends no data traffic
+    };
+    for (cell, queue, r) in [
+        (format!("plain {S2_HOSTS}"), "wheel", &plain),
+        (format!("secure {n_sec}"), "wheel", &sec_wheel),
+        (format!("secure {n_sec}"), "heap", &sec_heap),
+    ] {
+        t.rowv(vec![
+            cell,
+            queue.to_string(),
+            format!("{:.2}", r.wall_s),
+            r.events.to_string(),
+            format!("{:.0}", r.events_per_sec),
+            format!("{:.0}", r.events_per_sec_engine),
+            delivery_cell(r),
+        ]);
     }
+    t.note(format!(
+        "identical secure universes under both queues (differential gate); heap/wheel wall ratio {ratio:.2}×"
+    ));
+    t.note(format!(
+        "plain cell: {} of {} killed mid-run, mean degree {:.1}; secure cell: all {} hosts completed DAD",
+        plain.nodes_killed,
+        S2_HOSTS,
+        plain.mean_degree.unwrap_or(f64::NAN),
+        n_sec,
+    ));
+
+    let section = s2_section_json(n_sec, &plain, &sec_wheel, &sec_heap, ratio);
+    match write_scale_section(&scale_json_path(), "s2", &section, quick) {
+        Err(e) => t.note(format!("BENCH_scale.json not written: {e}")),
+        Ok(()) => t.note(format!("wrote {} (s2 section)", scale_json_path())),
+    };
     t.render()
 }
 
@@ -113,13 +274,7 @@ fn scale_json_path() -> String {
     std::env::var("BENCH_SCALE_JSON").unwrap_or_else(|_| "BENCH_scale.json".to_string())
 }
 
-fn write_scale_json(
-    n: usize,
-    quick: bool,
-    grid: &RunReport,
-    linear: &RunReport,
-    ratio: f64,
-) -> std::io::Result<()> {
+fn s1_section_json(n: usize, grid: &RunReport, linear: &RunReport, ratio: f64) -> String {
     // Crypto counters of the grid run: total verification demand and the
     // cache hit rate (null until the scale family runs secure nodes).
     let demand = grid.crypto.demand();
@@ -128,22 +283,19 @@ fn write_scale_json(
     } else {
         "null".to_string()
     };
-    let json = format!(
+    format!(
         concat!(
             "{{\n",
-            "  \"exhibit\": \"s1\",\n",
-            "  \"quick\": {},\n",
-            "  \"n_hosts\": {},\n",
-            "  \"sim_secs\": {:.1},\n",
-            "  \"delivery_ratio\": {:.4},\n",
-            "  \"mean_degree\": {:.2},\n",
-            "  \"grid\": {},\n",
-            "  \"linear\": {},\n",
-            "  \"linear_over_grid_wall_ratio\": {:.3},\n",
-            "  \"crypto\": {{\"total_verifications\": {}, \"cached\": {}, \"cache_hit_rate\": {}}}\n",
-            "}}\n"
+            "    \"n_hosts\": {},\n",
+            "    \"sim_secs\": {:.1},\n",
+            "    \"delivery_ratio\": {:.4},\n",
+            "    \"mean_degree\": {:.2},\n",
+            "    \"grid\": {},\n",
+            "    \"linear\": {},\n",
+            "    \"linear_over_grid_wall_ratio\": {:.3},\n",
+            "    \"crypto\": {{\"total_verifications\": {}, \"cached\": {}, \"cache_hit_rate\": {}}}\n",
+            "  }}"
         ),
-        quick,
         n,
         grid.sim_s,
         grid.delivery_or_nan(),
@@ -154,8 +306,64 @@ fn write_scale_json(
         demand,
         grid.crypto.cached,
         hit_rate,
-    );
-    std::fs::write(scale_json_path(), json)
+    )
+}
+
+fn s2_section_json(
+    n_sec: usize,
+    plain: &RunReport,
+    sec_wheel: &RunReport,
+    sec_heap: &RunReport,
+    heap_over_wheel: f64,
+) -> String {
+    format!(
+        concat!(
+            "{{\n",
+            "    \"n_hosts\": {},\n",
+            "    \"plain\": {},\n",
+            "    \"secure_hosts\": {},\n",
+            "    \"secure\": {},\n",
+            "    \"secure_heap\": {},\n",
+            "    \"heap_over_wheel_wall_ratio\": {:.3}\n",
+            "  }}"
+        ),
+        S2_HOSTS,
+        plain.to_json(),
+        n_sec,
+        sec_wheel.to_json(),
+        sec_heap.to_json(),
+        heap_over_wheel,
+    )
+}
+
+/// Write one exhibit's section into the scale JSON at `path`,
+/// preserving the other exhibit's last record when it was produced in
+/// the same mode (quick and full are different workloads; their numbers
+/// must not cohabit one file).
+fn write_scale_section(path: &str, key: &str, section: &str, quick: bool) -> std::io::Result<()> {
+    let existing = std::fs::read_to_string(path).unwrap_or_default();
+    let same_mode = read_bool(&existing, "quick") == Some(quick);
+    let other_key = if key == "s1" { "s2" } else { "s1" };
+    let other = if same_mode {
+        extract_object(&existing, other_key)
+    } else {
+        None
+    };
+    // S1 always serializes first: the V1 exhibit's naive reader takes
+    // the file's first `"grid"` object as S1's.
+    let (first, second) = if key == "s1" {
+        (Some(section.to_string()), other)
+    } else {
+        (other, Some(section.to_string()))
+    };
+    let mut body = format!("{{\n  \"quick\": {quick}");
+    for (k, v) in [("s1", first), ("s2", second)] {
+        if let Some(v) = v {
+            body.push_str(&format!(",\n  \"{k}\": {v}"));
+        }
+    }
+    body.push_str("\n}\n");
+    std::fs::write(path, body)
 }
 
 #[cfg(test)]
@@ -174,5 +382,58 @@ mod tests {
         let deg = S1_HOSTS as f64 * std::f64::consts::PI * radio.range * radio.range
             / (field.width * field.height);
         assert!((deg - 15.0).abs() < 0.5, "expected degree ~15, got {deg}");
+    }
+
+    #[test]
+    fn sections_merge_and_survive_rewrites() {
+        let dir = std::env::temp_dir().join("scale_merge_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let pathbuf = dir.join("BENCH_scale.json");
+        let _ = std::fs::remove_file(&pathbuf);
+        let path = pathbuf.to_str().unwrap();
+
+        write_scale_section(path, "s1", "{\"v\": 1}", true).unwrap();
+        write_scale_section(path, "s2", "{\"w\": 2}", true).unwrap();
+        // Re-writing s1 must keep the s2 record.
+        write_scale_section(path, "s1", "{\"v\": 3}", true).unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        assert_eq!(extract_object(&text, "s1").as_deref(), Some("{\"v\": 3}"));
+        assert_eq!(extract_object(&text, "s2").as_deref(), Some("{\"w\": 2}"));
+        let s1_at = text.find("\"s1\"").unwrap();
+        let s2_at = text.find("\"s2\"").unwrap();
+        assert!(
+            s1_at < s2_at,
+            "s1 must serialize before s2 (V1 reader contract)"
+        );
+
+        // A mode switch drops the stale other-mode section.
+        write_scale_section(path, "s2", "{\"w\": 9}", false).unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        assert_eq!(extract_object(&text, "s1"), None);
+        assert!(text.contains("\"quick\": false"));
+    }
+
+    #[test]
+    fn s2_secure_storm_is_identical_under_both_queues_at_tiny_scale() {
+        // The full gate runs inside exhibit_s2; pin a miniature version
+        // here so `cargo test` exercises the wheel-vs-heap secure
+        // differential without the exhibit's wall cost.
+        let run = |queue| {
+            let mut net = ScenarioBuilder::new()
+                .hosts(8)
+                .placement(Placement::Uniform)
+                .density(10.0)
+                .seed(5)
+                .queue(queue)
+                .secure_with(ProtocolConfig {
+                    key_bits: 384,
+                    ..ProtocolConfig::default()
+                })
+                .join_stagger(SimDuration::from_millis(20))
+                .build();
+            let report = net.run(&Workload::bootstrap_storm());
+            report.fingerprint()
+        };
+        assert_eq!(run(QueueImpl::Wheel), run(QueueImpl::Heap));
     }
 }

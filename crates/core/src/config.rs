@@ -209,8 +209,14 @@ mod tests {
         // conflict could be reported to a host that already assumed
         // success (Section 3.1's two "predefined periods" must nest).
         let c = ProtocolConfig::default();
-        assert!(c.dns_pending_window < c.dad_timeout, "DNS must commit inside DAD");
-        assert!(c.credit.slash > c.credit.reward, "slash must dominate reward");
+        assert!(
+            c.dns_pending_window < c.dad_timeout,
+            "DNS must commit inside DAD"
+        );
+        assert!(
+            c.credit.slash > c.credit.reward,
+            "slash must dominate reward"
+        );
         assert!(c.key_bits >= 384, "modulus must admit the signature frame");
     }
 }

@@ -148,7 +148,10 @@ mod tests {
         let mut m = mgr();
         assert!(!m.record_rerr(&ip(1), &ip(2)));
         assert!(!m.record_rerr(&ip(1), &ip(2)));
-        assert!(m.record_rerr(&ip(1), &ip(2)), "third report crosses threshold");
+        assert!(
+            m.record_rerr(&ip(1), &ip(2)),
+            "third report crosses threshold"
+        );
         assert!(m.credit(&ip(1)) <= -100);
         assert!(m.credit(&ip(2)) <= -100);
     }

@@ -11,7 +11,7 @@
 use crate::node::SecureNode;
 use manet_sim::{Ctx, Dir, SimTime};
 use manet_wire::{
-    cga, sigdata, Areq, Arep, Challenge, DnsQuery, DnsReply, DomainName, Drep, IpChangeProof,
+    cga, sigdata, Arep, Areq, Challenge, DnsQuery, DnsReply, DomainName, Drep, IpChangeProof,
     IpChangeRequest, IpChangeResult, Ipv6Addr, Message, RouteRecord,
 };
 use rand::Rng;
@@ -210,7 +210,12 @@ impl SecureNode {
         };
         // Same two checks as the host side runs, against the stored ch.
         if self
-            .check_proof(ctx, &arep.sip, &sigdata::arep(&arep.sip, reg.ch), &arep.proof)
+            .check_proof(
+                ctx,
+                &arep.sip,
+                &sigdata::arep(&arep.sip, reg.ch),
+                &arep.proof,
+            )
             .is_err()
         {
             self.stats.rejected_arep += 1;
@@ -228,7 +233,11 @@ impl SecureNode {
         if dns.pending.remove(sip).is_some() {
             dns.cancelled_by_warning += 1;
             ctx.count("dns.reg_cancelled", 1);
-            ctx.trace(Dir::Note, "DNS", format!("registration for {} cancelled", sip));
+            ctx.trace(
+                Dir::Note,
+                "DNS",
+                format!("registration for {} cancelled", sip),
+            );
         }
     }
 

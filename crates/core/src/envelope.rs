@@ -74,8 +74,16 @@ impl Envelope {
 
     /// Serialize.
     pub fn encode(&self) -> Vec<u8> {
-        let msg_bytes = self.msg.encode();
-        let mut out = Vec::with_capacity(24 + msg_bytes.len());
+        let mut out = Vec::with_capacity(64);
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Serialize, appending to a caller-owned buffer. With a buffer from
+    /// [`manet_sim::Ctx::frame_buf`] this is the zero-alloc transmit
+    /// path: header and message encode straight into a recycled frame,
+    /// with no intermediate message byte vector.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
         out.put_slice(&self.src_ip.0);
         match &self.source_route {
             None => out.put_u8(0),
@@ -88,8 +96,22 @@ impl Envelope {
                 }
             }
         }
-        out.extend_from_slice(&msg_bytes);
-        out
+        self.msg.encode_into(out);
+    }
+
+    /// If `buf` is a broadcast-enveloped (routeless) [`PlainRreq`]
+    /// frame, return the transmitter address and the request's fixed
+    /// fields without allocating. Layout validation is as strict as the
+    /// full [`Envelope::decode`]; `None` means "different frame kind or
+    /// malformed — take the full decode path". This powers the
+    /// duplicate-flood fast path in the plain-DSR receiver.
+    pub fn peek_broadcast_rreq(buf: &[u8]) -> Option<(Ipv6Addr, manet_wire::PlainRreqHeader)> {
+        if buf.len() < 17 || buf[16] != 0 {
+            return None;
+        }
+        let src_ip = Ipv6Addr(buf[..16].try_into().expect("16 bytes"));
+        let hdr = Message::peek_plain_rreq(&buf[17..])?;
+        Some((src_ip, hdr))
     }
 
     /// Strict decode.

@@ -1,0 +1,119 @@
+//! A fast, deterministic hasher for the protocol layer's hot maps.
+//!
+//! The per-frame maps (neighbor cache, RREQ dedup set, pending-ack
+//! table) are touched once or more per delivered frame; SipHash's
+//! keyed setup and finalization showed up in scale-run profiles. This
+//! is the well-known Fx/rustc multiply-rotate fold: not DoS-resistant
+//! — irrelevant here, keys come from the simulation itself — but
+//! seed-free, so iteration-independent lookups stay deterministic
+//! run-to-run (map *iteration order* must still never leak into
+//! protocol behavior; that contract predates this hasher and is pinned
+//! by the determinism and golden-trace suites).
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap`/`HashSet` alias pair on the Fx hasher.
+pub(crate) type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+pub(crate) type FxHashSet<K> = std::collections::HashSet<K, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The rustc-hash folding hasher (64-bit variant).
+#[derive(Default)]
+pub(crate) struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().expect("8 bytes")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_of(bytes: &[u8]) -> u64 {
+        let mut h = FxHasher::default();
+        h.write(bytes);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_and_discriminating() {
+        assert_eq!(hash_of(b"hello world!!"), hash_of(b"hello world!!"));
+        assert_ne!(hash_of(b"hello world!!"), hash_of(b"hello world!?"));
+        // Tail handling: same prefix, differing short remainder.
+        assert_ne!(hash_of(b"12345678a"), hash_of(b"12345678b"));
+    }
+
+    #[test]
+    fn map_basics_work() {
+        let mut m: FxHashMap<[u8; 16], u32> = FxHashMap::default();
+        for i in 0..100u32 {
+            let mut k = [0u8; 16];
+            k[..4].copy_from_slice(&i.to_le_bytes());
+            m.insert(k, i);
+        }
+        assert_eq!(m.len(), 100);
+        let mut k = [0u8; 16];
+        k[..4].copy_from_slice(&42u32.to_le_bytes());
+        assert_eq!(m.get(&k), Some(&42));
+    }
+
+    #[test]
+    fn set_dedup_works() {
+        let mut s: FxHashSet<(u64, u64)> = FxHashSet::default();
+        assert!(s.insert((1, 2)));
+        assert!(!s.insert((1, 2)));
+        assert!(s.insert((2, 1)));
+    }
+}

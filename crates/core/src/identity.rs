@@ -115,11 +115,7 @@ pub fn verify_proof(
 
 /// Verify a signature against an out-of-band-known key (the DNS case:
 /// every host knows `NPK` a priori, so no CGA check applies).
-pub fn verify_known_key(
-    pk: &PublicKey,
-    payload: &[u8],
-    sig: &Signature,
-) -> Result<(), ProofError> {
+pub fn verify_known_key(pk: &PublicKey, payload: &[u8], sig: &Signature) -> Result<(), ProofError> {
     verify_known_key_with(pk, payload, sig, None).0
 }
 
@@ -150,7 +146,11 @@ pub fn verify_known_key_with(
     match cache {
         Some(c) => {
             let (valid, prov) = c.verify(pk, payload, sig);
-            let res = if valid { Ok(()) } else { Err(ProofError::Signature) };
+            let res = if valid {
+                Ok(())
+            } else {
+                Err(ProofError::Signature)
+            };
             (res, prov)
         }
         None => (

@@ -30,6 +30,7 @@ pub mod config;
 pub mod credit;
 pub mod dns;
 pub mod envelope;
+pub(crate) mod fxhash;
 pub mod identity;
 pub mod neighbor;
 pub mod node;

@@ -7,9 +7,9 @@
 //! unicast to a gone node surfaces as a link failure, which is exactly
 //! the protocol's RERR trigger.
 
+use crate::fxhash::FxHashMap;
 use manet_sim::{NodeId, SimDuration, SimTime};
 use manet_wire::Ipv6Addr;
-use std::collections::HashMap;
 
 /// Default entry lifetime.
 pub const DEFAULT_TTL: SimDuration = SimDuration(30_000_000); // 30 s
@@ -18,7 +18,7 @@ pub const DEFAULT_TTL: SimDuration = SimDuration(30_000_000); // 30 s
 #[derive(Debug)]
 pub struct NeighborCache {
     ttl: SimDuration,
-    entries: HashMap<Ipv6Addr, (NodeId, SimTime)>,
+    entries: FxHashMap<Ipv6Addr, (NodeId, SimTime)>,
 }
 
 impl Default for NeighborCache {
@@ -31,7 +31,7 @@ impl NeighborCache {
     pub fn new(ttl: SimDuration) -> Self {
         NeighborCache {
             ttl,
-            entries: HashMap::new(),
+            entries: FxHashMap::default(),
         }
     }
 

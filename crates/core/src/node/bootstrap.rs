@@ -5,13 +5,13 @@
 use super::{NodeState, Queued, SecureNode, TAG_DAD, TAG_DAD_PROBE};
 use crate::envelope::Envelope;
 use manet_sim::{Ctx, Dir};
+use manet_wire::Ipv6Addr;
 use manet_wire::{
-    sigdata, Areq, Arep, Challenge, DomainName, Drep, Message, RouteRecord, Seq, DNS_WELL_KNOWN,
+    sigdata, Arep, Areq, Challenge, DomainName, Drep, Message, RouteRecord, Seq, DNS_WELL_KNOWN,
     UNSPECIFIED,
 };
 use rand::Rng;
 use std::collections::HashSet;
-use manet_wire::Ipv6Addr;
 
 impl SecureNode {
     pub(super) fn begin_dad(&mut self, ctx: &mut Ctx) {
@@ -74,7 +74,11 @@ impl SecureNode {
         self.stats.joined_at = Some(ctx.now());
         ctx.count("dad.confirmed", 1);
         ctx.sample("dad.latency_s", ctx.now().as_secs_f64());
-        ctx.trace(Dir::Note, "DAD", format!("address {} confirmed", self.ident.ip()));
+        ctx.trace(
+            Dir::Note,
+            "DAD",
+            format!("address {} confirmed", self.ident.ip()),
+        );
         // Kick route discovery for everything queued while bootstrapping.
         let dests: HashSet<Ipv6Addr> = self.send_buffer.iter().map(|(d, _)| *d).collect();
         for d in dests {
@@ -110,7 +114,15 @@ impl SecureNode {
         if self.state != NodeState::Ready {
             return;
         }
-        ctx.trace(Dir::Rx, "AREQ", format!("for {} dn={:?}", areq.sip, areq.dn.as_ref().map(|d| d.as_str())));
+        ctx.trace(
+            Dir::Rx,
+            "AREQ",
+            format!(
+                "for {} dn={:?}",
+                areq.sip,
+                areq.dn.as_ref().map(|d| d.as_str())
+            ),
+        );
 
         // DNS server: name bookkeeping (conflict DREP / pending commit).
         if self.dns.is_some() {
@@ -220,7 +232,11 @@ impl SecureNode {
             Ok(()) => {
                 self.stats.collisions_detected += 1;
                 ctx.count("dad.collisions", 1);
-                ctx.trace(Dir::Note, "DAD", "valid AREP: address collision, rerolling rn");
+                ctx.trace(
+                    Dir::Note,
+                    "DAD",
+                    "valid AREP: address collision, rerolling rn",
+                );
                 self.restart_dad(ctx);
             }
             Err(_) => {
@@ -249,7 +265,11 @@ impl SecureNode {
                 // name and retry the DAD round (Section 3.1).
                 let fallback = format!("{}-{}", dn.as_str(), self.stats.dad_attempts + 1);
                 self.desired_dn = DomainName::new(&fallback).ok();
-                ctx.trace(Dir::Note, "DAD", format!("name conflict; retrying as {fallback}"));
+                ctx.trace(
+                    Dir::Note,
+                    "DAD",
+                    format!("name conflict; retrying as {fallback}"),
+                );
                 self.restart_dad(ctx);
             }
             Err(_) => {

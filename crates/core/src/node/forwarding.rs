@@ -6,8 +6,7 @@ use super::{PendingAck, Queued, SecureNode, TAG_ACK};
 use crate::envelope::Envelope;
 use manet_sim::{Ctx, Dir, NodeId, SimTime};
 use manet_wire::{
-    sigdata, Ack, Data, DnsQuery, Ipv6Addr, IpChangeRequest, Message, RouteRecord, Seq,
-    UNSPECIFIED,
+    sigdata, Ack, Data, DnsQuery, IpChangeRequest, Ipv6Addr, Message, RouteRecord, Seq, UNSPECIFIED,
 };
 use rand::Rng;
 use std::collections::VecDeque;
@@ -87,7 +86,11 @@ impl SecureNode {
             return true;
         }
         ctx.count("route.first_hop_unresolved", 1);
-        ctx.trace(Dir::Drop, "ROUTE", format!("{kind}: first hop {next} unresolved"));
+        ctx.trace(
+            Dir::Drop,
+            "ROUTE",
+            format!("{kind}: first hop {next} unresolved"),
+        );
         false
     }
 
@@ -103,7 +106,10 @@ impl SecureNode {
 
     pub(super) fn tx(&mut self, ctx: &mut Ctx, to: Option<NodeId>, env: Envelope) {
         let kind = env.msg.kind();
-        let bytes = env.encode();
+        // Recycled frame buffer: see the plain stack's `tx` — same
+        // zero-alloc steady-state transmit path.
+        let mut bytes = ctx.frame_buf();
+        env.encode_into(&mut bytes);
         ctx.count("ctl.tx_msgs", 1);
         ctx.count("ctl.tx_bytes", bytes.len() as u64);
         if env.msg.is_table1_control() {
@@ -335,12 +341,14 @@ impl SecureNode {
         if let Message::Probe(probe) = &env.msg {
             // A naive dropper swallows probes like everything else and is
             // localized; an evader acknowledges and forwards.
-            if self.behavior.data_drop_prob > 0.0 && !self.behavior.evade_probes
-                && ctx.rng().gen::<f64>() < self.behavior.data_drop_prob {
-                    self.stats.atk_data_dropped += 1;
-                    ctx.count("atk.probe_dropped", 1);
-                    return;
-                }
+            if self.behavior.data_drop_prob > 0.0
+                && !self.behavior.evade_probes
+                && ctx.rng().gen::<f64>() < self.behavior.data_drop_prob
+            {
+                self.stats.atk_data_dropped += 1;
+                ctx.count("atk.probe_dropped", 1);
+                return;
+            }
             let probe = probe.clone();
             let back: Vec<Ipv6Addr> = path.0[..=idx].iter().rev().copied().collect();
             self.send_probe_ack(ctx, &probe, back);
@@ -351,9 +359,9 @@ impl SecureNode {
         // with a forged signature (and suppresses the real one).
         if self.behavior.forge_dns {
             if let Message::DnsQuery(q) = &env.msg {
-                let forged_sig = self
-                    .ident
-                    .sign(&sigdata::dns_reply(&q.qname, Some(&self.ident.ip()), q.ch));
+                let forged_sig =
+                    self.ident
+                        .sign(&sigdata::dns_reply(&q.qname, Some(&self.ident.ip()), q.ch));
                 let reply = Message::DnsReply(manet_wire::DnsReply {
                     requester: q.requester,
                     qname: q.qname.clone(),
@@ -363,8 +371,7 @@ impl SecureNode {
                 });
                 self.stats.atk_forged_dns += 1;
                 ctx.count("atk.forged_dns", 1);
-                let back: Vec<Ipv6Addr> =
-                    path.0[..=idx].iter().rev().copied().collect();
+                let back: Vec<Ipv6Addr> = path.0[..=idx].iter().rev().copied().collect();
                 if back.len() >= 2 {
                     self.send_routed(ctx, RouteRecord(back), reply);
                 }

@@ -587,7 +587,10 @@ mod tests {
     fn verify_cache_present_by_default_and_togglable() {
         let n = mk_node(12);
         let cache = n.verify_cache().expect("default config enables the cache");
-        assert_eq!(cache.capacity(), ProtocolConfig::default().verify_cache_capacity);
+        assert_eq!(
+            cache.capacity(),
+            ProtocolConfig::default().verify_cache_capacity
+        );
         let mut rng = ChaCha12Rng::seed_from_u64(13);
         let dns_kp = manet_crypto::KeyPair::generate(512, &mut rng);
         let off = SecureNode::new(

@@ -6,9 +6,7 @@ use super::{PendingProbe, PendingRreq, SecureNode, TAG_ROUTE_PROBE, TAG_RREQ};
 use crate::envelope::Envelope;
 use crate::routecache::CachedRoute;
 use manet_sim::{Ctx, Dir};
-use manet_wire::{
-    sigdata, Crep, Ipv6Addr, Message, Rerr, RouteRecord, Rrep, Rreq, Seq, SrrEntry,
-};
+use manet_wire::{sigdata, Crep, Ipv6Addr, Message, Rerr, RouteRecord, Rrep, Rreq, Seq, SrrEntry};
 use std::collections::HashSet;
 
 impl SecureNode {
@@ -56,7 +54,13 @@ impl SecureNode {
         ctx.trace(
             Dir::Rx,
             "RREQ",
-            format!("{}→{} seq={} hops={}", rreq.sip, rreq.dip, rreq.seq.0, rreq.srr.len()),
+            format!(
+                "{}→{} seq={} hops={}",
+                rreq.sip,
+                rreq.dip,
+                rreq.seq.0,
+                rreq.srr.len()
+            ),
         );
 
         if self.is_my_addr(&rreq.dip) {
@@ -147,7 +151,11 @@ impl SecureNode {
         {
             self.stats.rejected_rreq += 1;
             ctx.count("sec.rreq_rejected", 1);
-            ctx.trace(Dir::Drop, "RREQ", format!("bad source proof from {}", rreq.sip));
+            ctx.trace(
+                Dir::Drop,
+                "RREQ",
+                format!("bad source proof from {}", rreq.sip),
+            );
             return;
         }
         // Check 2: every intermediate hop's identity.
@@ -210,9 +218,11 @@ impl SecureNode {
     fn send_crep(&mut self, ctx: &mut Ctx, rreq: &Rreq, cached: &CachedRoute) {
         let (orig_seq, d_proof) = cached.d_proof.clone().expect("creppable has proof");
         let rr_s2_to_s = rreq.srr.to_route_record();
-        let s_proof = self
-            .ident
-            .prove(&sigdata::crep_cache_holder(&rreq.sip, rreq.seq, &rr_s2_to_s));
+        let s_proof = self.ident.prove(&sigdata::crep_cache_holder(
+            &rreq.sip,
+            rreq.seq,
+            &rr_s2_to_s,
+        ));
         let crep = Crep {
             s2ip: rreq.sip,
             sip: self.ident.ip(),
@@ -245,8 +255,7 @@ impl SecureNode {
             Some(p) => (p.seq, Some(p.started)),
             None => match self.recent_rreqs.get(&rrep.dip) {
                 Some(&(seq, at))
-                    if ctx.now().as_micros().saturating_sub(at.as_micros())
-                        <= RECENT_WINDOW_US =>
+                    if ctx.now().as_micros().saturating_sub(at.as_micros()) <= RECENT_WINDOW_US =>
                 {
                     (seq, None)
                 }
@@ -267,7 +276,8 @@ impl SecureNode {
         let ok = if rrep.dip.is_dns_well_known() {
             self.check_dns_sig(ctx, &payload, &rrep.proof.sig).is_ok()
         } else {
-            self.check_proof(ctx, &rrep.dip, &payload, &rrep.proof).is_ok()
+            self.check_proof(ctx, &rrep.dip, &payload, &rrep.proof)
+                .is_ok()
         };
         if !ok {
             self.stats.rejected_rrep += 1;
@@ -320,8 +330,7 @@ impl SecureNode {
             return;
         }
         // Verify the cache holder's identity over [S'IP, seq', RR_{S'→S}].
-        let holder_payload =
-            sigdata::crep_cache_holder(&crep.s2ip, crep.seq2, &crep.rr_s2_to_s);
+        let holder_payload = sigdata::crep_cache_holder(&crep.s2ip, crep.seq2, &crep.rr_s2_to_s);
         if self
             .check_proof(ctx, &crep.sip, &holder_payload, &crep.s_proof)
             .is_err()
@@ -334,9 +343,11 @@ impl SecureNode {
         // Verify the destination's original proof over [SIP, seq, RR_{S→D}].
         let d_payload = sigdata::rrep(&crep.sip, crep.orig_seq, &crep.rr_s_to_d);
         let d_ok = if crep.dip.is_dns_well_known() {
-            self.check_dns_sig(ctx, &d_payload, &crep.d_proof.sig).is_ok()
+            self.check_dns_sig(ctx, &d_payload, &crep.d_proof.sig)
+                .is_ok()
         } else {
-            self.check_proof(ctx, &crep.dip, &d_payload, &crep.d_proof).is_ok()
+            self.check_proof(ctx, &crep.dip, &d_payload, &crep.d_proof)
+                .is_ok()
         };
         if !d_ok {
             self.stats.rejected_crep += 1;
@@ -374,12 +385,21 @@ impl SecureNode {
 
     pub(super) fn handle_rerr(&mut self, ctx: &mut Ctx, rerr: Rerr) {
         if self
-            .check_proof(ctx, &rerr.iip, &sigdata::rerr(&rerr.iip, &rerr.i2ip), &rerr.proof)
+            .check_proof(
+                ctx,
+                &rerr.iip,
+                &sigdata::rerr(&rerr.iip, &rerr.i2ip),
+                &rerr.proof,
+            )
             .is_err()
         {
             self.stats.rejected_rerr += 1;
             ctx.count("sec.rerr_rejected", 1);
-            ctx.trace(Dir::Drop, "RERR", format!("invalid proof from {}", rerr.iip));
+            ctx.trace(
+                Dir::Drop,
+                "RERR",
+                format!("invalid proof from {}", rerr.iip),
+            );
             return;
         }
         ctx.count("route.rerr_received", 1);
@@ -551,11 +571,7 @@ impl SecureNode {
     // --- timers --------------------------------------------------------------
 
     pub(super) fn on_rreq_timer(&mut self, ctx: &mut Ctx, seq: u64) {
-        let Some((&dip, _)) = self
-            .pending_rreqs
-            .iter()
-            .find(|(_, p)| p.seq.0 == seq)
-        else {
+        let Some((&dip, _)) = self.pending_rreqs.iter().find(|(_, p)| p.seq.0 == seq) else {
             return; // answered in time
         };
         let pending = self.pending_rreqs.get_mut(&dip).expect("just found");

@@ -11,16 +11,15 @@
 use crate::config::Behavior;
 use crate::credit::CreditManager;
 use crate::envelope::Envelope;
+use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::neighbor::NeighborCache;
 use crate::routecache::{CachedRoute, RouteCache};
 use crate::stats::NodeStats;
 use manet_sim::{Ctx, Dir, NodeId, Protocol, SimDuration, SimTime};
-use manet_wire::{
-    Ack, Data, Ipv6Addr, Message, PlainRerr, PlainRrep, PlainRreq, RouteRecord, Seq,
-};
+use manet_wire::{Ack, Data, Ipv6Addr, Message, PlainRerr, PlainRrep, PlainRreq, RouteRecord, Seq};
 use rand::Rng;
 use std::any::Any;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
 
 const TAG_KIND_MASK: u64 = 0xff << 56;
 const TAG_RREQ: u64 = 2 << 56;
@@ -76,9 +75,9 @@ pub struct PlainDsrNode {
     credits: CreditManager,
     stats: NodeStats,
     next_seq: u64,
-    seen_rreqs: HashSet<(Ipv6Addr, u64)>,
-    pending_rreqs: HashMap<Ipv6Addr, PendingRreq>,
-    pending_acks: HashMap<u64, PendingAck>,
+    seen_rreqs: FxHashSet<(Ipv6Addr, u64)>,
+    pending_rreqs: FxHashMap<Ipv6Addr, PendingRreq>,
+    pending_acks: FxHashMap<u64, PendingAck>,
     send_buffer: VecDeque<(Ipv6Addr, Seq, Vec<u8>)>,
 }
 
@@ -103,9 +102,9 @@ impl PlainDsrNode {
             }),
             stats: NodeStats::default(),
             next_seq: 1,
-            seen_rreqs: HashSet::new(),
-            pending_rreqs: HashMap::new(),
-            pending_acks: HashMap::new(),
+            seen_rreqs: FxHashSet::default(),
+            pending_rreqs: FxHashMap::default(),
+            pending_acks: FxHashMap::default(),
             send_buffer: VecDeque::new(),
         }
     }
@@ -211,7 +210,11 @@ impl PlainDsrNode {
     }
 
     fn tx(&mut self, ctx: &mut Ctx, to: Option<NodeId>, env: Envelope) {
-        let bytes = env.encode();
+        // Encode into a recycled frame buffer: steady-state transmit
+        // allocates nothing (the buffer returns to the engine pool once
+        // the frame's last receiver has been dispatched).
+        let mut bytes = ctx.frame_buf();
+        env.encode_into(&mut bytes);
         ctx.count("ctl.tx_msgs", 1);
         ctx.count("ctl.tx_bytes", bytes.len() as u64);
         if !matches!(env.msg, Message::Data(_) | Message::Ack(_)) {
@@ -381,13 +384,13 @@ impl PlainDsrNode {
     fn handle_data(&mut self, ctx: &mut Ctx, data: Data) {
         self.stats.data_received += 1;
         ctx.count("app.data_received", 1);
+        let path = data.route.reversed();
         let ack = Ack {
             sip: data.sip,
             dip: data.dip,
             seq: data.seq,
-            route: data.route.clone(),
+            route: data.route,
         };
-        let path = data.route.reversed();
         if path.len() >= 2 {
             self.send_routed(ctx, path, Message::Ack(ack));
         }
@@ -401,7 +404,6 @@ impl PlainDsrNode {
     }
 
     fn forward(&mut self, ctx: &mut Ctx, mut env: Envelope) {
-        let path = env.source_route.clone().expect("routed");
         let idx = env.sr_index as usize;
         if let Message::Data(_) = env.msg {
             if self.behavior.data_drop_prob > 0.0
@@ -412,18 +414,21 @@ impl PlainDsrNode {
                 return;
             }
         }
+        let path = env.source_route.as_ref().expect("routed");
         let next = path.0[idx + 1];
+        let at_last_hop = idx + 1 == path.len() - 1;
         env.sr_index += 1;
         env.src_ip = self.ip;
         let is_data = matches!(env.msg, Message::Data(_));
         ctx.count("route.forwarded", 1);
         if let Some(node) = self.neighbors.lookup(&next, ctx.now()) {
             self.tx(ctx, Some(node), env);
-        } else if idx + 1 == path.len() - 1 {
+        } else if at_last_hop {
             self.tx(ctx, None, env);
         } else {
             self.neighbors.forget(&next);
             if is_data {
+                let path = env.source_route.take().expect("routed");
                 self.originate_rerr(ctx, &path, idx, next);
             }
         }
@@ -496,6 +501,19 @@ impl Protocol for PlainDsrNode {
     }
 
     fn on_frame(&mut self, ctx: &mut Ctx, src: NodeId, bytes: &[u8]) {
+        // Duplicate-flood fast path: in a dense RREQ flood most
+        // receptions are copies of a request this node already relayed
+        // (or its own request echoed back). Those need the neighbor
+        // learned and nothing else — skip the route-record allocation
+        // the full decode would do. The peek validates the layout as
+        // strictly as `decode`, so malformed frames still fall through
+        // to the counting path below.
+        if let Some((src_ip, h)) = Envelope::peek_broadcast_rreq(bytes) {
+            if h.sip == self.ip || self.seen_rreqs.contains(&(h.sip, h.seq.0)) {
+                self.neighbors.learn(src_ip, src, ctx.now());
+                return;
+            }
+        }
         let Ok(env) = Envelope::decode(bytes) else {
             ctx.count("rx.malformed", 1);
             return;

@@ -130,20 +130,23 @@ impl RouteCache {
             .filter(|r| !credits.route_avoided(&r.relays))
             .max_by(|a, b| {
                 let (sa, sb) = if credits.enabled() {
-                    (credits.route_score(&a.relays), credits.route_score(&b.relays))
+                    (
+                        credits.route_score(&a.relays),
+                        credits.route_score(&b.relays),
+                    )
                 } else {
                     (0, 0)
                 };
-                sa.cmp(&sb)
-                    .then(b.relays.len().cmp(&a.relays.len())) // shorter wins
+                sa.cmp(&sb).then(b.relays.len().cmp(&a.relays.len())) // shorter wins
             })
     }
 
     /// A fresh self-discovered route to `dst` usable for a CREP answer.
     pub fn creppable(&self, dst: &Ipv6Addr, now: SimTime) -> Option<&CachedRoute> {
-        self.routes.get(dst)?.iter().find(|r| {
-            self.fresh(r, now) && r.d_proof.is_some()
-        })
+        self.routes
+            .get(dst)?
+            .iter()
+            .find(|r| self.fresh(r, now) && r.d_proof.is_some())
     }
 
     /// Remove every route (to any destination) that uses the directed

@@ -19,7 +19,8 @@ use crate::config::{Behavior, ProtocolConfig};
 use crate::node::SecureNode;
 use crate::plain::{PlainConfig, PlainDsrNode};
 use manet_sim::{
-    ChannelMode, Engine, EngineConfig, Field, Mobility, RadioConfig, SimDuration, SimTime,
+    ChannelMode, Engine, EngineConfig, Field, Mobility, QueueImpl, RadioConfig, SimDuration,
+    SimTime,
 };
 use manet_wire::DomainName;
 use std::marker::PhantomData;
@@ -79,6 +80,7 @@ pub struct ScenarioBuilder {
     seed: u64,
     trace: bool,
     channel: ChannelMode,
+    queue: QueueImpl,
     attackers: Vec<(usize, Behavior)>,
     churn_kills: usize,
     churn_window: (SimTime, SimTime),
@@ -98,6 +100,7 @@ impl Default for ScenarioBuilder {
             seed: 1,
             trace: false,
             channel: ChannelMode::Grid,
+            queue: QueueImpl::Wheel,
             attackers: Vec::new(),
             churn_kills: 0,
             churn_window: (SimTime(4_000_000), SimTime(10_000_000)),
@@ -160,6 +163,13 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Pending-event store; `Wheel` unless a differential test or
+    /// baseline measurement wants the binary-heap oracle.
+    pub fn queue(mut self, queue: QueueImpl) -> Self {
+        self.queue = queue;
+        self
+    }
+
     /// Give host `idx` an attacker behavior.
     pub fn adversary(mut self, idx: usize, behavior: Behavior) -> Self {
         self.attackers.push((idx, behavior));
@@ -213,9 +223,7 @@ impl ScenarioBuilder {
     fn resolved_field(&self) -> Field {
         match self.field {
             FieldSpec::Explicit(f) => f,
-            FieldSpec::Density(target) => {
-                field_for_density(self.n_hosts, self.radio.range, target)
-            }
+            FieldSpec::Density(target) => field_for_density(self.n_hosts, self.radio.range, target),
         }
     }
 
@@ -226,6 +234,7 @@ impl ScenarioBuilder {
             seed: self.seed,
             trace: self.trace,
             channel: self.channel,
+            queue: self.queue,
             ..EngineConfig::default()
         })
     }

@@ -127,7 +127,11 @@ mod tests {
         let report = net.run_flows(&[(0, 4)], 10, SimDuration::from_millis(300));
         let ratio = report.delivery_ratio.expect("packets were sent");
         assert!(ratio > 0.9, "plain delivery ratio {ratio} too low");
-        assert_eq!(report.crypto, CryptoTotals::default(), "no crypto in plain DSR");
+        assert_eq!(
+            report.crypto,
+            CryptoTotals::default(),
+            "no crypto in plain DSR"
+        );
     }
 
     #[test]

@@ -150,7 +150,9 @@ impl<P: NodeApi> Network<P> {
 
     /// Are all hosts done joining?
     pub fn all_ready(&self) -> bool {
-        self.hosts.iter().all(|&h| self.engine.protocol_as::<P>(h).ready())
+        self.hosts
+            .iter()
+            .all(|&h| self.engine.protocol_as::<P>(h).ready())
     }
 
     /// Fraction of sent data packets that were end-to-end acknowledged,
@@ -221,6 +223,7 @@ impl<P: NodeApi> Network<P> {
     pub fn report(&self, wall_s: f64) -> RunReport {
         let m = self.engine.metrics();
         let events = self.engine.events_processed();
+        let busy = self.engine.busy_secs();
         RunReport {
             delivery_ratio: self.delivery_ratio(),
             mean_degree: self.mean_degree(),
@@ -229,7 +232,17 @@ impl<P: NodeApi> Network<P> {
             events,
             sim_s: self.engine.now().as_secs_f64(),
             wall_s,
-            events_per_sec: if wall_s > 0.0 { events as f64 / wall_s } else { 0.0 },
+            events_per_sec: if wall_s > 0.0 {
+                events as f64 / wall_s
+            } else {
+                0.0
+            },
+            events_per_sec_engine: if busy > 0.0 {
+                events as f64 / busy
+            } else {
+                0.0
+            },
+            queue_impl: self.engine.queue_impl().name(),
             tx_bytes: m.counter("ctl.tx_bytes"),
             rx_frames: m.counter("phy.rx_frames"),
             nodes_killed: m.counter("sim.nodes_killed"),

@@ -64,7 +64,8 @@ pub(crate) fn positions_for(
             let all = bypass_layout();
             let expected = if has_dns { all.len() } else { all.len() - 1 };
             assert_eq!(
-                n, expected,
+                n,
+                expected,
                 "bypass topology is fixed at 5 hosts{}; asked for {n} positions",
                 if has_dns { " + DNS" } else { "" }
             );
@@ -121,8 +122,13 @@ mod tests {
     #[test]
     fn custom_placement_checks_size() {
         let field = Field::new(100.0, 100.0);
-        let got =
-            positions_for(&Placement::Custom(vec![Pos::new(1.0, 2.0)]), 1, false, &field, 0);
+        let got = positions_for(
+            &Placement::Custom(vec![Pos::new(1.0, 2.0)]),
+            1,
+            false,
+            &field,
+            0,
+        );
         assert_eq!(got, vec![Pos::new(1.0, 2.0)]);
     }
 }

@@ -71,6 +71,17 @@ pub struct RunReport {
     /// [`Network::report`](super::Network::report) divides the whole
     /// history by the caller's wall window.
     pub events_per_sec: f64,
+    /// Engine-only throughput: lifetime events over wall-clock seconds
+    /// spent inside `Engine::run_until`. Free of scenario construction
+    /// and key generation, so it is the number the CI perf-regression
+    /// gate compares across commits. Wall-derived, masked by
+    /// [`RunReport::fingerprint`].
+    pub events_per_sec_engine: f64,
+    /// Which pending-event store produced this run (`"wheel"` /
+    /// `"heap"`). A configuration echo, not an observable — masked by
+    /// [`RunReport::fingerprint`] so wheel-vs-heap differentials can
+    /// compare whole reports.
+    pub queue_impl: &'static str,
     pub tx_bytes: u64,
     pub rx_frames: u64,
     pub nodes_killed: u64,
@@ -84,6 +95,8 @@ impl RunReport {
         RunReport {
             wall_s: 0.0,
             events_per_sec: 0.0,
+            events_per_sec_engine: 0.0,
+            queue_impl: "",
             ..self.clone()
         }
     }
@@ -104,6 +117,7 @@ impl RunReport {
         format!(
             concat!(
                 "{{\"wall_s\": {:.3}, \"events\": {}, \"events_per_sec\": {:.0}, ",
+                "\"events_per_sec_engine\": {:.0}, \"queue_impl\": \"{}\", ",
                 "\"sim_s\": {:.1}, \"delivery_ratio\": {}, \"mean_degree\": {}, ",
                 "\"tx_bytes\": {}, \"rx_frames\": {}, \"nodes_killed\": {}, ",
                 "\"totals\": {{\"data_sent\": {}, \"data_acked\": {}, \"data_failed\": {}, ",
@@ -113,6 +127,8 @@ impl RunReport {
             self.wall_s,
             self.events,
             self.events_per_sec,
+            self.events_per_sec_engine,
+            self.queue_impl,
             self.sim_s,
             opt(self.delivery_ratio),
             opt(self.mean_degree),
@@ -152,6 +168,8 @@ mod tests {
             sim_s: 20.5,
             wall_s: 0.123,
             events_per_sec: 10032.5,
+            events_per_sec_engine: 20065.0,
+            queue_impl: "wheel",
             tx_bytes: 9000,
             rx_frames: 400,
             nodes_killed: 0,
@@ -164,6 +182,10 @@ mod tests {
         let mut b = sample();
         b.wall_s = 99.0;
         b.events_per_sec = 1.0;
+        b.events_per_sec_engine = 2.0;
+        // The queue choice is config, not an observable: wheel-vs-heap
+        // differentials compare fingerprints directly.
+        b.queue_impl = "heap";
         assert_ne!(a, b);
         assert_eq!(a.fingerprint(), b.fingerprint());
         // A genuine divergence still shows through.
@@ -190,6 +212,8 @@ mod tests {
         assert!(j.contains("\"mean_degree\": null"), "{j}");
         assert!(j.contains("\"wall_s\": 0.123"), "{j}");
         assert!(j.contains("\"crypto\": {\"executed\": 10"), "{j}");
+        assert!(j.contains("\"events_per_sec_engine\": 20065"), "{j}");
+        assert!(j.contains("\"queue_impl\": \"wheel\""), "{j}");
     }
 
     #[test]

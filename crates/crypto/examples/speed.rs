@@ -15,7 +15,10 @@ use std::time::Instant;
 
 fn main() {
     let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(1);
-    println!("{:>6} {:>14} {:>12} {:>12}", "bits", "keygen (ms)", "sign (µs)", "verify (µs)");
+    println!(
+        "{:>6} {:>14} {:>12} {:>12}",
+        "bits", "keygen (ms)", "sign (µs)", "verify (µs)"
+    );
     for bits in [512u32, 768, 1024, 2048] {
         let t0 = Instant::now();
         let kp = KeyPair::generate(bits, &mut rng);

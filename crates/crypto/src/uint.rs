@@ -704,7 +704,13 @@ mod tests {
             limbs.push(x);
         }
         // Check across sizes spanning the schoolbook/Karatsuba switch.
-        for n in [1usize, 3, KARATSUBA_THRESHOLD - 1, KARATSUBA_THRESHOLD, KARATSUBA_THRESHOLD * 2 + 3] {
+        for n in [
+            1usize,
+            3,
+            KARATSUBA_THRESHOLD - 1,
+            KARATSUBA_THRESHOLD,
+            KARATSUBA_THRESHOLD * 2 + 3,
+        ] {
             let v = Ubig::from_limbs(limbs[..n].to_vec());
             assert_eq!(v.square(), &v * &v, "n={n}");
         }

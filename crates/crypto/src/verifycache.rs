@@ -140,13 +140,23 @@ impl VerifyCache {
             self.unlink(idx);
             let old = std::mem::replace(
                 &mut self.slots[idx],
-                Slot { key, valid, prev: NIL, next: NIL },
+                Slot {
+                    key,
+                    valid,
+                    prev: NIL,
+                    next: NIL,
+                },
             );
             self.map.remove(&old.key);
             self.evictions += 1;
             idx
         } else {
-            self.slots.push(Slot { key, valid, prev: NIL, next: NIL });
+            self.slots.push(Slot {
+                key,
+                valid,
+                prev: NIL,
+                next: NIL,
+            });
             self.slots.len() - 1
         };
         self.map.insert(key, idx);

@@ -53,7 +53,9 @@ pub trait Protocol {
 }
 
 /// Commands a protocol issues during a callback; applied by the engine
-/// when the callback returns.
+/// when the callback returns. The engine keeps one instance and reuses
+/// its buffers across callbacks (drained, never dropped), so dispatch
+/// allocates nothing in steady state.
 #[derive(Default)]
 pub(crate) struct CtxOut {
     pub(crate) sends: Vec<(LinkDst, Vec<u8>)>,
@@ -71,12 +73,22 @@ pub struct Ctx<'a> {
     pub(crate) metrics: &'a mut Metrics,
     pub(crate) tracer: &'a mut Tracer,
     pub(crate) next_handle: &'a mut u64,
+    pub(crate) frame_pool: &'a mut Vec<Vec<u8>>,
 }
 
 impl Ctx<'_> {
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// An empty byte buffer for encoding an outgoing frame — recycled
+    /// from a previously delivered frame when one is available, so the
+    /// encode→transmit→deliver cycle reuses storage instead of
+    /// allocating per frame. Hand the filled buffer to
+    /// [`Ctx::broadcast`] / [`Ctx::unicast`] as usual.
+    pub fn frame_buf(&mut self) -> Vec<u8> {
+        self.frame_pool.pop().unwrap_or_default()
     }
 
     /// Queue a broadcast frame.

@@ -43,27 +43,42 @@
 
 pub use crate::ctx::{Ctx, LinkDst, NodeId, Protocol, TimerHandle};
 pub use crate::link::ChannelMode;
+pub use crate::queue::QueueImpl;
 
 use crate::ctx::CtxOut;
 use crate::geom::{Field, Pos};
 use crate::grid::SpatialGrid;
 use crate::metrics::Metrics;
 use crate::mobility::{Mobility, MobilityState};
-use crate::queue::{Event, EventQueue, TimerTable};
+use crate::queue::{Event, PendingQueue, TimerTable};
 use crate::radio::RadioConfig;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::Tracer;
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
 
+/// Cold per-node state: touched once per dispatched callback (protocol)
+/// or once per mobility tick (mobility), never in the candidate-filter
+/// loop.
 pub(crate) struct NodeSlot {
     pub(crate) proto: Option<Box<dyn Protocol>>,
-    pub(crate) pos: Pos,
     pub(crate) mobility: MobilityState,
+}
+
+/// Hot per-node state, packed into its own slab so the broadcast
+/// delivery filter (position + liveness + join check per candidate)
+/// touches 32 bytes per node instead of dragging the protocol box and
+/// mobility state through the cache.
+pub(crate) struct HotNode {
+    pub(crate) pos: Pos,
+    pub(crate) join_at: SimTime,
     pub(crate) alive: bool,
     pub(crate) started: bool,
-    pub(crate) join_at: SimTime,
 }
+
+/// Recycled frame buffers kept at most this many deep (largest scale
+/// exhibit uses a few hundred in flight; frames are ~100–300 bytes).
+const FRAME_POOL_CAP: usize = 1024;
 
 /// Engine configuration.
 #[derive(Clone, Debug)]
@@ -81,6 +96,9 @@ pub struct EngineConfig {
     /// Receiver lookup strategy (see the module docs); `Grid` unless a
     /// differential test or baseline measurement asks for `Linear`.
     pub channel: ChannelMode,
+    /// Pending-event store; `Wheel` unless a differential test or
+    /// baseline measurement asks for the `Heap` oracle.
+    pub queue: QueueImpl,
 }
 
 impl Default for EngineConfig {
@@ -93,6 +111,7 @@ impl Default for EngineConfig {
             trace: false,
             max_events: 50_000_000,
             channel: ChannelMode::Grid,
+            queue: QueueImpl::Wheel,
         }
     }
 }
@@ -100,8 +119,10 @@ impl Default for EngineConfig {
 /// The discrete-event simulator.
 pub struct Engine {
     pub(crate) cfg: EngineConfig,
-    pub(crate) queue: EventQueue,
+    pub(crate) queue: PendingQueue,
     pub(crate) nodes: Vec<NodeSlot>,
+    /// Hot slab, index-aligned with `nodes` (see [`HotNode`]).
+    pub(crate) hot: Vec<HotNode>,
     pub(crate) now: SimTime,
     pub(crate) rng: ChaCha12Rng,
     pub(crate) metrics: Metrics,
@@ -112,7 +133,19 @@ pub struct Engine {
     pub(crate) grid: Option<SpatialGrid>,
     /// Reusable candidate buffer for broadcast delivery.
     pub(crate) bcast_scratch: Vec<NodeId>,
+    /// Reusable callback-output buffers (see [`CtxOut`]): cleared after
+    /// every apply, never dropped, so steady-state dispatch allocates
+    /// nothing.
+    ctx_scratch: CtxOut,
+    /// Recycled frame buffers: a delivered frame's buffer returns here
+    /// once its last receiver has seen it, and [`Ctx::frame_buf`] hands
+    /// it back out for the next encode.
+    pub(crate) frame_pool: Vec<Vec<u8>>,
     events_processed: u64,
+    /// Wall-clock time spent inside `run_until` — the denominator of
+    /// the machine-dependent `events/sec (engine)` rate the scale
+    /// exhibits and the CI perf gate report.
+    busy: std::time::Duration,
     mobility_scheduled: bool,
 }
 
@@ -125,9 +158,10 @@ impl Engine {
             ChannelMode::Linear => None,
         };
         Engine {
+            queue: PendingQueue::new(cfg.queue),
             cfg,
-            queue: EventQueue::new(),
             nodes: Vec::new(),
+            hot: Vec::new(),
             now: SimTime::ZERO,
             rng,
             metrics: Metrics::new(),
@@ -135,18 +169,16 @@ impl Engine {
             timers: TimerTable::new(),
             grid,
             bcast_scratch: Vec::new(),
+            ctx_scratch: CtxOut::default(),
+            frame_pool: Vec::new(),
             events_processed: 0,
+            busy: std::time::Duration::ZERO,
             mobility_scheduled: false,
         }
     }
 
     /// Add a node joining at t=0.
-    pub fn add_node(
-        &mut self,
-        proto: Box<dyn Protocol>,
-        pos: Pos,
-        mobility: Mobility,
-    ) -> NodeId {
+    pub fn add_node(&mut self, proto: Box<dyn Protocol>, pos: Pos, mobility: Mobility) -> NodeId {
         self.add_node_at(proto, pos, mobility, SimTime::ZERO)
     }
 
@@ -162,11 +194,13 @@ impl Engine {
         let id = NodeId(self.nodes.len());
         self.nodes.push(NodeSlot {
             proto: Some(proto),
-            pos,
             mobility: MobilityState::new(mobility),
+        });
+        self.hot.push(HotNode {
+            pos,
+            join_at,
             alive: true,
             started: false,
-            join_at,
         });
         if let Some(grid) = &mut self.grid {
             grid.insert(id, &pos);
@@ -182,13 +216,13 @@ impl Engine {
 
     /// Current position of a node.
     pub fn position(&self, node: NodeId) -> Pos {
-        self.nodes[node.0].pos
+        self.hot[node.0].pos
     }
 
     /// Teleport a node (scripted topology changes in tests).
     pub fn set_position(&mut self, node: NodeId, pos: Pos) {
         let pos = self.cfg.field.clamp(pos);
-        self.nodes[node.0].pos = pos;
+        self.hot[node.0].pos = pos;
         if let Some(grid) = &mut self.grid {
             grid.relocate(node, &pos);
         }
@@ -196,7 +230,7 @@ impl Engine {
 
     /// Is the node alive?
     pub fn is_alive(&self, node: NodeId) -> bool {
-        self.nodes[node.0].alive
+        self.hot[node.0].alive
     }
 
     /// Number of nodes (alive or not).
@@ -209,6 +243,19 @@ impl Engine {
     /// exhibits).
     pub fn events_processed(&self) -> u64 {
         self.events_processed
+    }
+
+    /// Wall-clock seconds spent inside [`Engine::run_until`] so far.
+    /// `events_processed() / busy_secs()` is the engine-only throughput
+    /// rate — free of scenario construction and key generation, which
+    /// is what the perf-regression gate compares.
+    pub fn busy_secs(&self) -> f64 {
+        self.busy.as_secs_f64()
+    }
+
+    /// Which pending-event store this engine runs on.
+    pub fn queue_impl(&self) -> QueueImpl {
+        self.cfg.queue
     }
 
     /// Borrow a protocol for post-run inspection.
@@ -249,7 +296,7 @@ impl Engine {
             .proto
             .take()
             .expect("protocol checked out");
-        let mut out = CtxOut::default();
+        let mut out = std::mem::take(&mut self.ctx_scratch);
         let mut ctx = Ctx {
             node,
             now: self.now,
@@ -258,6 +305,7 @@ impl Engine {
             metrics: &mut self.metrics,
             tracer: &mut self.tracer,
             next_handle: &mut self.timers.next_handle,
+            frame_pool: &mut self.frame_pool,
         };
         let r = f(
             proto
@@ -267,7 +315,8 @@ impl Engine {
             &mut ctx,
         );
         self.nodes[node.0].proto = Some(proto);
-        self.apply_out(node, out);
+        self.apply_out(node, &mut out);
+        self.ctx_scratch = out;
         r
     }
 
@@ -294,6 +343,7 @@ impl Engine {
 
     /// Process events until `until` (inclusive) or the queue drains.
     pub fn run_until(&mut self, until: SimTime) {
+        let t0 = std::time::Instant::now();
         self.ensure_mobility_tick(until);
         while let Some((time, event)) = self.queue.pop_due(until) {
             self.events_processed += 1;
@@ -308,6 +358,7 @@ impl Engine {
         if self.now < until {
             self.now = until;
         }
+        self.busy += t0.elapsed();
     }
 
     fn ensure_mobility_tick(&mut self, until: SimTime) {
@@ -322,51 +373,55 @@ impl Engine {
     fn dispatch(&mut self, event: Event, until: SimTime) {
         match event {
             Event::Start(id) => {
-                if !self.nodes[id.0].alive || self.nodes[id.0].started {
+                if !self.hot[id.0].alive || self.hot[id.0].started {
                     return;
                 }
-                self.nodes[id.0].started = true;
+                self.hot[id.0].started = true;
                 self.call_protocol(id, |p, ctx| p.on_start(ctx));
             }
             Event::Deliver { to, src, bytes } => {
-                let slot = &self.nodes[to.0];
+                let slot = &self.hot[to.0];
                 if !slot.alive || !slot.started {
                     self.metrics.count("phy.rx_dropped_dead", 1);
+                    self.recycle_frame(bytes);
                     return;
                 }
                 self.metrics.count("phy.rx_frames", 1);
                 self.metrics.count("phy.rx_bytes", bytes.len() as u64);
                 self.call_protocol(to, |p, ctx| p.on_frame(ctx, src, &bytes));
+                self.recycle_frame(bytes);
             }
             Event::Timer { node, handle, tag } => {
                 if !self.timers.should_fire(handle) {
                     return;
                 }
-                let slot = &self.nodes[node.0];
+                let slot = &self.hot[node.0];
                 if !slot.alive || !slot.started {
                     return;
                 }
                 self.call_protocol(node, |p, ctx| p.on_timer(ctx, tag));
             }
             Event::LinkFailure { node, to, bytes } => {
-                let slot = &self.nodes[node.0];
-                if !slot.alive || !slot.started {
-                    return;
+                let slot = &self.hot[node.0];
+                if slot.alive && slot.started {
+                    self.metrics.count("phy.link_failures", 1);
+                    self.call_protocol(node, |p, ctx| p.on_link_failure(ctx, to, &bytes));
                 }
-                self.metrics.count("phy.link_failures", 1);
-                self.call_protocol(node, |p, ctx| p.on_link_failure(ctx, to, &bytes));
+                self.recycle_frame(bytes);
             }
             Event::MobilityTick => {
                 let dt = self.cfg.mobility_tick.as_secs_f64();
                 let field = self.cfg.field;
                 for i in 0..self.nodes.len() {
-                    let slot = &mut self.nodes[i];
-                    if slot.alive && slot.started {
-                        let before = slot.pos;
-                        slot.mobility.step(&mut slot.pos, &field, dt, &mut self.rng);
-                        if slot.pos != before {
+                    let hot = &mut self.hot[i];
+                    if hot.alive && hot.started {
+                        let before = hot.pos;
+                        self.nodes[i]
+                            .mobility
+                            .step(&mut hot.pos, &field, dt, &mut self.rng);
+                        if hot.pos != before {
                             if let Some(grid) = &mut self.grid {
-                                grid.relocate(NodeId(i), &slot.pos);
+                                grid.relocate(NodeId(i), &hot.pos);
                             }
                         }
                     }
@@ -375,11 +430,23 @@ impl Engine {
                 self.ensure_mobility_tick(until);
             }
             Event::Kill(id) => {
-                self.nodes[id.0].alive = false;
+                self.hot[id.0].alive = false;
                 if let Some(grid) = &mut self.grid {
                     grid.remove(id);
                 }
                 self.metrics.count("sim.nodes_killed", 1);
+            }
+        }
+    }
+
+    /// Return a delivered frame's buffer to the pool once this was its
+    /// last outstanding reference (i.e. the broadcast fan-out is fully
+    /// dispatched). The next [`Ctx::frame_buf`] hands it back out.
+    fn recycle_frame(&mut self, bytes: std::sync::Arc<Vec<u8>>) {
+        if let Some(mut buf) = std::sync::Arc::into_inner(bytes) {
+            if self.frame_pool.len() < FRAME_POOL_CAP {
+                buf.clear();
+                self.frame_pool.push(buf);
             }
         }
     }
@@ -389,7 +456,7 @@ impl Engine {
             .proto
             .take()
             .expect("re-entrant protocol call");
-        let mut out = CtxOut::default();
+        let mut out = std::mem::take(&mut self.ctx_scratch);
         {
             let mut ctx = Ctx {
                 node: id,
@@ -399,18 +466,23 @@ impl Engine {
                 metrics: &mut self.metrics,
                 tracer: &mut self.tracer,
                 next_handle: &mut self.timers.next_handle,
+                frame_pool: &mut self.frame_pool,
             };
             f(proto.as_mut(), &mut ctx);
         }
         self.nodes[id.0].proto = Some(proto);
-        self.apply_out(id, out);
+        self.apply_out(id, &mut out);
+        self.ctx_scratch = out;
     }
 
-    fn apply_out(&mut self, id: NodeId, out: CtxOut) {
+    /// Drain a callback's buffered commands into the engine. The buffers
+    /// are emptied but keep their capacity — the caller puts them back
+    /// into `ctx_scratch` for the next callback.
+    fn apply_out(&mut self, id: NodeId, out: &mut CtxOut) {
         // Arm before cancelling: a callback may set a timer and cancel it
         // in the same batch, and the timer table drops cancels for
         // handles it has never seen armed.
-        for (delay, handle, tag) in out.timers {
+        for (delay, handle, tag) in out.timers.drain(..) {
             let t = self.now + delay;
             self.timers.arm(handle);
             self.queue.push(
@@ -422,10 +494,10 @@ impl Engine {
                 },
             );
         }
-        for h in out.cancels {
+        for h in out.cancels.drain(..) {
             self.timers.cancel(h);
         }
-        for (dst, bytes) in out.sends {
+        for (dst, bytes) in out.sends.drain(..) {
             self.transmit(id, dst, bytes);
         }
     }
@@ -506,8 +578,16 @@ mod tests {
             let mut sender = Echo::new();
             sender.start_broadcast = Some(vec![1, 2, 3]);
             let _a = e.add_node(Box::new(sender), Pos::new(0.0, 0.0), Mobility::Static);
-            let b = e.add_node(Box::new(Echo::new()), Pos::new(100.0, 0.0), Mobility::Static);
-            let c = e.add_node(Box::new(Echo::new()), Pos::new(400.0, 0.0), Mobility::Static);
+            let b = e.add_node(
+                Box::new(Echo::new()),
+                Pos::new(100.0, 0.0),
+                Mobility::Static,
+            );
+            let c = e.add_node(
+                Box::new(Echo::new()),
+                Pos::new(400.0, 0.0),
+                Mobility::Static,
+            );
             e.run_until(SimTime(1_000_000));
             assert_eq!(e.protocol_as::<Echo>(b).frames.len(), 1, "{channel:?}");
             assert_eq!(e.protocol_as::<Echo>(b).frames[0].1, vec![1, 2, 3]);
@@ -526,7 +606,11 @@ mod tests {
         let mut s2 = Echo::new();
         s2.unicast_on_start = Some((NodeId(3), vec![7]));
         let c = e.add_node(Box::new(s2), Pos::new(500.0, 0.0), Mobility::Static);
-        let d = e.add_node(Box::new(Echo::new()), Pos::new(900.0, 0.0), Mobility::Static);
+        let d = e.add_node(
+            Box::new(Echo::new()),
+            Pos::new(900.0, 0.0),
+            Mobility::Static,
+        );
         e.run_until(SimTime(1_000_000));
         assert_eq!(e.protocol_as::<Echo>(b).frames.len(), 1);
         assert_eq!(e.protocol_as::<Echo>(a).link_failures.len(), 0);
@@ -714,8 +798,16 @@ mod tests {
         for channel in [ChannelMode::Grid, ChannelMode::Linear] {
             let mut e = engine_with(channel);
             let a = e.add_node(Box::new(Echo::new()), Pos::new(0.0, 0.0), Mobility::Static);
-            let b = e.add_node(Box::new(Echo::new()), Pos::new(100.0, 0.0), Mobility::Static);
-            let c = e.add_node(Box::new(Echo::new()), Pos::new(1000.0, 0.0), Mobility::Static);
+            let b = e.add_node(
+                Box::new(Echo::new()),
+                Pos::new(100.0, 0.0),
+                Mobility::Static,
+            );
+            let c = e.add_node(
+                Box::new(Echo::new()),
+                Pos::new(1000.0, 0.0),
+                Mobility::Static,
+            );
             e.run_until(SimTime(1));
             assert_eq!(e.neighbors(a), vec![b], "{channel:?}");
             e.set_position(c, Pos::new(50.0, 0.0));
@@ -741,9 +833,21 @@ mod tests {
     fn connectivity_analysis() {
         let mut e = engine(); // range 150
         let a = e.add_node(Box::new(Echo::new()), Pos::new(0.0, 0.0), Mobility::Static);
-        let b = e.add_node(Box::new(Echo::new()), Pos::new(100.0, 0.0), Mobility::Static);
-        let c = e.add_node(Box::new(Echo::new()), Pos::new(200.0, 0.0), Mobility::Static);
-        let d = e.add_node(Box::new(Echo::new()), Pos::new(900.0, 0.0), Mobility::Static);
+        let b = e.add_node(
+            Box::new(Echo::new()),
+            Pos::new(100.0, 0.0),
+            Mobility::Static,
+        );
+        let c = e.add_node(
+            Box::new(Echo::new()),
+            Pos::new(200.0, 0.0),
+            Mobility::Static,
+        );
+        let d = e.add_node(
+            Box::new(Echo::new()),
+            Pos::new(900.0, 0.0),
+            Mobility::Static,
+        );
         e.run_until(SimTime(1));
         // a-b-c form a chain; d is isolated.
         let mut comp = e.connected_component(a);
@@ -801,7 +905,11 @@ mod tests {
             // 150 m: inside the gray band, outside crisp range. Reception
             // probability ~0.58; with the same seed both channels make
             // the same draw — and it must at least be *attempted*.
-            let b = e.add_node(Box::new(Echo::new()), Pos::new(150.0, 0.0), Mobility::Static);
+            let b = e.add_node(
+                Box::new(Echo::new()),
+                Pos::new(150.0, 0.0),
+                Mobility::Static,
+            );
             e.run_until(SimTime(1_000_000));
             let heard = e.protocol_as::<Echo>(b).frames.len()
                 + e.metrics().counter("phy.rx_dropped_loss") as usize;

@@ -29,12 +29,14 @@ pub mod radio;
 pub mod runner;
 pub mod time;
 pub mod trace;
+mod wheel;
 
 pub use engine::{Ctx, Engine, EngineConfig, LinkDst, NodeId, Protocol, TimerHandle};
-pub use link::ChannelMode;
 pub use geom::{Field, Pos};
+pub use link::ChannelMode;
 pub use metrics::{Metrics, Series};
 pub use mobility::{placement, Mobility};
+pub use queue::QueueImpl;
 pub use radio::RadioConfig;
 pub use time::{SimDuration, SimTime};
 pub use trace::{Dir, TraceEvent, Tracer};

@@ -41,7 +41,7 @@ impl Engine {
             Some(grid) => grid.candidates_into(pos, out),
             None => {
                 out.clear();
-                out.extend((0..self.nodes.len()).map(NodeId));
+                out.extend((0..self.hot.len()).map(NodeId));
             }
         }
     }
@@ -51,10 +51,10 @@ impl Engine {
     /// contents are replaced) — the allocation-free variant for hot
     /// call-sites.
     pub fn neighbors_into(&self, node: NodeId, out: &mut Vec<NodeId>) {
-        let me_pos = self.nodes[node.0].pos;
+        let me_pos = self.hot[node.0].pos;
         self.candidates_into(&me_pos, out);
         out.retain(|&other| {
-            let n = &self.nodes[other.0];
+            let n = &self.hot[other.0];
             other != node
                 && n.alive
                 && n.join_at <= self.now
@@ -73,9 +73,9 @@ impl Engine {
     /// All nodes reachable from `from` over current radio links (BFS on
     /// the unit-disk graph of alive, joined nodes), including `from`.
     pub fn connected_component(&self, from: NodeId) -> Vec<NodeId> {
-        let mut seen = vec![false; self.nodes.len()];
+        let mut seen = vec![false; self.hot.len()];
         let mut queue = std::collections::VecDeque::new();
-        if self.nodes[from.0].alive {
+        if self.hot[from.0].alive {
             seen[from.0] = true;
             queue.push_back(from);
         }
@@ -98,10 +98,10 @@ impl Engine {
     /// Useful as a scenario sanity check — a partitioned topology makes
     /// most delivery assertions meaningless.
     pub fn is_connected(&self) -> bool {
-        let alive: Vec<NodeId> = (0..self.nodes.len())
+        let alive: Vec<NodeId> = (0..self.hot.len())
             .map(NodeId)
             .filter(|&n| {
-                let s = &self.nodes[n.0];
+                let s = &self.hot[n.0];
                 s.alive && s.join_at <= self.now
             })
             .collect();
@@ -112,13 +112,13 @@ impl Engine {
     }
 
     pub(crate) fn transmit(&mut self, src: NodeId, dst: LinkDst, bytes: Vec<u8>) {
-        if !self.nodes[src.0].alive {
+        if !self.hot[src.0].alive {
             return;
         }
         self.metrics.count("phy.tx_frames", 1);
         self.metrics.count("phy.tx_bytes", bytes.len() as u64);
         let bytes = Arc::new(bytes);
-        let src_pos = self.nodes[src.0].pos;
+        let src_pos = self.hot[src.0].pos;
         match dst {
             LinkDst::Broadcast => {
                 self.metrics.count("phy.tx_broadcasts", 1);
@@ -130,7 +130,7 @@ impl Engine {
                     if to == src {
                         continue;
                     }
-                    let n = &self.nodes[to.0];
+                    let n = &self.hot[to.0];
                     // `join_at <= now` rather than `started`: peers whose
                     // Start event is queued for this same instant are
                     // physically present; they will have started by the
@@ -162,7 +162,7 @@ impl Engine {
             LinkDst::Unicast(to) => {
                 self.metrics.count("phy.tx_unicasts", 1);
                 let reachable = {
-                    let n = &self.nodes[to.0];
+                    let n = &self.hot[to.0];
                     n.alive
                         && n.join_at <= self.now
                         && self.cfg.radio.in_range(src_pos.dist(&n.pos))

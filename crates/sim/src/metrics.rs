@@ -75,9 +75,18 @@ impl Series {
 }
 
 /// All measurements of one simulation run.
+///
+/// Counters are a small flat table scanned with pointer-first equality
+/// and a move-toward-front heuristic: `count` runs several times per
+/// dispatched event, and the B-tree's string comparisons used to show
+/// up in scale-run profiles. A simulation touches a few dozen distinct
+/// counter names, the hot `phy.*`/`ctl.*` handful settles at the head,
+/// and `&'static str` call sites make the pointer test hit virtually
+/// always (the `==` fallback keeps correctness if two call sites carry
+/// duplicate literals at different addresses).
 #[derive(Clone, Debug, Default)]
 pub struct Metrics {
-    counters: BTreeMap<&'static str, u64>,
+    counters: Vec<(&'static str, u64)>,
     series: BTreeMap<&'static str, Series>,
 }
 
@@ -87,13 +96,28 @@ impl Metrics {
     }
 
     /// Add `by` to counter `name`.
+    #[inline]
     pub fn count(&mut self, name: &'static str, by: u64) {
-        *self.counters.entry(name).or_insert(0) += by;
+        for i in 0..self.counters.len() {
+            let (key, v) = &mut self.counters[i];
+            if std::ptr::eq(*key, name) || *key == name {
+                *v += by;
+                if i > 3 {
+                    self.counters.swap(i, i / 2);
+                }
+                return;
+            }
+        }
+        self.counters.push((name, by));
     }
 
     /// Read a counter (0 if never touched).
     pub fn counter(&self, name: &str) -> u64 {
-        self.counters.get(name).copied().unwrap_or(0)
+        self.counters
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
     }
 
     /// Record a sample into series `name`.
@@ -108,7 +132,9 @@ impl Metrics {
 
     /// All counter names, sorted.
     pub fn counter_names(&self) -> impl Iterator<Item = &'static str> + '_ {
-        self.counters.keys().copied()
+        let mut names: Vec<&'static str> = self.counters.iter().map(|&(k, _)| k).collect();
+        names.sort_unstable();
+        names.into_iter()
     }
 
     /// All series names, sorted.
@@ -119,8 +145,8 @@ impl Metrics {
     /// Merge another run's metrics into this one (for aggregation across
     /// seeds).
     pub fn merge(&mut self, other: &Metrics) {
-        for (k, v) in &other.counters {
-            *self.counters.entry(k).or_insert(0) += v;
+        for &(k, v) in &other.counters {
+            self.count(k, v);
         }
         for (k, s) in &other.series {
             let dst = self.series.entry(k).or_default();
@@ -186,5 +212,35 @@ mod tests {
         let mut s = Series::default();
         s.record(7.0);
         assert_eq!(s.percentile(99.0), 7.0);
+    }
+
+    #[test]
+    fn counter_names_stay_sorted_regardless_of_touch_order() {
+        let mut m = Metrics::new();
+        for name in ["zz", "aa", "mm", "aa", "zz", "zz"] {
+            m.count(name, 1);
+        }
+        let names: Vec<&str> = m.counter_names().collect();
+        assert_eq!(names, vec!["aa", "mm", "zz"]);
+        assert_eq!(m.counter("zz"), 3);
+        assert_eq!(m.counter("aa"), 2);
+    }
+
+    #[test]
+    fn hot_counters_move_toward_front_without_losing_counts() {
+        let mut m = Metrics::new();
+        // Ten distinct names, then hammer the last one: totals must stay
+        // exact whatever the internal reordering does.
+        let names = ["a", "b", "c", "d", "e", "f", "g", "h", "i", "hot"];
+        for n in names {
+            m.count(n, 1);
+        }
+        for _ in 0..1000 {
+            m.count("hot", 2);
+        }
+        assert_eq!(m.counter("hot"), 2001);
+        for n in &names[..9] {
+            assert_eq!(m.counter(n), 1, "{n} clobbered");
+        }
     }
 }

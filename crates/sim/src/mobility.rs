@@ -232,7 +232,10 @@ mod tests {
         for _ in 0..11 {
             st.step(&mut pos, &field, 1.0, &mut rng);
         }
-        assert!(pos.dist(&Pos::new(10.0, 0.0)) < 1.5, "past waypoint 1: {pos:?}");
+        assert!(
+            pos.dist(&Pos::new(10.0, 0.0)) < 1.5,
+            "past waypoint 1: {pos:?}"
+        );
         for _ in 0..12 {
             st.step(&mut pos, &field, 1.0, &mut rng);
         }

@@ -1,8 +1,17 @@
-//! The engine's event heap and timer bookkeeping.
+//! Event scheduling: the pending-event queue and timer bookkeeping.
 //!
-//! [`EventQueue`] is a binary heap ordered by `(time, insertion
-//! sequence)`, so simultaneous events dispatch in the order they were
-//! scheduled — the backbone of the determinism contract.
+//! [`PendingQueue`] is the engine's event store, in one of two
+//! implementations selected by [`QueueImpl`] in the engine config:
+//!
+//! * **Wheel** (default): the hierarchical timer wheel
+//!   ([`crate::wheel`]) — O(1) schedule, occupancy-bitmask advance;
+//! * **Heap**: the original binary heap ordered by `(time, insertion
+//!   sequence)` — kept alive as the differential-testing oracle,
+//!   exactly like the linear channel scan backs the spatial grid.
+//!
+//! Both dispatch simultaneous events in the order they were scheduled —
+//! the backbone of the determinism contract — and same-seed runs are
+//! bit-identical under either (`tests/determinism.rs` gates this).
 //!
 //! [`TimerTable`] tracks which timer handles are armed and which armed
 //! handles have been cancelled. Both sets are bounded: a handle leaves
@@ -13,9 +22,61 @@
 
 use crate::ctx::NodeId;
 use crate::time::SimTime;
+use crate::wheel::TimerWheel;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
 use std::sync::Arc;
+
+/// Which pending-event store the engine runs on. `Wheel` unless a
+/// differential test or baseline measurement asks for the `Heap`
+/// oracle.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum QueueImpl {
+    #[default]
+    Wheel,
+    Heap,
+}
+
+impl QueueImpl {
+    /// Stable lowercase name, as serialized into `RunReport::to_json`.
+    pub fn name(self) -> &'static str {
+        match self {
+            QueueImpl::Wheel => "wheel",
+            QueueImpl::Heap => "heap",
+        }
+    }
+}
+
+/// The engine's pending-event store (see [`QueueImpl`]).
+pub(crate) enum PendingQueue {
+    Wheel(TimerWheel),
+    Heap(EventQueue),
+}
+
+impl PendingQueue {
+    pub(crate) fn new(kind: QueueImpl) -> Self {
+        match kind {
+            QueueImpl::Wheel => PendingQueue::Wheel(TimerWheel::new()),
+            QueueImpl::Heap => PendingQueue::Heap(EventQueue::new()),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn push(&mut self, time: SimTime, event: Event) {
+        match self {
+            PendingQueue::Wheel(w) => w.push(time, event),
+            PendingQueue::Heap(h) => h.push(time, event),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn pop_due(&mut self, until: SimTime) -> Option<(SimTime, Event)> {
+        match self {
+            PendingQueue::Wheel(w) => w.pop_due(until),
+            PendingQueue::Heap(h) => h.pop_due(until),
+        }
+    }
+}
 
 /// Everything the engine can dispatch.
 pub(crate) enum Event {

@@ -210,7 +210,10 @@ mod tests {
         let large = r.sample_delay(10_000, &mut rng);
         assert!(large > small);
         // 10_000 bytes at 2 Mb/s = 40 ms of pure transmission.
-        assert_eq!(large.as_micros() - small.as_micros(), (9_900.0 * 8.0 / 2.0) as u64);
+        assert_eq!(
+            large.as_micros() - small.as_micros(),
+            (9_900.0 * 8.0 / 2.0) as u64
+        );
     }
 
     #[test]

@@ -104,7 +104,8 @@ mod tests {
         let seeds: Vec<u64> = (0..16).collect();
         let f = |p: &u64, s: u64| {
             use rand::{Rng, SeedableRng};
-            let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(p.wrapping_mul(31).wrapping_add(s));
+            let mut rng =
+                rand_chacha::ChaCha12Rng::seed_from_u64(p.wrapping_mul(31).wrapping_add(s));
             rng.gen::<u64>()
         };
         assert_eq!(sweep(&params, &seeds, f), sweep(&params, &seeds, f));

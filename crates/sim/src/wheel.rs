@@ -1,0 +1,334 @@
+//! Hierarchical timer wheel — the O(1) event queue behind the engine.
+//!
+//! Eleven levels of 64 slots each cover the full `u64` microsecond
+//! range: a slot at level `l` spans `64^l` ticks, so an event lands at
+//! the lowest level whose slot span still separates it from the wheel's
+//! cursor (`level_for`, the hashed-wheel trick of taking the highest
+//! bit where `elapsed ^ when` differ). Scheduling is a push onto a
+//! slot's `Vec` plus one bitmask OR; advancing skips empty slots with
+//! `trailing_zeros` on the per-level occupancy masks instead of walking
+//! ticks one by one.
+//!
+//! ## Exact heap equivalence
+//!
+//! The wheel must dispatch in exactly the order the binary-heap oracle
+//! ([`crate::queue::EventQueue`]) does: ascending `(time, insertion
+//! sequence)`. Two properties make that hold:
+//!
+//! * a level-0 slot spans exactly one tick, so every item in a fired
+//!   slot shares one timestamp and a sort by `seq` restores insertion
+//!   order — necessary because cascades can append an early-scheduled
+//!   item after a late-scheduled one;
+//! * among equal deadlines, higher levels are processed (cascaded)
+//!   first, so items trickle down into the level-0 slot before it
+//!   fires and same-tick events are never split across two firings.
+//!
+//! `tests/determinism.rs` pins the equivalence with a randomized
+//! schedule/cancel differential; the unit tests here cover the wheel's
+//! own edges (far-future times, same-tick ties, re-entrant pushes).
+//!
+//! Steady state allocates nothing: slot `Vec`s keep their capacity, the
+//! firing buffer is a reused `VecDeque`, and cascades drain through one
+//! scratch `Vec`.
+
+use crate::queue::Event;
+use crate::time::SimTime;
+use std::collections::VecDeque;
+
+const SLOT_BITS: u32 = 6;
+const SLOTS: usize = 1 << SLOT_BITS; // 64
+const SLOT_MASK: u64 = (SLOTS - 1) as u64;
+/// 11 × 6 = 66 bits ≥ the 64-bit time range.
+const LEVELS: usize = 11;
+
+struct WheelItem {
+    time: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+struct Level {
+    /// Bit `s` set ⇔ slot `s` is non-empty.
+    occupied: u64,
+    slots: Vec<Vec<WheelItem>>,
+}
+
+impl Level {
+    fn new() -> Self {
+        Level {
+            occupied: 0,
+            slots: (0..SLOTS).map(|_| Vec::new()).collect(),
+        }
+    }
+}
+
+/// Level an event at `when` belongs to, seen from cursor `elapsed`:
+/// index of the highest 6-bit group where the two differ (0 if they
+/// agree everywhere above the low 6 bits).
+#[inline]
+fn level_for(elapsed: u64, when: u64) -> usize {
+    let masked = (elapsed ^ when) | SLOT_MASK;
+    let hi = 63 - masked.leading_zeros();
+    (hi / SLOT_BITS) as usize
+}
+
+#[inline]
+fn slot_of(when: u64, level: usize) -> usize {
+    ((when >> (SLOT_BITS as usize * level)) & SLOT_MASK) as usize
+}
+
+/// The timer wheel. Same contract as [`crate::queue::EventQueue`]:
+/// `push` anywhere at or after the last popped time, `pop_due` yields
+/// strictly `(time, seq)`-ascending events up to a horizon.
+pub(crate) struct TimerWheel {
+    levels: Vec<Level>,
+    /// Cursor: every event before this tick has been popped.
+    elapsed: u64,
+    /// Monotone insertion sequence (the same-tick tiebreak).
+    seq: u64,
+    /// Events currently stored (wheel + firing buffer).
+    len: usize,
+    /// The tick currently being dispatched, sorted by `seq`.
+    firing: VecDeque<WheelItem>,
+    /// Reused drain buffer for cascades.
+    cascade_scratch: Vec<WheelItem>,
+}
+
+impl TimerWheel {
+    pub(crate) fn new() -> Self {
+        TimerWheel {
+            levels: (0..LEVELS).map(|_| Level::new()).collect(),
+            elapsed: 0,
+            seq: 0,
+            len: 0,
+            firing: VecDeque::new(),
+            cascade_scratch: Vec::new(),
+        }
+    }
+
+    pub(crate) fn push(&mut self, time: SimTime, event: Event) {
+        let seq = self.seq;
+        self.seq += 1;
+        // The engine never schedules into the past (`time >= now`, and
+        // the cursor only advances to dispatched times); clamp in
+        // release so a violation degrades to "fires now" like the heap
+        // would, instead of waiting a whole wheel rotation.
+        debug_assert!(time.0 >= self.elapsed, "event scheduled into the past");
+        let when = time.0.max(self.elapsed);
+        self.insert(WheelItem {
+            time: SimTime(when),
+            seq,
+            event,
+        });
+        self.len += 1;
+    }
+
+    fn insert(&mut self, item: WheelItem) {
+        let level = level_for(self.elapsed, item.time.0);
+        let slot = slot_of(item.time.0, level);
+        let lvl = &mut self.levels[level];
+        lvl.slots[slot].push(item);
+        lvl.occupied |= 1 << slot;
+    }
+
+    /// Earliest `(deadline, level)` across all levels, preferring the
+    /// highest level on a deadline tie so cascades run before the
+    /// level-0 slot they feed is fired.
+    fn next_expiration(&self) -> Option<(u64, usize)> {
+        let mut best: Option<(u64, usize)> = None;
+        for (level, lvl) in self.levels.iter().enumerate() {
+            if lvl.occupied == 0 {
+                continue;
+            }
+            let cursor = slot_of(self.elapsed, level) as u32;
+            let dist = lvl.occupied.rotate_right(cursor).trailing_zeros() as u64;
+            // Slots strictly behind the cursor can't be occupied: an
+            // event whose slot index already passed would differ from
+            // `elapsed` in a higher bit group and live on a higher
+            // level.
+            debug_assert!(cursor as u64 + dist < SLOTS as u64, "slot behind cursor");
+            let slot = cursor as u64 + dist;
+            let shift = SLOT_BITS as usize * (level + 1);
+            let high = if shift >= 64 {
+                0
+            } else {
+                (self.elapsed >> shift) << shift
+            };
+            let deadline = high + (slot << (SLOT_BITS as usize * level));
+            let better = match best {
+                None => true,
+                // Higher level first on ties: those items still need to
+                // cascade down before the tick can fire completely.
+                Some((d, l)) => deadline < d || (deadline == d && level > l),
+            };
+            if better {
+                best = Some((deadline, level));
+            }
+        }
+        best
+    }
+
+    /// Pop the next event if it is due at or before `until`. Identical
+    /// observable behavior to the heap's `pop_due`.
+    pub(crate) fn pop_due(&mut self, until: SimTime) -> Option<(SimTime, Event)> {
+        loop {
+            if let Some(front) = self.firing.front() {
+                if front.time > until {
+                    return None;
+                }
+                let item = self.firing.pop_front().expect("front checked");
+                self.len -= 1;
+                return Some((item.time, item.event));
+            }
+            let (deadline, level) = self.next_expiration()?;
+            if deadline > until.0 {
+                return None;
+            }
+            // Advance, never retreat: a level>0 slot's start can sit at
+            // or before the cursor when its slot index equals the
+            // cursor's.
+            self.elapsed = self.elapsed.max(deadline);
+            let cursor_slot = slot_of(deadline, level);
+            let lvl = &mut self.levels[level];
+            lvl.occupied &= !(1 << cursor_slot);
+            if level == 0 {
+                // One tick's worth of events: restore insertion order.
+                debug_assert!(self.firing.is_empty());
+                self.firing.extend(lvl.slots[cursor_slot].drain(..));
+                self.firing
+                    .make_contiguous()
+                    .sort_unstable_by_key(|i| i.seq);
+                debug_assert!(self.firing.iter().all(|i| i.time.0 == deadline));
+            } else {
+                // Cascade one coarse slot down a level (or several).
+                let mut scratch = std::mem::take(&mut self.cascade_scratch);
+                debug_assert!(scratch.is_empty());
+                std::mem::swap(&mut scratch, &mut lvl.slots[cursor_slot]);
+                for item in scratch.drain(..) {
+                    debug_assert!(item.time.0 >= self.elapsed);
+                    self.insert(item);
+                }
+                self.cascade_scratch = scratch;
+            }
+        }
+    }
+
+    /// Events currently queued (including a partially dispatched tick).
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::NodeId;
+
+    fn start(n: usize) -> Event {
+        Event::Start(NodeId(n))
+    }
+
+    fn drain(w: &mut TimerWheel, until: SimTime) -> Vec<(u64, usize)> {
+        std::iter::from_fn(|| w.pop_due(until))
+            .map(|(t, e)| match e {
+                Event::Start(NodeId(n)) => (t.0, n),
+                _ => unreachable!(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn orders_by_time_then_insertion() {
+        let mut w = TimerWheel::new();
+        w.push(SimTime(5), start(0));
+        w.push(SimTime(1), start(1));
+        w.push(SimTime(1), start(2));
+        assert_eq!(
+            drain(&mut w, SimTime(u64::MAX)),
+            vec![(1, 1), (1, 2), (5, 0)]
+        );
+        assert_eq!(w.len(), 0);
+    }
+
+    #[test]
+    fn respects_horizon() {
+        let mut w = TimerWheel::new();
+        w.push(SimTime(10), start(0));
+        assert!(w.pop_due(SimTime(9)).is_none());
+        assert!(w.pop_due(SimTime(10)).is_some());
+        assert!(w.pop_due(SimTime(u64::MAX)).is_none());
+    }
+
+    #[test]
+    fn far_future_events_cascade_correctly() {
+        let mut w = TimerWheel::new();
+        // One event per level's range, plus two in the same far tick to
+        // exercise seq ordering after a long cascade chain.
+        let far = 1u64 << 40;
+        w.push(SimTime(far), start(0));
+        w.push(SimTime(far), start(1));
+        w.push(SimTime(64), start(2));
+        w.push(SimTime(4096 + 3), start(3));
+        w.push(SimTime(262_144 + 9), start(4));
+        assert_eq!(
+            drain(&mut w, SimTime(u64::MAX)),
+            vec![(64, 2), (4096 + 3, 3), (262_144 + 9, 4), (far, 0), (far, 1)]
+        );
+    }
+
+    #[test]
+    fn same_tick_push_during_dispatch_fires_after() {
+        let mut w = TimerWheel::new();
+        w.push(SimTime(7), start(0));
+        w.push(SimTime(7), start(1));
+        let (t, _) = w.pop_due(SimTime(u64::MAX)).expect("first");
+        assert_eq!(t, SimTime(7));
+        // Mid-tick push at the tick being dispatched (delay-0 timer).
+        w.push(SimTime(7), start(2));
+        assert_eq!(drain(&mut w, SimTime(u64::MAX)), vec![(7, 1), (7, 2)]);
+    }
+
+    #[test]
+    fn interleaves_pushes_and_pops_across_rotations() {
+        let mut w = TimerWheel::new();
+        let mut fired = Vec::new();
+        let mut t = 0u64;
+        for round in 0..300u64 {
+            w.push(SimTime(t + 1 + (round * 37) % 511), start(round as usize));
+            while let Some((at, _)) = w.pop_due(SimTime(t + 64)) {
+                assert!(at.0 >= t, "time went backwards");
+                t = at.0;
+                fired.push(at.0);
+            }
+            t += 64;
+        }
+        let mut sorted = fired.clone();
+        sorted.sort_unstable();
+        assert_eq!(fired, sorted, "fire order must be time-ascending");
+        fired.extend(drain(&mut w, SimTime(u64::MAX)).iter().map(|&(at, _)| at));
+        assert_eq!(fired.len(), 300, "every scheduled event fired exactly once");
+    }
+
+    #[test]
+    fn zero_time_and_max_horizon_edges() {
+        let mut w = TimerWheel::new();
+        w.push(SimTime(0), start(0));
+        w.push(SimTime(u64::MAX - 1), start(1));
+        assert_eq!(
+            w.pop_due(SimTime(u64::MAX)).map(|(t, _)| t),
+            Some(SimTime(0))
+        );
+        assert_eq!(
+            w.pop_due(SimTime(u64::MAX)).map(|(t, _)| t),
+            Some(SimTime(u64::MAX - 1))
+        );
+    }
+
+    #[test]
+    fn empty_wheel_is_cheap_and_none() {
+        let mut w = TimerWheel::new();
+        assert!(w.pop_due(SimTime(u64::MAX)).is_none());
+        assert_eq!(w.len(), 0);
+    }
+}

@@ -18,11 +18,7 @@ pub const UNSPECIFIED: Ipv6Addr = Ipv6Addr([0; 16]);
 /// Well-known site-local DNS server anycast addresses reserved by
 /// draft-ietf-ipv6-dns-discovery (Section 2.4 of the paper):
 /// `fec0:0:0:ffff::1`, `::2`, `::3`.
-pub const DNS_WELL_KNOWN: [Ipv6Addr; 3] = [
-    dns_well_known(1),
-    dns_well_known(2),
-    dns_well_known(3),
-];
+pub const DNS_WELL_KNOWN: [Ipv6Addr; 3] = [dns_well_known(1), dns_well_known(2), dns_well_known(3)];
 
 const fn dns_well_known(i: u8) -> Ipv6Addr {
     let mut b = [0u8; 16];

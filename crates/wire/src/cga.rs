@@ -171,9 +171,6 @@ mod tests {
         assert_eq!(addr.subnet_id(), 0xbeef);
         // Default MANET verify still demands subnet bits are part of layout,
         // but subnet is independent of ownership: interface id still matches.
-        assert_eq!(
-            addr.interface_id(),
-            manet_crypto::h_pk_rn(kp.public(), 1)
-        );
+        assert_eq!(addr.interface_id(), manet_crypto::h_pk_rn(kp.public(), 1));
     }
 }

@@ -270,46 +270,63 @@ fn put_addr_opt(out: &mut Vec<u8>, a: &Option<Ipv6Addr>) {
     }
 }
 
+/// The fixed fields of a [`PlainRreq`], read without allocating — see
+/// [`Message::peek_plain_rreq`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlainRreqHeader {
+    pub sip: Ipv6Addr,
+    pub dip: Ipv6Addr,
+    pub seq: Seq,
+}
+
 impl Message {
     /// Serialize to bytes.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(64);
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Serialize, appending to a caller-owned buffer — the
+    /// allocation-free variant for hot transmit paths feeding recycled
+    /// frame buffers.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
         match self {
             Message::Areq(m) => {
                 out.put_u8(tag::AREQ);
                 out.put_slice(&m.sip.0);
                 out.put_u64(m.seq.0);
-                put_dn_opt(&mut out, &m.dn);
+                put_dn_opt(out, &m.dn);
                 out.put_u64(m.ch.0);
-                put_rr(&mut out, &m.rr);
+                put_rr(out, &m.rr);
             }
             Message::Arep(m) => {
                 out.put_u8(tag::AREP);
                 out.put_slice(&m.sip.0);
-                put_rr(&mut out, &m.rr);
-                put_proof(&mut out, &m.proof);
+                put_rr(out, &m.rr);
+                put_proof(out, &m.proof);
             }
             Message::Drep(m) => {
                 out.put_u8(tag::DREP);
                 out.put_slice(&m.sip.0);
-                put_rr(&mut out, &m.rr);
-                put_sig(&mut out, &m.sig);
+                put_rr(out, &m.rr);
+                put_sig(out, &m.sig);
             }
             Message::Rreq(m) => {
                 out.put_u8(tag::RREQ);
                 out.put_slice(&m.sip.0);
                 out.put_slice(&m.dip.0);
                 out.put_u64(m.seq.0);
-                put_srr(&mut out, &m.srr);
-                put_proof(&mut out, &m.src_proof);
+                put_srr(out, &m.srr);
+                put_proof(out, &m.src_proof);
             }
             Message::Rrep(m) => {
                 out.put_u8(tag::RREP);
                 out.put_slice(&m.sip.0);
                 out.put_slice(&m.dip.0);
                 out.put_u64(m.seq.0);
-                put_rr(&mut out, &m.rr);
-                put_proof(&mut out, &m.proof);
+                put_rr(out, &m.rr);
+                put_proof(out, &m.proof);
             }
             Message::Crep(m) => {
                 out.put_u8(tag::CREP);
@@ -317,24 +334,24 @@ impl Message {
                 out.put_slice(&m.sip.0);
                 out.put_slice(&m.dip.0);
                 out.put_u64(m.seq2.0);
-                put_rr(&mut out, &m.rr_s2_to_s);
-                put_proof(&mut out, &m.s_proof);
+                put_rr(out, &m.rr_s2_to_s);
+                put_proof(out, &m.s_proof);
                 out.put_u64(m.orig_seq.0);
-                put_rr(&mut out, &m.rr_s_to_d);
-                put_proof(&mut out, &m.d_proof);
+                put_rr(out, &m.rr_s_to_d);
+                put_proof(out, &m.d_proof);
             }
             Message::Rerr(m) => {
                 out.put_u8(tag::RERR);
                 out.put_slice(&m.iip.0);
                 out.put_slice(&m.i2ip.0);
-                put_proof(&mut out, &m.proof);
+                put_proof(out, &m.proof);
             }
             Message::Data(m) => {
                 out.put_u8(tag::DATA);
                 out.put_slice(&m.sip.0);
                 out.put_slice(&m.dip.0);
                 out.put_u64(m.seq.0);
-                put_rr(&mut out, &m.route);
+                put_rr(out, &m.route);
                 out.put_u32(m.payload.len() as u32);
                 out.put_slice(&m.payload);
             }
@@ -343,81 +360,81 @@ impl Message {
                 out.put_slice(&m.sip.0);
                 out.put_slice(&m.dip.0);
                 out.put_u64(m.seq.0);
-                put_rr(&mut out, &m.route);
+                put_rr(out, &m.route);
             }
             Message::Probe(m) => {
                 out.put_u8(tag::PROBE);
                 out.put_slice(&m.sip.0);
                 out.put_slice(&m.dip.0);
                 out.put_u64(m.seq.0);
-                put_rr(&mut out, &m.route);
+                put_rr(out, &m.route);
             }
             Message::ProbeAck(m) => {
                 out.put_u8(tag::PROBE_ACK);
                 out.put_slice(&m.sip.0);
                 out.put_u64(m.probe_seq.0);
                 out.put_slice(&m.hop.0);
-                put_proof(&mut out, &m.proof);
+                put_proof(out, &m.proof);
             }
             Message::DnsQuery(m) => {
                 out.put_u8(tag::DNSQ);
                 out.put_slice(&m.requester.0);
-                put_dn(&mut out, &m.qname);
+                put_dn(out, &m.qname);
                 out.put_u64(m.ch.0);
-                put_rr(&mut out, &m.route);
+                put_rr(out, &m.route);
             }
             Message::DnsReply(m) => {
                 out.put_u8(tag::DNSR);
                 out.put_slice(&m.requester.0);
-                put_dn(&mut out, &m.qname);
-                put_addr_opt(&mut out, &m.answer);
-                put_sig(&mut out, &m.sig);
-                put_rr(&mut out, &m.route);
+                put_dn(out, &m.qname);
+                put_addr_opt(out, &m.answer);
+                put_sig(out, &m.sig);
+                put_rr(out, &m.route);
             }
             Message::IpChangeRequest(m) => {
                 out.put_u8(tag::IPC_REQ);
-                put_dn(&mut out, &m.dn);
+                put_dn(out, &m.dn);
                 out.put_slice(&m.old_ip.0);
                 out.put_slice(&m.new_ip.0);
-                put_rr(&mut out, &m.route);
+                put_rr(out, &m.route);
             }
             Message::IpChangeChallenge(m) => {
                 out.put_u8(tag::IPC_CH);
-                put_dn(&mut out, &m.dn);
+                put_dn(out, &m.dn);
                 out.put_u64(m.ch.0);
-                put_rr(&mut out, &m.route);
+                put_rr(out, &m.route);
             }
             Message::IpChangeProof(m) => {
                 out.put_u8(tag::IPC_PRF);
-                put_dn(&mut out, &m.dn);
+                put_dn(out, &m.dn);
                 out.put_slice(&m.old_ip.0);
                 out.put_slice(&m.new_ip.0);
                 out.put_u64(m.old_rn);
                 out.put_u64(m.new_rn);
-                put_pk(&mut out, &m.pk);
-                put_sig(&mut out, &m.sig);
-                put_rr(&mut out, &m.route);
+                put_pk(out, &m.pk);
+                put_sig(out, &m.sig);
+                put_rr(out, &m.route);
             }
             Message::IpChangeResult(m) => {
                 out.put_u8(tag::IPC_RES);
-                put_dn(&mut out, &m.dn);
+                put_dn(out, &m.dn);
                 out.put_u8(m.accepted as u8);
-                put_sig(&mut out, &m.sig);
-                put_rr(&mut out, &m.route);
+                put_sig(out, &m.sig);
+                put_rr(out, &m.route);
             }
             Message::PlainRreq(m) => {
                 out.put_u8(tag::P_RREQ);
                 out.put_slice(&m.sip.0);
                 out.put_slice(&m.dip.0);
                 out.put_u64(m.seq.0);
-                put_rr(&mut out, &m.rr);
+                put_rr(out, &m.rr);
             }
             Message::PlainRrep(m) => {
                 out.put_u8(tag::P_RREP);
                 out.put_slice(&m.sip.0);
                 out.put_slice(&m.dip.0);
                 out.put_u64(m.seq.0);
-                put_rr(&mut out, &m.rr);
+                put_rr(out, &m.rr);
             }
             Message::PlainRerr(m) => {
                 out.put_u8(tag::P_RERR);
@@ -425,13 +442,38 @@ impl Message {
                 out.put_slice(&m.i2ip.0);
             }
         }
-        out
     }
 
     /// Size of the encoded message in bytes; the unit of the control
     /// overhead experiments (T1, E2).
     pub fn wire_size(&self) -> usize {
         self.encode().len()
+    }
+
+    /// If `buf` is a complete, well-formed [`PlainRreq`] encoding,
+    /// return its fixed fields without allocating the route record.
+    /// Validates the full layout — length prefix, bounds, trailing
+    /// bytes — exactly as strictly as [`Message::decode`], so a `Some`
+    /// here guarantees `decode` would succeed and a `None` means
+    /// "not a PlainRreq or malformed; take the full decode path".
+    ///
+    /// This is the flood hot path: in a dense RREQ flood most
+    /// receptions are duplicates whose route record is never looked at.
+    pub fn peek_plain_rreq(buf: &[u8]) -> Option<PlainRreqHeader> {
+        let mut r = Reader::new(buf);
+        if r.u8().ok()? != tag::P_RREQ {
+            return None;
+        }
+        let sip = r.addr().ok()?;
+        let dip = r.addr().ok()?;
+        let seq = r.seq().ok()?;
+        let n = r.u16().ok()? as usize;
+        if n > MAX_ROUTE_LEN {
+            return None;
+        }
+        r.take(n * 16).ok()?;
+        r.finish().ok()?;
+        Some(PlainRreqHeader { sip, dip, seq })
     }
 
     /// Strict decode: consumes the whole buffer or fails.
@@ -599,8 +641,14 @@ mod tests {
         let dn = DomainName::new("node1.manet").unwrap();
         let rr = RouteRecord(vec![ip(1), ip(2), ip(3)]);
         let srr = SecureRouteRecord(vec![
-            SrrEntry { ip: ip(2), proof: p.clone() },
-            SrrEntry { ip: ip(3), proof: p.clone() },
+            SrrEntry {
+                ip: ip(2),
+                proof: p.clone(),
+            },
+            SrrEntry {
+                ip: ip(3),
+                proof: p.clone(),
+            },
         ]);
         vec![
             Message::Areq(Areq {
@@ -617,8 +665,16 @@ mod tests {
                 ch: Challenge(1),
                 rr: RouteRecord::new(),
             }),
-            Message::Arep(Arep { sip: ip(1), rr: rr.clone(), proof: p.clone() }),
-            Message::Drep(Drep { sip: ip(1), rr: rr.clone(), sig: p.sig.clone() }),
+            Message::Arep(Arep {
+                sip: ip(1),
+                rr: rr.clone(),
+                proof: p.clone(),
+            }),
+            Message::Drep(Drep {
+                sip: ip(1),
+                rr: rr.clone(),
+                sig: p.sig.clone(),
+            }),
             Message::Rreq(Rreq {
                 sip: ip(1),
                 dip: ip(9),
@@ -644,7 +700,11 @@ mod tests {
                 rr_s_to_d: rr.reversed(),
                 d_proof: p.clone(),
             }),
-            Message::Rerr(Rerr { iip: ip(2), i2ip: ip(3), proof: p.clone() }),
+            Message::Rerr(Rerr {
+                iip: ip(2),
+                i2ip: ip(3),
+                proof: p.clone(),
+            }),
             Message::Data(Data {
                 sip: ip(1),
                 dip: ip(9),
@@ -652,7 +712,12 @@ mod tests {
                 route: rr.clone(),
                 payload: vec![0xab; 512],
             }),
-            Message::Ack(Ack { sip: ip(1), dip: ip(9), seq: Seq(100), route: rr.clone() }),
+            Message::Ack(Ack {
+                sip: ip(1),
+                dip: ip(9),
+                seq: Seq(100),
+                route: rr.clone(),
+            }),
             Message::Probe(Probe {
                 sip: ip(1),
                 dip: ip(9),
@@ -712,9 +777,22 @@ mod tests {
                 sig: p.sig.clone(),
                 route: rr.clone(),
             }),
-            Message::PlainRreq(PlainRreq { sip: ip(1), dip: ip(9), seq: Seq(5), rr: rr.clone() }),
-            Message::PlainRrep(PlainRrep { sip: ip(1), dip: ip(9), seq: Seq(5), rr: rr.clone() }),
-            Message::PlainRerr(PlainRerr { iip: ip(2), i2ip: ip(3) }),
+            Message::PlainRreq(PlainRreq {
+                sip: ip(1),
+                dip: ip(9),
+                seq: Seq(5),
+                rr: rr.clone(),
+            }),
+            Message::PlainRrep(PlainRrep {
+                sip: ip(1),
+                dip: ip(9),
+                seq: Seq(5),
+                rr: rr.clone(),
+            }),
+            Message::PlainRerr(PlainRerr {
+                iip: ip(2),
+                i2ip: ip(3),
+            }),
         ]
     }
 
@@ -722,8 +800,8 @@ mod tests {
     fn all_messages_roundtrip() {
         for msg in sample_messages() {
             let bytes = msg.encode();
-            let back = Message::decode(&bytes)
-                .unwrap_or_else(|e| panic!("{} failed: {e}", msg.kind()));
+            let back =
+                Message::decode(&bytes).unwrap_or_else(|e| panic!("{} failed: {e}", msg.kind()));
             assert_eq!(back, msg, "{} roundtrip", msg.kind());
             assert_eq!(msg.wire_size(), bytes.len());
         }

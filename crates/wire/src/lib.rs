@@ -18,9 +18,9 @@ pub mod sigdata;
 
 pub use addr::{Ipv6Addr, DNS_WELL_KNOWN, UNSPECIFIED};
 pub use cga::CgaError;
-pub use codec::CodecError;
+pub use codec::{CodecError, PlainRreqHeader};
 pub use msg::{
-    Ack, Areq, Arep, Challenge, Crep, Data, DnsQuery, DnsReply, DomainName, Drep, IdentityProof,
+    Ack, Arep, Areq, Challenge, Crep, Data, DnsQuery, DnsReply, DomainName, Drep, IdentityProof,
     IpChangeChallenge, IpChangeProof, IpChangeRequest, IpChangeResult, Message, PlainRerr,
     PlainRrep, PlainRreq, Probe, ProbeAck, Rerr, RouteRecord, Rrep, Rreq, SecureRouteRecord, Seq,
     SrrEntry,

@@ -494,11 +494,17 @@ mod tests {
     #[test]
     fn domain_name_rejects_bad_input() {
         assert_eq!(DomainName::new(""), Err(DomainNameError::Empty));
-        assert_eq!(DomainName::new("UPPER.com"), Err(DomainNameError::BadCharacter));
+        assert_eq!(
+            DomainName::new("UPPER.com"),
+            Err(DomainNameError::BadCharacter)
+        );
         assert_eq!(DomainName::new("a..b"), Err(DomainNameError::BadLabel));
         assert_eq!(DomainName::new("-x.com"), Err(DomainNameError::BadLabel));
         assert_eq!(DomainName::new("x-.com"), Err(DomainNameError::BadLabel));
-        assert_eq!(DomainName::new("sp ace"), Err(DomainNameError::BadCharacter));
+        assert_eq!(
+            DomainName::new("sp ace"),
+            Err(DomainNameError::BadCharacter)
+        );
         let long_label = "a".repeat(64);
         assert_eq!(DomainName::new(&long_label), Err(DomainNameError::BadLabel));
         let long_name = format!("{}.{}", "a".repeat(63), "b".repeat(200));

@@ -125,20 +125,18 @@ fn arb_message() -> impl Strategy<Value = Message> {
             (arb_dn(), arb_addr(), arb_addr(), any::<u64>(), any::<u64>()),
             (arb_pk(), arb_sig(), arb_rr())
         )
-            .prop_map(
-                |((dn, old_ip, new_ip, old_rn, new_rn), (pk, sig, route))| {
-                    Message::IpChangeProof(IpChangeProof {
-                        dn,
-                        old_ip,
-                        new_ip,
-                        old_rn,
-                        new_rn,
-                        pk,
-                        sig,
-                        route,
-                    })
-                }
-            ),
+            .prop_map(|((dn, old_ip, new_ip, old_rn, new_rn), (pk, sig, route))| {
+                Message::IpChangeProof(IpChangeProof {
+                    dn,
+                    old_ip,
+                    new_ip,
+                    old_rn,
+                    new_rn,
+                    pk,
+                    sig,
+                    route,
+                })
+            }),
         (arb_dn(), any::<bool>(), arb_sig(), arb_rr()).prop_map(|(dn, accepted, sig, route)| {
             Message::IpChangeResult(IpChangeResult {
                 dn,
@@ -149,12 +147,30 @@ fn arb_message() -> impl Strategy<Value = Message> {
         }),
         (arb_addr(), arb_addr(), arb_seq(), arb_rr())
             .prop_map(|(sip, dip, seq, rr)| Message::PlainRrep(PlainRrep { sip, dip, seq, rr })),
-        (arb_addr(), arb_seq(), proptest::option::of(arb_dn()), arb_ch(), arb_rr())
-            .prop_map(|(sip, seq, dn, ch, rr)| Message::Areq(Areq { sip, seq, dn, ch, rr })),
-        (arb_addr(), arb_rr(), arb_proof())
-            .prop_map(|(sip, rr, proof)| Message::Arep(Arep { sip, rr, proof })),
-        (arb_addr(), arb_rr(), arb_sig())
-            .prop_map(|(sip, rr, sig)| Message::Drep(Drep { sip, rr, sig })),
+        (
+            arb_addr(),
+            arb_seq(),
+            proptest::option::of(arb_dn()),
+            arb_ch(),
+            arb_rr()
+        )
+            .prop_map(|(sip, seq, dn, ch, rr)| Message::Areq(Areq {
+                sip,
+                seq,
+                dn,
+                ch,
+                rr
+            })),
+        (arb_addr(), arb_rr(), arb_proof()).prop_map(|(sip, rr, proof)| Message::Arep(Arep {
+            sip,
+            rr,
+            proof
+        })),
+        (arb_addr(), arb_rr(), arb_sig()).prop_map(|(sip, rr, sig)| Message::Drep(Drep {
+            sip,
+            rr,
+            sig
+        })),
         (arb_addr(), arb_addr(), arb_seq(), arb_srr(), arb_proof()).prop_map(
             |(sip, dip, seq, srr, src_proof)| Message::Rreq(Rreq {
                 sip,
@@ -173,16 +189,20 @@ fn arb_message() -> impl Strategy<Value = Message> {
                 proof
             })
         ),
-        (arb_addr(), arb_addr(), arb_proof())
-            .prop_map(|(iip, i2ip, proof)| Message::Rerr(Rerr { iip, i2ip, proof })),
-        (arb_addr(), arb_addr(), arb_seq(), arb_rr(), arb_payload())
-            .prop_map(|(sip, dip, seq, route, payload)| Message::Data(Data {
+        (arb_addr(), arb_addr(), arb_proof()).prop_map(|(iip, i2ip, proof)| Message::Rerr(Rerr {
+            iip,
+            i2ip,
+            proof
+        })),
+        (arb_addr(), arb_addr(), arb_seq(), arb_rr(), arb_payload()).prop_map(
+            |(sip, dip, seq, route, payload)| Message::Data(Data {
                 sip,
                 dip,
                 seq,
                 route,
                 payload
-            })),
+            })
+        ),
         (arb_addr(), arb_addr(), arb_seq(), arb_rr()).prop_map(|(sip, dip, seq, route)| {
             Message::Ack(Ack {
                 sip,
@@ -218,10 +238,8 @@ fn arb_message() -> impl Strategy<Value = Message> {
         (arb_addr(), arb_addr(), arb_seq(), arb_rr()).prop_map(|(sip, dip, seq, rr)| {
             Message::PlainRreq(PlainRreq { sip, dip, seq, rr })
         }),
-        (arb_addr(), arb_addr()).prop_map(|(iip, i2ip)| Message::PlainRerr(PlainRerr {
-            iip,
-            i2ip
-        })),
+        (arb_addr(), arb_addr())
+            .prop_map(|(iip, i2ip)| Message::PlainRerr(PlainRerr { iip, i2ip })),
     ]
 }
 

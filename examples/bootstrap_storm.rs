@@ -43,7 +43,11 @@ fn form(n: usize, squatter: bool) -> (bool, f64, u64, u64, u64) {
     }
     let mean_latency = latencies.iter().sum::<f64>() / latencies.len().max(1) as f64;
     let m = net.engine.metrics();
-    let committed = net.dns_node().dns_state().map(|d| d.name_count()).unwrap_or(0) as u64;
+    let committed = net
+        .dns_node()
+        .dns_state()
+        .map(|d| d.name_count())
+        .unwrap_or(0) as u64;
     (
         ok,
         mean_latency,
@@ -55,7 +59,10 @@ fn form(n: usize, squatter: bool) -> (bool, f64, u64, u64, u64) {
 
 fn main() {
     println!("network formation from zero pre-configuration (only the DNS key):\n");
-    println!("{:>6} {:>10} {:>12} {:>12} {:>12}", "nodes", "all ready", "join lat(s)", "ctl msgs", "ctl bytes");
+    println!(
+        "{:>6} {:>10} {:>12} {:>12} {:>12}",
+        "nodes", "all ready", "join lat(s)", "ctl msgs", "ctl bytes"
+    );
     for n in [5, 10, 20, 30] {
         let (ok, lat, msgs, bytes, committed) = form(n, false);
         println!(

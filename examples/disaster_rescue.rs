@@ -50,11 +50,12 @@ fn main() {
     let t = net.engine.now() + SimDuration::from_secs(10);
     net.engine.run_until(t);
     let located = (1..n_rescuers)
-        .filter(|&i| {
-            net.host(i).stats().resolved.get(&coord_name) == Some(&Some(net.host_ip(0)))
-        })
+        .filter(|&i| net.host(i).stats().resolved.get(&coord_name) == Some(&Some(net.host_ip(0))))
         .count();
-    println!("  {located}/{} rescuers located the coordinator by name", n_rescuers - 1);
+    println!(
+        "  {located}/{} rescuers located the coordinator by name",
+        n_rescuers - 1
+    );
 
     // Status reports: a converge-cast workload — every rescuer streams
     // to the coordinator — plus two direct pair flows, under mobility.

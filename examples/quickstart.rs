@@ -36,9 +36,10 @@ fn main() {
     // Resolve a name through the DNS — the reply is signed with the DNS
     // key every host was provisioned with.
     let resolver = net.hosts[5];
-    net.engine.with_protocol::<SecureNode, _>(resolver, |n, ctx| {
-        n.resolve(ctx, host_name(0));
-    });
+    net.engine
+        .with_protocol::<SecureNode, _>(resolver, |n, ctx| {
+            n.resolve(ctx, host_name(0));
+        });
     let t = net.engine.now() + SimDuration::from_secs(5);
     net.engine.run_until(t);
     let answer = net.host(5).stats().resolved.get(&host_name(0)).cloned();

@@ -198,9 +198,7 @@ fn credits_route_around_data_dropper() {
         (
             report.delivery_ratio.expect("packets sent"),
             net.host(BYPASS_ATTACKER).stats().atk_data_dropped,
-            net.host(0)
-                .credits()
-                .credit(&net.host_ip(BYPASS_ATTACKER)),
+            net.host(0).credits().credit(&net.host_ip(BYPASS_ATTACKER)),
         )
     };
     let (with_credits, dropped_on, credit_on) = run(true);
@@ -321,7 +319,11 @@ fn forged_proofs_rejected_identically_with_and_without_verify_cache() {
     assert_eq!(cached.2, uncached.2, "failed-verdict counts diverged");
     assert_eq!(cached.3, uncached.3, "event streams diverged");
     let (c, u) = (cached.4, uncached.4);
-    assert_eq!(c.executed + c.cached, u.executed, "verification demand diverged");
+    assert_eq!(
+        c.executed + c.cached,
+        u.executed,
+        "verification demand diverged"
+    );
     assert_eq!(u.cached, 0, "cache disabled yet verdicts served from it");
     assert_eq!(c.failed, u.failed, "pipeline failure counts diverged");
 
@@ -356,12 +358,8 @@ fn cached_valid_verdict_never_serves_a_forgery() {
     let mut cache = VerifyCache::new(64);
     let good = honest.prove(&payload);
     // Honest proof verifies and is memoized.
-    let (r1, _) = manet_secure::identity::verify_proof_with(
-        &honest.ip(),
-        &payload,
-        &good,
-        Some(&mut cache),
-    );
+    let (r1, _) =
+        manet_secure::identity::verify_proof_with(&honest.ip(), &payload, &good, Some(&mut cache));
     assert!(r1.is_ok());
 
     // Attacker signs the same payload with its own key but claims the
@@ -377,7 +375,10 @@ fn cached_valid_verdict_never_serves_a_forgery() {
         &forged_cga,
         Some(&mut cache),
     );
-    assert!(r2.is_err(), "wrong-key proof must fail CGA despite cached payload");
+    assert!(
+        r2.is_err(),
+        "wrong-key proof must fail CGA despite cached payload"
+    );
 
     // Attacker splices the honest key material with its own signature:
     // passes CGA, but the signature digest differs, so the cached-valid
@@ -393,7 +394,10 @@ fn cached_valid_verdict_never_serves_a_forgery() {
         &spliced,
         Some(&mut cache),
     );
-    assert!(r3.is_err(), "spliced signature must be rejected, not cache-hit");
+    assert!(
+        r3.is_err(),
+        "spliced signature must be rejected, not cache-hit"
+    );
 
     // And the cached path still agrees with the pure path everywhere.
     assert_eq!(verify_proof(&honest.ip(), &payload, &good), Ok(()));

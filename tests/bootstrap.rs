@@ -124,7 +124,11 @@ fn name_conflict_resolved_first_come_first_serve() {
         .build();
     assert!(net.bootstrap());
     let loser = net.host(2);
-    assert_eq!(loser.stats().name_conflicts, 1, "DREP received and verified");
+    assert_eq!(
+        loser.stats().name_conflicts,
+        1,
+        "DREP received and verified"
+    );
     assert!(loser.is_ready());
     let dns = net.dns_node().dns_state().expect("dns");
     assert_eq!(

@@ -27,7 +27,11 @@ fn render_secure(net: &mut manet_secure::Network<SecureNode>) -> String {
         4,
         SimDuration::from_millis(300),
     ));
-    format!("{:?}\n{}", report.fingerprint(), net.engine.tracer().render())
+    format!(
+        "{:?}\n{}",
+        report.fingerprint(),
+        net.engine.tracer().render()
+    )
 }
 
 fn render_plain(net: &mut manet_secure::Network<PlainDsrNode>) -> String {
@@ -36,7 +40,11 @@ fn render_plain(net: &mut manet_secure::Network<PlainDsrNode>) -> String {
         6,
         SimDuration::from_millis(300),
     ));
-    format!("{:?}\n{}", report.fingerprint(), net.engine.tracer().render())
+    format!(
+        "{:?}\n{}",
+        report.fingerprint(),
+        net.engine.tracer().render()
+    )
 }
 
 /// Secure stack: builder vs legacy `build_secure`, on the bypass
@@ -100,7 +108,11 @@ fn builder_matches_build_scale_exactly() {
     let run = |mut net: manet_secure::Network<PlainDsrNode>| -> (Vec<(usize, usize)>, RunReport) {
         net.engine.run_until(SimTime(1_000_000));
         let flows = net.scale_flows(5);
-        let mut report = net.run(&Workload::flows(flows.clone(), 3, SimDuration::from_millis(400)));
+        let mut report = net.run(&Workload::flows(
+            flows.clone(),
+            3,
+            SimDuration::from_millis(400),
+        ));
         report = report.fingerprint();
         (flows, report)
     };
@@ -145,7 +157,11 @@ fn run_flows_is_sugar_for_the_workload_driver() {
     let mut a = build();
     let ra = a.run_flows(&[(0, 3)], 5, SimDuration::from_millis(250));
     let mut b = build();
-    let rb = b.run(&Workload::flows(vec![(0, 3)], 5, SimDuration::from_millis(250)));
+    let rb = b.run(&Workload::flows(
+        vec![(0, 3)],
+        5,
+        SimDuration::from_millis(250),
+    ));
     assert_eq!(ra.fingerprint(), rb.fingerprint());
     assert_eq!(
         a.engine.tracer().render(),
@@ -194,13 +210,7 @@ proptest! {
 /// of the proptest loop: each secure build runs RSA keygen per node).
 #[test]
 fn secure_spec_is_deterministic_end_to_end() {
-    let build = || {
-        ScenarioBuilder::new()
-            .hosts(4)
-            .seed(4242)
-            .secure()
-            .build()
-    };
+    let build = || ScenarioBuilder::new().hosts(4).seed(4242).secure().build();
     let w = Workload::flows(vec![(0, 3)], 3, SimDuration::from_millis(300));
     let mut a = build();
     a.bootstrap();

@@ -5,7 +5,7 @@
 //! reproduction, so it gets its own regression gate.
 
 use manet_secure::scenario::{Placement, ScenarioBuilder};
-use manet_sim::{ChannelMode, Field, Mobility, SimDuration};
+use manet_sim::{ChannelMode, Field, Mobility, QueueImpl, SimDuration};
 
 /// One full run: bootstrap, two crossing flows, then the observables.
 fn run_with(seed: u64, channel: ChannelMode) -> (f64, usize, u64, u64) {
@@ -93,6 +93,49 @@ fn grid_and_linear_channels_are_one_universe() {
     assert!(g.1 > 0, "nothing simulated — vacuous differential");
 }
 
+/// Like the channel gate above, but for the event queue: the timer
+/// wheel is a *scheduling structure*, not a model change, so a full
+/// secure scenario — mobility, gray zone, loss, staggered joins,
+/// timer-heavy DAD — must be one universe under the wheel and under the
+/// binary-heap oracle, down to the trace-event stream.
+#[test]
+fn wheel_and_heap_queues_are_one_universe() {
+    let full_run = |queue: QueueImpl| {
+        let mut net = ScenarioBuilder::new()
+            .hosts(6)
+            .seed(21)
+            .trace(true)
+            .placement(Placement::Uniform)
+            .field(Field::new(600.0, 600.0))
+            .mobility(Mobility::RandomWaypoint {
+                min_speed: 1.0,
+                max_speed: 4.0,
+                pause_s: 2.0,
+            })
+            .radio(manet_sim::RadioConfig {
+                loss: 0.05,
+                gray_zone: Some(300.0),
+                ..manet_sim::RadioConfig::default()
+            })
+            .queue(queue)
+            .secure()
+            .build();
+        net.bootstrap();
+        let report = net.run_flows(&[(0, 5), (2, 3)], 4, SimDuration::from_millis(300));
+        let trace = net.engine.tracer().render();
+        (report.fingerprint(), net.engine.events_processed(), trace)
+    };
+    let w = full_run(QueueImpl::Wheel);
+    let h = full_run(QueueImpl::Heap);
+    assert_eq!(w.2, h.2, "trace streams diverged between queue impls");
+    assert_eq!(
+        (&w.0, w.1),
+        (&h.0, h.1),
+        "observables diverged between queue impls"
+    );
+    assert!(w.1 > 0, "nothing simulated — vacuous differential");
+}
+
 #[test]
 fn different_seeds_diverge() {
     // Not a strict requirement of determinism, but if two seeds give a
@@ -104,4 +147,154 @@ fn different_seeds_diverge() {
         (b.1, b.2),
         "seeds 1 and 2 produced identical trace/byte counts — seed unused?"
     );
+}
+
+/// Randomized wheel-vs-heap differential at the raw engine level: a
+/// scripted protocol schedules, cancels, and re-schedules timers (and
+/// mixes in broadcasts, so `Deliver` events interleave with `Timer`
+/// events) from inside its own callbacks. Whatever the interleaving —
+/// including zero-delay timers and duplicate delays, i.e. same-tick
+/// ties — both queue implementations must produce the identical fire
+/// log, because protocols observe event *order*, not just event sets.
+mod wheel_heap_script {
+    use manet_sim::{
+        ChannelMode, Ctx, Engine, EngineConfig, Mobility, NodeId, Pos, Protocol, QueueImpl,
+        RadioConfig, SimDuration, SimTime, TimerHandle,
+    };
+    use proptest::prelude::*;
+    use std::any::Any;
+
+    /// One generated step, consumed when a timer fires: the action
+    /// selector and a raw operand (delay in µs, or a cancel index).
+    pub(super) type Step = (u8, u16);
+
+    /// Fire log: (time µs, tag) per timer, (time µs, u64::MAX) per frame.
+    type FireLog = Vec<(u64, u64)>;
+
+    struct Script {
+        steps: Vec<Step>,
+        next: usize,
+        handles: Vec<TimerHandle>,
+        /// The observable (see [`FireLog`]).
+        log: FireLog,
+        tag_seq: u64,
+    }
+
+    impl Script {
+        fn new(steps: Vec<Step>) -> Self {
+            Script {
+                steps,
+                next: 0,
+                handles: Vec::new(),
+                log: Vec::new(),
+                tag_seq: 0,
+            }
+        }
+
+        fn consume(&mut self, ctx: &mut Ctx, count: usize) {
+            for _ in 0..count {
+                let Some(&(action, operand)) = self.steps.get(self.next) else {
+                    return;
+                };
+                self.next += 1;
+                match action % 4 {
+                    0 => {
+                        // Schedule; operand 0 is a same-tick timer, and
+                        // small ranges force duplicate (tied) delays.
+                        let delay = SimDuration::from_micros(u64::from(operand % 2048));
+                        let tag = self.tag_seq;
+                        self.tag_seq += 1;
+                        self.handles.push(ctx.set_timer(delay, tag));
+                    }
+                    1 => {
+                        // Schedule-then-cancel in the same callback.
+                        let delay = SimDuration::from_micros(u64::from(operand % 512));
+                        let h = ctx.set_timer(delay, 999_000 + self.tag_seq);
+                        self.tag_seq += 1;
+                        ctx.cancel_timer(h);
+                    }
+                    2 => {
+                        // Cancel an arbitrary earlier handle (it may
+                        // have fired already — the late-cancel path).
+                        if !self.handles.is_empty() {
+                            let i = usize::from(operand) % self.handles.len();
+                            ctx.cancel_timer(self.handles[i]);
+                        }
+                    }
+                    _ => {
+                        // Mix a Deliver event stream into the ordering.
+                        ctx.broadcast(vec![operand as u8; 1 + usize::from(operand % 7)]);
+                    }
+                }
+            }
+        }
+    }
+
+    impl Protocol for Script {
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            // Seed the run with a burst so there is always something
+            // in flight; everything else happens from on_timer.
+            self.consume(ctx, 4);
+        }
+        fn on_frame(&mut self, ctx: &mut Ctx, _src: NodeId, _bytes: &[u8]) {
+            self.log.push((ctx.now().as_micros(), u64::MAX));
+            self.consume(ctx, 1);
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx, tag: u64) {
+            self.log.push((ctx.now().as_micros(), tag));
+            self.consume(ctx, 2);
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn run(queue: QueueImpl, steps: &[Step], seed: u64) -> (FireLog, FireLog, u64) {
+        let mut e = Engine::new(EngineConfig {
+            seed,
+            queue,
+            channel: ChannelMode::Grid,
+            radio: RadioConfig {
+                loss: 0.02,
+                ..RadioConfig::default()
+            },
+            ..EngineConfig::default()
+        });
+        // Two nodes in range of each other: broadcasts from one arrive
+        // at the other, so Deliver and Timer events interleave in the
+        // queue under test.
+        let a = e.add_node(
+            Box::new(Script::new(steps.to_vec())),
+            Pos::new(0.0, 0.0),
+            Mobility::Static,
+        );
+        let b = e.add_node(
+            Box::new(Script::new(steps.iter().rev().cloned().collect())),
+            Pos::new(100.0, 0.0),
+            Mobility::Static,
+        );
+        e.run_until(SimTime(30_000_000));
+        (
+            e.protocol_as::<Script>(a).log.clone(),
+            e.protocol_as::<Script>(b).log.clone(),
+            e.events_processed(),
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn wheel_and_heap_fire_in_identical_order(
+            steps in proptest::collection::vec((any::<u8>(), any::<u16>()), 16..96),
+            seed in 0u64..512,
+        ) {
+            let w = run(QueueImpl::Wheel, &steps, seed);
+            let h = run(QueueImpl::Heap, &steps, seed);
+            prop_assert_eq!(&w, &h);
+            prop_assert!(w.2 > 0, "vacuous script — nothing dispatched");
+        }
+    }
 }

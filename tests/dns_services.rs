@@ -19,9 +19,10 @@ fn resolve_registered_name() {
     assert!(net.bootstrap());
     let target = host_name(0);
     let resolver = net.hosts[3];
-    net.engine.with_protocol::<SecureNode, _>(resolver, |n, ctx| {
-        n.resolve(ctx, host_name(0));
-    });
+    net.engine
+        .with_protocol::<SecureNode, _>(resolver, |n, ctx| {
+            n.resolve(ctx, host_name(0));
+        });
     let until = net.engine.now() + SimDuration::from_secs(6);
     net.engine.run_until(until);
     let n3 = net.host(3);
@@ -42,9 +43,10 @@ fn nxdomain_is_signed() {
     let ghost = DomainName::new("nobody.manet").unwrap();
     let resolver = net.hosts[2];
     let q = ghost.clone();
-    net.engine.with_protocol::<SecureNode, _>(resolver, |n, ctx| {
-        n.resolve(ctx, q);
-    });
+    net.engine
+        .with_protocol::<SecureNode, _>(resolver, |n, ctx| {
+            n.resolve(ctx, q);
+        });
     let until = net.engine.now() + SimDuration::from_secs(6);
     net.engine.run_until(until);
     assert_eq!(net.host(2).stats().resolved.get(&ghost), Some(&None));
@@ -105,28 +107,30 @@ fn ip_change_with_wrong_key_rejected() {
     let attacker_ip = net.host_ip(2);
 
     // The attacker needs a route to the DNS: resolving anything builds it.
-    net.engine.with_protocol::<SecureNode, _>(attacker, |n, ctx| {
-        n.resolve(ctx, host_name(0));
-    });
+    net.engine
+        .with_protocol::<SecureNode, _>(attacker, |n, ctx| {
+            n.resolve(ctx, host_name(0));
+        });
     let until = net.engine.now() + SimDuration::from_secs(6);
     net.engine.run_until(until);
 
     // Forged request: move the victim's name to an attacker address.
     let dns_anycast = manet_wire::DNS_WELL_KNOWN[0];
     let vn = victim_name.clone();
-    net.engine.with_protocol::<SecureNode, _>(attacker, |n, ctx| {
-        let path = RouteRecord(vec![attacker_ip, dns_anycast]);
-        // Direct path works because the DNS answer above made them
-        // neighbors-by-cache; if not, inject_routed returns false and
-        // the test would fail below anyway.
-        let msg = Message::IpChangeRequest(manet_wire::IpChangeRequest {
-            dn: vn,
-            old_ip: victim_ip,
-            new_ip: attacker_ip,
-            route: RouteRecord::new(),
+    net.engine
+        .with_protocol::<SecureNode, _>(attacker, |n, ctx| {
+            let path = RouteRecord(vec![attacker_ip, dns_anycast]);
+            // Direct path works because the DNS answer above made them
+            // neighbors-by-cache; if not, inject_routed returns false and
+            // the test would fail below anyway.
+            let msg = Message::IpChangeRequest(manet_wire::IpChangeRequest {
+                dn: vn,
+                old_ip: victim_ip,
+                new_ip: attacker_ip,
+                route: RouteRecord::new(),
+            });
+            n.inject_routed(ctx, path, msg);
         });
-        n.inject_routed(ctx, path, msg);
-    });
     let until = net.engine.now() + SimDuration::from_secs(6);
     net.engine.run_until(until);
 
@@ -151,9 +155,10 @@ fn forged_ip_change_proof_rejected() {
     let dns_anycast = manet_wire::DNS_WELL_KNOWN[0];
 
     // Build a route to the DNS first.
-    net.engine.with_protocol::<SecureNode, _>(attacker, |n, ctx| {
-        n.resolve(ctx, host_name(0));
-    });
+    net.engine
+        .with_protocol::<SecureNode, _>(attacker, |n, ctx| {
+            n.resolve(ctx, host_name(0));
+        });
     let until = net.engine.now() + SimDuration::from_secs(6);
     net.engine.run_until(until);
 
@@ -161,22 +166,23 @@ fn forged_ip_change_proof_rejected() {
     // session opens. Step 3 then lies about the addresses.
     let own_name = host_name(1);
     let dn = own_name.clone();
-    net.engine.with_protocol::<SecureNode, _>(attacker, |n, ctx| {
-        let pk = n.public_key().clone();
-        let sig_payload = sigdata::ip_change(&victim_ip, &attacker_ip, Challenge(0));
-        let msg = Message::IpChangeProof(IpChangeProof {
-            dn,
-            old_ip: victim_ip, // not ours, and ch=0 guess is wrong anyway
-            new_ip: attacker_ip,
-            old_rn: 0,
-            new_rn: 0,
-            pk: pk.clone(),
-            sig: manet_crypto::Signature::from_bytes(&sig_payload), // garbage
-            route: RouteRecord::new(),
+    net.engine
+        .with_protocol::<SecureNode, _>(attacker, |n, ctx| {
+            let pk = n.public_key().clone();
+            let sig_payload = sigdata::ip_change(&victim_ip, &attacker_ip, Challenge(0));
+            let msg = Message::IpChangeProof(IpChangeProof {
+                dn,
+                old_ip: victim_ip, // not ours, and ch=0 guess is wrong anyway
+                new_ip: attacker_ip,
+                old_rn: 0,
+                new_rn: 0,
+                pk: pk.clone(),
+                sig: manet_crypto::Signature::from_bytes(&sig_payload), // garbage
+                route: RouteRecord::new(),
+            });
+            let path = RouteRecord(vec![attacker_ip, dns_anycast]);
+            n.inject_routed(ctx, path, msg);
         });
-        let path = RouteRecord(vec![attacker_ip, dns_anycast]);
-        n.inject_routed(ctx, path, msg);
-    });
     let until = net.engine.now() + SimDuration::from_secs(4);
     net.engine.run_until(until);
 
@@ -200,9 +206,10 @@ fn forged_dns_reply_rejected() {
     assert!(net.bootstrap());
     // h3 is far from the DNS; the route passes the attacker at h1.
     let resolver = net.hosts[3];
-    net.engine.with_protocol::<SecureNode, _>(resolver, |n, ctx| {
-        n.resolve(ctx, host_name(0));
-    });
+    net.engine
+        .with_protocol::<SecureNode, _>(resolver, |n, ctx| {
+            n.resolve(ctx, host_name(0));
+        });
     let until = net.engine.now() + SimDuration::from_secs(8);
     net.engine.run_until(until);
 
@@ -234,9 +241,10 @@ fn multi_hop_resolution_is_end_to_end_authentic() {
     let mut net = chain(6, 57);
     assert!(net.bootstrap());
     let resolver = net.hosts[5]; // five hops from the DNS
-    net.engine.with_protocol::<SecureNode, _>(resolver, |n, ctx| {
-        n.resolve(ctx, host_name(1));
-    });
+    net.engine
+        .with_protocol::<SecureNode, _>(resolver, |n, ctx| {
+            n.resolve(ctx, host_name(1));
+        });
     let until = net.engine.now() + SimDuration::from_secs(8);
     net.engine.run_until(until);
     assert_eq!(

@@ -131,10 +131,7 @@ fn figure2_dns_side() {
         .protocol_as::<SecureNode>(manet_sim::NodeId(0))
         .dns_state()
         .expect("dns");
-    assert_eq!(
-        dns.lookup(&DomainName::new("s.manet").unwrap()),
-        Some(s_ip)
-    );
+    assert_eq!(dns.lookup(&DomainName::new("s.manet").unwrap()), Some(s_ip));
 }
 
 /// Figure 3: RREQ/RREP and the cached CREP, in the figure's order, with

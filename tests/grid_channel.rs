@@ -211,8 +211,5 @@ fn exact_boundary_ring_matches_linear() {
         assert_eq!(grid.neighbors(id), lin.neighbors(id), "{id:?}");
     }
     // The center hears the four at exactly `range` (inclusive check).
-    assert_eq!(
-        grid.neighbors(ids[0]),
-        vec![ids[1], ids[2], ids[3], ids[4]]
-    );
+    assert_eq!(grid.neighbors(ids[0]), vec![ids[1], ids[2], ids[3], ids[4]]);
 }

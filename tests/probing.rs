@@ -28,7 +28,10 @@ fn naive_dropper_localized_exactly() {
 
     let atk_ip = net.host_ip(BYPASS_ATTACKER);
     let h0 = net.host(0);
-    assert!(h0.stats().probes_sent >= 1, "persistent loss triggered a probe");
+    assert!(
+        h0.stats().probes_sent >= 1,
+        "persistent loss triggered a probe"
+    );
     assert!(
         !h0.stats().probe_suspects.is_empty(),
         "the probe reached a verdict"
@@ -47,7 +50,10 @@ fn naive_dropper_localized_exactly() {
             "honest relay h{i} must not be probe-slashed"
         );
     }
-    assert!(net.delivery_ratio().expect("packets sent") > 0.7, "traffic shifted to the detour");
+    assert!(
+        net.delivery_ratio().expect("packets sent") > 0.7,
+        "traffic shifted to the detour"
+    );
 }
 
 /// An evading dropper (forwards + acks probes, drops data) defeats
@@ -106,25 +112,26 @@ fn forged_probe_ack_rejected() {
     let src_ip = net.host_ip(0);
     let injector = net.hosts[3];
     let injector_ip = net.host_ip(3);
-    net.engine.with_protocol::<SecureNode, _>(injector, |n, ctx| {
-        // Sign with our own key but claim the attacker's hop address: the
-        // CGA check at the source must reject it (sequence 9999 stands in
-        // for whatever probe is outstanding — even a correct sequence
-        // would fail the identity check, which is the point).
-        let payload = sigdata::probe_ack(&src_ip, Seq(9999), &atk_ip);
-        let proof = manet_wire::IdentityProof {
-            pk: n.public_key().clone(),
-            rn: 0,
-            sig: manet_crypto::Signature::from_bytes(&payload),
-        };
-        let msg = Message::ProbeAck(ProbeAck {
-            sip: src_ip,
-            probe_seq: Seq(9999),
-            hop: atk_ip,
-            proof,
+    net.engine
+        .with_protocol::<SecureNode, _>(injector, |n, ctx| {
+            // Sign with our own key but claim the attacker's hop address: the
+            // CGA check at the source must reject it (sequence 9999 stands in
+            // for whatever probe is outstanding — even a correct sequence
+            // would fail the identity check, which is the point).
+            let payload = sigdata::probe_ack(&src_ip, Seq(9999), &atk_ip);
+            let proof = manet_wire::IdentityProof {
+                pk: n.public_key().clone(),
+                rn: 0,
+                sig: manet_crypto::Signature::from_bytes(&payload),
+            };
+            let msg = Message::ProbeAck(ProbeAck {
+                sip: src_ip,
+                probe_seq: Seq(9999),
+                hop: atk_ip,
+                proof,
+            });
+            n.inject_routed(ctx, RouteRecord(vec![injector_ip, src_ip]), msg);
         });
-        n.inject_routed(ctx, RouteRecord(vec![injector_ip, src_ip]), msg);
-    });
     let until = net.engine.now() + SimDuration::from_secs(2);
     net.engine.run_until(until);
     // The injected ack matched no pending probe (or failed verification);

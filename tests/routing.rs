@@ -72,7 +72,10 @@ fn node_death_triggers_rerr_and_cache_eviction() {
     let mut net = chain(5, 23);
     assert!(net.bootstrap());
     net.run_flows(&[(0, 4)], 3, SimDuration::from_millis(300));
-    assert!(net.delivery_ratio().expect("packets sent") > 0.9, "healthy before the kill");
+    assert!(
+        net.delivery_ratio().expect("packets sent") > 0.9,
+        "healthy before the kill"
+    );
 
     // Kill h2 (the middle relay), then keep sending.
     let h2 = net.hosts[2];
@@ -195,18 +198,21 @@ fn send_buffer_flushes_after_discovery() {
     // Three sends back-to-back with no route yet: one RREQ, all queued.
     let dst = net.host_ip(3);
     let src = net.hosts[0];
-    net.engine
-        .with_protocol::<SecureNode, _>(src, |n, ctx| {
-            n.send_data(ctx, dst, vec![1; 32]);
-            n.send_data(ctx, dst, vec![2; 32]);
-            n.send_data(ctx, dst, vec![3; 32]);
-        });
+    net.engine.with_protocol::<SecureNode, _>(src, |n, ctx| {
+        n.send_data(ctx, dst, vec![1; 32]);
+        n.send_data(ctx, dst, vec![2; 32]);
+        n.send_data(ctx, dst, vec![3; 32]);
+    });
     let until = net.engine.now() + SimDuration::from_secs(6);
     net.engine.run_until(until);
     let h0 = net.host(0);
     assert_eq!(h0.stats().data_sent, 3);
     assert_eq!(h0.stats().data_acked, 3, "all flushed and acknowledged");
-    assert_eq!(h0.stats().rreq_sent, 1, "a single discovery served all three");
+    assert_eq!(
+        h0.stats().rreq_sent,
+        1,
+        "a single discovery served all three"
+    );
 }
 
 /// Discovery to an unreachable destination gives up after the configured

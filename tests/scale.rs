@@ -26,7 +26,16 @@ fn large_grid_bootstrap_and_traffic() {
     let dns = net.dns_node().dns_state().expect("dns");
     assert_eq!(dns.name_count(), 24, "every name committed");
 
-    let flows = [(0, 23), (23, 0), (3, 20), (7, 16), (12, 1), (5, 22), (9, 14), (18, 2)];
+    let flows = [
+        (0, 23),
+        (23, 0),
+        (3, 20),
+        (7, 16),
+        (12, 1),
+        (5, 22),
+        (9, 14),
+        (18, 2),
+    ];
     let report = net.run_flows(&flows, 8, SimDuration::from_millis(400));
     let ratio = report.delivery_ratio.expect("packets sent");
     assert!(ratio > 0.9, "delivery {ratio} under 8-flow load");

@@ -3,8 +3,7 @@
 
 use manet_secure::{verify_proof, HostIdentity};
 use manet_wire::{
-    sigdata, IdentityProof, Ipv6Addr, Message, RouteRecord, Rreq, SecureRouteRecord, Seq,
-    SrrEntry,
+    sigdata, IdentityProof, Ipv6Addr, Message, RouteRecord, Rreq, SecureRouteRecord, Seq, SrrEntry,
 };
 use proptest::prelude::*;
 use rand::SeedableRng;
@@ -67,9 +66,10 @@ fn destination_accepts(rreq: &Rreq) -> bool {
     {
         return false;
     }
-    rreq.srr.0.iter().all(|e| {
-        verify_proof(&e.ip, &sigdata::srr_hop(&e.ip, rreq.seq), &e.proof).is_ok()
-    })
+    rreq.srr
+        .0
+        .iter()
+        .all(|e| verify_proof(&e.ip, &sigdata::srr_hop(&e.ip, rreq.seq), &e.proof).is_ok())
 }
 
 #[test]

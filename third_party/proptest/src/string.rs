@@ -138,8 +138,11 @@ fn parse_quantifier(it: &mut Chars) -> Result<(u32, u32), String> {
                     None => return Err("unterminated {n,m}".into()),
                 }
             }
-            let parse_n =
-                |s: &str| s.trim().parse::<u32>().map_err(|_| format!("bad repeat {spec:?}"));
+            let parse_n = |s: &str| {
+                s.trim()
+                    .parse::<u32>()
+                    .map_err(|_| format!("bad repeat {spec:?}"))
+            };
             match spec.split_once(',') {
                 None => {
                     let n = parse_n(&spec)?;
@@ -217,7 +220,9 @@ mod tests {
             for label in s.split('.') {
                 assert!(!label.is_empty() && label.len() <= 12, "{s:?}");
                 assert!(
-                    label.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()),
+                    label
+                        .chars()
+                        .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()),
                     "{s:?}"
                 );
             }
