@@ -108,12 +108,39 @@ fn bench_scale_queue(c: &mut Criterion) {
     g.finish();
 }
 
+/// S1-shaped at full 2k-node scale: the same flooding workload under
+/// the single-threaded oracle vs the sharded executor. Both produce
+/// byte-identical universes (gated in `tests/determinism.rs`); this
+/// pins the wall-clock cost/benefit of the epoch machinery per commit.
+fn bench_scale_shards(c: &mut Criterion) {
+    use manet_sim::ExecMode;
+    let mut g = c.benchmark_group("scale_shards");
+    g.sample_size(10);
+    for (name, exec) in [
+        ("single_2000", ExecMode::Single),
+        ("sharded2_2000", ExecMode::Sharded(2)),
+        ("sharded8_2000", ExecMode::Sharded(8)),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut net = scale_family(2000, 8).exec(exec).plain().build();
+                net.engine.run_until(SimTime(1_000_000));
+                let flows = net.scale_flows(8);
+                let report = net.run(&Workload::flows(flows, 2, SimDuration::from_millis(400)));
+                black_box(report.rx_frames)
+            });
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_bootstrap,
     bench_flow,
     bench_grid_bootstrap,
     bench_scale_channel,
-    bench_scale_queue
+    bench_scale_queue,
+    bench_scale_shards
 );
 criterion_main!(benches);

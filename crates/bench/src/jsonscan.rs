@@ -8,9 +8,16 @@
 //! through these three helpers so the (deliberately naive) parsing
 //! rules live in exactly one place.
 
-/// The JSON number following `"key":`, wherever it first appears.
+/// The JSON number following `"key":`, wherever it first appears. A
+/// `null` value (how our writers spell NaN/infinity, which JSON cannot
+/// represent) reads back as `Some(NaN)` — present but not finite —
+/// distinct from `None` for a missing key.
 pub(crate) fn read_number(text: &str, key: &str) -> Option<f64> {
-    scalar_after(text, key)?.parse().ok()
+    let raw = scalar_after(text, key)?;
+    if raw == "null" {
+        return Some(f64::NAN);
+    }
+    raw.parse().ok()
 }
 
 /// The JSON bool following `"key":`, wherever it first appears.
@@ -60,6 +67,14 @@ mod tests {
         assert_eq!(read_bool(SAMPLE, "quick"), Some(true));
         assert_eq!(read_number(SAMPLE, "nope"), None);
         assert_eq!(read_bool(SAMPLE, "wall_s"), None);
+    }
+
+    #[test]
+    fn null_reads_as_present_nan_not_missing() {
+        let text = "{\"delivery_ratio\": null, \"x\": 1}";
+        let v = read_number(text, "delivery_ratio");
+        assert!(v.is_some_and(f64::is_nan), "null must read back, as NaN");
+        assert_eq!(read_number(text, "absent"), None, "missing stays None");
     }
 
     #[test]

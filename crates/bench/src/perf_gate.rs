@@ -32,24 +32,45 @@ pub fn baseline_path() -> String {
     std::env::var("PERF_BASELINE_JSON").unwrap_or_else(|_| DEFAULT_BASELINE_PATH.to_string())
 }
 
-fn tolerance() -> f64 {
-    std::env::var("PERF_TOLERANCE")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(DEFAULT_TOLERANCE)
+/// Resolve the allowed fractional regression from a raw
+/// `PERF_TOLERANCE` value. Unset means the default; anything set must
+/// be a finite non-negative number — a misconfigured CI gate should
+/// fail loudly, not silently run at the default tolerance.
+fn parse_tolerance(raw: Option<String>) -> Result<f64, String> {
+    let Some(raw) = raw else {
+        return Ok(DEFAULT_TOLERANCE);
+    };
+    let v: f64 = raw.trim().parse().map_err(|_| {
+        format!("PERF_TOLERANCE={raw:?} is not a number (want a fraction like 0.25)")
+    })?;
+    if !v.is_finite() || v < 0.0 {
+        return Err(format!(
+            "PERF_TOLERANCE={raw:?} must be a finite non-negative fraction (e.g. 0.25)"
+        ));
+    }
+    Ok(v)
 }
 
-/// A fresh pair of quick-mode engine rates (S1 best-of-two, S2 single).
-fn fresh_rates() -> (f64, f64) {
-    let s1 = s1_quick_report()
+/// Fresh quick-mode engine rates: S1 single (best-of-two), S1 sharded
+/// (best-of-two, 8 bands), S2 single.
+fn fresh_rates() -> (f64, f64, f64) {
+    use manet_sim::ExecMode;
+    let s1 = s1_quick_report(ExecMode::Single)
         .events_per_sec_engine
-        .max(s1_quick_report().events_per_sec_engine);
-    let s2 = run_s2_plain(true, 1).events_per_sec_engine;
-    (s1, s2)
+        .max(s1_quick_report(ExecMode::Single).events_per_sec_engine);
+    let s1_sharded = s1_quick_report(ExecMode::Sharded(8))
+        .events_per_sec_engine
+        .max(s1_quick_report(ExecMode::Sharded(8)).events_per_sec_engine);
+    let s2 = run_s2_plain(ExecMode::Single, true, 1).events_per_sec_engine;
+    (s1, s1_sharded, s2)
 }
 
 /// Run the check. Returns the rendered report and whether it passed.
 pub fn check(path: &str) -> (String, bool) {
+    let tol = match parse_tolerance(std::env::var("PERF_TOLERANCE").ok()) {
+        Ok(t) => t,
+        Err(e) => return (format!("perf gate: {e}"), false),
+    };
     let Ok(text) = std::fs::read_to_string(path) else {
         return (
             format!(
@@ -58,14 +79,14 @@ pub fn check(path: &str) -> (String, bool) {
             false,
         );
     };
-    let (Some(base_s1), Some(base_s2)) = (
+    let (Some(base_s1), Some(base_s1_sharded), Some(base_s2)) = (
         read_number(&text, "s1_events_per_sec_engine"),
+        read_number(&text, "s1_sharded_events_per_sec_engine"),
         read_number(&text, "s2_events_per_sec_engine"),
     ) else {
         return (format!("perf gate: baseline at {path} is malformed"), false);
     };
-    let tol = tolerance();
-    let (fresh_s1, fresh_s2) = fresh_rates();
+    let (fresh_s1, fresh_s1_sharded, fresh_s2) = fresh_rates();
 
     let mut pass = true;
     let mut t = Table::new(
@@ -77,6 +98,7 @@ pub fn check(path: &str) -> (String, bool) {
     );
     for (cell, base, fresh) in [
         ("S1 (2k grid)", base_s1, fresh_s1),
+        ("S1 (2k sharded:8)", base_s1_sharded, fresh_s1_sharded),
         ("S2 (10k plain)", base_s2, fresh_s2),
     ] {
         let ratio = fresh / base;
@@ -103,23 +125,26 @@ pub fn check(path: &str) -> (String, bool) {
 
 /// Regenerate the baseline file from fresh runs on this machine.
 pub fn write_baseline(path: &str) -> std::io::Result<String> {
-    let (s1, s2) = fresh_rates();
+    let (s1, s1_sharded, s2) = fresh_rates();
     if let Some(dir) = std::path::Path::new(path).parent() {
         std::fs::create_dir_all(dir)?;
     }
     let body = format!(
         concat!(
             "{{\n",
-            "  \"comment\": \"engine events/sec baselines for `tables -- --check-perf` (quick-mode S1 grid and S2 plain cells; regenerate with `tables -- --write-baseline` when the hot path legitimately changes or CI hardware does)\",\n",
+            "  \"comment\": \"engine events/sec baselines for `tables -- --check-perf` (quick-mode S1 grid single+sharded and S2 plain cells; regenerate with `tables -- --write-baseline` when the hot path legitimately changes or CI hardware does)\",\n",
             "  \"quick\": true,\n",
             "  \"s1_events_per_sec_engine\": {:.0},\n",
+            "  \"s1_sharded_events_per_sec_engine\": {:.0},\n",
             "  \"s2_events_per_sec_engine\": {:.0}\n",
             "}}\n"
         ),
-        s1, s2
+        s1, s1_sharded, s2
     );
     std::fs::write(path, &body)?;
-    Ok(format!("wrote {path}: s1 {s1:.0} ev/s, s2 {s2:.0} ev/s"))
+    Ok(format!(
+        "wrote {path}: s1 {s1:.0} ev/s, s1 sharded {s1_sharded:.0} ev/s, s2 {s2:.0} ev/s"
+    ))
 }
 
 #[cfg(test)]
@@ -128,15 +153,39 @@ mod tests {
 
     #[test]
     fn baseline_numbers_parse_from_our_own_format() {
-        let text = "{\n  \"comment\": \"x\",\n  \"quick\": true,\n  \"s1_events_per_sec_engine\": 2500000,\n  \"s2_events_per_sec_engine\": 1400000\n}\n";
+        let text = "{\n  \"comment\": \"x\",\n  \"quick\": true,\n  \"s1_events_per_sec_engine\": 2500000,\n  \"s1_sharded_events_per_sec_engine\": 2400000,\n  \"s2_events_per_sec_engine\": 1400000\n}\n";
         assert_eq!(
             read_number(text, "s1_events_per_sec_engine"),
             Some(2_500_000.0)
         );
         assert_eq!(
+            read_number(text, "s1_sharded_events_per_sec_engine"),
+            Some(2_400_000.0)
+        );
+        assert_eq!(
             read_number(text, "s2_events_per_sec_engine"),
             Some(1_400_000.0)
         );
+    }
+
+    #[test]
+    fn tolerance_accepts_valid_values_and_defaults_when_unset() {
+        assert_eq!(parse_tolerance(None), Ok(DEFAULT_TOLERANCE));
+        assert_eq!(parse_tolerance(Some("0.1".into())), Ok(0.1));
+        assert_eq!(parse_tolerance(Some(" 0.5 ".into())), Ok(0.5));
+        assert_eq!(parse_tolerance(Some("0".into())), Ok(0.0));
+    }
+
+    #[test]
+    fn tolerance_rejects_garbage_instead_of_masking_it() {
+        for bad in ["25%", "lots", "", "-0.1", "NaN", "inf"] {
+            let r = parse_tolerance(Some(bad.into()));
+            assert!(r.is_err(), "{bad:?} must be rejected, got {r:?}");
+            assert!(
+                r.unwrap_err().contains("PERF_TOLERANCE"),
+                "error must name the knob"
+            );
+        }
     }
 
     #[test]

@@ -26,7 +26,7 @@ use crate::jsonscan::{extract_object, read_bool};
 use crate::table::Table;
 use manet_secure::scenario::{scale_family, Placement, RunReport, ScenarioBuilder, Workload};
 use manet_secure::ProtocolConfig;
-use manet_sim::{ChannelMode, QueueImpl, SimDuration, SimTime};
+use manet_sim::{ChannelMode, ExecMode, QueueImpl, SimDuration, SimTime};
 use std::time::Instant;
 
 /// The S1 population size. The shape itself (uniform placement at
@@ -51,15 +51,21 @@ fn s2_secure_hosts(quick: bool) -> usize {
     }
 }
 
+/// Shard count the sharded exhibit cells run: matches the top of the
+/// CI matrix, and 8 contiguous field bands keep hundreds of S1 nodes
+/// per shard.
+const EXHIBIT_SHARDS: usize = 8;
+
 /// One S1 run. The returned report's `wall_s` covers the whole cell —
 /// construction, formation beat, flow picking, and traffic — since the
 /// build cost is part of what the channel layer buys back.
-fn run_s1(channel: ChannelMode, quick: bool, seed: u64) -> RunReport {
+fn run_s1(channel: ChannelMode, exec: ExecMode, quick: bool, seed: u64) -> RunReport {
     let (n_flows, packets) = if quick { (10, 3) } else { (16, 8) };
 
     let t0 = Instant::now();
     let mut net = scale_family(S1_HOSTS, seed)
         .channel(channel)
+        .exec(exec)
         .plain()
         .build();
     // Formation beat: mobility starts ticking, churn kills are queued.
@@ -76,12 +82,13 @@ fn run_s1(channel: ChannelMode, quick: bool, seed: u64) -> RunReport {
 }
 
 /// The S2 plain cell: the S1 shape at 10,000 hosts.
-pub(crate) fn run_s2_plain(quick: bool, seed: u64) -> RunReport {
+pub(crate) fn run_s2_plain(exec: ExecMode, quick: bool, seed: u64) -> RunReport {
     let (n_flows, packets) = if quick { (16, 3) } else { (24, 6) };
 
     let t0 = Instant::now();
     let mut net = scale_family(S2_HOSTS, seed)
         .channel(ChannelMode::Grid)
+        .exec(exec)
         .plain()
         .build();
     net.engine.run_until(SimTime(2_000_000));
@@ -127,37 +134,51 @@ fn run_s2_secure(queue: QueueImpl, quick: bool, seed: u64) -> (RunReport, bool) 
 /// the V1 exhibit re-times it to show protocol-layer refactors leave the
 /// scale workload's cost unchanged.
 pub(crate) fn s1_grid_wall(quick: bool) -> f64 {
-    run_s1(ChannelMode::Grid, quick, 1).wall_s
+    run_s1(ChannelMode::Grid, ExecMode::Single, quick, 1).wall_s
 }
 
 /// One fresh quick S1 grid report, for the perf-regression gate.
-pub(crate) fn s1_quick_report() -> RunReport {
-    run_s1(ChannelMode::Grid, true, 1)
+pub(crate) fn s1_quick_report(exec: ExecMode) -> RunReport {
+    run_s1(ChannelMode::Grid, exec, true, 1)
 }
 
-/// S1: 2,000-node scale run, grid vs linear channel.
+/// S1: 2,000-node scale run, grid vs linear channel, single vs sharded
+/// executor.
 pub fn exhibit_s1(quick: bool) -> String {
     let seed = 1;
     let n = S1_HOSTS;
-    let grid = run_s1(ChannelMode::Grid, quick, seed);
-    let linear = run_s1(ChannelMode::Linear, quick, seed);
+    let grid = run_s1(ChannelMode::Grid, ExecMode::Single, quick, seed);
+    let linear = run_s1(ChannelMode::Linear, ExecMode::Single, quick, seed);
+    let sharded = run_s1(
+        ChannelMode::Grid,
+        ExecMode::Sharded(EXHIBIT_SHARDS),
+        quick,
+        seed,
+    );
 
-    // Differential gate: same seed ⇒ identical simulation universe, down
-    // to every machine-independent field of the report.
+    // Differential gates: same seed ⇒ identical simulation universe,
+    // down to every machine-independent field of the report — whichever
+    // channel indexes receivers and whichever executor runs the loop.
     assert_eq!(
         grid.fingerprint(),
         linear.fingerprint(),
         "grid and linear channels diverged — determinism invariant broken"
     );
+    assert_eq!(
+        grid.fingerprint(),
+        sharded.fingerprint(),
+        "sharded and single executors diverged — determinism invariant broken"
+    );
 
     let ratio = linear.wall_s / grid.wall_s;
+    let shard_speedup = grid.events_per_sec_engine / sharded.events_per_sec_engine.max(1.0);
     let mut t = Table::new(
         format!(
             "S1 — scale: {n} plain-DSR nodes, mobility + churn ({} flows)",
             if quick { "quick" } else { "full" }
         ),
         &[
-            "channel",
+            "cell",
             "wall (s)",
             "events",
             "events/s",
@@ -166,7 +187,11 @@ pub fn exhibit_s1(quick: bool) -> String {
             "mean degree",
         ],
     );
-    for (name, r) in [("grid", &grid), ("linear", &linear)] {
+    for (name, r) in [
+        ("grid/single", &grid),
+        ("linear/single", &linear),
+        ("grid/sharded:8", &sharded),
+    ] {
         t.rowv(vec![
             name.to_string(),
             format!("{:.2}", r.wall_s),
@@ -178,14 +203,18 @@ pub fn exhibit_s1(quick: bool) -> String {
         ]);
     }
     t.note(format!(
-        "identical observables under both channels (differential gate); linear/grid wall ratio {ratio:.2}×"
+        "identical observables under both channels and both executors (differential gates); linear/grid wall ratio {ratio:.2}×"
+    ));
+    t.note(format!(
+        "single/sharded engine-rate ratio {shard_speedup:.2}× (sharded:{EXHIBIT_SHARDS} on {} core(s))",
+        std::thread::available_parallelism().map_or(1, |c| c.get()),
     ));
     t.note(format!(
         "{} of {} nodes killed mid-run; flows chosen inside the largest radio component",
         grid.nodes_killed, n
     ));
 
-    let section = s1_section_json(n, &grid, &linear, ratio);
+    let section = s1_section_json(n, &grid, &linear, &sharded, ratio);
     match write_scale_section(&scale_json_path(), "s1", &section, quick) {
         Err(e) => t.note(format!("BENCH_scale.json not written: {e}")),
         Ok(()) => t.note(format!("wrote {} (s1 section)", scale_json_path())),
@@ -193,18 +222,27 @@ pub fn exhibit_s1(quick: bool) -> String {
     t.render()
 }
 
-/// S2: 10,000-node plain run plus the secure bootstrap storm under
-/// both queue implementations (the scale-level wheel-vs-heap gate).
+/// S2: 10,000-node plain run under both executors (the scale-level
+/// sharded-vs-single gate) plus the secure bootstrap storm under both
+/// queue implementations (the scale-level wheel-vs-heap gate).
 pub fn exhibit_s2(quick: bool) -> String {
     let seed = 1;
-    let plain = run_s2_plain(quick, seed);
+    let plain = run_s2_plain(ExecMode::Single, quick, seed);
+    let plain_sharded = run_s2_plain(ExecMode::Sharded(EXHIBIT_SHARDS), quick, seed);
 
     let (sec_wheel, ready_wheel) = run_s2_secure(QueueImpl::Wheel, quick, seed);
     let (sec_heap, ready_heap) = run_s2_secure(QueueImpl::Heap, quick, seed);
 
-    // Differential gate: the timer wheel is a scheduling structure, not
-    // a model change — the secure storm (timer-heavy DAD, staggered
-    // joins, signature checks) must be one universe under both queues.
+    // Differential gates: the executor and the pending-event store are
+    // scheduling machinery, not model changes — the 10k plain run must
+    // be one universe under both executors, and the secure storm
+    // (timer-heavy DAD, staggered joins, signature checks) one universe
+    // under both queues.
+    assert_eq!(
+        plain.fingerprint(),
+        plain_sharded.fingerprint(),
+        "sharded and single executors diverged at 10k — determinism invariant broken"
+    );
     assert_eq!(
         sec_wheel.fingerprint(),
         sec_heap.fingerprint(),
@@ -238,6 +276,11 @@ pub fn exhibit_s2(quick: bool) -> String {
     };
     for (cell, queue, r) in [
         (format!("plain {S2_HOSTS}"), "wheel", &plain),
+        (
+            format!("plain {S2_HOSTS} sharded:{EXHIBIT_SHARDS}"),
+            "wheel",
+            &plain_sharded,
+        ),
         (format!("secure {n_sec}"), "wheel", &sec_wheel),
         (format!("secure {n_sec}"), "heap", &sec_heap),
     ] {
@@ -262,7 +305,7 @@ pub fn exhibit_s2(quick: bool) -> String {
         n_sec,
     ));
 
-    let section = s2_section_json(n_sec, &plain, &sec_wheel, &sec_heap, ratio);
+    let section = s2_section_json(n_sec, &plain, &plain_sharded, &sec_wheel, &sec_heap, ratio);
     match write_scale_section(&scale_json_path(), "s2", &section, quick) {
         Err(e) => t.note(format!("BENCH_scale.json not written: {e}")),
         Ok(()) => t.note(format!("wrote {} (s2 section)", scale_json_path())),
@@ -274,7 +317,13 @@ fn scale_json_path() -> String {
     std::env::var("BENCH_SCALE_JSON").unwrap_or_else(|_| "BENCH_scale.json".to_string())
 }
 
-fn s1_section_json(n: usize, grid: &RunReport, linear: &RunReport, ratio: f64) -> String {
+fn s1_section_json(
+    n: usize,
+    grid: &RunReport,
+    linear: &RunReport,
+    sharded: &RunReport,
+    ratio: f64,
+) -> String {
     // Crypto counters of the grid run: total verification demand and the
     // cache hit rate (null until the scale family runs secure nodes).
     let demand = grid.crypto.demand();
@@ -292,6 +341,7 @@ fn s1_section_json(n: usize, grid: &RunReport, linear: &RunReport, ratio: f64) -
             "    \"mean_degree\": {:.2},\n",
             "    \"grid\": {},\n",
             "    \"linear\": {},\n",
+            "    \"sharded\": {},\n",
             "    \"linear_over_grid_wall_ratio\": {:.3},\n",
             "    \"crypto\": {{\"total_verifications\": {}, \"cached\": {}, \"cache_hit_rate\": {}}}\n",
             "  }}"
@@ -302,6 +352,7 @@ fn s1_section_json(n: usize, grid: &RunReport, linear: &RunReport, ratio: f64) -
         grid.mean_degree.unwrap_or(f64::NAN),
         grid.to_json(),
         linear.to_json(),
+        sharded.to_json(),
         ratio,
         demand,
         grid.crypto.cached,
@@ -312,6 +363,7 @@ fn s1_section_json(n: usize, grid: &RunReport, linear: &RunReport, ratio: f64) -
 fn s2_section_json(
     n_sec: usize,
     plain: &RunReport,
+    plain_sharded: &RunReport,
     sec_wheel: &RunReport,
     sec_heap: &RunReport,
     heap_over_wheel: f64,
@@ -321,6 +373,7 @@ fn s2_section_json(
             "{{\n",
             "    \"n_hosts\": {},\n",
             "    \"plain\": {},\n",
+            "    \"plain_sharded\": {},\n",
             "    \"secure_hosts\": {},\n",
             "    \"secure\": {},\n",
             "    \"secure_heap\": {},\n",
@@ -329,6 +382,7 @@ fn s2_section_json(
         ),
         S2_HOSTS,
         plain.to_json(),
+        plain_sharded.to_json(),
         n_sec,
         sec_wheel.to_json(),
         sec_heap.to_json(),
@@ -435,5 +489,62 @@ mod tests {
             report.fingerprint()
         };
         assert_eq!(run(QueueImpl::Wheel), run(QueueImpl::Heap));
+    }
+
+    #[test]
+    fn s2_secure_storm_is_identical_under_both_executors_at_tiny_scale() {
+        // The full sharded-vs-single gate runs inside exhibit_s1/s2;
+        // this miniature keeps the scale-shaped differential (staggered
+        // joins, DAD timers, kills) in plain `cargo test`.
+        let run = |exec| {
+            let mut net = ScenarioBuilder::new()
+                .hosts(8)
+                .placement(Placement::Uniform)
+                .density(10.0)
+                .seed(5)
+                .exec(exec)
+                .churn(2, (SimTime(2_000_000), SimTime(6_000_000)))
+                .secure_with(ProtocolConfig {
+                    key_bits: 384,
+                    ..ProtocolConfig::default()
+                })
+                .join_stagger(SimDuration::from_millis(20))
+                .build();
+            let report = net.run(&Workload::bootstrap_storm());
+            report.fingerprint()
+        };
+        let single = run(manet_sim::ExecMode::Single);
+        for k in [1, 3, 8] {
+            assert_eq!(
+                single,
+                run(manet_sim::ExecMode::Sharded(k)),
+                "sharded({k}) secure storm diverged from single"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_flow_report_round_trips_through_jsonscan() {
+        use crate::jsonscan::read_number;
+        // No flows sent: delivery_ratio is None and serializes as null;
+        // the scanner must read the document instead of choking on it.
+        let mut net = ScenarioBuilder::new().hosts(2).plain().build();
+        let report = net.run(&Workload::flows(
+            Vec::new(),
+            0,
+            SimDuration::from_millis(10),
+        ));
+        assert_eq!(report.delivery_ratio, None, "empty flow list sent data?");
+        let j = report.to_json();
+        assert!(
+            read_number(&j, "delivery_ratio").is_some_and(f64::is_nan),
+            "null must round-trip as present-but-NaN: {j}"
+        );
+        assert_eq!(read_number(&j, "events"), Some(report.events as f64));
+        assert_eq!(
+            read_number(&j, "nodes_killed"),
+            Some(report.nodes_killed as f64)
+        );
+        assert!(!j.contains("NaN"), "raw NaN leaked into JSON: {j}");
     }
 }

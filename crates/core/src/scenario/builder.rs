@@ -19,8 +19,8 @@ use crate::config::{Behavior, ProtocolConfig};
 use crate::node::SecureNode;
 use crate::plain::{PlainConfig, PlainDsrNode};
 use manet_sim::{
-    ChannelMode, Engine, EngineConfig, Field, Mobility, QueueImpl, RadioConfig, SimDuration,
-    SimTime,
+    ChannelMode, Engine, EngineConfig, ExecMode, Field, Mobility, QueueImpl, RadioConfig,
+    SimDuration, SimTime,
 };
 use manet_wire::DomainName;
 use std::marker::PhantomData;
@@ -81,6 +81,7 @@ pub struct ScenarioBuilder {
     trace: bool,
     channel: ChannelMode,
     queue: QueueImpl,
+    exec: ExecMode,
     attackers: Vec<(usize, Behavior)>,
     churn_kills: usize,
     churn_window: (SimTime, SimTime),
@@ -101,6 +102,7 @@ impl Default for ScenarioBuilder {
             trace: false,
             channel: ChannelMode::Grid,
             queue: QueueImpl::Wheel,
+            exec: ExecMode::default(),
             attackers: Vec::new(),
             churn_kills: 0,
             churn_window: (SimTime(4_000_000), SimTime(10_000_000)),
@@ -170,6 +172,15 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Executor: the single-threaded oracle or the K-band sharded
+    /// engine (byte-identical by contract; `tests/determinism.rs`
+    /// enforces it). Defaults to `Single`, or whatever the `MANET_EXEC`
+    /// env knob says.
+    pub fn exec(mut self, exec: ExecMode) -> Self {
+        self.exec = exec;
+        self
+    }
+
     /// Give host `idx` an attacker behavior.
     pub fn adversary(mut self, idx: usize, behavior: Behavior) -> Self {
         self.attackers.push((idx, behavior));
@@ -235,6 +246,7 @@ impl ScenarioBuilder {
             trace: self.trace,
             channel: self.channel,
             queue: self.queue,
+            exec: self.exec,
             ..EngineConfig::default()
         })
     }

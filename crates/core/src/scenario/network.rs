@@ -243,6 +243,8 @@ impl<P: NodeApi> Network<P> {
                 0.0
             },
             queue_impl: self.engine.queue_impl().name(),
+            exec_mode: self.engine.exec_mode().name(),
+            shards: self.engine.exec_mode().shard_count(),
             tx_bytes: m.counter("ctl.tx_bytes"),
             rx_frames: m.counter("phy.rx_frames"),
             nodes_killed: m.counter("sim.nodes_killed"),

@@ -82,6 +82,13 @@ pub struct RunReport {
     /// [`RunReport::fingerprint`] so wheel-vs-heap differentials can
     /// compare whole reports.
     pub queue_impl: &'static str,
+    /// Which executor produced this run (`"single"` / `"sharded"`).
+    /// Config echo, masked by [`RunReport::fingerprint`] so
+    /// sharded-vs-single differentials can compare whole reports.
+    pub exec_mode: &'static str,
+    /// Shard count of the executor (1 under `"single"`). Masked by
+    /// [`RunReport::fingerprint`].
+    pub shards: usize,
     pub tx_bytes: u64,
     pub rx_frames: u64,
     pub nodes_killed: u64,
@@ -97,6 +104,8 @@ impl RunReport {
             events_per_sec: 0.0,
             events_per_sec_engine: 0.0,
             queue_impl: "",
+            exec_mode: "",
+            shards: 0,
             ..self.clone()
         }
     }
@@ -109,27 +118,32 @@ impl RunReport {
 
     /// Hand-rolled JSON (the workspace is offline — no serde): the one
     /// serialization the `BENCH_*.json` writers embed.
+    ///
+    /// Every float goes through [`json_num`]: JSON has no NaN or
+    /// infinity literals, so non-finite values (an empty-flow report's
+    /// NaN ratios, a zero-wall run's infinite rate) serialize as `null`
+    /// instead of producing an unparseable document.
     pub fn to_json(&self) -> String {
-        let opt = |v: Option<f64>| match v {
-            Some(x) => format!("{x:.4}"),
-            None => "null".to_string(),
-        };
+        let opt = |v: Option<f64>| json_num(v.unwrap_or(f64::NAN), 4);
         format!(
             concat!(
-                "{{\"wall_s\": {:.3}, \"events\": {}, \"events_per_sec\": {:.0}, ",
-                "\"events_per_sec_engine\": {:.0}, \"queue_impl\": \"{}\", ",
-                "\"sim_s\": {:.1}, \"delivery_ratio\": {}, \"mean_degree\": {}, ",
+                "{{\"wall_s\": {}, \"events\": {}, \"events_per_sec\": {}, ",
+                "\"events_per_sec_engine\": {}, \"queue_impl\": \"{}\", ",
+                "\"exec_mode\": \"{}\", \"shards\": {}, ",
+                "\"sim_s\": {}, \"delivery_ratio\": {}, \"mean_degree\": {}, ",
                 "\"tx_bytes\": {}, \"rx_frames\": {}, \"nodes_killed\": {}, ",
                 "\"totals\": {{\"data_sent\": {}, \"data_acked\": {}, \"data_failed\": {}, ",
                 "\"rejected\": {}}}, ",
                 "\"crypto\": {{\"executed\": {}, \"cached\": {}, \"failed\": {}}}}}"
             ),
-            self.wall_s,
+            json_num(self.wall_s, 3),
             self.events,
-            self.events_per_sec,
-            self.events_per_sec_engine,
+            json_num(self.events_per_sec, 0),
+            json_num(self.events_per_sec_engine, 0),
             self.queue_impl,
-            self.sim_s,
+            self.exec_mode,
+            self.shards,
+            json_num(self.sim_s, 1),
             opt(self.delivery_ratio),
             opt(self.mean_degree),
             self.tx_bytes,
@@ -143,6 +157,16 @@ impl RunReport {
             self.crypto.cached,
             self.crypto.failed,
         )
+    }
+}
+
+/// Format a float for a JSON document: fixed precision, or `null` when
+/// the value has no JSON representation (NaN / ±infinity).
+fn json_num(v: f64, precision: usize) -> String {
+    if v.is_finite() {
+        format!("{v:.precision$}")
+    } else {
+        "null".to_string()
     }
 }
 
@@ -170,6 +194,8 @@ mod tests {
             events_per_sec: 10032.5,
             events_per_sec_engine: 20065.0,
             queue_impl: "wheel",
+            exec_mode: "single",
+            shards: 1,
             tx_bytes: 9000,
             rx_frames: 400,
             nodes_killed: 0,
@@ -183,9 +209,12 @@ mod tests {
         b.wall_s = 99.0;
         b.events_per_sec = 1.0;
         b.events_per_sec_engine = 2.0;
-        // The queue choice is config, not an observable: wheel-vs-heap
-        // differentials compare fingerprints directly.
+        // The queue/exec choices are config, not observables:
+        // wheel-vs-heap and sharded-vs-single differentials compare
+        // fingerprints directly.
         b.queue_impl = "heap";
+        b.exec_mode = "sharded";
+        b.shards = 8;
         assert_ne!(a, b);
         assert_eq!(a.fingerprint(), b.fingerprint());
         // A genuine divergence still shows through.
@@ -214,6 +243,27 @@ mod tests {
         assert!(j.contains("\"crypto\": {\"executed\": 10"), "{j}");
         assert!(j.contains("\"events_per_sec_engine\": 20065"), "{j}");
         assert!(j.contains("\"queue_impl\": \"wheel\""), "{j}");
+        assert!(j.contains("\"exec_mode\": \"single\""), "{j}");
+        assert!(j.contains("\"shards\": 1"), "{j}");
+    }
+
+    #[test]
+    fn non_finite_floats_serialize_as_null_not_nan() {
+        // The empty-flow shape: nothing sent, nothing timed.
+        let mut r = sample();
+        r.delivery_ratio = None;
+        r.mean_degree = None;
+        r.wall_s = f64::NAN;
+        r.events_per_sec = f64::INFINITY;
+        r.events_per_sec_engine = f64::NEG_INFINITY;
+        r.sim_s = f64::NAN;
+        let j = r.to_json();
+        assert!(!j.contains("NaN") && !j.contains("inf"), "{j}");
+        assert!(j.contains("\"wall_s\": null"), "{j}");
+        assert!(j.contains("\"events_per_sec\": null"), "{j}");
+        assert!(j.contains("\"events_per_sec_engine\": null"), "{j}");
+        assert!(j.contains("\"sim_s\": null"), "{j}");
+        assert!(j.contains("\"delivery_ratio\": null"), "{j}");
     }
 
     #[test]

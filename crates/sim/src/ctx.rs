@@ -31,7 +31,11 @@ pub struct TimerHandle(pub(crate) u64);
 
 /// A node's behaviour. Implementations hold all protocol state; the
 /// engine only knows about frames and timers.
-pub trait Protocol {
+///
+/// `Send` because the sharded executor moves node slabs onto scoped
+/// worker threads; protocol state is plain owned data, so this costs
+/// implementations nothing.
+pub trait Protocol: Send {
     /// Called once when the node joins the network.
     fn on_start(&mut self, ctx: &mut Ctx);
 
@@ -74,6 +78,11 @@ pub struct Ctx<'a> {
     pub(crate) tracer: &'a mut Tracer,
     pub(crate) next_handle: &'a mut u64,
     pub(crate) frame_pool: &'a mut Vec<Vec<u8>>,
+    /// When `Some`, samples are buffered here instead of hitting
+    /// `metrics` directly — the sharded executor's parallel phase logs
+    /// samples per shard and applies them in merge order during replay,
+    /// so the global series see the exact single-threaded sequence.
+    pub(crate) sample_log: Option<&'a mut Vec<(&'static str, f64)>>,
 }
 
 impl Ctx<'_> {
@@ -102,8 +111,13 @@ impl Ctx<'_> {
     }
 
     /// Arm a timer that fires after `delay` with the given tag.
+    ///
+    /// Handles are namespaced by node (`node_id << 32 | local counter`)
+    /// so every node draws from its own stream — the allocation order
+    /// is then a per-node fact, identical under single-threaded and
+    /// sharded execution.
     pub fn set_timer(&mut self, delay: SimDuration, tag: u64) -> TimerHandle {
-        let handle = *self.next_handle;
+        let handle = ((self.node.0 as u64) << 32) | *self.next_handle;
         *self.next_handle += 1;
         self.out.timers.push((delay, handle, tag));
         TimerHandle(handle)
@@ -126,7 +140,10 @@ impl Ctx<'_> {
 
     /// Record a sample.
     pub fn sample(&mut self, name: &'static str, v: f64) {
-        self.metrics.sample(name, v);
+        match self.sample_log.as_deref_mut() {
+            Some(log) => log.push((name, v)),
+            None => self.metrics.sample(name, v),
+        }
     }
 
     /// Record a trace event (no-op unless tracing is enabled).

@@ -1,15 +1,55 @@
 //! The discrete-event engine.
 //!
-//! Single-threaded and fully deterministic: one seeded RNG, a binary-heap
-//! event queue ordered by `(time, insertion sequence)`, and node protocols
-//! that interact with the world only through [`Ctx`]. Parallelism happens
-//! one level up — the experiment runner executes independent simulation
-//! cells on a rayon pool (see [`crate::runner`]).
+//! Deterministic whatever the executor: a global `(time, insertion
+//! sequence)` dispatch order, per-node RNG streams, and node protocols
+//! that interact with the world only through [`Ctx`]. Two executors
+//! share all of the dispatch code ([`EngineConfig::exec`]):
 //!
-//! The engine itself is a thin lifecycle layer over four focused modules:
-//! [`crate::ctx`] (the protocol window), [`crate::queue`] (event heap +
-//! timer table), [`crate::grid`] (the spatial index), and [`crate::link`]
-//! (transmit/deliver channel logic and neighborhood queries).
+//! * [`ExecMode::Single`]: the classic one-queue pop loop — the
+//!   differential oracle;
+//! * [`ExecMode::Sharded`]\(K\): the field is split into K contiguous
+//!   x-bands; each shard owns the event queue, timer table, and
+//!   protocol slabs of its nodes and runs on scoped `rayon` workers
+//!   under conservative synchronization (see below). Same-seed runs
+//!   are byte-identical to `Single` — traces, metrics, and event
+//!   counts — which `tests/determinism.rs` enforces at scenario level
+//!   and `exhibits` at S2 scale.
+//!
+//! Coarser parallelism (independent simulation cells on a rayon pool)
+//! still lives one level up in [`crate::runner`].
+//!
+//! ## How sharding keeps the single-threaded universe
+//!
+//! * **Lookahead.** Every transmission is delivered at least
+//!   `radio.base_delay` after it is sent (`RadioConfig::sample_delay`
+//!   can only add to the base), so inside a window of that length a
+//!   shard can dispatch its own events knowing no other shard can
+//!   inject new work into it. Each epoch processes the half-open
+//!   window `[t, t+lookahead)` clipped to the next barrier event and
+//!   the run horizon.
+//! * **Epoch barrier.** Events with global effects — mobility ticks
+//!   (every node moves, the spatial grid mutates) and kills — live in
+//!   a separate barrier queue and are dispatched serially, merged with
+//!   all shard queues in `(time, seq)` order. Between barriers the
+//!   hot slab (positions, liveness) and grid are frozen, so shard
+//!   workers share them read-only.
+//! * **Deterministic merge.** The engine owns one global sequence
+//!   counter. During a window a shard *logs* its would-be pushes and
+//!   side effects (trace lines, metric samples) per callback; at the
+//!   epoch end the per-shard logs are replayed serially in merged
+//!   `(time, seq)` order, assigning real sequence numbers to new
+//!   events exactly as the single-threaded loop would have. Timers a
+//!   callback schedules inside its own window are pushed immediately
+//!   under a provisional sequence (they sort after every pre-window
+//!   event of the same tick, which is where their real sequence lands
+//!   too) and resolved at replay. Counters are order-insensitive and
+//!   folded per epoch.
+//! * **Per-node streams.** RNG draws (protocol, transmit, mobility)
+//!   come from a per-node ChaCha stream seeded from `(cfg.seed, node
+//!   id)`, and timer handles are namespaced per node — so the order
+//!   two *different* nodes dispatch in never changes what either
+//!   draws. [`Engine::rng`] stays a separate harness stream for
+//!   construction-time draws.
 //!
 //! ## Link-layer semantics
 //!
@@ -22,24 +62,12 @@
 //!
 //! ## Channel & spatial index
 //!
-//! Finding a frame's receivers used to be a linear scan over the node
-//! table — O(n) per broadcast, O(n²) per flood, which capped scenario
-//! size. The engine now keeps a uniform spatial grid
-//! ([`EngineConfig::channel`] = [`ChannelMode::Grid`], the default) with
-//! cell size equal to `radio.max_range()`, maintained incrementally on
-//! joins, kills, teleports, and mobility ticks, so broadcast delivery,
-//! [`Engine::neighbors`], and [`Engine::connected_component`] only
-//! examine the 3×3 cells around the sender.
-//!
-//! **Determinism invariant:** candidate receivers are always visited in
-//! ascending [`NodeId`] order, and the liveness/range filters run before
-//! any RNG draw. Since out-of-range candidates never touch the RNG, the
-//! grid (a superset-free pruning of the same candidate set) consumes the
-//! random stream in exactly the order the linear scan does — same-seed
-//! runs are bit-identical under either [`ChannelMode`]. The linear scan
-//! stays available as the differential-testing oracle
-//! ([`ChannelMode::Linear`]); `tests/determinism.rs` and
-//! `tests/grid_channel.rs` enforce the equivalence.
+//! Receiver lookup is either a uniform spatial grid with cell size
+//! `radio.max_range()` ([`ChannelMode::Grid`], the default, O(density)
+//! per broadcast) or the original linear scan kept as the differential
+//! oracle ([`ChannelMode::Linear`]). Candidates are always visited in
+//! ascending [`NodeId`] order with liveness/range filters ahead of any
+//! RNG draw, so same-seed runs are bit-identical under either mode.
 
 pub use crate::ctx::{Ctx, LinkDst, NodeId, Protocol, TimerHandle};
 pub use crate::link::ChannelMode;
@@ -48,37 +76,404 @@ pub use crate::queue::QueueImpl;
 use crate::ctx::CtxOut;
 use crate::geom::{Field, Pos};
 use crate::grid::SpatialGrid;
+use crate::link::{transmit_into, LinkEnv};
 use crate::metrics::Metrics;
 use crate::mobility::{Mobility, MobilityState};
 use crate::queue::{Event, PendingQueue, TimerTable};
 use crate::radio::RadioConfig;
 use crate::time::{SimDuration, SimTime};
-use crate::trace::Tracer;
+use crate::trace::{TraceEvent, Tracer};
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
+use rayon::prelude::*;
+
+/// Which executor runs the event loop (see the module docs).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ExecMode {
+    /// One queue, one thread — the differential oracle.
+    Single,
+    /// K field-band shards on scoped worker threads, byte-identical to
+    /// `Single` by construction.
+    Sharded(usize),
+}
+
+impl ExecMode {
+    /// Stable lowercase name, as serialized into `RunReport::to_json`.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExecMode::Single => "single",
+            ExecMode::Sharded(_) => "sharded",
+        }
+    }
+
+    /// Number of shards this mode runs (1 for `Single`).
+    pub fn shard_count(self) -> usize {
+        match self {
+            ExecMode::Single => 1,
+            ExecMode::Sharded(k) => k,
+        }
+    }
+}
+
+fn parse_exec(v: &str) -> Option<ExecMode> {
+    if v == "single" {
+        return Some(ExecMode::Single);
+    }
+    let k: usize = v.strip_prefix("sharded:")?.parse().ok()?;
+    (k >= 1).then_some(ExecMode::Sharded(k))
+}
+
+impl Default for ExecMode {
+    /// `MANET_EXEC` env knob (`single` | `sharded:K`), read once — the
+    /// CI matrix uses it to run the whole test suite under each
+    /// executor. Defaults to `Single`; an unparseable value panics
+    /// rather than silently testing the wrong mode.
+    fn default() -> Self {
+        static MODE: std::sync::OnceLock<ExecMode> = std::sync::OnceLock::new();
+        *MODE.get_or_init(|| match std::env::var("MANET_EXEC") {
+            Err(_) => ExecMode::Single,
+            Ok(v) => parse_exec(&v)
+                .unwrap_or_else(|| panic!("invalid MANET_EXEC={v:?} (want single|sharded:K)")),
+        })
+    }
+}
 
 /// Cold per-node state: touched once per dispatched callback (protocol)
 /// or once per mobility tick (mobility), never in the candidate-filter
-/// loop.
+/// loop. Lives in its owner shard's slab.
 pub(crate) struct NodeSlot {
-    pub(crate) proto: Option<Box<dyn Protocol>>,
-    pub(crate) mobility: MobilityState,
+    proto: Option<Box<dyn Protocol>>,
+    mobility: MobilityState,
+    /// This node's deterministic stream: protocol draws, transmit
+    /// loss/delay draws (as sender), and mobility steps.
+    rng: ChaCha12Rng,
+    started: bool,
+    /// Next local timer-handle counter (namespaced by node id in
+    /// [`Ctx::set_timer`]).
+    next_handle: u64,
 }
 
-/// Hot per-node state, packed into its own slab so the broadcast
+/// Hot per-node state, packed into one global slab so the broadcast
 /// delivery filter (position + liveness + join check per candidate)
-/// touches 32 bytes per node instead of dragging the protocol box and
-/// mobility state through the cache.
+/// touches a few bytes per node instead of dragging the protocol box
+/// through the cache. Frozen between barriers, so shard workers read it
+/// lock-free.
 pub(crate) struct HotNode {
     pub(crate) pos: Pos,
     pub(crate) join_at: SimTime,
     pub(crate) alive: bool,
-    pub(crate) started: bool,
 }
 
 /// Recycled frame buffers kept at most this many deep (largest scale
 /// exhibit uses a few hundred in flight; frames are ~100–300 bytes).
 const FRAME_POOL_CAP: usize = 1024;
+
+/// Marks a provisional sequence number (assigned inside a window,
+/// resolved at replay). Real sequences would need 2^63 events to get
+/// here; `max_events` caps runs ten orders of magnitude earlier.
+const PROV_BIT: u64 = 1 << 63;
+
+/// splitmix64 finalizer over `(seed, node id)`: decorrelates per-node
+/// streams even for adjacent seeds/ids.
+fn node_stream_seed(seed: u64, id: usize) -> u64 {
+    let mut z = seed ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One dispatched callback in a shard's window log: its `(time, seq)`
+/// sort key (seq may be provisional) plus cumulative end offsets into
+/// the shard's trace/sample/push logs. A record's range starts where
+/// the previous record's ended; no-op pops (cancelled timers, dead
+/// receivers) produce no record and no log entries.
+struct Rec {
+    time: SimTime,
+    seq: u64,
+    trace_end: usize,
+    sample_end: usize,
+    push_end: usize,
+}
+
+/// A push a window callback deferred to replay (where it receives its
+/// real sequence number and is routed to its owner queue).
+enum PushOp {
+    Timer {
+        at: SimTime,
+        node: NodeId,
+        handle: u64,
+        tag: u64,
+        /// Already pushed into the shard's own queue under a
+        /// provisional sequence (it fires inside this same window);
+        /// replay only records the resolved sequence.
+        provisional: bool,
+    },
+    Ev {
+        at: SimTime,
+        /// `Option` so replay can move the event out of the borrowed log.
+        ev: Option<Event>,
+    },
+}
+
+/// Per-shard window logs, taken out of the shard during replay so the
+/// engine can route pushes into *other* shards' queues while reading
+/// this one's log.
+struct EpochLog {
+    recs: Vec<Rec>,
+    push_log: Vec<PushOp>,
+    samples: Vec<(&'static str, f64)>,
+    trace: Vec<TraceEvent>,
+    prov_seq: Vec<u64>,
+}
+
+/// One shard: the event queue, timer table, and node slabs of the nodes
+/// whose initial position falls in its field band, plus the window logs
+/// and scratch buffers its worker thread uses.
+struct Shard {
+    queue: PendingQueue,
+    timers: TimerTable,
+    nodes: Vec<NodeSlot>,
+    /// Order-insensitive counters accumulated during windows, folded
+    /// into the global metrics at each replay.
+    metrics: Metrics,
+    /// Trace lines recorded during windows, moved to the global tracer
+    /// in merge order at replay.
+    tracer: Tracer,
+    sample_log: Vec<(&'static str, f64)>,
+    push_log: Vec<PushOp>,
+    recs: Vec<Rec>,
+    /// Replay-resolved real sequences of this window's provisional
+    /// pushes, indexed by provisional counter.
+    prov_seq: Vec<u64>,
+    prov_ctr: u64,
+    /// Window pops not yet folded into `events_processed`.
+    pops: u64,
+    frame_pool: Vec<Vec<u8>>,
+    bcast_scratch: Vec<NodeId>,
+    send_scratch: Vec<(SimTime, Event)>,
+    ctx_scratch: CtxOut,
+}
+
+impl Shard {
+    fn new(queue: QueueImpl, trace: bool) -> Self {
+        Shard {
+            queue: PendingQueue::new(queue),
+            timers: TimerTable::new(),
+            nodes: Vec::new(),
+            metrics: Metrics::new(),
+            tracer: Tracer::new(trace),
+            sample_log: Vec::new(),
+            push_log: Vec::new(),
+            recs: Vec::new(),
+            prov_seq: Vec::new(),
+            prov_ctr: 0,
+            pops: 0,
+            frame_pool: Vec::new(),
+            bcast_scratch: Vec::new(),
+            send_scratch: Vec::new(),
+            ctx_scratch: CtxOut::default(),
+        }
+    }
+
+    /// Dispatch this shard's events in `[window start, w_last]`
+    /// (concurrently with the other shards' windows). `hot`, `grid`,
+    /// and `radio` are frozen until the next barrier; `local` maps
+    /// global node ids to slab indices.
+    #[allow(clippy::too_many_arguments)]
+    fn run_window(
+        &mut self,
+        w_last: SimTime,
+        w_end: SimTime,
+        hot: &[HotNode],
+        grid: Option<&SpatialGrid>,
+        radio: &RadioConfig,
+        local: &[u32],
+    ) {
+        while let Some((time, seq, ev)) = self.queue.pop_due_seq(w_last) {
+            self.pops += 1;
+            match ev {
+                Event::Start(id) => {
+                    let li = local[id.0] as usize;
+                    if !hot[id.0].alive || self.nodes[li].started {
+                        continue;
+                    }
+                    self.nodes[li].started = true;
+                    self.fire(time, seq, id, w_end, hot, grid, radio, local, |p, ctx| {
+                        p.on_start(ctx)
+                    });
+                }
+                Event::Deliver { to, src, bytes } => {
+                    let li = local[to.0] as usize;
+                    if !hot[to.0].alive || !self.nodes[li].started {
+                        self.metrics.count("phy.rx_dropped_dead", 1);
+                        self.recycle_frame(bytes);
+                        continue;
+                    }
+                    self.metrics.count("phy.rx_frames", 1);
+                    self.metrics.count("phy.rx_bytes", bytes.len() as u64);
+                    self.fire(time, seq, to, w_end, hot, grid, radio, local, |p, ctx| {
+                        p.on_frame(ctx, src, &bytes)
+                    });
+                    self.recycle_frame(bytes);
+                }
+                Event::Timer { node, handle, tag } => {
+                    if !self.timers.should_fire(handle) {
+                        continue;
+                    }
+                    let li = local[node.0] as usize;
+                    if !hot[node.0].alive || !self.nodes[li].started {
+                        continue;
+                    }
+                    self.fire(time, seq, node, w_end, hot, grid, radio, local, |p, ctx| {
+                        p.on_timer(ctx, tag)
+                    });
+                }
+                Event::LinkFailure { node, to, bytes } => {
+                    let li = local[node.0] as usize;
+                    if hot[node.0].alive && self.nodes[li].started {
+                        self.metrics.count("phy.link_failures", 1);
+                        self.fire(time, seq, node, w_end, hot, grid, radio, local, |p, ctx| {
+                            p.on_link_failure(ctx, to, &bytes)
+                        });
+                    }
+                    self.recycle_frame(bytes);
+                }
+                Event::MobilityTick | Event::Kill(_) => {
+                    unreachable!("barrier events never reach shard queues")
+                }
+            }
+        }
+    }
+
+    /// Run one protocol callback inside a window and log its outputs.
+    #[allow(clippy::too_many_arguments)]
+    fn fire(
+        &mut self,
+        time: SimTime,
+        seq: u64,
+        id: NodeId,
+        w_end: SimTime,
+        hot: &[HotNode],
+        grid: Option<&SpatialGrid>,
+        radio: &RadioConfig,
+        local: &[u32],
+        f: impl FnOnce(&mut dyn Protocol, &mut Ctx),
+    ) {
+        let li = local[id.0] as usize;
+        let mut proto = self.nodes[li]
+            .proto
+            .take()
+            .expect("re-entrant protocol call");
+        let mut out = std::mem::take(&mut self.ctx_scratch);
+        {
+            let slot = &mut self.nodes[li];
+            let mut ctx = Ctx {
+                node: id,
+                now: time,
+                out: &mut out,
+                rng: &mut slot.rng,
+                metrics: &mut self.metrics,
+                tracer: &mut self.tracer,
+                next_handle: &mut slot.next_handle,
+                frame_pool: &mut self.frame_pool,
+                sample_log: Some(&mut self.sample_log),
+            };
+            f(proto.as_mut(), &mut ctx);
+        }
+        self.nodes[li].proto = Some(proto);
+        self.apply_out_window(time, id, w_end, hot, grid, radio, local, &mut out);
+        self.ctx_scratch = out;
+        self.recs.push(Rec {
+            time,
+            seq,
+            trace_end: self.tracer.events().len(),
+            sample_end: self.sample_log.len(),
+            push_end: self.push_log.len(),
+        });
+    }
+
+    /// The window-mode counterpart of the serial `apply_out`: same
+    /// command order (timers, cancels, sends), but pushes are logged
+    /// for replay instead of receiving sequence numbers now. Timers
+    /// firing inside this same window are additionally pushed under a
+    /// provisional sequence so the window sees them.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_out_window(
+        &mut self,
+        time: SimTime,
+        id: NodeId,
+        w_end: SimTime,
+        hot: &[HotNode],
+        grid: Option<&SpatialGrid>,
+        radio: &RadioConfig,
+        local: &[u32],
+        out: &mut CtxOut,
+    ) {
+        for (delay, handle, tag) in out.timers.drain(..) {
+            let at = time + delay;
+            self.timers.arm(handle);
+            let provisional = at < w_end;
+            if provisional {
+                let pseq = PROV_BIT | self.prov_ctr;
+                self.prov_ctr += 1;
+                self.queue.push_seq(
+                    at,
+                    pseq,
+                    Event::Timer {
+                        node: id,
+                        handle,
+                        tag,
+                    },
+                );
+            }
+            self.push_log.push(PushOp::Timer {
+                at,
+                node: id,
+                handle,
+                tag,
+                provisional,
+            });
+        }
+        for h in out.cancels.drain(..) {
+            self.timers.cancel(h);
+        }
+        if out.sends.is_empty() {
+            return;
+        }
+        let env = LinkEnv { radio, hot, grid };
+        let mut cand = std::mem::take(&mut self.bcast_scratch);
+        let mut sends = std::mem::take(&mut self.send_scratch);
+        for (dst, bytes) in out.sends.drain(..) {
+            let slot = &mut self.nodes[local[id.0] as usize];
+            transmit_into(
+                &env,
+                time,
+                id,
+                dst,
+                bytes,
+                &mut slot.rng,
+                &mut self.metrics,
+                &mut cand,
+                &mut sends,
+            );
+        }
+        for (at, ev) in sends.drain(..) {
+            debug_assert!(at >= w_end, "lookahead violation: send lands inside window");
+            self.push_log.push(PushOp::Ev { at, ev: Some(ev) });
+        }
+        self.bcast_scratch = cand;
+        self.send_scratch = sends;
+    }
+
+    fn recycle_frame(&mut self, bytes: std::sync::Arc<Vec<u8>>) {
+        if let Some(mut buf) = std::sync::Arc::into_inner(bytes) {
+            if self.frame_pool.len() < FRAME_POOL_CAP {
+                buf.clear();
+                self.frame_pool.push(buf);
+            }
+        }
+    }
+}
 
 /// Engine configuration.
 #[derive(Clone, Debug)]
@@ -99,6 +494,9 @@ pub struct EngineConfig {
     /// Pending-event store; `Wheel` unless a differential test or
     /// baseline measurement asks for the `Heap` oracle.
     pub queue: QueueImpl,
+    /// Executor (see the module docs); `Single` unless set here, via
+    /// [`crate::runner`]-level builders, or the `MANET_EXEC` env knob.
+    pub exec: ExecMode,
 }
 
 impl Default for EngineConfig {
@@ -112,6 +510,7 @@ impl Default for EngineConfig {
             max_events: 50_000_000,
             channel: ChannelMode::Grid,
             queue: QueueImpl::Wheel,
+            exec: ExecMode::default(),
         }
     }
 }
@@ -119,38 +518,54 @@ impl Default for EngineConfig {
 /// The discrete-event simulator.
 pub struct Engine {
     pub(crate) cfg: EngineConfig,
-    pub(crate) queue: PendingQueue,
-    pub(crate) nodes: Vec<NodeSlot>,
-    /// Hot slab, index-aligned with `nodes` (see [`HotNode`]).
+    shards: Vec<Shard>,
+    /// Kill / mobility-tick events (global effects) in sharded mode;
+    /// unused under `Single`, where everything lives in shard 0's queue.
+    barrier: PendingQueue,
+    /// Global node id → owner shard.
+    owner: Vec<u32>,
+    /// Global node id → index into the owner shard's `nodes` slab.
+    local: Vec<u32>,
+    /// Hot slab, indexed by global node id (see [`HotNode`]).
     pub(crate) hot: Vec<HotNode>,
-    pub(crate) now: SimTime,
-    pub(crate) rng: ChaCha12Rng,
-    pub(crate) metrics: Metrics,
-    pub(crate) tracer: Tracer,
-    pub(crate) timers: TimerTable,
+    now: SimTime,
+    /// The global insertion-sequence stream; every queued event's
+    /// tiebreak key, identical across executors.
+    seq: u64,
+    /// Harness stream (construction-time draws: keys, placements,
+    /// churn). Run-time draws use the per-node streams.
+    rng: ChaCha12Rng,
+    metrics: Metrics,
+    tracer: Tracer,
     /// `None` in [`ChannelMode::Linear`] — the index is then neither
     /// maintained nor queried.
     pub(crate) grid: Option<SpatialGrid>,
-    /// Reusable candidate buffer for broadcast delivery.
-    pub(crate) bcast_scratch: Vec<NodeId>,
-    /// Reusable callback-output buffers (see [`CtxOut`]): cleared after
-    /// every apply, never dropped, so steady-state dispatch allocates
-    /// nothing.
+    /// Serial-path scratch buffers (windows use the per-shard ones).
+    bcast_scratch: Vec<NodeId>,
+    send_scratch: Vec<(SimTime, Event)>,
     ctx_scratch: CtxOut,
-    /// Recycled frame buffers: a delivered frame's buffer returns here
-    /// once its last receiver has seen it, and [`Ctx::frame_buf`] hands
-    /// it back out for the next encode.
-    pub(crate) frame_pool: Vec<Vec<u8>>,
+    frame_pool: Vec<Vec<u8>>,
     events_processed: u64,
     /// Wall-clock time spent inside `run_until` — the denominator of
     /// the machine-dependent `events/sec (engine)` rate the scale
     /// exhibits and the CI perf gate report.
     busy: std::time::Duration,
     mobility_scheduled: bool,
+    /// Any node with a non-static mobility model? (Cached: models are
+    /// fixed at `add_node` time.)
+    has_mobile: bool,
 }
 
 impl Engine {
     pub fn new(cfg: EngineConfig) -> Self {
+        let k = cfg.exec.shard_count();
+        assert!(k >= 1, "ExecMode::Sharded requires at least one shard");
+        if let ExecMode::Sharded(_) = cfg.exec {
+            assert!(
+                cfg.radio.base_delay > SimDuration::ZERO,
+                "sharded execution requires a positive base_delay (the lookahead)"
+            );
+        }
         let rng = ChaCha12Rng::seed_from_u64(cfg.seed);
         let tracer = Tracer::new(cfg.trace);
         let grid = match cfg.channel {
@@ -158,23 +573,69 @@ impl Engine {
             ChannelMode::Linear => None,
         };
         Engine {
-            queue: PendingQueue::new(cfg.queue),
+            shards: (0..k).map(|_| Shard::new(cfg.queue, cfg.trace)).collect(),
+            barrier: PendingQueue::new(cfg.queue),
             cfg,
-            nodes: Vec::new(),
+            owner: Vec::new(),
+            local: Vec::new(),
             hot: Vec::new(),
             now: SimTime::ZERO,
+            seq: 0,
             rng,
             metrics: Metrics::new(),
             tracer,
-            timers: TimerTable::new(),
             grid,
             bcast_scratch: Vec::new(),
+            send_scratch: Vec::new(),
             ctx_scratch: CtxOut::default(),
             frame_pool: Vec::new(),
             events_processed: 0,
             busy: std::time::Duration::ZERO,
             mobility_scheduled: false,
+            has_mobile: false,
         }
+    }
+
+    /// Owner shard for a position: its contiguous x-band of the field.
+    fn shard_of_pos(&self, pos: &Pos) -> usize {
+        let k = self.shards.len();
+        if k == 1 {
+            return 0;
+        }
+        let w = self.cfg.field.width;
+        let x = pos.x.clamp(0.0, w);
+        (((x / w) * k as f64) as usize).min(k - 1)
+    }
+
+    /// Assign `event` the next global sequence number and route it to
+    /// the queue that owns it.
+    fn push_event(&mut self, at: SimTime, event: Event) {
+        let seq = self.seq;
+        self.seq += 1;
+        let qi = self.queue_of(&event);
+        match qi {
+            Some(s) => self.shards[s].queue.push_seq(at, seq, event),
+            None => self.barrier.push_seq(at, seq, event),
+        }
+    }
+
+    /// `Some(shard)` for node-owned events, `None` for barrier events
+    /// (which go to shard 0 anyway under `Single` — there is no
+    /// parallel phase to protect).
+    fn queue_of(&self, event: &Event) -> Option<usize> {
+        let node = match event {
+            Event::Start(n) => *n,
+            Event::Deliver { to, .. } => *to,
+            Event::Timer { node, .. } => *node,
+            Event::LinkFailure { node, .. } => *node,
+            Event::MobilityTick | Event::Kill(_) => {
+                return match self.cfg.exec {
+                    ExecMode::Single => Some(0),
+                    ExecMode::Sharded(_) => None,
+                };
+            }
+        };
+        Some(self.owner[node.0] as usize)
     }
 
     /// Add a node joining at t=0.
@@ -191,27 +652,35 @@ impl Engine {
         mobility: Mobility,
         join_at: SimTime,
     ) -> NodeId {
-        let id = NodeId(self.nodes.len());
-        self.nodes.push(NodeSlot {
+        let id = NodeId(self.hot.len());
+        if !mobility.is_static() {
+            self.has_mobile = true;
+        }
+        let sh = self.shard_of_pos(&pos);
+        self.owner.push(sh as u32);
+        self.local.push(self.shards[sh].nodes.len() as u32);
+        self.shards[sh].nodes.push(NodeSlot {
             proto: Some(proto),
             mobility: MobilityState::new(mobility),
+            rng: ChaCha12Rng::seed_from_u64(node_stream_seed(self.cfg.seed, id.0)),
+            started: false,
+            next_handle: 0,
         });
         self.hot.push(HotNode {
             pos,
             join_at,
             alive: true,
-            started: false,
         });
         if let Some(grid) = &mut self.grid {
             grid.insert(id, &pos);
         }
-        self.queue.push(join_at, Event::Start(id));
+        self.push_event(join_at, Event::Start(id));
         id
     }
 
     /// Schedule a node's death (failure injection).
     pub fn kill_at(&mut self, node: NodeId, at: SimTime) {
-        self.queue.push(at, Event::Kill(node));
+        self.push_event(at, Event::Kill(node));
     }
 
     /// Current position of a node.
@@ -219,7 +688,9 @@ impl Engine {
         self.hot[node.0].pos
     }
 
-    /// Teleport a node (scripted topology changes in tests).
+    /// Teleport a node (scripted topology changes in tests). Shard
+    /// ownership stays with the initial band — ownership is a work
+    /// partition, not a correctness constraint.
     pub fn set_position(&mut self, node: NodeId, pos: Pos) {
         let pos = self.cfg.field.clamp(pos);
         self.hot[node.0].pos = pos;
@@ -235,7 +706,7 @@ impl Engine {
 
     /// Number of nodes (alive or not).
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.hot.len()
     }
 
     /// Events dispatched so far — the wall-clock-independent measure of
@@ -258,12 +729,34 @@ impl Engine {
         self.cfg.queue
     }
 
+    /// Which executor this engine runs on.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.cfg.exec
+    }
+
+    fn slot(&self, node: NodeId) -> &NodeSlot {
+        &self.shards[self.owner[node.0] as usize].nodes[self.local[node.0] as usize]
+    }
+
+    /// The read-only world transmissions and neighbor queries consult.
+    pub(crate) fn link_env(&self) -> LinkEnv<'_> {
+        LinkEnv {
+            radio: &self.cfg.radio,
+            hot: &self.hot,
+            grid: self.grid.as_ref(),
+        }
+    }
+
+    pub(crate) fn hot_slot(&self, node: NodeId) -> &HotNode {
+        &self.hot[node.0]
+    }
+
     /// Borrow a protocol for post-run inspection.
     ///
     /// # Panics
     /// Panics if called re-entrantly (from inside a protocol callback).
     pub fn protocol(&self, node: NodeId) -> &dyn Protocol {
-        self.nodes[node.0]
+        self.slot(node)
             .proto
             .as_deref()
             .expect("protocol checked out (re-entrant access)")
@@ -271,7 +764,8 @@ impl Engine {
 
     /// Mutably borrow a protocol (e.g. to inject an application request).
     pub fn protocol_mut(&mut self, node: NodeId) -> &mut dyn Protocol {
-        self.nodes[node.0]
+        let (sh, li) = (self.owner[node.0] as usize, self.local[node.0] as usize);
+        self.shards[sh].nodes[li]
             .proto
             .as_deref_mut()
             .expect("protocol checked out (re-entrant access)")
@@ -292,30 +786,35 @@ impl Engine {
         node: NodeId,
         f: impl FnOnce(&mut T, &mut Ctx) -> R,
     ) -> R {
-        let mut proto = self.nodes[node.0]
+        let (sh, li) = (self.owner[node.0] as usize, self.local[node.0] as usize);
+        let mut proto = self.shards[sh].nodes[li]
             .proto
             .take()
             .expect("protocol checked out");
         let mut out = std::mem::take(&mut self.ctx_scratch);
-        let mut ctx = Ctx {
-            node,
-            now: self.now,
-            out: &mut out,
-            rng: &mut self.rng,
-            metrics: &mut self.metrics,
-            tracer: &mut self.tracer,
-            next_handle: &mut self.timers.next_handle,
-            frame_pool: &mut self.frame_pool,
+        let r = {
+            let slot = &mut self.shards[sh].nodes[li];
+            let mut ctx = Ctx {
+                node,
+                now: self.now,
+                out: &mut out,
+                rng: &mut slot.rng,
+                metrics: &mut self.metrics,
+                tracer: &mut self.tracer,
+                next_handle: &mut slot.next_handle,
+                frame_pool: &mut self.frame_pool,
+                sample_log: None,
+            };
+            f(
+                proto
+                    .as_any_mut()
+                    .downcast_mut::<T>()
+                    .expect("protocol type mismatch"),
+                &mut ctx,
+            )
         };
-        let r = f(
-            proto
-                .as_any_mut()
-                .downcast_mut::<T>()
-                .expect("protocol type mismatch"),
-            &mut ctx,
-        );
-        self.nodes[node.0].proto = Some(proto);
-        self.apply_out(node, &mut out);
+        self.shards[sh].nodes[li].proto = Some(proto);
+        self.apply_out_serial(node, &mut out);
         self.ctx_scratch = out;
         r
     }
@@ -345,15 +844,9 @@ impl Engine {
     pub fn run_until(&mut self, until: SimTime) {
         let t0 = std::time::Instant::now();
         self.ensure_mobility_tick(until);
-        while let Some((time, event)) = self.queue.pop_due(until) {
-            self.events_processed += 1;
-            assert!(
-                self.events_processed <= self.cfg.max_events,
-                "event cap exceeded — runaway simulation"
-            );
-            debug_assert!(time >= self.now, "event from the past");
-            self.now = time;
-            self.dispatch(event, until);
+        match self.cfg.exec {
+            ExecMode::Single => self.run_single(until),
+            ExecMode::Sharded(_) => self.run_sharded(until),
         }
         if self.now < until {
             self.now = until;
@@ -361,64 +854,186 @@ impl Engine {
         self.busy += t0.elapsed();
     }
 
+    /// The oracle: one queue, strictly ascending `(time, seq)` pops.
+    fn run_single(&mut self, until: SimTime) {
+        while let Some((time, _seq, event)) = self.shards[0].queue.pop_due_seq(until) {
+            self.count_event();
+            debug_assert!(time >= self.now, "event from the past");
+            self.now = time;
+            self.dispatch_serial(event, until);
+        }
+    }
+
+    /// The sharded executor's epoch loop: alternate conservative
+    /// parallel windows with serially dispatched barrier ticks.
+    fn run_sharded(&mut self, until: SimTime) {
+        let lookahead = self.cfg.radio.base_delay;
+        loop {
+            // Picking the next epoch must not commit any wheel cursor
+            // past times other shards may still schedule into: a
+            // `peek_due` cascades the wheel up to its answer, and once
+            // the cursor has passed a tick, a cross-shard delivery
+            // replayed at that tick would land "in the past" (the
+            // release-mode clamp would then fire it late — silently
+            // wrong). So the global minimum is found in two steps:
+            // a cursor-free lower bound `h` over every queue, then real
+            // peeks bounded by `h + lookahead` — every future push
+            // lands at ≥ t_min + lookahead ≥ h + lookahead, so no
+            // cursor this bound moves can ever overtake one.
+            let mut hint = self.barrier.next_time_hint();
+            for sh in &self.shards {
+                if let Some(ht) = sh.queue.next_time_hint() {
+                    hint = Some(hint.map_or(ht, |b| b.min(ht)));
+                }
+            }
+            let Some(h) = hint else { break };
+            if h > until {
+                break;
+            }
+            let bound = SimTime(h.0.saturating_add(lookahead.0)).min(until);
+            let barrier_next = self.barrier.peek_due(bound).map(|(t, _)| t);
+            let mut t_next = barrier_next;
+            for sh in &mut self.shards {
+                if let Some((t, _)) = sh.queue.peek_due(bound) {
+                    t_next = Some(t_next.map_or(t, |b| b.min(t)));
+                }
+            }
+            let Some(t) = t_next else {
+                // The hint was a coarse slot base with nothing actually
+                // due by `bound`; the peeks cascaded the hinting wheel,
+                // so the next round's hint is strictly tighter.
+                continue;
+            };
+            debug_assert!(t >= self.now, "event from the past");
+            self.now = t;
+            if barrier_next == Some(t) {
+                self.dispatch_barrier_tick(t, until);
+                continue;
+            }
+            // Half-open window [t, w_end): long enough that no send
+            // inside it can land inside it, clipped to the next global
+            // event, the peek horizon (past `bound` nothing has been
+            // seen — a barrier event could hide there), and the run
+            // horizon.
+            let mut w_end = (t + lookahead)
+                .min(SimTime(bound.0.saturating_add(1)))
+                .min(SimTime(until.0.saturating_add(1)));
+            if let Some(bt) = barrier_next {
+                w_end = w_end.min(bt);
+            }
+            let w_last = SimTime(w_end.0 - 1);
+            {
+                let hot = &self.hot;
+                let grid = self.grid.as_ref();
+                let radio = &self.cfg.radio;
+                let local = &self.local;
+                self.shards
+                    .par_iter_mut()
+                    .for_each(|sh| sh.run_window(w_last, w_end, hot, grid, radio, local));
+            }
+            self.replay_window();
+        }
+    }
+
+    /// Serially dispatch every event at tick `t`, merging the barrier
+    /// queue and all shard queues in `seq` order — including events the
+    /// dispatches themselves push back onto tick `t`.
+    fn dispatch_barrier_tick(&mut self, t: SimTime, until: SimTime) {
+        loop {
+            let mut best: Option<(u64, Option<usize>)> = None;
+            if let Some((bt, bs)) = self.barrier.peek_due(t) {
+                debug_assert!(bt == t, "pre-window event missed");
+                best = Some((bs, None));
+            }
+            for (i, sh) in self.shards.iter_mut().enumerate() {
+                if let Some((qt, qs)) = sh.queue.peek_due(t) {
+                    debug_assert!(qt == t, "pre-window event missed");
+                    if best.is_none_or(|(s, _)| qs < s) {
+                        best = Some((qs, Some(i)));
+                    }
+                }
+            }
+            let Some((_, qi)) = best else { break };
+            let (time, _seq, event) = match qi {
+                None => self.barrier.pop_due_seq(t),
+                Some(i) => self.shards[i].queue.pop_due_seq(t),
+            }
+            .expect("peeked");
+            debug_assert!(time == t);
+            self.count_event();
+            self.dispatch_serial(event, until);
+        }
+    }
+
+    fn count_event(&mut self) {
+        self.events_processed += 1;
+        assert!(
+            self.events_processed <= self.cfg.max_events,
+            "event cap exceeded — runaway simulation"
+        );
+    }
+
     fn ensure_mobility_tick(&mut self, until: SimTime) {
-        let any_mobile = self.nodes.iter().any(|n| !n.mobility.model.is_static());
-        if any_mobile && !self.mobility_scheduled && self.now + self.cfg.mobility_tick <= until {
+        if self.has_mobile && !self.mobility_scheduled && self.now + self.cfg.mobility_tick <= until
+        {
             let t = self.now + self.cfg.mobility_tick;
-            self.queue.push(t, Event::MobilityTick);
+            self.push_event(t, Event::MobilityTick);
             self.mobility_scheduled = true;
         }
     }
 
-    fn dispatch(&mut self, event: Event, until: SimTime) {
+    /// Dispatch one event at `self.now` with full serial access to the
+    /// world. Used by the `Single` loop, barrier ticks, and (via
+    /// `apply_out_serial`) `with_protocol` — one implementation, so the
+    /// executors cannot drift.
+    fn dispatch_serial(&mut self, event: Event, until: SimTime) {
         match event {
             Event::Start(id) => {
-                if !self.hot[id.0].alive || self.hot[id.0].started {
+                if !self.hot[id.0].alive || self.slot(id).started {
                     return;
                 }
-                self.hot[id.0].started = true;
-                self.call_protocol(id, |p, ctx| p.on_start(ctx));
+                let (sh, li) = (self.owner[id.0] as usize, self.local[id.0] as usize);
+                self.shards[sh].nodes[li].started = true;
+                self.call_protocol_serial(id, |p, ctx| p.on_start(ctx));
             }
             Event::Deliver { to, src, bytes } => {
-                let slot = &self.hot[to.0];
-                if !slot.alive || !slot.started {
+                if !self.hot[to.0].alive || !self.slot(to).started {
                     self.metrics.count("phy.rx_dropped_dead", 1);
                     self.recycle_frame(bytes);
                     return;
                 }
                 self.metrics.count("phy.rx_frames", 1);
                 self.metrics.count("phy.rx_bytes", bytes.len() as u64);
-                self.call_protocol(to, |p, ctx| p.on_frame(ctx, src, &bytes));
+                self.call_protocol_serial(to, |p, ctx| p.on_frame(ctx, src, &bytes));
                 self.recycle_frame(bytes);
             }
             Event::Timer { node, handle, tag } => {
-                if !self.timers.should_fire(handle) {
+                let sh = self.owner[node.0] as usize;
+                if !self.shards[sh].timers.should_fire(handle) {
                     return;
                 }
-                let slot = &self.hot[node.0];
-                if !slot.alive || !slot.started {
+                if !self.hot[node.0].alive || !self.slot(node).started {
                     return;
                 }
-                self.call_protocol(node, |p, ctx| p.on_timer(ctx, tag));
+                self.call_protocol_serial(node, |p, ctx| p.on_timer(ctx, tag));
             }
             Event::LinkFailure { node, to, bytes } => {
-                let slot = &self.hot[node.0];
-                if slot.alive && slot.started {
+                if self.hot[node.0].alive && self.slot(node).started {
                     self.metrics.count("phy.link_failures", 1);
-                    self.call_protocol(node, |p, ctx| p.on_link_failure(ctx, to, &bytes));
+                    self.call_protocol_serial(node, |p, ctx| p.on_link_failure(ctx, to, &bytes));
                 }
                 self.recycle_frame(bytes);
             }
             Event::MobilityTick => {
                 let dt = self.cfg.mobility_tick.as_secs_f64();
                 let field = self.cfg.field;
-                for i in 0..self.nodes.len() {
+                for i in 0..self.hot.len() {
+                    let (sh, li) = (self.owner[i] as usize, self.local[i] as usize);
+                    let slot = &mut self.shards[sh].nodes[li];
                     let hot = &mut self.hot[i];
-                    if hot.alive && hot.started {
+                    if hot.alive && slot.started {
                         let before = hot.pos;
-                        self.nodes[i]
-                            .mobility
-                            .step(&mut hot.pos, &field, dt, &mut self.rng);
+                        slot.mobility.step(&mut hot.pos, &field, dt, &mut slot.rng);
                         if hot.pos != before {
                             if let Some(grid) = &mut self.grid {
                                 grid.relocate(NodeId(i), &hot.pos);
@@ -451,41 +1066,45 @@ impl Engine {
         }
     }
 
-    fn call_protocol(&mut self, id: NodeId, f: impl FnOnce(&mut dyn Protocol, &mut Ctx)) {
-        let mut proto = self.nodes[id.0]
+    fn call_protocol_serial(&mut self, id: NodeId, f: impl FnOnce(&mut dyn Protocol, &mut Ctx)) {
+        let (sh, li) = (self.owner[id.0] as usize, self.local[id.0] as usize);
+        let mut proto = self.shards[sh].nodes[li]
             .proto
             .take()
             .expect("re-entrant protocol call");
         let mut out = std::mem::take(&mut self.ctx_scratch);
         {
+            let slot = &mut self.shards[sh].nodes[li];
             let mut ctx = Ctx {
                 node: id,
                 now: self.now,
                 out: &mut out,
-                rng: &mut self.rng,
+                rng: &mut slot.rng,
                 metrics: &mut self.metrics,
                 tracer: &mut self.tracer,
-                next_handle: &mut self.timers.next_handle,
+                next_handle: &mut slot.next_handle,
                 frame_pool: &mut self.frame_pool,
+                sample_log: None,
             };
             f(proto.as_mut(), &mut ctx);
         }
-        self.nodes[id.0].proto = Some(proto);
-        self.apply_out(id, &mut out);
+        self.shards[sh].nodes[li].proto = Some(proto);
+        self.apply_out_serial(id, &mut out);
         self.ctx_scratch = out;
     }
 
     /// Drain a callback's buffered commands into the engine. The buffers
     /// are emptied but keep their capacity — the caller puts them back
     /// into `ctx_scratch` for the next callback.
-    fn apply_out(&mut self, id: NodeId, out: &mut CtxOut) {
+    fn apply_out_serial(&mut self, id: NodeId, out: &mut CtxOut) {
         // Arm before cancelling: a callback may set a timer and cancel it
         // in the same batch, and the timer table drops cancels for
         // handles it has never seen armed.
+        let sh = self.owner[id.0] as usize;
         for (delay, handle, tag) in out.timers.drain(..) {
             let t = self.now + delay;
-            self.timers.arm(handle);
-            self.queue.push(
+            self.shards[sh].timers.arm(handle);
+            self.push_event(
                 t,
                 Event::Timer {
                     node: id,
@@ -495,11 +1114,191 @@ impl Engine {
             );
         }
         for h in out.cancels.drain(..) {
-            self.timers.cancel(h);
+            self.shards[sh].timers.cancel(h);
         }
-        for (dst, bytes) in out.sends.drain(..) {
-            self.transmit(id, dst, bytes);
+        if out.sends.is_empty() {
+            return;
         }
+        let mut cand = std::mem::take(&mut self.bcast_scratch);
+        let mut sends = std::mem::take(&mut self.send_scratch);
+        {
+            let env = LinkEnv {
+                radio: &self.cfg.radio,
+                hot: &self.hot,
+                grid: self.grid.as_ref(),
+            };
+            let li = self.local[id.0] as usize;
+            let slot = &mut self.shards[sh].nodes[li];
+            for (dst, bytes) in out.sends.drain(..) {
+                transmit_into(
+                    &env,
+                    self.now,
+                    id,
+                    dst,
+                    bytes,
+                    &mut slot.rng,
+                    &mut self.metrics,
+                    &mut cand,
+                    &mut sends,
+                );
+            }
+        }
+        for (t, ev) in sends.drain(..) {
+            self.push_event(t, ev);
+        }
+        self.bcast_scratch = cand;
+        self.send_scratch = sends;
+    }
+
+    /// Serial epilogue of a parallel window: merge the per-shard logs
+    /// in `(time, resolved seq)` order, moving trace lines and samples
+    /// to the global collectors and assigning real sequence numbers to
+    /// the deferred pushes — exactly the order the single-threaded loop
+    /// would have produced.
+    fn replay_window(&mut self) {
+        let k = self.shards.len();
+        let mut logs: Vec<EpochLog> = self
+            .shards
+            .iter_mut()
+            .map(|s| EpochLog {
+                recs: std::mem::take(&mut s.recs),
+                push_log: std::mem::take(&mut s.push_log),
+                samples: std::mem::take(&mut s.sample_log),
+                trace: std::mem::take(s.tracer.events_mut()),
+                prov_seq: std::mem::take(&mut s.prov_seq),
+            })
+            .collect();
+        let mut rec_cur = vec![0usize; k];
+        let mut trace_cur = vec![0usize; k];
+        let mut sample_cur = vec![0usize; k];
+        let mut push_cur = vec![0usize; k];
+        loop {
+            // K-way merge head: the pending record with the smallest
+            // (time, resolved seq). A provisional record's real seq is
+            // already in prov_seq — its parent precedes it in the same
+            // shard's stream, so it was replayed (and resolved) first.
+            let mut best: Option<(SimTime, u64, usize)> = None;
+            for s in 0..k {
+                let Some(rec) = logs[s].recs.get(rec_cur[s]) else {
+                    continue;
+                };
+                let rseq = if rec.seq & PROV_BIT != 0 {
+                    logs[s].prov_seq[(rec.seq & !PROV_BIT) as usize]
+                } else {
+                    rec.seq
+                };
+                if best.is_none_or(|(bt, bs, _)| (rec.time, rseq) < (bt, bs)) {
+                    best = Some((rec.time, rseq, s));
+                }
+            }
+            let Some((_, _, s)) = best else { break };
+            let ri = rec_cur[s];
+            rec_cur[s] += 1;
+            let (trace_end, sample_end, push_end) = {
+                let rec = &logs[s].recs[ri];
+                (rec.trace_end, rec.sample_end, rec.push_end)
+            };
+            for ev in &mut logs[s].trace[trace_cur[s]..trace_end] {
+                self.tracer.record(TraceEvent {
+                    time: ev.time,
+                    node: ev.node,
+                    dir: ev.dir,
+                    kind: ev.kind,
+                    detail: std::mem::take(&mut ev.detail),
+                });
+            }
+            trace_cur[s] = trace_end;
+            for i in sample_cur[s]..sample_end {
+                let (name, v) = logs[s].samples[i];
+                self.metrics.sample(name, v);
+            }
+            sample_cur[s] = sample_end;
+            while push_cur[s] < push_end {
+                let seq = self.seq;
+                self.seq += 1;
+                let op = &mut logs[s].push_log[push_cur[s]];
+                push_cur[s] += 1;
+                match op {
+                    PushOp::Timer {
+                        at,
+                        node,
+                        handle,
+                        tag,
+                        provisional,
+                    } => {
+                        if *provisional {
+                            // Already in its queue (and possibly already
+                            // fired); just resolve its real sequence.
+                            logs[s].prov_seq.push(seq);
+                        } else {
+                            let (at, ev) = (
+                                *at,
+                                Event::Timer {
+                                    node: *node,
+                                    handle: *handle,
+                                    tag: *tag,
+                                },
+                            );
+                            let sh = self.owner[node.0] as usize;
+                            self.shards[sh].queue.push_seq(at, seq, ev);
+                        }
+                    }
+                    PushOp::Ev { at, ev } => {
+                        let event = ev.take().expect("push op replayed once");
+                        let at = *at;
+                        let sh = match &event {
+                            Event::Deliver { to, .. } => self.owner[to.0] as usize,
+                            Event::LinkFailure { node, .. } => self.owner[node.0] as usize,
+                            _ => unreachable!("transmit emits only delivers and link failures"),
+                        };
+                        self.shards[sh].queue.push_seq(at, seq, event);
+                    }
+                }
+            }
+        }
+        // Put the (drained) logs back so their capacity is reused, and
+        // fold the order-insensitive leftovers.
+        let shards = &mut self.shards;
+        let metrics = &mut self.metrics;
+        for (s, mut log) in logs.into_iter().enumerate() {
+            debug_assert!(rec_cur[s] == log.recs.len(), "unreplayed records");
+            debug_assert!(push_cur[s] == log.push_log.len(), "unreplayed pushes");
+            debug_assert!(trace_cur[s] == log.trace.len(), "orphaned trace lines");
+            debug_assert!(sample_cur[s] == log.samples.len(), "orphaned samples");
+            let shard = &mut shards[s];
+            log.recs.clear();
+            log.push_log.clear();
+            log.samples.clear();
+            log.trace.clear();
+            log.prov_seq.clear();
+            shard.recs = log.recs;
+            shard.push_log = log.push_log;
+            shard.sample_log = log.samples;
+            *shard.tracer.events_mut() = log.trace;
+            shard.prov_seq = log.prov_seq;
+            shard.prov_ctr = 0;
+            shard.metrics.drain_counts_into(metrics);
+            self.events_processed += shard.pops;
+            shard.pops = 0;
+        }
+        assert!(
+            self.events_processed <= self.cfg.max_events,
+            "event cap exceeded — runaway simulation"
+        );
+    }
+
+    /// Armed-and-unfired timer entries across all shards
+    /// (bounded-growth regression hook).
+    #[cfg(test)]
+    pub(crate) fn timers_pending_len(&self) -> usize {
+        self.shards.iter().map(|s| s.timers.pending_len()).sum()
+    }
+
+    /// Live cancellation entries across all shards (bounded-growth
+    /// regression hook).
+    #[cfg(test)]
+    pub(crate) fn timers_cancelled_len(&self) -> usize {
+        self.shards.iter().map(|s| s.timers.cancelled_len()).sum()
     }
 }
 
@@ -567,6 +1366,7 @@ mod tests {
                 ..RadioConfig::default()
             },
             channel,
+            exec: ExecMode::Single,
             ..EngineConfig::default()
         })
     }
@@ -646,8 +1446,8 @@ mod tests {
         });
         e.run_until(SimTime(1_000_000));
         assert!(e.protocol_as::<Echo>(a).timers.is_empty());
-        assert_eq!(e.timers.cancelled_len(), 0);
-        assert_eq!(e.timers.pending_len(), 0);
+        assert_eq!(e.timers_cancelled_len(), 0);
+        assert_eq!(e.timers_pending_len(), 0);
     }
 
     #[test]
@@ -670,9 +1470,27 @@ mod tests {
                 e.with_protocol::<Echo, _>(a, |_p, ctx| ctx.cancel_timer(h)); // late cancel
             }
         }
-        assert_eq!(e.timers.cancelled_len(), 0, "cancel set leaked");
-        assert_eq!(e.timers.pending_len(), 0, "pending set leaked");
+        assert_eq!(e.timers_cancelled_len(), 0, "cancel set leaked");
+        assert_eq!(e.timers_pending_len(), 0, "pending set leaked");
         assert_eq!(e.protocol_as::<Echo>(a).timers.len(), 50);
+    }
+
+    #[test]
+    fn timer_handles_are_namespaced_per_node() {
+        let mut e = engine();
+        let a = e.add_node(Box::new(Echo::new()), Pos::new(0.0, 0.0), Mobility::Static);
+        let b = e.add_node(Box::new(Echo::new()), Pos::new(50.0, 0.0), Mobility::Static);
+        e.run_until(SimTime(0));
+        let ha =
+            e.with_protocol::<Echo, _>(a, |_p, ctx| ctx.set_timer(SimDuration::from_millis(5), 1));
+        let hb =
+            e.with_protocol::<Echo, _>(b, |_p, ctx| ctx.set_timer(SimDuration::from_millis(5), 2));
+        assert_ne!(ha, hb, "two nodes' first handles must differ");
+        // Cancelling b's timer must not touch a's.
+        e.with_protocol::<Echo, _>(b, |_p, ctx| ctx.cancel_timer(hb));
+        e.run_until(SimTime(1_000_000));
+        assert_eq!(e.protocol_as::<Echo>(a).timers, vec![1]);
+        assert!(e.protocol_as::<Echo>(b).timers.is_empty());
     }
 
     #[test]
@@ -723,7 +1541,7 @@ mod tests {
         assert_eq!(e.protocol_as::<Echo>(b).frames.len(), 1);
     }
 
-    fn lossy_mobile_run(seed: u64, channel: ChannelMode) -> (u64, u64, Vec<u64>) {
+    fn lossy_mobile_run(seed: u64, channel: ChannelMode, exec: ExecMode) -> (u64, u64, Vec<u64>) {
         let mut e = Engine::new(EngineConfig {
             seed,
             radio: RadioConfig {
@@ -731,6 +1549,7 @@ mod tests {
                 ..RadioConfig::default()
             },
             channel,
+            exec,
             ..EngineConfig::default()
         });
         for i in 0..10 {
@@ -758,7 +1577,7 @@ mod tests {
 
     #[test]
     fn determinism_same_seed_same_metrics() {
-        let run = |seed| lossy_mobile_run(seed, ChannelMode::Grid);
+        let run = |seed| lossy_mobile_run(seed, ChannelMode::Grid, ExecMode::Single);
         assert_eq!(run(7), run(7), "same seed must reproduce exactly");
         assert_ne!(run(7).1, run(8).1, "different seeds should diverge");
     }
@@ -771,11 +1590,54 @@ mod tests {
         // scenario-level one lives in tests/determinism.rs.
         for seed in [7, 8, 9] {
             assert_eq!(
-                lossy_mobile_run(seed, ChannelMode::Grid),
-                lossy_mobile_run(seed, ChannelMode::Linear),
+                lossy_mobile_run(seed, ChannelMode::Grid, ExecMode::Single),
+                lossy_mobile_run(seed, ChannelMode::Linear, ExecMode::Single),
                 "channel modes diverged at seed {seed}"
             );
         }
+    }
+
+    #[test]
+    fn sharded_and_single_executors_are_bit_identical() {
+        // The engine-level differential gate for the sharded executor:
+        // metrics and final positions (every mobility RNG draw) must
+        // match the single-threaded oracle for any shard count,
+        // including shards that own no nodes. The byte-exact *trace*
+        // gate lives in tests/determinism.rs.
+        let oracle = lossy_mobile_run(11, ChannelMode::Grid, ExecMode::Single);
+        for k in [1, 2, 3, 8, 16] {
+            assert_eq!(
+                lossy_mobile_run(11, ChannelMode::Grid, ExecMode::Sharded(k)),
+                oracle,
+                "sharded({k}) diverged from single"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_executor_counts_every_event() {
+        let count = |exec| {
+            let mut e = Engine::new(EngineConfig {
+                radio: RadioConfig {
+                    loss: 0.0,
+                    ..RadioConfig::default()
+                },
+                exec,
+                ..EngineConfig::default()
+            });
+            for i in 0..6 {
+                let mut s = Echo::new();
+                s.start_broadcast = Some(vec![i as u8; 20]);
+                e.add_node(
+                    Box::new(s),
+                    Pos::new(i as f64 * 120.0, 0.0),
+                    Mobility::Static,
+                );
+            }
+            e.run_until(SimTime(5_000_000));
+            e.events_processed()
+        };
+        assert_eq!(count(ExecMode::Single), count(ExecMode::Sharded(4)));
     }
 
     #[test]
@@ -897,6 +1759,7 @@ mod tests {
                     ..RadioConfig::default()
                 },
                 channel,
+                exec: ExecMode::Single,
                 ..EngineConfig::default()
             });
             let mut s = Echo::new();
@@ -917,5 +1780,15 @@ mod tests {
             // But b is NOT a crisp-range neighbor.
             assert!(e.neighbors(b).is_empty(), "{channel:?}");
         }
+    }
+
+    #[test]
+    fn exec_mode_parse_accepts_valid_and_rejects_garbage() {
+        assert_eq!(parse_exec("single"), Some(ExecMode::Single));
+        assert_eq!(parse_exec("sharded:4"), Some(ExecMode::Sharded(4)));
+        assert_eq!(parse_exec("sharded:0"), None);
+        assert_eq!(parse_exec("sharded:"), None);
+        assert_eq!(parse_exec("parallel"), None);
+        assert_eq!(parse_exec(""), None);
     }
 }

@@ -31,7 +31,7 @@ pub mod time;
 pub mod trace;
 mod wheel;
 
-pub use engine::{Ctx, Engine, EngineConfig, LinkDst, NodeId, Protocol, TimerHandle};
+pub use engine::{Ctx, Engine, EngineConfig, ExecMode, LinkDst, NodeId, Protocol, TimerHandle};
 pub use geom::{Field, Pos};
 pub use link::ChannelMode;
 pub use metrics::{Metrics, Series};

@@ -16,11 +16,23 @@
 //! identical liveness/range filters before any RNG draw, so same-seed
 //! runs are bit-identical across modes (`tests/determinism.rs` and
 //! `tests/grid_channel.rs` gate this).
+//!
+//! Transmission itself ([`transmit_into`]) is a free function over a
+//! borrowed [`LinkEnv`] rather than an `Engine` method: the sharded
+//! executor runs it concurrently from worker threads (each with its own
+//! RNG, metrics, and output buffer) against the same shared read-only
+//! world, and the single-threaded path calls the identical code — one
+//! implementation, so the two modes cannot drift.
 
 use crate::ctx::{LinkDst, NodeId};
-use crate::engine::Engine;
+use crate::engine::{Engine, HotNode};
 use crate::geom::Pos;
+use crate::grid::SpatialGrid;
+use crate::metrics::Metrics;
 use crate::queue::Event;
+use crate::radio::RadioConfig;
+use crate::time::SimTime;
+use rand_chacha::ChaCha12Rng;
 use std::sync::Arc;
 
 /// How broadcast delivery and neighborhood queries enumerate candidate
@@ -33,32 +45,142 @@ pub enum ChannelMode {
     Linear,
 }
 
-impl Engine {
-    /// Fill `out` with candidate receivers around `pos`, ascending by
-    /// NodeId: the grid's 3×3 neighborhood, or every node in linear mode.
-    fn candidates_into(&self, pos: &Pos, out: &mut Vec<NodeId>) {
-        match &self.grid {
-            Some(grid) => grid.candidates_into(pos, out),
-            None => {
-                out.clear();
-                out.extend((0..self.hot.len()).map(NodeId));
+/// The read-only world a transmission consults: radio model, node
+/// positions/liveness, and the optional spatial index. Borrowed
+/// immutably so any number of shard workers can transmit concurrently.
+pub(crate) struct LinkEnv<'a> {
+    pub(crate) radio: &'a RadioConfig,
+    pub(crate) hot: &'a [HotNode],
+    pub(crate) grid: Option<&'a SpatialGrid>,
+}
+
+/// Fill `out` with candidate receivers around `pos`, ascending by
+/// NodeId: the grid's 3×3 neighborhood, or every node in linear mode.
+#[inline]
+pub(crate) fn candidates_into(env: &LinkEnv<'_>, pos: &Pos, out: &mut Vec<NodeId>) {
+    match env.grid {
+        Some(grid) => grid.candidates_into(pos, out),
+        None => {
+            out.clear();
+            out.extend((0..env.hot.len()).map(NodeId));
+        }
+    }
+}
+
+/// Transmit `bytes` from `src`, resolving receivers and delays against
+/// `env` at time `now`, and append the resulting future events (with
+/// their times) to `out` instead of scheduling them directly. `rng`
+/// must be the *sender's* deterministic stream and `cand` is a reused
+/// scratch buffer.
+///
+/// Every delay this emits is `>= radio.base_delay` (see
+/// `RadioConfig::sample_delay`), which is the lookahead guarantee the
+/// sharded executor's epoch windows rely on: a frame sent inside a
+/// window can never need delivery inside that same window.
+// Three of the nine parameters are reused scratch/output buffers; the
+// zero-alloc contract is worth more than a tidy signature here.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn transmit_into(
+    env: &LinkEnv<'_>,
+    now: SimTime,
+    src: NodeId,
+    dst: LinkDst,
+    bytes: Vec<u8>,
+    rng: &mut ChaCha12Rng,
+    metrics: &mut Metrics,
+    cand: &mut Vec<NodeId>,
+    out: &mut Vec<(SimTime, Event)>,
+) {
+    if !env.hot[src.0].alive {
+        return;
+    }
+    metrics.count("phy.tx_frames", 1);
+    metrics.count("phy.tx_bytes", bytes.len() as u64);
+    let bytes = Arc::new(bytes);
+    let src_pos = env.hot[src.0].pos;
+    match dst {
+        LinkDst::Broadcast => {
+            metrics.count("phy.tx_broadcasts", 1);
+            candidates_into(env, &src_pos, cand);
+            for &to in cand.iter() {
+                if to == src {
+                    continue;
+                }
+                let n = &env.hot[to.0];
+                // `join_at <= now` rather than `started`: peers whose
+                // Start event is queued for this same instant are
+                // physically present; they will have started by the
+                // time the delivery (≥ base_delay later) arrives.
+                if !n.alive || n.join_at > now {
+                    continue;
+                }
+                let d = src_pos.dist(&n.pos);
+                if d > env.radio.max_range() {
+                    continue;
+                }
+                if !env.radio.sample_broadcast_reception(d, rng) {
+                    metrics.count("phy.rx_dropped_loss", 1);
+                    continue;
+                }
+                let delay = env.radio.sample_delay(bytes.len(), rng);
+                out.push((
+                    now + delay,
+                    Event::Deliver {
+                        to,
+                        src,
+                        bytes: Arc::clone(&bytes),
+                    },
+                ));
+            }
+        }
+        LinkDst::Unicast(to) => {
+            metrics.count("phy.tx_unicasts", 1);
+            let reachable = {
+                let n = &env.hot[to.0];
+                n.alive && n.join_at <= now && env.radio.in_range(src_pos.dist(&n.pos))
+            };
+            if reachable {
+                // MAC ARQ abstraction: no random loss on unicast.
+                let delay = env.radio.sample_delay(bytes.len(), rng);
+                out.push((
+                    now + delay,
+                    Event::Deliver {
+                        to,
+                        src,
+                        bytes: Arc::clone(&bytes),
+                    },
+                ));
+            } else {
+                metrics.count("phy.tx_unicast_unreachable", 1);
+                // ACK-timeout feedback after ~MAC retry budget.
+                let delay = env.radio.sample_delay(bytes.len(), rng);
+                let t = now + delay + env.radio.base_delay + env.radio.base_delay;
+                out.push((
+                    t,
+                    Event::LinkFailure {
+                        node: src,
+                        to,
+                        bytes: Arc::clone(&bytes),
+                    },
+                ));
             }
         }
     }
+}
 
+impl Engine {
     /// Link-layer neighbors of `node` right now (alive and in range),
     /// ascending by NodeId, written into a caller-owned buffer (prior
     /// contents are replaced) — the allocation-free variant for hot
     /// call-sites.
     pub fn neighbors_into(&self, node: NodeId, out: &mut Vec<NodeId>) {
-        let me_pos = self.hot[node.0].pos;
-        self.candidates_into(&me_pos, out);
+        let env = self.link_env();
+        let me_pos = env.hot[node.0].pos;
+        candidates_into(&env, &me_pos, out);
+        let now = self.now();
         out.retain(|&other| {
-            let n = &self.hot[other.0];
-            other != node
-                && n.alive
-                && n.join_at <= self.now
-                && self.cfg.radio.in_range(me_pos.dist(&n.pos))
+            let n = &env.hot[other.0];
+            other != node && n.alive && n.join_at <= now && env.radio.in_range(me_pos.dist(&n.pos))
         });
     }
 
@@ -73,9 +195,10 @@ impl Engine {
     /// All nodes reachable from `from` over current radio links (BFS on
     /// the unit-disk graph of alive, joined nodes), including `from`.
     pub fn connected_component(&self, from: NodeId) -> Vec<NodeId> {
-        let mut seen = vec![false; self.hot.len()];
+        let n_nodes = self.node_count();
+        let mut seen = vec![false; n_nodes];
         let mut queue = std::collections::VecDeque::new();
-        if self.hot[from.0].alive {
+        if self.is_alive(from) {
             seen[from.0] = true;
             queue.push_back(from);
         }
@@ -98,103 +221,17 @@ impl Engine {
     /// Useful as a scenario sanity check — a partitioned topology makes
     /// most delivery assertions meaningless.
     pub fn is_connected(&self) -> bool {
-        let alive: Vec<NodeId> = (0..self.hot.len())
+        let now = self.now();
+        let alive: Vec<NodeId> = (0..self.node_count())
             .map(NodeId)
             .filter(|&n| {
-                let s = &self.hot[n.0];
-                s.alive && s.join_at <= self.now
+                let s = self.hot_slot(n);
+                s.alive && s.join_at <= now
             })
             .collect();
         match alive.first() {
             None => true,
             Some(&first) => self.connected_component(first).len() == alive.len(),
-        }
-    }
-
-    pub(crate) fn transmit(&mut self, src: NodeId, dst: LinkDst, bytes: Vec<u8>) {
-        if !self.hot[src.0].alive {
-            return;
-        }
-        self.metrics.count("phy.tx_frames", 1);
-        self.metrics.count("phy.tx_bytes", bytes.len() as u64);
-        let bytes = Arc::new(bytes);
-        let src_pos = self.hot[src.0].pos;
-        match dst {
-            LinkDst::Broadcast => {
-                self.metrics.count("phy.tx_broadcasts", 1);
-                // Scratch buffer reuse: broadcast is the hottest path in
-                // flooding workloads, one allocation per call adds up.
-                let mut cand = std::mem::take(&mut self.bcast_scratch);
-                self.candidates_into(&src_pos, &mut cand);
-                for &to in &cand {
-                    if to == src {
-                        continue;
-                    }
-                    let n = &self.hot[to.0];
-                    // `join_at <= now` rather than `started`: peers whose
-                    // Start event is queued for this same instant are
-                    // physically present; they will have started by the
-                    // time the delivery (≥ base_delay later) arrives.
-                    if !n.alive || n.join_at > self.now {
-                        continue;
-                    }
-                    let d = src_pos.dist(&n.pos);
-                    if d > self.cfg.radio.max_range() {
-                        continue;
-                    }
-                    if !self.cfg.radio.sample_broadcast_reception(d, &mut self.rng) {
-                        self.metrics.count("phy.rx_dropped_loss", 1);
-                        continue;
-                    }
-                    let delay = self.cfg.radio.sample_delay(bytes.len(), &mut self.rng);
-                    let t = self.now + delay;
-                    self.queue.push(
-                        t,
-                        Event::Deliver {
-                            to,
-                            src,
-                            bytes: Arc::clone(&bytes),
-                        },
-                    );
-                }
-                self.bcast_scratch = cand;
-            }
-            LinkDst::Unicast(to) => {
-                self.metrics.count("phy.tx_unicasts", 1);
-                let reachable = {
-                    let n = &self.hot[to.0];
-                    n.alive
-                        && n.join_at <= self.now
-                        && self.cfg.radio.in_range(src_pos.dist(&n.pos))
-                };
-                if reachable {
-                    // MAC ARQ abstraction: no random loss on unicast.
-                    let delay = self.cfg.radio.sample_delay(bytes.len(), &mut self.rng);
-                    let t = self.now + delay;
-                    self.queue.push(
-                        t,
-                        Event::Deliver {
-                            to,
-                            src,
-                            bytes: Arc::clone(&bytes),
-                        },
-                    );
-                } else {
-                    self.metrics.count("phy.tx_unicast_unreachable", 1);
-                    // ACK-timeout feedback after ~MAC retry budget.
-                    let delay = self.cfg.radio.sample_delay(bytes.len(), &mut self.rng);
-                    let t =
-                        self.now + delay + self.cfg.radio.base_delay + self.cfg.radio.base_delay;
-                    self.queue.push(
-                        t,
-                        Event::LinkFailure {
-                            node: src,
-                            to,
-                            bytes: Arc::clone(&bytes),
-                        },
-                    );
-                }
-            }
         }
     }
 }

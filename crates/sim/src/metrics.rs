@@ -142,6 +142,21 @@ impl Metrics {
         self.series.keys().copied()
     }
 
+    /// Drain this instance's counter totals into `dst`, zeroing them
+    /// here but keeping the table (names, order, capacity) so the hot
+    /// `count` path stays warm. The sharded executor calls this per
+    /// epoch to fold order-insensitive per-shard counts into the global
+    /// metrics without reallocating.
+    pub(crate) fn drain_counts_into(&mut self, dst: &mut Metrics) {
+        for i in 0..self.counters.len() {
+            let (k, v) = self.counters[i];
+            if v > 0 {
+                dst.count(k, v);
+                self.counters[i].1 = 0;
+            }
+        }
+    }
+
     /// Merge another run's metrics into this one (for aggregation across
     /// seeds).
     pub fn merge(&mut self, other: &Metrics) {
@@ -224,6 +239,21 @@ mod tests {
         assert_eq!(names, vec!["aa", "mm", "zz"]);
         assert_eq!(m.counter("zz"), 3);
         assert_eq!(m.counter("aa"), 2);
+    }
+
+    #[test]
+    fn drain_counts_zeroes_source_and_accumulates_dest() {
+        let mut src = Metrics::new();
+        let mut dst = Metrics::new();
+        src.count("tx", 3);
+        src.count("rx", 1);
+        src.drain_counts_into(&mut dst);
+        assert_eq!(dst.counter("tx"), 3);
+        assert_eq!(src.counter("tx"), 0, "source zeroed, not dropped");
+        src.count("tx", 2);
+        src.drain_counts_into(&mut dst);
+        assert_eq!(dst.counter("tx"), 5);
+        assert_eq!(dst.counter("rx"), 1);
     }
 
     #[test]

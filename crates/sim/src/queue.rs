@@ -9,9 +9,16 @@
 //!   sequence)` — kept alive as the differential-testing oracle,
 //!   exactly like the linear channel scan backs the spatial grid.
 //!
-//! Both dispatch simultaneous events in the order they were scheduled —
-//! the backbone of the determinism contract — and same-seed runs are
+//! Both dispatch simultaneous events in `(time, seq)` order — the
+//! backbone of the determinism contract — and same-seed runs are
 //! bit-identical under either (`tests/determinism.rs` gates this).
+//!
+//! The insertion sequence is owned by the *engine*, not the queue:
+//! every push carries an explicit `seq` ([`PendingQueue::push_seq`]).
+//! That is what lets the sharded executor keep one global sequence
+//! stream across K per-shard queues — an event's `(time, seq)` key is
+//! identical whichever queue physically holds it, so the merged
+//! dispatch order is the single-threaded order by construction.
 //!
 //! [`TimerTable`] tracks which timer handles are armed and which armed
 //! handles have been cancelled. Both sets are bounded: a handle leaves
@@ -61,19 +68,48 @@ impl PendingQueue {
         }
     }
 
+    /// Schedule `event` at `time` with the caller-assigned tiebreak
+    /// sequence (globally unique and monotone within a run).
     #[inline]
-    pub(crate) fn push(&mut self, time: SimTime, event: Event) {
+    pub(crate) fn push_seq(&mut self, time: SimTime, seq: u64, event: Event) {
         match self {
-            PendingQueue::Wheel(w) => w.push(time, event),
-            PendingQueue::Heap(h) => h.push(time, event),
+            PendingQueue::Wheel(w) => w.push_seq(time, seq, event),
+            PendingQueue::Heap(h) => h.push_seq(time, seq, event),
         }
     }
 
+    /// Pop the next event (with its sequence) if due at or before `until`.
     #[inline]
-    pub(crate) fn pop_due(&mut self, until: SimTime) -> Option<(SimTime, Event)> {
+    pub(crate) fn pop_due_seq(&mut self, until: SimTime) -> Option<(SimTime, u64, Event)> {
         match self {
-            PendingQueue::Wheel(w) => w.pop_due(until),
-            PendingQueue::Heap(h) => h.pop_due(until),
+            PendingQueue::Wheel(w) => w.pop_due_seq(until),
+            PendingQueue::Heap(h) => h.pop_due_seq(until),
+        }
+    }
+
+    /// The `(time, seq)` key of the next event if due at or before
+    /// `until`, without removing it. (The wheel may advance internal
+    /// cascades to answer this; that is observably a no-op *within one
+    /// queue* — but it commits the wheel's cursor up to the answer, so
+    /// the sharded executor must bound `until` by what other shards may
+    /// still push; see [`PendingQueue::next_time_hint`].)
+    #[inline]
+    pub(crate) fn peek_due(&mut self, until: SimTime) -> Option<(SimTime, u64)> {
+        match self {
+            PendingQueue::Wheel(w) => w.peek_due(until),
+            PendingQueue::Heap(h) => h.peek_due(until),
+        }
+    }
+
+    /// A lower bound on the earliest pending event's time that is
+    /// guaranteed not to move any internal cursor: exact for the heap,
+    /// the earliest occupied slot's base time for the wheel. `None` iff
+    /// the queue is empty.
+    #[inline]
+    pub(crate) fn next_time_hint(&self) -> Option<SimTime> {
+        match self {
+            PendingQueue::Wheel(w) => w.next_time_hint(),
+            PendingQueue::Heap(h) => h.next_time_hint(),
         }
     }
 }
@@ -123,43 +159,51 @@ impl Ord for QueueItem {
     }
 }
 
-/// Min-heap of pending events with a monotonically increasing tiebreak
-/// sequence.
+/// Min-heap of pending events keyed by `(time, seq)`.
 pub(crate) struct EventQueue {
     heap: BinaryHeap<Reverse<QueueItem>>,
-    seq: u64,
 }
 
 impl EventQueue {
     pub(crate) fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            seq: 0,
         }
     }
 
-    pub(crate) fn push(&mut self, time: SimTime, event: Event) {
-        let seq = self.seq;
-        self.seq += 1;
+    pub(crate) fn push_seq(&mut self, time: SimTime, seq: u64, event: Event) {
         self.heap.push(Reverse(QueueItem { time, seq, event }));
     }
 
     /// Pop the next event if it is due at or before `until`.
-    pub(crate) fn pop_due(&mut self, until: SimTime) -> Option<(SimTime, Event)> {
+    pub(crate) fn pop_due_seq(&mut self, until: SimTime) -> Option<(SimTime, u64, Event)> {
         match self.heap.peek() {
             Some(Reverse(head)) if head.time <= until => {}
             _ => return None,
         }
         let Reverse(item) = self.heap.pop().expect("peeked");
-        Some((item.time, item.event))
+        Some((item.time, item.seq, item.event))
+    }
+
+    pub(crate) fn peek_due(&mut self, until: SimTime) -> Option<(SimTime, u64)> {
+        match self.heap.peek() {
+            Some(Reverse(head)) if head.time <= until => Some((head.time, head.seq)),
+            _ => None,
+        }
+    }
+
+    /// Exact time of the earliest event (the heap has no cursor, so
+    /// the "hint" is exact and free of side effects).
+    pub(crate) fn next_time_hint(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(head)| head.time)
     }
 }
 
 /// Armed-timer and cancellation bookkeeping (see module docs for the
-/// boundedness invariant).
+/// boundedness invariant). Handle *allocation* lives with the node
+/// (`NodeSlot::next_handle`, namespaced by node id) so both execution
+/// modes and all shards draw from identical handle streams.
 pub(crate) struct TimerTable {
-    /// Source of fresh [`crate::TimerHandle`] values.
-    pub(crate) next_handle: u64,
     /// Handles armed and not yet popped from the event queue.
     pending: HashSet<u64>,
     /// Armed handles whose owners cancelled them before they fired.
@@ -169,7 +213,6 @@ pub(crate) struct TimerTable {
 impl TimerTable {
     pub(crate) fn new() -> Self {
         TimerTable {
-            next_handle: 0,
             pending: HashSet::new(),
             cancelled: HashSet::new(),
         }
@@ -215,13 +258,13 @@ mod tests {
     use super::*;
 
     #[test]
-    fn queue_orders_by_time_then_insertion() {
+    fn queue_orders_by_time_then_seq() {
         let mut q = EventQueue::new();
-        q.push(SimTime(5), Event::Start(NodeId(0)));
-        q.push(SimTime(1), Event::Start(NodeId(1)));
-        q.push(SimTime(1), Event::Start(NodeId(2)));
-        let order: Vec<NodeId> = std::iter::from_fn(|| q.pop_due(SimTime(u64::MAX)))
-            .map(|(_, e)| match e {
+        q.push_seq(SimTime(5), 0, Event::Start(NodeId(0)));
+        q.push_seq(SimTime(1), 1, Event::Start(NodeId(1)));
+        q.push_seq(SimTime(1), 2, Event::Start(NodeId(2)));
+        let order: Vec<NodeId> = std::iter::from_fn(|| q.pop_due_seq(SimTime(u64::MAX)))
+            .map(|(_, _, e)| match e {
                 Event::Start(n) => n,
                 _ => unreachable!(),
             })
@@ -230,12 +273,41 @@ mod tests {
     }
 
     #[test]
+    fn seq_breaks_ties_regardless_of_push_order() {
+        // The engine owns the sequence stream; the queue must honor it
+        // even when pushes arrive out of seq order (the sharded replay
+        // path routes deferred events into queues in merge order, which
+        // is not push order).
+        let mut q = EventQueue::new();
+        q.push_seq(SimTime(3), 9, Event::Start(NodeId(9)));
+        q.push_seq(SimTime(3), 4, Event::Start(NodeId(4)));
+        let first = q.pop_due_seq(SimTime(u64::MAX)).unwrap();
+        assert_eq!(first.1, 4);
+        assert_eq!(q.pop_due_seq(SimTime(u64::MAX)).unwrap().1, 9);
+    }
+
+    #[test]
     fn pop_due_respects_horizon() {
         let mut q = EventQueue::new();
-        q.push(SimTime(10), Event::MobilityTick);
-        assert!(q.pop_due(SimTime(9)).is_none());
-        assert!(q.pop_due(SimTime(10)).is_some());
-        assert!(q.pop_due(SimTime(u64::MAX)).is_none());
+        q.push_seq(SimTime(10), 0, Event::MobilityTick);
+        assert!(q.pop_due_seq(SimTime(9)).is_none());
+        assert!(q.pop_due_seq(SimTime(10)).is_some());
+        assert!(q.pop_due_seq(SimTime(u64::MAX)).is_none());
+    }
+
+    #[test]
+    fn peek_matches_pop_and_does_not_consume() {
+        let mut q = EventQueue::new();
+        q.push_seq(SimTime(7), 3, Event::MobilityTick);
+        assert_eq!(q.peek_due(SimTime(6)), None);
+        assert_eq!(q.peek_due(SimTime(7)), Some((SimTime(7), 3)));
+        assert_eq!(
+            q.peek_due(SimTime(7)),
+            Some((SimTime(7), 3)),
+            "peek consumed"
+        );
+        let (t, s, _) = q.pop_due_seq(SimTime(7)).unwrap();
+        assert_eq!((t, s), (SimTime(7), 3));
     }
 
     #[test]

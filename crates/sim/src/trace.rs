@@ -87,6 +87,13 @@ impl Tracer {
         &self.events
     }
 
+    /// Mutable access for the sharded executor's replay merge, which
+    /// moves per-shard trace buffers into the global stream in
+    /// deterministic `(time, seq)` order.
+    pub(crate) fn events_mut(&mut self) -> &mut Vec<TraceEvent> {
+        &mut self.events
+    }
+
     /// Events involving a given message kind.
     pub fn of_kind<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a TraceEvent> + 'a {
         self.events.iter().filter(move |e| e.kind == kind)

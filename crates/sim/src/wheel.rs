@@ -12,11 +12,12 @@
 //! ## Exact heap equivalence
 //!
 //! The wheel must dispatch in exactly the order the binary-heap oracle
-//! ([`crate::queue::EventQueue`]) does: ascending `(time, insertion
-//! sequence)`. Two properties make that hold:
+//! ([`crate::queue::EventQueue`]) does: ascending `(time, seq)`, where
+//! `seq` is the engine-assigned insertion sequence carried on every
+//! push. Two properties make that hold:
 //!
 //! * a level-0 slot spans exactly one tick, so every item in a fired
-//!   slot shares one timestamp and a sort by `seq` restores insertion
+//!   slot shares one timestamp and a sort by `seq` restores sequence
 //!   order — necessary because cascades can append an early-scheduled
 //!   item after a late-scheduled one;
 //! * among equal deadlines, higher levels are processed (cascaded)
@@ -25,7 +26,10 @@
 //!
 //! `tests/determinism.rs` pins the equivalence with a randomized
 //! schedule/cancel differential; the unit tests here cover the wheel's
-//! own edges (far-future times, same-tick ties, re-entrant pushes).
+//! own edges (far-future times, same-tick ties, re-entrant pushes, and
+//! deadlines within a slot span of `u64::MAX` on every level — the
+//! top-level shift arithmetic flirts with the 64-bit boundary, so it is
+//! computed in `u128` and pinned by a proptest against a sorted model).
 //!
 //! Steady state allocates nothing: slot `Vec`s keep their capacity, the
 //! firing buffer is a reused `VecDeque`, and cascades drain through one
@@ -78,14 +82,12 @@ fn slot_of(when: u64, level: usize) -> usize {
 }
 
 /// The timer wheel. Same contract as [`crate::queue::EventQueue`]:
-/// `push` anywhere at or after the last popped time, `pop_due` yields
-/// strictly `(time, seq)`-ascending events up to a horizon.
+/// `push_seq` anywhere at or after the last popped time, `pop_due_seq`
+/// yields strictly `(time, seq)`-ascending events up to a horizon.
 pub(crate) struct TimerWheel {
     levels: Vec<Level>,
     /// Cursor: every event before this tick has been popped.
     elapsed: u64,
-    /// Monotone insertion sequence (the same-tick tiebreak).
-    seq: u64,
     /// Events currently stored (wheel + firing buffer).
     len: usize,
     /// The tick currently being dispatched, sorted by `seq`.
@@ -99,16 +101,13 @@ impl TimerWheel {
         TimerWheel {
             levels: (0..LEVELS).map(|_| Level::new()).collect(),
             elapsed: 0,
-            seq: 0,
             len: 0,
             firing: VecDeque::new(),
             cascade_scratch: Vec::new(),
         }
     }
 
-    pub(crate) fn push(&mut self, time: SimTime, event: Event) {
-        let seq = self.seq;
-        self.seq += 1;
+    pub(crate) fn push_seq(&mut self, time: SimTime, seq: u64, event: Event) {
         // The engine never schedules into the past (`time >= now`, and
         // the cursor only advances to dispatched times); clamp in
         // release so a violation degrades to "fires now" like the heap
@@ -148,13 +147,22 @@ impl TimerWheel {
             // level.
             debug_assert!(cursor as u64 + dist < SLOTS as u64, "slot behind cursor");
             let slot = cursor as u64 + dist;
+            // The slot-base arithmetic runs against the top of the u64
+            // range: at the top level the "bits above this level" shift
+            // is ≥ 64 (guarded to 0), and `slot << 60` overflows u64 for
+            // slot ≥ 16 — which valid contents never produce, but a
+            // silent wrap here would fire a far-future event *early*
+            // and corrupt the dispatch order. Compute in u128 and
+            // saturate so the boundary is explicit.
             let shift = SLOT_BITS as usize * (level + 1);
             let high = if shift >= 64 {
                 0
             } else {
                 (self.elapsed >> shift) << shift
             };
-            let deadline = high + (slot << (SLOT_BITS as usize * level));
+            let wide = (high as u128) + ((slot as u128) << (SLOT_BITS as usize * level));
+            debug_assert!(wide <= u64::MAX as u128, "deadline past u64::MAX");
+            let deadline = u64::try_from(wide).unwrap_or(u64::MAX);
             let better = match best {
                 None => true,
                 // Higher level first on ties: those items still need to
@@ -168,21 +176,19 @@ impl TimerWheel {
         best
     }
 
-    /// Pop the next event if it is due at or before `until`. Identical
-    /// observable behavior to the heap's `pop_due`.
-    pub(crate) fn pop_due(&mut self, until: SimTime) -> Option<(SimTime, Event)> {
+    /// Advance cascades until the firing buffer holds the next due tick
+    /// (or prove nothing is due). True ⇔ the front of `firing` is an
+    /// event with `time <= until`.
+    fn prime(&mut self, until: SimTime) -> bool {
         loop {
             if let Some(front) = self.firing.front() {
-                if front.time > until {
-                    return None;
-                }
-                let item = self.firing.pop_front().expect("front checked");
-                self.len -= 1;
-                return Some((item.time, item.event));
+                return front.time <= until;
             }
-            let (deadline, level) = self.next_expiration()?;
+            let Some((deadline, level)) = self.next_expiration() else {
+                return false;
+            };
             if deadline > until.0 {
-                return None;
+                return false;
             }
             // Advance, never retreat: a level>0 slot's start can sit at
             // or before the cursor when its slot index equals the
@@ -192,7 +198,7 @@ impl TimerWheel {
             let lvl = &mut self.levels[level];
             lvl.occupied &= !(1 << cursor_slot);
             if level == 0 {
-                // One tick's worth of events: restore insertion order.
+                // One tick's worth of events: restore sequence order.
                 debug_assert!(self.firing.is_empty());
                 self.firing.extend(lvl.slots[cursor_slot].drain(..));
                 self.firing
@@ -213,6 +219,42 @@ impl TimerWheel {
         }
     }
 
+    /// Pop the next event if it is due at or before `until`. Identical
+    /// observable behavior to the heap's `pop_due_seq`.
+    pub(crate) fn pop_due_seq(&mut self, until: SimTime) -> Option<(SimTime, u64, Event)> {
+        if !self.prime(until) {
+            return None;
+        }
+        let item = self.firing.pop_front().expect("primed");
+        self.len -= 1;
+        Some((item.time, item.seq, item.event))
+    }
+
+    /// A lower bound on the earliest stored event's time: exact when a
+    /// tick already sits in the firing buffer, otherwise the earliest
+    /// occupied slot's base time. Unlike [`TimerWheel::peek_due`], this
+    /// never cascades — the cursor does not move, so nothing commits
+    /// the wheel past times that a concurrent shard may still schedule
+    /// into (the sharded executor's epoch picker depends on this).
+    pub(crate) fn next_time_hint(&self) -> Option<SimTime> {
+        if let Some(front) = self.firing.front() {
+            return Some(front.time);
+        }
+        self.next_expiration()
+            .map(|(d, _)| SimTime(d.max(self.elapsed)))
+    }
+
+    /// `(time, seq)` of the next due event without consuming it. The
+    /// cascades this may run are the same ones `pop_due_seq` would run —
+    /// internal cursor motion, observably a no-op.
+    pub(crate) fn peek_due(&mut self, until: SimTime) -> Option<(SimTime, u64)> {
+        if !self.prime(until) {
+            return None;
+        }
+        let front = self.firing.front().expect("primed");
+        Some((front.time, front.seq))
+    }
+
     /// Events currently queued (including a partially dispatched tick).
     #[cfg(test)]
     pub(crate) fn len(&self) -> usize {
@@ -224,14 +266,30 @@ impl TimerWheel {
 mod tests {
     use super::*;
     use crate::ctx::NodeId;
+    use proptest::prelude::*;
 
     fn start(n: usize) -> Event {
         Event::Start(NodeId(n))
     }
 
+    /// Push helper carrying its own monotone sequence, like the engine.
+    struct Pusher {
+        seq: u64,
+    }
+
+    impl Pusher {
+        fn new() -> Self {
+            Pusher { seq: 0 }
+        }
+        fn push(&mut self, w: &mut TimerWheel, t: u64, n: usize) {
+            w.push_seq(SimTime(t), self.seq, start(n));
+            self.seq += 1;
+        }
+    }
+
     fn drain(w: &mut TimerWheel, until: SimTime) -> Vec<(u64, usize)> {
-        std::iter::from_fn(|| w.pop_due(until))
-            .map(|(t, e)| match e {
+        std::iter::from_fn(|| w.pop_due_seq(until))
+            .map(|(t, _, e)| match e {
                 Event::Start(NodeId(n)) => (t.0, n),
                 _ => unreachable!(),
             })
@@ -239,11 +297,12 @@ mod tests {
     }
 
     #[test]
-    fn orders_by_time_then_insertion() {
+    fn orders_by_time_then_seq() {
         let mut w = TimerWheel::new();
-        w.push(SimTime(5), start(0));
-        w.push(SimTime(1), start(1));
-        w.push(SimTime(1), start(2));
+        let mut p = Pusher::new();
+        p.push(&mut w, 5, 0);
+        p.push(&mut w, 1, 1);
+        p.push(&mut w, 1, 2);
         assert_eq!(
             drain(&mut w, SimTime(u64::MAX)),
             vec![(1, 1), (1, 2), (5, 0)]
@@ -254,23 +313,38 @@ mod tests {
     #[test]
     fn respects_horizon() {
         let mut w = TimerWheel::new();
-        w.push(SimTime(10), start(0));
-        assert!(w.pop_due(SimTime(9)).is_none());
-        assert!(w.pop_due(SimTime(10)).is_some());
-        assert!(w.pop_due(SimTime(u64::MAX)).is_none());
+        let mut p = Pusher::new();
+        p.push(&mut w, 10, 0);
+        assert!(w.pop_due_seq(SimTime(9)).is_none());
+        assert!(w.pop_due_seq(SimTime(10)).is_some());
+        assert!(w.pop_due_seq(SimTime(u64::MAX)).is_none());
+    }
+
+    #[test]
+    fn peek_previews_pop_without_consuming() {
+        let mut w = TimerWheel::new();
+        let mut p = Pusher::new();
+        p.push(&mut w, 70, 4);
+        p.push(&mut w, 70, 9);
+        assert_eq!(w.peek_due(SimTime(69)), None);
+        assert_eq!(w.peek_due(SimTime(70)), Some((SimTime(70), 0)));
+        assert_eq!(w.peek_due(SimTime(70)), Some((SimTime(70), 0)), "consumed");
+        assert_eq!(w.len(), 2, "peek must not drop items");
+        assert_eq!(drain(&mut w, SimTime(u64::MAX)), vec![(70, 4), (70, 9)]);
     }
 
     #[test]
     fn far_future_events_cascade_correctly() {
         let mut w = TimerWheel::new();
+        let mut p = Pusher::new();
         // One event per level's range, plus two in the same far tick to
         // exercise seq ordering after a long cascade chain.
         let far = 1u64 << 40;
-        w.push(SimTime(far), start(0));
-        w.push(SimTime(far), start(1));
-        w.push(SimTime(64), start(2));
-        w.push(SimTime(4096 + 3), start(3));
-        w.push(SimTime(262_144 + 9), start(4));
+        p.push(&mut w, far, 0);
+        p.push(&mut w, far, 1);
+        p.push(&mut w, 64, 2);
+        p.push(&mut w, 4096 + 3, 3);
+        p.push(&mut w, 262_144 + 9, 4);
         assert_eq!(
             drain(&mut w, SimTime(u64::MAX)),
             vec![(64, 2), (4096 + 3, 3), (262_144 + 9, 4), (far, 0), (far, 1)]
@@ -280,23 +354,25 @@ mod tests {
     #[test]
     fn same_tick_push_during_dispatch_fires_after() {
         let mut w = TimerWheel::new();
-        w.push(SimTime(7), start(0));
-        w.push(SimTime(7), start(1));
-        let (t, _) = w.pop_due(SimTime(u64::MAX)).expect("first");
+        let mut p = Pusher::new();
+        p.push(&mut w, 7, 0);
+        p.push(&mut w, 7, 1);
+        let (t, _, _) = w.pop_due_seq(SimTime(u64::MAX)).expect("first");
         assert_eq!(t, SimTime(7));
         // Mid-tick push at the tick being dispatched (delay-0 timer).
-        w.push(SimTime(7), start(2));
+        p.push(&mut w, 7, 2);
         assert_eq!(drain(&mut w, SimTime(u64::MAX)), vec![(7, 1), (7, 2)]);
     }
 
     #[test]
     fn interleaves_pushes_and_pops_across_rotations() {
         let mut w = TimerWheel::new();
+        let mut p = Pusher::new();
         let mut fired = Vec::new();
         let mut t = 0u64;
         for round in 0..300u64 {
-            w.push(SimTime(t + 1 + (round * 37) % 511), start(round as usize));
-            while let Some((at, _)) = w.pop_due(SimTime(t + 64)) {
+            p.push(&mut w, t + 1 + (round * 37) % 511, round as usize);
+            while let Some((at, _, _)) = w.pop_due_seq(SimTime(t + 64)) {
                 assert!(at.0 >= t, "time went backwards");
                 t = at.0;
                 fired.push(at.0);
@@ -313,22 +389,88 @@ mod tests {
     #[test]
     fn zero_time_and_max_horizon_edges() {
         let mut w = TimerWheel::new();
-        w.push(SimTime(0), start(0));
-        w.push(SimTime(u64::MAX - 1), start(1));
+        let mut p = Pusher::new();
+        p.push(&mut w, 0, 0);
+        p.push(&mut w, u64::MAX - 1, 1);
         assert_eq!(
-            w.pop_due(SimTime(u64::MAX)).map(|(t, _)| t),
+            w.pop_due_seq(SimTime(u64::MAX)).map(|(t, _, _)| t),
             Some(SimTime(0))
         );
         assert_eq!(
-            w.pop_due(SimTime(u64::MAX)).map(|(t, _)| t),
+            w.pop_due_seq(SimTime(u64::MAX)).map(|(t, _, _)| t),
             Some(SimTime(u64::MAX - 1))
         );
     }
 
     #[test]
+    fn u64_max_deadline_fires_exactly_once_at_the_end_of_time() {
+        let mut w = TimerWheel::new();
+        let mut p = Pusher::new();
+        p.push(&mut w, u64::MAX, 0);
+        p.push(&mut w, 5, 1);
+        assert!(w.pop_due_seq(SimTime(u64::MAX - 1)).map(|(t, _, _)| t) == Some(SimTime(5)));
+        assert!(w.pop_due_seq(SimTime(u64::MAX - 1)).is_none());
+        assert_eq!(
+            w.pop_due_seq(SimTime(u64::MAX)).map(|(t, _, _)| t),
+            Some(SimTime(u64::MAX))
+        );
+        assert_eq!(w.len(), 0);
+    }
+
+    #[test]
+    fn near_max_deadlines_fire_in_order_through_every_level() {
+        // One deadline a slot-span below u64::MAX per level: cascading
+        // each one walks the top-level shift arithmetic right at the
+        // 64-bit boundary (the regression this pins: a wrapped shift
+        // would compute a tiny deadline and fire these out of order).
+        let mut w = TimerWheel::new();
+        let mut p = Pusher::new();
+        let mut expect = Vec::new();
+        for level in 0..LEVELS {
+            let span = 1u128 << (SLOT_BITS as usize * level);
+            let t = (u64::MAX as u128 - span) as u64;
+            p.push(&mut w, t, level);
+            expect.push((t, level));
+        }
+        p.push(&mut w, u64::MAX, LEVELS);
+        expect.push((u64::MAX, LEVELS));
+        expect.sort_unstable();
+        assert_eq!(drain(&mut w, SimTime(u64::MAX)), expect);
+    }
+
+    #[test]
     fn empty_wheel_is_cheap_and_none() {
         let mut w = TimerWheel::new();
-        assert!(w.pop_due(SimTime(u64::MAX)).is_none());
+        assert!(w.pop_due_seq(SimTime(u64::MAX)).is_none());
         assert_eq!(w.len(), 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        /// Regression proptest for the ≥64-bit shift boundary: random
+        /// schedules clustered near u64::MAX (offsets spanning every
+        /// wheel level) must drain in exactly sorted `(time, seq)`
+        /// order, matching a sorted-vec model.
+        #[test]
+        fn near_max_schedules_match_sorted_model(
+            offsets in proptest::collection::vec((0usize..LEVELS, 0u64..64), 1..40),
+        ) {
+            let mut w = TimerWheel::new();
+            let mut model = Vec::new();
+            for (seq, &(level, k)) in offsets.iter().enumerate() {
+                // u64::MAX minus k slot-spans of the chosen level: lands
+                // the deadline in the top slots of that level.
+                let span = 1u128 << (SLOT_BITS as usize * level);
+                let t = (u64::MAX as u128 - (k as u128 * span).min(u64::MAX as u128)) as u64;
+                w.push_seq(SimTime(t), seq as u64, Event::Start(NodeId(seq)));
+                model.push((t, seq as u64));
+            }
+            model.sort_unstable();
+            let drained: Vec<(u64, u64)> =
+                std::iter::from_fn(|| w.pop_due_seq(SimTime(u64::MAX)))
+                    .map(|(t, s, _)| (t.0, s))
+                    .collect();
+            prop_assert_eq!(drained, model);
+        }
     }
 }

@@ -5,7 +5,7 @@
 //! reproduction, so it gets its own regression gate.
 
 use manet_secure::scenario::{Placement, ScenarioBuilder};
-use manet_sim::{ChannelMode, Field, Mobility, QueueImpl, SimDuration};
+use manet_sim::{ChannelMode, ExecMode, Field, Mobility, QueueImpl, SimDuration};
 
 /// One full run: bootstrap, two crossing flows, then the observables.
 fn run_with(seed: u64, channel: ChannelMode) -> (f64, usize, u64, u64) {
@@ -136,6 +136,54 @@ fn wheel_and_heap_queues_are_one_universe() {
     assert!(w.1 > 0, "nothing simulated — vacuous differential");
 }
 
+/// The executor gate, one level up from the engine's unit test: a full
+/// secure scenario — mobility, gray zone, loss, staggered joins,
+/// timer-heavy DAD — must be byte-identical under the single-threaded
+/// oracle and the sharded engine at any shard count, down to the
+/// rendered trace stream. This is the tentpole's acceptance bar.
+#[test]
+fn sharded_and_single_executors_are_one_universe() {
+    let full_run = |exec: ExecMode| {
+        let mut net = ScenarioBuilder::new()
+            .hosts(6)
+            .seed(21)
+            .trace(true)
+            .placement(Placement::Uniform)
+            .field(Field::new(600.0, 600.0))
+            .mobility(Mobility::RandomWaypoint {
+                min_speed: 1.0,
+                max_speed: 4.0,
+                pause_s: 2.0,
+            })
+            .radio(manet_sim::RadioConfig {
+                loss: 0.05,
+                gray_zone: Some(300.0),
+                ..manet_sim::RadioConfig::default()
+            })
+            .exec(exec)
+            .secure()
+            .build();
+        net.bootstrap();
+        let report = net.run_flows(&[(0, 5), (2, 3)], 4, SimDuration::from_millis(300));
+        let trace = net.engine.tracer().render();
+        (report.fingerprint(), net.engine.events_processed(), trace)
+    };
+    let single = full_run(ExecMode::Single);
+    assert!(single.1 > 0, "nothing simulated — vacuous differential");
+    for k in [1, 2, 8] {
+        let sharded = full_run(ExecMode::Sharded(k));
+        assert_eq!(
+            single.2, sharded.2,
+            "trace streams diverged between single and sharded({k})"
+        );
+        assert_eq!(
+            (&single.0, single.1),
+            (&sharded.0, sharded.1),
+            "observables diverged between single and sharded({k})"
+        );
+    }
+}
+
 #[test]
 fn different_seeds_diverge() {
     // Not a strict requirement of determinism, but if two seeds give a
@@ -158,8 +206,8 @@ fn different_seeds_diverge() {
 /// log, because protocols observe event *order*, not just event sets.
 mod wheel_heap_script {
     use manet_sim::{
-        ChannelMode, Ctx, Engine, EngineConfig, Mobility, NodeId, Pos, Protocol, QueueImpl,
-        RadioConfig, SimDuration, SimTime, TimerHandle,
+        ChannelMode, Ctx, Engine, EngineConfig, ExecMode, Mobility, NodeId, Pos, Protocol,
+        QueueImpl, RadioConfig, SimDuration, SimTime, TimerHandle,
     };
     use proptest::prelude::*;
     use std::any::Any;
@@ -252,10 +300,18 @@ mod wheel_heap_script {
         }
     }
 
-    fn run(queue: QueueImpl, steps: &[Step], seed: u64) -> (FireLog, FireLog, u64) {
+    #[allow(clippy::type_complexity)]
+    fn run_with(
+        queue: QueueImpl,
+        exec: ExecMode,
+        positions: [(f64, f64); 2],
+        steps: &[Step],
+        seed: u64,
+    ) -> (FireLog, FireLog, u64) {
         let mut e = Engine::new(EngineConfig {
             seed,
             queue,
+            exec,
             channel: ChannelMode::Grid,
             radio: RadioConfig {
                 loss: 0.02,
@@ -268,12 +324,12 @@ mod wheel_heap_script {
         // queue under test.
         let a = e.add_node(
             Box::new(Script::new(steps.to_vec())),
-            Pos::new(0.0, 0.0),
+            Pos::new(positions[0].0, positions[0].1),
             Mobility::Static,
         );
         let b = e.add_node(
             Box::new(Script::new(steps.iter().rev().cloned().collect())),
-            Pos::new(100.0, 0.0),
+            Pos::new(positions[1].0, positions[1].1),
             Mobility::Static,
         );
         e.run_until(SimTime(30_000_000));
@@ -281,6 +337,16 @@ mod wheel_heap_script {
             e.protocol_as::<Script>(a).log.clone(),
             e.protocol_as::<Script>(b).log.clone(),
             e.events_processed(),
+        )
+    }
+
+    fn run(queue: QueueImpl, steps: &[Step], seed: u64) -> (FireLog, FireLog, u64) {
+        run_with(
+            queue,
+            ExecMode::Single,
+            [(0.0, 0.0), (100.0, 0.0)],
+            steps,
+            seed,
         )
     }
 
@@ -295,6 +361,144 @@ mod wheel_heap_script {
             let h = run(QueueImpl::Heap, &steps, seed);
             prop_assert_eq!(&w, &h);
             prop_assert!(w.2 > 0, "vacuous script — nothing dispatched");
+        }
+
+        /// Randomized sharded-vs-single differential over shard counts:
+        /// the nodes sit at x=300 and x=400 in a 1000 m field, so small
+        /// K puts them in one shard and larger K splits them across a
+        /// band boundary — every cross-shard delivery goes through the
+        /// epoch replay merge, and the fire logs must not notice.
+        #[test]
+        fn sharded_and_single_fire_in_identical_order(
+            steps in proptest::collection::vec((any::<u8>(), any::<u16>()), 16..96),
+            seed in 0u64..512,
+            k in 1usize..=8,
+        ) {
+            let pos = [(300.0, 0.0), (400.0, 0.0)];
+            let s = run_with(QueueImpl::Wheel, ExecMode::Single, pos, &steps, seed);
+            let sh = run_with(QueueImpl::Wheel, ExecMode::Sharded(k), pos, &steps, seed);
+            prop_assert_eq!(&s, &sh);
+            prop_assert!(s.2 > 0, "vacuous script — nothing dispatched");
+        }
+    }
+
+    /// Cross-shard edge case: a node teleporting (and random-waypoint
+    /// walking) across shard boundaries mid-simulation. Ownership is
+    /// pinned at `add_node` time, so a node physically inside another
+    /// shard's band keeps dispatching on its original shard — the
+    /// observables must not notice under any shard count.
+    #[test]
+    fn teleport_across_shard_boundary_is_one_universe() {
+        let steps: Vec<Step> = (0..64).map(|i| (i as u8, (i as u16) * 37)).collect();
+        let run = |exec: ExecMode| {
+            let mut e = Engine::new(EngineConfig {
+                seed: 9,
+                exec,
+                radio: RadioConfig {
+                    loss: 0.02,
+                    ..RadioConfig::default()
+                },
+                ..EngineConfig::default()
+            });
+            let mobile = Mobility::RandomWaypoint {
+                min_speed: 20.0,
+                max_speed: 60.0,
+                pause_s: 0.1,
+            };
+            // Fast walkers straddling the K=2 boundary (x=500): mobility
+            // itself carries them across bands between epochs.
+            let a = e.add_node(
+                Box::new(Script::new(steps.clone())),
+                Pos::new(450.0, 0.0),
+                mobile.clone(),
+            );
+            let b = e.add_node(
+                Box::new(Script::new(steps.iter().rev().cloned().collect())),
+                Pos::new(550.0, 0.0),
+                mobile,
+            );
+            e.run_until(SimTime(2_000_000));
+            // Teleport a into the far band (crosses every K≤8 boundary)…
+            e.set_position(a, Pos::new(900.0, 0.0));
+            e.run_until(SimTime(4_000_000));
+            // …and back to the first band.
+            e.set_position(a, Pos::new(50.0, 0.0));
+            e.run_until(SimTime(8_000_000));
+            (
+                e.protocol_as::<Script>(a).log.clone(),
+                e.protocol_as::<Script>(b).log.clone(),
+                e.position(a).x.to_bits(),
+                e.position(b).x.to_bits(),
+                e.events_processed(),
+            )
+        };
+        let single = run(ExecMode::Single);
+        assert!(single.4 > 0, "vacuous run");
+        for k in [2, 3, 8] {
+            assert_eq!(
+                single,
+                run(ExecMode::Sharded(k)),
+                "teleport universe diverged under sharded({k})"
+            );
+        }
+    }
+
+    /// Cross-shard edge case: a kill landing in the same epoch as
+    /// in-flight cross-shard deliveries. Kills are barrier events in
+    /// sharded mode, so the epoch must be clipped at the kill tick and
+    /// the already-queued deliveries must observe the death in exactly
+    /// the `(time, seq)` order the single-threaded oracle uses.
+    #[test]
+    fn kill_racing_cross_shard_delivery_is_one_universe() {
+        // Broadcast-heavy scripts so deliveries are always in flight
+        // across the x=500 band boundary when the kills land.
+        let steps: Vec<Step> = (0..64u16).map(|i| (3, i * 13)).collect();
+        let run = |exec: ExecMode| {
+            let mut e = Engine::new(EngineConfig {
+                seed: 4,
+                exec,
+                radio: RadioConfig {
+                    loss: 0.0,
+                    ..RadioConfig::default()
+                },
+                ..EngineConfig::default()
+            });
+            let a = e.add_node(
+                Box::new(Script::new(steps.clone())),
+                Pos::new(450.0, 0.0),
+                Mobility::Static,
+            );
+            let b = e.add_node(
+                Box::new(Script::new(steps.clone())),
+                Pos::new(550.0, 0.0),
+                Mobility::Static,
+            );
+            // First kill lands amid the initial broadcast exchange
+            // (deliveries depart at t=0 and arrive ≥ 1 ms later); the
+            // second mops up mid-conversation.
+            e.kill_at(b, SimTime(1_200));
+            e.kill_at(a, SimTime(5_000_000));
+            e.run_until(SimTime(10_000_000));
+            let m = e.metrics();
+            (
+                e.protocol_as::<Script>(a).log.clone(),
+                e.protocol_as::<Script>(b).log.clone(),
+                m.counter("phy.rx_frames"),
+                m.counter("phy.rx_dropped_dead"),
+                e.events_processed(),
+            )
+        };
+        let single = run(ExecMode::Single);
+        assert!(
+            single.3 > 0,
+            "no delivery raced the kill — vacuous edge case: {single:?}"
+        );
+        for k in [2, 3, 8] {
+            assert_eq!(
+                single,
+                run(ExecMode::Sharded(k)),
+                "kill-race universe diverged under sharded({k})"
+            );
         }
     }
 }

@@ -6,6 +6,7 @@
 
 pub mod prelude {
     pub use crate::IntoParallelRefIterator;
+    pub use crate::IntoParallelRefMutIterator;
 }
 
 /// Entry point: borrow a collection as a parallel iterator.
@@ -70,6 +71,64 @@ impl<'a, T: Sync, F> ParMap<'a, T, F> {
     }
 }
 
+/// Entry point: borrow a collection as a mutable parallel iterator.
+pub trait IntoParallelRefMutIterator<'a> {
+    type Item: Send + 'a;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, Self::Item>;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { slice: self }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { slice: self }
+    }
+}
+
+pub struct ParIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<T: Send> ParIterMut<'_, T> {
+    /// Apply `f` to every element, one chunk per core, on scoped
+    /// threads. With a single core (or a single element) this runs
+    /// inline on the calling thread — no spawn overhead — which is what
+    /// makes it safe to call once per fine-grained work unit.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut T) + Sync,
+    {
+        let n = self.slice.len();
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(n);
+        if threads <= 1 {
+            for item in self.slice.iter_mut() {
+                f(item);
+            }
+            return;
+        }
+        let chunk = n.div_ceil(threads);
+        let f = &f;
+        std::thread::scope(|scope| {
+            for part in self.slice.chunks_mut(chunk) {
+                scope.spawn(move || {
+                    for item in part {
+                        f(item);
+                    }
+                });
+            }
+        });
+    }
+}
+
 /// Apply `f` to every element on scoped threads, preserving input order.
 fn run_chunked<'a, T: Sync, R: Send, F: Fn(&'a T) -> R + Sync>(slice: &'a [T], f: &F) -> Vec<R> {
     let n = slice.len();
@@ -117,6 +176,22 @@ mod tests {
         let xs: Vec<u32> = vec![];
         let out: Vec<u32> = xs.par_iter().map(|&x| x).collect();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn par_iter_mut_touches_every_element_once() {
+        let mut xs: Vec<u64> = (0..1000).collect();
+        xs.par_iter_mut().for_each(|x| *x += 1);
+        assert_eq!(xs, (1..=1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_mut_on_empty_and_singleton() {
+        let mut none: Vec<u32> = vec![];
+        none.par_iter_mut().for_each(|x| *x = 7);
+        let mut one = vec![0u32];
+        one.par_iter_mut().for_each(|x| *x = 7);
+        assert_eq!(one, vec![7]);
     }
 
     #[test]
