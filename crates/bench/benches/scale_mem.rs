@@ -1,0 +1,187 @@
+//! Memory-diet microbenchmarks: the arena-backed route cache against
+//! the legacy owning-`Vec` layout it replaced, under S2-shaped churn —
+//! 10,000 nodes' worth of destinations cycling through insert, evict,
+//! and link-failure removal. The arena's win is allocator traffic (a
+//! recycled span instead of a malloc/free pair per route), which shows
+//! up here as wall time; the peak-RSS side of the diet is gated by the
+//! S3 exhibit and `tables -- --check-perf`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use manet_secure::config::CreditConfig;
+use manet_secure::credit::CreditManager;
+use manet_secure::routecache::{CachedRoute, RouteCache};
+use manet_secure::PlainDsrNode;
+use manet_sim::{SimDuration, SimTime};
+use manet_wire::Ipv6Addr;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::hint::black_box;
+
+/// Destination population: one route-cache worth of churn per S2-scale
+/// node, exercised as a single cache over 10k distinct destinations.
+const DESTS: usize = 10_000;
+const ROUNDS: u64 = 4;
+const TTL: SimDuration = SimDuration(60_000_000);
+
+/// The address population, drawn exactly like a plain scenario build
+/// (site-local prefix, random 64-bit interface id) so hashing and
+/// comparison costs match the simulation's.
+fn addresses() -> Vec<Ipv6Addr> {
+    let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(11);
+    (0..DESTS + 4)
+        .map(|_| PlainDsrNode::random_ip(&mut rng))
+        .collect()
+}
+
+fn relays_for(ips: &[Ipv6Addr], d: usize, round: u64) -> Vec<Ipv6Addr> {
+    // 1–3 relays, varying with the round so replacements are real
+    // inserts (distinct relay lists), not in-place refreshes.
+    let len = 1 + ((d as u64 + round) % 3) as usize;
+    (0..len).map(|i| ips[(d + i + 1) % ips.len()]).collect()
+}
+
+/// The pre-diet layout, reconstructed for comparison: every stored
+/// route owns its relay `Vec`, every insert allocates, every evict
+/// frees. Same bounds, eviction order, and selection filters as
+/// [`RouteCache`] — only the storage differs, so the measured gap is
+/// the storage cost.
+struct LegacyRouteCache {
+    ttl: SimDuration,
+    per_dest: usize,
+    routes: HashMap<Ipv6Addr, Vec<(Vec<Ipv6Addr>, SimTime)>>,
+}
+
+impl LegacyRouteCache {
+    fn new(ttl: SimDuration, per_dest: usize) -> Self {
+        LegacyRouteCache {
+            ttl,
+            per_dest,
+            routes: HashMap::new(),
+        }
+    }
+
+    fn insert(&mut self, dst: Ipv6Addr, relays: Vec<Ipv6Addr>, at: SimTime) {
+        let list = self.routes.entry(dst).or_default();
+        list.retain(|(r, _)| r != &relays);
+        while list.len() >= self.per_dest {
+            let oldest = list
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, (_, t))| (*t, *i))
+                .map(|(i, _)| i)
+                .expect("nonempty");
+            list.remove(oldest);
+        }
+        list.push((relays, at));
+    }
+
+    fn best(&self, dst: &Ipv6Addr, credits: &CreditManager, now: SimTime) -> Option<&[Ipv6Addr]> {
+        let fresh =
+            |at: SimTime| now.as_micros().saturating_sub(at.as_micros()) <= self.ttl.as_micros();
+        self.routes
+            .get(dst)?
+            .iter()
+            .filter(|(_, at)| fresh(*at))
+            .filter(|(r, _)| !credits.route_avoided(r))
+            .max_by(|(ra, _), (rb, _)| {
+                let (sa, sb) = if credits.enabled() {
+                    (credits.route_score(ra), credits.route_score(rb))
+                } else {
+                    (0, 0)
+                };
+                sa.cmp(&sb).then(rb.len().cmp(&ra.len()))
+            })
+            .map(|(r, _)| r.as_slice())
+    }
+}
+
+/// Insert/evict churn across 10k destinations: arena spans recycle,
+/// the legacy layout round-trips the global allocator per route.
+fn bench_route_churn(c: &mut Criterion) {
+    let ips = addresses();
+    let mut g = c.benchmark_group("scale_mem_route_churn");
+    g.sample_size(10);
+    g.bench_function("arena_10k", |b| {
+        b.iter(|| {
+            let mut cache = RouteCache::with_caps(TTL, 2, DESTS);
+            for round in 0..ROUNDS {
+                for d in 0..DESTS {
+                    cache.insert(
+                        ips[d],
+                        CachedRoute {
+                            relays: relays_for(&ips, d, round),
+                            d_proof: None,
+                            learned_at: SimTime(round * 1_000),
+                        },
+                    );
+                }
+            }
+            black_box(cache.arena_backing_len())
+        });
+    });
+    g.bench_function("legacy_10k", |b| {
+        b.iter(|| {
+            let mut cache = LegacyRouteCache::new(TTL, 2);
+            for round in 0..ROUNDS {
+                for d in 0..DESTS {
+                    cache.insert(ips[d], relays_for(&ips, d, round), SimTime(round * 1_000));
+                }
+            }
+            black_box(cache.routes.len())
+        });
+    });
+    g.finish();
+}
+
+/// Lookup-heavy mix after the churn settles: `best` is the forwarding
+/// hot path, so the arena's contiguous spans must not cost reads what
+/// they saved on writes.
+fn bench_route_lookup(c: &mut Criterion) {
+    let ips = addresses();
+    let mut g = c.benchmark_group("scale_mem_route_lookup");
+    g.sample_size(10);
+    let credits = CreditManager::new(CreditConfig::default());
+
+    let mut arena = RouteCache::with_caps(TTL, 2, DESTS);
+    let mut legacy = LegacyRouteCache::new(TTL, 2);
+    for round in 0..ROUNDS {
+        for d in 0..DESTS {
+            arena.insert(
+                ips[d],
+                CachedRoute {
+                    relays: relays_for(&ips, d, round),
+                    d_proof: None,
+                    learned_at: SimTime(round * 1_000),
+                },
+            );
+            legacy.insert(ips[d], relays_for(&ips, d, round), SimTime(round * 1_000));
+        }
+    }
+
+    g.bench_function("arena_10k", |b| {
+        b.iter(|| {
+            let mut hops = 0usize;
+            for ip in ips.iter().take(DESTS) {
+                if let Some(r) = arena.best(ip, &credits, SimTime(ROUNDS * 1_000)) {
+                    hops += r.relays.len();
+                }
+            }
+            black_box(hops)
+        });
+    });
+    g.bench_function("legacy_10k", |b| {
+        b.iter(|| {
+            let mut hops = 0usize;
+            for ip in ips.iter().take(DESTS) {
+                if let Some(r) = legacy.best(ip, &credits, SimTime(ROUNDS * 1_000)) {
+                    hops += r.len();
+                }
+            }
+            black_box(hops)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_route_churn, bench_route_lookup);
+criterion_main!(benches);

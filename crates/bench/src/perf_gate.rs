@@ -1,16 +1,23 @@
 //! The CI perf-regression gate: `tables -- --check-perf`.
 //!
-//! Re-runs the quick-mode S1 (2k, grid) and S2 (10k, plain) cells and
-//! compares their **engine** events/sec — lifetime events over wall
-//! time spent inside `Engine::run_until`, so scenario construction,
-//! flow picking, and key generation don't pollute the signal — against
-//! the committed baseline in `bench/baselines/BENCH_scale.baseline.json`.
-//! A fresh rate more than `tolerance` below baseline fails the check
-//! (exit 1 from the binary); wall-clock noise that doesn't change the
-//! event count only moves this metric through genuine hot-path time.
+//! Re-runs the quick-mode S1 (2k, grid), S2 (10k, plain) and S3 (100k,
+//! plain, streaming stats) cells and compares their **engine**
+//! events/sec — lifetime events over wall time spent inside
+//! `Engine::run_until`, so scenario construction, flow picking, and key
+//! generation don't pollute the signal — against the committed baseline
+//! in `bench/baselines/BENCH_scale.baseline.json`. A fresh rate more
+//! than `tolerance` below baseline fails the check (exit 1 from the
+//! binary); wall-clock noise that doesn't change the event count only
+//! moves this metric through genuine hot-path time.
 //!
-//! S1's quick cell is short, so its rate is taken best-of-two; S2 runs
-//! several wall-seconds and is stable as a single sample.
+//! S3 additionally gates **peak RSS** (`VmHWM` after the 100k cell, the
+//! biggest thing this process ever builds) with the comparison
+//! *inverted*: a fresh peak more than `tolerance` *above* baseline
+//! fails. That is the memory-diet ratchet — an accidental per-node
+//! `Vec` or un-interned map shows up here long before it OOMs CI.
+//!
+//! S1's quick cell is short, so its rate is taken best-of-two; S2 and
+//! S3 run several wall-seconds and are stable as single samples.
 //!
 //! Knobs (environment):
 //! * `PERF_BASELINE_JSON` — baseline path override (tests use this);
@@ -22,7 +29,7 @@
 //! fresh runs on the current machine.
 
 use crate::jsonscan::read_number;
-use crate::scale_exhibits::{run_s2_plain, s1_quick_report};
+use crate::scale_exhibits::{run_s2_plain, run_s3, s1_quick_report};
 use crate::table::Table;
 
 pub const DEFAULT_BASELINE_PATH: &str = "bench/baselines/BENCH_scale.baseline.json";
@@ -51,9 +58,20 @@ fn parse_tolerance(raw: Option<String>) -> Result<f64, String> {
     Ok(v)
 }
 
-/// Fresh quick-mode engine rates: S1 single (best-of-two), S1 sharded
-/// (best-of-two, 8 bands), S2 single.
-fn fresh_rates() -> (f64, f64, f64) {
+/// Fresh quick-mode measurements: S1 single (best-of-two), S1 sharded
+/// (best-of-two, 8 bands), S2 single, S3 single plus its peak RSS.
+struct FreshCells {
+    s1: f64,
+    s1_sharded: f64,
+    s2: f64,
+    s3: f64,
+    /// `VmHWM` sampled after the S3 run — the 100k scenario dwarfs the
+    /// earlier cells, so the process-lifetime peak is S3's. `None` off
+    /// Linux.
+    s3_peak_rss: Option<u64>,
+}
+
+fn fresh_cells() -> FreshCells {
     use manet_sim::ExecMode;
     let s1 = s1_quick_report(ExecMode::Single)
         .events_per_sec_engine
@@ -62,7 +80,16 @@ fn fresh_rates() -> (f64, f64, f64) {
         .events_per_sec_engine
         .max(s1_quick_report(ExecMode::Sharded(8)).events_per_sec_engine);
     let s2 = run_s2_plain(ExecMode::Single, true, 1).events_per_sec_engine;
-    (s1, s1_sharded, s2)
+    // S3 runs last: its peak-RSS sample must not be inflated by a
+    // later, larger allocation (nothing after it is larger).
+    let s3_report = run_s3(ExecMode::Single, true, 1);
+    FreshCells {
+        s1,
+        s1_sharded,
+        s2,
+        s3: s3_report.events_per_sec_engine,
+        s3_peak_rss: s3_report.peak_rss_bytes,
+    }
 }
 
 /// Run the check. Returns the rendered report and whether it passed.
@@ -79,35 +106,41 @@ pub fn check(path: &str) -> (String, bool) {
             false,
         );
     };
-    let (Some(base_s1), Some(base_s1_sharded), Some(base_s2)) = (
+    let (Some(base_s1), Some(base_s1_sharded), Some(base_s2), Some(base_s3)) = (
         read_number(&text, "s1_events_per_sec_engine"),
         read_number(&text, "s1_sharded_events_per_sec_engine"),
         read_number(&text, "s2_events_per_sec_engine"),
+        read_number(&text, "s3_events_per_sec_engine"),
     ) else {
         return (format!("perf gate: baseline at {path} is malformed"), false);
     };
-    let (fresh_s1, fresh_s1_sharded, fresh_s2) = fresh_rates();
+    // `null` (baseline written off-Linux) reads back as NaN: present
+    // but unusable, so the RSS row is skipped rather than failed.
+    let base_s3_rss = read_number(&text, "s3_peak_rss_bytes");
+    let fresh = fresh_cells();
 
     let mut pass = true;
     let mut t = Table::new(
         format!(
-            "perf gate — engine events/sec vs baseline (tolerance −{:.0}%)",
+            "perf gate — engine events/sec (−{:.0}%) and S3 peak RSS (+{:.0}%) vs baseline",
+            tol * 100.0,
             tol * 100.0
         ),
         &["cell", "baseline", "fresh", "ratio", "verdict"],
     );
-    for (cell, base, fresh) in [
-        ("S1 (2k grid)", base_s1, fresh_s1),
-        ("S1 (2k sharded:8)", base_s1_sharded, fresh_s1_sharded),
-        ("S2 (10k plain)", base_s2, fresh_s2),
+    for (cell, base, fresh_v) in [
+        ("S1 (2k grid)", base_s1, fresh.s1),
+        ("S1 (2k sharded:8)", base_s1_sharded, fresh.s1_sharded),
+        ("S2 (10k plain)", base_s2, fresh.s2),
+        ("S3 (100k streaming)", base_s3, fresh.s3),
     ] {
-        let ratio = fresh / base;
+        let ratio = fresh_v / base;
         let ok = ratio >= 1.0 - tol;
         pass &= ok;
         t.rowv(vec![
             cell.to_string(),
             format!("{base:.0}"),
-            format!("{fresh:.0}"),
+            format!("{fresh_v:.0}"),
             format!("{ratio:.2}×"),
             if ok {
                 "ok".to_string()
@@ -116,8 +149,34 @@ pub fn check(path: &str) -> (String, bool) {
             },
         ]);
     }
-    if fresh_s1 > base_s1 * (1.0 + tol) && fresh_s2 > base_s2 * (1.0 + tol) {
-        t.note("both cells beat baseline by more than the tolerance — consider `--write-baseline` to ratchet");
+    // The memory cell: more is worse, so the comparison inverts.
+    match (base_s3_rss.filter(|v| v.is_finite()), fresh.s3_peak_rss) {
+        (Some(base), Some(rss)) => {
+            let rss = rss as f64;
+            let ratio = rss / base;
+            let ok = ratio <= 1.0 + tol;
+            pass &= ok;
+            t.rowv(vec![
+                "S3 peak RSS".to_string(),
+                format!("{:.0} MiB", base / (1024.0 * 1024.0)),
+                format!("{:.0} MiB", rss / (1024.0 * 1024.0)),
+                format!("{ratio:.2}×"),
+                if ok {
+                    "ok".to_string()
+                } else {
+                    format!("REGRESSION (>{:.0}% above baseline)", tol * 100.0)
+                },
+            ]);
+        }
+        (None, _) => {
+            t.note("S3 peak RSS: no usable baseline value — memory cell skipped");
+        }
+        (_, None) => {
+            t.note("S3 peak RSS: unavailable on this platform — memory cell skipped");
+        }
+    }
+    if fresh.s1 > base_s1 * (1.0 + tol) && fresh.s2 > base_s2 * (1.0 + tol) {
+        t.note("cells beat baseline by more than the tolerance — consider `--write-baseline` to ratchet");
     }
     t.note(format!("baseline: {path}"));
     (t.render(), pass)
@@ -125,25 +184,31 @@ pub fn check(path: &str) -> (String, bool) {
 
 /// Regenerate the baseline file from fresh runs on this machine.
 pub fn write_baseline(path: &str) -> std::io::Result<String> {
-    let (s1, s1_sharded, s2) = fresh_rates();
+    let fresh = fresh_cells();
     if let Some(dir) = std::path::Path::new(path).parent() {
         std::fs::create_dir_all(dir)?;
     }
+    let rss = fresh
+        .s3_peak_rss
+        .map_or_else(|| "null".to_string(), |u| u.to_string());
     let body = format!(
         concat!(
             "{{\n",
-            "  \"comment\": \"engine events/sec baselines for `tables -- --check-perf` (quick-mode S1 grid single+sharded and S2 plain cells; regenerate with `tables -- --write-baseline` when the hot path legitimately changes or CI hardware does)\",\n",
+            "  \"comment\": \"engine events/sec + S3 peak-RSS baselines for `tables -- --check-perf` (quick-mode S1 grid single+sharded, S2 plain, S3 streaming cells; regenerate with `tables -- --write-baseline` when the hot path or memory layout legitimately changes, or CI hardware does)\",\n",
             "  \"quick\": true,\n",
             "  \"s1_events_per_sec_engine\": {:.0},\n",
             "  \"s1_sharded_events_per_sec_engine\": {:.0},\n",
-            "  \"s2_events_per_sec_engine\": {:.0}\n",
+            "  \"s2_events_per_sec_engine\": {:.0},\n",
+            "  \"s3_events_per_sec_engine\": {:.0},\n",
+            "  \"s3_peak_rss_bytes\": {}\n",
             "}}\n"
         ),
-        s1, s1_sharded, s2
+        fresh.s1, fresh.s1_sharded, fresh.s2, fresh.s3, rss
     );
     std::fs::write(path, &body)?;
     Ok(format!(
-        "wrote {path}: s1 {s1:.0} ev/s, s1 sharded {s1_sharded:.0} ev/s, s2 {s2:.0} ev/s"
+        "wrote {path}: s1 {:.0} ev/s, s1 sharded {:.0} ev/s, s2 {:.0} ev/s, s3 {:.0} ev/s, s3 peak rss {rss} B",
+        fresh.s1, fresh.s1_sharded, fresh.s2, fresh.s3
     ))
 }
 
@@ -153,7 +218,7 @@ mod tests {
 
     #[test]
     fn baseline_numbers_parse_from_our_own_format() {
-        let text = "{\n  \"comment\": \"x\",\n  \"quick\": true,\n  \"s1_events_per_sec_engine\": 2500000,\n  \"s1_sharded_events_per_sec_engine\": 2400000,\n  \"s2_events_per_sec_engine\": 1400000\n}\n";
+        let text = "{\n  \"comment\": \"x\",\n  \"quick\": true,\n  \"s1_events_per_sec_engine\": 2500000,\n  \"s1_sharded_events_per_sec_engine\": 2400000,\n  \"s2_events_per_sec_engine\": 1400000,\n  \"s3_events_per_sec_engine\": 1300000,\n  \"s3_peak_rss_bytes\": 900000000\n}\n";
         assert_eq!(
             read_number(text, "s1_events_per_sec_engine"),
             Some(2_500_000.0)
@@ -166,6 +231,21 @@ mod tests {
             read_number(text, "s2_events_per_sec_engine"),
             Some(1_400_000.0)
         );
+        assert_eq!(
+            read_number(text, "s3_events_per_sec_engine"),
+            Some(1_300_000.0)
+        );
+        assert_eq!(read_number(text, "s3_peak_rss_bytes"), Some(900_000_000.0));
+    }
+
+    #[test]
+    fn null_rss_baseline_reads_as_nan_and_skips_the_memory_cell() {
+        // An off-Linux `--write-baseline` spells the RSS cell null; the
+        // gate must treat it as absent, not compare against NaN.
+        let text = "{\"s3_peak_rss_bytes\": null}";
+        let v = read_number(text, "s3_peak_rss_bytes").expect("present");
+        assert!(v.is_nan());
+        assert_eq!(v.is_finite().then_some(v), None, "NaN must filter out");
     }
 
     #[test]
@@ -201,6 +281,23 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("bad.json");
         std::fs::write(&path, "{\"quick\": true}").unwrap();
+        let (msg, pass) = check(path.to_str().unwrap());
+        assert!(!pass);
+        assert!(msg.contains("malformed"), "{msg}");
+    }
+
+    #[test]
+    fn pre_s3_baseline_is_rejected_as_malformed() {
+        // A baseline from before the memory diet lacks the s3 keys; the
+        // gate must demand a rebaseline instead of silently passing.
+        let dir = std::env::temp_dir().join("perf_gate_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("old.json");
+        std::fs::write(
+            &path,
+            "{\n  \"quick\": true,\n  \"s1_events_per_sec_engine\": 1,\n  \"s1_sharded_events_per_sec_engine\": 1,\n  \"s2_events_per_sec_engine\": 1\n}\n",
+        )
+        .unwrap();
         let (msg, pass) = check(path.to_str().unwrap());
         assert!(!pass);
         assert!(msg.contains("malformed"), "{msg}");

@@ -15,12 +15,21 @@
 //! scale-level wheel-vs-heap differential gate, mirroring how S1 gates
 //! grid-vs-linear.
 //!
-//! Both write into one machine-readable `BENCH_scale.json` (an `"s1"`
-//! and an `"s2"` section, each exhibit preserving the other's last
-//! same-mode record), so the perf trajectory is recorded run over run;
-//! CI uploads it as an artifact and `tables -- --check-perf` compares
-//! the engine events/sec numbers against the committed baseline in
-//! `bench/baselines/`.
+//! **S3**: the memory-diet exhibit — 100,000 plain-DSR nodes in quick
+//! mode (1,000,000 in full mode, the stretch cell) with per-node stat
+//! detail disabled, so delivery and protocol totals come from the
+//! engine's streaming counters. Runs under both executors as a
+//! fingerprint gate and records **peak RSS** (`VmHWM`) next to engine
+//! events/sec: the number the arena/interning/SoA diet is accountable
+//! to, gated by `tables -- --check-perf` against the committed
+//! baseline.
+//!
+//! All three write into one machine-readable `BENCH_scale.json` (an
+//! `"s1"`, `"s2"` and `"s3"` section, each exhibit preserving the
+//! others' last same-mode records), so the perf trajectory is recorded
+//! run over run; CI uploads it as an artifact and `tables --
+//! --check-perf` compares the engine events/sec numbers (and S3's peak
+//! RSS) against the committed baseline in `bench/baselines/`.
 
 use crate::jsonscan::{extract_object, read_bool};
 use crate::table::Table;
@@ -48,6 +57,18 @@ fn s2_secure_hosts(quick: bool) -> usize {
         250
     } else {
         1000
+    }
+}
+
+/// The S3 population size: 100k in quick mode, the 1M stretch cell in
+/// full mode. Same `scale_family` shape as S1/S2 — what changes is the
+/// storage regime (per-node stat detail off, aggregate counters only),
+/// so the exhibit measures the memory diet, not a different protocol.
+fn s3_hosts(quick: bool) -> usize {
+    if quick {
+        100_000
+    } else {
+        1_000_000
     }
 }
 
@@ -128,6 +149,37 @@ fn run_s2_secure(queue: QueueImpl, quick: bool, seed: u64) -> (RunReport, bool) 
     report.wall_s = t0.elapsed().as_secs_f64();
     report.events_per_sec = report.events as f64 / report.wall_s;
     (report, all_ready)
+}
+
+/// The S3 cell: the S1 shape at 100k (quick) or 1M (full) hosts, with
+/// per-node stat detail off — delivery and totals are read back from
+/// the engine's streaming counters, so report assembly allocates
+/// nothing per node. `peak_rss_bytes` in the returned report is the
+/// process-lifetime `VmHWM` sampled after the run.
+pub(crate) fn run_s3(exec: ExecMode, quick: bool, seed: u64) -> RunReport {
+    let n = s3_hosts(quick);
+    let (n_flows, packets) = if quick { (16, 2) } else { (24, 3) };
+
+    let t0 = Instant::now();
+    let mut net = scale_family(n, seed)
+        .channel(ChannelMode::Grid)
+        .exec(exec)
+        // Room proportional to population: the default 50M runaway cap
+        // is sized for ≤10k nodes, and S3's mobility ticks alone pass it.
+        .max_events(n as u64 * 20_000)
+        .plain()
+        .tune(|c| c.per_node_stats = false)
+        .build();
+    net.engine.run_until(SimTime(2_000_000));
+    let flows = net.scale_flows(n_flows);
+    let mut report = net.run(&Workload::flows(
+        flows,
+        packets,
+        SimDuration::from_millis(400),
+    ));
+    report.wall_s = t0.elapsed().as_secs_f64();
+    report.events_per_sec = report.events as f64 / report.wall_s;
+    report
 }
 
 /// Wall seconds of one quick-or-full S1 run under the grid channel —
@@ -313,6 +365,80 @@ pub fn exhibit_s2(quick: bool) -> String {
     t.render()
 }
 
+/// S3: the memory-diet run — 100k (quick) / 1M (full) plain-DSR nodes
+/// with per-node stat detail off, under both executors, reporting peak
+/// RSS next to throughput.
+pub fn exhibit_s3(quick: bool) -> String {
+    let seed = 1;
+    let n = s3_hosts(quick);
+    let single = run_s3(ExecMode::Single, quick, seed);
+    let sharded = run_s3(ExecMode::Sharded(EXHIBIT_SHARDS), quick, seed);
+
+    // Differential gate: aggregate-counter reports under both executors
+    // must describe one universe, down to the counter-derived totals.
+    assert_eq!(
+        single.fingerprint(),
+        sharded.fingerprint(),
+        "sharded and single executors diverged at {n} — determinism invariant broken"
+    );
+
+    let mib = |b: Option<u64>| match b {
+        Some(b) => format!("{:.0}", b as f64 / (1024.0 * 1024.0)),
+        None => "—".to_string(),
+    };
+    let per_node = |b: Option<u64>| match b {
+        Some(b) => format!("{:.0}", b as f64 / n as f64),
+        None => "—".to_string(),
+    };
+    let mut t = Table::new(
+        format!(
+            "S3 — memory diet: {n} plain-DSR nodes, streaming stats ({} mode)",
+            if quick { "quick" } else { "full" }
+        ),
+        &[
+            "cell",
+            "wall (s)",
+            "events",
+            "events/s",
+            "ev/s engine",
+            "delivery",
+            "peak RSS (MiB)",
+            "bytes/node",
+        ],
+    );
+    for (name, r) in [("single", &single), ("sharded:8", &sharded)] {
+        t.rowv(vec![
+            name.to_string(),
+            format!("{:.2}", r.wall_s),
+            r.events.to_string(),
+            format!("{:.0}", r.events_per_sec),
+            format!("{:.0}", r.events_per_sec_engine),
+            format!("{:.3}", r.delivery_or_nan()),
+            mib(r.peak_rss_bytes),
+            per_node(r.peak_rss_bytes),
+        ]);
+    }
+    t.note(
+        "per-node stat detail off: delivery and totals come from the engine's \
+         streaming counters (identical fingerprint to the detailed path — gated in tests)",
+    );
+    t.note(
+        "peak RSS is the process-lifetime VmHWM: the sharded cell's sample includes \
+         the single cell's footprint, so the first cell is the diet's headline",
+    );
+    t.note(format!(
+        "{} of {} nodes killed mid-run; flows chosen inside the largest radio component",
+        single.nodes_killed, n
+    ));
+
+    let section = s3_section_json(n, &single, &sharded);
+    match write_scale_section(&scale_json_path(), "s3", &section, quick) {
+        Err(e) => t.note(format!("BENCH_scale.json not written: {e}")),
+        Ok(()) => t.note(format!("wrote {} (s3 section)", scale_json_path())),
+    };
+    t.render()
+}
+
 fn scale_json_path() -> String {
     std::env::var("BENCH_SCALE_JSON").unwrap_or_else(|_| "BENCH_scale.json".to_string())
 }
@@ -390,28 +516,51 @@ fn s2_section_json(
     )
 }
 
+fn s3_section_json(n: usize, single: &RunReport, sharded: &RunReport) -> String {
+    // Section-level peak RSS: the later (sharded) sample is the
+    // process max over both cells — the number the perf gate tracks.
+    let rss = sharded
+        .peak_rss_bytes
+        .or(single.peak_rss_bytes)
+        .map_or_else(|| "null".to_string(), |u| u.to_string());
+    format!(
+        concat!(
+            "{{\n",
+            "    \"n_hosts\": {},\n",
+            "    \"per_node_stats\": false,\n",
+            "    \"single\": {},\n",
+            "    \"sharded\": {},\n",
+            "    \"peak_rss_bytes\": {}\n",
+            "  }}"
+        ),
+        n,
+        single.to_json(),
+        sharded.to_json(),
+        rss,
+    )
+}
+
+/// Every section key of `BENCH_scale.json`, in serialization order.
+/// S1 first is a contract: the V1 exhibit's naive reader takes the
+/// file's first `"grid"` object as S1's.
+const SCALE_KEYS: [&str; 3] = ["s1", "s2", "s3"];
+
 /// Write one exhibit's section into the scale JSON at `path`,
-/// preserving the other exhibit's last record when it was produced in
-/// the same mode (quick and full are different workloads; their numbers
-/// must not cohabit one file).
+/// preserving the other exhibits' last records when they were produced
+/// in the same mode (quick and full are different workloads; their
+/// numbers must not cohabit one file).
 fn write_scale_section(path: &str, key: &str, section: &str, quick: bool) -> std::io::Result<()> {
     let existing = std::fs::read_to_string(path).unwrap_or_default();
     let same_mode = read_bool(&existing, "quick") == Some(quick);
-    let other_key = if key == "s1" { "s2" } else { "s1" };
-    let other = if same_mode {
-        extract_object(&existing, other_key)
-    } else {
-        None
-    };
-    // S1 always serializes first: the V1 exhibit's naive reader takes
-    // the file's first `"grid"` object as S1's.
-    let (first, second) = if key == "s1" {
-        (Some(section.to_string()), other)
-    } else {
-        (other, Some(section.to_string()))
-    };
     let mut body = format!("{{\n  \"quick\": {quick}");
-    for (k, v) in [("s1", first), ("s2", second)] {
+    for k in SCALE_KEYS {
+        let v = if k == key {
+            Some(section.to_string())
+        } else if same_mode {
+            extract_object(&existing, k)
+        } else {
+            None
+        };
         if let Some(v) = v {
             body.push_str(&format!(",\n  \"{k}\": {v}"));
         }
@@ -448,23 +597,77 @@ mod tests {
 
         write_scale_section(path, "s1", "{\"v\": 1}", true).unwrap();
         write_scale_section(path, "s2", "{\"w\": 2}", true).unwrap();
-        // Re-writing s1 must keep the s2 record.
+        write_scale_section(path, "s3", "{\"m\": 7}", true).unwrap();
+        // Re-writing s1 must keep the s2 and s3 records.
         write_scale_section(path, "s1", "{\"v\": 3}", true).unwrap();
         let text = std::fs::read_to_string(path).unwrap();
         assert_eq!(extract_object(&text, "s1").as_deref(), Some("{\"v\": 3}"));
         assert_eq!(extract_object(&text, "s2").as_deref(), Some("{\"w\": 2}"));
+        assert_eq!(extract_object(&text, "s3").as_deref(), Some("{\"m\": 7}"));
         let s1_at = text.find("\"s1\"").unwrap();
         let s2_at = text.find("\"s2\"").unwrap();
+        let s3_at = text.find("\"s3\"").unwrap();
         assert!(
-            s1_at < s2_at,
-            "s1 must serialize before s2 (V1 reader contract)"
+            s1_at < s2_at && s2_at < s3_at,
+            "sections must serialize in S1, S2, S3 order (V1 reader contract)"
         );
 
-        // A mode switch drops the stale other-mode section.
+        // A mode switch drops the stale other-mode sections.
         write_scale_section(path, "s2", "{\"w\": 9}", false).unwrap();
         let text = std::fs::read_to_string(path).unwrap();
         assert_eq!(extract_object(&text, "s1"), None);
+        assert_eq!(extract_object(&text, "s3"), None);
         assert!(text.contains("\"quick\": false"));
+    }
+
+    #[test]
+    fn s3_section_round_trips_through_jsonscan() {
+        use crate::jsonscan::read_number;
+        // The perf gate and CI smoke both read the s3 section back with
+        // the naive scanners; pin that a real section parses.
+        let mut net = ScenarioBuilder::new()
+            .hosts(3)
+            .seed(7)
+            .plain()
+            .tune(|c| c.per_node_stats = false)
+            .build();
+        let single = net.run(&Workload::flows(
+            vec![(0, 2)],
+            2,
+            SimDuration::from_millis(200),
+        ));
+        let section = s3_section_json(3, &single, &single);
+        let doc = format!("{{\n  \"quick\": true,\n  \"s3\": {section}\n}}\n");
+        let s3 = extract_object(&doc, "s3").expect("s3 section extracts");
+        assert_eq!(read_number(&s3, "n_hosts"), Some(3.0));
+        let sub = extract_object(&s3, "single").expect("report extracts");
+        assert_eq!(read_number(&sub, "events"), Some(single.events as f64));
+        // On Linux the section-level RSS is a positive number; elsewhere
+        // the writer spells null, which reads back as present-but-NaN.
+        let rss = read_number(&s3, "peak_rss_bytes").expect("rss key present");
+        assert!(rss.is_nan() || rss > 0.0, "rss {rss}");
+    }
+
+    #[test]
+    fn stats_off_report_matches_stats_on_at_tiny_scale() {
+        // The S3 regime (aggregate counters, no per-node detail) must
+        // describe the same universe as the default detailed path: same
+        // fingerprint, including counter-derived delivery and totals.
+        let run = |detail: bool| {
+            let mut net = scale_family(24, 3)
+                .plain()
+                .tune(|c| c.per_node_stats = detail)
+                .build();
+            net.engine.run_until(SimTime(2_000_000));
+            let flows = net.scale_flows(3);
+            net.run(&Workload::flows(flows, 2, SimDuration::from_millis(400)))
+                .fingerprint()
+        };
+        assert_eq!(
+            run(true),
+            run(false),
+            "streaming stats diverged from detailed"
+        );
     }
 
     #[test]

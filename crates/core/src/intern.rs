@@ -1,0 +1,293 @@
+//! Network-wide interning of addresses and domain names.
+//!
+//! At S3 scale every per-node map keyed on a 16-byte [`Ipv6Addr`] (or a
+//! heap-allocated [`DomainName`]) pays for the key in every node that
+//! holds it. The scenario builder knows *all* addresses and names at
+//! build time (plain addresses are pre-drawn, secure identities and
+//! host names are generated before the engine starts), so it interns
+//! them once into a shared read-only [`InternTable`] and hands every
+//! node an `Arc` of it. Per-node maps then key on dense `u32` ids.
+//!
+//! Addresses that appear only at runtime (a secure node re-rolling its
+//! CGA after a DAD collision, an IP change, traffic from outside the
+//! build set) overflow into a small per-interner map with ids above the
+//! shared range — distinct unknown addresses never collapse onto each
+//! other, so id equality is exactly address equality.
+//!
+//! Ids are assigned in deterministic build order and are never compared
+//! for *order* anywhere observable: tie-breaks in eviction logic keep
+//! resolving through the actual addresses, so interning cannot perturb
+//! a seeded run.
+
+use crate::fxhash::FxHashMap;
+use manet_wire::{DomainName, Ipv6Addr};
+use std::sync::Arc;
+
+/// Shared build-time table: address ↔ id and name ↔ id, append-only.
+#[derive(Debug, Default)]
+pub struct InternTable {
+    addr_ids: FxHashMap<Ipv6Addr, u32>,
+    addrs: Vec<Ipv6Addr>,
+    name_ids: FxHashMap<DomainName, u32>,
+    names: Vec<DomainName>,
+}
+
+impl InternTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `a`, returning its stable id (idempotent).
+    pub fn intern_addr(&mut self, a: Ipv6Addr) -> u32 {
+        if let Some(&id) = self.addr_ids.get(&a) {
+            return id;
+        }
+        let id = u32::try_from(self.addrs.len()).expect("address count fits u32");
+        self.addrs.push(a);
+        self.addr_ids.insert(a, id);
+        id
+    }
+
+    /// Intern `n`, returning its stable id (idempotent).
+    pub fn intern_name(&mut self, n: &DomainName) -> u32 {
+        if let Some(&id) = self.name_ids.get(n) {
+            return id;
+        }
+        let id = u32::try_from(self.names.len()).expect("name count fits u32");
+        self.names.push(n.clone());
+        self.name_ids.insert(n.clone(), id);
+        id
+    }
+
+    pub fn addr_id(&self, a: &Ipv6Addr) -> Option<u32> {
+        self.addr_ids.get(a).copied()
+    }
+
+    pub fn name_id(&self, n: &DomainName) -> Option<u32> {
+        self.name_ids.get(n).copied()
+    }
+
+    pub fn addr(&self, id: u32) -> Option<Ipv6Addr> {
+        self.addrs.get(id as usize).copied()
+    }
+
+    pub fn name(&self, id: u32) -> Option<&DomainName> {
+        self.names.get(id as usize)
+    }
+
+    pub fn addr_count(&self) -> usize {
+        self.addrs.len()
+    }
+
+    pub fn name_count(&self) -> usize {
+        self.names.len()
+    }
+}
+
+/// Per-node address interner: shared table plus a private overflow
+/// range for addresses first seen at runtime.
+#[derive(Debug)]
+pub struct AddrInterner {
+    table: Arc<InternTable>,
+    extra_ids: FxHashMap<Ipv6Addr, u32>,
+    extra: Vec<Ipv6Addr>,
+}
+
+impl Default for AddrInterner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AddrInterner {
+    /// An interner over an empty shared table (standalone nodes, unit
+    /// tests): every address lands in the overflow range.
+    pub fn new() -> Self {
+        Self::with_table(Arc::new(InternTable::new()))
+    }
+
+    pub fn with_table(table: Arc<InternTable>) -> Self {
+        AddrInterner {
+            table,
+            extra_ids: FxHashMap::default(),
+            extra: Vec::new(),
+        }
+    }
+
+    /// Swap in the network-wide table. Only legal before any overflow
+    /// interning happened (the builder calls this right after node
+    /// construction), otherwise previously issued ids would be
+    /// reinterpreted.
+    pub fn set_table(&mut self, table: Arc<InternTable>) {
+        debug_assert!(
+            self.extra.is_empty(),
+            "set_table after runtime interning would remap issued ids"
+        );
+        self.table = table;
+    }
+
+    /// Id for `a`, interning into the overflow range if unknown.
+    pub fn id(&mut self, a: Ipv6Addr) -> u32 {
+        if let Some(id) = self.table.addr_id(&a) {
+            return id;
+        }
+        if let Some(&id) = self.extra_ids.get(&a) {
+            return id;
+        }
+        let base = u32::try_from(self.table.addr_count()).expect("table size fits u32");
+        let id = base
+            .checked_add(u32::try_from(self.extra.len()).expect("overflow count fits u32"))
+            .expect("interned id fits u32");
+        self.extra.push(a);
+        self.extra_ids.insert(a, id);
+        id
+    }
+
+    /// Id for `a` if already interned (non-mutating — the read-side
+    /// fast paths use this: unknown address ⇒ cannot be in any map).
+    pub fn lookup(&self, a: &Ipv6Addr) -> Option<u32> {
+        self.table
+            .addr_id(a)
+            .or_else(|| self.extra_ids.get(a).copied())
+    }
+
+    /// The address behind `id`.
+    pub fn addr(&self, id: u32) -> Option<Ipv6Addr> {
+        let base = self.table.addr_count() as u32;
+        if id < base {
+            self.table.addr(id)
+        } else {
+            self.extra.get((id - base) as usize).copied()
+        }
+    }
+}
+
+/// Per-holder domain-name interner (same overflow scheme as
+/// [`AddrInterner`]; the DNS server keys its registry on these ids).
+#[derive(Debug)]
+pub struct NameInterner {
+    table: Arc<InternTable>,
+    extra_ids: FxHashMap<DomainName, u32>,
+    extra: Vec<DomainName>,
+}
+
+impl Default for NameInterner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl NameInterner {
+    pub fn new() -> Self {
+        Self::with_table(Arc::new(InternTable::new()))
+    }
+
+    pub fn with_table(table: Arc<InternTable>) -> Self {
+        NameInterner {
+            table,
+            extra_ids: FxHashMap::default(),
+            extra: Vec::new(),
+        }
+    }
+
+    /// See [`AddrInterner::set_table`].
+    pub fn set_table(&mut self, table: Arc<InternTable>) {
+        debug_assert!(
+            self.extra.is_empty(),
+            "set_table after runtime interning would remap issued ids"
+        );
+        self.table = table;
+    }
+
+    pub fn id(&mut self, n: &DomainName) -> u32 {
+        if let Some(id) = self.table.name_id(n) {
+            return id;
+        }
+        if let Some(&id) = self.extra_ids.get(n) {
+            return id;
+        }
+        let base = u32::try_from(self.table.name_count()).expect("table size fits u32");
+        let id = base
+            .checked_add(u32::try_from(self.extra.len()).expect("overflow count fits u32"))
+            .expect("interned id fits u32");
+        self.extra.push(n.clone());
+        self.extra_ids.insert(n.clone(), id);
+        id
+    }
+
+    pub fn lookup(&self, n: &DomainName) -> Option<u32> {
+        self.table
+            .name_id(n)
+            .or_else(|| self.extra_ids.get(n).copied())
+    }
+
+    pub fn name(&self, id: u32) -> Option<&DomainName> {
+        let base = self.table.name_count() as u32;
+        if id < base {
+            self.table.name(id)
+        } else {
+            self.extra.get((id - base) as usize)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(last: u16) -> Ipv6Addr {
+        Ipv6Addr::from_groups([0xfec0, 0, 0, 0, 0, 0, 0, last])
+    }
+
+    fn dn(s: &str) -> DomainName {
+        DomainName::new(s).unwrap()
+    }
+
+    #[test]
+    fn table_ids_are_dense_and_stable() {
+        let mut t = InternTable::new();
+        assert_eq!(t.intern_addr(ip(1)), 0);
+        assert_eq!(t.intern_addr(ip(2)), 1);
+        assert_eq!(t.intern_addr(ip(1)), 0, "idempotent");
+        assert_eq!(t.addr(1), Some(ip(2)));
+        assert_eq!(t.intern_name(&dn("a.manet")), 0);
+        assert_eq!(t.intern_name(&dn("b.manet")), 1);
+        assert_eq!(t.name(0), Some(&dn("a.manet")));
+    }
+
+    #[test]
+    fn overflow_ids_start_past_table_range() {
+        let mut t = InternTable::new();
+        t.intern_addr(ip(1));
+        t.intern_addr(ip(2));
+        let mut i = AddrInterner::with_table(Arc::new(t));
+        assert_eq!(i.id(ip(2)), 1, "shared range");
+        assert_eq!(i.id(ip(50)), 2, "first overflow id");
+        assert_eq!(i.id(ip(51)), 3);
+        assert_eq!(i.id(ip(50)), 2, "overflow idempotent");
+        assert_eq!(i.addr(3), Some(ip(51)));
+        assert_eq!(i.lookup(&ip(60)), None, "lookup never interns");
+    }
+
+    #[test]
+    fn distinct_unknowns_never_collide() {
+        let mut i = AddrInterner::new();
+        let ids: Vec<u32> = (0..100u16).map(|k| i.id(ip(k))).collect();
+        let mut dedup = ids.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 100);
+    }
+
+    #[test]
+    fn name_interner_roundtrip() {
+        let mut t = InternTable::new();
+        t.intern_name(&dn("h0.manet"));
+        let mut i = NameInterner::with_table(Arc::new(t));
+        assert_eq!(i.id(&dn("h0.manet")), 0);
+        let late = i.id(&dn("late.manet"));
+        assert_eq!(late, 1);
+        assert_eq!(i.name(late), Some(&dn("late.manet")));
+        assert_eq!(i.lookup(&dn("missing.manet")), None);
+    }
+}

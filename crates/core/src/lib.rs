@@ -25,6 +25,7 @@
 //! assert!(report.delivery_ratio.unwrap() > 0.9);
 //! ```
 
+pub mod arena;
 pub mod attacks;
 pub mod config;
 pub mod credit;
@@ -32,11 +33,13 @@ pub mod dns;
 pub mod envelope;
 pub(crate) mod fxhash;
 pub mod identity;
+pub mod intern;
 pub mod neighbor;
 pub mod node;
 pub mod plain;
 pub mod routecache;
 pub mod scenario;
+pub mod sendbuf;
 pub mod stats;
 
 pub use config::{Behavior, CreditConfig, ProtocolConfig};
@@ -48,4 +51,4 @@ pub use identity::{
 pub use node::SecureNode;
 pub use plain::PlainDsrNode;
 pub use scenario::{Network, NodeApi, RunReport, ScenarioBuilder, Workload};
-pub use stats::NodeStats;
+pub use stats::{NodeStats, ResolvedCache};

@@ -8,17 +8,24 @@
 //! the protocol's RERR trigger.
 
 use crate::fxhash::FxHashMap;
+use crate::intern::{AddrInterner, InternTable};
 use manet_sim::{NodeId, SimDuration, SimTime};
 use manet_wire::Ipv6Addr;
+use std::sync::Arc;
 
 /// Default entry lifetime.
 pub const DEFAULT_TTL: SimDuration = SimDuration(30_000_000); // 30 s
 
 /// IPv6 → link neighbor mapping with last-heard timestamps.
+///
+/// Entries key on interned `u32` address ids (shared network-wide
+/// table + per-cache overflow), so at S3 scale the map holds 4-byte
+/// keys instead of 16-byte addresses.
 #[derive(Debug)]
 pub struct NeighborCache {
     ttl: SimDuration,
-    entries: FxHashMap<Ipv6Addr, (NodeId, SimTime)>,
+    interner: AddrInterner,
+    entries: FxHashMap<u32, (NodeId, SimTime)>,
 }
 
 impl Default for NeighborCache {
@@ -31,8 +38,15 @@ impl NeighborCache {
     pub fn new(ttl: SimDuration) -> Self {
         NeighborCache {
             ttl,
+            interner: AddrInterner::new(),
             entries: FxHashMap::default(),
         }
+    }
+
+    /// Adopt the network-wide intern table (builder-time only, before
+    /// any entries exist).
+    pub fn set_intern_table(&mut self, table: Arc<InternTable>) {
+        self.interner.set_table(table);
     }
 
     /// Record that `ip` was heard transmitting as link node `node` at `now`.
@@ -41,12 +55,14 @@ impl NeighborCache {
         if ip.is_unspecified() {
             return;
         }
-        self.entries.insert(ip, (node, now));
+        let id = self.interner.id(ip);
+        self.entries.insert(id, (node, now));
     }
 
     /// Look up the link node for `ip` if the entry is still fresh.
     pub fn lookup(&self, ip: &Ipv6Addr, now: SimTime) -> Option<NodeId> {
-        self.entries.get(ip).and_then(|&(node, heard)| {
+        let id = self.interner.lookup(ip)?;
+        self.entries.get(&id).and_then(|&(node, heard)| {
             if now.as_micros().saturating_sub(heard.as_micros()) <= self.ttl.as_micros() {
                 Some(node)
             } else {
@@ -57,7 +73,9 @@ impl NeighborCache {
 
     /// Drop an entry (e.g. after a link failure to that neighbor).
     pub fn forget(&mut self, ip: &Ipv6Addr) {
-        self.entries.remove(ip);
+        if let Some(id) = self.interner.lookup(ip) {
+            self.entries.remove(&id);
+        }
     }
 
     /// Number of (possibly stale) entries.

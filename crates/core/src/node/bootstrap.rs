@@ -80,7 +80,7 @@ impl SecureNode {
             format!("address {} confirmed", self.ident.ip()),
         );
         // Kick route discovery for everything queued while bootstrapping.
-        let dests: HashSet<Ipv6Addr> = self.send_buffer.iter().map(|(d, _)| *d).collect();
+        let dests: HashSet<Ipv6Addr> = self.send_buffer.dests().collect();
         for d in dests {
             self.ensure_route(ctx, d);
         }
@@ -102,7 +102,8 @@ impl SecureNode {
         if self.my_dad_probes.contains(&(areq.seq.0, areq.ch.0)) {
             return; // an echo of our own probe
         }
-        if !self.seen_areqs.insert((areq.sip, areq.seq.0, areq.ch.0)) {
+        let sid = self.interner.id(areq.sip);
+        if !self.seen_areqs.insert((sid, areq.seq.0, areq.ch.0)) {
             return;
         }
         if let NodeState::Dad { seq, .. } = self.state {
@@ -207,7 +208,7 @@ impl SecureNode {
         if let Some(path) = self.path_to(ctx.now(), &dns_ip) {
             self.send_routed(ctx, path, Message::Arep(warning));
         } else {
-            self.enqueue(ctx, dns_ip, Queued::ArepWarning { arep: warning });
+            self.enqueue(ctx, dns_ip, Queued::ArepWarning { arep: warning }, &[]);
             self.ensure_route(ctx, dns_ip);
         }
     }

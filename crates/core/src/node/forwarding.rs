@@ -9,7 +9,6 @@ use manet_wire::{
     sigdata, Ack, Data, DnsQuery, IpChangeRequest, Ipv6Addr, Message, RouteRecord, Seq, UNSPECIFIED,
 };
 use rand::Rng;
-use std::collections::VecDeque;
 
 impl SecureNode {
     // --- application API (call via `Engine::with_protocol`) ---------------
@@ -20,26 +19,29 @@ impl SecureNode {
         ctx.count("app.data_sent", 1);
         let seq = self.alloc_seq();
         if !self.is_ready() {
-            self.enqueue(ctx, dip, Queued::Data { seq, payload });
+            self.enqueue(ctx, dip, Queued::Data { seq }, &payload);
             return;
         }
         if !self.try_send_data(ctx, seq, dip, payload.clone(), 0) {
-            self.enqueue(ctx, dip, Queued::Data { seq, payload });
+            self.enqueue(ctx, dip, Queued::Data { seq }, &payload);
             self.ensure_route(ctx, dip);
         }
     }
 
     // --- transmission plumbing --------------------------------------------
 
-    pub(super) fn enqueue(&mut self, ctx: &mut Ctx, dest: Ipv6Addr, q: Queued) {
+    /// Queue `q` for `dest`; `payload` is the data bytes for a
+    /// [`Queued::Data`] entry (empty for control variants) and is
+    /// copied into the buffer arena.
+    pub(super) fn enqueue(&mut self, ctx: &mut Ctx, dest: Ipv6Addr, q: Queued, payload: &[u8]) {
         if self.send_buffer.len() >= self.cfg.max_send_buffer {
             // Oldest-first drop; count the casualty if it was data.
-            if let Some((_, Queued::Data { .. })) = self.send_buffer.pop_front() {
+            if let Some((_, Queued::Data { .. })) = self.send_buffer.drop_front() {
                 self.stats.data_failed += 1;
                 ctx.count("app.data_failed", 1);
             }
         }
-        self.send_buffer.push_back((dest, q));
+        self.send_buffer.push_back(dest, q, payload);
     }
 
     /// Full forwarding path to `dip` from the route cache.
@@ -173,17 +175,20 @@ impl SecureNode {
 
     /// Flush queued work for `dest` after a route appeared.
     pub(super) fn flush_buffer(&mut self, ctx: &mut Ctx, dest: Ipv6Addr) {
-        let mut remaining = VecDeque::new();
-        let buffer = std::mem::take(&mut self.send_buffer);
-        for (d, q) in buffer {
+        // Full-length rotation over the arena-backed buffer: identical
+        // entry order and retry behavior to the old take-and-requeue
+        // loop, with payload spans recycled in place.
+        for _ in 0..self.send_buffer.len() {
+            let (d, q, payload) = self.send_buffer.pop_front().expect("within len");
             if d != dest {
-                remaining.push_back((d, q));
+                self.send_buffer.push_back(d, q, &payload);
                 continue;
             }
             match q {
-                Queued::Data { seq, payload } => {
+                Queued::Data { seq } => {
                     if !self.try_send_data(ctx, seq, d, payload.clone(), 0) {
-                        remaining.push_back((d, Queued::Data { seq, payload }));
+                        self.send_buffer
+                            .push_back(d, Queued::Data { seq }, &payload);
                     }
                 }
                 Queued::DnsQuery { qname, ch } => {
@@ -196,14 +201,16 @@ impl SecureNode {
                         });
                         self.send_routed(ctx, path, msg);
                     } else {
-                        remaining.push_back((d, Queued::DnsQuery { qname, ch }));
+                        self.send_buffer
+                            .push_back(d, Queued::DnsQuery { qname, ch }, &[]);
                     }
                 }
                 Queued::ArepWarning { arep } => {
                     if let Some(path) = self.path_to(ctx.now(), &d) {
                         self.send_routed(ctx, path, Message::Arep(arep));
                     } else {
-                        remaining.push_back((d, Queued::ArepWarning { arep }));
+                        self.send_buffer
+                            .push_back(d, Queued::ArepWarning { arep }, &[]);
                     }
                 }
                 Queued::IpChangeRequest { dn } => {
@@ -221,23 +228,11 @@ impl SecureNode {
                 }
             }
         }
-        self.send_buffer = remaining;
     }
 
     /// Fail everything queued for `dest` (route discovery exhausted).
     pub(super) fn fail_buffer(&mut self, ctx: &mut Ctx, dest: Ipv6Addr) {
-        let before = self.send_buffer.len();
-        self.send_buffer.retain(|(d, q)| {
-            if *d == dest {
-                if matches!(q, Queued::Data { .. }) {
-                    // counted below; retain() can't borrow self mutably
-                }
-                false
-            } else {
-                true
-            }
-        });
-        let dropped = (before - self.send_buffer.len()) as u64;
+        let dropped = self.send_buffer.remove_dest(dest) as u64;
         if dropped > 0 {
             self.stats.data_failed += dropped;
             ctx.count("app.data_failed", dropped);
@@ -455,14 +450,7 @@ impl SecureNode {
             }
             // No usable route: rediscover and queue.
             let dip = pending.dip;
-            self.enqueue(
-                ctx,
-                dip,
-                Queued::Data {
-                    seq: Seq(seq),
-                    payload: pending.payload,
-                },
-            );
+            self.enqueue(ctx, dip, Queued::Data { seq: Seq(seq) }, &pending.payload);
             self.ensure_route(ctx, dip);
             return;
         }

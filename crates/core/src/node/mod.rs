@@ -34,15 +34,18 @@ use crate::config::{Behavior, ProtocolConfig};
 use crate::credit::CreditManager;
 use crate::dns::DnsState;
 use crate::envelope::Envelope;
+use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::identity::HostIdentity;
+use crate::intern::{AddrInterner, InternTable};
 use crate::neighbor::NeighborCache;
 use crate::routecache::RouteCache;
+use crate::sendbuf::SendBuffer;
 use crate::stats::NodeStats;
 use manet_crypto::{PublicKey, VerifyCache};
 use manet_sim::{Ctx, Dir, NodeId, Protocol, SimTime};
 use manet_wire::{Arep, Challenge, DomainName, Ipv6Addr, Message, RouteRecord, Rrep, Seq};
 use std::any::Any;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, HashSet};
 
 // Timer tag layout: kind in the top byte, payload below.
 const TAG_KIND_MASK: u64 = 0xff << 56;
@@ -82,10 +85,11 @@ struct PendingAck {
     first_sent: SimTime,
 }
 
-/// Work queued until a route to `dest` exists.
+/// Work queued until a route to `dest` exists. Payload bytes (only the
+/// `Data` variant has any) live in the send buffer's arena, not here.
 #[derive(Debug)]
 enum Queued {
-    Data { seq: Seq, payload: Vec<u8> },
+    Data { seq: Seq },
     DnsQuery { qname: DomainName, ch: Challenge },
     ArepWarning { arep: Arep },
     IpChangeRequest { dn: DomainName },
@@ -132,23 +136,27 @@ pub struct SecureNode {
     /// consulted exclusively through the [`verify`] pipeline.
     pub(crate) verify_cache: Option<VerifyCache>,
 
+    /// Address interner for the id-keyed flood-dedup maps below
+    /// (shared table set by the builder; overflow catches re-rolled
+    /// CGAs and foreign addresses).
+    interner: AddrInterner,
     /// Flood dedup for AREQs. The challenge is part of the key: `seq` is
     /// only unique *per initiator*, and the interesting DAD case is two
     /// initiators claiming the same SIP — their floods must not collapse.
-    seen_areqs: HashSet<(Ipv6Addr, u64, u64)>,
+    seen_areqs: FxHashSet<(u32, u64, u64)>,
     /// `(seq, ch)` of every AREQ we ourselves flooded, so a late echo of
     /// our own probe is never mistaken for a foreign claim on our address.
     my_dad_probes: HashSet<(u64, u64)>,
-    seen_rreqs: HashSet<(Ipv6Addr, u64)>,
+    seen_rreqs: FxHashSet<(u32, u64)>,
     /// As destination: how many copies of each RREQ we already answered
     /// (up to `cfg.rrep_multi` for route diversity).
-    answered_rreqs: HashMap<(Ipv6Addr, u64), u32>,
+    answered_rreqs: FxHashMap<(u32, u64), u32>,
     /// Recently satisfied discoveries, so late extra RREPs for the same
     /// sequence can still be cached as alternate routes.
     recent_rreqs: HashMap<Ipv6Addr, (Seq, SimTime)>,
     pending_rreqs: HashMap<Ipv6Addr, PendingRreq>,
     pending_acks: HashMap<u64, PendingAck>,
-    send_buffer: VecDeque<(Ipv6Addr, Queued)>,
+    send_buffer: SendBuffer<Queued>,
     /// Challenges of our outstanding DNS resolutions, by name.
     pending_resolves: HashMap<DomainName, Challenge>,
     pending_ip_change: Option<PendingIpChange>,
@@ -257,14 +265,15 @@ impl SecureNode {
             credits,
             stats: NodeStats::default(),
             verify_cache,
-            seen_areqs: HashSet::new(),
+            interner: AddrInterner::new(),
+            seen_areqs: FxHashSet::default(),
             my_dad_probes: HashSet::new(),
-            seen_rreqs: HashSet::new(),
-            answered_rreqs: HashMap::new(),
+            seen_rreqs: FxHashSet::default(),
+            answered_rreqs: FxHashMap::default(),
             recent_rreqs: HashMap::new(),
             pending_rreqs: HashMap::new(),
             pending_acks: HashMap::new(),
-            send_buffer: VecDeque::new(),
+            send_buffer: SendBuffer::new(),
             pending_resolves: HashMap::new(),
             pending_ip_change: None,
             pending_probes: HashMap::new(),
@@ -280,6 +289,12 @@ impl SecureNode {
     /// Current IPv6 address (candidate until [`Self::is_ready`]).
     pub fn ip(&self) -> Ipv6Addr {
         self.ident.ip()
+    }
+
+    /// Adopt the network-wide intern table (builder-time only).
+    pub fn set_intern_table(&mut self, table: std::sync::Arc<InternTable>) {
+        self.interner.set_table(table.clone());
+        self.neighbors.set_intern_table(table);
     }
 
     /// The public key behind this node's CGA.
@@ -327,7 +342,7 @@ impl SecureNode {
     pub fn cached_route(&self, dip: &Ipv6Addr, now: SimTime) -> Option<Vec<Ipv6Addr>> {
         self.route_cache
             .best(dip, &self.credits, now)
-            .map(|r| r.relays.clone())
+            .map(|r| r.relays.to_vec())
     }
 
     /// Test-support: transmit an arbitrary routed message. Integration

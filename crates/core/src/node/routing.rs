@@ -66,10 +66,8 @@ impl SecureNode {
         if self.is_my_addr(&rreq.dip) {
             // Answer several copies (arriving over distinct paths) so the
             // source gets route diversity to select among.
-            let n = self
-                .answered_rreqs
-                .entry((rreq.sip, rreq.seq.0))
-                .or_insert(0);
+            let sid = self.interner.id(rreq.sip);
+            let n = self.answered_rreqs.entry((sid, rreq.seq.0)).or_insert(0);
             if *n >= self.cfg.rrep_multi {
                 return;
             }
@@ -77,7 +75,8 @@ impl SecureNode {
             self.answer_rreq(ctx, rreq);
             return;
         }
-        if !self.seen_rreqs.insert((rreq.sip, rreq.seq.0)) {
+        let sid = self.interner.id(rreq.sip);
+        if !self.seen_rreqs.insert((sid, rreq.seq.0)) {
             return;
         }
 
@@ -116,7 +115,7 @@ impl SecureNode {
         // discovered ourselves (we hold D's signed RREP for them).
         if self.cfg.crep_enabled {
             if let Some(cached) = self.route_cache.creppable(&rreq.dip, ctx.now()) {
-                let cached = cached.clone();
+                let cached = cached.to_owned();
                 self.send_crep(ctx, &rreq, &cached);
                 return;
             }

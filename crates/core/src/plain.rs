@@ -12,14 +12,15 @@ use crate::config::Behavior;
 use crate::credit::CreditManager;
 use crate::envelope::Envelope;
 use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::intern::{AddrInterner, InternTable};
 use crate::neighbor::NeighborCache;
 use crate::routecache::{CachedRoute, RouteCache};
+use crate::sendbuf::SendBuffer;
 use crate::stats::NodeStats;
 use manet_sim::{Ctx, Dir, NodeId, Protocol, SimDuration, SimTime};
 use manet_wire::{Ack, Data, Ipv6Addr, Message, PlainRerr, PlainRrep, PlainRreq, RouteRecord, Seq};
 use rand::Rng;
 use std::any::Any;
-use std::collections::VecDeque;
 
 const TAG_KIND_MASK: u64 = 0xff << 56;
 const TAG_RREQ: u64 = 2 << 56;
@@ -35,6 +36,11 @@ pub struct PlainConfig {
     pub max_send_buffer: usize,
     /// Answer RREQs from cache (standard DSR route-cache replies).
     pub cached_replies: bool,
+    /// Materialize a full [`NodeStats`] per node (default). Memory-diet
+    /// runs (the S3 exhibit) turn this off: nodes then count nothing
+    /// locally and harness aggregates come from the engine's streaming
+    /// metrics counters instead.
+    pub per_node_stats: bool,
 }
 
 impl Default for PlainConfig {
@@ -46,6 +52,7 @@ impl Default for PlainConfig {
             data_retries: 2,
             max_send_buffer: 64,
             cached_replies: true,
+            per_node_stats: true,
         }
     }
 }
@@ -73,12 +80,18 @@ pub struct PlainDsrNode {
     route_cache: RouteCache,
     /// Credits object kept disabled — route selection is shortest-first.
     credits: CreditManager,
-    stats: NodeStats,
+    /// Detailed per-node counters; `None` when `cfg.per_node_stats` is
+    /// off (streaming-metrics mode — ~400 B per node saved at S3 scale).
+    stats: Option<Box<NodeStats>>,
     next_seq: u64,
-    seen_rreqs: FxHashSet<(Ipv6Addr, u64)>,
+    /// Address interner for the id-keyed maps below (shared table set
+    /// by the builder; standalone nodes intern into overflow).
+    interner: AddrInterner,
+    /// RREQ flood dedup, keyed on interned source ids.
+    seen_rreqs: FxHashSet<(u32, u64)>,
     pending_rreqs: FxHashMap<Ipv6Addr, PendingRreq>,
     pending_acks: FxHashMap<u64, PendingAck>,
-    send_buffer: VecDeque<(Ipv6Addr, Seq, Vec<u8>)>,
+    send_buffer: SendBuffer<Seq>,
 }
 
 impl PlainDsrNode {
@@ -90,6 +103,7 @@ impl PlainDsrNode {
 
     /// A baseline node with attacker switches.
     pub fn with_behavior(cfg: PlainConfig, ip: Ipv6Addr, behavior: Behavior) -> Self {
+        let stats = cfg.per_node_stats.then(Box::default);
         PlainDsrNode {
             cfg,
             ip,
@@ -100,12 +114,13 @@ impl PlainDsrNode {
                 enabled: false,
                 ..crate::config::CreditConfig::default()
             }),
-            stats: NodeStats::default(),
+            stats,
             next_seq: 1,
+            interner: AddrInterner::new(),
             seen_rreqs: FxHashSet::default(),
             pending_rreqs: FxHashMap::default(),
             pending_acks: FxHashMap::default(),
-            send_buffer: VecDeque::new(),
+            send_buffer: SendBuffer::new(),
         }
     }
 
@@ -124,8 +139,32 @@ impl PlainDsrNode {
         self.ip
     }
 
+    /// Adopt the network-wide intern table (builder-time only).
+    pub fn set_intern_table(&mut self, table: std::sync::Arc<InternTable>) {
+        self.interner.set_table(table.clone());
+        self.neighbors.set_intern_table(table);
+    }
+
+    /// The node's detailed counters. With `per_node_stats` off this is
+    /// a shared all-zero struct — read the engine's streaming metrics
+    /// counters for aggregates instead.
     pub fn stats(&self) -> &NodeStats {
-        &self.stats
+        static EMPTY: std::sync::OnceLock<NodeStats> = std::sync::OnceLock::new();
+        self.stats
+            .as_deref()
+            .unwrap_or_else(|| EMPTY.get_or_init(NodeStats::default))
+    }
+
+    /// Is this node materializing detailed per-node counters?
+    pub fn per_node_stats(&self) -> bool {
+        self.stats.is_some()
+    }
+
+    #[inline]
+    fn stat(&mut self, f: impl FnOnce(&mut NodeStats)) {
+        if let Some(s) = self.stats.as_deref_mut() {
+            f(s);
+        }
     }
 
     pub fn cached_destinations(&self) -> usize {
@@ -140,16 +179,16 @@ impl PlainDsrNode {
 
     /// Application entry: send `payload` to `dip`.
     pub fn send_data(&mut self, ctx: &mut Ctx, dip: Ipv6Addr, payload: Vec<u8>) {
-        self.stats.data_sent += 1;
+        self.stat(|s| s.data_sent += 1);
         ctx.count("app.data_sent", 1);
         let seq = self.alloc_seq();
         if !self.try_send_data(ctx, seq, dip, payload.clone(), 0) {
             if self.send_buffer.len() >= self.cfg.max_send_buffer {
-                self.send_buffer.pop_front();
-                self.stats.data_failed += 1;
+                self.send_buffer.drop_front();
+                self.stat(|s| s.data_failed += 1);
                 ctx.count("app.data_failed", 1);
             }
-            self.send_buffer.push_back((dip, seq, payload));
+            self.send_buffer.push_back(dip, seq, &payload);
             self.ensure_route(ctx, dip);
         }
     }
@@ -247,7 +286,7 @@ impl PlainDsrNode {
     }
 
     fn broadcast_rreq(&mut self, ctx: &mut Ctx, dip: Ipv6Addr, seq: Seq) {
-        self.stats.rreq_sent += 1;
+        self.stat(|s| s.rreq_sent += 1);
         ctx.count("route.rreq_originated", 1);
         let rreq = PlainRreq {
             sip: self.ip,
@@ -263,7 +302,8 @@ impl PlainDsrNode {
         if rreq.sip == self.ip {
             return;
         }
-        if !self.seen_rreqs.insert((rreq.sip, rreq.seq.0)) {
+        let sid = self.interner.id(rreq.sip);
+        if !self.seen_rreqs.insert((sid, rreq.seq.0)) {
             return;
         }
         // No verification anywhere: an attacker impersonating the target
@@ -271,7 +311,7 @@ impl PlainDsrNode {
         let target = rreq.dip == self.ip || self.behavior.impersonate == Some(rreq.dip);
         if target {
             if self.behavior.impersonate == Some(rreq.dip) && rreq.dip != self.ip {
-                self.stats.atk_forged_rrep += 1;
+                self.stat(|s| s.atk_forged_rrep += 1);
                 ctx.count("atk.impersonated_rrep", 1);
             }
             let rrep = PlainRrep {
@@ -280,7 +320,8 @@ impl PlainDsrNode {
                 seq: rreq.seq,
                 rr: rreq.rr.clone(),
             };
-            self.stats.rrep_sent += 1;
+            self.stat(|s| s.rrep_sent += 1);
+            ctx.count("route.rrep_sent", 1);
             let mut path = vec![rreq.dip];
             path.extend(rreq.rr.reversed().0);
             path.push(rreq.sip);
@@ -297,7 +338,7 @@ impl PlainDsrNode {
                 seq: rreq.seq,
                 rr,
             };
-            self.stats.atk_forged_rrep += 1;
+            self.stat(|s| s.atk_forged_rrep += 1);
             ctx.count("atk.forged_rrep", 1);
             let mut path = vec![self.ip];
             path.extend(rreq.rr.reversed().0);
@@ -318,7 +359,7 @@ impl PlainDsrNode {
                     seq: rreq.seq,
                     rr,
                 };
-                self.stats.crep_sent += 1;
+                self.stat(|s| s.crep_sent += 1);
                 ctx.count("route.cached_reply", 1);
                 let mut path = vec![self.ip];
                 path.extend(rreq.rr.reversed().0);
@@ -362,14 +403,18 @@ impl PlainDsrNode {
     }
 
     fn flush_buffer(&mut self, ctx: &mut Ctx, dest: Ipv6Addr) {
-        let buffer = std::mem::take(&mut self.send_buffer);
-        for (d, seq, payload) in buffer {
+        // Full-length rotation: every entry is popped once and retained
+        // entries are re-pushed, so relative order is preserved exactly
+        // (same observable behavior as the old take-and-requeue loop,
+        // but payload spans are recycled in the buffer arena).
+        for _ in 0..self.send_buffer.len() {
+            let (d, seq, payload) = self.send_buffer.pop_front().expect("within len");
             if d == dest {
                 if !self.try_send_data(ctx, seq, d, payload.clone(), 0) {
-                    self.send_buffer.push_back((d, seq, payload));
+                    self.send_buffer.push_back(d, seq, &payload);
                 }
             } else {
-                self.send_buffer.push_back((d, seq, payload));
+                self.send_buffer.push_back(d, seq, &payload);
             }
         }
     }
@@ -382,7 +427,7 @@ impl PlainDsrNode {
     }
 
     fn handle_data(&mut self, ctx: &mut Ctx, data: Data) {
-        self.stats.data_received += 1;
+        self.stat(|s| s.data_received += 1);
         ctx.count("app.data_received", 1);
         let path = data.route.reversed();
         let ack = Ack {
@@ -398,7 +443,7 @@ impl PlainDsrNode {
 
     fn handle_ack(&mut self, ctx: &mut Ctx, ack: Ack) {
         if self.pending_acks.remove(&ack.seq.0).is_some() {
-            self.stats.data_acked += 1;
+            self.stat(|s| s.data_acked += 1);
             ctx.count("app.data_acked", 1);
         }
     }
@@ -409,7 +454,7 @@ impl PlainDsrNode {
             if self.behavior.data_drop_prob > 0.0
                 && ctx.rng().gen::<f64>() < self.behavior.data_drop_prob
             {
-                self.stats.atk_data_dropped += 1;
+                self.stat(|s| s.atk_data_dropped += 1);
                 ctx.count("atk.data_dropped", 1);
                 return;
             }
@@ -439,7 +484,7 @@ impl PlainDsrNode {
             iip: self.ip,
             i2ip: next,
         };
-        self.stats.rerr_sent += 1;
+        self.stat(|s| s.rerr_sent += 1);
         ctx.count("route.rerr_sent", 1);
         let back: Vec<Ipv6Addr> = path.0[..=my_idx].iter().rev().copied().collect();
         if back.len() >= 2 {
@@ -454,10 +499,8 @@ impl PlainDsrNode {
         let pending = self.pending_rreqs.get_mut(&dip).expect("found");
         if pending.attempts >= self.cfg.rreq_retries {
             self.pending_rreqs.remove(&dip);
-            let before = self.send_buffer.len();
-            self.send_buffer.retain(|(d, _, _)| *d != dip);
-            let dropped = (before - self.send_buffer.len()) as u64;
-            self.stats.data_failed += dropped;
+            let dropped = self.send_buffer.remove_dest(dip) as u64;
+            self.stat(|s| s.data_failed += dropped);
             ctx.count("app.data_failed", dropped);
             return;
         }
@@ -485,11 +528,11 @@ impl PlainDsrNode {
                 return;
             }
             let dip = pending.dip;
-            self.send_buffer.push_back((dip, Seq(seq), pending.payload));
+            self.send_buffer.push_back(dip, Seq(seq), &pending.payload);
             self.ensure_route(ctx, dip);
             return;
         }
-        self.stats.data_failed += 1;
+        self.stat(|s| s.data_failed += 1);
         ctx.count("app.data_failed", 1);
     }
 }
@@ -497,7 +540,7 @@ impl PlainDsrNode {
 impl Protocol for PlainDsrNode {
     fn on_start(&mut self, ctx: &mut Ctx) {
         // No DAD, no keys: plain DSR assumes pre-assigned unique addresses.
-        self.stats.joined_at = Some(ctx.now());
+        self.stat(|s| s.joined_at = Some(ctx.now()));
     }
 
     fn on_frame(&mut self, ctx: &mut Ctx, src: NodeId, bytes: &[u8]) {
@@ -509,7 +552,14 @@ impl Protocol for PlainDsrNode {
         // strictly as `decode`, so malformed frames still fall through
         // to the counting path below.
         if let Some((src_ip, h)) = Envelope::peek_broadcast_rreq(bytes) {
-            if h.sip == self.ip || self.seen_rreqs.contains(&(h.sip, h.seq.0)) {
+            // A source never interned cannot be in `seen_rreqs`, so the
+            // non-mutating lookup keeps the fast path allocation-free.
+            if h.sip == self.ip
+                || self
+                    .interner
+                    .lookup(&h.sip)
+                    .is_some_and(|sid| self.seen_rreqs.contains(&(sid, h.seq.0)))
+            {
                 self.neighbors.learn(src_ip, src, ctx.now());
                 return;
             }

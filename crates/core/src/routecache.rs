@@ -6,11 +6,18 @@
 //! to other nodes as CREPs (Section 3.3); routes learned from a CREP
 //! cannot (we hold no destination signature binding them to a request of
 //! ours to hand out).
+//!
+//! Relay lists live in a per-cache [`SliceArena`]: a stored route is a
+//! 4-byte span handle instead of an owning `Vec`, and the insert/evict
+//! churn of a long run recycles arena spans instead of hitting the
+//! global allocator (ROADMAP item 1). Lookups hand out [`RouteView`]
+//! borrows; [`CachedRoute`] remains the owned insertion type.
 
+use crate::arena::{SliceArena, SpanHandle};
 use crate::credit::CreditManager;
+use crate::fxhash::FxHashMap;
 use manet_sim::{SimDuration, SimTime};
 use manet_wire::{IdentityProof, Ipv6Addr, RouteRecord, Seq};
-use std::collections::HashMap;
 
 /// Default route lifetime.
 pub const DEFAULT_ROUTE_TTL: SimDuration = SimDuration(60_000_000); // 60 s
@@ -21,7 +28,9 @@ pub const DEFAULT_ROUTES_PER_DEST: usize = 8;
 /// Default cap on destinations held in the cache.
 pub const DEFAULT_MAX_DESTS: usize = 256;
 
-/// One cached route to some destination.
+/// One route to some destination, in owned form — the insertion type,
+/// and what [`RouteView::to_owned`] rematerializes for callers that
+/// must outlive the cache borrow.
 #[derive(Clone, Debug)]
 pub struct CachedRoute {
     /// Intermediate hops, source side first (may be empty: direct).
@@ -32,15 +41,75 @@ pub struct CachedRoute {
     pub learned_at: SimTime,
 }
 
+/// Arena-resident form of a route: the relay list is a span handle.
+#[derive(Debug)]
+struct StoredRoute {
+    relays: SpanHandle,
+    d_proof: Option<(Seq, IdentityProof)>,
+    learned_at: SimTime,
+}
+
+/// Borrowed view of a cached route, valid while the cache is not
+/// mutated. Field-compatible with the old `&CachedRoute` access
+/// pattern (`.relays`, `.d_proof`, `.learned_at`, `.full_path()`).
+#[derive(Clone, Copy, Debug)]
+pub struct RouteView<'a> {
+    /// Intermediate hops, source side first (may be empty: direct).
+    pub relays: &'a [Ipv6Addr],
+    /// See [`CachedRoute::d_proof`].
+    pub d_proof: &'a Option<(Seq, IdentityProof)>,
+    pub learned_at: SimTime,
+}
+
+impl RouteView<'_> {
+    /// Full forwarding path `[src, relays…, dst]`.
+    pub fn full_path(&self, src: Ipv6Addr, dst: Ipv6Addr) -> RouteRecord {
+        full_path_of(self.relays, src, dst)
+    }
+
+    /// Rematerialize an owned [`CachedRoute`] (drops the cache borrow).
+    pub fn to_owned(&self) -> CachedRoute {
+        CachedRoute {
+            relays: self.relays.to_vec(),
+            d_proof: self.d_proof.clone(),
+            learned_at: self.learned_at,
+        }
+    }
+}
+
 impl CachedRoute {
     /// Full forwarding path `[src, relays…, dst]`.
     pub fn full_path(&self, src: Ipv6Addr, dst: Ipv6Addr) -> RouteRecord {
-        let mut v = Vec::with_capacity(self.relays.len() + 2);
-        v.push(src);
-        v.extend_from_slice(&self.relays);
-        v.push(dst);
-        RouteRecord(v)
+        full_path_of(&self.relays, src, dst)
     }
+}
+
+fn full_path_of(relays: &[Ipv6Addr], src: Ipv6Addr, dst: Ipv6Addr) -> RouteRecord {
+    let mut v = Vec::with_capacity(relays.len() + 2);
+    v.push(src);
+    v.extend_from_slice(relays);
+    v.push(dst);
+    RouteRecord(v)
+}
+
+/// Does the implicit path `[me, relays…, dst]` traverse the directed
+/// link `from → to`? Allocation-free equivalent of building the full
+/// path and scanning `windows(2)`.
+fn uses_link(
+    me: Ipv6Addr,
+    relays: &[Ipv6Addr],
+    dst: Ipv6Addr,
+    from: Ipv6Addr,
+    to: Ipv6Addr,
+) -> bool {
+    let mut prev = me;
+    for &hop in relays {
+        if prev == from && hop == to {
+            return true;
+        }
+        prev = hop;
+    }
+    prev == from && dst == to
 }
 
 /// Per-node route cache, bounded in both dimensions: at most
@@ -53,7 +122,8 @@ pub struct RouteCache {
     ttl: SimDuration,
     per_dest: usize,
     max_dests: usize,
-    routes: HashMap<Ipv6Addr, Vec<CachedRoute>>,
+    routes: FxHashMap<Ipv6Addr, Vec<StoredRoute>>,
+    arena: SliceArena<Ipv6Addr>,
 }
 
 impl Default for RouteCache {
@@ -73,7 +143,16 @@ impl RouteCache {
             ttl,
             per_dest: per_dest.max(1),
             max_dests: max_dests.max(1),
-            routes: HashMap::new(),
+            routes: FxHashMap::default(),
+            arena: SliceArena::new(),
+        }
+    }
+
+    fn view<'a>(&'a self, r: &'a StoredRoute) -> RouteView<'a> {
+        RouteView {
+            relays: self.arena.get(r.relays),
+            d_proof: &r.d_proof,
+            learned_at: r.learned_at,
         }
     }
 
@@ -94,11 +173,21 @@ impl RouteCache {
                 .min()
                 .map(|(_, d)| d)
                 .expect("cap >= 1 implies nonempty");
-            self.routes.remove(&stalest);
+            let evicted = self.routes.remove(&stalest).expect("just found");
+            for r in evicted {
+                self.arena.free(r.relays);
+            }
         }
         let per_dest = self.per_dest;
+        let arena = &mut self.arena;
         let list = self.routes.entry(dst).or_default();
-        list.retain(|r| r.relays != route.relays);
+        list.retain(|r| {
+            let same = arena.get(r.relays) == route.relays.as_slice();
+            if same {
+                arena.free(r.relays);
+            }
+            !same
+        });
         while list.len() >= per_dest {
             let oldest = list
                 .iter()
@@ -106,13 +195,17 @@ impl RouteCache {
                 .min_by_key(|(i, r)| (r.learned_at, *i))
                 .map(|(i, _)| i)
                 .expect("len >= cap >= 1");
-            list.remove(oldest);
+            arena.free(list.remove(oldest).relays);
         }
-        list.push(route);
+        list.push(StoredRoute {
+            relays: arena.alloc(&route.relays),
+            d_proof: route.d_proof,
+            learned_at: route.learned_at,
+        });
     }
 
-    fn fresh(&self, r: &CachedRoute, now: SimTime) -> bool {
-        now.as_micros().saturating_sub(r.learned_at.as_micros()) <= self.ttl.as_micros()
+    fn fresh(&self, learned_at: SimTime, now: SimTime) -> bool {
+        now.as_micros().saturating_sub(learned_at.as_micros()) <= self.ttl.as_micros()
     }
 
     /// Best fresh route to `dst`: avoided routes (credit floor) are
@@ -123,30 +216,30 @@ impl RouteCache {
         dst: &Ipv6Addr,
         credits: &CreditManager,
         now: SimTime,
-    ) -> Option<&CachedRoute> {
+    ) -> Option<RouteView<'_>> {
         let list = self.routes.get(dst)?;
         list.iter()
-            .filter(|r| self.fresh(r, now))
-            .filter(|r| !credits.route_avoided(&r.relays))
+            .filter(|r| self.fresh(r.learned_at, now))
+            .filter(|r| !credits.route_avoided(self.arena.get(r.relays)))
             .max_by(|a, b| {
+                let (ra, rb) = (self.arena.get(a.relays), self.arena.get(b.relays));
                 let (sa, sb) = if credits.enabled() {
-                    (
-                        credits.route_score(&a.relays),
-                        credits.route_score(&b.relays),
-                    )
+                    (credits.route_score(ra), credits.route_score(rb))
                 } else {
                     (0, 0)
                 };
-                sa.cmp(&sb).then(b.relays.len().cmp(&a.relays.len())) // shorter wins
+                sa.cmp(&sb).then(rb.len().cmp(&ra.len())) // shorter wins
             })
+            .map(|r| self.view(r))
     }
 
     /// A fresh self-discovered route to `dst` usable for a CREP answer.
-    pub fn creppable(&self, dst: &Ipv6Addr, now: SimTime) -> Option<&CachedRoute> {
+    pub fn creppable(&self, dst: &Ipv6Addr, now: SimTime) -> Option<RouteView<'_>> {
         self.routes
             .get(dst)?
             .iter()
-            .find(|r| self.fresh(r, now) && r.d_proof.is_some())
+            .find(|r| self.fresh(r.learned_at, now) && r.d_proof.is_some())
+            .map(|r| self.view(r))
     }
 
     /// Remove every route (to any destination) that uses the directed
@@ -154,11 +247,12 @@ impl RouteCache {
     /// path head). Returns how many routes were dropped.
     pub fn remove_link(&mut self, me: Ipv6Addr, from: Ipv6Addr, to: Ipv6Addr) -> usize {
         let mut dropped = 0;
+        let arena = &mut self.arena;
         for (dst, list) in self.routes.iter_mut() {
             list.retain(|r| {
-                let path = r.full_path(me, *dst);
-                let uses = path.0.windows(2).any(|w| w[0] == from && w[1] == to);
+                let uses = uses_link(me, arena.get(r.relays), *dst, from, to);
                 if uses {
+                    arena.free(r.relays);
                     dropped += 1;
                 }
                 !uses
@@ -170,7 +264,16 @@ impl RouteCache {
 
     /// Drop all routes to `dst`.
     pub fn remove_dest(&mut self, dst: &Ipv6Addr) {
-        self.routes.remove(dst);
+        if let Some(list) = self.routes.remove(dst) {
+            for r in list {
+                self.arena.free(r.relays);
+            }
+        }
+    }
+
+    /// Is at least one route to `dst` cached (fresh or not)?
+    pub fn contains_dest(&self, dst: &Ipv6Addr) -> bool {
+        self.routes.contains_key(dst)
     }
 
     /// Number of destinations with at least one cached route.
@@ -180,6 +283,25 @@ impl RouteCache {
 
     pub fn is_empty(&self) -> bool {
         self.routes.is_empty()
+    }
+
+    /// All relay lists cached for `dst`, in list order (for tests and
+    /// the differential proptest oracle).
+    pub fn relay_lists(&self, dst: &Ipv6Addr) -> Vec<Vec<Ipv6Addr>> {
+        self.routes
+            .get(dst)
+            .map(|list| {
+                list.iter()
+                    .map(|r| self.arena.get(r.relays).to_vec())
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Arena backing-store high-water mark in relay entries (for churn
+    /// bound tests and the `scale_mem` bench).
+    pub fn arena_backing_len(&self) -> usize {
+        self.arena.backing_len()
     }
 }
 
@@ -304,28 +426,21 @@ mod tests {
     #[test]
     fn per_dest_cap_evicts_oldest_deterministically() {
         let mut c = RouteCache::with_caps(DEFAULT_ROUTE_TTL, 3, 16);
-        let credits = CreditManager::new(CreditConfig::default());
         // Insert 5 distinct routes with increasing learn times.
         for t in 0..5u64 {
             c.insert(ip(9), route(vec![ip(10 + t as u16)], t * 1_000));
         }
         let list_of = |c: &RouteCache| {
+            let lists = c.relay_lists(&ip(9));
             let mut seen: Vec<u16> = (0..5u16)
-                .filter(|t| {
-                    // Probe presence via best() after slashing everything else.
-                    let _ = &credits;
-                    c.routes
-                        .get(&ip(9))
-                        .map(|l| l.iter().any(|r| r.relays == vec![ip(10 + t)]))
-                        .unwrap_or(false)
-                })
+                .filter(|t| lists.iter().any(|r| *r == vec![ip(10 + t)]))
                 .collect();
             seen.sort_unstable();
             seen
         };
         // The two oldest (t=0, t=1) were evicted; exactly 3 remain.
         assert_eq!(list_of(&c), vec![2, 3, 4]);
-        assert_eq!(c.routes.get(&ip(9)).unwrap().len(), 3);
+        assert_eq!(c.relay_lists(&ip(9)).len(), 3);
         // Re-running the same insert sequence reproduces the same state.
         let mut c2 = RouteCache::with_caps(DEFAULT_ROUTE_TTL, 3, 16);
         for t in 0..5u64 {
@@ -342,9 +457,9 @@ mod tests {
         c.insert(ip(9), route(vec![ip(1)], 0));
         c.insert(ip(9), route(vec![ip(2)], 10));
         c.insert(ip(9), route(vec![ip(1)], 20)); // refresh, not insert
-        let list = c.routes.get(&ip(9)).unwrap();
-        assert_eq!(list.len(), 2);
-        assert!(list.iter().any(|r| r.relays == vec![ip(2)]));
+        let lists = c.relay_lists(&ip(9));
+        assert_eq!(lists.len(), 2);
+        assert!(lists.iter().any(|r| *r == vec![ip(2)]));
     }
 
     #[test]
@@ -355,14 +470,14 @@ mod tests {
         // Third destination: ip(1) holds the oldest newest-route → evicted.
         c.insert(ip(3), route(vec![ip(13)], 300));
         assert_eq!(c.len(), 2);
-        assert!(!c.routes.contains_key(&ip(1)));
-        assert!(c.routes.contains_key(&ip(2)));
-        assert!(c.routes.contains_key(&ip(3)));
+        assert!(!c.contains_dest(&ip(1)));
+        assert!(c.contains_dest(&ip(2)));
+        assert!(c.contains_dest(&ip(3)));
         // A refreshed destination survives the next round.
         c.insert(ip(2), route(vec![ip(14)], 400));
         c.insert(ip(4), route(vec![ip(15)], 500));
-        assert!(c.routes.contains_key(&ip(2)), "refreshed dest must survive");
-        assert!(!c.routes.contains_key(&ip(3)));
+        assert!(c.contains_dest(&ip(2)), "refreshed dest must survive");
+        assert!(!c.contains_dest(&ip(3)));
     }
 
     #[test]
@@ -370,5 +485,28 @@ mod tests {
         let mut c = RouteCache::default();
         c.insert(ip(9), route(vec![ip(1)], 0));
         assert!(c.creppable(&ip(9), SimTime(0)).is_none());
+    }
+
+    #[test]
+    fn eviction_churn_reuses_arena_storage() {
+        // Same-shape insert/evict cycles must stabilize the arena
+        // high-water mark: freed spans get reused, not leaked.
+        let mut c = RouteCache::with_caps(DEFAULT_ROUTE_TTL, 2, 4);
+        for round in 0..64u64 {
+            for d in 0..8u16 {
+                c.insert(ip(d), route(vec![ip(100 + d), ip(200 + d)], round));
+            }
+            if round == 1 {
+                // Two full rounds populate every slot shape once.
+                let _ = c.arena_backing_len();
+            }
+        }
+        let high = c.arena_backing_len();
+        for round in 64..128u64 {
+            for d in 0..8u16 {
+                c.insert(ip(d), route(vec![ip(100 + d), ip(200 + d)], round));
+            }
+        }
+        assert_eq!(c.arena_backing_len(), high, "churn must reuse spans");
     }
 }

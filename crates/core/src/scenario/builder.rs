@@ -16,6 +16,7 @@
 use super::network::{Network, NodeApi};
 use super::placement::{positions_for, Placement};
 use crate::config::{Behavior, ProtocolConfig};
+use crate::intern::InternTable;
 use crate::node::SecureNode;
 use crate::plain::{PlainConfig, PlainDsrNode};
 use manet_sim::{
@@ -24,6 +25,7 @@ use manet_sim::{
 };
 use manet_wire::DomainName;
 use std::marker::PhantomData;
+use std::sync::Arc;
 
 /// The host's registered name for index `i`.
 pub fn host_name(i: usize) -> DomainName {
@@ -85,6 +87,7 @@ pub struct ScenarioBuilder {
     attackers: Vec<(usize, Behavior)>,
     churn_kills: usize,
     churn_window: (SimTime, SimTime),
+    max_events: Option<u64>,
 }
 
 impl Default for ScenarioBuilder {
@@ -106,6 +109,7 @@ impl Default for ScenarioBuilder {
             attackers: Vec::new(),
             churn_kills: 0,
             churn_window: (SimTime(4_000_000), SimTime(10_000_000)),
+            max_events: None,
         }
     }
 }
@@ -181,6 +185,14 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Raise the engine's runaway-simulation event cap (the
+    /// `EngineConfig` default suits exhibits up to ~10k nodes; the S3
+    /// memory-diet scale needs room proportional to its population).
+    pub fn max_events(mut self, cap: u64) -> Self {
+        self.max_events = Some(cap);
+        self
+    }
+
     /// Give host `idx` an attacker behavior.
     pub fn adversary(mut self, idx: usize, behavior: Behavior) -> Self {
         self.attackers.push((idx, behavior));
@@ -239,6 +251,7 @@ impl ScenarioBuilder {
     }
 
     fn engine(&self, field: Field) -> Engine {
+        let defaults = EngineConfig::default();
         Engine::new(EngineConfig {
             field,
             radio: self.radio.clone(),
@@ -247,7 +260,8 @@ impl ScenarioBuilder {
             channel: self.channel,
             queue: self.queue,
             exec: self.exec,
-            ..EngineConfig::default()
+            max_events: self.max_events.unwrap_or(defaults.max_events),
+            ..defaults
         })
     }
 
@@ -380,6 +394,26 @@ impl SecureBuilder {
             dns_node.dns_preregister(self.effective_name(i), host_nodes[i].ip());
         }
 
+        // Shared intern table over every build-time identity and name.
+        // Hosts that reroll their CGA after a DAD collision land in the
+        // per-node overflow interner, which is fine: ids are never
+        // compared across nodes, only used as compact map keys.
+        let mut table = InternTable::new();
+        table.intern_addr(dns_node.ip());
+        for node in &host_nodes {
+            table.intern_addr(node.ip());
+        }
+        if self.register_names {
+            for i in 0..base.n_hosts {
+                table.intern_name(&self.effective_name(i));
+            }
+        }
+        let table = Arc::new(table);
+        dns_node.set_intern_table(Arc::clone(&table));
+        for node in &mut host_nodes {
+            node.set_intern_table(Arc::clone(&table));
+        }
+
         let dns = engine.add_node(Box::new(dns_node), positions[0], Mobility::Static);
         let mut hosts = Vec::with_capacity(base.n_hosts);
         let mut last_join = SimTime::ZERO;
@@ -432,10 +466,19 @@ impl PlainBuilder {
         let ips: Vec<manet_wire::Ipv6Addr> = (0..base.n_hosts)
             .map(|_| PlainDsrNode::random_ip(engine.rng()))
             .collect();
+        // Every address in a plain universe is pre-drawn, so the shared
+        // intern table is total: per-node maps key on dense u32 ids and
+        // the per-node overflow interners stay empty.
+        let mut table = InternTable::new();
+        for ip in &ips {
+            table.intern_addr(*ip);
+        }
+        let table = Arc::new(table);
         let mut hosts = Vec::with_capacity(base.n_hosts);
         for i in 0..base.n_hosts {
-            let node =
+            let mut node =
                 PlainDsrNode::with_behavior(self.proto.clone(), ips[i], base.behavior_for(i));
+            node.set_intern_table(Arc::clone(&table));
             let id = engine.add_node(Box::new(node), positions[i], base.mobility.clone());
             hosts.push(id);
         }

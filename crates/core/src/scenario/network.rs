@@ -31,6 +31,13 @@ pub trait NodeApi: Protocol + Sized + 'static {
     fn ready(&self) -> bool {
         true
     }
+    /// Does this node materialize detailed per-node counters? When a
+    /// stack runs in streaming-metrics mode (`false`), harness
+    /// aggregates are read from the engine's metrics counters instead
+    /// of summing [`NodeStats`].
+    fn per_node_stats(&self) -> bool {
+        true
+    }
 }
 
 impl NodeApi for SecureNode {
@@ -57,6 +64,9 @@ impl NodeApi for PlainDsrNode {
     }
     fn send_payload(&mut self, ctx: &mut Ctx, dst: Ipv6Addr, payload: Vec<u8>) {
         self.send_data(ctx, dst, payload);
+    }
+    fn per_node_stats(&self) -> bool {
+        self.per_node_stats()
     }
 }
 
@@ -159,6 +169,12 @@ impl<P: NodeApi> Network<P> {
     /// across all hosts. `None` if no host sent anything — the empty
     /// denominator is explicit, not a silent NaN.
     pub fn delivery_ratio(&self) -> Option<f64> {
+        if !self.detailed_stats() {
+            let m = self.engine.metrics();
+            let sent = m.counter("app.data_sent");
+            let acked = m.counter("app.data_acked");
+            return (sent > 0).then(|| acked as f64 / sent as f64);
+        }
         let (mut sent, mut acked) = (0u64, 0u64);
         for &h in &self.hosts {
             let s = self.engine.protocol_as::<P>(h).node_stats();
@@ -166,6 +182,14 @@ impl<P: NodeApi> Network<P> {
             acked += s.data_acked;
         }
         (sent > 0).then(|| acked as f64 / sent as f64)
+    }
+
+    /// Are detailed per-node stats available on this network's nodes?
+    /// (Uniform per build: the config flag is the same for every host.)
+    fn detailed_stats(&self) -> bool {
+        self.hosts
+            .first()
+            .is_none_or(|&h| self.engine.protocol_as::<P>(h).per_node_stats())
     }
 
     /// Mean link-layer degree over alive hosts — the density check for
@@ -185,8 +209,27 @@ impl<P: NodeApi> Network<P> {
         (alive > 0).then(|| total as f64 / alive as f64)
     }
 
-    /// Per-node protocol counters summed over all hosts.
+    /// Per-node protocol counters summed over all hosts. In
+    /// streaming-metrics mode the same totals come from the engine's
+    /// counters (each `NodeStats` bump site pairs with a `ctx.count`);
+    /// rejected/collision counters are zero there — plain stacks, the
+    /// only streaming users, never reject or collide.
     pub fn stat_totals(&self) -> StatTotals {
+        if !self.detailed_stats() {
+            let m = self.engine.metrics();
+            return StatTotals {
+                data_sent: m.counter("app.data_sent"),
+                data_acked: m.counter("app.data_acked"),
+                data_received: m.counter("app.data_received"),
+                data_failed: m.counter("app.data_failed"),
+                rreq_sent: m.counter("route.rreq_originated"),
+                rrep_sent: m.counter("route.rrep_sent"),
+                crep_sent: m.counter("route.cached_reply"),
+                rerr_sent: m.counter("route.rerr_sent"),
+                rejected: 0,
+                collisions_detected: 0,
+            };
+        }
         let mut t = StatTotals::default();
         for &h in &self.hosts {
             let s = self.engine.protocol_as::<P>(h).node_stats();
@@ -248,6 +291,9 @@ impl<P: NodeApi> Network<P> {
             tx_bytes: m.counter("ctl.tx_bytes"),
             rx_frames: m.counter("phy.rx_frames"),
             nodes_killed: m.counter("sim.nodes_killed"),
+            peak_rss_bytes: manet_sim::mem::peak_rss_bytes(),
+            alloc_bytes: manet_sim::mem::alloc_totals().map(|(b, _)| b),
+            alloc_count: manet_sim::mem::alloc_totals().map(|(_, c)| c),
         }
     }
 

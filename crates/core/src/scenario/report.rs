@@ -92,6 +92,18 @@ pub struct RunReport {
     pub tx_bytes: u64,
     pub rx_frames: u64,
     pub nodes_killed: u64,
+    /// Process peak RSS (`VmHWM`) when the report was taken; `None`
+    /// off-Linux. Machine-dependent — masked by
+    /// [`RunReport::fingerprint`].
+    pub peak_rss_bytes: Option<u64>,
+    /// Cumulative allocated bytes, if the process installed
+    /// [`manet_sim::mem::CountingAlloc`](manet_sim::mem). Masked by
+    /// [`RunReport::fingerprint`] (allocator traffic is not part of
+    /// the simulation's observable state).
+    pub alloc_bytes: Option<u64>,
+    /// Cumulative allocation count, same source and masking as
+    /// `alloc_bytes`.
+    pub alloc_count: Option<u64>,
 }
 
 impl RunReport {
@@ -106,6 +118,9 @@ impl RunReport {
             queue_impl: "",
             exec_mode: "",
             shards: 0,
+            peak_rss_bytes: None,
+            alloc_bytes: None,
+            alloc_count: None,
             ..self.clone()
         }
     }
@@ -125,6 +140,7 @@ impl RunReport {
     /// instead of producing an unparseable document.
     pub fn to_json(&self) -> String {
         let opt = |v: Option<f64>| json_num(v.unwrap_or(f64::NAN), 4);
+        let opt_u = |v: Option<u64>| v.map_or_else(|| "null".to_string(), |u| u.to_string());
         format!(
             concat!(
                 "{{\"wall_s\": {}, \"events\": {}, \"events_per_sec\": {}, ",
@@ -132,6 +148,7 @@ impl RunReport {
                 "\"exec_mode\": \"{}\", \"shards\": {}, ",
                 "\"sim_s\": {}, \"delivery_ratio\": {}, \"mean_degree\": {}, ",
                 "\"tx_bytes\": {}, \"rx_frames\": {}, \"nodes_killed\": {}, ",
+                "\"peak_rss_bytes\": {}, \"alloc_bytes\": {}, \"alloc_count\": {}, ",
                 "\"totals\": {{\"data_sent\": {}, \"data_acked\": {}, \"data_failed\": {}, ",
                 "\"rejected\": {}}}, ",
                 "\"crypto\": {{\"executed\": {}, \"cached\": {}, \"failed\": {}}}}}"
@@ -149,6 +166,9 @@ impl RunReport {
             self.tx_bytes,
             self.rx_frames,
             self.nodes_killed,
+            opt_u(self.peak_rss_bytes),
+            opt_u(self.alloc_bytes),
+            opt_u(self.alloc_count),
             self.totals.data_sent,
             self.totals.data_acked,
             self.totals.data_failed,
@@ -199,6 +219,9 @@ mod tests {
             tx_bytes: 9000,
             rx_frames: 400,
             nodes_killed: 0,
+            peak_rss_bytes: Some(64 * 1024 * 1024),
+            alloc_bytes: None,
+            alloc_count: None,
         }
     }
 
@@ -215,6 +238,10 @@ mod tests {
         b.queue_impl = "heap";
         b.exec_mode = "sharded";
         b.shards = 8;
+        // Memory observables are machine/allocator-dependent.
+        b.peak_rss_bytes = Some(1);
+        b.alloc_bytes = Some(2);
+        b.alloc_count = Some(3);
         assert_ne!(a, b);
         assert_eq!(a.fingerprint(), b.fingerprint());
         // A genuine divergence still shows through.
@@ -245,6 +272,9 @@ mod tests {
         assert!(j.contains("\"queue_impl\": \"wheel\""), "{j}");
         assert!(j.contains("\"exec_mode\": \"single\""), "{j}");
         assert!(j.contains("\"shards\": 1"), "{j}");
+        assert!(j.contains("\"peak_rss_bytes\": 67108864"), "{j}");
+        assert!(j.contains("\"alloc_bytes\": null"), "{j}");
+        assert!(j.contains("\"alloc_count\": null"), "{j}");
     }
 
     #[test]

@@ -3,7 +3,73 @@
 
 use manet_sim::SimTime;
 use manet_wire::{DomainName, Ipv6Addr};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+
+/// Default bound on the per-node resolved-name cache.
+pub const RESOLVED_CACHE_CAP: usize = 256;
+
+/// A bounded name → answer map with deterministic oldest-entry
+/// eviction.
+///
+/// The per-node `resolved` map used to grow without bound for the life
+/// of the node — at S3 scale that is one live allocation per name ever
+/// resolved, per node. This caps it: inserting a fresh name past the
+/// cap evicts the *oldest inserted* entry (insertion order, not hash
+/// order, so eviction is identical on every run and platform).
+/// Re-resolving a cached name updates the answer in place without
+/// refreshing its age.
+#[derive(Debug, Clone)]
+pub struct ResolvedCache {
+    cap: usize,
+    map: HashMap<DomainName, Option<Ipv6Addr>>,
+    /// Names in insertion order; front = oldest = next to evict.
+    order: VecDeque<DomainName>,
+}
+
+impl Default for ResolvedCache {
+    fn default() -> Self {
+        Self::new(RESOLVED_CACHE_CAP)
+    }
+}
+
+impl ResolvedCache {
+    pub fn new(cap: usize) -> Self {
+        ResolvedCache {
+            cap: cap.max(1),
+            map: HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    /// Record an answer (`None` = authenticated NXDOMAIN), evicting the
+    /// oldest entry if a fresh name would exceed the cap.
+    pub fn insert(&mut self, name: DomainName, answer: Option<Ipv6Addr>) {
+        if let Some(slot) = self.map.get_mut(&name) {
+            *slot = answer;
+            return;
+        }
+        if self.map.len() >= self.cap {
+            if let Some(oldest) = self.order.pop_front() {
+                self.map.remove(&oldest);
+            }
+        }
+        self.order.push_back(name.clone());
+        self.map.insert(name, answer);
+    }
+
+    /// The cached answer for `name`, if still resident.
+    pub fn get(&self, name: &DomainName) -> Option<&Option<Ipv6Addr>> {
+        self.map.get(name)
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
 
 /// Everything a node counts about its own behaviour.
 #[derive(Debug, Default, Clone)]
@@ -74,8 +140,9 @@ pub struct NodeStats {
 
     // --- DNS client ---
     /// Answers received for [`crate::node::SecureNode::resolve`] calls,
-    /// keyed by name (`None` = authenticated NXDOMAIN).
-    pub resolved: HashMap<DomainName, Option<Ipv6Addr>>,
+    /// keyed by name (`None` = authenticated NXDOMAIN). Bounded:
+    /// inserting past [`RESOLVED_CACHE_CAP`] evicts the oldest entry.
+    pub resolved: ResolvedCache,
     /// Outcome of the last IP-change attempt.
     pub ip_change_accepted: Option<bool>,
 }
@@ -114,5 +181,54 @@ mod tests {
             ..NodeStats::default()
         };
         assert_eq!(s.total_rejected(), 7);
+    }
+
+    fn dn(s: &str) -> DomainName {
+        DomainName::new(s).unwrap()
+    }
+
+    fn ip(last: u16) -> Ipv6Addr {
+        Ipv6Addr::from_groups([0xfec0, 0, 0, 0, 0, 0, 0, last])
+    }
+
+    #[test]
+    fn resolved_cache_evicts_oldest_insertion() {
+        let mut c = ResolvedCache::new(2);
+        c.insert(dn("a"), Some(ip(1)));
+        c.insert(dn("b"), None);
+        c.insert(dn("c"), Some(ip(3)));
+        assert_eq!(c.get(&dn("a")), None, "oldest entry evicted");
+        assert_eq!(c.get(&dn("b")), Some(&None));
+        assert_eq!(c.get(&dn("c")), Some(&Some(ip(3))));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn resolved_cache_update_in_place_keeps_age() {
+        let mut c = ResolvedCache::new(2);
+        c.insert(dn("a"), None);
+        c.insert(dn("b"), None);
+        // Re-resolving "a" updates the answer but not its age...
+        c.insert(dn("a"), Some(ip(9)));
+        assert_eq!(c.get(&dn("a")), Some(&Some(ip(9))));
+        // ...so it is still the first out when "c" arrives.
+        c.insert(dn("c"), None);
+        assert_eq!(c.get(&dn("a")), None);
+        assert_eq!(c.get(&dn("b")), Some(&None));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn resolved_cache_stays_bounded_under_churn() {
+        let mut c = ResolvedCache::new(4);
+        for i in 0..100u32 {
+            c.insert(dn(&format!("n{i}")), Some(ip(i as u16)));
+        }
+        assert_eq!(c.len(), 4);
+        // Exactly the 4 newest survive.
+        for i in 96..100u32 {
+            assert!(c.get(&dn(&format!("n{i}"))).is_some());
+        }
+        assert_eq!(c.get(&dn("n95")), None);
     }
 }

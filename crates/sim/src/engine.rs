@@ -141,16 +141,39 @@ impl Default for ExecMode {
 /// Cold per-node state: touched once per dispatched callback (protocol)
 /// or once per mobility tick (mobility), never in the candidate-filter
 /// loop. Lives in its owner shard's slab.
-pub(crate) struct NodeSlot {
-    proto: Option<Box<dyn Protocol>>,
-    mobility: MobilityState,
-    /// This node's deterministic stream: protocol draws, transmit
+///
+/// Stored struct-of-arrays: the AoS layout interleaved a ~250-byte
+/// stride of protocol box + mobility + RNG between consecutive
+/// `started` flags, so the per-dispatch liveness check dragged a cache
+/// line of cold state per node. Split into parallel vectors, the
+/// `started` column is one byte per node and the RNG/handle columns
+/// only fault in when a callback actually fires.
+#[derive(Default)]
+pub(crate) struct NodeSlab {
+    protos: Vec<Option<Box<dyn Protocol>>>,
+    mobility: Vec<MobilityState>,
+    /// Per-node deterministic streams: protocol draws, transmit
     /// loss/delay draws (as sender), and mobility steps.
-    rng: ChaCha12Rng,
-    started: bool,
-    /// Next local timer-handle counter (namespaced by node id in
+    rngs: Vec<ChaCha12Rng>,
+    /// Checked on every dispatched delivery/timer — the hot column.
+    started: Vec<bool>,
+    /// Next local timer-handle counters (namespaced by node id in
     /// [`Ctx::set_timer`]).
-    next_handle: u64,
+    next_handles: Vec<u64>,
+}
+
+impl NodeSlab {
+    fn len(&self) -> usize {
+        self.protos.len()
+    }
+
+    fn push(&mut self, proto: Box<dyn Protocol>, mobility: MobilityState, rng: ChaCha12Rng) {
+        self.protos.push(Some(proto));
+        self.mobility.push(mobility);
+        self.rngs.push(rng);
+        self.started.push(false);
+        self.next_handles.push(0);
+    }
 }
 
 /// Hot per-node state, packed into one global slab so the broadcast
@@ -232,7 +255,7 @@ struct EpochLog {
 struct Shard {
     queue: PendingQueue,
     timers: TimerTable,
-    nodes: Vec<NodeSlot>,
+    nodes: NodeSlab,
     /// Order-insensitive counters accumulated during windows, folded
     /// into the global metrics at each replay.
     metrics: Metrics,
@@ -259,7 +282,7 @@ impl Shard {
         Shard {
             queue: PendingQueue::new(queue),
             timers: TimerTable::new(),
-            nodes: Vec::new(),
+            nodes: NodeSlab::default(),
             metrics: Metrics::new(),
             tracer: Tracer::new(trace),
             sample_log: Vec::new(),
@@ -294,17 +317,17 @@ impl Shard {
             match ev {
                 Event::Start(id) => {
                     let li = local[id.0] as usize;
-                    if !hot[id.0].alive || self.nodes[li].started {
+                    if !hot[id.0].alive || self.nodes.started[li] {
                         continue;
                     }
-                    self.nodes[li].started = true;
+                    self.nodes.started[li] = true;
                     self.fire(time, seq, id, w_end, hot, grid, radio, local, |p, ctx| {
                         p.on_start(ctx)
                     });
                 }
                 Event::Deliver { to, src, bytes } => {
                     let li = local[to.0] as usize;
-                    if !hot[to.0].alive || !self.nodes[li].started {
+                    if !hot[to.0].alive || !self.nodes.started[li] {
                         self.metrics.count("phy.rx_dropped_dead", 1);
                         self.recycle_frame(bytes);
                         continue;
@@ -321,7 +344,7 @@ impl Shard {
                         continue;
                     }
                     let li = local[node.0] as usize;
-                    if !hot[node.0].alive || !self.nodes[li].started {
+                    if !hot[node.0].alive || !self.nodes.started[li] {
                         continue;
                     }
                     self.fire(time, seq, node, w_end, hot, grid, radio, local, |p, ctx| {
@@ -330,7 +353,7 @@ impl Shard {
                 }
                 Event::LinkFailure { node, to, bytes } => {
                     let li = local[node.0] as usize;
-                    if hot[node.0].alive && self.nodes[li].started {
+                    if hot[node.0].alive && self.nodes.started[li] {
                         self.metrics.count("phy.link_failures", 1);
                         self.fire(time, seq, node, w_end, hot, grid, radio, local, |p, ctx| {
                             p.on_link_failure(ctx, to, &bytes)
@@ -360,27 +383,28 @@ impl Shard {
         f: impl FnOnce(&mut dyn Protocol, &mut Ctx),
     ) {
         let li = local[id.0] as usize;
-        let mut proto = self.nodes[li]
-            .proto
+        let mut proto = self.nodes.protos[li]
             .take()
             .expect("re-entrant protocol call");
         let mut out = std::mem::take(&mut self.ctx_scratch);
         {
-            let slot = &mut self.nodes[li];
+            let NodeSlab {
+                rngs, next_handles, ..
+            } = &mut self.nodes;
             let mut ctx = Ctx {
                 node: id,
                 now: time,
                 out: &mut out,
-                rng: &mut slot.rng,
+                rng: &mut rngs[li],
                 metrics: &mut self.metrics,
                 tracer: &mut self.tracer,
-                next_handle: &mut slot.next_handle,
+                next_handle: &mut next_handles[li],
                 frame_pool: &mut self.frame_pool,
                 sample_log: Some(&mut self.sample_log),
             };
             f(proto.as_mut(), &mut ctx);
         }
-        self.nodes[li].proto = Some(proto);
+        self.nodes.protos[li] = Some(proto);
         self.apply_out_window(time, id, w_end, hot, grid, radio, local, &mut out);
         self.ctx_scratch = out;
         self.recs.push(Rec {
@@ -444,14 +468,14 @@ impl Shard {
         let mut cand = std::mem::take(&mut self.bcast_scratch);
         let mut sends = std::mem::take(&mut self.send_scratch);
         for (dst, bytes) in out.sends.drain(..) {
-            let slot = &mut self.nodes[local[id.0] as usize];
+            let rng = &mut self.nodes.rngs[local[id.0] as usize];
             transmit_into(
                 &env,
                 time,
                 id,
                 dst,
                 bytes,
-                &mut slot.rng,
+                rng,
                 &mut self.metrics,
                 &mut cand,
                 &mut sends,
@@ -659,13 +683,11 @@ impl Engine {
         let sh = self.shard_of_pos(&pos);
         self.owner.push(sh as u32);
         self.local.push(self.shards[sh].nodes.len() as u32);
-        self.shards[sh].nodes.push(NodeSlot {
-            proto: Some(proto),
-            mobility: MobilityState::new(mobility),
-            rng: ChaCha12Rng::seed_from_u64(node_stream_seed(self.cfg.seed, id.0)),
-            started: false,
-            next_handle: 0,
-        });
+        self.shards[sh].nodes.push(
+            proto,
+            MobilityState::new(mobility),
+            ChaCha12Rng::seed_from_u64(node_stream_seed(self.cfg.seed, id.0)),
+        );
         self.hot.push(HotNode {
             pos,
             join_at,
@@ -734,8 +756,9 @@ impl Engine {
         self.cfg.exec
     }
 
-    fn slot(&self, node: NodeId) -> &NodeSlot {
-        &self.shards[self.owner[node.0] as usize].nodes[self.local[node.0] as usize]
+    /// Has the node's `on_start` run? (Cold-slab lookup.)
+    fn started(&self, node: NodeId) -> bool {
+        self.shards[self.owner[node.0] as usize].nodes.started[self.local[node.0] as usize]
     }
 
     /// The read-only world transmissions and neighbor queries consult.
@@ -756,8 +779,8 @@ impl Engine {
     /// # Panics
     /// Panics if called re-entrantly (from inside a protocol callback).
     pub fn protocol(&self, node: NodeId) -> &dyn Protocol {
-        self.slot(node)
-            .proto
+        let (sh, li) = (self.owner[node.0] as usize, self.local[node.0] as usize);
+        self.shards[sh].nodes.protos[li]
             .as_deref()
             .expect("protocol checked out (re-entrant access)")
     }
@@ -765,8 +788,7 @@ impl Engine {
     /// Mutably borrow a protocol (e.g. to inject an application request).
     pub fn protocol_mut(&mut self, node: NodeId) -> &mut dyn Protocol {
         let (sh, li) = (self.owner[node.0] as usize, self.local[node.0] as usize);
-        self.shards[sh].nodes[li]
-            .proto
+        self.shards[sh].nodes.protos[li]
             .as_deref_mut()
             .expect("protocol checked out (re-entrant access)")
     }
@@ -787,21 +809,22 @@ impl Engine {
         f: impl FnOnce(&mut T, &mut Ctx) -> R,
     ) -> R {
         let (sh, li) = (self.owner[node.0] as usize, self.local[node.0] as usize);
-        let mut proto = self.shards[sh].nodes[li]
-            .proto
+        let mut proto = self.shards[sh].nodes.protos[li]
             .take()
             .expect("protocol checked out");
         let mut out = std::mem::take(&mut self.ctx_scratch);
         let r = {
-            let slot = &mut self.shards[sh].nodes[li];
+            let NodeSlab {
+                rngs, next_handles, ..
+            } = &mut self.shards[sh].nodes;
             let mut ctx = Ctx {
                 node,
                 now: self.now,
                 out: &mut out,
-                rng: &mut slot.rng,
+                rng: &mut rngs[li],
                 metrics: &mut self.metrics,
                 tracer: &mut self.tracer,
-                next_handle: &mut slot.next_handle,
+                next_handle: &mut next_handles[li],
                 frame_pool: &mut self.frame_pool,
                 sample_log: None,
             };
@@ -813,7 +836,7 @@ impl Engine {
                 &mut ctx,
             )
         };
-        self.shards[sh].nodes[li].proto = Some(proto);
+        self.shards[sh].nodes.protos[li] = Some(proto);
         self.apply_out_serial(node, &mut out);
         self.ctx_scratch = out;
         r
@@ -989,15 +1012,15 @@ impl Engine {
     fn dispatch_serial(&mut self, event: Event, until: SimTime) {
         match event {
             Event::Start(id) => {
-                if !self.hot[id.0].alive || self.slot(id).started {
+                if !self.hot[id.0].alive || self.started(id) {
                     return;
                 }
                 let (sh, li) = (self.owner[id.0] as usize, self.local[id.0] as usize);
-                self.shards[sh].nodes[li].started = true;
+                self.shards[sh].nodes.started[li] = true;
                 self.call_protocol_serial(id, |p, ctx| p.on_start(ctx));
             }
             Event::Deliver { to, src, bytes } => {
-                if !self.hot[to.0].alive || !self.slot(to).started {
+                if !self.hot[to.0].alive || !self.started(to) {
                     self.metrics.count("phy.rx_dropped_dead", 1);
                     self.recycle_frame(bytes);
                     return;
@@ -1012,13 +1035,13 @@ impl Engine {
                 if !self.shards[sh].timers.should_fire(handle) {
                     return;
                 }
-                if !self.hot[node.0].alive || !self.slot(node).started {
+                if !self.hot[node.0].alive || !self.started(node) {
                     return;
                 }
                 self.call_protocol_serial(node, |p, ctx| p.on_timer(ctx, tag));
             }
             Event::LinkFailure { node, to, bytes } => {
-                if self.hot[node.0].alive && self.slot(node).started {
+                if self.hot[node.0].alive && self.started(node) {
                     self.metrics.count("phy.link_failures", 1);
                     self.call_protocol_serial(node, |p, ctx| p.on_link_failure(ctx, to, &bytes));
                 }
@@ -1029,11 +1052,16 @@ impl Engine {
                 let field = self.cfg.field;
                 for i in 0..self.hot.len() {
                     let (sh, li) = (self.owner[i] as usize, self.local[i] as usize);
-                    let slot = &mut self.shards[sh].nodes[li];
+                    let NodeSlab {
+                        mobility,
+                        rngs,
+                        started,
+                        ..
+                    } = &mut self.shards[sh].nodes;
                     let hot = &mut self.hot[i];
-                    if hot.alive && slot.started {
+                    if hot.alive && started[li] {
                         let before = hot.pos;
-                        slot.mobility.step(&mut hot.pos, &field, dt, &mut slot.rng);
+                        mobility[li].step(&mut hot.pos, &field, dt, &mut rngs[li]);
                         if hot.pos != before {
                             if let Some(grid) = &mut self.grid {
                                 grid.relocate(NodeId(i), &hot.pos);
@@ -1068,27 +1096,28 @@ impl Engine {
 
     fn call_protocol_serial(&mut self, id: NodeId, f: impl FnOnce(&mut dyn Protocol, &mut Ctx)) {
         let (sh, li) = (self.owner[id.0] as usize, self.local[id.0] as usize);
-        let mut proto = self.shards[sh].nodes[li]
-            .proto
+        let mut proto = self.shards[sh].nodes.protos[li]
             .take()
             .expect("re-entrant protocol call");
         let mut out = std::mem::take(&mut self.ctx_scratch);
         {
-            let slot = &mut self.shards[sh].nodes[li];
+            let NodeSlab {
+                rngs, next_handles, ..
+            } = &mut self.shards[sh].nodes;
             let mut ctx = Ctx {
                 node: id,
                 now: self.now,
                 out: &mut out,
-                rng: &mut slot.rng,
+                rng: &mut rngs[li],
                 metrics: &mut self.metrics,
                 tracer: &mut self.tracer,
-                next_handle: &mut slot.next_handle,
+                next_handle: &mut next_handles[li],
                 frame_pool: &mut self.frame_pool,
                 sample_log: None,
             };
             f(proto.as_mut(), &mut ctx);
         }
-        self.shards[sh].nodes[li].proto = Some(proto);
+        self.shards[sh].nodes.protos[li] = Some(proto);
         self.apply_out_serial(id, &mut out);
         self.ctx_scratch = out;
     }
@@ -1128,7 +1157,7 @@ impl Engine {
                 grid: self.grid.as_ref(),
             };
             let li = self.local[id.0] as usize;
-            let slot = &mut self.shards[sh].nodes[li];
+            let rng = &mut self.shards[sh].nodes.rngs[li];
             for (dst, bytes) in out.sends.drain(..) {
                 transmit_into(
                     &env,
@@ -1136,7 +1165,7 @@ impl Engine {
                     id,
                     dst,
                     bytes,
-                    &mut slot.rng,
+                    rng,
                     &mut self.metrics,
                     &mut cand,
                     &mut sends,

@@ -22,6 +22,7 @@ pub mod engine;
 pub mod geom;
 mod grid;
 pub mod link;
+pub mod mem;
 pub mod metrics;
 pub mod mobility;
 mod queue;

@@ -1,0 +1,158 @@
+//! Process memory accounting for the memory-diet exhibits.
+//!
+//! Two independent probes:
+//!
+//! * [`peak_rss_bytes`] reads the process-lifetime resident-set
+//!   high-water mark from `/proc/self/status` (`VmHWM`). It is a
+//!   process-wide number — meaningful for a bin whose dominant phase is
+//!   the scenario being measured (the S3 exhibit dwarfs everything else
+//!   the `tables` bin does by an order of magnitude), less so inside a
+//!   multi-test harness.
+//! * [`CountingAlloc`] wraps the system allocator and counts every
+//!   allocation (count + bytes requested). It costs two relaxed atomic
+//!   adds per allocation, so it is **not** installed by default: bins
+//!   and tests that want it opt in with `#[global_allocator]` behind
+//!   the `alloc-metrics` cargo feature.
+//!
+//! Both numbers are machine/allocator-dependent observables, like
+//! `wall_s` — report fields built from them must be masked out of
+//! determinism fingerprints.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+
+/// A [`GlobalAlloc`] over [`System`] that counts allocations.
+///
+/// Install in a bin or test with:
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: manet_sim::mem::CountingAlloc = manet_sim::mem::CountingAlloc;
+/// ```
+///
+/// Reallocations count the full new size (the growth pattern of a
+/// `Vec` that was never reserved shows up as repeated counted
+/// reallocs — exactly the signal the memory diet hunts).
+pub struct CountingAlloc;
+
+// SAFETY: defers all allocation to `System`; only adds relaxed
+// counter updates, which cannot affect the returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+/// Cumulative `(bytes, count)` since process start, or `None` if the
+/// counting allocator is not installed in this process. (A Rust
+/// process that has reached user code has allocated *something*, so a
+/// zero count means the hooks never ran.)
+pub fn alloc_totals() -> Option<(u64, u64)> {
+    let count = ALLOC_COUNT.load(Ordering::Relaxed);
+    (count > 0).then(|| (ALLOC_BYTES.load(Ordering::Relaxed), count))
+}
+
+/// A point-in-time snapshot for differential measurements:
+/// `alloc_since(&before)` is the traffic between two snapshots.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AllocSnapshot {
+    pub bytes: u64,
+    pub count: u64,
+}
+
+/// Snapshot the counting allocator (zeros when not installed).
+pub fn alloc_snapshot() -> AllocSnapshot {
+    AllocSnapshot {
+        bytes: ALLOC_BYTES.load(Ordering::Relaxed),
+        count: ALLOC_COUNT.load(Ordering::Relaxed),
+    }
+}
+
+/// Allocation traffic since `before`.
+pub fn alloc_since(before: &AllocSnapshot) -> AllocSnapshot {
+    let now = alloc_snapshot();
+    AllocSnapshot {
+        bytes: now.bytes.saturating_sub(before.bytes),
+        count: now.count.saturating_sub(before.count),
+    }
+}
+
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`), or `None` where that interface is absent.
+pub fn peak_rss_bytes() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        parse_vm_hwm(&status)
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
+/// Parse the `VmHWM:` line of a `/proc/self/status` document. The unit
+/// is always kB on Linux.
+#[cfg_attr(not(target_os = "linux"), allow(dead_code))]
+fn parse_vm_hwm(status: &str) -> Option<u64> {
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line
+        .strip_prefix("VmHWM:")?
+        .trim()
+        .strip_suffix("kB")?
+        .trim()
+        .parse()
+        .ok()?;
+    Some(kb * 1024)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_vm_hwm_line() {
+        let doc = "Name:\ttables\nVmPeak:\t  123 kB\nVmHWM:\t   2048 kB\nVmRSS:\t 1024 kB\n";
+        assert_eq!(parse_vm_hwm(doc), Some(2048 * 1024));
+    }
+
+    #[test]
+    fn missing_or_malformed_hwm_is_none() {
+        assert_eq!(parse_vm_hwm("Name:\tx\n"), None);
+        assert_eq!(parse_vm_hwm("VmHWM:\tnot-a-number kB\n"), None);
+        assert_eq!(parse_vm_hwm("VmHWM:\t12 MB\n"), None);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn peak_rss_reads_a_positive_value() {
+        let rss = peak_rss_bytes().expect("linux always has VmHWM");
+        assert!(rss > 0);
+    }
+
+    #[test]
+    fn snapshot_diff_is_monotonic() {
+        let before = alloc_snapshot();
+        let v: Vec<u8> = Vec::with_capacity(1024);
+        drop(v);
+        let d = alloc_since(&before);
+        // Without the counting allocator installed both are zero; with
+        // it, the vec shows up. Either way the diff never underflows.
+        assert!(d.bytes == 0 || d.bytes >= 1024);
+    }
+}

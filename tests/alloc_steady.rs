@@ -1,0 +1,85 @@
+//! Steady-state allocation bound for the plain forwarding hot path
+//! (ROADMAP item 1, the allocator half of the memory diet).
+//!
+//! Installs the counting global allocator from `manet_sim::mem` and
+//! meters a warmed, static chain: after the first packets have
+//! discovered the route, every further round rides the cached route —
+//! arena-backed send buffers, interned addresses, recycled event
+//! slots — so allocator traffic per delivered payload must stay small
+//! and *flat*. A regression that puts a `Vec` clone or a fresh map back
+//! on the per-frame path multiplies the per-packet figure and trips the
+//! bound long before it would show up in S3's peak RSS.
+//!
+//! Opt-in (`--features alloc-metrics`) because a counting global
+//! allocator perturbs every other test in the same binary for no
+//! benefit.
+
+#![cfg(feature = "alloc-metrics")]
+
+use manet_secure::scenario::{Placement, ScenarioBuilder, Workload};
+use manet_sim::mem::{alloc_since, alloc_snapshot, CountingAlloc};
+use manet_sim::SimDuration;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Allocations allowed per delivered payload once the route is cached.
+/// Measured at 58 on the 8-host chain (the steady path still decodes
+/// each relayed frame into owned route/payload buffers at every hop —
+/// 7 hops × ~2 Vecs each way — plus ack bookkeeping); 150 leaves real
+/// headroom while still tripping on an accidental per-frame clone of a
+/// neighbor table or stats map, which lands in the thousands.
+const MAX_ALLOCS_PER_DELIVERY: u64 = 150;
+
+#[test]
+fn steady_state_forwarding_alloc_bound() {
+    let mut net = ScenarioBuilder::new()
+        .hosts(8)
+        .placement(Placement::Chain { spacing: 200.0 })
+        .seed(17)
+        .plain()
+        .build();
+
+    // Warm-up: discover the route, populate neighbor caches, touch
+    // every lazily-grown structure once.
+    let w = |packets| Workload::flows(vec![(0, 7)], packets, SimDuration::from_millis(250));
+    let warm = net.run(&w(8));
+    assert!(
+        warm.totals.data_received >= 6,
+        "warm-up barely delivered ({} of 8): chain broken, bound meaningless",
+        warm.totals.data_received
+    );
+
+    // Measured phase: same flow, routes cached, no discovery floods.
+    let before = alloc_snapshot();
+    let report = net.run(&w(64));
+    let traffic = alloc_since(&before);
+
+    let delivered = report.totals.data_received - warm.totals.data_received;
+    assert!(
+        delivered >= 56,
+        "steady phase lost traffic ({delivered} of 64 delivered)"
+    );
+    let per_delivery = traffic.count / delivered;
+    eprintln!(
+        "steady state: {} allocs / {} bytes over {} deliveries = {} allocs each",
+        traffic.count, traffic.bytes, delivered, per_delivery
+    );
+    assert!(
+        per_delivery <= MAX_ALLOCS_PER_DELIVERY,
+        "steady-state allocation regression: {} allocs / {} deliveries = {} each (bound {}); \
+         something re-entered the per-frame path",
+        traffic.count,
+        delivered,
+        per_delivery,
+        MAX_ALLOCS_PER_DELIVERY
+    );
+
+    // The counting allocator must actually be live in this process —
+    // otherwise the numbers above were vacuous zeros.
+    assert!(traffic.count > 0, "counting allocator not installed");
+    assert!(
+        report.alloc_count.is_some(),
+        "RunReport should surface alloc totals when the counter is live"
+    );
+}
