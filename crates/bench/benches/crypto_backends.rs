@@ -1,0 +1,110 @@
+//! C2 — the pluggable signature backends and the batch drain.
+//!
+//! Three questions, isolated from the simulator:
+//! * what does one verify/sign cost under each [`BackendKind`] (the
+//!   per-op gap the `NullBackend` protocol-only runs exploit);
+//! * what does the batch pipeline's bookkeeping cost when it *cannot*
+//!   amortize (all triples unique — pure overhead vs inline);
+//! * what does a duplicate-heavy tick cost batched vs inline (the
+//!   flood case the network-wide dedup exists for).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use manet_crypto::{backend_for, BackendKind, BatchVerifier, KeyPair, PublicKey, Signature};
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use std::hint::black_box;
+
+/// One signed triple per distinct payload, all under one 512-bit key
+/// (the flood shape: many proofs from few identities).
+fn triples(backend: BackendKind, n: usize) -> (KeyPair, Vec<(Vec<u8>, Signature)>) {
+    let mut rng = ChaCha12Rng::seed_from_u64(7);
+    let kp = KeyPair::generate(512, &mut rng);
+    let b = backend_for(backend);
+    let signed = (0..n)
+        .map(|i| {
+            let payload = format!("[IIP, seq {i}]ISK - SRR hop entry").into_bytes();
+            let sig = b.sign(&kp, &payload);
+            (payload, sig)
+        })
+        .collect();
+    (kp, signed)
+}
+
+fn bench_verify_per_backend(c: &mut Criterion) {
+    let mut g = c.benchmark_group("backend_verify");
+    for kind in BackendKind::ALL {
+        let (kp, signed) = triples(kind, 1);
+        let backend = backend_for(kind);
+        let (payload, sig) = &signed[0];
+        g.bench_function(BenchmarkId::from_parameter(kind.name()), |b| {
+            b.iter(|| backend.verify(black_box(kp.public()), black_box(payload), black_box(sig)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_sign_per_backend(c: &mut Criterion) {
+    let mut g = c.benchmark_group("backend_sign");
+    let msg = b"[IIP, seq]ISK - one SRR hop entry";
+    for kind in BackendKind::ALL {
+        let mut rng = ChaCha12Rng::seed_from_u64(8);
+        let kp = KeyPair::generate(512, &mut rng);
+        let backend = backend_for(kind);
+        g.bench_function(BenchmarkId::from_parameter(kind.name()), |b| {
+            b.iter(|| backend.sign(black_box(&kp), black_box(msg)));
+        });
+    }
+    g.finish();
+}
+
+fn verify_inline(pk: &PublicKey, backend: BackendKind, work: &[(Vec<u8>, Signature)]) -> u32 {
+    let b = backend_for(backend);
+    let mut ok = 0u32;
+    for (payload, sig) in work {
+        ok += b.verify(pk, payload, sig) as u32;
+    }
+    ok
+}
+
+fn verify_batched(pk: &PublicKey, backend: BackendKind, work: &[(Vec<u8>, Signature)]) -> u64 {
+    let b = backend_for(backend);
+    // A fresh verifier per iteration: the empty-table case, so the
+    // measurement includes every enqueue/drain cost, not a warm table.
+    let batch = BatchVerifier::new(1 << 16);
+    for (payload, sig) in work {
+        batch.enqueue(pk, payload, sig);
+    }
+    batch.drain(b.as_ref());
+    batch.stats().executed
+}
+
+/// `dup` presentations of each of `unique` triples — one simulated
+/// tick's worth of demand. `dup = 1` is the worst case for batching
+/// (bookkeeping, no amortization); `dup = 8` is the flood case.
+fn bench_batched_vs_inline(c: &mut Criterion) {
+    const UNIQUE: usize = 32;
+    for kind in [BackendKind::Rsa, BackendKind::HashSig] {
+        let (kp, signed) = triples(kind, UNIQUE);
+        let mut g = c.benchmark_group(format!("batch_tick_{}", kind.name()));
+        for dup in [1usize, 8] {
+            let work: Vec<(Vec<u8>, Signature)> =
+                signed.iter().cycle().take(UNIQUE * dup).cloned().collect();
+            g.throughput(Throughput::Elements(work.len() as u64));
+            g.bench_with_input(BenchmarkId::new("inline", dup), &work, |b, work| {
+                b.iter(|| verify_inline(black_box(kp.public()), kind, black_box(work)));
+            });
+            g.bench_with_input(BenchmarkId::new("batched", dup), &work, |b, work| {
+                b.iter(|| verify_batched(black_box(kp.public()), kind, black_box(work)));
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_verify_per_backend,
+    bench_sign_per_backend,
+    bench_batched_vs_inline
+);
+criterion_main!(benches);

@@ -22,6 +22,7 @@
 
 use crate::jsonscan::{extract_object, read_bool, read_number};
 use crate::table::Table;
+use manet_crypto::BackendKind;
 use manet_secure::scenario::{Placement, RunReport, ScenarioBuilder, Workload};
 use manet_secure::{attacks, ProtocolConfig};
 use manet_sim::SimDuration;
@@ -29,21 +30,32 @@ use std::time::Instant;
 
 /// Observables of one V1 run: the boot wall plus the flows-phase
 /// [`RunReport`] (whose `wall_s` covers the traffic only, so exec/s
-/// rates are not diluted by RSA key generation).
+/// rates are not diluted by RSA key generation), and the
+/// benchmark-only backend/batch execution counters.
 struct V1Run {
     wall_boot_s: f64,
     report: RunReport,
+    backend_verifies: u64,
+    backend_signs: u64,
+    batch_requests: u64,
+    batch_executed: u64,
 }
 
 impl V1Run {
     fn demand(&self) -> u64 {
         self.report.crypto.demand()
     }
+
+    /// Backend ops saved per op executed by the network-wide drain.
+    fn amortization(&self) -> f64 {
+        self.batch_requests as f64 / self.batch_executed.max(1) as f64
+    }
 }
 
-/// The flood workload: `n` hosts at expected radio degree ~8, sources
-/// fanning in on two hub destinations plus background pair flows.
-fn run_v1(cache: bool, quick: bool, seed: u64) -> V1Run {
+/// The flood workload under an explicit protocol config: `n` hosts at
+/// expected radio degree ~8, sources fanning in on two hub destinations
+/// plus background pair flows.
+fn run_v1_cfg(cfg: ProtocolConfig, quick: bool, seed: u64) -> V1Run {
     let n = if quick { 24 } else { 36 };
     let (packets, rounds_ms) = if quick { (6, 300) } else { (10, 300) };
     let hub_a = n / 2;
@@ -60,11 +72,7 @@ fn run_v1(cache: bool, quick: bool, seed: u64) -> V1Run {
         .density(8.0)
         .seed(seed)
         .adversary(6, attacks::rerr_forger())
-        .secure_with(ProtocolConfig {
-            rrep_multi: 6,
-            verify_cache: cache,
-            ..ProtocolConfig::default()
-        })
+        .secure_with(cfg)
         .build();
     net.bootstrap();
     let wall_boot_s = t0.elapsed().as_secs_f64();
@@ -73,10 +81,49 @@ fn run_v1(cache: bool, quick: bool, seed: u64) -> V1Run {
         packets,
         SimDuration::from_millis(rounds_ms),
     ));
+    let (bv, bs) = net
+        .crypto_backend
+        .as_ref()
+        .map(|b| (b.verifies_executed(), b.signs_executed()))
+        .unwrap_or((0, 0));
+    let stats = net.batch.as_ref().map(|b| b.stats()).unwrap_or_default();
     V1Run {
         wall_boot_s,
         report,
+        backend_verifies: bv,
+        backend_signs: bs,
+        batch_requests: stats.requests,
+        batch_executed: stats.executed,
     }
+}
+
+/// The cache-differential pair: verify cache on vs off under the
+/// default (RSA) backend.
+fn run_v1(cache: bool, quick: bool, seed: u64) -> V1Run {
+    run_v1_cfg(
+        ProtocolConfig {
+            rrep_multi: 6,
+            verify_cache: cache,
+            ..ProtocolConfig::default()
+        },
+        quick,
+        seed,
+    )
+}
+
+/// The same flood under an explicit signature backend, batch drain on —
+/// the per-backend throughput rows of `BENCH_crypto.json`.
+fn run_v1_backend(kind: BackendKind, quick: bool, seed: u64) -> V1Run {
+    run_v1_cfg(
+        ProtocolConfig {
+            rrep_multi: 6,
+            crypto_backend: kind,
+            batch_verify: true,
+            ..ProtocolConfig::default()
+        },
+        quick,
+        seed,
+    )
 }
 
 /// V1: secure flood workload, verify cache on vs off.
@@ -110,6 +157,34 @@ pub fn exhibit_v1(quick: bool) -> String {
         hit_rate > 0.5,
         "verify-cache hit rate {hit_rate:.3} fell to 1/2 or below on the flood workload"
     );
+
+    // Per-backend throughput: the same flood under each signature
+    // scheme, batch drain on. Each backend is its own universe (its
+    // signature bytes differ), so the rows compare cost, never
+    // observables. The drain must amortize under every backend — more
+    // triples requested than backend ops executed — or batching is
+    // pure overhead.
+    let backends: Vec<(BackendKind, V1Run)> = BackendKind::ALL
+        .iter()
+        .map(|&k| (k, run_v1_backend(k, quick, seed)))
+        .collect();
+    for (kind, r) in &backends {
+        assert!(
+            r.batch_executed > 0 && r.batch_executed < r.batch_requests,
+            "{}: batch never amortized ({} executed of {} requested)",
+            kind.name(),
+            r.batch_executed,
+            r.batch_requests
+        );
+    }
+    let rate_of = |want: BackendKind| {
+        backends
+            .iter()
+            .find(|(k, _)| *k == want)
+            .map(|(_, r)| r.report.events_per_sec_engine)
+            .expect("backend row")
+    };
+    let null_over_rsa = rate_of(BackendKind::Null) / rate_of(BackendKind::Rsa).max(1e-9);
 
     // Re-time the S1 hot path: the refactor moved the whole node stack,
     // so pin its cost next to the crypto numbers. Compare only against a
@@ -151,6 +226,38 @@ pub fn exhibit_v1(quick: bool) -> String {
         on.demand(),
         on.report.crypto.failed
     ));
+
+    let mut bt = Table::new(
+        "V1 — crypto backends: same flood per scheme, batch drain on".to_string(),
+        &[
+            "backend",
+            "boot (s)",
+            "flows wall (s)",
+            "engine ev/s",
+            "verifies run",
+            "signs run",
+            "batch req",
+            "batch exec",
+            "amortize",
+        ],
+    );
+    for (kind, r) in &backends {
+        bt.rowv(vec![
+            kind.name().to_string(),
+            format!("{:.3}", r.wall_boot_s),
+            format!("{:.3}", r.report.wall_s),
+            format!("{:.0}", r.report.events_per_sec_engine),
+            r.backend_verifies.to_string(),
+            r.backend_signs.to_string(),
+            r.batch_requests.to_string(),
+            r.batch_executed.to_string(),
+            format!("{:.2}x", r.amortization()),
+        ]);
+    }
+    bt.note(format!(
+        "null runs the engine {null_over_rsa:.1}x faster than rsa on this workload — the crypto \
+         budget batching and caching are chasing"
+    ));
     t.note(format!(
         "S1 grid ({}) re-timed at {s1_wall_s:.3}s{}",
         if quick { "quick" } else { "full" },
@@ -163,20 +270,29 @@ pub fn exhibit_v1(quick: bool) -> String {
         }
     ));
 
-    if let Err(e) = write_crypto_json(quick, &on, &off, hit_rate, s1_wall_s, prev_s1) {
-        t.note(format!("BENCH_crypto.json not written: {e}"));
+    if let Err(e) = write_crypto_json(
+        quick,
+        &on,
+        &off,
+        hit_rate,
+        &backends,
+        null_over_rsa,
+        s1_wall_s,
+        prev_s1,
+    ) {
+        bt.note(format!("BENCH_crypto.json not written: {e}"));
     } else {
-        t.note(format!("wrote {}", crypto_json_path()));
+        bt.note(format!("wrote {}", crypto_json_path()));
     }
-    t.render()
+    format!("{}\n{}", t.render(), bt.render())
 }
 
 fn crypto_json_path() -> String {
     std::env::var("BENCH_CRYPTO_JSON").unwrap_or_else(|_| "BENCH_crypto.json".to_string())
 }
 
-/// Pull `"grid": {"wall_s": X` out of an existing BENCH_scale.json, if
-/// one is lying around (same naive formatting we write it with; no JSON
+/// Pull the grid-cell wall out of an existing BENCH_scale.json's
+/// **`s1` section** (same naive formatting we write it with; no JSON
 /// dependency in the workspace). The recorded run must have the same
 /// `quick` mode as ours — quick and full S1 are different workloads and
 /// their walls must not be compared.
@@ -190,16 +306,21 @@ fn read_prev_s1_grid_wall_from(path: &str, quick: bool) -> Option<f64> {
     if read_bool(&text, "quick")? != quick {
         return None;
     }
-    // The file's first "grid" object is S1's (the section writer keeps
-    // s1 ahead of s2).
-    read_number(&extract_object(&text, "grid")?, "wall_s")
+    // Scope the lookup to the s1 section: another section carrying a
+    // "grid" object (or sections serialized in a different order) must
+    // never masquerade as S1's record.
+    let s1 = extract_object(&text, "s1")?;
+    read_number(&extract_object(&s1, "grid")?, "wall_s")
 }
 
+#[allow(clippy::too_many_arguments)]
 fn write_crypto_json(
     quick: bool,
     on: &V1Run,
     off: &V1Run,
     hit_rate: f64,
+    backends: &[(BackendKind, V1Run)],
+    null_over_rsa: f64,
     s1_wall_s: f64,
     prev_s1: Option<f64>,
 ) -> std::io::Result<()> {
@@ -222,6 +343,32 @@ fn write_crypto_json(
         Some(p) => (format!("{p:.3}"), format!("{:+.3}", s1_wall_s - p)),
         None => ("null".to_string(), "null".to_string()),
     };
+    // One entry per signature backend: engine throughput, the backend's
+    // actual execution counters, and how hard the batch drain amortized.
+    let backends_json = backends
+        .iter()
+        .map(|(kind, r)| {
+            format!(
+                concat!(
+                    "    \"{}\": {{\"events_per_sec_engine\": {:.0}, ",
+                    "\"wall_boot_s\": {:.3}, \"flows_wall_s\": {:.3}, ",
+                    "\"verifies_executed\": {}, \"signs_executed\": {}, ",
+                    "\"batch\": {{\"requests\": {}, \"executed\": {}, ",
+                    "\"amortization_ratio\": {:.3}}}}}"
+                ),
+                kind.name(),
+                r.report.events_per_sec_engine,
+                r.wall_boot_s,
+                r.report.wall_s,
+                r.backend_verifies,
+                r.backend_signs,
+                r.batch_requests,
+                r.batch_executed,
+                r.amortization(),
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
     let json = format!(
         concat!(
             "{{\n",
@@ -232,6 +379,8 @@ fn write_crypto_json(
             "  \"cached\": {},\n",
             "  \"cache_on\": {},\n",
             "  \"cache_off\": {},\n",
+            "  \"backends\": {{\n{}\n  }},\n",
+            "  \"null_over_rsa_engine_rate\": {:.3},\n",
             "  \"s1_grid_wall_s\": {:.3},\n",
             "  \"s1_grid_wall_prev_s\": {},\n",
             "  \"s1_grid_wall_delta_s\": {}\n",
@@ -243,6 +392,8 @@ fn write_crypto_json(
         on.report.crypto.cached,
         run_json(on),
         run_json(off),
+        backends_json,
+        null_over_rsa,
         s1_wall_s,
         prev,
         delta,
@@ -272,6 +423,26 @@ mod tests {
         );
     }
 
+    /// The per-backend rows must be non-vacuous: the drain amortizes
+    /// (fewer backend ops than triples requested), and every drained
+    /// execution shows up in the backend's own counter.
+    #[test]
+    fn backend_rows_amortize_on_the_flood() {
+        let run = run_v1_backend(BackendKind::Null, true, 1);
+        assert!(run.batch_executed > 0, "drain never executed");
+        assert!(
+            run.batch_executed < run.batch_requests,
+            "no dedup: {} executed of {} requested",
+            run.batch_executed,
+            run.batch_requests
+        );
+        assert!(
+            run.backend_verifies >= run.batch_executed,
+            "drain executions missing from the backend counter"
+        );
+        assert!(run.backend_signs > 0, "flood produced no signing work");
+    }
+
     #[test]
     fn uncached_run_reports_zero_cached() {
         let run = run_v1(false, true, 1);
@@ -280,13 +451,20 @@ mod tests {
     }
 
     #[test]
-    fn prev_s1_parser_reads_our_own_format() {
+    fn prev_s1_parser_reads_the_structured_sections() {
         let dir = std::env::temp_dir().join("v1_parser_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("BENCH_scale.json");
+        // Sections deliberately serialized s2-first, with a decoy
+        // "grid" object inside s2: the reader must reach into the s1
+        // section, not grab the file's first "grid".
         std::fs::write(
             &path,
-            "{\n  \"quick\": true,\n  \"grid\": {\"wall_s\": 0.638, \"events\": 1},\n  \"linear\": {\"wall_s\": 0.886}\n}\n",
+            concat!(
+                "{\n  \"quick\": true,\n",
+                "  \"s2\": {\"n_hosts\": 10000, \"grid\": {\"wall_s\": 9.999}},\n",
+                "  \"s1\": {\"grid\": {\"wall_s\": 0.638, \"events\": 1}, \"linear\": {\"wall_s\": 0.886}}\n}\n",
+            ),
         )
         .unwrap();
         let path = path.to_str().unwrap();
@@ -298,6 +476,18 @@ mod tests {
         );
         assert_eq!(
             read_prev_s1_grid_wall_from("/nonexistent/nope.json", true),
+            None
+        );
+        // A file with no s1 section (e.g. only S2/S3 ran) yields None
+        // instead of a wrong anchor.
+        let no_s1 = dir.join("no_s1.json");
+        std::fs::write(
+            &no_s1,
+            "{\n  \"quick\": true,\n  \"s2\": {\"grid\": {\"wall_s\": 9.9}}\n}\n",
+        )
+        .unwrap();
+        assert_eq!(
+            read_prev_s1_grid_wall_from(no_s1.to_str().unwrap(), true),
             None
         );
     }

@@ -29,7 +29,7 @@
 //! fresh runs on the current machine.
 
 use crate::jsonscan::read_number;
-use crate::scale_exhibits::{run_s2_plain, run_s3, s1_quick_report};
+use crate::scale_exhibits::{run_s2_plain, run_s2_secure_scale, run_s3, s1_quick_report};
 use crate::table::Table;
 
 pub const DEFAULT_BASELINE_PATH: &str = "bench/baselines/BENCH_scale.baseline.json";
@@ -64,6 +64,11 @@ struct FreshCells {
     s1: f64,
     s1_sharded: f64,
     s2: f64,
+    /// The secure-mode cell: the quick S2 secure-scale run (1k hosts,
+    /// RSA, batch drain on) — storm plus signed route discovery, so a
+    /// regression anywhere in the identity/verify/batch pipeline lands
+    /// here.
+    s2_secure: f64,
     s3: f64,
     /// `VmHWM` sampled after the S3 run — the 100k scenario dwarfs the
     /// earlier cells, so the process-lifetime peak is S3's. `None` off
@@ -80,6 +85,9 @@ fn fresh_cells() -> FreshCells {
         .events_per_sec_engine
         .max(s1_quick_report(ExecMode::Sharded(8)).events_per_sec_engine);
     let s2 = run_s2_plain(ExecMode::Single, true, 1).events_per_sec_engine;
+    let s2_secure = run_s2_secure_scale(true, true, 1)
+        .report
+        .events_per_sec_engine;
     // S3 runs last: its peak-RSS sample must not be inflated by a
     // later, larger allocation (nothing after it is larger).
     let s3_report = run_s3(ExecMode::Single, true, 1);
@@ -87,6 +95,7 @@ fn fresh_cells() -> FreshCells {
         s1,
         s1_sharded,
         s2,
+        s2_secure,
         s3: s3_report.events_per_sec_engine,
         s3_peak_rss: s3_report.peak_rss_bytes,
     }
@@ -106,10 +115,11 @@ pub fn check(path: &str) -> (String, bool) {
             false,
         );
     };
-    let (Some(base_s1), Some(base_s1_sharded), Some(base_s2), Some(base_s3)) = (
+    let (Some(base_s1), Some(base_s1_sharded), Some(base_s2), Some(base_s2_secure), Some(base_s3)) = (
         read_number(&text, "s1_events_per_sec_engine"),
         read_number(&text, "s1_sharded_events_per_sec_engine"),
         read_number(&text, "s2_events_per_sec_engine"),
+        read_number(&text, "s2_secure_events_per_sec_engine"),
         read_number(&text, "s3_events_per_sec_engine"),
     ) else {
         return (format!("perf gate: baseline at {path} is malformed"), false);
@@ -132,6 +142,7 @@ pub fn check(path: &str) -> (String, bool) {
         ("S1 (2k grid)", base_s1, fresh.s1),
         ("S1 (2k sharded:8)", base_s1_sharded, fresh.s1_sharded),
         ("S2 (10k plain)", base_s2, fresh.s2),
+        ("S2 secure (1k batched)", base_s2_secure, fresh.s2_secure),
         ("S3 (100k streaming)", base_s3, fresh.s3),
     ] {
         let ratio = fresh_v / base;
@@ -194,21 +205,22 @@ pub fn write_baseline(path: &str) -> std::io::Result<String> {
     let body = format!(
         concat!(
             "{{\n",
-            "  \"comment\": \"engine events/sec + S3 peak-RSS baselines for `tables -- --check-perf` (quick-mode S1 grid single+sharded, S2 plain, S3 streaming cells; regenerate with `tables -- --write-baseline` when the hot path or memory layout legitimately changes, or CI hardware does)\",\n",
+            "  \"comment\": \"engine events/sec + S3 peak-RSS baselines for `tables -- --check-perf` (quick-mode S1 grid single+sharded, S2 plain, S2 secure batched, S3 streaming cells; regenerate with `tables -- --write-baseline` when the hot path or memory layout legitimately changes, or CI hardware does)\",\n",
             "  \"quick\": true,\n",
             "  \"s1_events_per_sec_engine\": {:.0},\n",
             "  \"s1_sharded_events_per_sec_engine\": {:.0},\n",
             "  \"s2_events_per_sec_engine\": {:.0},\n",
+            "  \"s2_secure_events_per_sec_engine\": {:.0},\n",
             "  \"s3_events_per_sec_engine\": {:.0},\n",
             "  \"s3_peak_rss_bytes\": {}\n",
             "}}\n"
         ),
-        fresh.s1, fresh.s1_sharded, fresh.s2, fresh.s3, rss
+        fresh.s1, fresh.s1_sharded, fresh.s2, fresh.s2_secure, fresh.s3, rss
     );
     std::fs::write(path, &body)?;
     Ok(format!(
-        "wrote {path}: s1 {:.0} ev/s, s1 sharded {:.0} ev/s, s2 {:.0} ev/s, s3 {:.0} ev/s, s3 peak rss {rss} B",
-        fresh.s1, fresh.s1_sharded, fresh.s2, fresh.s3
+        "wrote {path}: s1 {:.0} ev/s, s1 sharded {:.0} ev/s, s2 {:.0} ev/s, s2 secure {:.0} ev/s, s3 {:.0} ev/s, s3 peak rss {rss} B",
+        fresh.s1, fresh.s1_sharded, fresh.s2, fresh.s2_secure, fresh.s3
     ))
 }
 
@@ -218,7 +230,7 @@ mod tests {
 
     #[test]
     fn baseline_numbers_parse_from_our_own_format() {
-        let text = "{\n  \"comment\": \"x\",\n  \"quick\": true,\n  \"s1_events_per_sec_engine\": 2500000,\n  \"s1_sharded_events_per_sec_engine\": 2400000,\n  \"s2_events_per_sec_engine\": 1400000,\n  \"s3_events_per_sec_engine\": 1300000,\n  \"s3_peak_rss_bytes\": 900000000\n}\n";
+        let text = "{\n  \"comment\": \"x\",\n  \"quick\": true,\n  \"s1_events_per_sec_engine\": 2500000,\n  \"s1_sharded_events_per_sec_engine\": 2400000,\n  \"s2_events_per_sec_engine\": 1400000,\n  \"s2_secure_events_per_sec_engine\": 450000,\n  \"s3_events_per_sec_engine\": 1300000,\n  \"s3_peak_rss_bytes\": 900000000\n}\n";
         assert_eq!(
             read_number(text, "s1_events_per_sec_engine"),
             Some(2_500_000.0)
@@ -230,6 +242,10 @@ mod tests {
         assert_eq!(
             read_number(text, "s2_events_per_sec_engine"),
             Some(1_400_000.0)
+        );
+        assert_eq!(
+            read_number(text, "s2_secure_events_per_sec_engine"),
+            Some(450_000.0)
         );
         assert_eq!(
             read_number(text, "s3_events_per_sec_engine"),
@@ -296,6 +312,23 @@ mod tests {
         std::fs::write(
             &path,
             "{\n  \"quick\": true,\n  \"s1_events_per_sec_engine\": 1,\n  \"s1_sharded_events_per_sec_engine\": 1,\n  \"s2_events_per_sec_engine\": 1\n}\n",
+        )
+        .unwrap();
+        let (msg, pass) = check(path.to_str().unwrap());
+        assert!(!pass);
+        assert!(msg.contains("malformed"), "{msg}");
+    }
+
+    #[test]
+    fn pre_secure_baseline_is_rejected_as_malformed() {
+        // A baseline from before the secure cell lacks its key; the
+        // stale file must force a rebaseline, not skip the new gate.
+        let dir = std::env::temp_dir().join("perf_gate_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pre_secure.json");
+        std::fs::write(
+            &path,
+            "{\n  \"quick\": true,\n  \"s1_events_per_sec_engine\": 1,\n  \"s1_sharded_events_per_sec_engine\": 1,\n  \"s2_events_per_sec_engine\": 1,\n  \"s3_events_per_sec_engine\": 1,\n  \"s3_peak_rss_bytes\": 1\n}\n",
         )
         .unwrap();
         let (msg, pass) = check(path.to_str().unwrap());

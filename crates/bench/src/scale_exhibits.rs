@@ -60,6 +60,18 @@ fn s2_secure_hosts(quick: bool) -> usize {
     }
 }
 
+/// Hosts in S2's secure *scale* cell — the batch-verification headline:
+/// the full S2 population (all 10,000 nodes) runs secure in full mode,
+/// 1,000 in quick. The cell runs twice, batched and inline, as the
+/// at-scale byte-identity gate for deferred batch verification.
+fn s2_secure_scale_hosts(quick: bool) -> usize {
+    if quick {
+        1000
+    } else {
+        S2_HOSTS
+    }
+}
+
 /// The S3 population size: 100k in quick mode, the 1M stretch cell in
 /// full mode. Same `scale_family` shape as S1/S2 — what changes is the
 /// storage regime (per-node stat detail off, aggregate counters only),
@@ -149,6 +161,69 @@ fn run_s2_secure(queue: QueueImpl, quick: bool, seed: u64) -> (RunReport, bool) 
     report.wall_s = t0.elapsed().as_secs_f64();
     report.events_per_sec = report.events as f64 / report.wall_s;
     (report, all_ready)
+}
+
+/// Observables of one secure-scale run: the report, whether every host
+/// completed DAD, and the network-wide batch-verification counters
+/// (zero on the inline side, which owns no batch table).
+pub(crate) struct SecureScaleRun {
+    pub(crate) report: RunReport,
+    pub(crate) all_ready: bool,
+    pub(crate) batch_requests: u64,
+    pub(crate) batch_executed: u64,
+}
+
+/// The S2 secure-scale cell: the bootstrap storm of [`run_s2_secure`]
+/// at [`s2_secure_scale_hosts`] hosts **followed by cross-field signed
+/// route discovery and data flows** — a clean storm verifies nothing
+/// (signature checks live on collisions, RREP/RERR handling, and DNS
+/// replies), so the flows phase is where verification load actually
+/// exists for batching to amortize. The crypto backend is pinned to RSA
+/// (the oracle this cell is accountable to, immune to the
+/// `MANET_CRYPTO` knob); deferred batch verification toggles per call.
+pub(crate) fn run_s2_secure_scale(batch: bool, quick: bool, seed: u64) -> SecureScaleRun {
+    let n = s2_secure_scale_hosts(quick);
+    let (n_flows, packets) = if quick { (16, 2) } else { (24, 3) };
+    let t0 = Instant::now();
+    let mut net = ScenarioBuilder::new()
+        .hosts(n)
+        .placement(Placement::Uniform)
+        .density(12.0)
+        .seed(seed)
+        // The default 50M runaway cap is sized for ≤10k *plain* nodes,
+        // but a secure DAD storm is quadratic by construction: every
+        // joiner floods an AREQ over the whole field, ~n² × degree
+        // receptions (the quick 1k run processes ~6.9M events, ~0.6 of
+        // that bound). Budget to the flood structure with ~2× headroom,
+        // never below the default.
+        .max_events((n as u64 * n as u64 * 15).max(50_000_000))
+        .secure_with(ProtocolConfig {
+            key_bits: 384,
+            crypto_backend: manet_crypto::BackendKind::Rsa,
+            batch_verify: batch,
+            ..ProtocolConfig::default()
+        })
+        .join_stagger(SimDuration::from_millis(20))
+        .build();
+    net.run(&Workload::bootstrap_storm());
+    let all_ready = net.all_ready();
+    let flows = net.scale_flows(n_flows);
+    // `report.events` is cumulative since build, so the final report
+    // fingerprints the storm and the flows phase together.
+    let mut report = net.run(&Workload::flows(
+        flows,
+        packets,
+        SimDuration::from_millis(400),
+    ));
+    report.wall_s = t0.elapsed().as_secs_f64();
+    report.events_per_sec = report.events as f64 / report.wall_s;
+    let stats = net.batch.as_ref().map(|b| b.stats()).unwrap_or_default();
+    SecureScaleRun {
+        report,
+        all_ready,
+        batch_requests: stats.requests,
+        batch_executed: stats.executed,
+    }
 }
 
 /// The S3 cell: the S1 shape at 100k (quick) or 1M (full) hosts, with
@@ -285,6 +360,9 @@ pub fn exhibit_s2(quick: bool) -> String {
     let (sec_wheel, ready_wheel) = run_s2_secure(QueueImpl::Wheel, quick, seed);
     let (sec_heap, ready_heap) = run_s2_secure(QueueImpl::Heap, quick, seed);
 
+    let sec_batched = run_s2_secure_scale(true, quick, seed);
+    let sec_inline = run_s2_secure_scale(false, quick, seed);
+
     // Differential gates: the executor and the pending-event store are
     // scheduling machinery, not model changes — the 10k plain run must
     // be one universe under both executors, and the secure storm
@@ -303,6 +381,24 @@ pub fn exhibit_s2(quick: bool) -> String {
     assert!(
         ready_wheel && ready_heap,
         "secure storm left hosts unjoined — scenario shape broken"
+    );
+    // The batch-verification gate at scale: deferring and deduping
+    // signature checks across the whole network step must not move one
+    // event, byte, or verdict relative to inline verification.
+    assert_eq!(
+        sec_batched.report.fingerprint(),
+        sec_inline.report.fingerprint(),
+        "batched and inline verification diverged at scale — batch table is not pure"
+    );
+    assert!(
+        sec_batched.all_ready && sec_inline.all_ready,
+        "secure scale storm left hosts unjoined — scenario shape broken"
+    );
+    assert!(
+        sec_batched.batch_executed > 0 && sec_batched.batch_executed < sec_batched.batch_requests,
+        "batch verification never amortized: {} executed of {} requested",
+        sec_batched.batch_executed,
+        sec_batched.batch_requests
     );
 
     let n_sec = s2_secure_hosts(quick);
@@ -335,6 +431,16 @@ pub fn exhibit_s2(quick: bool) -> String {
         ),
         (format!("secure {n_sec}"), "wheel", &sec_wheel),
         (format!("secure {n_sec}"), "heap", &sec_heap),
+        (
+            format!("secure {} batched", s2_secure_scale_hosts(quick)),
+            "wheel",
+            &sec_batched.report,
+        ),
+        (
+            format!("secure {} inline", s2_secure_scale_hosts(quick)),
+            "wheel",
+            &sec_inline.report,
+        ),
     ] {
         t.rowv(vec![
             cell,
@@ -356,8 +462,30 @@ pub fn exhibit_s2(quick: bool) -> String {
         plain.mean_degree.unwrap_or(f64::NAN),
         n_sec,
     ));
+    let n_scale = s2_secure_scale_hosts(quick);
+    let amortization =
+        sec_batched.batch_requests as f64 / (sec_batched.batch_executed.max(1)) as f64;
+    t.note(format!(
+        "secure scale cell ({n_scale} hosts, RSA): identical universes batched and inline \
+         (differential gate); batch amortization {amortization:.2}× \
+         ({} requests, {} executed), wall {:.2}s batched vs {:.2}s inline",
+        sec_batched.batch_requests,
+        sec_batched.batch_executed,
+        sec_batched.report.wall_s,
+        sec_inline.report.wall_s,
+    ));
 
-    let section = s2_section_json(n_sec, &plain, &plain_sharded, &sec_wheel, &sec_heap, ratio);
+    let section = s2_section_json(
+        n_sec,
+        &plain,
+        &plain_sharded,
+        &sec_wheel,
+        &sec_heap,
+        ratio,
+        &sec_batched,
+        &sec_inline,
+        n_scale,
+    );
     match write_scale_section(&scale_json_path(), "s2", &section, quick) {
         Err(e) => t.note(format!("BENCH_scale.json not written: {e}")),
         Ok(()) => t.note(format!("wrote {} (s2 section)", scale_json_path())),
@@ -486,6 +614,7 @@ fn s1_section_json(
     )
 }
 
+#[allow(clippy::too_many_arguments)]
 fn s2_section_json(
     n_sec: usize,
     plain: &RunReport,
@@ -493,7 +622,12 @@ fn s2_section_json(
     sec_wheel: &RunReport,
     sec_heap: &RunReport,
     heap_over_wheel: f64,
+    sec_batched: &SecureScaleRun,
+    sec_inline: &SecureScaleRun,
+    n_scale: usize,
 ) -> String {
+    let amortization =
+        sec_batched.batch_requests as f64 / (sec_batched.batch_executed.max(1)) as f64;
     format!(
         concat!(
             "{{\n",
@@ -503,7 +637,11 @@ fn s2_section_json(
             "    \"secure_hosts\": {},\n",
             "    \"secure\": {},\n",
             "    \"secure_heap\": {},\n",
-            "    \"heap_over_wheel_wall_ratio\": {:.3}\n",
+            "    \"heap_over_wheel_wall_ratio\": {:.3},\n",
+            "    \"secure_scale_hosts\": {},\n",
+            "    \"secure_scale\": {},\n",
+            "    \"secure_scale_inline\": {},\n",
+            "    \"batch\": {{\"requests\": {}, \"executed\": {}, \"amortization_ratio\": {:.3}}}\n",
             "  }}"
         ),
         S2_HOSTS,
@@ -513,6 +651,12 @@ fn s2_section_json(
         sec_wheel.to_json(),
         sec_heap.to_json(),
         heap_over_wheel,
+        n_scale,
+        sec_batched.report.to_json(),
+        sec_inline.report.to_json(),
+        sec_batched.batch_requests,
+        sec_batched.batch_executed,
+        amortization,
     )
 }
 
@@ -541,8 +685,8 @@ fn s3_section_json(n: usize, single: &RunReport, sharded: &RunReport) -> String 
 }
 
 /// Every section key of `BENCH_scale.json`, in serialization order.
-/// S1 first is a contract: the V1 exhibit's naive reader takes the
-/// file's first `"grid"` object as S1's.
+/// Readers address sections by key (the V1 exhibit extracts the `s1`
+/// object, then its `grid`), so the order is presentation, not contract.
 const SCALE_KEYS: [&str; 3] = ["s1", "s2", "s3"];
 
 /// Write one exhibit's section into the scale JSON at `path`,
@@ -609,7 +753,7 @@ mod tests {
         let s3_at = text.find("\"s3\"").unwrap();
         assert!(
             s1_at < s2_at && s2_at < s3_at,
-            "sections must serialize in S1, S2, S3 order (V1 reader contract)"
+            "sections should serialize in S1, S2, S3 presentation order"
         );
 
         // A mode switch drops the stale other-mode sections.

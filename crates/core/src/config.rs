@@ -4,6 +4,7 @@
 //! retry budgets, credit parameters) so experiments can sweep them and the
 //! ablation benches can toggle individual mechanisms.
 
+use manet_crypto::BackendKind;
 use manet_sim::SimDuration;
 
 /// Credit-management parameters (Section 3.4).
@@ -133,6 +134,18 @@ pub struct ProtocolConfig {
     pub verify_cache: bool,
     /// Verdicts retained by the verify cache (LRU bound).
     pub verify_cache_capacity: usize,
+    /// Signature backend for everything this node signs and verifies.
+    /// The default honors the `MANET_CRYPTO` env knob (RSA when unset).
+    /// Backends emit different signature bytes, so two backends are two
+    /// different — each internally deterministic — simulation universes;
+    /// tests pinning RSA semantics must set this explicitly.
+    pub crypto_backend: BackendKind,
+    /// Network-wide deferred batch verification (scenario builds only):
+    /// a speculative prefetch pass enqueues the triples a tick's frames
+    /// will check, one drain verifies each unique triple once, dispatch
+    /// reads the shared verdicts. Observationally invisible — verdicts
+    /// are pure — so this is a perf knob, never a semantics knob.
+    pub batch_verify: bool,
     /// The destination answers up to this many copies of the same RREQ
     /// (arriving over different paths), giving the source route diversity
     /// — the raw material the credit system selects from.
@@ -177,6 +190,8 @@ impl Default for ProtocolConfig {
             route_cache_dests: 256,
             verify_cache: true,
             verify_cache_capacity: 1024,
+            crypto_backend: BackendKind::default(),
+            batch_verify: true,
             rrep_multi: 3,
             verify_srr: true,
             credit: CreditConfig::default(),

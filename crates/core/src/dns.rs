@@ -91,6 +91,22 @@ impl DnsState {
         self.pending.contains_key(sip)
     }
 
+    /// The stored challenge of a pending registration, if one exists —
+    /// read-only peek for the speculative prefetch pass (the warning-AREP
+    /// verification payload is built from it).
+    pub(crate) fn pending_challenge(&self, sip: &Ipv6Addr) -> Option<Challenge> {
+        self.pending.get(sip).map(|p| p.ch)
+    }
+
+    /// Read-only peek at a live IP-change session: `(ch, old_ip,
+    /// new_ip)`. Same prefetch purpose as [`Self::pending_challenge`].
+    pub(crate) fn ip_change_session(
+        &self,
+        dn: &DomainName,
+    ) -> Option<(Challenge, Ipv6Addr, Ipv6Addr)> {
+        self.ip_changes.get(dn).map(|s| (s.ch, s.old_ip, s.new_ip))
+    }
+
     /// Does `dn` already belong to a *committed* different address?
     ///
     /// Pending claims deliberately do not conflict here: concurrent

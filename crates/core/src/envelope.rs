@@ -114,6 +114,33 @@ impl Envelope {
         Some((src_ip, hdr))
     }
 
+    /// Byte offset of the enveloped message within `buf`, validating
+    /// the header exactly as strictly as [`Envelope::decode`]: `None`
+    /// means the full decode would fail before reaching the message.
+    /// With [`Message::peek_may_verify`] this lets a speculative pass
+    /// read the message kind without paying for a frame decode.
+    pub fn peek_msg_offset(buf: &[u8]) -> Option<usize> {
+        if buf.len() < 17 {
+            return None;
+        }
+        match buf[16] {
+            0 => Some(17),
+            1 => {
+                let rest = &buf[17..];
+                if rest.len() < 4 {
+                    return None;
+                }
+                let idx = u16::from_be_bytes([rest[0], rest[1]]) as usize;
+                let n = u16::from_be_bytes([rest[2], rest[3]]) as usize;
+                if n > 256 || idx >= n || rest.len() < 4 + n * 16 {
+                    return None;
+                }
+                Some(17 + 4 + n * 16)
+            }
+            _ => None,
+        }
+    }
+
     /// Strict decode.
     pub fn decode(buf: &[u8]) -> Result<Envelope, CodecError> {
         if buf.len() < 17 {
@@ -239,6 +266,33 @@ mod tests {
         bytes[17] = 0;
         bytes[18] = 9;
         assert_eq!(Envelope::decode(&bytes), Err(CodecError::LengthOverflow));
+    }
+
+    /// The offset peek must agree with the strict decode: `Some(off)`
+    /// exactly when the header parses, with the message starting at
+    /// `off` — across broadcast and routed frames and every truncation.
+    #[test]
+    fn msg_offset_peek_matches_decode() {
+        for e in [
+            Envelope::broadcast(ip(1), msg()),
+            Envelope::routed(ip(1), RouteRecord(vec![ip(1), ip(2), ip(3)]), msg()),
+        ] {
+            let bytes = e.encode();
+            let off = Envelope::peek_msg_offset(&bytes).expect("well-formed header");
+            assert_eq!(&bytes[off..], &e.msg.encode()[..], "message starts at off");
+            for cut in 0..bytes.len() {
+                let peek = Envelope::peek_msg_offset(&bytes[..cut]);
+                // A header peek may succeed on a frame whose *message*
+                // is truncated; it must never succeed where the header
+                // itself is short.
+                if let Some(o) = peek {
+                    assert!(o <= cut, "cut={cut}: offset past the buffer");
+                }
+            }
+            let mut bad = bytes.clone();
+            bad[16] = 7;
+            assert_eq!(Envelope::peek_msg_offset(&bad), None);
+        }
     }
 
     #[test]

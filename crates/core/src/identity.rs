@@ -1,15 +1,23 @@
 //! Host identity: the key pair, the CGA modifier, and the resulting
 //! address, plus the verification helpers every receiver runs.
 
-use manet_crypto::{KeyPair, Provenance, PublicKey, RsaError, Signature, VerifyCache};
+use manet_crypto::{
+    backend_for, BackendKind, BatchVerifier, CryptoBackend, KeyPair, Provenance, PublicKey,
+    RsaError, Signature, VerifyCache, VerifyKey,
+};
 use manet_wire::{cga, CgaError, IdentityProof, Ipv6Addr};
 use rand::Rng;
+use std::sync::Arc;
 
 /// A host's cryptographic identity and current CGA.
 pub struct HostIdentity {
     keypair: KeyPair,
     rn: u64,
     ip: Ipv6Addr,
+    /// The signature scheme every `prove`/`sign` runs on. A bare
+    /// identity defaults to the RSA oracle; nodes and the scenario layer
+    /// inject the configured backend (see `ProtocolConfig::crypto_backend`).
+    backend: Arc<dyn CryptoBackend>,
 }
 
 impl HostIdentity {
@@ -18,7 +26,13 @@ impl HostIdentity {
         let keypair = KeyPair::generate(key_bits, rng);
         let rn = rng.gen();
         let ip = cga::generate(keypair.public(), rn);
-        HostIdentity { keypair, rn, ip }
+        let backend = backend_for(BackendKind::Rsa);
+        HostIdentity {
+            keypair,
+            rn,
+            ip,
+            backend,
+        }
     }
 
     /// Build from an existing key pair (e.g. the DNS server whose public
@@ -26,7 +40,25 @@ impl HostIdentity {
     pub fn from_keypair<R: Rng>(keypair: KeyPair, rng: &mut R) -> Self {
         let rn = rng.gen();
         let ip = cga::generate(keypair.public(), rn);
-        HostIdentity { keypair, rn, ip }
+        let backend = backend_for(BackendKind::Rsa);
+        HostIdentity {
+            keypair,
+            rn,
+            ip,
+            backend,
+        }
+    }
+
+    /// Route all signing through `backend`. CGA generation is
+    /// backend-independent (it hashes the public key, not signatures),
+    /// so the address survives a backend swap.
+    pub fn set_backend(&mut self, backend: Arc<dyn CryptoBackend>) {
+        self.backend = backend;
+    }
+
+    /// The signature backend this identity signs with.
+    pub fn backend(&self) -> &Arc<dyn CryptoBackend> {
+        &self.backend
     }
 
     /// Current address.
@@ -65,14 +97,14 @@ impl HostIdentity {
         IdentityProof {
             pk: self.keypair.public().clone(),
             rn: self.rn,
-            sig: self.keypair.sign(payload),
+            sig: self.backend.sign(&self.keypair, payload),
         }
     }
 
     /// Plain signature without the key/rn attachment (for messages
     /// verified against an out-of-band key, like everything the DNS signs).
     pub fn sign(&self, payload: &[u8]) -> Signature {
-        self.keypair.sign(payload)
+        self.backend.sign(&self.keypair, payload)
     }
 }
 
@@ -161,6 +193,75 @@ pub fn verify_known_key_with(
     }
 }
 
+/// Resolve one triple's verdict from the cheapest available source:
+/// the network-wide batch table, else an inline backend execution.
+/// Verdict purity makes the source invisible to protocol decisions.
+fn batch_or_backend(
+    pk: &PublicKey,
+    payload: &[u8],
+    sig: &Signature,
+    backend: &dyn CryptoBackend,
+    batch: Option<&BatchVerifier>,
+) -> bool {
+    if let Some(b) = batch {
+        if let Some(v) = b.verdict(&VerifyKey::for_triple(pk, payload, sig)) {
+            return v;
+        }
+    }
+    backend.verify(pk, payload, sig)
+}
+
+/// The full node-side verification pipeline for a known key: the node's
+/// own [`VerifyCache`] memo, then the shared [`BatchVerifier`] table,
+/// then an inline `backend` execution.
+///
+/// Accounting is demand-side: a batch-table hit still reports
+/// [`Provenance::Computed`] — the *node* demanded a verification it had
+/// not cached, exactly as in an inline run; only where the answer came
+/// from differs. This is what keeps run fingerprints byte-identical
+/// between batched and inline runs (actual backend executions live in
+/// the backend's own counters, outside any fingerprint).
+pub fn verify_known_key_pipeline(
+    pk: &PublicKey,
+    payload: &[u8],
+    sig: &Signature,
+    cache: Option<&mut VerifyCache>,
+    backend: &dyn CryptoBackend,
+    batch: Option<&BatchVerifier>,
+) -> (Result<(), ProofError>, Provenance) {
+    let (valid, prov) = match cache {
+        Some(c) => c.verify_with(pk, payload, sig, || {
+            batch_or_backend(pk, payload, sig, backend, batch)
+        }),
+        None => (
+            batch_or_backend(pk, payload, sig, backend, batch),
+            Provenance::Computed,
+        ),
+    };
+    let res = if valid {
+        Ok(())
+    } else {
+        Err(ProofError::Signature)
+    };
+    (res, prov)
+}
+
+/// [`verify_proof_with`] on the full pipeline: CGA check first (always
+/// recomputed — one SHA-256), then [`verify_known_key_pipeline`].
+pub fn verify_proof_pipeline(
+    claimed_ip: &Ipv6Addr,
+    payload: &[u8],
+    proof: &IdentityProof,
+    cache: Option<&mut VerifyCache>,
+    backend: &dyn CryptoBackend,
+    batch: Option<&BatchVerifier>,
+) -> (Result<(), ProofError>, Provenance) {
+    if let Err(e) = cga::verify(claimed_ip, &proof.pk, proof.rn) {
+        return (Err(ProofError::Cga(e)), Provenance::Computed);
+    }
+    verify_known_key_pipeline(&proof.pk, payload, &proof.sig, cache, backend, batch)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -239,5 +340,114 @@ mod tests {
             verify_known_key(id.public(), b"dns says no", &sig),
             Err(ProofError::Signature)
         );
+    }
+
+    #[test]
+    fn default_backend_signs_exactly_like_raw_rsa() {
+        let mut r = rng(7);
+        let id = HostIdentity::generate(512, &mut r);
+        assert_eq!(id.backend().kind(), BackendKind::Rsa);
+        // The backend-routed signature is byte-identical to the key
+        // pair's own — swapping the default in is a pure refactor.
+        let direct = id.keypair.sign(b"payload");
+        assert_eq!(id.sign(b"payload").to_bytes(), direct.to_bytes());
+        assert_eq!(id.prove(b"payload").sig.to_bytes(), direct.to_bytes());
+    }
+
+    #[test]
+    fn swapped_backend_changes_signature_universe() {
+        let mut r = rng(8);
+        let mut id = HostIdentity::generate(512, &mut r);
+        let ip_before = id.ip();
+        let rsa_sig = id.sign(b"m");
+        id.set_backend(backend_for(BackendKind::HashSig));
+        // Same address (CGA is key-derived, not signature-derived)...
+        assert_eq!(id.ip(), ip_before);
+        // ...different signature bytes, verifiable only under the same
+        // backend.
+        let hs_sig = id.sign(b"m");
+        assert_ne!(rsa_sig.to_bytes(), hs_sig.to_bytes());
+        let hs = backend_for(BackendKind::HashSig);
+        assert!(hs.verify(id.public(), b"m", &hs_sig));
+        assert!(!hs.verify(id.public(), b"m", &rsa_sig));
+    }
+
+    #[test]
+    fn pipeline_matches_plain_verify_under_rsa() {
+        let mut r = rng(9);
+        let id = HostIdentity::generate(512, &mut r);
+        let other = HostIdentity::generate(512, &mut r);
+        let backend = backend_for(BackendKind::Rsa);
+        let proof = id.prove(b"p");
+        for (claimed, payload) in [
+            (id.ip(), b"p".as_slice()),
+            (id.ip(), b"q".as_slice()),
+            (other.ip(), b"p".as_slice()),
+        ] {
+            let plain = verify_proof(&claimed, payload, &proof);
+            let (piped, _) =
+                verify_proof_pipeline(&claimed, payload, &proof, None, backend.as_ref(), None);
+            assert_eq!(plain, piped);
+        }
+    }
+
+    #[test]
+    fn pipeline_prefers_cache_then_batch_then_backend() {
+        let mut r = rng(10);
+        let id = HostIdentity::generate(512, &mut r);
+        let backend = backend_for(BackendKind::Rsa);
+        let sig = id.sign(b"m");
+        let batch = BatchVerifier::new(16);
+
+        // Batch table empty: the pipeline falls back to an inline
+        // execution (one backend op).
+        let (res, prov) = verify_known_key_pipeline(
+            id.public(),
+            b"m",
+            &sig,
+            None,
+            backend.as_ref(),
+            Some(&batch),
+        );
+        assert_eq!((res, prov), (Ok(()), Provenance::Computed));
+        assert_eq!(backend.verifies_executed(), 1);
+
+        // Published verdict: served from the shared table, no new
+        // backend op, still *demand-side* Computed.
+        batch.enqueue(id.public(), b"m", &sig);
+        batch.drain(backend.as_ref());
+        let executed = backend.verifies_executed();
+        let (res, prov) = verify_known_key_pipeline(
+            id.public(),
+            b"m",
+            &sig,
+            None,
+            backend.as_ref(),
+            Some(&batch),
+        );
+        assert_eq!((res, prov), (Ok(()), Provenance::Computed));
+        assert_eq!(backend.verifies_executed(), executed, "table hit, no op");
+
+        // A warm node cache wins over everything: Cached provenance,
+        // nothing touches table or backend.
+        let mut cache = VerifyCache::new(8);
+        let (_, first) = verify_known_key_pipeline(
+            id.public(),
+            b"m",
+            &sig,
+            Some(&mut cache),
+            backend.as_ref(),
+            Some(&batch),
+        );
+        assert_eq!(first, Provenance::Computed);
+        let (res, prov) = verify_known_key_pipeline(
+            id.public(),
+            b"m",
+            &sig,
+            Some(&mut cache),
+            backend.as_ref(),
+            Some(&batch),
+        );
+        assert_eq!((res, prov), (Ok(()), Provenance::Cached));
     }
 }

@@ -45,8 +45,8 @@ pub mod stats;
 pub use config::{Behavior, CreditConfig, ProtocolConfig};
 pub use envelope::Envelope;
 pub use identity::{
-    verify_known_key, verify_known_key_with, verify_proof, verify_proof_with, HostIdentity,
-    ProofError,
+    verify_known_key, verify_known_key_pipeline, verify_known_key_with, verify_proof,
+    verify_proof_pipeline, verify_proof_with, HostIdentity, ProofError,
 };
 pub use node::SecureNode;
 pub use plain::PlainDsrNode;

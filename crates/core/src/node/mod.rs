@@ -27,6 +27,7 @@
 mod bootstrap;
 mod dnsclient;
 mod forwarding;
+mod prefetch;
 mod routing;
 mod verify;
 
@@ -41,11 +42,12 @@ use crate::neighbor::NeighborCache;
 use crate::routecache::RouteCache;
 use crate::sendbuf::SendBuffer;
 use crate::stats::NodeStats;
-use manet_crypto::{PublicKey, VerifyCache};
+use manet_crypto::{backend_for, BatchVerifier, CryptoBackend, PublicKey, VerifyCache};
 use manet_sim::{Ctx, Dir, NodeId, Protocol, SimTime};
 use manet_wire::{Arep, Challenge, DomainName, Ipv6Addr, Message, RouteRecord, Rrep, Seq};
 use std::any::Any;
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 // Timer tag layout: kind in the top byte, payload below.
 const TAG_KIND_MASK: u64 = 0xff << 56;
@@ -135,6 +137,13 @@ pub struct SecureNode {
     /// Memoized signature-verification verdicts (None = cache disabled);
     /// consulted exclusively through the [`verify`] pipeline.
     pub(crate) verify_cache: Option<VerifyCache>,
+    /// The signature backend every sign/verify runs on (one shared
+    /// instance network-wide when built by the scenario layer, so its op
+    /// counters aggregate; never part of a run fingerprint).
+    pub(crate) crypto: Arc<dyn CryptoBackend>,
+    /// Network-wide deferred-verification handle (None = inline only);
+    /// fed by [`prefetch`], consulted by the [`verify`] pipeline.
+    pub(crate) batch: Option<Arc<BatchVerifier>>,
 
     /// Address interner for the id-keyed flood-dedup maps below
     /// (shared table set by the builder; overflow catches re-rolled
@@ -251,9 +260,16 @@ impl SecureNode {
         let verify_cache = cfg
             .verify_cache
             .then(|| VerifyCache::new(cfg.verify_cache_capacity));
+        // A standalone node gets its own backend instance; scenario
+        // builds replace it with the network-shared one.
+        let crypto = backend_for(cfg.crypto_backend);
+        let mut ident = ident;
+        ident.set_backend(Arc::clone(&crypto));
         SecureNode {
             cfg,
             ident,
+            crypto,
+            batch: None,
             dns_pk,
             desired_dn,
             behavior,
@@ -330,6 +346,25 @@ impl SecureNode {
     /// The verify cache, for inspection (None when disabled).
     pub fn verify_cache(&self) -> Option<&VerifyCache> {
         self.verify_cache.as_ref()
+    }
+
+    /// Adopt the network-shared crypto runtime (builder-time only): one
+    /// backend instance so execution counters aggregate network-wide,
+    /// plus the batch-verification handle when deferred verification is
+    /// on. Must run before the node signs or verifies anything.
+    pub fn set_crypto_runtime(
+        &mut self,
+        backend: Arc<dyn CryptoBackend>,
+        batch: Option<Arc<BatchVerifier>>,
+    ) {
+        self.ident.set_backend(Arc::clone(&backend));
+        self.crypto = backend;
+        self.batch = batch;
+    }
+
+    /// The signature backend this node runs on.
+    pub fn crypto_backend(&self) -> &Arc<dyn CryptoBackend> {
+        &self.crypto
     }
 
     /// Number of destinations with a cached route.
@@ -476,6 +511,10 @@ impl Protocol for SecureNode {
                 self.originate_rerr(ctx, &path, my_idx, next);
             }
         }
+    }
+
+    fn prefetch_frame(&self, src: NodeId, bytes: &[u8]) {
+        self.prefetch_frame_impl(src, bytes);
     }
 
     fn as_any(&self) -> &dyn Any {

@@ -11,7 +11,9 @@
 //!    `(key, payload, signature)` triple is verified once per node, not
 //!    once per delivery — an RREQ flood arriving over three paths
 //!    re-proves the shared SRR prefix for free, and a signed-RERR
-//!    spammer pays RSA once and hash-lookups thereafter,
+//!    spammer pays RSA once and hash-lookups thereafter; on a node-cache
+//!    miss the network-wide [`manet_crypto::BatchVerifier`] table is
+//!    consulted before any inline execution (see `node::prefetch`),
 //! 3. account every verdict in [`NodeStats`]
 //!    (`crypto_verify_attempted` / `_cached` / `_failed`) and the engine
 //!    metrics (`sec.verify_rsa` / `sec.verify_cached` /
@@ -24,7 +26,7 @@
 //! traces are bit-identical with the cache on, off, or thrashing.
 
 use super::SecureNode;
-use crate::identity::{verify_known_key_with, verify_proof_with, ProofError};
+use crate::identity::{verify_known_key_pipeline, verify_proof_pipeline, ProofError};
 use crate::stats::NodeStats;
 use manet_crypto::{Provenance, PublicKey, Signature};
 use manet_sim::Ctx;
@@ -73,8 +75,23 @@ impl SecureNode {
         payload: &[u8],
         proof: &IdentityProof,
     ) -> Result<(), ProofError> {
-        let outcome = verify_proof_with(claimed, payload, proof, self.verify_cache.as_mut());
-        record(&mut self.stats, ctx, outcome)
+        // Split borrow: cache, backend and batch handle all live on self.
+        let SecureNode {
+            crypto,
+            batch,
+            verify_cache,
+            stats,
+            ..
+        } = self;
+        let outcome = verify_proof_pipeline(
+            claimed,
+            payload,
+            proof,
+            verify_cache.as_mut(),
+            crypto.as_ref(),
+            batch.as_deref(),
+        );
+        record(stats, ctx, outcome)
     }
 
     /// Verify a signature under a key carried by the message itself
@@ -86,8 +103,22 @@ impl SecureNode {
         payload: &[u8],
         sig: &Signature,
     ) -> Result<(), ProofError> {
-        let outcome = verify_known_key_with(pk, payload, sig, self.verify_cache.as_mut());
-        record(&mut self.stats, ctx, outcome)
+        let SecureNode {
+            crypto,
+            batch,
+            verify_cache,
+            stats,
+            ..
+        } = self;
+        let outcome = verify_known_key_pipeline(
+            pk,
+            payload,
+            sig,
+            verify_cache.as_mut(),
+            crypto.as_ref(),
+            batch.as_deref(),
+        );
+        record(stats, ctx, outcome)
     }
 
     /// Verify a signature under the pre-configured DNS public key —
@@ -102,11 +133,20 @@ impl SecureNode {
         // Split borrow: the key lives on self alongside the cache.
         let SecureNode {
             dns_pk,
+            crypto,
+            batch,
             verify_cache,
             stats,
             ..
         } = self;
-        let outcome = verify_known_key_with(dns_pk, payload, sig, verify_cache.as_mut());
+        let outcome = verify_known_key_pipeline(
+            dns_pk,
+            payload,
+            sig,
+            verify_cache.as_mut(),
+            crypto.as_ref(),
+            batch.as_deref(),
+        );
         record(stats, ctx, outcome)
     }
 }

@@ -19,6 +19,7 @@ use crate::config::{Behavior, ProtocolConfig};
 use crate::intern::InternTable;
 use crate::node::SecureNode;
 use crate::plain::{PlainConfig, PlainDsrNode};
+use manet_crypto::{backend_for, BackendKind, BatchVerifier};
 use manet_sim::{
     ChannelMode, Engine, EngineConfig, ExecMode, Field, Mobility, QueueImpl, RadioConfig,
     SimDuration, SimTime,
@@ -26,6 +27,12 @@ use manet_sim::{
 use manet_wire::DomainName;
 use std::marker::PhantomData;
 use std::sync::Arc;
+
+/// Verdict-table bound for the network-wide batch verifier. Sized for
+/// the largest secure exhibit (S2's 10k nodes): each entry is a 72-byte
+/// key plus a bool, so the worst case is a few MiB, and overflow is a
+/// deterministic full flush — a perf event, never a correctness one.
+const BATCH_TABLE_CAPACITY: usize = 1 << 16;
 
 /// The host's registered name for index `i`.
 pub fn host_name(i: usize) -> DomainName {
@@ -347,6 +354,22 @@ impl SecureBuilder {
         self
     }
 
+    /// Select the signature backend the whole network signs and verifies
+    /// with (sugar over `.tune`). RSA is the oracle; `Null`/`HashSig`
+    /// trade cryptographic meaning for speed in scale exhibits. Tests
+    /// that assert attack rejection must pin [`BackendKind::Rsa`].
+    pub fn crypto_backend(mut self, kind: BackendKind) -> Self {
+        self.proto.crypto_backend = kind;
+        self
+    }
+
+    /// Toggle network-wide deferred batch verification (sugar over
+    /// `.tune`). Perf-only: fingerprints are identical either way.
+    pub fn batch_verify(mut self, on: bool) -> Self {
+        self.proto.batch_verify = on;
+        self
+    }
+
     /// Read access to the protocol config the build will use.
     pub fn proto(&self) -> &ProtocolConfig {
         &self.proto
@@ -414,6 +437,25 @@ impl SecureBuilder {
             node.set_intern_table(Arc::clone(&table));
         }
 
+        // One shared crypto runtime network-wide: a single backend
+        // instance (so execution counters aggregate across nodes) and,
+        // when enabled, the batch verifier the engine's tick hook drains
+        // between collecting a tick's frames and dispatching them.
+        let backend = backend_for(self.proto.crypto_backend);
+        let batch = self
+            .proto
+            .batch_verify
+            .then(|| Arc::new(BatchVerifier::new(BATCH_TABLE_CAPACITY)));
+        dns_node.set_crypto_runtime(Arc::clone(&backend), batch.clone());
+        for node in &mut host_nodes {
+            node.set_crypto_runtime(Arc::clone(&backend), batch.clone());
+        }
+        if let Some(batch_handle) = &batch {
+            let drain_batch = Arc::clone(batch_handle);
+            let drain_backend = Arc::clone(&backend);
+            engine.set_tick_hook(move || drain_batch.drain(drain_backend.as_ref()));
+        }
+
         let dns = engine.add_node(Box::new(dns_node), positions[0], Mobility::Static);
         let mut hosts = Vec::with_capacity(base.n_hosts);
         let mut last_join = SimTime::ZERO;
@@ -433,6 +475,8 @@ impl SecureBuilder {
             dns: Some(dns),
             hosts,
             last_join,
+            crypto_backend: Some(backend),
+            batch,
             _stack: PhantomData,
         };
         base.schedule_churn(&mut net);
@@ -487,6 +531,8 @@ impl PlainBuilder {
             dns: None,
             hosts,
             last_join: SimTime::ZERO,
+            crypto_backend: None,
+            batch: None,
             _stack: PhantomData,
         };
         base.schedule_churn(&mut net);

@@ -12,9 +12,11 @@ use super::workload::{Workload, DEFAULT_PAYLOAD};
 use crate::node::SecureNode;
 use crate::plain::PlainDsrNode;
 use crate::stats::NodeStats;
+use manet_crypto::{BatchVerifier, CryptoBackend};
 use manet_sim::{Ctx, Engine, NodeId, Protocol, SimTime};
 use manet_wire::{DomainName, Ipv6Addr};
 use std::marker::PhantomData;
+use std::sync::Arc;
 
 /// What a protocol stack exposes so the generic [`Network`] can drive it
 /// and read it. Implemented by [`SecureNode`] and [`PlainDsrNode`]; any
@@ -80,6 +82,13 @@ pub struct Network<P: NodeApi> {
     pub hosts: Vec<NodeId>,
     /// When the last host joins (bootstrap completes some time after).
     pub last_join: SimTime,
+    /// The network-shared signature backend (secure builds): its
+    /// counters report *actual* backend executions network-wide, the
+    /// quantity the demand-side `sec.verify_rsa` deliberately does not
+    /// measure. `None` for plain stacks.
+    pub crypto_backend: Option<Arc<dyn CryptoBackend>>,
+    /// The shared batch verifier when deferred verification is on.
+    pub batch: Option<Arc<BatchVerifier>>,
     pub(super) _stack: PhantomData<P>,
 }
 

@@ -1,0 +1,339 @@
+//! Pluggable signature backends.
+//!
+//! The paper's protocol logic is agnostic to *which* signature scheme
+//! carries its proofs — it only needs `sign` and `verify` with the usual
+//! semantics. Splitting that behind a trait (the `src/crypto/{native,
+//! dalek}` pattern from dsf-core) lets one scenario run the real RSA
+//! pipeline while another swaps in a constant-true stub to measure the
+//! protocol stack with crypto cost removed, or a hash-based toy scheme
+//! that is cheap but still rejects corrupted and spliced material.
+//!
+//! Every backend produces [`Signature`] values the wire format already
+//! carries, so no envelope or trace plumbing changes per backend — but
+//! the *bytes* differ between backends, meaning each backend defines its
+//! own simulation universe. Differential gates must therefore compare
+//! runs within one backend, never across two.
+//!
+//! Backends count the sign/verify executions they actually perform
+//! (relaxed atomics, reported only in benchmark JSON — never in run
+//! fingerprints), which is what makes the batch-verification
+//! amortization ratio measurable.
+
+use crate::rsa::{KeyPair, PublicKey, Signature};
+use crate::sha256::sha256;
+use crate::uint::Ubig;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Selector for a [`CryptoBackend`] implementation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BackendKind {
+    /// The real RSA path in `rsa.rs` — the oracle all other backends'
+    /// scenarios are sanity-checked against.
+    Rsa,
+    /// Constant-true verification (format checks only). Every
+    /// well-formed signature verifies, including forgeries: use only
+    /// for protocol-logic/performance runs, never for security claims.
+    Null,
+    /// Keyless hash "signature": `sha256(domain ‖ pk ‖ msg)`. Rejects
+    /// corrupted or spliced material but is forgeable by anyone who can
+    /// hash — a stand-in for a fast scheme, not a secure one.
+    HashSig,
+}
+
+impl BackendKind {
+    /// Stable lower-case name (used in env vars, JSON, and bench IDs).
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Rsa => "rsa",
+            BackendKind::Null => "null",
+            BackendKind::HashSig => "hashsig",
+        }
+    }
+
+    /// Parse a [`Self::name`] string.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "rsa" => Some(BackendKind::Rsa),
+            "null" => Some(BackendKind::Null),
+            "hashsig" => Some(BackendKind::HashSig),
+            _ => None,
+        }
+    }
+
+    /// All backends, for matrix tests and benches.
+    pub const ALL: [BackendKind; 3] = [BackendKind::Rsa, BackendKind::Null, BackendKind::HashSig];
+}
+
+impl Default for BackendKind {
+    /// [`BackendKind::Rsa`], overridable by the `MANET_CRYPTO`
+    /// environment variable (`rsa` | `null` | `hashsig`) — the CI knob
+    /// that reruns the suite under a different backend, mirroring how
+    /// `MANET_EXEC` selects the executor. Read once and cached: a
+    /// mid-run env change cannot make two halves of one simulation
+    /// disagree.
+    fn default() -> Self {
+        static KIND: OnceLock<BackendKind> = OnceLock::new();
+        *KIND.get_or_init(|| match std::env::var("MANET_CRYPTO") {
+            Ok(v) => BackendKind::parse(&v)
+                .unwrap_or_else(|| panic!("MANET_CRYPTO must be rsa|null|hashsig, got {v:?}")),
+            Err(_) => BackendKind::Rsa,
+        })
+    }
+}
+
+/// A signature scheme the simulator can run its proofs over.
+///
+/// Implementations are shared (`Arc`) across every node of a scenario,
+/// so they must be `Send + Sync` and keep their counters atomic.
+pub trait CryptoBackend: Send + Sync {
+    /// Which implementation this is.
+    fn kind(&self) -> BackendKind;
+
+    /// Produce the signature `[msg]XSK` for the paper's notation.
+    fn sign(&self, kp: &KeyPair, msg: &[u8]) -> Signature;
+
+    /// Check `sig` over `msg` under `pk`.
+    fn verify(&self, pk: &PublicKey, msg: &[u8], sig: &Signature) -> bool;
+
+    /// Verify executions actually performed (not memoized or batched
+    /// away). Benchmark-only: never feeds a run fingerprint.
+    fn verifies_executed(&self) -> u64;
+
+    /// Sign executions performed.
+    fn signs_executed(&self) -> u64;
+}
+
+/// A fresh backend instance of the given kind with zeroed counters.
+///
+/// Each scenario gets its own instance so per-run execution counts are
+/// meaningful; sharing happens via the returned `Arc`.
+pub fn backend_for(kind: BackendKind) -> Arc<dyn CryptoBackend> {
+    match kind {
+        BackendKind::Rsa => Arc::new(RsaBackend::default()),
+        BackendKind::Null => Arc::new(NullBackend::default()),
+        BackendKind::HashSig => Arc::new(HashSigBackend::default()),
+    }
+}
+
+/// The real RSA pipeline (EMSA frame, Montgomery modpow, CRT signing).
+#[derive(Default)]
+pub struct RsaBackend {
+    verifies: AtomicU64,
+    signs: AtomicU64,
+}
+
+impl CryptoBackend for RsaBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Rsa
+    }
+
+    fn sign(&self, kp: &KeyPair, msg: &[u8]) -> Signature {
+        self.signs.fetch_add(1, Ordering::Relaxed);
+        kp.sign(msg)
+    }
+
+    fn verify(&self, pk: &PublicKey, msg: &[u8], sig: &Signature) -> bool {
+        self.verifies.fetch_add(1, Ordering::Relaxed);
+        pk.verify(msg, sig).is_ok()
+    }
+
+    fn verifies_executed(&self) -> u64 {
+        self.verifies.load(Ordering::Relaxed)
+    }
+
+    fn signs_executed(&self) -> u64 {
+        self.signs.load(Ordering::Relaxed)
+    }
+}
+
+/// Constant-true verification: only the structural check (signature
+/// reduced modulo `n`) can fail. Signing emits a digest-derived integer
+/// so traces stay deterministic and wire sizes realistic-ish.
+#[derive(Default)]
+pub struct NullBackend {
+    verifies: AtomicU64,
+    signs: AtomicU64,
+}
+
+impl CryptoBackend for NullBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Null
+    }
+
+    fn sign(&self, kp: &KeyPair, msg: &[u8]) -> Signature {
+        self.signs.fetch_add(1, Ordering::Relaxed);
+        // Reduced modulo n so the range format-check always passes for
+        // honestly produced signatures.
+        let digest = Ubig::from_be_bytes(&sha256(msg));
+        Signature(digest.div_rem(kp.public().modulus()).1)
+    }
+
+    fn verify(&self, pk: &PublicKey, _msg: &[u8], sig: &Signature) -> bool {
+        self.verifies.fetch_add(1, Ordering::Relaxed);
+        // Format check only: in-range under the key's modulus.
+        sig.0 < *pk.modulus()
+    }
+
+    fn verifies_executed(&self) -> u64 {
+        self.verifies.load(Ordering::Relaxed)
+    }
+
+    fn signs_executed(&self) -> u64 {
+        self.signs.load(Ordering::Relaxed)
+    }
+}
+
+/// Domain-separation tag for [`HashSigBackend`] material.
+const HASHSIG_DOMAIN: &[u8] = b"manet-hashsig-v1";
+
+/// Keyless hash scheme: `sig = sha256(domain ‖ pk_bytes ‖ msg) mod n`.
+///
+/// Binds the signature to both the key and the message, so corruption
+/// and key-splicing are detected — but anyone can forge (there is no
+/// secret), so it models a *fast* scheme, not a secure one.
+#[derive(Default)]
+pub struct HashSigBackend {
+    verifies: AtomicU64,
+    signs: AtomicU64,
+}
+
+impl HashSigBackend {
+    fn material(pk: &PublicKey, msg: &[u8]) -> Ubig {
+        let pk_bytes = pk.to_bytes();
+        let mut buf = Vec::with_capacity(HASHSIG_DOMAIN.len() + pk_bytes.len() + msg.len());
+        buf.extend_from_slice(HASHSIG_DOMAIN);
+        buf.extend_from_slice(&pk_bytes);
+        buf.extend_from_slice(msg);
+        Ubig::from_be_bytes(&sha256(&buf)).div_rem(pk.modulus()).1
+    }
+}
+
+impl CryptoBackend for HashSigBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::HashSig
+    }
+
+    fn sign(&self, kp: &KeyPair, msg: &[u8]) -> Signature {
+        self.signs.fetch_add(1, Ordering::Relaxed);
+        Signature(Self::material(kp.public(), msg))
+    }
+
+    fn verify(&self, pk: &PublicKey, msg: &[u8], sig: &Signature) -> bool {
+        self.verifies.fetch_add(1, Ordering::Relaxed);
+        sig.0 == Self::material(pk, msg)
+    }
+
+    fn verifies_executed(&self) -> u64 {
+        self.verifies.load(Ordering::Relaxed)
+    }
+
+    fn signs_executed(&self) -> u64 {
+        self.signs.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    fn keypair(seed: u64) -> KeyPair {
+        KeyPair::generate(512, &mut ChaCha12Rng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn kind_names_roundtrip() {
+        for kind in BackendKind::ALL {
+            assert_eq!(BackendKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(BackendKind::parse("ed25519"), None);
+    }
+
+    #[test]
+    fn every_backend_roundtrips_own_signatures() {
+        let kp = keypair(1);
+        for kind in BackendKind::ALL {
+            let backend = backend_for(kind);
+            let sig = backend.sign(&kp, b"route request");
+            assert!(
+                backend.verify(kp.public(), b"route request", &sig),
+                "{} rejects its own signature",
+                kind.name()
+            );
+            assert_eq!(backend.kind(), kind);
+            assert_eq!(
+                (backend.signs_executed(), backend.verifies_executed()),
+                (1, 1)
+            );
+        }
+    }
+
+    #[test]
+    fn rsa_backend_matches_raw_rsa() {
+        let kp = keypair(2);
+        let backend = backend_for(BackendKind::Rsa);
+        let sig = backend.sign(&kp, b"msg");
+        assert_eq!(sig, kp.sign(b"msg"));
+        assert!(kp.public().verify(b"msg", &sig).is_ok());
+        let mut bytes = sig.to_bytes();
+        bytes[0] ^= 1;
+        assert!(!backend.verify(kp.public(), b"msg", &Signature::from_bytes(&bytes)));
+    }
+
+    #[test]
+    fn null_backend_accepts_forgeries_but_checks_range() {
+        let kp = keypair(3);
+        let backend = backend_for(BackendKind::Null);
+        // A forged signature over a message never signed: accepted.
+        let forged = Signature(Ubig::from(12345u64));
+        assert!(backend.verify(kp.public(), b"never signed", &forged));
+        // Out-of-range material still fails the format check.
+        let oversized = Signature(kp.public().modulus() + &Ubig::one());
+        assert!(!backend.verify(kp.public(), b"x", &oversized));
+    }
+
+    #[test]
+    fn hashsig_rejects_corruption_and_splicing() {
+        let kp = keypair(4);
+        let other = keypair(5);
+        let backend = backend_for(BackendKind::HashSig);
+        let sig = backend.sign(&kp, b"payload");
+        assert!(backend.verify(kp.public(), b"payload", &sig));
+        // Corrupted message, corrupted signature, wrong key: all rejected.
+        assert!(!backend.verify(kp.public(), b"payloae", &sig));
+        let mut bytes = sig.to_bytes();
+        bytes[0] ^= 1;
+        assert!(!backend.verify(kp.public(), b"payload", &Signature::from_bytes(&bytes)));
+        assert!(!backend.verify(other.public(), b"payload", &sig));
+        // But it is forgeable: verification is a pure recompute.
+        let forged = Signature(HashSigBackend::material(kp.public(), b"forged"));
+        assert!(backend.verify(kp.public(), b"forged", &forged));
+    }
+
+    #[test]
+    fn signatures_differ_across_backends() {
+        // Each backend is its own universe: same (key, msg), different
+        // wire bytes.
+        let kp = keypair(6);
+        let rsa = backend_for(BackendKind::Rsa).sign(&kp, b"m");
+        let null = backend_for(BackendKind::Null).sign(&kp, b"m");
+        let hash = backend_for(BackendKind::HashSig).sign(&kp, b"m");
+        assert_ne!(rsa, null);
+        assert_ne!(rsa, hash);
+        assert_ne!(null, hash);
+    }
+
+    #[test]
+    fn counters_track_executions() {
+        let kp = keypair(7);
+        let backend = backend_for(BackendKind::HashSig);
+        let sig = backend.sign(&kp, b"a");
+        for _ in 0..3 {
+            backend.verify(kp.public(), b"a", &sig);
+        }
+        assert_eq!(backend.signs_executed(), 1);
+        assert_eq!(backend.verifies_executed(), 3);
+    }
+}

@@ -11,11 +11,20 @@
 //!   `[msg]XSK` primitive;
 //! * [`mod@sha256`] — FIPS 180-4 SHA-256, the paper's hash `H`;
 //! * [`verifycache`] — a bounded LRU memoizing signature-verification
-//!   verdicts (pure-function caching, safe under seeded determinism).
+//!   verdicts (pure-function caching, safe under seeded determinism);
+//! * [`backend`] — pluggable signature backends ([`BackendKind::Rsa`]
+//!   the oracle, [`BackendKind::Null`] constant-true,
+//!   [`BackendKind::HashSig`] a fast forgeable stand-in), selected per
+//!   scenario or via `MANET_CRYPTO`;
+//! * [`batch`] — network-wide deferred batch verification: per-tick
+//!   dedup of `(pk, payload, sig)` triples, each unique triple verified
+//!   once and the verdict shared across every requesting node.
 //!
 //! No external crypto crates are used anywhere in the workspace; this
 //! crate is the sole provider (see DESIGN.md §2).
 
+pub mod backend;
+pub mod batch;
 pub mod limb;
 pub mod modular;
 pub mod prime;
@@ -24,6 +33,8 @@ pub mod sha256;
 pub mod uint;
 pub mod verifycache;
 
+pub use backend::{backend_for, BackendKind, CryptoBackend};
+pub use batch::{BatchStats, BatchVerifier};
 pub use rsa::{KeyPair, PublicKey, RsaError, Signature};
 pub use sha256::{hmac_sha256, sha256, Sha256};
 pub use uint::Ubig;

@@ -18,6 +18,9 @@ pub struct MontgomeryCtx {
     n_prime: u64,
     /// `R^2 mod n` where `R = 2^(64k)`; converts into Montgomery form.
     r2: Ubig,
+    /// `1` in Montgomery form (`R mod n`), cached so every `modpow` call
+    /// skips one REDC pass rebuilding it.
+    one_m: Ubig,
 }
 
 impl MontgomeryCtx {
@@ -33,12 +36,20 @@ impl MontgomeryCtx {
         let n_prime = inv_limb_neg(n.limbs()[0]);
         // R^2 mod n via shifting: R2 = 2^(128k) mod n.
         let r2 = (Ubig::one() << (2 * k as u32 * LIMB_BITS)).div_rem(n).1;
-        MontgomeryCtx {
+        let mut ctx = MontgomeryCtx {
             n: n.clone(),
             k,
             n_prime,
             r2,
-        }
+            one_m: Ubig::zero(),
+        };
+        // R mod n = REDC(R^2): derived once here instead of per modpow.
+        ctx.one_m = ctx.redc({
+            let mut t = ctx.r2.limbs().to_vec();
+            t.resize(2 * ctx.k, 0);
+            t
+        });
+        ctx
     }
 
     /// The modulus this context reduces by.
@@ -84,19 +95,35 @@ impl MontgomeryCtx {
         self.redc(a.square().limbs().to_vec())
     }
 
-    /// `base^exp mod n` using a fixed 4-bit window.
+    /// `base^exp mod n` using a fixed 4-bit window, with a square-and-
+    /// multiply fast path for sparse exponents.
     pub fn modpow(&self, base: &Ubig, exp: &Ubig) -> Ubig {
         if exp.is_zero() {
             return Ubig::one().div_rem(&self.n).1;
         }
         let base = base.div_rem(&self.n).1;
         let base_m = self.to_mont(&base);
-        // one in Montgomery form = R mod n
-        let one_m = self.redc({
-            let mut t = self.r2.limbs().to_vec();
-            t.resize(2 * self.k, 0);
-            t
-        });
+
+        // Sparse exponents (RSA's e = 65537 has two set bits) pay more
+        // for the 14 window-table multiplies than the table saves; plain
+        // left-to-right square-and-multiply does bits-1 squarings plus
+        // one multiply per extra set bit.
+        let set_bits: u32 = exp.limbs().iter().map(|l| l.count_ones()).sum();
+        if set_bits <= 4 {
+            let mut acc = base_m.clone();
+            for i in (0..exp.bit_len() - 1).rev() {
+                acc = self.mont_sqr(&acc);
+                if exp.bit(i) {
+                    acc = self.mont_mul(&acc, &base_m);
+                }
+            }
+            return self.redc({
+                let mut t = acc.limbs().to_vec();
+                t.resize(2 * self.k, 0);
+                t
+            });
+        }
+        let one_m = self.one_m.clone();
 
         // Precompute base^0..base^15 in Montgomery form.
         let mut table = Vec::with_capacity(16);
@@ -288,6 +315,44 @@ mod tests {
             base = (&base * &base).div_rem(&n).1;
         }
         assert_eq!(modpow(&b, &e, &n), naive);
+    }
+
+    /// Division-based square-and-multiply reference.
+    fn naive_modpow(base: &Ubig, exp: &Ubig, n: &Ubig) -> Ubig {
+        let mut result = Ubig::one();
+        let mut b = base.div_rem(n).1;
+        for i in 0..exp.bit_len() {
+            if exp.bit(i) {
+                result = (&result * &b).div_rem(n).1;
+            }
+            b = (&b * &b).div_rem(n).1;
+        }
+        result
+    }
+
+    #[test]
+    fn sparse_and_windowed_exponents_agree_with_naive() {
+        // Straddle the sparse-path threshold (≤ 4 set bits) from both
+        // sides: the fast path and the windowed path must both match the
+        // division-based reference.
+        let n = Ubig::from_hex("c34f8e21b9d473a1550f9c2de38641c7").unwrap();
+        let b = Ubig::from_hex("123456789abcdef00fedcba987654321").unwrap();
+        for exp in [
+            u(1),
+            u(2),
+            u(65537),       // RSA's e: two set bits
+            u(0b1011),      // three set bits
+            u(0b1111),      // four set bits: last sparse case
+            u(0b11111),     // five set bits: first windowed case
+            u(0xdead_beef), // dense
+            Ubig::from_hex("ffffffffffffffffffffffffffffffff").unwrap(),
+        ] {
+            assert_eq!(
+                modpow(&b, &exp, &n),
+                naive_modpow(&b, &exp, &n),
+                "exp={exp:?}"
+            );
+        }
     }
 
     #[test]

@@ -21,7 +21,7 @@ use crate::sha256::{sha256, DIGEST_LEN};
 use crate::uint::Ubig;
 use rand::Rng;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Public exponent: F4 = 65537.
 const E: u64 = 65537;
@@ -58,6 +58,10 @@ pub struct PublicKey {
     n: Ubig,
     e: Ubig,
     ctx: Arc<MontgomeryCtx>,
+    /// Memoized `SHA-256(to_bytes())`; shared across clones so the digest
+    /// (and the [`Self::fingerprint`] derived from it) is computed once
+    /// per key, not once per call.
+    digest: Arc<OnceLock<[u8; 32]>>,
 }
 
 impl PartialEq for PublicKey {
@@ -82,7 +86,12 @@ impl PublicKey {
             return Err(RsaError::InvalidKey);
         }
         let ctx = Arc::new(MontgomeryCtx::new(&n));
-        Ok(PublicKey { n, e, ctx })
+        Ok(PublicKey {
+            n,
+            e,
+            ctx,
+            digest: Arc::new(OnceLock::new()),
+        })
     }
 
     /// The modulus `n`.
@@ -139,11 +148,17 @@ impl PublicKey {
         }
     }
 
+    /// `SHA-256(to_bytes())`, memoized on first use (the key material is
+    /// immutable, so the digest is a pure function of the key). Also the
+    /// key component of [`crate::VerifyKey`].
+    pub fn digest(&self) -> &[u8; 32] {
+        self.digest.get_or_init(|| sha256(&self.to_bytes()))
+    }
+
     /// A short fingerprint of the key (first 8 digest bytes), used for
     /// logging and credit-table indexing.
     pub fn fingerprint(&self) -> u64 {
-        let d = sha256(&self.to_bytes());
-        u64::from_be_bytes(d[..8].try_into().expect("8 bytes"))
+        u64::from_be_bytes(self.digest()[..8].try_into().expect("8 bytes"))
     }
 }
 
@@ -403,6 +418,27 @@ mod tests {
         assert_ne!(kp1.public().fingerprint(), kp2.public().fingerprint());
         // And stable for the same key.
         assert_eq!(kp1.public().fingerprint(), kp1.public().fingerprint());
+    }
+
+    #[test]
+    fn memoized_digest_matches_recompute() {
+        let kp = keypair();
+        let pk = kp.public();
+        // The memoized digest must equal a fresh hash of the encoding,
+        // and the fingerprint must be its first 8 bytes (the pre-memo
+        // definition).
+        let fresh = sha256(&pk.to_bytes());
+        assert_eq!(*pk.digest(), fresh);
+        assert_eq!(
+            pk.fingerprint(),
+            u64::from_be_bytes(fresh[..8].try_into().unwrap())
+        );
+        // Clones share the memo cell; a reparsed key recomputes to the
+        // same digest.
+        let clone = pk.clone();
+        assert_eq!(clone.digest(), pk.digest());
+        let reparsed = PublicKey::from_bytes(&pk.to_bytes()).unwrap();
+        assert_eq!(*reparsed.digest(), fresh);
     }
 
     #[test]

@@ -34,7 +34,7 @@ impl VerifyKey {
     /// distinct triples.
     pub fn for_triple(pk: &PublicKey, payload: &[u8], sig: &Signature) -> Self {
         VerifyKey {
-            pk: sha256(&pk.to_bytes()),
+            pk: *pk.digest(),
             payload: sha256(payload),
             sig: sha256(&sig.to_bytes()),
         }
@@ -102,13 +102,34 @@ impl VerifyCache {
         payload: &[u8],
         sig: &Signature,
     ) -> (bool, Provenance) {
+        self.verify_with(pk, payload, sig, || pk.verify(payload, sig).is_ok())
+    }
+
+    /// Like [`Self::verify`], but the miss path runs `compute` instead of
+    /// the RSA pipeline — the hook by which pluggable backends and the
+    /// network-wide batch table supply verdicts while this cache keeps
+    /// exactly its usual hit/miss/LRU behavior.
+    pub fn verify_with(
+        &mut self,
+        pk: &PublicKey,
+        payload: &[u8],
+        sig: &Signature,
+        compute: impl FnOnce() -> bool,
+    ) -> (bool, Provenance) {
         let key = VerifyKey::for_triple(pk, payload, sig);
         if let Some(valid) = self.lookup(&key) {
             return (valid, Provenance::Cached);
         }
-        let valid = pk.verify(payload, sig).is_ok();
+        let valid = compute();
         self.insert(key, valid);
         (valid, Provenance::Computed)
+    }
+
+    /// Cached verdict for `key` without promoting it or touching the
+    /// hit/miss counters. For speculative readers (batch prefetch) that
+    /// must leave the cache byte-identical to an untouched one.
+    pub fn peek(&self, key: &VerifyKey) -> Option<bool> {
+        self.map.get(key).map(|&idx| self.slots[idx].valid)
     }
 
     /// Cached verdict for `key`, promoting it to most-recently-used.
@@ -327,6 +348,40 @@ mod tests {
         c.lookup(&key(1));
         c.lookup(&key(1));
         assert_eq!((c.hits(), c.misses()), (2, 1));
+    }
+
+    #[test]
+    fn peek_neither_promotes_nor_counts() {
+        let mut c = VerifyCache::new(2);
+        c.insert(key(1), true);
+        c.insert(key(2), false);
+        // Peeking 1 must not promote it...
+        assert_eq!(c.peek(&key(1)), Some(true));
+        assert_eq!(c.peek(&key(3)), None);
+        // ...so inserting 3 still evicts 1 (the LRU), not 2.
+        c.insert(key(3), true);
+        assert_eq!(c.peek(&key(1)), None);
+        assert_eq!(c.peek(&key(2)), Some(false));
+        // And no peek touched the stats.
+        assert_eq!((c.hits(), c.misses()), (0, 0));
+    }
+
+    #[test]
+    fn verify_with_supplier_feeds_miss_path_only() {
+        let kp = keypair(5);
+        let sig = kp.sign(b"x");
+        let mut c = VerifyCache::new(4);
+        let mut calls = 0u32;
+        let (v, p) = c.verify_with(kp.public(), b"x", &sig, || {
+            calls += 1;
+            true
+        });
+        assert_eq!((v, p, calls), (true, Provenance::Computed, 1));
+        // Hit path must not invoke the supplier.
+        let (v, p) = c.verify_with(kp.public(), b"x", &sig, || {
+            panic!("supplier must not run on a cache hit")
+        });
+        assert_eq!((v, p), (true, Provenance::Cached));
     }
 
     #[test]

@@ -50,6 +50,18 @@ pub trait Protocol: Send {
     /// links. Default: ignore.
     fn on_link_failure(&mut self, _ctx: &mut Ctx, _to: NodeId, _bytes: &[u8]) {}
 
+    /// Speculative pass over a frame that will be delivered to this node
+    /// later in the current tick/window, run *before* any of the batch's
+    /// [`Protocol::on_frame`] calls. Implementations may enqueue
+    /// signature triples for batch verification but MUST NOT cause any
+    /// observable protocol effect: no state changes, no sends, no
+    /// timers, no metrics. Takes `&self` so the no-side-effects rule is
+    /// enforced by the compiler (batch queues live behind shared
+    /// handles with interior mutability). A wrong or missing prefetch
+    /// may only cost performance, never correctness. Default: do
+    /// nothing.
+    fn prefetch_frame(&self, _src: NodeId, _bytes: &[u8]) {}
+
     /// Downcasting support so harnesses can inspect protocol state after
     /// a run.
     fn as_any(&self) -> &dyn Any;

@@ -271,6 +271,10 @@ struct Shard {
     prov_ctr: u64,
     /// Window pops not yet folded into `events_processed`.
     pops: u64,
+    /// Events collected (and prefetch-scanned) by `collect_window`,
+    /// awaiting dispatch by `run_window_buffered`. Empty outside the
+    /// hooked three-phase epoch.
+    win_buf: Vec<(SimTime, u64, Event)>,
     frame_pool: Vec<Vec<u8>>,
     bcast_scratch: Vec<NodeId>,
     send_scratch: Vec<(SimTime, Event)>,
@@ -291,6 +295,7 @@ impl Shard {
             prov_seq: Vec::new(),
             prov_ctr: 0,
             pops: 0,
+            win_buf: Vec::new(),
             frame_pool: Vec::new(),
             bcast_scratch: Vec::new(),
             send_scratch: Vec::new(),
@@ -314,56 +319,138 @@ impl Shard {
     ) {
         while let Some((time, seq, ev)) = self.queue.pop_due_seq(w_last) {
             self.pops += 1;
-            match ev {
-                Event::Start(id) => {
-                    let li = local[id.0] as usize;
-                    if !hot[id.0].alive || self.nodes.started[li] {
-                        continue;
+            self.dispatch_window_event(time, seq, ev, w_end, hot, grid, radio, local);
+        }
+    }
+
+    /// Pop this shard's events in `[window start, w_last]` into
+    /// `win_buf` *without dispatching*, running the speculative
+    /// [`Protocol::prefetch_frame`] pass over deliveries to live,
+    /// started nodes. Phase A of the hooked three-phase epoch; the
+    /// engine's tick hook runs between this and `run_window_buffered`.
+    /// Liveness is rechecked at dispatch — prefetching a frame whose
+    /// receiver dies mid-window only wastes a backend op (prefetch has
+    /// no observable effects by contract).
+    fn collect_window(&mut self, w_last: SimTime, hot: &[HotNode], local: &[u32]) {
+        debug_assert!(self.win_buf.is_empty(), "window buffer not drained");
+        while let Some((time, seq, ev)) = self.queue.pop_due_seq(w_last) {
+            self.pops += 1;
+            if let Event::Deliver { to, src, bytes } = &ev {
+                let li = local[to.0] as usize;
+                if hot[to.0].alive && self.nodes.started[li] {
+                    if let Some(p) = self.nodes.protos[li].as_deref() {
+                        p.prefetch_frame(*src, bytes);
                     }
-                    self.nodes.started[li] = true;
-                    self.fire(time, seq, id, w_end, hot, grid, radio, local, |p, ctx| {
-                        p.on_start(ctx)
-                    });
                 }
-                Event::Deliver { to, src, bytes } => {
-                    let li = local[to.0] as usize;
-                    if !hot[to.0].alive || !self.nodes.started[li] {
-                        self.metrics.count("phy.rx_dropped_dead", 1);
-                        self.recycle_frame(bytes);
-                        continue;
-                    }
-                    self.metrics.count("phy.rx_frames", 1);
-                    self.metrics.count("phy.rx_bytes", bytes.len() as u64);
-                    self.fire(time, seq, to, w_end, hot, grid, radio, local, |p, ctx| {
-                        p.on_frame(ctx, src, &bytes)
-                    });
+            }
+            self.win_buf.push((time, seq, ev));
+        }
+    }
+
+    /// Phase C of the hooked epoch: dispatch the events
+    /// `collect_window` buffered, merged with anything the dispatches
+    /// push back into this window (provisional-sequence timers) in raw
+    /// `(time, seq)` order. At collection time the queue held only
+    /// real sequences, and provisional sequences (bit 63 set) sort
+    /// after every real sequence of the same tick — exactly where
+    /// replay resolves them to — so this merge reproduces
+    /// `run_window`'s dispatch order event for event.
+    #[allow(clippy::too_many_arguments)]
+    fn run_window_buffered(
+        &mut self,
+        w_last: SimTime,
+        w_end: SimTime,
+        hot: &[HotNode],
+        grid: Option<&SpatialGrid>,
+        radio: &RadioConfig,
+        local: &[u32],
+    ) {
+        let mut buf = std::mem::take(&mut self.win_buf);
+        {
+            let mut it = buf.drain(..).peekable();
+            loop {
+                let take_queued = match (it.peek(), self.queue.peek_due(w_last)) {
+                    (None, None) => break,
+                    (Some(_), None) => false,
+                    (None, Some(_)) => true,
+                    (Some(&(bt, bs, _)), Some((qt, qs))) => (qt, qs) < (bt, bs),
+                };
+                let (time, seq, ev) = if take_queued {
+                    self.pops += 1;
+                    self.queue.pop_due_seq(w_last).expect("peeked")
+                } else {
+                    it.next().expect("peeked")
+                };
+                self.dispatch_window_event(time, seq, ev, w_end, hot, grid, radio, local);
+            }
+        }
+        self.win_buf = buf;
+    }
+
+    /// Dispatch one already-popped window event. Shared by
+    /// `run_window` and `run_window_buffered` so the pop-and-dispatch
+    /// and collect-then-dispatch paths cannot drift.
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch_window_event(
+        &mut self,
+        time: SimTime,
+        seq: u64,
+        ev: Event,
+        w_end: SimTime,
+        hot: &[HotNode],
+        grid: Option<&SpatialGrid>,
+        radio: &RadioConfig,
+        local: &[u32],
+    ) {
+        match ev {
+            Event::Start(id) => {
+                let li = local[id.0] as usize;
+                if !hot[id.0].alive || self.nodes.started[li] {
+                    return;
+                }
+                self.nodes.started[li] = true;
+                self.fire(time, seq, id, w_end, hot, grid, radio, local, |p, ctx| {
+                    p.on_start(ctx)
+                });
+            }
+            Event::Deliver { to, src, bytes } => {
+                let li = local[to.0] as usize;
+                if !hot[to.0].alive || !self.nodes.started[li] {
+                    self.metrics.count("phy.rx_dropped_dead", 1);
                     self.recycle_frame(bytes);
+                    return;
                 }
-                Event::Timer { node, handle, tag } => {
-                    if !self.timers.should_fire(handle) {
-                        continue;
-                    }
-                    let li = local[node.0] as usize;
-                    if !hot[node.0].alive || !self.nodes.started[li] {
-                        continue;
-                    }
+                self.metrics.count("phy.rx_frames", 1);
+                self.metrics.count("phy.rx_bytes", bytes.len() as u64);
+                self.fire(time, seq, to, w_end, hot, grid, radio, local, |p, ctx| {
+                    p.on_frame(ctx, src, &bytes)
+                });
+                self.recycle_frame(bytes);
+            }
+            Event::Timer { node, handle, tag } => {
+                if !self.timers.should_fire(handle) {
+                    return;
+                }
+                let li = local[node.0] as usize;
+                if !hot[node.0].alive || !self.nodes.started[li] {
+                    return;
+                }
+                self.fire(time, seq, node, w_end, hot, grid, radio, local, |p, ctx| {
+                    p.on_timer(ctx, tag)
+                });
+            }
+            Event::LinkFailure { node, to, bytes } => {
+                let li = local[node.0] as usize;
+                if hot[node.0].alive && self.nodes.started[li] {
+                    self.metrics.count("phy.link_failures", 1);
                     self.fire(time, seq, node, w_end, hot, grid, radio, local, |p, ctx| {
-                        p.on_timer(ctx, tag)
+                        p.on_link_failure(ctx, to, &bytes)
                     });
                 }
-                Event::LinkFailure { node, to, bytes } => {
-                    let li = local[node.0] as usize;
-                    if hot[node.0].alive && self.nodes.started[li] {
-                        self.metrics.count("phy.link_failures", 1);
-                        self.fire(time, seq, node, w_end, hot, grid, radio, local, |p, ctx| {
-                            p.on_link_failure(ctx, to, &bytes)
-                        });
-                    }
-                    self.recycle_frame(bytes);
-                }
-                Event::MobilityTick | Event::Kill(_) => {
-                    unreachable!("barrier events never reach shard queues")
-                }
+                self.recycle_frame(bytes);
+            }
+            Event::MobilityTick | Event::Kill(_) => {
+                unreachable!("barrier events never reach shard queues")
             }
         }
     }
@@ -570,6 +657,15 @@ pub struct Engine {
     ctx_scratch: CtxOut,
     frame_pool: Vec<Vec<u8>>,
     events_processed: u64,
+    /// When set, each tick (Single) or parallel window (Sharded) runs
+    /// as collect → prefetch → hook → dispatch instead of
+    /// pop-and-dispatch: the events due now are buffered, every
+    /// pending delivery gets a speculative [`Protocol::prefetch_frame`]
+    /// pass, the hook runs once (the batch-verification drain), and
+    /// only then does dispatch proceed in unchanged `(time, seq)`
+    /// order. `None` (the default) keeps the classic loops
+    /// byte-for-byte.
+    tick_hook: Option<Box<dyn FnMut() + Send>>,
     /// Wall-clock time spent inside `run_until` — the denominator of
     /// the machine-dependent `events/sec (engine)` rate the scale
     /// exhibits and the CI perf gate report.
@@ -614,6 +710,7 @@ impl Engine {
             ctx_scratch: CtxOut::default(),
             frame_pool: Vec::new(),
             events_processed: 0,
+            tick_hook: None,
             busy: std::time::Duration::ZERO,
             mobility_scheduled: false,
             has_mobile: false,
@@ -863,6 +960,15 @@ impl Engine {
         &mut self.rng
     }
 
+    /// Install the per-tick hook (see the `tick_hook` field docs). The
+    /// scenario builder uses this to drain the batch verifier between
+    /// collecting a tick's deliveries and dispatching them; any
+    /// replacement must preserve the same contract: verdict-pure work
+    /// only, no protocol side effects.
+    pub fn set_tick_hook(&mut self, hook: impl FnMut() + Send + 'static) {
+        self.tick_hook = Some(Box::new(hook));
+    }
+
     /// Process events until `until` (inclusive) or the queue drains.
     pub fn run_until(&mut self, until: SimTime) {
         let t0 = std::time::Instant::now();
@@ -879,11 +985,52 @@ impl Engine {
 
     /// The oracle: one queue, strictly ascending `(time, seq)` pops.
     fn run_single(&mut self, until: SimTime) {
+        if self.tick_hook.is_some() {
+            return self.run_single_hooked(until);
+        }
         while let Some((time, _seq, event)) = self.shards[0].queue.pop_due_seq(until) {
             self.count_event();
             debug_assert!(time >= self.now, "event from the past");
             self.now = time;
             self.dispatch_serial(event, until);
+        }
+    }
+
+    /// The hooked single loop: buffer one tick's due events, prefetch
+    /// its deliveries, run the tick hook, then dispatch the buffer in
+    /// the order it was popped. Events a dispatch pushes back onto the
+    /// same tick are *not* folded into the running buffer — they form
+    /// the next iteration's batch, which `pop_due_seq`'s global
+    /// `(time, seq)` minimum ordering makes identical to the unhooked
+    /// loop's dispatch order.
+    fn run_single_hooked(&mut self, until: SimTime) {
+        let mut buf: Vec<(SimTime, Event)> = Vec::new();
+        while let Some((time, _seq, event)) = self.shards[0].queue.pop_due_seq(until) {
+            debug_assert!(time >= self.now, "event from the past");
+            self.now = time;
+            buf.push((time, event));
+            while let Some((t, _s, ev)) = self.shards[0].queue.pop_due_seq(time) {
+                debug_assert!(t == time);
+                buf.push((t, ev));
+            }
+            for (_, ev) in &buf {
+                if let Event::Deliver { to, src, bytes } = ev {
+                    let (sh, li) = (self.owner[to.0] as usize, self.local[to.0] as usize);
+                    if self.hot[to.0].alive && self.shards[sh].nodes.started[li] {
+                        if let Some(p) = self.shards[sh].nodes.protos[li].as_deref() {
+                            p.prefetch_frame(*src, bytes);
+                        }
+                    }
+                }
+            }
+            if let Some(hook) = self.tick_hook.as_mut() {
+                hook();
+            }
+            for (t, ev) in buf.drain(..) {
+                self.count_event();
+                debug_assert!(t == self.now);
+                self.dispatch_serial(ev, until);
+            }
         }
     }
 
@@ -950,9 +1097,24 @@ impl Engine {
                 let grid = self.grid.as_ref();
                 let radio = &self.cfg.radio;
                 let local = &self.local;
-                self.shards
-                    .par_iter_mut()
-                    .for_each(|sh| sh.run_window(w_last, w_end, hot, grid, radio, local));
+                if let Some(hook) = self.tick_hook.as_mut() {
+                    // Three-phase hooked epoch: collect + prefetch in
+                    // parallel, drain the batch once serially, then
+                    // dispatch in parallel. The buffered merge
+                    // reproduces `run_window`'s order exactly (see
+                    // `run_window_buffered`).
+                    self.shards
+                        .par_iter_mut()
+                        .for_each(|sh| sh.collect_window(w_last, hot, local));
+                    hook();
+                    self.shards.par_iter_mut().for_each(|sh| {
+                        sh.run_window_buffered(w_last, w_end, hot, grid, radio, local)
+                    });
+                } else {
+                    self.shards
+                        .par_iter_mut()
+                        .for_each(|sh| sh.run_window(w_last, w_end, hot, grid, radio, local));
+                }
             }
             self.replay_window();
         }
@@ -1343,6 +1505,9 @@ mod tests {
         link_failures: Vec<NodeId>,
         start_broadcast: Option<Vec<u8>>,
         unicast_on_start: Option<(NodeId, Vec<u8>)>,
+        /// Frames seen by the speculative prefetch pass (`Cell`: the
+        /// pass takes `&self` by contract).
+        prefetched: std::cell::Cell<u64>,
     }
 
     impl Echo {
@@ -1353,6 +1518,7 @@ mod tests {
                 link_failures: Vec::new(),
                 start_broadcast: None,
                 unicast_on_start: None,
+                prefetched: std::cell::Cell::new(0),
             }
         }
     }
@@ -1374,6 +1540,9 @@ mod tests {
         }
         fn on_link_failure(&mut self, _ctx: &mut Ctx, to: NodeId, _bytes: &[u8]) {
             self.link_failures.push(to);
+        }
+        fn prefetch_frame(&self, _src: NodeId, _bytes: &[u8]) {
+            self.prefetched.set(self.prefetched.get() + 1);
         }
         fn as_any(&self) -> &dyn Any {
             self
@@ -1571,6 +1740,17 @@ mod tests {
     }
 
     fn lossy_mobile_run(seed: u64, channel: ChannelMode, exec: ExecMode) -> (u64, u64, Vec<u64>) {
+        lossy_mobile_run_hooked(seed, channel, exec, false).0
+    }
+
+    fn lossy_mobile_run_hooked(
+        seed: u64,
+        channel: ChannelMode,
+        exec: ExecMode,
+        hook: bool,
+    ) -> ((u64, u64, Vec<u64>), u64, u64) {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
         let mut e = Engine::new(EngineConfig {
             seed,
             radio: RadioConfig {
@@ -1581,6 +1761,13 @@ mod tests {
             exec,
             ..EngineConfig::default()
         });
+        let hook_calls = Arc::new(AtomicU64::new(0));
+        if hook {
+            let calls = Arc::clone(&hook_calls);
+            e.set_tick_hook(move || {
+                calls.fetch_add(1, Ordering::Relaxed);
+            });
+        }
         for i in 0..10 {
             let mut s = Echo::new();
             s.start_broadcast = Some(vec![i as u8; 100]);
@@ -1595,12 +1782,19 @@ mod tests {
             );
         }
         e.run_until(SimTime(10_000_000));
+        let prefetches = (0..10)
+            .map(|i| e.protocol_as::<Echo>(NodeId(i)).prefetched.get())
+            .sum();
         (
-            e.metrics().counter("phy.rx_frames"),
-            e.metrics().counter("phy.rx_dropped_loss"),
-            (0..10)
-                .map(|i| e.position(NodeId(i)).x.to_bits())
-                .collect::<Vec<_>>(),
+            (
+                e.metrics().counter("phy.rx_frames"),
+                e.metrics().counter("phy.rx_dropped_loss"),
+                (0..10)
+                    .map(|i| e.position(NodeId(i)).x.to_bits())
+                    .collect::<Vec<_>>(),
+            ),
+            hook_calls.load(Ordering::Relaxed),
+            prefetches,
         )
     }
 
@@ -1641,6 +1835,29 @@ mod tests {
                 "sharded({k}) diverged from single"
             );
         }
+    }
+
+    #[test]
+    fn tick_hook_paths_match_classic_loops_bit_for_bit() {
+        // The hooked (collect → prefetch → hook → dispatch) loops must
+        // reproduce the classic pop-and-dispatch universes exactly, on
+        // both executors — and actually run the hook and the prefetch
+        // pass (every delivered frame to a live started node is seen).
+        let oracle = lossy_mobile_run(11, ChannelMode::Grid, ExecMode::Single);
+        for exec in [ExecMode::Single, ExecMode::Sharded(1), ExecMode::Sharded(4)] {
+            let (result, hook_calls, prefetches) =
+                lossy_mobile_run_hooked(11, ChannelMode::Grid, exec, true);
+            assert_eq!(result, oracle, "hooked {exec:?} diverged from oracle");
+            assert!(hook_calls > 0, "tick hook never ran under {exec:?}");
+            assert!(
+                prefetches >= result.0,
+                "prefetch pass missed delivered frames under {exec:?}"
+            );
+        }
+        // Without a hook the prefetch pass must not run at all.
+        let (_, hook_calls, prefetches) =
+            lossy_mobile_run_hooked(11, ChannelMode::Grid, ExecMode::Sharded(4), false);
+        assert_eq!((hook_calls, prefetches), (0, 0));
     }
 
     #[test]

@@ -476,6 +476,31 @@ impl Message {
         Some(PlainRreqHeader { sip, dip, seq })
     }
 
+    /// Can the message starting at `buf` (first byte: the kind tag)
+    /// carry signature material its *receiver* verifies? Data, acks,
+    /// probes, AREQ floods, queries/challenges, and the plain-DSR kinds
+    /// are never signature-checked on reception, so a speculative
+    /// verification pass can skip decoding them — the bulk of traffic
+    /// at scale. Unknown tags and empty buffers return `false`: the
+    /// strict decode would reject them before any verification anyway.
+    pub fn peek_may_verify(buf: &[u8]) -> bool {
+        matches!(
+            buf.first(),
+            Some(
+                &(tag::AREP
+                    | tag::DREP
+                    | tag::RREQ
+                    | tag::RREP
+                    | tag::CREP
+                    | tag::RERR
+                    | tag::PROBE_ACK
+                    | tag::DNSR
+                    | tag::IPC_PRF
+                    | tag::IPC_RES)
+            )
+        )
+    }
+
     /// Strict decode: consumes the whole buffer or fails.
     pub fn decode(buf: &[u8]) -> Result<Message, CodecError> {
         let mut r = Reader::new(buf);
@@ -794,6 +819,38 @@ mod tests {
                 i2ip: ip(3),
             }),
         ]
+    }
+
+    /// `peek_may_verify` must say yes for exactly the kinds whose
+    /// receiver checks a signature — the set the secure node's prefetch
+    /// pass handles. A false negative would silently starve batch
+    /// verification for that kind (correct but unamortized), so the
+    /// set is pinned against every sample message.
+    #[test]
+    fn verify_peek_matches_the_receiver_checked_kinds() {
+        for msg in sample_messages() {
+            let expected = matches!(
+                msg,
+                Message::Arep(_)
+                    | Message::Drep(_)
+                    | Message::Rreq(_)
+                    | Message::Rrep(_)
+                    | Message::Crep(_)
+                    | Message::Rerr(_)
+                    | Message::ProbeAck(_)
+                    | Message::DnsReply(_)
+                    | Message::IpChangeProof(_)
+                    | Message::IpChangeResult(_)
+            );
+            assert_eq!(
+                Message::peek_may_verify(&msg.encode()),
+                expected,
+                "{}",
+                msg.kind()
+            );
+        }
+        assert!(!Message::peek_may_verify(&[]));
+        assert!(!Message::peek_may_verify(&[0xff]));
     }
 
     #[test]

@@ -124,6 +124,9 @@ fn replayed_rrep_rejected_by_sequence_binding() {
         .seed(34)
         .adversary(2, attacks::replayer())
         .secure()
+        // Rejection hinges on the *signature* over the stale sequence
+        // number; the no-op Null backend would accept the replay.
+        .crypto_backend(manet_crypto::BackendKind::Rsa)
         .tune(|p| {
             // Short route lifetime forces a second discovery, giving the
             // replayer its window.

@@ -1,0 +1,246 @@
+//! The batch-verification invisibility gate: deferred network-wide
+//! batch verification is a *scheduling* optimization, never a semantic
+//! one. For every crypto backend and every executor, a run with the
+//! per-tick batch drain enabled must be byte-identical — fingerprint
+//! and rendered trace stream — to the same run verifying inline.
+//!
+//! The scenarios are chosen to cross every verdict path: honest traffic
+//! (all-valid triples), forged signatures (invalid triples from a
+//! black-hole route forger), wrong-key presentations (an impersonator
+//! whose proofs die at the CGA check, exercising the prefetch
+//! short-circuit), and eviction thrash (a 2-entry verify cache, so the
+//! cache↔batch-table handoff churns all run long).
+
+use manet_crypto::BackendKind;
+use manet_secure::scenario::{Placement, ScenarioBuilder, SecureBuilder};
+use manet_secure::{attacks, Behavior, RunReport};
+use manet_sim::{ExecMode, SimDuration};
+use proptest::prelude::*;
+
+const BACKENDS: [BackendKind; 3] = [BackendKind::Rsa, BackendKind::Null, BackendKind::HashSig];
+const EXECS: [ExecMode; 4] = [
+    ExecMode::Single,
+    ExecMode::Sharded(1),
+    ExecMode::Sharded(4),
+    ExecMode::Sharded(8),
+];
+
+/// Everything observable from one run, plus the batch counters (only
+/// meaningful on the batched side — asserted, never compared).
+struct Observed {
+    fingerprint: RunReport,
+    events: u64,
+    trace: String,
+    batch_requests: u64,
+    batch_executed: u64,
+}
+
+fn observe(builder: SecureBuilder, flows: &[(usize, usize)], packets: usize) -> Observed {
+    let mut net = builder.build();
+    assert!(net.bootstrap(), "bootstrap failed");
+    let report = net.run_flows(flows, packets, SimDuration::from_millis(300));
+    let stats = net.batch.as_ref().map(|b| b.stats()).unwrap_or_default();
+    Observed {
+        fingerprint: report.fingerprint(),
+        events: net.engine.events_processed(),
+        trace: net.engine.tracer().render(),
+        batch_requests: stats.requests,
+        batch_executed: stats.executed,
+    }
+}
+
+/// Run one scenario batched and inline and demand byte-identity.
+/// `shape` builds the scenario (including the executor, which is a
+/// pre-`.secure()` knob) minus the backend/batch toggles, so both sides
+/// are constructed from the same spec.
+fn assert_invisible(
+    label: &str,
+    backend: BackendKind,
+    exec: ExecMode,
+    flows: &[(usize, usize)],
+    packets: usize,
+    shape: impl Fn(ExecMode) -> SecureBuilder,
+) -> Observed {
+    let side = |batch: bool| {
+        observe(
+            shape(exec).crypto_backend(backend).batch_verify(batch),
+            flows,
+            packets,
+        )
+    };
+    let batched = side(true);
+    let inline = side(false);
+    assert_eq!(
+        batched.trace, inline.trace,
+        "{label} [{backend:?}/{exec:?}]: trace streams diverged batched vs inline"
+    );
+    assert_eq!(
+        (&batched.fingerprint, batched.events),
+        (&inline.fingerprint, inline.events),
+        "{label} [{backend:?}/{exec:?}]: observables diverged batched vs inline"
+    );
+    assert_eq!(
+        inline.batch_requests, 0,
+        "{label}: inline run owns no batch table yet it saw requests"
+    );
+    assert!(
+        batched.batch_requests > 0,
+        "{label} [{backend:?}/{exec:?}]: prefetch never fed the batch — vacuous differential"
+    );
+    batched
+}
+
+fn chain(seed: u64, exec: ExecMode) -> SecureBuilder {
+    ScenarioBuilder::new()
+        .hosts(5)
+        .seed(seed)
+        .trace(true)
+        .exec(exec)
+        .secure()
+}
+
+fn grid(seed: u64, exec: ExecMode, attackers: Vec<(usize, Behavior)>) -> SecureBuilder {
+    ScenarioBuilder::new()
+        .hosts(11)
+        .placement(Placement::Grid {
+            cols: 4,
+            spacing: 180.0,
+        })
+        .seed(seed)
+        .trace(true)
+        .exec(exec)
+        .adversaries(attackers)
+        .secure()
+}
+
+/// Honest traffic, the full backend × executor cross. Also the
+/// amortization witness: batching must *execute* fewer backend ops than
+/// it was asked for (network-wide dedup), or the whole exercise is a
+/// detour.
+#[test]
+fn honest_traffic_identical_across_backends_and_executors() {
+    for backend in BACKENDS {
+        for exec in EXECS {
+            let batched = assert_invisible("honest", backend, exec, &[(0, 4), (1, 3)], 4, |e| {
+                chain(42, e)
+            });
+            assert!(
+                batched.batch_executed < batched.batch_requests,
+                "[{backend:?}/{exec:?}] no dedup: {} executed of {} requested",
+                batched.batch_executed,
+                batched.batch_requests
+            );
+        }
+    }
+}
+
+/// Forged signatures (black-hole RREP forger): invalid verdicts must
+/// flow through the batch table exactly as they do inline, and the
+/// rejections must actually happen.
+#[test]
+fn forged_signatures_identical_batched_and_inline() {
+    for exec in [ExecMode::Single, ExecMode::Sharded(4)] {
+        let batched = assert_invisible("forged", BackendKind::Rsa, exec, &[(0, 10)], 15, |e| {
+            grid(31, e, vec![(5, attacks::black_hole())])
+        });
+        assert!(
+            batched.fingerprint.totals.rejected > 0,
+            "no forgery rejected — vacuous differential"
+        );
+        assert!(
+            batched.fingerprint.crypto.failed > 0,
+            "no failing verdict reached the pipeline"
+        );
+    }
+    // The non-RSA universes still agree with themselves.
+    for backend in [BackendKind::Null, BackendKind::HashSig] {
+        assert_invisible("forged", backend, ExecMode::Single, &[(0, 10)], 15, |e| {
+            grid(31, e, vec![(5, attacks::black_hole())])
+        });
+    }
+}
+
+/// Wrong-key presentations: the impersonator's proofs carry a key that
+/// fails the CGA binding, so dispatch short-circuits before any
+/// signature work — and the prefetch mirror must too.
+#[test]
+fn wrong_key_proofs_identical_batched_and_inline() {
+    let shape = |e| {
+        let probe = grid(33, ExecMode::Single, vec![]).build();
+        let victim_ip = probe.host_ip(10);
+        drop(probe);
+        grid(33, e, vec![(2, attacks::impersonator(victim_ip))])
+    };
+    for exec in [ExecMode::Single, ExecMode::Sharded(4)] {
+        assert_invisible("wrong-key", BackendKind::Rsa, exec, &[(0, 10)], 12, shape);
+    }
+    for backend in [BackendKind::Null, BackendKind::HashSig] {
+        assert_invisible(
+            "wrong-key",
+            backend,
+            ExecMode::Single,
+            &[(0, 10)],
+            12,
+            shape,
+        );
+    }
+}
+
+/// Eviction thrash: a 2-entry verify cache evicts constantly, so
+/// verdicts keep migrating between cache, batch table, and fresh
+/// executions. The cache↔batch handoff must stay invisible.
+#[test]
+fn eviction_thrash_identical_batched_and_inline() {
+    let shape = |e| {
+        chain(77, e).tune(|p| {
+            p.verify_cache = true;
+            p.verify_cache_capacity = 2;
+        })
+    };
+    for backend in BACKENDS {
+        for exec in [ExecMode::Single, ExecMode::Sharded(4)] {
+            let batched =
+                assert_invisible("thrash", backend, exec, &[(0, 4), (1, 3), (0, 3)], 4, shape);
+            // A 2-entry LRU under this traffic mix is all evictions —
+            // the point is the churn, so demand (not hits) is the
+            // vacuousness guard.
+            assert!(
+                batched.fingerprint.crypto.executed > 0,
+                "[{backend:?}/{exec:?}] no verification demand — thrash not exercised"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+    /// Randomized sweep over seeds, backends, and executors: whatever
+    /// universe the seed produces, batching must be invisible in it.
+    #[test]
+    fn batched_and_inline_are_one_universe(
+        seed in 0u64..256,
+        backend_ix in 0usize..BACKENDS.len(),
+        exec_ix in 0usize..EXECS.len(),
+        cache_cap in prop_oneof![Just(2usize), Just(64), Just(1024)],
+    ) {
+        let backend = BACKENDS[backend_ix];
+        let exec = EXECS[exec_ix];
+        let shape =
+            move || chain(seed, exec).tune(move |p| p.verify_cache_capacity = cache_cap);
+        let side = |batch: bool| {
+            observe(
+                shape().crypto_backend(backend).batch_verify(batch),
+                &[(0, 4), (1, 3)],
+                3,
+            )
+        };
+        let batched = side(true);
+        let inline = side(false);
+        prop_assert_eq!(&batched.trace, &inline.trace);
+        prop_assert_eq!(
+            (&batched.fingerprint, batched.events),
+            (&inline.fingerprint, inline.events)
+        );
+        prop_assert!(batched.batch_requests > 0, "vacuous case — batch never fed");
+    }
+}

@@ -202,6 +202,9 @@ fn forged_dns_reply_rejected() {
         .seed(56)
         .adversary(1, attacks::dns_impersonator())
         .secure()
+        // The forged reply is detected by its *signature* failing under
+        // the real DNS key — meaningless under the Null backend.
+        .crypto_backend(manet_crypto::BackendKind::Rsa)
         .build();
     assert!(net.bootstrap());
     // h3 is far from the DNS; the route passes the attacker at h1.

@@ -9,6 +9,7 @@
 //! Regenerate (only for an *intentional* protocol change) with:
 //! `UPDATE_GOLDEN=1 cargo test --test trace_golden`
 
+use manet_crypto::BackendKind;
 use manet_secure::scenario::{ScenarioBuilder, Workload};
 use manet_secure::{attacks, Behavior};
 use manet_sim::SimDuration;
@@ -23,6 +24,9 @@ fn render_universe(seed: u64, attackers: Vec<(usize, Behavior)>) -> String {
         .trace(true)
         .adversaries(attackers)
         .secure()
+        // The fixtures were rendered in the RSA universe; signature
+        // bytes differ per backend, so pin it against MANET_CRYPTO.
+        .crypto_backend(BackendKind::Rsa)
         .build();
     net.bootstrap();
     let report = net.run(&Workload::flows(
