@@ -9,24 +9,24 @@
 //! exhibit high credits".
 
 use crate::config::CreditConfig;
+use crate::fxhash::FxHashMap;
 use manet_wire::Ipv6Addr;
-use std::collections::HashMap;
 
 /// Per-source credit table.
 #[derive(Debug)]
 pub struct CreditManager {
     cfg: CreditConfig,
-    credits: HashMap<Ipv6Addr, i64>,
+    credits: FxHashMap<Ipv6Addr, i64>,
     /// RERR reports seen per reporting host.
-    rerr_counts: HashMap<Ipv6Addr, u32>,
+    rerr_counts: FxHashMap<Ipv6Addr, u32>,
 }
 
 impl CreditManager {
     pub fn new(cfg: CreditConfig) -> Self {
         CreditManager {
             cfg,
-            credits: HashMap::new(),
-            rerr_counts: HashMap::new(),
+            credits: FxHashMap::default(),
+            rerr_counts: FxHashMap::default(),
         }
     }
 
@@ -97,11 +97,15 @@ impl CreditManager {
 
     /// Hosts currently considered hostile (below the avoidance floor).
     pub fn hostile_hosts(&self) -> Vec<Ipv6Addr> {
-        self.credits
+        let mut hosts: Vec<Ipv6Addr> = self
+            .credits
+            // lint: allow(unordered-iter) — visit order erased by the sort below before anything observes it
             .iter()
             .filter(|(_, &c)| c < self.cfg.avoid_below)
             .map(|(ip, _)| *ip)
-            .collect()
+            .collect();
+        hosts.sort_unstable();
+        hosts
     }
 }
 

@@ -8,6 +8,7 @@
 //! `impl SecureNode` block below so they can reuse the node's routing
 //! machinery and its security pipeline (`node::verify`).
 
+use crate::fxhash::FxHashMap;
 use crate::node::SecureNode;
 use manet_sim::{Ctx, Dir, SimTime};
 use manet_wire::{
@@ -15,7 +16,6 @@ use manet_wire::{
     IpChangeRequest, IpChangeResult, Ipv6Addr, Message, RouteRecord,
 };
 use rand::Rng;
-use std::collections::HashMap;
 
 const TAG_DNS_PENDING: u64 = 4 << 56;
 
@@ -47,12 +47,12 @@ struct IpChangeSession {
 #[derive(Debug, Default)]
 pub struct DnsState {
     /// Committed name → address entries (pre-registered + FCFS online).
-    names: HashMap<DomainName, Ipv6Addr>,
+    names: FxHashMap<DomainName, Ipv6Addr>,
     /// Pending registrations by claimed address.
-    pending: HashMap<Ipv6Addr, PendingRegistration>,
+    pending: FxHashMap<Ipv6Addr, PendingRegistration>,
     next_pending_id: u64,
     /// IP-change sessions by domain name.
-    ip_changes: HashMap<DomainName, IpChangeSession>,
+    ip_changes: FxHashMap<DomainName, IpChangeSession>,
     // Counters for harness inspection.
     pub committed_online: u64,
     pub cancelled_by_warning: u64,
@@ -188,6 +188,7 @@ impl SecureNode {
         let dns = self.dns.as_mut().expect("dns role");
         let Some(sip) = dns
             .pending
+            // lint: allow(unordered-iter) — id is unique across pending entries; .find hits at most one
             .iter()
             .find(|(_, p)| p.id == id)
             .map(|(sip, _)| *sip)

@@ -31,7 +31,7 @@ pub mod config;
 pub mod credit;
 pub mod dns;
 pub mod envelope;
-pub(crate) mod fxhash;
+pub mod fxhash;
 pub mod identity;
 pub mod intern;
 pub mod neighbor;

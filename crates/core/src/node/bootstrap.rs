@@ -11,7 +11,6 @@ use manet_wire::{
     UNSPECIFIED,
 };
 use rand::Rng;
-use std::collections::HashSet;
 
 impl SecureNode {
     pub(super) fn begin_dad(&mut self, ctx: &mut Ctx) {
@@ -79,8 +78,13 @@ impl SecureNode {
             "DAD",
             format!("address {} confirmed", self.ident.ip()),
         );
-        // Kick route discovery for everything queued while bootstrapping.
-        let dests: HashSet<Ipv6Addr> = self.send_buffer.dests().collect();
+        // Kick route discovery for everything queued while bootstrapping
+        // — in address order, deduplicated: the send buffer yields its
+        // destinations in storage order, which must not pick the RREQ
+        // emission order.
+        let mut dests: Vec<Ipv6Addr> = self.send_buffer.dests().collect();
+        dests.sort_unstable();
+        dests.dedup();
         for d in dests {
             self.ensure_route(ctx, d);
         }

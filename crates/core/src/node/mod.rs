@@ -46,7 +46,6 @@ use manet_crypto::{backend_for, BatchVerifier, CryptoBackend, PublicKey, VerifyC
 use manet_sim::{Ctx, Dir, NodeId, Protocol, SimTime};
 use manet_wire::{Arep, Challenge, DomainName, Ipv6Addr, Message, RouteRecord, Rrep, Seq};
 use std::any::Any;
-use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 // Timer tag layout: kind in the top byte, payload below.
@@ -103,7 +102,7 @@ struct PendingProbe {
     dip: Ipv6Addr,
     /// Hops expected to acknowledge: the relays, then the destination.
     expected: Vec<Ipv6Addr>,
-    acked: HashSet<Ipv6Addr>,
+    acked: FxHashSet<Ipv6Addr>,
 }
 
 /// State of an in-flight IP change (Section 3.2).
@@ -155,24 +154,24 @@ pub struct SecureNode {
     seen_areqs: FxHashSet<(u32, u64, u64)>,
     /// `(seq, ch)` of every AREQ we ourselves flooded, so a late echo of
     /// our own probe is never mistaken for a foreign claim on our address.
-    my_dad_probes: HashSet<(u64, u64)>,
+    my_dad_probes: FxHashSet<(u64, u64)>,
     seen_rreqs: FxHashSet<(u32, u64)>,
     /// As destination: how many copies of each RREQ we already answered
     /// (up to `cfg.rrep_multi` for route diversity).
     answered_rreqs: FxHashMap<(u32, u64), u32>,
     /// Recently satisfied discoveries, so late extra RREPs for the same
     /// sequence can still be cached as alternate routes.
-    recent_rreqs: HashMap<Ipv6Addr, (Seq, SimTime)>,
-    pending_rreqs: HashMap<Ipv6Addr, PendingRreq>,
-    pending_acks: HashMap<u64, PendingAck>,
+    recent_rreqs: FxHashMap<Ipv6Addr, (Seq, SimTime)>,
+    pending_rreqs: FxHashMap<Ipv6Addr, PendingRreq>,
+    pending_acks: FxHashMap<u64, PendingAck>,
     send_buffer: SendBuffer<Queued>,
     /// Challenges of our outstanding DNS resolutions, by name.
-    pending_resolves: HashMap<DomainName, Challenge>,
+    pending_resolves: FxHashMap<DomainName, Challenge>,
     pending_ip_change: Option<PendingIpChange>,
     /// Route probes awaiting per-hop acks, by probe sequence number.
-    pending_probes: HashMap<u64, PendingProbe>,
+    pending_probes: FxHashMap<u64, PendingProbe>,
     /// Consecutive end-to-end ack timeouts per destination (probe trigger).
-    consecutive_timeouts: HashMap<Ipv6Addr, u32>,
+    consecutive_timeouts: FxHashMap<Ipv6Addr, u32>,
 
     /// Probe-retransmission timers of the current DAD attempt, cancelled
     /// when the attempt restarts.
@@ -283,17 +282,17 @@ impl SecureNode {
             verify_cache,
             interner: AddrInterner::new(),
             seen_areqs: FxHashSet::default(),
-            my_dad_probes: HashSet::new(),
+            my_dad_probes: FxHashSet::default(),
             seen_rreqs: FxHashSet::default(),
             answered_rreqs: FxHashMap::default(),
-            recent_rreqs: HashMap::new(),
-            pending_rreqs: HashMap::new(),
-            pending_acks: HashMap::new(),
+            recent_rreqs: FxHashMap::default(),
+            pending_rreqs: FxHashMap::default(),
+            pending_acks: FxHashMap::default(),
             send_buffer: SendBuffer::new(),
-            pending_resolves: HashMap::new(),
+            pending_resolves: FxHashMap::default(),
             pending_ip_change: None,
-            pending_probes: HashMap::new(),
-            consecutive_timeouts: HashMap::new(),
+            pending_probes: FxHashMap::default(),
+            consecutive_timeouts: FxHashMap::default(),
             dad_probe_timers: Vec::new(),
             observed_areps: Vec::new(),
             observed_rreps: Vec::new(),

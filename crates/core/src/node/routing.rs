@@ -4,10 +4,10 @@
 
 use super::{PendingProbe, PendingRreq, SecureNode, TAG_ROUTE_PROBE, TAG_RREQ};
 use crate::envelope::Envelope;
+use crate::fxhash::FxHashSet;
 use crate::routecache::CachedRoute;
 use manet_sim::{Ctx, Dir};
 use manet_wire::{sigdata, Crep, Ipv6Addr, Message, Rerr, RouteRecord, Rrep, Rreq, Seq, SrrEntry};
-use std::collections::HashSet;
 
 impl SecureNode {
     /// Start (or keep) a route discovery toward `dip`.
@@ -446,6 +446,7 @@ impl SecureNode {
     /// the probe returns a signed per-hop ack; the first silent hop is
     /// the suspect.
     pub(super) fn launch_probe(&mut self, ctx: &mut Ctx, dip: Ipv6Addr, relays: &[Ipv6Addr]) {
+        // lint: allow(unordered-iter) — existence check (.any); no visit-order dependence
         if self.pending_probes.values().any(|p| p.dip == dip) {
             return; // one probe at a time per destination
         }
@@ -465,7 +466,7 @@ impl SecureNode {
             PendingProbe {
                 dip,
                 expected,
-                acked: HashSet::new(),
+                acked: FxHashSet::default(),
             },
         );
         self.stats.probes_sent += 1;
@@ -570,6 +571,7 @@ impl SecureNode {
     // --- timers --------------------------------------------------------------
 
     pub(super) fn on_rreq_timer(&mut self, ctx: &mut Ctx, seq: u64) {
+        // lint: allow(unordered-iter) — seq is unique across pending entries; .find hits at most one
         let Some((&dip, _)) = self.pending_rreqs.iter().find(|(_, p)| p.seq.0 == seq) else {
             return; // answered in time
         };

@@ -493,6 +493,7 @@ impl PlainDsrNode {
     }
 
     fn on_rreq_timer(&mut self, ctx: &mut Ctx, seq: u64) {
+        // lint: allow(unordered-iter) — seq is unique across pending entries; .find hits at most one
         let Some((&dip, _)) = self.pending_rreqs.iter().find(|(_, p)| p.seq.0 == seq) else {
             return;
         };

@@ -165,6 +165,7 @@ impl RouteCache {
         if !self.routes.contains_key(&dst) && self.routes.len() >= self.max_dests {
             let stalest = self
                 .routes
+                // lint: allow(unordered-iter) — min over (time, addr) pairs: totally ordered, so the visit order cannot change the winner
                 .iter()
                 .map(|(d, list)| {
                     let newest = list.iter().map(|r| r.learned_at).max().expect("nonempty");
@@ -248,6 +249,7 @@ impl RouteCache {
     pub fn remove_link(&mut self, me: Ipv6Addr, from: Ipv6Addr, to: Ipv6Addr) -> usize {
         let mut dropped = 0;
         let arena = &mut self.arena;
+        // lint: allow(unordered-iter) — per-entry filtering; the drop count and arena frees are order-insensitive (pinned by golden traces)
         for (dst, list) in self.routes.iter_mut() {
             list.retain(|r| {
                 let uses = uses_link(me, arena.get(r.relays), *dst, from, to);

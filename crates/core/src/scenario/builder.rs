@@ -291,13 +291,14 @@ impl ScenarioBuilder {
         let (start, end) = self.churn_window;
         // Distinct victims: a duplicate pick would double-count in
         // `sim.nodes_killed` and overstate the real churn level.
-        let mut victims = std::collections::HashSet::new();
+        let mut victims = crate::fxhash::FxHashSet::default();
         while victims.len() < self.churn_kills.min(self.n_hosts) {
             victims.insert(net.engine.rng().gen_range(0..self.n_hosts));
         }
-        let mut victims: Vec<usize> = victims.into_iter().collect();
-        victims.sort_unstable(); // HashSet order must not leak into the schedule
-        for v in victims {
+        // lint: allow(unordered-iter) — visit order erased by the sort below before anything observes it
+        let mut order: Vec<usize> = victims.into_iter().collect();
+        order.sort_unstable(); // set order must not leak into the schedule
+        for v in order {
             let at = SimTime(net.engine.rng().gen_range(start.0..=end.0));
             net.engine.kill_at(net.hosts[v], at);
         }

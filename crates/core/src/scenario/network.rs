@@ -117,6 +117,7 @@ impl<P: NodeApi> Network<P> {
     /// report what the universe looks like afterwards. This is the one
     /// traffic driver every scenario (secure, plain, scale) runs on.
     pub fn run(&mut self, w: &Workload) -> RunReport {
+        // lint: allow(wall-clock) — harness-side perf reporting; wall_s is masked out of RunReport fingerprints
         let t0 = std::time::Instant::now();
         let events_before = self.engine.events_processed();
         if w.warmup > manet_sim::SimDuration::ZERO {
@@ -324,7 +325,7 @@ impl<P: NodeApi> Network<P> {
             .unwrap_or_default();
         // Map engine ids back to host indices (the DNS node, if any, is
         // not a flow endpoint).
-        let idx_of: std::collections::HashMap<NodeId, usize> = self
+        let idx_of: crate::fxhash::FxHashMap<NodeId, usize> = self
             .hosts
             .iter()
             .enumerate()

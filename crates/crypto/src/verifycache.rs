@@ -16,9 +16,9 @@
 //! for material that was not itself verified (see the poisoning
 //! proptests in `tests/properties.rs`).
 
+use crate::fxhash::FxHashMap;
 use crate::rsa::{PublicKey, Signature};
 use crate::sha256::sha256;
-use std::collections::HashMap;
 
 /// Cache key: digests of the exact verification inputs.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -66,7 +66,7 @@ const NIL: usize = usize::MAX;
 /// caching never perturbs a seeded simulation.
 #[derive(Debug)]
 pub struct VerifyCache {
-    map: HashMap<VerifyKey, usize>,
+    map: FxHashMap<VerifyKey, usize>,
     slots: Vec<Slot>,
     /// Most-recently-used slot index (NIL when empty).
     head: usize,
@@ -83,7 +83,7 @@ impl VerifyCache {
     pub fn new(capacity: usize) -> Self {
         let capacity = capacity.max(1);
         VerifyCache {
-            map: HashMap::with_capacity(capacity),
+            map: FxHashMap::with_capacity_and_hasher(capacity, Default::default()),
             slots: Vec::with_capacity(capacity),
             head: NIL,
             tail: NIL,

@@ -1,0 +1,315 @@
+//! The committed baseline: `lint/allow.toml`.
+//!
+//! Two sections, parsed by a deliberately tiny TOML-subset reader (the
+//! workspace is offline; a config format is not worth a vendored
+//! dependency):
+//!
+//! * `[[allow]]` — file-scoped exceptions. Every entry must carry
+//!   `rule`, `path` (workspace-relative), and a non-empty `reason`.
+//!   An entry that suppresses nothing is *stale* and fails the
+//!   self-check, so dead exceptions cannot accumulate.
+//! * `[panic-budget]` — per-file pinned counts of panic sites
+//!   (`unwrap(` / `expect(` / `panic!`) outside `#[cfg(test)]`.
+//!   A file over its budget is a violation; a budget above the real
+//!   count is stale (the pin must move down with the code). Files not
+//!   listed have budget 0.
+//!
+//! Supported TOML subset: `#` comments, `[section]`, `[[array-of-
+//! tables]]`, `key = "string"` (with `\"`, `\\`, `\n`, `\t` escapes),
+//! `"quoted key" = integer`, bare integer values. Anything else is a
+//! hard parse error with a line number — a config that cannot be read
+//! must fail loudly, not silently allow everything.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One `[[allow]]` entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FileAllow {
+    pub rule: String,
+    pub path: String,
+    pub reason: String,
+}
+
+/// Parsed `lint/allow.toml`.
+#[derive(Clone, Debug, Default)]
+pub struct Config {
+    pub allows: Vec<FileAllow>,
+    /// Pinned panic-site counts, keyed by workspace-relative path.
+    /// `BTreeMap` so reports iterate in path order.
+    pub budgets: BTreeMap<String, u64>,
+}
+
+#[derive(Debug)]
+pub struct ParseError {
+    pub line: usize,
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "allow.toml:{}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, msg: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        msg: msg.into(),
+    }
+}
+
+#[derive(PartialEq)]
+enum Section {
+    None,
+    Allow,
+    PanicBudget,
+}
+
+impl Config {
+    pub fn parse(text: &str) -> Result<Config, ParseError> {
+        let mut cfg = Config::default();
+        let mut section = Section::None;
+        // Fields of the [[allow]] entry currently being filled.
+        let mut cur: BTreeMap<String, String> = BTreeMap::new();
+        let mut cur_open_line = 0usize;
+
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "[[allow]]" {
+                Self::flush_allow(&mut cfg, &mut cur, cur_open_line)?;
+                section = Section::Allow;
+                cur_open_line = lineno;
+                continue;
+            }
+            if line == "[panic-budget]" {
+                Self::flush_allow(&mut cfg, &mut cur, cur_open_line)?;
+                section = Section::PanicBudget;
+                continue;
+            }
+            if line.starts_with('[') {
+                return Err(err(
+                    lineno,
+                    format!("unknown section {line:?} (expected [[allow]] or [panic-budget])"),
+                ));
+            }
+            let (key, value) = split_kv(line, lineno)?;
+            match section {
+                Section::None => {
+                    return Err(err(lineno, "key outside any section"));
+                }
+                Section::Allow => {
+                    let v = parse_string(value, lineno)?;
+                    if cur.insert(key.to_string(), v).is_some() {
+                        return Err(err(lineno, format!("duplicate key {key:?} in [[allow]]")));
+                    }
+                }
+                Section::PanicBudget => {
+                    let n: u64 = value
+                        .parse()
+                        .map_err(|_| err(lineno, format!("expected an integer, got {value:?}")))?;
+                    let path = parse_key(key, lineno)?;
+                    if cfg.budgets.insert(path.clone(), n).is_some() {
+                        return Err(err(lineno, format!("duplicate budget for {path:?}")));
+                    }
+                }
+            }
+        }
+        Self::flush_allow(&mut cfg, &mut cur, cur_open_line)?;
+        Ok(cfg)
+    }
+
+    fn flush_allow(
+        cfg: &mut Config,
+        cur: &mut BTreeMap<String, String>,
+        open_line: usize,
+    ) -> Result<(), ParseError> {
+        if cur.is_empty() {
+            return Ok(());
+        }
+        let mut take = |k: &str| {
+            cur.remove(k)
+                .ok_or_else(|| err(open_line, format!("[[allow]] entry missing {k:?}")))
+        };
+        let entry = FileAllow {
+            rule: take("rule")?,
+            path: take("path")?,
+            reason: take("reason")?,
+        };
+        if let Some(extra) = cur.keys().next() {
+            return Err(err(open_line, format!("unknown [[allow]] key {extra:?}")));
+        }
+        if entry.reason.trim().is_empty() {
+            return Err(err(
+                open_line,
+                "[[allow]] reason must not be empty — blanket allows are forbidden",
+            ));
+        }
+        cfg.allows.push(entry);
+        Ok(())
+    }
+}
+
+/// Strip a trailing `#` comment, respecting `#` inside quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, ch) in line.char_indices() {
+        match ch {
+            _ if escaped => escaped = false,
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn split_kv(line: &str, lineno: usize) -> Result<(&str, &str), ParseError> {
+    // The key may be quoted and contain `=`? Paths never do; split on
+    // the first `=` outside quotes.
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, ch) in line.char_indices() {
+        match ch {
+            _ if escaped => escaped = false,
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            '=' if !in_str => {
+                return Ok((line[..i].trim(), line[i + 1..].trim()));
+            }
+            _ => {}
+        }
+    }
+    Err(err(lineno, format!("expected `key = value`, got {line:?}")))
+}
+
+/// A key: bare (`rule`) or quoted (`"crates/core/src/dns.rs"`).
+fn parse_key(key: &str, lineno: usize) -> Result<String, ParseError> {
+    if key.starts_with('"') {
+        parse_string(key, lineno)
+    } else if !key.is_empty()
+        && key
+            .chars()
+            .all(|c| c.is_alphanumeric() || "-_./".contains(c))
+    {
+        Ok(key.to_string())
+    } else {
+        Err(err(lineno, format!("malformed key {key:?}")))
+    }
+}
+
+fn parse_string(value: &str, lineno: usize) -> Result<String, ParseError> {
+    let inner = value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .ok_or_else(|| err(lineno, format!("expected a quoted string, got {value:?}")))?;
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(ch) = chars.next() {
+        if ch != '\\' {
+            out.push(ch);
+            continue;
+        }
+        match chars.next() {
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            other => {
+                return Err(err(
+                    lineno,
+                    format!(
+                        "unsupported escape \\{}",
+                        other.map_or(String::new(), String::from)
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_allows_and_budgets() {
+        let cfg = Config::parse(
+            r##"
+# comment
+[[allow]]
+rule = "shared-state"           # trailing comment
+path = "crates/crypto/src/batch.rs"
+reason = "sanctioned shared state"
+
+[[allow]]
+rule = "default-hasher"
+path = "crates/sim/src/fxhash.rs"
+reason = "alias definition site"
+
+[panic-budget]
+"crates/core/src/dns.rs" = 12
+"crates/sim/src/engine.rs" = 3
+"##,
+        )
+        .unwrap();
+        assert_eq!(cfg.allows.len(), 2);
+        assert_eq!(cfg.allows[0].rule, "shared-state");
+        assert_eq!(cfg.allows[0].path, "crates/crypto/src/batch.rs");
+        assert_eq!(cfg.budgets["crates/core/src/dns.rs"], 12);
+        assert_eq!(cfg.budgets.len(), 2);
+    }
+
+    #[test]
+    fn empty_reason_is_rejected() {
+        let e =
+            Config::parse("[[allow]]\nrule = \"x\"\npath = \"y\"\nreason = \"  \"\n").unwrap_err();
+        assert!(e.msg.contains("blanket"), "{e}");
+    }
+
+    #[test]
+    fn missing_field_is_rejected_with_entry_line() {
+        let e = Config::parse("\n\n[[allow]]\nrule = \"x\"\nreason = \"r\"\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.msg.contains("path"));
+    }
+
+    #[test]
+    fn unknown_section_and_stray_keys_fail() {
+        assert!(Config::parse("[mystery]\n").is_err());
+        assert!(Config::parse("rule = \"x\"\n").is_err());
+        assert!(Config::parse(
+            "[[allow]]\nrule = \"x\"\npath = \"y\"\nreason = \"r\"\nbogus = \"z\"\n"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn duplicate_budget_fails() {
+        let e = Config::parse("[panic-budget]\n\"a.rs\" = 1\n\"a.rs\" = 2\n").unwrap_err();
+        assert!(e.msg.contains("duplicate"));
+    }
+
+    #[test]
+    fn hash_inside_quoted_value_is_not_a_comment() {
+        let cfg = Config::parse(
+            "[[allow]]\nrule = \"r\"\npath = \"p\"\nreason = \"issue #42 says so\"\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.allows[0].reason, "issue #42 says so");
+    }
+
+    #[test]
+    fn garbage_integer_fails() {
+        assert!(Config::parse("[panic-budget]\n\"a.rs\" = twelve\n").is_err());
+    }
+}

@@ -1,0 +1,496 @@
+//! A small but honest Rust lexer.
+//!
+//! The rules in [`crate::rules`] must match *tokens*, never text that
+//! happens to sit inside a string literal or a comment — a doc comment
+//! mentioning `HashMap` or a test fixture embedding `unsafe` in a raw
+//! string is not a violation. This lexer covers exactly the surface
+//! needed for that guarantee:
+//!
+//! * line comments (`//`, `///`, `//!`) and block comments (`/* */`,
+//!   nested arbitrarily, doc or not) — kept as tokens, because the
+//!   escape-hatch (`// lint: allow(..)`) and the justification rules
+//!   (`// SAFETY:`) read them;
+//! * string-ish literals: `"…"` with escapes, raw strings `r"…"` /
+//!   `r#"…"#` (any hash depth), byte strings `b"…"` / `br#"…"#`,
+//!   C strings `c"…"` / `cr#"…"#`;
+//! * char literals vs lifetimes: `'a'` is a char, `'a` is a lifetime,
+//!   `'\''` and `'\u{41}'` are chars;
+//! * identifiers (including raw `r#ident`), numbers, and single-char
+//!   punctuation — enough to recognize `Ordering::Relaxed`,
+//!   `.keys()`, `panic!`, `static mut`, and `#[cfg(test)]` shapes.
+//!
+//! It does not build an AST and does not need to: every launch rule is
+//! expressible over this token stream plus line numbers.
+
+/// Token classes. Code rules skip `LineComment`/`BlockComment`;
+/// comment-driven rules (allow directives, SAFETY checks) read them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    Ident,
+    Lifetime,
+    CharLit,
+    StrLit,
+    NumLit,
+    Punct,
+    LineComment,
+    BlockComment,
+}
+
+/// One token: class, exact source text, and 1-based line of its first
+/// character.
+#[derive(Clone, Copy, Debug)]
+pub struct Tok<'a> {
+    pub kind: TokKind,
+    pub text: &'a str,
+    pub line: u32,
+}
+
+impl<'a> Tok<'a> {
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == ch.len_utf8() && self.text.starts_with(ch)
+    }
+}
+
+/// Tokenize `src`. Unterminated constructs (string, block comment) are
+/// closed at EOF rather than erroring: the linter must degrade
+/// gracefully on code that rustc itself will reject.
+pub fn lex(src: &str) -> Vec<Tok<'_>> {
+    Lexer {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Vec<Tok<'a>>,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Tok<'a>> {
+        while self.pos < self.bytes.len() {
+            let start = self.pos;
+            let line = self.line;
+            let b = self.bytes[self.pos];
+            match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ if b.is_ascii_whitespace() => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => {
+                    self.take_line_comment(start, line);
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    self.take_block_comment(start, line);
+                }
+                b'"' => {
+                    self.pos += 1;
+                    self.take_str_body(start, line);
+                }
+                b'\'' => self.take_char_or_lifetime(start, line),
+                _ if b == b'_' || b.is_ascii_alphabetic() => {
+                    self.take_ident_or_prefixed(start, line)
+                }
+                _ if b.is_ascii_digit() => self.take_number(start, line),
+                _ => {
+                    // One punct per char; multi-byte UTF-8 advances whole.
+                    let ch_len = utf8_len(b);
+                    self.pos += ch_len;
+                    self.push(TokKind::Punct, start, line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokKind, start: usize, line: u32) {
+        self.out.push(Tok {
+            kind,
+            text: &self.src[start..self.pos],
+            line,
+        });
+    }
+
+    fn bump_lines(&mut self, from: usize) {
+        self.line += self.bytes[from..self.pos]
+            .iter()
+            .filter(|&&b| b == b'\n')
+            .count() as u32;
+    }
+
+    fn take_line_comment(&mut self, start: usize, line: u32) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        self.push(TokKind::LineComment, start, line);
+    }
+
+    fn take_block_comment(&mut self, start: usize, line: u32) {
+        self.pos += 2; // consume "/*"
+        let mut depth = 1usize;
+        while self.pos < self.bytes.len() && depth > 0 {
+            if self.bytes[self.pos] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.pos += 2;
+            } else if self.bytes[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.pos += 2;
+            } else {
+                self.pos += 1;
+            }
+        }
+        let from = start;
+        self.push(TokKind::BlockComment, start, line);
+        self.bump_lines(from);
+    }
+
+    /// Body of a non-raw string/byte-string; `self.pos` sits after the
+    /// opening quote.
+    fn take_str_body(&mut self, start: usize, line: u32) {
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => self.pos += 2.min(self.bytes.len() - self.pos),
+                b'"' => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.push(TokKind::StrLit, start, line);
+        self.bump_lines(start);
+    }
+
+    /// Raw string at `r`/`br`/`cr` prefix: `self.pos` sits on the first
+    /// `#` or the opening quote. Returns false if it is not actually a
+    /// raw string (e.g. `r#ident`).
+    fn try_take_raw_str(&mut self, start: usize, line: u32) -> bool {
+        let mut p = self.pos;
+        let mut hashes = 0usize;
+        while self.bytes.get(p) == Some(&b'#') {
+            hashes += 1;
+            p += 1;
+        }
+        if self.bytes.get(p) != Some(&b'"') {
+            return false;
+        }
+        p += 1;
+        // Scan for `"` followed by `hashes` hashes.
+        loop {
+            match self.bytes.get(p) {
+                None => break,
+                Some(b'"') => {
+                    let end = p + 1;
+                    if self.bytes[end..]
+                        .iter()
+                        .take(hashes)
+                        .filter(|&&b| b == b'#')
+                        .count()
+                        == hashes
+                    {
+                        p = end + hashes;
+                        break;
+                    }
+                    p += 1;
+                }
+                Some(_) => p += 1,
+            }
+        }
+        self.pos = p;
+        self.push(TokKind::StrLit, start, line);
+        self.bump_lines(start);
+        true
+    }
+
+    fn take_char_or_lifetime(&mut self, start: usize, line: u32) {
+        // self.pos is on the opening `'`.
+        let next = self.peek(1);
+        let after = self.peek(2);
+        let is_lifetime = match next {
+            Some(b) if b == b'_' || b.is_ascii_alphabetic() => after != Some(b'\''),
+            _ => false,
+        };
+        if is_lifetime {
+            self.pos += 1;
+            while self
+                .peek(0)
+                .is_some_and(|b| b == b'_' || b.is_ascii_alphanumeric())
+            {
+                self.pos += 1;
+            }
+            self.push(TokKind::Lifetime, start, line);
+            return;
+        }
+        // Char literal: 'x', '\n', '\'', '\u{1F600}'.
+        self.pos += 1;
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => self.pos += 2.min(self.bytes.len() - self.pos),
+                b'\'' => {
+                    self.pos += 1;
+                    break;
+                }
+                b'\n' => break, // malformed; don't swallow the file
+                _ => self.pos += 1,
+            }
+        }
+        self.push(TokKind::CharLit, start, line);
+    }
+
+    fn take_ident_or_prefixed(&mut self, start: usize, line: u32) {
+        // Raw-string / byte-string / c-string prefixes first.
+        let rest = &self.bytes[self.pos..];
+        let prefix_len = raw_str_prefix(rest);
+        if let Some(len) = prefix_len {
+            self.pos += len;
+            if self.bytes.get(self.pos) == Some(&b'"') && rest[len - 1] != b'r' {
+                // b"…" / c"…": escaped like a normal string.
+                self.pos += 1;
+                self.take_str_body(start, line);
+                return;
+            }
+            if rest[len - 1] == b'r' && self.try_take_raw_str(start, line) {
+                return;
+            }
+            // Not a literal after all (e.g. `r#ident`, or plain ident
+            // starting with b/c/r): fall through to ident lexing.
+            self.pos = start;
+        }
+        if self.bytes[self.pos] == b'r' && self.peek(1) == Some(b'#') {
+            // Raw identifier r#type: skip the prefix, keep the ident text.
+            self.pos += 2;
+            let id_start = self.pos;
+            while self
+                .peek(0)
+                .is_some_and(|b| b == b'_' || b.is_ascii_alphanumeric())
+            {
+                self.pos += 1;
+            }
+            self.out.push(Tok {
+                kind: TokKind::Ident,
+                text: &self.src[id_start..self.pos],
+                line,
+            });
+            return;
+        }
+        if self.bytes.get(self.pos) == Some(&b'b') && self.peek(1) == Some(b'\'') {
+            // Byte char b'x'.
+            self.pos += 1;
+            self.take_char_or_lifetime(start, line);
+            return;
+        }
+        while self
+            .peek(0)
+            .is_some_and(|b| b == b'_' || b.is_ascii_alphanumeric())
+        {
+            self.pos += 1;
+        }
+        self.push(TokKind::Ident, start, line);
+    }
+
+    fn take_number(&mut self, start: usize, line: u32) {
+        while let Some(b) = self.peek(0) {
+            let part_of_number = b == b'_'
+                || b.is_ascii_alphanumeric()
+                || (b == b'.' && self.peek(1).is_some_and(|n| n.is_ascii_digit()));
+            if !part_of_number {
+                break;
+            }
+            self.pos += 1;
+        }
+        self.push(TokKind::NumLit, start, line);
+    }
+}
+
+/// If `rest` starts with a string-literal prefix (`r`, `b`, `br`, `c`,
+/// `cr`) that *could* introduce a literal, return the prefix length.
+/// The caller still verifies a quote/hash actually follows.
+fn raw_str_prefix(rest: &[u8]) -> Option<usize> {
+    let two = |a: u8, b: u8| rest.len() >= 2 && rest[0] == a && rest[1] == b;
+    let follows_literal = |at: usize| matches!(rest.get(at), Some(b'"') | Some(b'#'));
+    if (two(b'b', b'r') || two(b'c', b'r')) && follows_literal(2) {
+        return Some(2);
+    }
+    if !rest.is_empty() && matches!(rest[0], b'r' | b'b' | b'c') && rest.get(1) == Some(&b'"') {
+        return Some(1);
+    }
+    if !rest.is_empty() && rest[0] == b'r' && rest.get(1) == Some(&b'#') {
+        // Could be r#"…"# or a raw ident r#foo; try_take_raw_str decides.
+        return Some(1);
+    }
+    None
+}
+
+fn utf8_len(b: u8) -> usize {
+    match b {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, &str)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    fn idents(src: &str) -> Vec<&str> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn code_inside_strings_is_not_tokenized() {
+        let src = r##"let s = "use std::collections::HashMap; unsafe {}";"##;
+        assert_eq!(idents(src), vec!["let", "s"]);
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let src = "/* outer /* inner */ still comment */ HashMap";
+        let toks = kinds(src);
+        assert_eq!(toks[0].0, TokKind::BlockComment);
+        assert_eq!(toks[1], (TokKind::Ident, "HashMap"));
+    }
+
+    #[test]
+    fn block_comment_line_counting_spans_newlines() {
+        let src = "/* a\nb\nc */\nHashMap";
+        let toks = lex(src);
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 4, "ident after 3-line comment");
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_swallow_quotes_and_code() {
+        let src = r###"let x = r#"embedded "quote" and HashMap::new()"#; y"###;
+        assert_eq!(idents(src), vec!["let", "x", "y"]);
+    }
+
+    #[test]
+    fn raw_string_zero_hashes() {
+        let src = r#"r"no hashes HashMap" z"#;
+        assert_eq!(idents(src), vec!["z"]);
+    }
+
+    #[test]
+    fn byte_strings_and_c_strings_are_literals() {
+        assert_eq!(idents(r#"b"HashMap" x"#), vec!["x"]);
+        assert_eq!(idents(r##"br#"HashMap"# x"##), vec!["x"]);
+        assert_eq!(idents(r#"c"HashMap" x"#), vec!["x"]);
+    }
+
+    #[test]
+    fn lifetime_vs_char_literal() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'a'; let nl = '\\n'; }");
+        let lifetimes: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Lifetime)
+            .map(|(_, t)| *t)
+            .collect();
+        let chars: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::CharLit)
+            .map(|(_, t)| *t)
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a"]);
+        assert_eq!(chars, vec!["'a'", "'\\n'"]);
+    }
+
+    #[test]
+    fn quote_escape_char_literal() {
+        let toks = kinds(r"let q = '\''; let bs = '\\'; x");
+        let chars: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::CharLit)
+            .map(|(_, t)| *t)
+            .collect();
+        assert_eq!(chars, vec![r"'\''", r"'\\'"]);
+        assert!(toks.contains(&(TokKind::Ident, "x")));
+    }
+
+    #[test]
+    fn static_lifetime_is_a_lifetime() {
+        let toks = kinds("static S: &'static str = \"s\";");
+        assert!(toks.contains(&(TokKind::Lifetime, "'static")));
+    }
+
+    #[test]
+    fn raw_identifier_keeps_name_without_prefix() {
+        assert_eq!(idents("let r#type = 1;"), vec!["let", "type"]);
+    }
+
+    #[test]
+    fn byte_char_is_a_char_literal() {
+        let toks = kinds("let b = b'x'; y");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::CharLit && t.contains('x')));
+        assert!(toks.contains(&(TokKind::Ident, "y")));
+    }
+
+    #[test]
+    fn line_comment_runs_to_eol_only() {
+        let toks = kinds("// HashMap here\nHashSet");
+        assert_eq!(toks[0].0, TokKind::LineComment);
+        assert_eq!(toks[1], (TokKind::Ident, "HashSet"));
+    }
+
+    #[test]
+    fn line_numbers_are_one_based_and_accurate() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<(u32, &str)> = toks.iter().map(|t| (t.line, t.text)).collect();
+        assert_eq!(lines, vec![(1, "a"), (2, "b"), (4, "c")]);
+    }
+
+    #[test]
+    fn numbers_including_floats_and_ranges() {
+        let toks = kinds("0..10 1.5 0xff_u32 1e3");
+        let nums: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::NumLit)
+            .map(|(_, t)| *t)
+            .collect();
+        assert_eq!(nums, vec!["0", "10", "1.5", "0xff_u32", "1e3"]);
+    }
+
+    #[test]
+    fn unterminated_string_closes_at_eof() {
+        let toks = kinds("let s = \"unterminated");
+        assert_eq!(toks.last().unwrap().0, TokKind::StrLit);
+    }
+
+    #[test]
+    fn multiline_string_line_accounting() {
+        let toks = lex("\"a\nb\"\nident");
+        assert_eq!(toks[0].kind, TokKind::StrLit);
+        assert_eq!(toks[1].line, 3);
+    }
+}

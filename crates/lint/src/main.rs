@@ -1,0 +1,81 @@
+//! CLI for the workspace linter.
+//!
+//! ```text
+//! cargo run -p manet-lint -- --deny            # CI: exit 1 on findings
+//! cargo run -p manet-lint                      # report only, exit 0
+//! cargo run -p manet-lint -- --budgets         # print the real panic
+//!                                              # counts as a [panic-budget]
+//!                                              # section to paste into
+//!                                              # lint/allow.toml
+//! cargo run -p manet-lint -- --root path/to/ws
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut budgets = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--budgets" => budgets = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("manet-lint: --root needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: manet-lint [--root DIR] [--deny] [--budgets]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("manet-lint: unknown flag {other:?} (see --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(manet_lint::default_root);
+
+    if budgets {
+        return match manet_lint::workspace_sources(&root) {
+            Ok(files) => {
+                println!("[panic-budget]");
+                for (path, n) in manet_lint::panic_counts(&files) {
+                    println!("\"{path}\" = {n}");
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("manet-lint: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    match manet_lint::run(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("manet-lint: clean ({} rules)", manet_lint::RULES.len());
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            println!("manet-lint: {} finding(s)", findings.len());
+            if deny {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("manet-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! End-to-end runs of the `manet-lint` binary: the real workspace must
+//! be clean under `--deny`, and a fixture tree with a known violation
+//! must make `--deny` exit non-zero.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_manet-lint"))
+}
+
+fn workspace_root() -> PathBuf {
+    // crates/lint -> crates -> workspace root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels under the workspace root")
+        .to_path_buf()
+}
+
+/// A throwaway tree under the target dir with one deliberately bad file.
+/// (target/ is outside the scanner's view of the real workspace, and the
+/// test recreates the tree from scratch on every run.)
+fn fixture_root(name: &str, src: &str) -> PathBuf {
+    let root = workspace_root()
+        .join("target")
+        .join("lint-fixtures")
+        .join(name);
+    let dir = root.join("crates/core/src");
+    std::fs::create_dir_all(&dir).expect("create fixture tree");
+    std::fs::write(dir.join("lib.rs"), src).expect("write fixture source");
+    root
+}
+
+#[test]
+fn deny_is_clean_on_the_real_workspace() {
+    let out = bin()
+        .arg("--deny")
+        .arg("--root")
+        .arg(workspace_root())
+        .output()
+        .expect("run manet-lint");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "manet-lint --deny failed on the workspace:\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    assert!(stdout.contains("clean"), "unexpected output: {stdout}");
+}
+
+#[test]
+fn deny_fails_on_a_known_bad_tree() {
+    let root = fixture_root(
+        "bad-hasher",
+        "use std::collections::HashMap;\npub fn f() -> HashMap<u8, u8> { HashMap::new() }\n",
+    );
+    let out = bin()
+        .arg("--deny")
+        .arg("--root")
+        .arg(&root)
+        .output()
+        .expect("run manet-lint");
+    assert_eq!(out.status.code(), Some(1), "expected deny exit code 1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("default-hasher"),
+        "finding not reported: {stdout}"
+    );
+    assert!(
+        stdout.contains("crates/core/src/lib.rs:1"),
+        "path:line missing: {stdout}"
+    );
+}
+
+#[test]
+fn budgets_flag_emits_a_pin_section() {
+    let root = fixture_root("budgets", "pub fn f(v: Option<u8>) -> u8 { v.unwrap() }\n");
+    let out = bin()
+        .arg("--budgets")
+        .arg("--root")
+        .arg(&root)
+        .output()
+        .expect("run manet-lint");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("[panic-budget]"), "got: {stdout}");
+    assert!(
+        stdout.contains("\"crates/core/src/lib.rs\" = 1"),
+        "got: {stdout}"
+    );
+}
+
+#[test]
+fn malformed_baseline_is_a_hard_error() {
+    let root = fixture_root("bad-config", "pub fn f() {}\n");
+    let lint_dir = root.join("lint");
+    std::fs::create_dir_all(&lint_dir).expect("create lint dir");
+    std::fs::write(
+        lint_dir.join("allow.toml"),
+        "[[allow]]\nrule = \"shared-state\"\npath = \"crates/core/src/lib.rs\"\n",
+    )
+    .expect("write baseline");
+    let out = bin()
+        .arg("--deny")
+        .arg("--root")
+        .arg(&root)
+        .output()
+        .expect("run manet-lint");
+    assert_eq!(out.status.code(), Some(2), "config errors exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("allow.toml"), "got: {stderr}");
+}

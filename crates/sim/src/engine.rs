@@ -971,6 +971,7 @@ impl Engine {
 
     /// Process events until `until` (inclusive) or the queue drains.
     pub fn run_until(&mut self, until: SimTime) {
+        // lint: allow(wall-clock) — perf-gate instrumentation: busy_secs feeds the perf tables, never the event stream
         let t0 = std::time::Instant::now();
         self.ensure_mobility_tick(until);
         match self.cfg.exec {

@@ -19,6 +19,7 @@
 
 pub mod ctx;
 pub mod engine;
+pub mod fxhash;
 pub mod geom;
 mod grid;
 pub mod link;

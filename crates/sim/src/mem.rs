@@ -41,19 +41,35 @@ pub struct CountingAlloc;
 // SAFETY: defers all allocation to `System`; only adds relaxed
 // counter updates, which cannot affect the returned memory.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: caller upholds `GlobalAlloc::alloc`'s contract (nonzero,
+    // valid layout); it is forwarded to `System` unchanged.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // Relaxed: independent monotonic counters, read post-run for
+        // reporting only; they synchronize nothing.
         ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
         ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: the caller's layout, passed through to the system
+        // allocator, which is the one that will also free this block.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: caller guarantees `ptr` came from this allocator with
+    // this `layout`, which is exactly `System`'s requirement.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr`/`layout` pair is forwarded untouched; every
+        // pointer we hand out originates from `System`.
         unsafe { System.dealloc(ptr, layout) }
     }
 
+    // SAFETY: caller guarantees `ptr` was allocated here with `layout`
+    // and `new_size` is nonzero; forwarded to `System` unchanged.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // Relaxed: same monotonic counters as `alloc`; the full new
+        // size is counted on purpose (growth-pattern signal).
         ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
         ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: same `ptr`/`layout`/`new_size` triple the caller
+        // vouched for, handed to the allocator that owns the block.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
@@ -63,6 +79,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
 /// process that has reached user code has allocated *something*, so a
 /// zero count means the hooks never ran.)
 pub fn alloc_totals() -> Option<(u64, u64)> {
+    // Relaxed: monotonic counter reads for reporting; no ordering needed.
     let count = ALLOC_COUNT.load(Ordering::Relaxed);
     (count > 0).then(|| (ALLOC_BYTES.load(Ordering::Relaxed), count))
 }
@@ -78,6 +95,8 @@ pub struct AllocSnapshot {
 /// Snapshot the counting allocator (zeros when not installed).
 pub fn alloc_snapshot() -> AllocSnapshot {
     AllocSnapshot {
+        // Relaxed: counter snapshot for differential reporting; the two
+        // loads need not be mutually consistent to the byte.
         bytes: ALLOC_BYTES.load(Ordering::Relaxed),
         count: ALLOC_COUNT.load(Ordering::Relaxed),
     }

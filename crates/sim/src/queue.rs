@@ -28,10 +28,11 @@
 //! with heavy timer churn don't leak memory.
 
 use crate::ctx::NodeId;
+use crate::fxhash::FxHashSet;
 use crate::time::SimTime;
 use crate::wheel::TimerWheel;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 /// Which pending-event store the engine runs on. `Wheel` unless a
@@ -205,16 +206,16 @@ impl EventQueue {
 /// modes and all shards draw from identical handle streams.
 pub(crate) struct TimerTable {
     /// Handles armed and not yet popped from the event queue.
-    pending: HashSet<u64>,
+    pending: FxHashSet<u64>,
     /// Armed handles whose owners cancelled them before they fired.
-    cancelled: HashSet<u64>,
+    cancelled: FxHashSet<u64>,
 }
 
 impl TimerTable {
     pub(crate) fn new() -> Self {
         TimerTable {
-            pending: HashSet::new(),
-            cancelled: HashSet::new(),
+            pending: FxHashSet::default(),
+            cancelled: FxHashSet::default(),
         }
     }
 

@@ -1,0 +1,54 @@
+//! Tier-1 enforcement of the static analyzer: plain `cargo test` runs
+//! the same engine CI runs via `cargo run -p manet-lint -- --deny`, so
+//! a determinism-rule violation (std hasher in protocol code, hash-order
+//! iteration, wall clock in the engine, undocumented unsafe, …) fails
+//! the build even for contributors who never look at the CI config.
+
+use std::hash::Hasher;
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let findings = manet_lint::run(root).expect("lint baseline and sources load");
+    assert!(
+        findings.is_empty(),
+        "manet-lint found {} problem(s):\n{}",
+        findings.len(),
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// `manet-crypto` sits below `manet-sim` and carries a mirror of the
+/// canonical Fx hasher. The two copies must stay byte-identical in
+/// behavior; neither crate can see the other, so the equality is pinned
+/// here at the workspace level.
+#[test]
+fn crypto_fxhash_mirror_matches_canonical() {
+    let inputs: [&[u8]; 4] = [
+        b"",
+        b"fec0::13",
+        b"hello world!!",
+        b"0123456789abcdef0123456789abcdef~",
+    ];
+    for input in inputs {
+        let mut canonical = manet_sim::fxhash::FxHasher::default();
+        let mut mirror = manet_crypto::fxhash::FxHasher::default();
+        canonical.write(input);
+        mirror.write(input);
+        assert_eq!(
+            canonical.finish(),
+            mirror.finish(),
+            "fxhash copies diverge on {input:?}"
+        );
+    }
+    let mut canonical = manet_sim::fxhash::FxHasher::default();
+    let mut mirror = manet_crypto::fxhash::FxHasher::default();
+    canonical.write_u64(0xfec0_0000_0000_000d);
+    mirror.write_u64(0xfec0_0000_0000_000d);
+    assert_eq!(canonical.finish(), mirror.finish());
+}
