@@ -1,0 +1,119 @@
+//! The campaign CLI: run declarative parameter studies from JSON plans.
+//!
+//! ```sh
+//! cargo run --release -p manet-bench --bin campaign -- run campaigns/s1_density.json
+//! cargo run --release -p manet-bench --bin campaign -- run campaigns/smoke.json --out report.json
+//! cargo run --release -p manet-bench --bin campaign -- print campaigns/secure_attack.json
+//! ```
+//!
+//! `run` executes every (cell × seed) job across cores, prints the
+//! human summary, writes the canonical report
+//! (`BENCH_campaign_<name>.json` unless `--out` says otherwise), and
+//! exits nonzero if any tolerance check fails. The canonical report is
+//! byte-identical across runs of the same plan — CI's `campaign-smoke`
+//! step diffs two back-to-back runs.
+//!
+//! `print` expands the sweep without simulating anything: each cell's
+//! factor assignments plus the fully-resolved scenario document of the
+//! first cell — the quick way to check what a plan actually sweeps.
+//! The file-format reference is `docs/SCENARIO.md`.
+
+use manet_secure::campaign::{self, ScenarioSpec};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, plan_path) = match (args.first().map(String::as_str), args.get(1)) {
+        (Some(cmd @ ("run" | "print")), Some(path)) => (cmd, PathBuf::from(path)),
+        _ => {
+            eprintln!("usage: campaign run <plan.json> [--out <report.json>]");
+            eprintln!("       campaign print <plan.json>");
+            return ExitCode::from(2);
+        }
+    };
+
+    let plan = match campaign::load_plan(&plan_path) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{}: {e}", plan_path.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    match cmd {
+        "print" => print_plan(&plan),
+        _ => run_plan(&plan, out_path(&args, &plan.name)),
+    }
+}
+
+fn out_path(args: &[String], name: &str) -> PathBuf {
+    args.iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(format!("BENCH_campaign_{name}.json")))
+}
+
+fn run_plan(plan: &campaign::CampaignPlan, out: PathBuf) -> ExitCode {
+    let report = match campaign::run_campaign(plan) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("campaign failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    print!("{}", report.summary_table());
+    let doc = report.canonical_json();
+    if let Err(e) = std::fs::write(&out, &doc) {
+        eprintln!("could not write {}: {e}", out.display());
+        return ExitCode::from(2);
+    }
+    println!("canonical report → {}", out.display());
+    if report.passed() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("tolerance checks FAILED");
+        ExitCode::FAILURE
+    }
+}
+
+fn print_plan(plan: &campaign::CampaignPlan) -> ExitCode {
+    let cells = plan.cells();
+    println!(
+        "campaign {} · {} cells × {} seeds",
+        plan.name,
+        cells.len(),
+        plan.seeds.len()
+    );
+    for (i, cell) in cells.iter().enumerate() {
+        let assigns: Vec<String> = cell
+            .iter()
+            .map(|(p, v)| format!("{p} = {}", campaign::json::compact(v)))
+            .collect();
+        println!(
+            "  cell {i}: {}",
+            if assigns.is_empty() {
+                "(base)".to_string()
+            } else {
+                assigns.join(", ")
+            }
+        );
+    }
+    // Resolve and echo the first cell's full document so typos surface
+    // before anyone pays for a run.
+    match plan
+        .document_for(&cells[0])
+        .and_then(|doc| ScenarioSpec::from_json(&doc))
+    {
+        Ok(spec) => {
+            println!("\nresolved scenario of cell 0 (defaults filled in):");
+            print!("{}", spec.to_canonical_string());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cell 0 does not resolve: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! The declarative campaign layer: JSON scenarios, parameter sweeps,
+//! and deterministic reports.
+//!
+//! The paper's claims are parameter studies — delivery and overhead as
+//! functions of density, mobility, adversary mix, and key strength.
+//! This module turns every such question into a config file instead of
+//! a new Rust exhibit:
+//!
+//! * [`json`] — the dependency-free JSON layer (strict line-tracked
+//!   parser, canonical serializer, deep merge, dotted-path writes); the
+//!   workspace is offline, so no serde.
+//! * [`ScenarioSpec`] — a typed scenario document mapping 1:1 onto
+//!   every `ScenarioBuilder` / `SecureBuilder` / `PlainBuilder` /
+//!   `Workload` knob, with strict unknown-key rejection and builder
+//!   introspection (`from_plain_builder` / `from_secure_builder`) so
+//!   any programmatic chain can be captured as a file.
+//! * [`CampaignPlan`] — a base document plus factor grids or
+//!   Latin-hypercube sampling over any knob, multi-seed repetition,
+//!   and [`ToleranceSpec`] pass/fail bands.
+//! * [`run_campaign`] — fans (cell × seed) jobs across cores and
+//!   renders a canonical-JSON report with wall-clock fields masked
+//!   exactly like `RunReport::fingerprint()`, so same plan + same
+//!   seeds ⇒ byte-identical bytes.
+//!
+//! The `campaign` bin (`crates/bench/src/bin/campaign.rs`) is the CLI;
+//! `docs/SCENARIO.md` is the complete file-format reference; worked
+//! examples live in `campaigns/` and are executed by `tests/campaign.rs`.
+
+pub mod json;
+mod plan;
+mod runner;
+mod spec;
+
+pub use plan::{CampaignPlan, Cell, Factor, SweepMode, ToleranceSpec};
+pub use runner::{load_plan, run_campaign, CampaignReport, CellResult, CheckResult, METRICS};
+pub use spec::{FieldChoice, FlowSpec, ScenarioSpec, SpecError, StackSpec, WorkloadSpec};

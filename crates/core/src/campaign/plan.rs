@@ -1,0 +1,607 @@
+//! Campaign plans: a base scenario document plus a sweep over any of
+//! its knobs.
+//!
+//! A [`CampaignPlan`] names factors by **dotted path** into the
+//! scenario document (`scenario.radio.loss`, `scenario.hosts`,
+//! `scenario.stack.proto.key_bits`, …) with a list of levels each. The
+//! sweep [`SweepMode`] expands the factors into **cells**: either the
+//! full cartesian grid, or a Latin-hypercube sample that covers every
+//! factor's range with far fewer runs. Each cell is repeated once per
+//! seed, and per-cell [`ToleranceSpec`] assertions turn the campaign
+//! into a pass/fail gate.
+//!
+//! Expansion is a pure function of the plan: cells come out in a
+//! deterministic order (file order for grids, `lhs_seed`-derived for
+//! LHS), which is half of what makes campaign reports byte-identical.
+
+use super::json::{self, Json, Val};
+use super::spec::SpecError;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+
+/// How the factor space is covered.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SweepMode {
+    /// Every combination of every factor's levels (file order).
+    Grid,
+    /// Latin-hypercube sampling: `samples` cells, each factor's range
+    /// split into `samples` strata visited exactly once in a
+    /// `lhs_seed`-shuffled order. Numeric two-level factors are treated
+    /// as a continuous `[lo, hi]` range; anything else samples its
+    /// discrete levels.
+    Lhs { samples: usize, lhs_seed: u64 },
+}
+
+/// One swept knob: a dotted path into the scenario document and the
+/// levels it takes.
+#[derive(Clone, Debug)]
+pub struct Factor {
+    pub path: String,
+    pub levels: Vec<Json>,
+}
+
+/// A pass/fail band for one report metric, applied to the per-cell mean
+/// across seeds: `min <= mean <= max`, each bound slackened by
+/// `abs + rel · |bound|`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ToleranceSpec {
+    pub metric: String,
+    pub min: Option<f64>,
+    pub max: Option<f64>,
+    pub abs: f64,
+    pub rel: f64,
+}
+
+impl ToleranceSpec {
+    /// Does the observed mean satisfy the band?
+    pub fn check(&self, mean: f64) -> bool {
+        if !mean.is_finite() {
+            return false;
+        }
+        if let Some(min) = self.min {
+            if mean < min - (self.abs + self.rel * min.abs()) {
+                return false;
+            }
+        }
+        if let Some(max) = self.max {
+            if mean > max + (self.abs + self.rel * max.abs()) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// One expanded cell: the factor assignments to overlay on the base
+/// document (paths in factor order).
+pub type Cell = Vec<(String, Json)>;
+
+/// A declarative parameter study: base scenario + factors + sweep mode
+/// + seeds + tolerances.
+#[derive(Clone, Debug)]
+pub struct CampaignPlan {
+    pub name: String,
+    pub mode: SweepMode,
+    /// Scenario seeds each cell is repeated over.
+    pub seeds: Vec<u64>,
+    /// The base scenario document (already merged with any overrides).
+    pub base: Json,
+    pub factors: Vec<Factor>,
+    pub tolerances: Vec<ToleranceSpec>,
+}
+
+impl CampaignPlan {
+    /// Parse a plan document. Keys: `campaign` (name, required), `mode`
+    /// ("grid" | "lhs"), `samples` + `lhs_seed` (lhs only), `seeds`,
+    /// `base`, `overrides`, `factors`, `tolerances`. Unknown keys are
+    /// rejected with line context, like the scenario format.
+    pub fn from_json(doc: &Json) -> Result<Self, SpecError> {
+        let members = match &doc.v {
+            Val::Obj(e) => e,
+            _ => {
+                return Err(SpecError::at(
+                    "$",
+                    doc.line,
+                    format!("expected an object, found {}", doc.type_name()),
+                ))
+            }
+        };
+        const KNOWN: [&str; 9] = [
+            "base",
+            "base_file",
+            "campaign",
+            "factors",
+            "lhs_seed",
+            "mode",
+            "overrides",
+            "samples",
+            "seeds",
+        ];
+        for (k, v) in members {
+            if !KNOWN.contains(&k.as_str()) && k != "tolerances" {
+                return Err(SpecError::at(
+                    "$",
+                    v.line,
+                    format!("unknown key \"{k}\"; expected one of: campaign, mode, samples, lhs_seed, seeds, base, overrides, factors, tolerances"),
+                ));
+            }
+        }
+        let get = |key: &str| members.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+
+        if let Some(j) = get("base_file") {
+            // The loader (runner::load_plan) resolves and removes this
+            // key; seeing it here means the caller skipped the loader.
+            return Err(SpecError::at(
+                "base_file",
+                j.line,
+                "resolved by the plan loader; parse via campaign::load_plan",
+            ));
+        }
+
+        let name = match get("campaign") {
+            Some(Json { v: Val::Str(s), .. }) => s.clone(),
+            Some(j) => {
+                return Err(SpecError::at(
+                    "campaign",
+                    j.line,
+                    format!("expected a string, found {}", j.type_name()),
+                ))
+            }
+            None => {
+                return Err(SpecError::at(
+                    "campaign",
+                    doc.line,
+                    "missing \"campaign\" (the plan name)",
+                ))
+            }
+        };
+
+        let mode = match get("mode") {
+            None => SweepMode::Grid,
+            Some(Json {
+                v: Val::Str(s),
+                line,
+            }) => match s.as_str() {
+                "grid" => SweepMode::Grid,
+                "lhs" => {
+                    let samples = match get("samples") {
+                        Some(j) => uint_at(j, "samples")? as usize,
+                        None => {
+                            return Err(SpecError::at(
+                                "samples",
+                                doc.line,
+                                "lhs mode needs \"samples\"",
+                            ))
+                        }
+                    };
+                    if samples == 0 {
+                        return Err(SpecError::at(
+                            "samples",
+                            doc.line,
+                            "need at least one sample",
+                        ));
+                    }
+                    let lhs_seed = match get("lhs_seed") {
+                        Some(j) => uint_at(j, "lhs_seed")?,
+                        None => 1,
+                    };
+                    SweepMode::Lhs { samples, lhs_seed }
+                }
+                other => {
+                    return Err(SpecError::at(
+                        "mode",
+                        *line,
+                        format!("unknown mode \"{other}\"; expected one of: grid, lhs"),
+                    ))
+                }
+            },
+            Some(j) => {
+                return Err(SpecError::at(
+                    "mode",
+                    j.line,
+                    format!("expected a string, found {}", j.type_name()),
+                ))
+            }
+        };
+        if matches!(mode, SweepMode::Grid) {
+            for key in ["samples", "lhs_seed"] {
+                if let Some(j) = get(key) {
+                    return Err(SpecError::at(key, j.line, "only meaningful in lhs mode"));
+                }
+            }
+        }
+
+        let seeds = match get("seeds") {
+            None => vec![1],
+            Some(j) => {
+                let items = arr_at(j, "seeds")?;
+                if items.is_empty() {
+                    return Err(SpecError::at("seeds", j.line, "need at least one seed"));
+                }
+                items
+                    .iter()
+                    .map(|i| uint_at(i, "seeds"))
+                    .collect::<Result<Vec<_>, _>>()?
+            }
+        };
+
+        let mut base = get("base").cloned().unwrap_or_else(|| Json::obj(vec![]));
+        if let Some(over) = get("overrides") {
+            base = json::merge(&base, over);
+        }
+
+        let factors = match get("factors") {
+            None => Vec::new(),
+            Some(j) => parse_factors(j)?,
+        };
+        let tolerances = match get("tolerances") {
+            None => Vec::new(),
+            Some(j) => parse_tolerances(j)?,
+        };
+
+        Ok(CampaignPlan {
+            name,
+            mode,
+            seeds,
+            base,
+            factors,
+            tolerances,
+        })
+    }
+
+    /// Expand the sweep into its cells, in deterministic order.
+    pub fn cells(&self) -> Vec<Cell> {
+        if self.factors.is_empty() {
+            return vec![Vec::new()];
+        }
+        match &self.mode {
+            SweepMode::Grid => self.grid_cells(),
+            SweepMode::Lhs { samples, lhs_seed } => self.lhs_cells(*samples, *lhs_seed),
+        }
+    }
+
+    fn grid_cells(&self) -> Vec<Cell> {
+        let mut cells: Vec<Cell> = vec![Vec::new()];
+        for f in &self.factors {
+            let mut next = Vec::with_capacity(cells.len() * f.levels.len());
+            for cell in &cells {
+                for level in &f.levels {
+                    let mut c = cell.clone();
+                    c.push((f.path.clone(), level.clone()));
+                    next.push(c);
+                }
+            }
+            cells = next;
+        }
+        cells
+    }
+
+    /// Latin-hypercube sample: for each factor, a fresh Fisher–Yates
+    /// permutation of the `samples` strata; sample `i` takes stratum
+    /// `perm[i]` of every factor. A factor with exactly two numeric
+    /// levels `[lo, hi]` is a continuous range — the stratum picks a
+    /// jittered point inside it (rounded back to an integer when both
+    /// ends are integers); any other factor maps its strata onto the
+    /// discrete level list.
+    fn lhs_cells(&self, samples: usize, lhs_seed: u64) -> Vec<Cell> {
+        let mut rng = ChaCha12Rng::seed_from_u64(lhs_seed ^ 0x4c48_5321);
+        // Per-factor: permutation + per-sample jitter, drawn in factor
+        // order so the expansion is a pure function of the plan.
+        let mut columns: Vec<Vec<Json>> = Vec::with_capacity(self.factors.len());
+        for f in &self.factors {
+            let mut perm: Vec<usize> = (0..samples).collect();
+            for i in (1..samples).rev() {
+                let j = rng.gen_range(0..=i);
+                perm.swap(i, j);
+            }
+            let continuous =
+                f.levels.len() == 2 && f.levels.iter().all(|l| matches!(l.v, Val::Num(_)));
+            let column = perm
+                .into_iter()
+                .map(|stratum| {
+                    if continuous {
+                        let lo = num(&f.levels[0]);
+                        let hi = num(&f.levels[1]);
+                        let u: f64 = rng.gen_range(0.0..1.0);
+                        let t = (stratum as f64 + u) / samples as f64;
+                        let v = lo + (hi - lo) * t;
+                        if lo.fract() == 0.0 && hi.fract() == 0.0 {
+                            Json::num(v.round())
+                        } else {
+                            Json::num(v)
+                        }
+                    } else {
+                        // Spread strata across the discrete levels.
+                        let idx = stratum * f.levels.len() / samples;
+                        f.levels[idx.min(f.levels.len() - 1)].clone()
+                    }
+                })
+                .collect();
+            columns.push(column);
+        }
+        (0..samples)
+            .map(|i| {
+                self.factors
+                    .iter()
+                    .zip(&columns)
+                    .map(|(f, col)| (f.path.clone(), col[i].clone()))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// The scenario document for one cell: base + factor assignments.
+    pub fn document_for(&self, cell: &Cell) -> Result<Json, SpecError> {
+        let mut doc = self.base.clone();
+        for (path, value) in cell {
+            json::set_path(&mut doc, path, value.clone())
+                .map_err(|e| SpecError::at(path.clone(), 0, e))?;
+        }
+        Ok(doc)
+    }
+}
+
+fn num(j: &Json) -> f64 {
+    match j.v {
+        Val::Num(n) => n,
+        _ => unreachable!("caller checked Val::Num"),
+    }
+}
+
+fn uint_at(j: &Json, path: &str) -> Result<u64, SpecError> {
+    match j.v {
+        Val::Num(v) if v >= 0.0 && v.fract() == 0.0 && v <= 9.007_199_254_740_992e15 => {
+            Ok(v as u64)
+        }
+        Val::Num(v) => Err(SpecError::at(
+            path,
+            j.line,
+            format!("expected a non-negative integer, found {v}"),
+        )),
+        _ => Err(SpecError::at(
+            path,
+            j.line,
+            format!("expected a number, found {}", j.type_name()),
+        )),
+    }
+}
+
+fn arr_at<'a>(j: &'a Json, path: &str) -> Result<&'a [Json], SpecError> {
+    match &j.v {
+        Val::Arr(items) => Ok(items),
+        _ => Err(SpecError::at(
+            path,
+            j.line,
+            format!("expected an array, found {}", j.type_name()),
+        )),
+    }
+}
+
+/// Factors: an object mapping dotted paths to level arrays, in file
+/// order (`{"scenario.radio.loss": [0.0, 0.05], ...}`).
+fn parse_factors(j: &Json) -> Result<Vec<Factor>, SpecError> {
+    let members = match &j.v {
+        Val::Obj(e) => e,
+        _ => {
+            return Err(SpecError::at(
+                "factors",
+                j.line,
+                format!("expected an object, found {}", j.type_name()),
+            ))
+        }
+    };
+    let mut out = Vec::with_capacity(members.len());
+    for (path, levels) in members {
+        let fpath = format!("factors.{path}");
+        if !path.starts_with("scenario.") && !path.starts_with("workload.") {
+            return Err(SpecError::at(
+                fpath,
+                levels.line,
+                "factor paths must start with \"scenario.\" or \"workload.\"",
+            ));
+        }
+        let items = arr_at(levels, &fpath)?;
+        if items.is_empty() {
+            return Err(SpecError::at(fpath, levels.line, "need at least one level"));
+        }
+        out.push(Factor {
+            path: path.clone(),
+            levels: items.to_vec(),
+        });
+    }
+    Ok(out)
+}
+
+/// Tolerances: an object mapping metric names to bands, e.g.
+/// `{"delivery_ratio": {"min": 0.95, "abs": 0.02}}`.
+fn parse_tolerances(j: &Json) -> Result<Vec<ToleranceSpec>, SpecError> {
+    let members = match &j.v {
+        Val::Obj(e) => e,
+        _ => {
+            return Err(SpecError::at(
+                "tolerances",
+                j.line,
+                format!("expected an object, found {}", j.type_name()),
+            ))
+        }
+    };
+    let mut out = Vec::with_capacity(members.len());
+    for (metric, band) in members {
+        let path = format!("tolerances.{metric}");
+        let fields = match &band.v {
+            Val::Obj(e) => e,
+            _ => {
+                return Err(SpecError::at(
+                    path,
+                    band.line,
+                    format!("expected an object, found {}", band.type_name()),
+                ))
+            }
+        };
+        let mut spec = ToleranceSpec {
+            metric: metric.clone(),
+            min: None,
+            max: None,
+            abs: 0.0,
+            rel: 0.0,
+        };
+        for (k, v) in fields {
+            let value = match v.v {
+                Val::Num(n) => n,
+                _ => {
+                    return Err(SpecError::at(
+                        format!("{path}.{k}"),
+                        v.line,
+                        format!("expected a number, found {}", v.type_name()),
+                    ))
+                }
+            };
+            match k.as_str() {
+                "min" => spec.min = Some(value),
+                "max" => spec.max = Some(value),
+                "abs" => spec.abs = value,
+                "rel" => spec.rel = value,
+                other => {
+                    return Err(SpecError::at(
+                        path,
+                        v.line,
+                        format!("unknown key \"{other}\"; expected one of: abs, max, min, rel"),
+                    ))
+                }
+            }
+        }
+        if spec.min.is_none() && spec.max.is_none() {
+            return Err(SpecError::at(
+                path,
+                band.line,
+                "give at least one of \"min\" / \"max\"",
+            ));
+        }
+        out.push(spec);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(text: &str) -> CampaignPlan {
+        CampaignPlan::from_json(&json::parse(text).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn grid_is_the_cartesian_product_in_file_order() {
+        let p = plan(
+            r#"{"campaign": "t",
+                "factors": {"scenario.hosts": [4, 8], "scenario.radio.loss": [0.0, 0.1, 0.2]}}"#,
+        );
+        let cells = p.cells();
+        assert_eq!(cells.len(), 6);
+        // First factor varies slowest.
+        assert_eq!(cells[0][0].1.v, Val::Num(4.0));
+        assert_eq!(cells[0][1].1.v, Val::Num(0.0));
+        assert_eq!(cells[5][0].1.v, Val::Num(8.0));
+        assert_eq!(cells[5][1].1.v, Val::Num(0.2));
+    }
+
+    #[test]
+    fn lhs_covers_every_stratum_once_and_reproduces() {
+        let text = r#"{"campaign": "t", "mode": "lhs", "samples": 8, "lhs_seed": 3,
+                       "factors": {"scenario.radio.loss": [0.0, 0.08],
+                                   "scenario.queue": ["wheel", "heap"]}}"#;
+        let a = plan(text).cells();
+        let b = plan(text).cells();
+        assert_eq!(a.len(), 8);
+        // Pure function of the plan.
+        for (ca, cb) in a.iter().zip(&b) {
+            for ((pa, va), (pb, vb)) in ca.iter().zip(cb) {
+                assert_eq!(pa, pb);
+                assert_eq!(va.v, vb.v);
+            }
+        }
+        // Continuous factor: 8 samples land in 8 distinct strata.
+        let mut strata: Vec<usize> = a
+            .iter()
+            .map(|c| match c[0].1.v {
+                Val::Num(v) => (v / 0.01).floor() as usize,
+                _ => unreachable!(),
+            })
+            .collect();
+        strata.sort_unstable();
+        strata.dedup();
+        assert_eq!(strata.len(), 8, "each stratum hit exactly once");
+        // Discrete factor: both levels appear.
+        let heaps = a
+            .iter()
+            .filter(|c| matches!(&c[1].1.v, Val::Str(s) if s == "heap"))
+            .count();
+        assert_eq!(heaps, 4, "strata spread evenly over discrete levels");
+    }
+
+    #[test]
+    fn integer_ranges_stay_integers_under_lhs() {
+        let p = plan(
+            r#"{"campaign": "t", "mode": "lhs", "samples": 5,
+                "factors": {"scenario.hosts": [10, 50]}}"#,
+        );
+        for cell in p.cells() {
+            match cell[0].1.v {
+                Val::Num(v) => assert_eq!(v.fract(), 0.0, "host count must stay integral: {v}"),
+                ref other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn overrides_merge_onto_base() {
+        let p = plan(
+            r#"{"campaign": "t",
+                "base": {"scenario": {"hosts": 8, "radio": {"loss": 0.0}}},
+                "overrides": {"scenario": {"radio": {"loss": 0.05}}}}"#,
+        );
+        let doc = p.document_for(&p.cells()[0]).unwrap();
+        let scenario = doc.get("scenario").unwrap();
+        assert_eq!(scenario.get("hosts").unwrap().v, Val::Num(8.0));
+        assert_eq!(
+            scenario.get("radio").unwrap().get("loss").unwrap().v,
+            Val::Num(0.05)
+        );
+    }
+
+    #[test]
+    fn bad_plans_are_rejected_with_context() {
+        let e =
+            CampaignPlan::from_json(&json::parse(r#"{"campaign": "t", "mode": "lhs"}"#).unwrap())
+                .unwrap_err();
+        assert_eq!(e.path, "samples");
+
+        let e = CampaignPlan::from_json(
+            &json::parse(r#"{"campaign": "t", "factors": {"radio.loss": [0.1]}}"#).unwrap(),
+        )
+        .unwrap_err();
+        assert!(e.msg.contains("scenario."), "{e}");
+
+        let e = CampaignPlan::from_json(
+            &json::parse(r#"{"campaign": "t", "tolerances": {"delivery_ratio": {"abs": 0.1}}}"#)
+                .unwrap(),
+        )
+        .unwrap_err();
+        assert!(e.msg.contains("min"), "{e}");
+    }
+
+    #[test]
+    fn tolerance_bands_apply_slack() {
+        let t = ToleranceSpec {
+            metric: "delivery_ratio".into(),
+            min: Some(0.95),
+            max: None,
+            abs: 0.02,
+            rel: 0.0,
+        };
+        assert!(t.check(0.96));
+        assert!(t.check(0.935), "within abs slack");
+        assert!(!t.check(0.91));
+        assert!(!t.check(f64::NAN));
+    }
+}

@@ -1,0 +1,1799 @@
+//! The declarative scenario format: a JSON document that maps 1:1 onto
+//! every [`ScenarioBuilder`] / [`SecureBuilder`] / [`PlainBuilder`] /
+//! [`Workload`] knob.
+//!
+//! [`ScenarioSpec`] is the typed middle: `from_json` parses a document
+//! with **strict unknown-key rejection** and line/key-context errors,
+//! `to_json` serializes any spec back, and `run` drives the scenario to
+//! one [`RunReport`]. The builder introspection constructors
+//! ([`ScenarioSpec::from_plain_builder`] /
+//! [`ScenarioSpec::from_secure_builder`]) close the loop: any
+//! programmatic builder chain can be captured as a document, and the
+//! round-trip proptest in `tests/campaign.rs` pins that builder → JSON
+//! → parse → build reproduces the identical fingerprint.
+//!
+//! Every key is optional; the defaults are exactly the builders'
+//! defaults (`docs/SCENARIO.md` tabulates all of them), so `{}` is the
+//! default 8-host chain with the plain stack and no traffic.
+
+use super::json::{self, Json, Val};
+use crate::config::{Behavior, CreditConfig, ProtocolConfig};
+use crate::plain::PlainConfig;
+use crate::scenario::builder::FieldSpec;
+use crate::scenario::{
+    Network, NodeApi, Placement, PlainBuilder, RunReport, ScenarioBuilder, SecureBuilder, Workload,
+};
+use manet_crypto::BackendKind;
+use manet_sim::{
+    ChannelMode, ExecMode, Field, Mobility, Pos, QueueImpl, RadioConfig, SimDuration, SimTime,
+};
+use manet_wire::Ipv6Addr;
+use std::fmt;
+
+/// A spec-level failure: which key (dotted path), which source line,
+/// and what went wrong.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpecError {
+    /// Dotted key path, e.g. `scenario.radio.loss`.
+    pub path: String,
+    /// Source line of the offending value (0 when synthesized).
+    pub line: u32,
+    pub msg: String,
+}
+
+impl SpecError {
+    pub fn at(path: impl Into<String>, line: u32, msg: impl Into<String>) -> Self {
+        SpecError {
+            path: path.into(),
+            line,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "{} (line {}): {}", self.path, self.line, self.msg)
+        } else {
+            write!(f, "{}: {}", self.path, self.msg)
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+// ---------------------------------------------------------------------
+// Strict-object helper
+// ---------------------------------------------------------------------
+
+/// Wraps one JSON object during parsing: every key the parser asks for
+/// is recorded, and [`Fields::deny_unknown`] rejects whatever remains —
+/// so adding a knob to the parser automatically admits it, and typos
+/// fail loudly with the full expected-key list.
+struct Fields<'a> {
+    path: String,
+    members: &'a [(String, Json)],
+    known: Vec<&'static str>,
+}
+
+impl<'a> Fields<'a> {
+    fn new(j: &'a Json, path: &str) -> Result<Self, SpecError> {
+        match &j.v {
+            Val::Obj(members) => Ok(Fields {
+                path: path.to_string(),
+                members,
+                known: Vec::new(),
+            }),
+            _ => Err(SpecError::at(
+                path,
+                j.line,
+                format!("expected an object, found {}", j.type_name()),
+            )),
+        }
+    }
+
+    fn child(&self, key: &str) -> String {
+        format!("{}.{}", self.path, key)
+    }
+
+    fn get(&mut self, key: &'static str) -> Option<&'a Json> {
+        self.known.push(key);
+        self.members.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Reject any key the parser never asked for. Call after every
+    /// `get` for the section.
+    fn deny_unknown(&self) -> Result<(), SpecError> {
+        for (k, v) in self.members {
+            if !self.known.contains(&k.as_str()) {
+                let mut expected: Vec<&str> = self.known.clone();
+                expected.sort_unstable();
+                return Err(SpecError::at(
+                    &self.path,
+                    v.line,
+                    format!(
+                        "unknown key \"{k}\"; expected one of: {}",
+                        expected.join(", ")
+                    ),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    // Typed, defaulted accessors. Each validates the JSON type and
+    // reports errors at `<section>.<key>`.
+
+    fn f64_or(&mut self, key: &'static str, default: f64) -> Result<f64, SpecError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(j) => as_f64(j, &self.child(key)),
+        }
+    }
+
+    fn bool_or(&mut self, key: &'static str, default: bool) -> Result<bool, SpecError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(j) => match j.v {
+                Val::Bool(b) => Ok(b),
+                _ => Err(SpecError::at(
+                    self.child(key),
+                    j.line,
+                    format!("expected a bool, found {}", j.type_name()),
+                )),
+            },
+        }
+    }
+
+    fn usize_or(&mut self, key: &'static str, default: usize) -> Result<usize, SpecError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(j) => as_uint(j, &self.child(key)).map(|v| v as usize),
+        }
+    }
+
+    fn u32_or(&mut self, key: &'static str, default: u32) -> Result<u32, SpecError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(j) => {
+                let path = self.child(key);
+                let v = as_uint(j, &path)?;
+                u32::try_from(v)
+                    .map_err(|_| SpecError::at(path, j.line, format!("{v} does not fit in u32")))
+            }
+        }
+    }
+
+    fn u64_or(&mut self, key: &'static str, default: u64) -> Result<u64, SpecError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(j) => as_uint(j, &self.child(key)),
+        }
+    }
+
+    fn i64_or(&mut self, key: &'static str, default: i64) -> Result<i64, SpecError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(j) => {
+                let path = self.child(key);
+                let v = as_f64(j, &path)?;
+                if v.fract() != 0.0 || v.abs() > 9.007_199_254_740_992e15 {
+                    return Err(SpecError::at(
+                        path,
+                        j.line,
+                        format!("expected an integer, found {v}"),
+                    ));
+                }
+                Ok(v as i64)
+            }
+        }
+    }
+
+    fn dur_ms_or(
+        &mut self,
+        key: &'static str,
+        default: SimDuration,
+    ) -> Result<SimDuration, SpecError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(j) => {
+                let path = self.child(key);
+                let ms = as_f64(j, &path)?;
+                if !(0.0..=1.0e12).contains(&ms) {
+                    return Err(SpecError::at(
+                        path,
+                        j.line,
+                        format!("duration must be in [0, 1e12] ms, got {ms}"),
+                    ));
+                }
+                Ok(SimDuration::from_micros((ms * 1000.0).round() as u64))
+            }
+        }
+    }
+
+    fn str_at(&mut self, key: &'static str) -> Result<Option<(&'a str, u32)>, SpecError> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(j) => match &j.v {
+                Val::Str(s) => Ok(Some((s.as_str(), j.line))),
+                _ => Err(SpecError::at(
+                    self.child(key),
+                    j.line,
+                    format!("expected a string, found {}", j.type_name()),
+                )),
+            },
+        }
+    }
+}
+
+fn as_f64(j: &Json, path: &str) -> Result<f64, SpecError> {
+    match j.v {
+        Val::Num(n) => Ok(n),
+        _ => Err(SpecError::at(
+            path,
+            j.line,
+            format!("expected a number, found {}", j.type_name()),
+        )),
+    }
+}
+
+fn as_uint(j: &Json, path: &str) -> Result<u64, SpecError> {
+    let v = as_f64(j, path)?;
+    if v < 0.0 || v.fract() != 0.0 || v > 9.007_199_254_740_992e15 {
+        return Err(SpecError::at(
+            path,
+            j.line,
+            format!("expected a non-negative integer, found {v}"),
+        ));
+    }
+    Ok(v as u64)
+}
+
+fn as_arr<'a>(j: &'a Json, path: &str) -> Result<&'a [Json], SpecError> {
+    match &j.v {
+        Val::Arr(items) => Ok(items),
+        _ => Err(SpecError::at(
+            path,
+            j.line,
+            format!("expected an array, found {}", j.type_name()),
+        )),
+    }
+}
+
+fn dur_to_ms(d: SimDuration) -> f64 {
+    d.as_micros() as f64 / 1000.0
+}
+
+fn time_to_s(t: SimTime) -> f64 {
+    t.0 as f64 / 1e6
+}
+
+// ---------------------------------------------------------------------
+// The typed spec
+// ---------------------------------------------------------------------
+
+/// How the field is sized — the public mirror of the builder's
+/// internal `FieldSpec`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FieldChoice {
+    Explicit {
+        width: f64,
+        height: f64,
+    },
+    /// Expected radio degree; the field edge is solved at build time.
+    Density(f64),
+}
+
+/// Which protocol stack, with its full per-stack knob set.
+#[derive(Clone, Debug)]
+pub enum StackSpec {
+    Plain(PlainConfig),
+    Secure {
+        proto: ProtocolConfig,
+        join_stagger: SimDuration,
+        register_names: bool,
+        pre_register: Vec<usize>,
+        name_overrides: Vec<(usize, String)>,
+    },
+}
+
+impl StackSpec {
+    pub fn is_secure(&self) -> bool {
+        matches!(self, StackSpec::Secure { .. })
+    }
+}
+
+/// How the workload's flow list is produced.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FlowSpec {
+    /// Explicit `(source, destination)` host-index pairs.
+    Pairs(Vec<(usize, usize)>),
+    /// `Network::scale_flows(n)`: n pairs drawn from the engine RNG out
+    /// of the largest connected component (the scale-exhibit picker).
+    Scale(usize),
+    /// Everyone-to-one: each source sends to `sink` every round.
+    ConvergeCast { sources: Vec<usize>, sink: usize },
+}
+
+/// The workload section: [`Workload`] plus the two driver knobs that
+/// precede it (formation beat, bootstrap).
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkloadSpec {
+    pub flows: FlowSpec,
+    pub packets: usize,
+    pub interval: SimDuration,
+    pub warmup: SimDuration,
+    pub drain: SimDuration,
+    pub payload_len: usize,
+    /// Run the engine to this absolute sim time before flows are picked
+    /// and traffic starts (the S1 exhibit's formation beat).
+    pub formation_s: f64,
+    /// Drive the staggered bootstrap to completion first (defaults to
+    /// true for the secure stack, false for plain).
+    pub bootstrap: bool,
+}
+
+impl WorkloadSpec {
+    /// The no-traffic default, mirroring `Workload::flows(vec![], 0, 0)`.
+    fn default_for(secure: bool) -> Self {
+        WorkloadSpec {
+            flows: FlowSpec::Pairs(Vec::new()),
+            packets: 0,
+            interval: SimDuration::ZERO,
+            warmup: SimDuration::ZERO,
+            drain: SimDuration::from_secs(5),
+            payload_len: crate::scenario::workload::DEFAULT_PAYLOAD.1,
+            formation_s: 0.0,
+            bootstrap: secure,
+        }
+    }
+}
+
+/// One complete declarative scenario: everything `ScenarioBuilder` and
+/// its stack stages know, plus the workload.
+#[derive(Clone, Debug)]
+pub struct ScenarioSpec {
+    pub hosts: usize,
+    pub seed: u64,
+    pub placement: Placement,
+    pub field: FieldChoice,
+    pub radio: RadioConfig,
+    pub mobility: Mobility,
+    pub channel: ChannelMode,
+    pub queue: QueueImpl,
+    /// `None` defers to `ExecMode::default()` (the `MANET_EXEC` knob).
+    pub exec: Option<ExecMode>,
+    pub trace: bool,
+    pub max_events: Option<u64>,
+    pub churn_kills: usize,
+    pub churn_window: (SimTime, SimTime),
+    pub adversaries: Vec<(usize, Behavior)>,
+    pub stack: StackSpec,
+    pub workload: WorkloadSpec,
+}
+
+impl Default for ScenarioSpec {
+    /// Exactly `ScenarioBuilder::default()` with the plain stack and no
+    /// traffic — pinned against the builder by `defaults_mirror_the_builder`.
+    fn default() -> Self {
+        let b = ScenarioBuilder::new();
+        ScenarioSpec {
+            hosts: b.n_hosts,
+            seed: b.seed,
+            placement: b.placement.clone(),
+            field: field_choice(&b.field),
+            radio: b.radio.clone(),
+            mobility: b.mobility.clone(),
+            channel: b.channel,
+            queue: b.queue,
+            exec: None,
+            trace: b.trace,
+            max_events: b.max_events,
+            churn_kills: b.churn_kills,
+            churn_window: b.churn_window,
+            adversaries: b.attackers.clone(),
+            stack: StackSpec::Plain(PlainConfig::default()),
+            workload: WorkloadSpec::default_for(false),
+        }
+    }
+}
+
+fn field_choice(f: &FieldSpec) -> FieldChoice {
+    match f {
+        FieldSpec::Explicit(f) => FieldChoice::Explicit {
+            width: f.width,
+            height: f.height,
+        },
+        FieldSpec::Density(d) => FieldChoice::Density(*d),
+    }
+}
+
+impl ScenarioSpec {
+    // -----------------------------------------------------------------
+    // Builder introspection: capture a programmatic builder as a spec.
+    // -----------------------------------------------------------------
+
+    /// Capture a plain-stack builder chain. The exec mode is recorded
+    /// as the builder resolved it (so the spec replays the same run
+    /// even if `MANET_EXEC` changes later).
+    pub fn from_plain_builder(b: &PlainBuilder) -> Self {
+        let mut spec = Self::from_base(&b.base);
+        spec.stack = StackSpec::Plain(b.proto.clone());
+        spec.workload = WorkloadSpec::default_for(false);
+        spec
+    }
+
+    /// Capture a secure-stack builder chain.
+    pub fn from_secure_builder(b: &SecureBuilder) -> Self {
+        let mut spec = Self::from_base(&b.base);
+        spec.stack = StackSpec::Secure {
+            proto: b.proto.clone(),
+            join_stagger: b.join_stagger,
+            register_names: b.register_names,
+            pre_register: b.pre_register.clone(),
+            name_overrides: b.name_overrides.clone(),
+        };
+        spec.workload = WorkloadSpec::default_for(true);
+        spec
+    }
+
+    fn from_base(b: &ScenarioBuilder) -> Self {
+        ScenarioSpec {
+            hosts: b.n_hosts,
+            seed: b.seed,
+            placement: b.placement.clone(),
+            field: field_choice(&b.field),
+            radio: b.radio.clone(),
+            mobility: b.mobility.clone(),
+            channel: b.channel,
+            queue: b.queue,
+            exec: Some(b.exec),
+            trace: b.trace,
+            max_events: b.max_events,
+            churn_kills: b.churn_kills,
+            churn_window: b.churn_window,
+            adversaries: b.attackers.clone(),
+            stack: StackSpec::Plain(PlainConfig::default()),
+            workload: WorkloadSpec::default_for(false),
+        }
+    }
+
+    /// Attach a [`Workload`] (plus driver knobs) to a captured spec.
+    pub fn with_workload(mut self, w: &Workload, formation_s: f64, bootstrap: bool) -> Self {
+        self.workload = WorkloadSpec {
+            flows: FlowSpec::Pairs(w.flows.clone()),
+            packets: w.packets,
+            interval: w.interval,
+            warmup: w.warmup,
+            drain: w.drain,
+            payload_len: w.payload_len,
+            formation_s,
+            bootstrap,
+        };
+        self
+    }
+
+    // -----------------------------------------------------------------
+    // Parse
+    // -----------------------------------------------------------------
+
+    /// Parse a scenario document: `{"scenario": {...}, "workload": {...}}`.
+    /// Every key optional, unknown keys rejected with their source line.
+    pub fn from_json(doc: &Json) -> Result<Self, SpecError> {
+        let mut top = Fields::new(doc, "$")?;
+        let mut spec = ScenarioSpec::default();
+
+        let mut secure_stack = false;
+        if let Some(sc) = top.get("scenario") {
+            parse_scenario_section(sc, &mut spec, &mut secure_stack)?;
+        }
+        let workload_json = top.get("workload");
+        top.deny_unknown()?;
+
+        spec.workload = match workload_json {
+            Some(w) => parse_workload(w, secure_stack)?,
+            None => WorkloadSpec::default_for(secure_stack),
+        };
+
+        spec.validate(doc)?;
+        Ok(spec)
+    }
+
+    /// Parse a scenario document from text.
+    pub fn parse(text: &str) -> Result<Self, SpecError> {
+        let doc = json::parse(text)
+            .map_err(|e| SpecError::at("$", e.line, format!("JSON syntax: {}", e.msg)))?;
+        Self::from_json(&doc)
+    }
+
+    /// Cross-field validation that needs the whole spec (host-index
+    /// ranges, placement arity).
+    fn validate(&self, doc: &Json) -> Result<(), SpecError> {
+        let line = doc.line;
+        let check_host = |what: &str, idx: usize| -> Result<(), SpecError> {
+            if idx >= self.hosts {
+                return Err(SpecError::at(
+                    what,
+                    line,
+                    format!("host index {idx} out of range for {} hosts", self.hosts),
+                ));
+            }
+            Ok(())
+        };
+        for (i, _) in &self.adversaries {
+            check_host("scenario.adversaries", *i)?;
+        }
+        if let StackSpec::Secure {
+            pre_register,
+            name_overrides,
+            ..
+        } = &self.stack
+        {
+            for i in pre_register {
+                check_host("scenario.stack.pre_register", *i)?;
+            }
+            for (i, _) in name_overrides {
+                check_host("scenario.stack.name_overrides", *i)?;
+            }
+        }
+        match &self.workload.flows {
+            FlowSpec::Pairs(pairs) => {
+                for (s, d) in pairs {
+                    check_host("workload.flows", *s)?;
+                    check_host("workload.flows", *d)?;
+                }
+            }
+            FlowSpec::ConvergeCast { sources, sink } => {
+                check_host("workload.flows.converge_cast", *sink)?;
+                for s in sources {
+                    check_host("workload.flows.converge_cast", *s)?;
+                }
+            }
+            FlowSpec::Scale(_) => {}
+        }
+        match &self.placement {
+            Placement::Bypass if self.hosts != 5 => {
+                return Err(SpecError::at(
+                    "scenario.placement",
+                    line,
+                    format!("bypass topology is fixed at 5 hosts, got {}", self.hosts),
+                ));
+            }
+            Placement::Custom(positions) => {
+                let need = self.hosts + usize::from(self.stack.is_secure());
+                if positions.len() != need {
+                    return Err(SpecError::at(
+                        "scenario.placement.positions",
+                        line,
+                        format!(
+                            "custom placement needs {need} positions ({} hosts{}), got {}",
+                            self.hosts,
+                            if self.stack.is_secure() { " + DNS" } else { "" },
+                            positions.len()
+                        ),
+                    ));
+                }
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    // -----------------------------------------------------------------
+    // Serialize
+    // -----------------------------------------------------------------
+
+    /// Serialize the full spec (every key explicit) as a document that
+    /// `from_json` parses back to an equivalent spec.
+    pub fn to_json(&self) -> Json {
+        let scenario = vec![
+            ("hosts".into(), Json::num(self.hosts as f64)),
+            ("seed".into(), Json::num(self.seed as f64)),
+            ("placement".into(), placement_json(&self.placement)),
+            ("field".into(), field_json(&self.field)),
+            ("radio".into(), radio_json(&self.radio)),
+            ("mobility".into(), mobility_json(&self.mobility)),
+            (
+                "channel".into(),
+                Json::str(match self.channel {
+                    ChannelMode::Grid => "grid",
+                    ChannelMode::Linear => "linear",
+                }),
+            ),
+            ("queue".into(), Json::str(self.queue.name())),
+            (
+                "exec".into(),
+                match self.exec {
+                    None => Json::null(),
+                    Some(ExecMode::Single) => Json::str("single"),
+                    Some(ExecMode::Sharded(k)) => Json::str(format!("sharded:{k}")),
+                },
+            ),
+            ("trace".into(), Json::bool(self.trace)),
+            (
+                "max_events".into(),
+                self.max_events
+                    .map_or(Json::null(), |v| Json::num(v as f64)),
+            ),
+            (
+                "churn".into(),
+                Json::obj(vec![
+                    ("kills".into(), Json::num(self.churn_kills as f64)),
+                    (
+                        "window_s".into(),
+                        Json::arr(vec![
+                            Json::num(time_to_s(self.churn_window.0)),
+                            Json::num(time_to_s(self.churn_window.1)),
+                        ]),
+                    ),
+                ]),
+            ),
+            (
+                "adversaries".into(),
+                Json::arr(
+                    self.adversaries
+                        .iter()
+                        .map(|(i, b)| {
+                            Json::obj(vec![
+                                ("host".into(), Json::num(*i as f64)),
+                                ("behavior".into(), behavior_json(b)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("stack".into(), stack_json(&self.stack)),
+        ];
+        Json::obj(vec![
+            ("scenario".into(), Json::obj(scenario)),
+            ("workload".into(), workload_json(&self.workload)),
+        ])
+    }
+
+    /// `to_json` rendered canonically (sorted keys, fixed floats).
+    pub fn to_canonical_string(&self) -> String {
+        json::canonical(&self.to_json())
+    }
+
+    // -----------------------------------------------------------------
+    // Build & run
+    // -----------------------------------------------------------------
+
+    /// The stack-independent builder this spec describes.
+    fn base_builder(&self) -> ScenarioBuilder {
+        let mut b = ScenarioBuilder::new()
+            .hosts(self.hosts)
+            .seed(self.seed)
+            .placement(self.placement.clone())
+            .radio(self.radio.clone())
+            .mobility(self.mobility.clone())
+            .channel(self.channel)
+            .queue(self.queue)
+            .trace(self.trace)
+            .adversaries(self.adversaries.clone())
+            .churn(self.churn_kills, self.churn_window);
+        b = match self.field {
+            FieldChoice::Explicit { width, height } => b.field(Field::new(width, height)),
+            FieldChoice::Density(d) => b.density(d),
+        };
+        if let Some(exec) = self.exec {
+            b = b.exec(exec);
+        }
+        if let Some(cap) = self.max_events {
+            b = b.max_events(cap);
+        }
+        b
+    }
+
+    /// Build the network and drive the workload to one report. The run
+    /// is a pure function of (spec, seed): wall-derived report fields
+    /// vary, everything under `RunReport::fingerprint()` does not.
+    pub fn run(&self) -> Result<RunReport, SpecError> {
+        match &self.stack {
+            StackSpec::Plain(cfg) => {
+                let mut net = self.base_builder().plain_with(cfg.clone()).build();
+                Ok(drive(&mut net, &self.workload))
+            }
+            StackSpec::Secure {
+                proto,
+                join_stagger,
+                register_names,
+                pre_register,
+                name_overrides,
+            } => {
+                let mut b = self
+                    .base_builder()
+                    .secure_with(proto.clone())
+                    .join_stagger(*join_stagger)
+                    .register_names(*register_names)
+                    .pre_register(pre_register.clone());
+                for (i, name) in name_overrides {
+                    b = b.name_override(*i, name);
+                }
+                let mut net = b.build();
+                Ok(drive(&mut net, &self.workload))
+            }
+        }
+    }
+}
+
+/// The shared driver: bootstrap (secure), formation beat, flow
+/// resolution, then the one `Network::run` path.
+fn drive<P: NodeApi>(net: &mut Network<P>, w: &WorkloadSpec) -> RunReport {
+    if w.bootstrap {
+        let _ = net.bootstrap();
+    }
+    if w.formation_s > 0.0 {
+        let t = SimTime((w.formation_s * 1e6).round() as u64);
+        if t > net.engine.now() {
+            net.engine.run_until(t);
+        }
+    }
+    let flows = match &w.flows {
+        FlowSpec::Pairs(pairs) => pairs.clone(),
+        FlowSpec::Scale(n) => net.scale_flows(*n),
+        FlowSpec::ConvergeCast { sources, sink } => sources.iter().map(|&s| (s, *sink)).collect(),
+    };
+    net.run(&Workload {
+        flows,
+        packets: w.packets,
+        interval: w.interval,
+        warmup: w.warmup,
+        drain: w.drain,
+        payload_len: w.payload_len,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Section parsers
+// ---------------------------------------------------------------------
+
+fn parse_scenario_section(
+    j: &Json,
+    spec: &mut ScenarioSpec,
+    secure_stack: &mut bool,
+) -> Result<(), SpecError> {
+    let mut f = Fields::new(j, "scenario")?;
+
+    spec.hosts = f.usize_or("hosts", spec.hosts)?;
+    if spec.hosts == 0 {
+        return Err(SpecError::at(
+            "scenario.hosts",
+            j.line,
+            "need at least one host",
+        ));
+    }
+    spec.seed = f.u64_or("seed", spec.seed)?;
+    if let Some(p) = f.get("placement") {
+        spec.placement = parse_placement(p)?;
+    }
+    if let Some(fd) = f.get("field") {
+        spec.field = parse_field(fd)?;
+    }
+    if let Some(r) = f.get("radio") {
+        spec.radio = parse_radio(r, &spec.radio)?;
+    }
+    if let Some(m) = f.get("mobility") {
+        spec.mobility = parse_mobility(m)?;
+    }
+    if let Some((s, line)) = f.str_at("channel")? {
+        spec.channel = match s {
+            "grid" => ChannelMode::Grid,
+            "linear" => ChannelMode::Linear,
+            other => {
+                return Err(SpecError::at(
+                    "scenario.channel",
+                    line,
+                    format!("unknown channel \"{other}\"; expected one of: grid, linear"),
+                ))
+            }
+        };
+    }
+    if let Some((s, line)) = f.str_at("queue")? {
+        spec.queue = match s {
+            "wheel" => QueueImpl::Wheel,
+            "heap" => QueueImpl::Heap,
+            other => {
+                return Err(SpecError::at(
+                    "scenario.queue",
+                    line,
+                    format!("unknown queue \"{other}\"; expected one of: wheel, heap"),
+                ))
+            }
+        };
+    }
+    if let Some(e) = f.get("exec") {
+        spec.exec = parse_exec(e)?;
+    }
+    spec.trace = f.bool_or("trace", spec.trace)?;
+    if let Some(me) = f.get("max_events") {
+        spec.max_events = match me.v {
+            Val::Null => None,
+            _ => Some(as_uint(me, "scenario.max_events")?),
+        };
+    }
+    if let Some(c) = f.get("churn") {
+        let (kills, window) = parse_churn(c)?;
+        spec.churn_kills = kills;
+        spec.churn_window = window;
+    }
+    if let Some(a) = f.get("adversaries") {
+        spec.adversaries = parse_adversaries(a)?;
+    }
+    if let Some(s) = f.get("stack") {
+        spec.stack = parse_stack(s)?;
+    }
+    *secure_stack = spec.stack.is_secure();
+    f.deny_unknown()
+}
+
+fn parse_placement(j: &Json) -> Result<Placement, SpecError> {
+    let mut f = Fields::new(j, "scenario.placement")?;
+    let (kind, kind_line) = f
+        .str_at("kind")?
+        .ok_or_else(|| SpecError::at("scenario.placement.kind", j.line, "missing \"kind\""))?;
+    let placement = match kind {
+        "chain" => Placement::Chain {
+            spacing: positive(f.f64_or("spacing", 180.0)?, "scenario.placement.spacing", j.line)?,
+        },
+        "grid" => {
+            let cols = f.usize_or("cols", 1)?;
+            if cols == 0 {
+                return Err(SpecError::at("scenario.placement.cols", j.line, "need at least one column"));
+            }
+            Placement::Grid {
+                cols,
+                spacing: positive(f.f64_or("spacing", 180.0)?, "scenario.placement.spacing", j.line)?,
+            }
+        }
+        "uniform" => Placement::Uniform,
+        "bypass" => Placement::Bypass,
+        "custom" => {
+            let positions = f.get("positions").ok_or_else(|| {
+                SpecError::at("scenario.placement.positions", j.line, "custom placement needs \"positions\"")
+            })?;
+            let items = as_arr(positions, "scenario.placement.positions")?;
+            let mut out = Vec::with_capacity(items.len());
+            for (i, item) in items.iter().enumerate() {
+                out.push(parse_pos(item, &format!("scenario.placement.positions[{i}]"))?);
+            }
+            Placement::Custom(out)
+        }
+        other => {
+            return Err(SpecError::at(
+                "scenario.placement.kind",
+                kind_line,
+                format!("unknown placement \"{other}\"; expected one of: bypass, chain, custom, grid, uniform"),
+            ))
+        }
+    };
+    f.deny_unknown()?;
+    Ok(placement)
+}
+
+fn parse_pos(j: &Json, path: &str) -> Result<Pos, SpecError> {
+    let items = as_arr(j, path)?;
+    if items.len() != 2 {
+        return Err(SpecError::at(path, j.line, "expected an [x, y] pair"));
+    }
+    Ok(Pos::new(as_f64(&items[0], path)?, as_f64(&items[1], path)?))
+}
+
+fn parse_field(j: &Json) -> Result<FieldChoice, SpecError> {
+    let mut f = Fields::new(j, "scenario.field")?;
+    let density = f.get("density").cloned();
+    let width = f.get("width").cloned();
+    let height = f.get("height").cloned();
+    f.deny_unknown()?;
+    match (density, width, height) {
+        (Some(d), None, None) => Ok(FieldChoice::Density(positive(
+            as_f64(&d, "scenario.field.density")?,
+            "scenario.field.density",
+            d.line,
+        )?)),
+        (None, Some(w), Some(h)) => Ok(FieldChoice::Explicit {
+            width: positive(
+                as_f64(&w, "scenario.field.width")?,
+                "scenario.field.width",
+                w.line,
+            )?,
+            height: positive(
+                as_f64(&h, "scenario.field.height")?,
+                "scenario.field.height",
+                h.line,
+            )?,
+        }),
+        _ => Err(SpecError::at(
+            "scenario.field",
+            j.line,
+            "give either {\"density\": d} or {\"width\": w, \"height\": h}",
+        )),
+    }
+}
+
+fn parse_radio(j: &Json, defaults: &RadioConfig) -> Result<RadioConfig, SpecError> {
+    let mut f = Fields::new(j, "scenario.radio")?;
+    let range = positive(
+        f.f64_or("range", defaults.range)?,
+        "scenario.radio.range",
+        j.line,
+    )?;
+    let loss = f.f64_or("loss", defaults.loss)?;
+    if !(0.0..1.0).contains(&loss) {
+        return Err(SpecError::at(
+            "scenario.radio.loss",
+            j.line,
+            format!("loss probability must be in [0, 1), got {loss}"),
+        ));
+    }
+    let base_delay = f.dur_ms_or("base_delay_ms", defaults.base_delay)?;
+    let jitter = f.dur_ms_or("jitter_ms", defaults.jitter)?;
+    let bits_per_sec = positive(
+        f.f64_or("bits_per_sec", defaults.bits_per_sec)?,
+        "scenario.radio.bits_per_sec",
+        j.line,
+    )?;
+    let gray_zone = match f.get("gray_zone") {
+        None => defaults.gray_zone,
+        Some(g) => match g.v {
+            Val::Null => None,
+            _ => Some(positive(
+                as_f64(g, "scenario.radio.gray_zone")?,
+                "scenario.radio.gray_zone",
+                g.line,
+            )?),
+        },
+    };
+    f.deny_unknown()?;
+    Ok(RadioConfig {
+        range,
+        loss,
+        base_delay,
+        jitter,
+        bits_per_sec,
+        gray_zone,
+    })
+}
+
+fn parse_mobility(j: &Json) -> Result<Mobility, SpecError> {
+    let mut f = Fields::new(j, "scenario.mobility")?;
+    let (kind, kind_line) = f
+        .str_at("kind")?
+        .ok_or_else(|| SpecError::at("scenario.mobility.kind", j.line, "missing \"kind\""))?;
+    let mobility = match kind {
+        "static" => Mobility::Static,
+        "random_waypoint" => {
+            let min_speed = f.f64_or("min_speed", 1.0)?;
+            let max_speed = f.f64_or("max_speed", 4.0)?;
+            let pause_s = f.f64_or("pause_s", 2.0)?;
+            if !(0.0 <= min_speed && min_speed <= max_speed) {
+                return Err(SpecError::at(
+                    "scenario.mobility",
+                    j.line,
+                    format!("need 0 <= min_speed <= max_speed, got {min_speed}..{max_speed}"),
+                ));
+            }
+            if pause_s < 0.0 {
+                return Err(SpecError::at(
+                    "scenario.mobility.pause_s",
+                    j.line,
+                    "pause must be >= 0",
+                ));
+            }
+            Mobility::RandomWaypoint {
+                min_speed,
+                max_speed,
+                pause_s,
+            }
+        }
+        "scripted" => {
+            let speed = positive(f.f64_or("speed", 1.0)?, "scenario.mobility.speed", j.line)?;
+            let points = f.get("points").ok_or_else(|| {
+                SpecError::at(
+                    "scenario.mobility.points",
+                    j.line,
+                    "scripted mobility needs \"points\"",
+                )
+            })?;
+            let items = as_arr(points, "scenario.mobility.points")?;
+            let mut out = Vec::with_capacity(items.len());
+            for (i, item) in items.iter().enumerate() {
+                out.push(parse_pos(item, &format!("scenario.mobility.points[{i}]"))?);
+            }
+            Mobility::Scripted { points: out, speed }
+        }
+        other => {
+            return Err(SpecError::at(
+                "scenario.mobility.kind",
+                kind_line,
+                format!(
+                "unknown mobility \"{other}\"; expected one of: random_waypoint, scripted, static"
+            ),
+            ))
+        }
+    };
+    f.deny_unknown()?;
+    Ok(mobility)
+}
+
+fn parse_exec(j: &Json) -> Result<Option<ExecMode>, SpecError> {
+    match &j.v {
+        Val::Null => Ok(None),
+        Val::Str(s) if s == "single" => Ok(Some(ExecMode::Single)),
+        Val::Str(s) => {
+            if let Some(k) = s.strip_prefix("sharded:") {
+                let shards: usize = k.parse().map_err(|_| {
+                    SpecError::at("scenario.exec", j.line, format!("bad shard count \"{k}\""))
+                })?;
+                if shards == 0 {
+                    return Err(SpecError::at(
+                        "scenario.exec",
+                        j.line,
+                        "need at least one shard",
+                    ));
+                }
+                return Ok(Some(ExecMode::Sharded(shards)));
+            }
+            Err(SpecError::at(
+                "scenario.exec",
+                j.line,
+                format!("unknown exec \"{s}\"; expected null, \"single\", or \"sharded:<k>\""),
+            ))
+        }
+        _ => Err(SpecError::at(
+            "scenario.exec",
+            j.line,
+            format!("expected null or a string, found {}", j.type_name()),
+        )),
+    }
+}
+
+fn parse_churn(j: &Json) -> Result<(usize, (SimTime, SimTime)), SpecError> {
+    let mut f = Fields::new(j, "scenario.churn")?;
+    let kills = f.usize_or("kills", 0)?;
+    let window = match f.get("window_s") {
+        None => (SimTime(4_000_000), SimTime(10_000_000)),
+        Some(w) => {
+            let items = as_arr(w, "scenario.churn.window_s")?;
+            if items.len() != 2 {
+                return Err(SpecError::at(
+                    "scenario.churn.window_s",
+                    w.line,
+                    "expected [start_s, end_s]",
+                ));
+            }
+            let lo = as_f64(&items[0], "scenario.churn.window_s")?;
+            let hi = as_f64(&items[1], "scenario.churn.window_s")?;
+            if !(0.0 <= lo && lo <= hi) {
+                return Err(SpecError::at(
+                    "scenario.churn.window_s",
+                    w.line,
+                    format!("need 0 <= start <= end, got [{lo}, {hi}]"),
+                ));
+            }
+            (
+                SimTime((lo * 1e6).round() as u64),
+                SimTime((hi * 1e6).round() as u64),
+            )
+        }
+    };
+    f.deny_unknown()?;
+    Ok((kills, window))
+}
+
+fn parse_adversaries(j: &Json) -> Result<Vec<(usize, Behavior)>, SpecError> {
+    let items = as_arr(j, "scenario.adversaries")?;
+    let mut out = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        let path = format!("scenario.adversaries[{i}]");
+        let mut f = Fields::new(item, &path)?;
+        let host = f
+            .get("host")
+            .ok_or_else(|| SpecError::at(&path, item.line, "missing \"host\""))
+            .and_then(|h| as_uint(h, &format!("{path}.host")))? as usize;
+        let behavior = match f.get("behavior") {
+            None => Behavior::default(),
+            Some(b) => parse_behavior(b, &format!("{path}.behavior"))?,
+        };
+        f.deny_unknown()?;
+        out.push((host, behavior));
+    }
+    Ok(out)
+}
+
+fn parse_behavior(j: &Json, path: &str) -> Result<Behavior, SpecError> {
+    let mut f = Fields::new(j, path)?;
+    let data_drop_prob = f.f64_or("data_drop_prob", 0.0)?;
+    if !(0.0..=1.0).contains(&data_drop_prob) {
+        return Err(SpecError::at(
+            format!("{path}.data_drop_prob"),
+            j.line,
+            format!("drop probability must be in [0, 1], got {data_drop_prob}"),
+        ));
+    }
+    let impersonate = match f.get("impersonate") {
+        None => None,
+        Some(v) => match &v.v {
+            Val::Null => None,
+            _ => Some(parse_ipv6(v, &format!("{path}.impersonate"))?),
+        },
+    };
+    let b = Behavior {
+        data_drop_prob,
+        forge_rrep: f.bool_or("forge_rrep", false)?,
+        impersonate,
+        replay: f.bool_or("replay", false)?,
+        rerr_spam: f.bool_or("rerr_spam", false)?,
+        squat_dad: f.bool_or("squat_dad", false)?,
+        forge_dns: f.bool_or("forge_dns", false)?,
+        evade_probes: f.bool_or("evade_probes", false)?,
+    };
+    f.deny_unknown()?;
+    Ok(b)
+}
+
+/// Addresses serialize as their eight 16-bit groups (the textual
+/// grouping), e.g. `[65216, 0, 0, 0, 0, 0, 0, 1]` for `fec0::1`.
+fn parse_ipv6(j: &Json, path: &str) -> Result<Ipv6Addr, SpecError> {
+    let items = as_arr(j, path)?;
+    if items.len() != 8 {
+        return Err(SpecError::at(path, j.line, "expected eight 16-bit groups"));
+    }
+    let mut groups = [0u16; 8];
+    for (i, item) in items.iter().enumerate() {
+        let v = as_uint(item, path)?;
+        groups[i] = u16::try_from(v).map_err(|_| {
+            SpecError::at(
+                path,
+                item.line,
+                format!("group {v} does not fit in 16 bits"),
+            )
+        })?;
+    }
+    Ok(Ipv6Addr::from_groups(groups))
+}
+
+fn parse_stack(j: &Json) -> Result<StackSpec, SpecError> {
+    let mut f = Fields::new(j, "scenario.stack")?;
+    let (kind, kind_line) = f
+        .str_at("kind")?
+        .ok_or_else(|| SpecError::at("scenario.stack.kind", j.line, "missing \"kind\""))?;
+    let stack = match kind {
+        "plain" => {
+            let d = PlainConfig::default();
+            let cfg = PlainConfig {
+                rreq_timeout: f.dur_ms_or("rreq_timeout_ms", d.rreq_timeout)?,
+                rreq_retries: f.u32_or("rreq_retries", d.rreq_retries)?,
+                ack_timeout: f.dur_ms_or("ack_timeout_ms", d.ack_timeout)?,
+                data_retries: f.u32_or("data_retries", d.data_retries)?,
+                max_send_buffer: f.usize_or("max_send_buffer", d.max_send_buffer)?,
+                cached_replies: f.bool_or("cached_replies", d.cached_replies)?,
+                per_node_stats: f.bool_or("per_node_stats", d.per_node_stats)?,
+            };
+            StackSpec::Plain(cfg)
+        }
+        "secure" => {
+            let join_stagger = f.dur_ms_or("join_stagger_ms", SimDuration::from_millis(1_100))?;
+            let register_names = f.bool_or("register_names", true)?;
+            let pre_register = match f.get("pre_register") {
+                None => Vec::new(),
+                Some(p) => {
+                    let items = as_arr(p, "scenario.stack.pre_register")?;
+                    items
+                        .iter()
+                        .map(|i| as_uint(i, "scenario.stack.pre_register").map(|v| v as usize))
+                        .collect::<Result<Vec<_>, _>>()?
+                }
+            };
+            let name_overrides = match f.get("name_overrides") {
+                None => Vec::new(),
+                Some(n) => {
+                    let items = as_arr(n, "scenario.stack.name_overrides")?;
+                    let mut out = Vec::with_capacity(items.len());
+                    for (i, item) in items.iter().enumerate() {
+                        let path = format!("scenario.stack.name_overrides[{i}]");
+                        let mut nf = Fields::new(item, &path)?;
+                        let host = nf
+                            .get("host")
+                            .ok_or_else(|| SpecError::at(&path, item.line, "missing \"host\""))
+                            .and_then(|h| as_uint(h, &format!("{path}.host")))?
+                            as usize;
+                        let (name, _) = nf
+                            .str_at("name")?
+                            .ok_or_else(|| SpecError::at(&path, item.line, "missing \"name\""))?;
+                        nf.deny_unknown()?;
+                        out.push((host, name.to_string()));
+                    }
+                    out
+                }
+            };
+            let proto = match f.get("proto") {
+                None => ProtocolConfig::default(),
+                Some(p) => parse_proto(p)?,
+            };
+            StackSpec::Secure {
+                proto,
+                join_stagger,
+                register_names,
+                pre_register,
+                name_overrides,
+            }
+        }
+        other => {
+            return Err(SpecError::at(
+                "scenario.stack.kind",
+                kind_line,
+                format!("unknown stack \"{other}\"; expected one of: plain, secure"),
+            ))
+        }
+    };
+    f.deny_unknown()?;
+    Ok(stack)
+}
+
+fn parse_proto(j: &Json) -> Result<ProtocolConfig, SpecError> {
+    let mut f = Fields::new(j, "scenario.stack.proto")?;
+    let d = ProtocolConfig::default();
+    let key_bits = f.u32_or("key_bits", d.key_bits)?;
+    if key_bits < 384 {
+        return Err(SpecError::at(
+            "scenario.stack.proto.key_bits",
+            j.line,
+            format!(
+                "modulus must be at least 384 bits to admit the signature frame, got {key_bits}"
+            ),
+        ));
+    }
+    let crypto_backend = match f.str_at("crypto_backend")? {
+        None => d.crypto_backend,
+        Some(("rsa", _)) => BackendKind::Rsa,
+        Some(("null", _)) => BackendKind::Null,
+        Some(("hashsig", _)) => BackendKind::HashSig,
+        Some((other, line)) => {
+            return Err(SpecError::at(
+                "scenario.stack.proto.crypto_backend",
+                line,
+                format!("unknown backend \"{other}\"; expected one of: hashsig, null, rsa"),
+            ))
+        }
+    };
+    let credit = match f.get("credit") {
+        None => CreditConfig::default(),
+        Some(c) => parse_credit(c)?,
+    };
+    let cfg = ProtocolConfig {
+        key_bits,
+        dad_timeout: f.dur_ms_or("dad_timeout_ms", d.dad_timeout)?,
+        dad_probes: f.u32_or("dad_probes", d.dad_probes)?,
+        dad_max_attempts: f.u32_or("dad_max_attempts", d.dad_max_attempts)?,
+        dns_pending_window: f.dur_ms_or("dns_pending_window_ms", d.dns_pending_window)?,
+        rreq_timeout: f.dur_ms_or("rreq_timeout_ms", d.rreq_timeout)?,
+        rreq_retries: f.u32_or("rreq_retries", d.rreq_retries)?,
+        ack_timeout: f.dur_ms_or("ack_timeout_ms", d.ack_timeout)?,
+        data_retries: f.u32_or("data_retries", d.data_retries)?,
+        crep_enabled: f.bool_or("crep_enabled", d.crep_enabled)?,
+        route_ttl: f.dur_ms_or("route_ttl_ms", d.route_ttl)?,
+        route_cache_per_dest: f.usize_or("route_cache_per_dest", d.route_cache_per_dest)?,
+        route_cache_dests: f.usize_or("route_cache_dests", d.route_cache_dests)?,
+        verify_cache: f.bool_or("verify_cache", d.verify_cache)?,
+        verify_cache_capacity: f.usize_or("verify_cache_capacity", d.verify_cache_capacity)?,
+        crypto_backend,
+        batch_verify: f.bool_or("batch_verify", d.batch_verify)?,
+        rrep_multi: f.u32_or("rrep_multi", d.rrep_multi)?,
+        verify_srr: f.bool_or("verify_srr", d.verify_srr)?,
+        credit,
+        max_send_buffer: f.usize_or("max_send_buffer", d.max_send_buffer)?,
+        probe_enabled: f.bool_or("probe_enabled", d.probe_enabled)?,
+        probe_after: f.u32_or("probe_after", d.probe_after)?,
+        probe_timeout: f.dur_ms_or("probe_timeout_ms", d.probe_timeout)?,
+    };
+    f.deny_unknown()?;
+    Ok(cfg)
+}
+
+fn parse_credit(j: &Json) -> Result<CreditConfig, SpecError> {
+    let mut f = Fields::new(j, "scenario.stack.proto.credit")?;
+    let d = CreditConfig::default();
+    let cfg = CreditConfig {
+        enabled: f.bool_or("enabled", d.enabled)?,
+        initial: f.i64_or("initial", d.initial)?,
+        reward: f.i64_or("reward", d.reward)?,
+        slash: f.i64_or("slash", d.slash)?,
+        timeout_penalty: f.i64_or("timeout_penalty", d.timeout_penalty)?,
+        rerr_threshold: f.u32_or("rerr_threshold", d.rerr_threshold)?,
+        avoid_below: f.i64_or("avoid_below", d.avoid_below)?,
+    };
+    f.deny_unknown()?;
+    Ok(cfg)
+}
+
+fn parse_workload(j: &Json, secure: bool) -> Result<WorkloadSpec, SpecError> {
+    let mut f = Fields::new(j, "workload")?;
+    let d = WorkloadSpec::default_for(secure);
+    let flows = match f.get("flows") {
+        None => d.flows.clone(),
+        Some(fl) => parse_flows(fl)?,
+    };
+    let formation_s = f.f64_or("formation_s", d.formation_s)?;
+    if !(0.0..=1.0e9).contains(&formation_s) {
+        return Err(SpecError::at(
+            "workload.formation_s",
+            j.line,
+            format!("formation time must be in [0, 1e9] s, got {formation_s}"),
+        ));
+    }
+    let w = WorkloadSpec {
+        flows,
+        packets: f.usize_or("packets", d.packets)?,
+        interval: f.dur_ms_or("interval_ms", d.interval)?,
+        warmup: f.dur_ms_or("warmup_ms", d.warmup)?,
+        drain: f.dur_ms_or("drain_ms", d.drain)?,
+        payload_len: f.usize_or("payload_len", d.payload_len)?,
+        formation_s,
+        bootstrap: f.bool_or("bootstrap", d.bootstrap)?,
+    };
+    f.deny_unknown()?;
+    Ok(w)
+}
+
+fn parse_flows(j: &Json) -> Result<FlowSpec, SpecError> {
+    match &j.v {
+        Val::Arr(items) => {
+            let mut pairs = Vec::with_capacity(items.len());
+            for (i, item) in items.iter().enumerate() {
+                let path = format!("workload.flows[{i}]");
+                let pair = as_arr(item, &path)?;
+                if pair.len() != 2 {
+                    return Err(SpecError::at(
+                        &path,
+                        item.line,
+                        "expected a [source, destination] pair",
+                    ));
+                }
+                pairs.push((
+                    as_uint(&pair[0], &path)? as usize,
+                    as_uint(&pair[1], &path)? as usize,
+                ));
+            }
+            Ok(FlowSpec::Pairs(pairs))
+        }
+        Val::Obj(_) => {
+            let mut f = Fields::new(j, "workload.flows")?;
+            let scale = f.get("scale").cloned();
+            let cc = f.get("converge_cast").cloned();
+            f.deny_unknown()?;
+            match (scale, cc) {
+                (Some(s), None) => Ok(FlowSpec::Scale(
+                    as_uint(&s, "workload.flows.scale")? as usize
+                )),
+                (None, Some(c)) => {
+                    let mut cf = Fields::new(&c, "workload.flows.converge_cast")?;
+                    let sources = cf
+                        .get("sources")
+                        .ok_or_else(|| {
+                            SpecError::at(
+                                "workload.flows.converge_cast.sources",
+                                c.line,
+                                "missing \"sources\"",
+                            )
+                        })
+                        .and_then(|s| as_arr(s, "workload.flows.converge_cast.sources"))?
+                        .iter()
+                        .map(|i| {
+                            as_uint(i, "workload.flows.converge_cast.sources").map(|v| v as usize)
+                        })
+                        .collect::<Result<Vec<_>, _>>()?;
+                    let sink = cf
+                        .get("sink")
+                        .ok_or_else(|| {
+                            SpecError::at(
+                                "workload.flows.converge_cast.sink",
+                                c.line,
+                                "missing \"sink\"",
+                            )
+                        })
+                        .and_then(|s| as_uint(s, "workload.flows.converge_cast.sink"))?
+                        as usize;
+                    cf.deny_unknown()?;
+                    Ok(FlowSpec::ConvergeCast { sources, sink })
+                }
+                _ => Err(SpecError::at(
+                    "workload.flows",
+                    j.line,
+                    "give pairs [[s, d], ...], {\"scale\": n}, or {\"converge_cast\": {...}}",
+                )),
+            }
+        }
+        _ => Err(SpecError::at(
+            "workload.flows",
+            j.line,
+            format!("expected an array or an object, found {}", j.type_name()),
+        )),
+    }
+}
+
+fn positive(v: f64, path: &str, line: u32) -> Result<f64, SpecError> {
+    if v > 0.0 && v.is_finite() {
+        Ok(v)
+    } else {
+        Err(SpecError::at(
+            path,
+            line,
+            format!("must be a positive number, got {v}"),
+        ))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serializers (the to_json halves)
+// ---------------------------------------------------------------------
+
+fn placement_json(p: &Placement) -> Json {
+    match p {
+        Placement::Chain { spacing } => Json::obj(vec![
+            ("kind".into(), Json::str("chain")),
+            ("spacing".into(), Json::num(*spacing)),
+        ]),
+        Placement::Grid { cols, spacing } => Json::obj(vec![
+            ("kind".into(), Json::str("grid")),
+            ("cols".into(), Json::num(*cols as f64)),
+            ("spacing".into(), Json::num(*spacing)),
+        ]),
+        Placement::Uniform => Json::obj(vec![("kind".into(), Json::str("uniform"))]),
+        Placement::Bypass => Json::obj(vec![("kind".into(), Json::str("bypass"))]),
+        Placement::Custom(positions) => Json::obj(vec![
+            ("kind".into(), Json::str("custom")),
+            (
+                "positions".into(),
+                Json::arr(positions.iter().map(pos_json).collect()),
+            ),
+        ]),
+    }
+}
+
+fn pos_json(p: &Pos) -> Json {
+    Json::arr(vec![Json::num(p.x), Json::num(p.y)])
+}
+
+fn field_json(f: &FieldChoice) -> Json {
+    match f {
+        FieldChoice::Explicit { width, height } => Json::obj(vec![
+            ("width".into(), Json::num(*width)),
+            ("height".into(), Json::num(*height)),
+        ]),
+        FieldChoice::Density(d) => Json::obj(vec![("density".into(), Json::num(*d))]),
+    }
+}
+
+fn radio_json(r: &RadioConfig) -> Json {
+    Json::obj(vec![
+        ("range".into(), Json::num(r.range)),
+        ("loss".into(), Json::num(r.loss)),
+        ("base_delay_ms".into(), Json::num(dur_to_ms(r.base_delay))),
+        ("jitter_ms".into(), Json::num(dur_to_ms(r.jitter))),
+        ("bits_per_sec".into(), Json::num(r.bits_per_sec)),
+        (
+            "gray_zone".into(),
+            r.gray_zone.map_or(Json::null(), Json::num),
+        ),
+    ])
+}
+
+fn mobility_json(m: &Mobility) -> Json {
+    match m {
+        Mobility::Static => Json::obj(vec![("kind".into(), Json::str("static"))]),
+        Mobility::RandomWaypoint {
+            min_speed,
+            max_speed,
+            pause_s,
+        } => Json::obj(vec![
+            ("kind".into(), Json::str("random_waypoint")),
+            ("min_speed".into(), Json::num(*min_speed)),
+            ("max_speed".into(), Json::num(*max_speed)),
+            ("pause_s".into(), Json::num(*pause_s)),
+        ]),
+        Mobility::Scripted { points, speed } => Json::obj(vec![
+            ("kind".into(), Json::str("scripted")),
+            (
+                "points".into(),
+                Json::arr(points.iter().map(pos_json).collect()),
+            ),
+            ("speed".into(), Json::num(*speed)),
+        ]),
+    }
+}
+
+fn behavior_json(b: &Behavior) -> Json {
+    Json::obj(vec![
+        ("data_drop_prob".into(), Json::num(b.data_drop_prob)),
+        ("forge_rrep".into(), Json::bool(b.forge_rrep)),
+        (
+            "impersonate".into(),
+            b.impersonate.map_or(Json::null(), |ip| {
+                Json::arr(ip.groups().iter().map(|&g| Json::num(g as f64)).collect())
+            }),
+        ),
+        ("replay".into(), Json::bool(b.replay)),
+        ("rerr_spam".into(), Json::bool(b.rerr_spam)),
+        ("squat_dad".into(), Json::bool(b.squat_dad)),
+        ("forge_dns".into(), Json::bool(b.forge_dns)),
+        ("evade_probes".into(), Json::bool(b.evade_probes)),
+    ])
+}
+
+fn stack_json(s: &StackSpec) -> Json {
+    match s {
+        StackSpec::Plain(c) => Json::obj(vec![
+            ("kind".into(), Json::str("plain")),
+            (
+                "rreq_timeout_ms".into(),
+                Json::num(dur_to_ms(c.rreq_timeout)),
+            ),
+            ("rreq_retries".into(), Json::num(c.rreq_retries as f64)),
+            ("ack_timeout_ms".into(), Json::num(dur_to_ms(c.ack_timeout))),
+            ("data_retries".into(), Json::num(c.data_retries as f64)),
+            (
+                "max_send_buffer".into(),
+                Json::num(c.max_send_buffer as f64),
+            ),
+            ("cached_replies".into(), Json::bool(c.cached_replies)),
+            ("per_node_stats".into(), Json::bool(c.per_node_stats)),
+        ]),
+        StackSpec::Secure {
+            proto,
+            join_stagger,
+            register_names,
+            pre_register,
+            name_overrides,
+        } => Json::obj(vec![
+            ("kind".into(), Json::str("secure")),
+            (
+                "join_stagger_ms".into(),
+                Json::num(dur_to_ms(*join_stagger)),
+            ),
+            ("register_names".into(), Json::bool(*register_names)),
+            (
+                "pre_register".into(),
+                Json::arr(pre_register.iter().map(|&i| Json::num(i as f64)).collect()),
+            ),
+            (
+                "name_overrides".into(),
+                Json::arr(
+                    name_overrides
+                        .iter()
+                        .map(|(i, n)| {
+                            Json::obj(vec![
+                                ("host".into(), Json::num(*i as f64)),
+                                ("name".into(), Json::str(n.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("proto".into(), proto_json(proto)),
+        ]),
+    }
+}
+
+fn proto_json(c: &ProtocolConfig) -> Json {
+    Json::obj(vec![
+        ("key_bits".into(), Json::num(c.key_bits as f64)),
+        ("dad_timeout_ms".into(), Json::num(dur_to_ms(c.dad_timeout))),
+        ("dad_probes".into(), Json::num(c.dad_probes as f64)),
+        (
+            "dad_max_attempts".into(),
+            Json::num(c.dad_max_attempts as f64),
+        ),
+        (
+            "dns_pending_window_ms".into(),
+            Json::num(dur_to_ms(c.dns_pending_window)),
+        ),
+        (
+            "rreq_timeout_ms".into(),
+            Json::num(dur_to_ms(c.rreq_timeout)),
+        ),
+        ("rreq_retries".into(), Json::num(c.rreq_retries as f64)),
+        ("ack_timeout_ms".into(), Json::num(dur_to_ms(c.ack_timeout))),
+        ("data_retries".into(), Json::num(c.data_retries as f64)),
+        ("crep_enabled".into(), Json::bool(c.crep_enabled)),
+        ("route_ttl_ms".into(), Json::num(dur_to_ms(c.route_ttl))),
+        (
+            "route_cache_per_dest".into(),
+            Json::num(c.route_cache_per_dest as f64),
+        ),
+        (
+            "route_cache_dests".into(),
+            Json::num(c.route_cache_dests as f64),
+        ),
+        ("verify_cache".into(), Json::bool(c.verify_cache)),
+        (
+            "verify_cache_capacity".into(),
+            Json::num(c.verify_cache_capacity as f64),
+        ),
+        (
+            "crypto_backend".into(),
+            Json::str(match c.crypto_backend {
+                BackendKind::Rsa => "rsa",
+                BackendKind::Null => "null",
+                BackendKind::HashSig => "hashsig",
+            }),
+        ),
+        ("batch_verify".into(), Json::bool(c.batch_verify)),
+        ("rrep_multi".into(), Json::num(c.rrep_multi as f64)),
+        ("verify_srr".into(), Json::bool(c.verify_srr)),
+        ("credit".into(), credit_json(&c.credit)),
+        (
+            "max_send_buffer".into(),
+            Json::num(c.max_send_buffer as f64),
+        ),
+        ("probe_enabled".into(), Json::bool(c.probe_enabled)),
+        ("probe_after".into(), Json::num(c.probe_after as f64)),
+        (
+            "probe_timeout_ms".into(),
+            Json::num(dur_to_ms(c.probe_timeout)),
+        ),
+    ])
+}
+
+fn credit_json(c: &CreditConfig) -> Json {
+    Json::obj(vec![
+        ("enabled".into(), Json::bool(c.enabled)),
+        ("initial".into(), Json::num(c.initial as f64)),
+        ("reward".into(), Json::num(c.reward as f64)),
+        ("slash".into(), Json::num(c.slash as f64)),
+        (
+            "timeout_penalty".into(),
+            Json::num(c.timeout_penalty as f64),
+        ),
+        ("rerr_threshold".into(), Json::num(c.rerr_threshold as f64)),
+        ("avoid_below".into(), Json::num(c.avoid_below as f64)),
+    ])
+}
+
+fn workload_json(w: &WorkloadSpec) -> Json {
+    let flows = match &w.flows {
+        FlowSpec::Pairs(pairs) => Json::arr(
+            pairs
+                .iter()
+                .map(|(s, d)| Json::arr(vec![Json::num(*s as f64), Json::num(*d as f64)]))
+                .collect(),
+        ),
+        FlowSpec::Scale(n) => Json::obj(vec![("scale".into(), Json::num(*n as f64))]),
+        FlowSpec::ConvergeCast { sources, sink } => Json::obj(vec![(
+            "converge_cast".into(),
+            Json::obj(vec![
+                (
+                    "sources".into(),
+                    Json::arr(sources.iter().map(|&s| Json::num(s as f64)).collect()),
+                ),
+                ("sink".into(), Json::num(*sink as f64)),
+            ]),
+        )]),
+    };
+    Json::obj(vec![
+        ("flows".into(), flows),
+        ("packets".into(), Json::num(w.packets as f64)),
+        ("interval_ms".into(), Json::num(dur_to_ms(w.interval))),
+        ("warmup_ms".into(), Json::num(dur_to_ms(w.warmup))),
+        ("drain_ms".into(), Json::num(dur_to_ms(w.drain))),
+        ("payload_len".into(), Json::num(w.payload_len as f64)),
+        ("formation_s".into(), Json::num(w.formation_s)),
+        ("bootstrap".into(), Json::bool(w.bootstrap)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_document_is_the_default_scenario() {
+        let spec = ScenarioSpec::parse("{}").unwrap();
+        assert_eq!(spec.hosts, 8);
+        assert_eq!(spec.seed, 1);
+        assert!(matches!(spec.placement, Placement::Chain { spacing } if spacing == 180.0));
+        assert_eq!(
+            spec.radio.loss, 0.0,
+            "scenario default, not RadioConfig's 1%"
+        );
+        assert!(matches!(spec.stack, StackSpec::Plain(_)));
+        assert_eq!(spec.workload.packets, 0);
+    }
+
+    #[test]
+    fn defaults_mirror_the_builder() {
+        // The spec's Default must track ScenarioBuilder::default(): if a
+        // builder default changes, this breaks loudly instead of the
+        // file format silently meaning something else.
+        let spec = ScenarioSpec::default();
+        let b = ScenarioBuilder::new();
+        assert_eq!(spec.hosts, b.n_hosts);
+        assert_eq!(spec.seed, b.seed);
+        assert_eq!(spec.radio.loss, b.radio.loss);
+        assert_eq!(spec.churn_window, b.churn_window);
+        assert_eq!(spec.field, super::field_choice(&b.field));
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected_with_line_and_path() {
+        let doc = "{\n  \"scenario\": {\n    \"radio\": {\n      \"lose\": 0.1\n    }\n  }\n}";
+        let e = ScenarioSpec::parse(doc).unwrap_err();
+        assert_eq!(e.path, "scenario.radio");
+        assert_eq!(e.line, 4);
+        assert!(e.msg.contains("unknown key \"lose\""), "{e}");
+        assert!(e.msg.contains("loss"), "should list expected keys: {e}");
+    }
+
+    #[test]
+    fn wrong_types_and_ranges_are_diagnosed() {
+        let e = ScenarioSpec::parse(r#"{"scenario": {"hosts": "eight"}}"#).unwrap_err();
+        assert_eq!(e.path, "scenario.hosts");
+        assert!(e.msg.contains("expected a number, found string"), "{e}");
+
+        let e = ScenarioSpec::parse(r#"{"scenario": {"radio": {"loss": 1.5}}}"#).unwrap_err();
+        assert_eq!(e.path, "scenario.radio.loss");
+        assert!(e.msg.contains("[0, 1)"), "{e}");
+
+        let e = ScenarioSpec::parse(r#"{"workload": {"flows": [[0, 9]]}}"#).unwrap_err();
+        assert_eq!(e.path, "workload.flows");
+        assert!(e.msg.contains("out of range"), "{e}");
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let doc = r#"{
+            "scenario": {
+                "hosts": 5, "seed": 42,
+                "placement": {"kind": "bypass"},
+                "radio": {"loss": 0.02, "gray_zone": 300.0},
+                "mobility": {"kind": "random_waypoint", "min_speed": 0.5, "max_speed": 2.0, "pause_s": 1.0},
+                "queue": "heap", "exec": "sharded:4",
+                "churn": {"kills": 1, "window_s": [3.0, 8.0]},
+                "adversaries": [{"host": 1, "behavior": {"forge_rrep": true}}],
+                "stack": {"kind": "secure", "join_stagger_ms": 900.0,
+                          "proto": {"key_bits": 512, "crypto_backend": "rsa",
+                                    "credit": {"slash": 50}}}
+            },
+            "workload": {"flows": [[0, 2]], "packets": 3, "interval_ms": 250.0}
+        }"#;
+        let spec = ScenarioSpec::parse(doc).unwrap();
+        let re = ScenarioSpec::from_json(&spec.to_json()).unwrap();
+        // Canonical serialization is the equality witness: every knob
+        // survives the round trip byte-for-byte.
+        assert_eq!(spec.to_canonical_string(), re.to_canonical_string());
+        assert_eq!(spec.exec, Some(ExecMode::Sharded(4)));
+        match &spec.stack {
+            StackSpec::Secure {
+                proto,
+                join_stagger,
+                ..
+            } => {
+                assert_eq!(proto.credit.slash, 50);
+                assert_eq!(*join_stagger, SimDuration::from_millis(900));
+            }
+            other => panic!("wrong stack: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_run_is_deterministic() {
+        let doc = r#"{"scenario": {"hosts": 4, "seed": 7},
+                      "workload": {"flows": [[0, 3]], "packets": 2, "interval_ms": 200.0}}"#;
+        let a = ScenarioSpec::parse(doc).unwrap().run().unwrap();
+        let b = ScenarioSpec::parse(doc).unwrap().run().unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.totals.data_sent, 2);
+    }
+
+    #[test]
+    fn impersonate_groups_round_trip() {
+        let b = Behavior {
+            impersonate: Some(Ipv6Addr::from_groups([0xfec0, 0, 0, 0, 0, 0, 0, 1])),
+            ..Behavior::default()
+        };
+        let j = behavior_json(&b);
+        let re = parse_behavior(&j, "t").unwrap();
+        assert_eq!(re.impersonate, b.impersonate);
+    }
+}

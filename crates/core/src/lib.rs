@@ -27,6 +27,7 @@
 
 pub mod arena;
 pub mod attacks;
+pub mod campaign;
 pub mod config;
 pub mod credit;
 pub mod dns;

@@ -8,10 +8,10 @@
 //! offers the knobs that stack actually has (join staggering and name
 //! registration exist for the secure stack alone), ending in `build()`.
 //!
-//! Construction is **the** implementation: the deprecated
-//! `build_secure` / `build_plain` / `build_scale` shims delegate here,
-//! and the parity suite pins that a builder-made network is
-//! byte-identical, same seed, to the legacy constructors' output.
+//! Construction is **the** implementation: every exhibit, test, and
+//! the declarative campaign layer (`crate::campaign`) build through it,
+//! and `ScenarioSpec` introspects these fields directly — which is why
+//! they are `pub(crate)`.
 
 use super::network::{Network, NodeApi};
 use super::placement::{positions_for, Placement};
@@ -70,8 +70,8 @@ pub fn scale_family(n: usize, seed: u64) -> ScenarioBuilder {
 
 /// How the field is sized: explicitly, or derived from a target radio
 /// density at build time.
-#[derive(Clone, Debug)]
-enum FieldSpec {
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) enum FieldSpec {
     Explicit(Field),
     /// Expected radio degree for the built host count.
     Density(f64),
@@ -81,20 +81,20 @@ enum FieldSpec {
 /// specs read as one chained expression.
 #[derive(Clone, Debug)]
 pub struct ScenarioBuilder {
-    n_hosts: usize,
-    placement: Placement,
-    field: FieldSpec,
-    radio: RadioConfig,
-    mobility: Mobility,
-    seed: u64,
-    trace: bool,
-    channel: ChannelMode,
-    queue: QueueImpl,
-    exec: ExecMode,
-    attackers: Vec<(usize, Behavior)>,
-    churn_kills: usize,
-    churn_window: (SimTime, SimTime),
-    max_events: Option<u64>,
+    pub(crate) n_hosts: usize,
+    pub(crate) placement: Placement,
+    pub(crate) field: FieldSpec,
+    pub(crate) radio: RadioConfig,
+    pub(crate) mobility: Mobility,
+    pub(crate) seed: u64,
+    pub(crate) trace: bool,
+    pub(crate) channel: ChannelMode,
+    pub(crate) queue: QueueImpl,
+    pub(crate) exec: ExecMode,
+    pub(crate) attackers: Vec<(usize, Behavior)>,
+    pub(crate) churn_kills: usize,
+    pub(crate) churn_window: (SimTime, SimTime),
+    pub(crate) max_events: Option<u64>,
 }
 
 impl Default for ScenarioBuilder {
@@ -309,12 +309,12 @@ impl ScenarioBuilder {
 /// knobs only the DNS-backed bootstrap has.
 #[derive(Clone, Debug)]
 pub struct SecureBuilder {
-    base: ScenarioBuilder,
-    proto: ProtocolConfig,
-    join_stagger: SimDuration,
-    register_names: bool,
-    pre_register: Vec<usize>,
-    name_overrides: Vec<(usize, String)>,
+    pub(crate) base: ScenarioBuilder,
+    pub(crate) proto: ProtocolConfig,
+    pub(crate) join_stagger: SimDuration,
+    pub(crate) register_names: bool,
+    pub(crate) pre_register: Vec<usize>,
+    pub(crate) name_overrides: Vec<(usize, String)>,
 }
 
 impl SecureBuilder {
@@ -490,8 +490,8 @@ impl SecureBuilder {
 /// story — that asymmetry *is* the paper's bootstrap contribution).
 #[derive(Clone, Debug)]
 pub struct PlainBuilder {
-    base: ScenarioBuilder,
-    proto: PlainConfig,
+    pub(crate) base: ScenarioBuilder,
+    pub(crate) proto: PlainConfig,
 }
 
 impl PlainBuilder {

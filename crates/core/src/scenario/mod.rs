@@ -44,12 +44,11 @@
 //! stagger joins by [`SecureBuilder::join_stagger`], which also gives
 //! the DNS a serialized stream of registrations.
 
-mod builder;
-mod legacy;
+pub(crate) mod builder;
 mod network;
 mod placement;
 mod report;
-mod workload;
+pub(crate) mod workload;
 
 pub use builder::{
     field_for_density, host_name, scale_family, PlainBuilder, ScenarioBuilder, SecureBuilder,
@@ -58,12 +57,6 @@ pub use network::{Network, NodeApi};
 pub use placement::{Placement, BYPASS_ATTACKER};
 pub use report::{CryptoTotals, RunReport, StatTotals};
 pub use workload::Workload;
-
-#[allow(deprecated)]
-pub use legacy::{
-    build_plain, build_scale, build_secure, scale_flows, NetworkParams, PlainNetwork, PlainParams,
-    ScaleParams, SecureNetwork,
-};
 
 #[cfg(test)]
 mod tests {

@@ -10,7 +10,7 @@
 //! |----------------------|--------------------------------------------------------|
 //! | `default-hasher`     | no std `HashMap`/`HashSet` in core/crypto/sim          |
 //! | `unordered-iter`     | no hash-order iteration feeding the event stream       |
-//! | `wall-clock`         | `Instant::now`/`SystemTime` only in mem.rs / bench     |
+//! | `wall-clock`         | `Instant::now`/`SystemTime` only in mem.rs / bench / campaign runner |
 //! | `shared-state`       | `Mutex`/`RwLock`/`static mut`/`thread_local!` only in  |
 //! |                      | sanctioned files (`crypto/src/batch.rs`)               |
 //! | `atomic-ordering`    | every `Ordering::Relaxed`/`SeqCst` justified inline    |

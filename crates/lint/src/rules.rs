@@ -558,8 +558,13 @@ fn rule_unordered_iter(ctx: &FileCtx<'_>, hashy: &[String], out: &mut Vec<Findin
 
 fn rule_wall_clock(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
     // The sanctioned wall-clock homes: the allocator shim (its numbers
-    // are masked from fingerprints) and bench/perf-gate code.
-    if ctx.path == "crates/sim/src/mem.rs" || ctx.path.contains("bench") {
+    // are masked from fingerprints), bench/perf-gate code, and the
+    // campaign runner (its wall totals are display-only — the canonical
+    // report masks them exactly like `RunReport::fingerprint`).
+    if ctx.path == "crates/sim/src/mem.rs"
+        || ctx.path.contains("bench")
+        || ctx.path == "crates/core/src/campaign/runner.rs"
+    {
         return;
     }
     let toks = &ctx.toks;

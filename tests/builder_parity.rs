@@ -1,145 +1,17 @@
-//! Parity gates for the scenario-API redesign: the fluent
-//! `ScenarioBuilder` must reproduce the legacy constructors'
-//! (`build_secure` / `build_plain` / `build_scale`) same-seed universes
-//! **byte-identically** — same RNG draw order, same trace stream, same
-//! metrics — plus a determinism property: one spec + one seed ⇒ one
-//! `RunReport`, however often it is built.
+//! Determinism gates for the scenario API: one spec + one seed ⇒ one
+//! `RunReport`, however often it is built, and the two driving paths
+//! (`run_flows` sugar vs an explicit `Workload`) are one universe.
 //!
-//! The legacy shims only survive for these tests (and the golden
-//! fixtures); everything else in the repo speaks the builder.
+//! Historically this suite also pinned the builder against the legacy
+//! `build_secure` / `build_plain` / `build_scale` constructors
+//! byte-for-byte; those shims are gone (the builder *is* the
+//! implementation), and the determinism properties below are what
+//! remains load-bearing — they are the foundation the declarative
+//! campaign layer's byte-identical reports stand on.
 
-#![allow(deprecated)]
-
-use manet_secure::scenario::{
-    build_plain, build_scale, build_secure, NetworkParams, Placement, PlainParams, RunReport,
-    ScaleParams, ScenarioBuilder, Workload,
-};
-use manet_secure::{attacks, PlainDsrNode, SecureNode};
+use manet_secure::scenario::{Placement, ScenarioBuilder, Workload};
 use manet_sim::{Mobility, SimDuration, SimTime};
 use proptest::prelude::*;
-
-/// Render a secure universe (trace + headline observables) to text for
-/// byte-exact comparison.
-fn render_secure(net: &mut manet_secure::Network<SecureNode>) -> String {
-    net.bootstrap();
-    let report = net.run(&Workload::flows(
-        vec![(0, 4), (1, 3)],
-        4,
-        SimDuration::from_millis(300),
-    ));
-    format!(
-        "{:?}\n{}",
-        report.fingerprint(),
-        net.engine.tracer().render()
-    )
-}
-
-fn render_plain(net: &mut manet_secure::Network<PlainDsrNode>) -> String {
-    let report = net.run(&Workload::flows(
-        vec![(0, 4), (1, 3)],
-        6,
-        SimDuration::from_millis(300),
-    ));
-    format!(
-        "{:?}\n{}",
-        report.fingerprint(),
-        net.engine.tracer().render()
-    )
-}
-
-/// Secure stack: builder vs legacy `build_secure`, on the bypass
-/// topology with an attacker, traced — the richest construction path
-/// (DNS + staggered joins + adversary mix + custom geometry).
-#[test]
-fn builder_matches_build_secure_byte_for_byte() {
-    let seed = 1312;
-    let mut legacy = build_secure(&NetworkParams {
-        n_hosts: 5,
-        placement: Placement::Bypass,
-        attackers: vec![(2, attacks::black_hole())],
-        seed,
-        trace: true,
-        ..NetworkParams::default()
-    });
-    let mut built = ScenarioBuilder::new()
-        .hosts(5)
-        .placement(Placement::Bypass)
-        .adversary(2, attacks::black_hole())
-        .seed(seed)
-        .trace(true)
-        .secure()
-        .build();
-    let a = render_secure(&mut legacy);
-    let b = render_secure(&mut built);
-    assert!(a.lines().count() > 50, "vacuous comparison: {a}");
-    assert_eq!(a, b, "builder and legacy secure universes diverged");
-}
-
-/// Plain stack: builder vs legacy `build_plain`, traced.
-#[test]
-fn builder_matches_build_plain_byte_for_byte() {
-    let seed = 77;
-    let mut legacy = build_plain(&PlainParams {
-        n_hosts: 6,
-        seed,
-        trace: true,
-        attackers: vec![(2, attacks::grey_hole(0.4))],
-        ..PlainParams::default()
-    });
-    let mut built = ScenarioBuilder::new()
-        .hosts(6)
-        .seed(seed)
-        .trace(true)
-        .adversary(2, attacks::grey_hole(0.4))
-        .plain()
-        .build();
-    let a = render_plain(&mut legacy);
-    let b = render_plain(&mut built);
-    assert!(a.lines().count() > 20, "vacuous comparison: {a}");
-    assert_eq!(a, b, "builder and legacy plain universes diverged");
-}
-
-/// Scale family: builder (`density` + `churn`) vs legacy `build_scale`,
-/// including the engine-RNG flow picker — every machine-independent
-/// report field and the flow choices must agree.
-#[test]
-fn builder_matches_build_scale_exactly() {
-    let seed = 5;
-    let run = |mut net: manet_secure::Network<PlainDsrNode>| -> (Vec<(usize, usize)>, RunReport) {
-        net.engine.run_until(SimTime(1_000_000));
-        let flows = net.scale_flows(5);
-        let mut report = net.run(&Workload::flows(
-            flows.clone(),
-            3,
-            SimDuration::from_millis(400),
-        ));
-        report = report.fingerprint();
-        (flows, report)
-    };
-    let legacy = run(build_scale(&ScaleParams {
-        churn_kills: 4,
-        ..ScaleParams::small(150, seed)
-    }));
-    // Spelled out rather than via `scale_family`: this side must stay
-    // frozen against the legacy `ScaleParams` shape even if the live
-    // preset evolves.
-    let built = run(ScenarioBuilder::new()
-        .hosts(150)
-        .placement(Placement::Uniform)
-        .density(15.0)
-        .mobility(Mobility::RandomWaypoint {
-            min_speed: 1.0,
-            max_speed: 4.0,
-            pause_s: 2.0,
-        })
-        .churn(4, (SimTime(4_000_000), SimTime(10_000_000)))
-        .seed(seed)
-        .plain()
-        .build());
-    assert_eq!(legacy.0, built.0, "flow picks diverged");
-    assert_eq!(legacy.1, built.1, "scale universes diverged");
-    assert!(legacy.1.events > 1000, "vacuous comparison");
-}
 
 /// The legacy `run_flows` semantics (no warmup, 5 s drain, 64-byte 0xda
 /// payload) are exactly `Workload::flows` — the two driving paths are
@@ -168,6 +40,32 @@ fn run_flows_is_sugar_for_the_workload_driver() {
         b.engine.tracer().render(),
         "driving paths diverged"
     );
+}
+
+/// The scale-family preset (uniform placement, density-sized field,
+/// churn, engine-RNG flow picker) is deterministic end to end — the
+/// flow choices and every machine-independent report field reproduce.
+#[test]
+fn scale_family_reproduces_exactly() {
+    let run = || {
+        let mut net = manet_secure::scenario::scale_family(150, 5)
+            .churn(4, (SimTime(4_000_000), SimTime(10_000_000)))
+            .plain()
+            .build();
+        net.engine.run_until(SimTime(1_000_000));
+        let flows = net.scale_flows(5);
+        let report = net.run(&Workload::flows(
+            flows.clone(),
+            3,
+            SimDuration::from_millis(400),
+        ));
+        (flows, report.fingerprint())
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.0, b.0, "flow picks diverged");
+    assert_eq!(a.1, b.1, "scale universes diverged");
+    assert!(a.1.events > 1000, "vacuous comparison");
 }
 
 proptest! {
@@ -203,6 +101,37 @@ proptest! {
         // And the spec actually simulated something.
         prop_assert!(ra.events > 0);
         prop_assert_eq!(ra.totals.data_sent, (packets) as u64);
+    }
+
+    /// The builder's churn and mobility plumbing is deterministic too —
+    /// the randomized-layout path (uniform placement + waypoint motion +
+    /// kills) reproduces, not just static chains.
+    #[test]
+    fn randomized_layout_reproduces(
+        n in 10usize..30,
+        seed in 0u64..1_000,
+        kills in 0usize..4,
+    ) {
+        let run = || {
+            let mut net = ScenarioBuilder::new()
+                .hosts(n)
+                .placement(Placement::Uniform)
+                .density(12.0)
+                .mobility(Mobility::RandomWaypoint {
+                    min_speed: 1.0,
+                    max_speed: 3.0,
+                    pause_s: 1.0,
+                })
+                .churn(kills, (SimTime(500_000), SimTime(2_000_000)))
+                .seed(seed)
+                .plain()
+                .build();
+            net.run(&Workload::flows(vec![(0, n - 1)], 2, SimDuration::from_millis(300)))
+                .fingerprint()
+        };
+        let a = run();
+        prop_assert_eq!(a.clone(), run());
+        prop_assert_eq!(a.nodes_killed, kills.min(n) as u64);
     }
 }
 

@@ -35,7 +35,7 @@ fn run(seed: u64) -> (f64, usize, u64, u64) {
 fn same_seed_same_universe() {
     let a = run(42);
     let b = run(42);
-    assert_eq!(a, b, "same NetworkParams + seed must reproduce exactly");
+    assert_eq!(a, b, "same scenario spec + seed must reproduce exactly");
     // Guard against the trivial-pass failure mode (nothing simulated).
     assert!(a.0 > 0.0, "no traffic delivered: {a:?}");
     assert!(a.1 > 0, "no trace events recorded: {a:?}");
